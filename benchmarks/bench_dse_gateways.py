@@ -1,0 +1,19 @@
+"""E9 — DSE: gateways-per-chiplet sweep (Section VII, open challenge 3)."""
+
+from repro.experiments.dse import render_sweep, sweep_gateways
+
+
+def regenerate():
+    return sweep_gateways(model_name="ResNet50", values=(1, 2, 4))
+
+
+def test_bench_dse_gateways(benchmark):
+    points = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print("\n" + render_sweep("DSE: gateways per chiplet (ResNet50)", points))
+
+    latencies = [p.result.latency_s for p in points]
+    # More gateways per chiplet -> more aggregate bandwidth -> not slower.
+    assert latencies[-1] <= latencies[0] * 1.001
+    for point in points:
+        assert point.result.latency_s > 0
+        assert point.result.average_power_w > 0

@@ -1,0 +1,20 @@
+"""E8 — DSE: wavelength-count sweep (Section VII, open challenge 3)."""
+
+from repro.experiments.dse import render_sweep, sweep_wavelengths
+
+
+def regenerate():
+    return sweep_wavelengths(model_name="ResNet50",
+                             values=(8, 16, 32, 64, 128))
+
+
+def test_bench_dse_wavelengths(benchmark):
+    points = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print("\n" + render_sweep("DSE: wavelengths (ResNet50, SiPh)", points))
+
+    # More wavelengths -> no slower; returns diminish once compute-bound.
+    latencies = [p.result.latency_s for p in points]
+    assert all(b <= a * 1.001 for a, b in zip(latencies, latencies[1:]))
+    gain_low = latencies[0] / latencies[1]    # 8 -> 16 wavelengths
+    gain_high = latencies[-2] / latencies[-1]  # 64 -> 128 wavelengths
+    assert gain_low > gain_high

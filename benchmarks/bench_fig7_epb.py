@@ -1,0 +1,14 @@
+"""E5 — Fig. 7c: normalized energy-per-bit per model."""
+
+from repro.experiments.fig7 import fig7_series, render_fig7
+
+
+def test_bench_fig7_epb(benchmark, warm_runner):
+    series = benchmark(fig7_series, warm_runner, "epb")
+    print("\n" + render_fig7(series))
+
+    for model in ("ResNet50", "DenseNet121", "VGG16"):
+        assert series.bar(model, "2.5D-CrossLight-SiPh") < 0.7
+        assert series.bar(model, "2.5D-CrossLight-Elec") > 1.0
+    # The paper's LeNet5 observation: overheads hurt EPB on tiny models.
+    assert series.bar("LeNet5", "2.5D-CrossLight-SiPh") >= 0.8

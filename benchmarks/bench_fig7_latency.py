@@ -1,0 +1,16 @@
+"""E4 — Fig. 7b: normalized total latency per model."""
+
+from repro.experiments.fig7 import fig7_series, render_fig7
+
+
+def test_bench_fig7_latency(benchmark, warm_runner):
+    series = benchmark(fig7_series, warm_runner, "latency")
+    print("\n" + render_fig7(series))
+
+    for model in ("ResNet50", "DenseNet121", "VGG16", "MobileNetV2"):
+        # SiPh wins on every model except the very small one.
+        assert series.bar(model, "2.5D-CrossLight-SiPh") < 1.0
+        # The electrical interposer loses everywhere (34x on average).
+        assert series.bar(model, "2.5D-CrossLight-Elec") > 1.0
+    # LeNet5: the photonic advantage evaporates on a tiny model.
+    assert series.bar("LeNet5", "2.5D-CrossLight-SiPh") > 0.7

@@ -1,0 +1,29 @@
+"""E3 — Fig. 7a: normalized power consumption per model.
+
+Benchmarks the full cold regeneration (15 platform simulations) once and
+checks the panel's qualitative shape.
+"""
+
+from repro.experiments.fig7 import fig7_series, render_fig7
+from repro.experiments.runner import ExperimentRunner
+
+
+def regenerate():
+    runner = ExperimentRunner()
+    return fig7_series(runner, "power")
+
+
+def test_bench_fig7_power(benchmark):
+    series = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print("\n" + render_fig7(series))
+
+    for model in series.normalized:
+        elec = series.bar(model, "2.5D-CrossLight-Elec")
+        siph = series.bar(model, "2.5D-CrossLight-SiPh")
+        # Photonic network power overhead: SiPh is the power-hungriest.
+        assert siph > elec
+    # ReSiPI keeps the small model comparatively cheap.
+    assert (
+        series.absolute["LeNet5"]["2.5D-CrossLight-SiPh"]
+        < series.absolute["VGG16"]["2.5D-CrossLight-SiPh"]
+    )

@@ -1,0 +1,37 @@
+"""E7 — Section VI headline ratios.
+
+Paper: "6.6x lower latency ... 2.8x lower energy-per-bit" vs monolithic
+CrossLight, and "34x lower latency and 15.8x lower EPB" vs the
+electrical interposer.  Bands (not exact values) are the reproduction
+criterion; see DESIGN.md section 4.
+"""
+
+from repro.experiments.calibration import shape_checks
+from repro.experiments.table3 import build_table3
+
+
+def test_bench_headline_ratios(benchmark, warm_runner):
+    table = benchmark(build_table3, warm_runner)
+    print(
+        f"\nlatency vs monolithic : {table.latency_gain_vs_monolithic:6.1f}x"
+        f"   (paper 6.6x)"
+        f"\nEPB     vs monolithic : {table.epb_gain_vs_monolithic:6.1f}x"
+        f"   (paper 2.8x)"
+        f"\nlatency vs electrical : {table.latency_gain_vs_electrical:6.1f}x"
+        f"   (paper 34x)"
+        f"\nEPB     vs electrical : {table.epb_gain_vs_electrical:6.1f}x"
+        f"   (paper 15.8x)"
+    )
+    assert 2.0 <= table.latency_gain_vs_monolithic <= 15.0
+    assert 1.5 <= table.epb_gain_vs_monolithic <= 6.0
+    assert 15.0 <= table.latency_gain_vs_electrical <= 70.0
+    assert 6.0 <= table.epb_gain_vs_electrical <= 35.0
+
+
+def test_bench_shape_checks(benchmark, warm_runner):
+    checks = benchmark(shape_checks, warm_runner)
+    print()
+    for check in checks:
+        status = "PASS" if check.passed else "FAIL"
+        print(f"[{status}] {check.claim}: {check.detail}")
+    assert all(check.passed for check in checks)

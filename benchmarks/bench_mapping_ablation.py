@@ -1,0 +1,33 @@
+"""E11 (extension) — mapping policy ablation: spillover vs strict.
+
+Quantifies the cost of pure kernel-matched heterogeneity: with strict
+matching, VGG16's 3x3-dominated workload is confined to the three 3x3
+chiplets and loses roughly 2x in latency.
+"""
+
+from repro.experiments.dse import mapping_ablation
+
+
+def regenerate():
+    return mapping_ablation(model_names=("ResNet50", "VGG16"))
+
+
+def test_bench_mapping_ablation(benchmark):
+    results = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+
+    print(f"\n{'mapping':<12}{'model':<12}{'latency(ms)':>14}{'power(W)':>10}")
+    print("-" * 48)
+    for (policy, model), result in sorted(results.items()):
+        print(f"{policy:<12}{model:<12}{result.latency_s * 1e3:>14.4f}"
+              f"{result.average_power_w:>10.2f}")
+
+    for model in ("ResNet50", "VGG16"):
+        spill = results[("spillover", model)]
+        strict = results[("strict", model)]
+        assert spill.latency_s <= strict.latency_s
+    # VGG16 (all 3x3 convs) suffers most from strict confinement.
+    vgg_penalty = (
+        results[("strict", "VGG16")].latency_s
+        / results[("spillover", "VGG16")].latency_s
+    )
+    assert vgg_penalty > 1.5

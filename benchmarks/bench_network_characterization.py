@@ -1,0 +1,36 @@
+"""E16 (extension) — open-loop latency-vs-load curves per fabric.
+
+Standard NoC characterisation: locates each interposer's saturation
+point under the DNN-like hotspot pattern, independent of any model.
+"""
+
+from repro.experiments.network_characterization import (
+    characterize_all,
+    render_characterization,
+)
+
+LOADS = (0.2e12, 0.5e12, 1e12, 2e12, 4e12)
+
+
+def regenerate():
+    return characterize_all(loads_bps=LOADS)
+
+
+def test_bench_network_characterization(benchmark):
+    curves = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print("\n" + render_characterization(curves))
+
+    # Saturation ordering: electrical << AWGR << photonic tree fabrics.
+    last = {kind: points[-1] for kind, points in curves.items()}
+    assert last["electrical"].throughput_tbps < last["awgr"].throughput_tbps
+    assert last["awgr"].throughput_tbps < (
+        last["photonic-resipi"].throughput_tbps
+    )
+    # ReSiPI tracks the static fabric's throughput within 15%.
+    assert last["photonic-resipi"].throughput_tbps >= (
+        0.85 * last["photonic-static"].throughput_tbps
+    )
+    # Every fabric is unsaturated at the lightest load except electrical.
+    first = {kind: points[0] for kind, points in curves.items()}
+    assert not first["photonic-static"].report.saturated
+    assert first["electrical"].report.saturated

@@ -1,0 +1,40 @@
+"""E15 (extension) — precision ladder on the photonic platform.
+
+From the paper's accelerator lineage: heterogeneous quantisation [22]
+and binarised networks [24]/[25] cut electro-optic interface cost.  At
+the platform level, lower precision shrinks interposer traffic and
+energy per inference.
+"""
+
+import pytest
+
+from repro.experiments.quantization_study import (
+    quantization_study,
+    render_quantization_study,
+)
+
+
+def regenerate():
+    return quantization_study("ResNet50")
+
+
+def test_bench_quantization_study(benchmark):
+    points = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print("\n" + render_quantization_study(points))
+
+    by_scheme = {point.scheme: point for point in points}
+    uniform8 = by_scheme["uniform-8b"]
+    uniform4 = by_scheme["uniform-4b"]
+    binary = by_scheme["binary (LightBulb-style)"]
+    hetero = by_scheme["heterogeneous-8/4b"]
+
+    # Traffic scales with precision.
+    assert uniform4.traffic_bits < uniform8.traffic_bits
+    assert binary.traffic_bits < uniform4.traffic_bits
+    assert (
+        uniform8.traffic_bits / uniform4.traffic_bits
+    ) == pytest.approx(2.0, rel=0.01)
+    # Heterogeneous sits between uniform-8 and uniform-4.
+    assert uniform4.traffic_bits < hetero.traffic_bits < uniform8.traffic_bits
+    # Energy per inference follows traffic down.
+    assert binary.result.total_energy_j < uniform8.result.total_energy_j

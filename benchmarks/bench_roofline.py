@@ -1,0 +1,41 @@
+"""E21 (extension) — roofline analysis of the platform crossovers.
+
+Explains the Fig. 7 shape from first principles: operational intensity
+(MACs per interposer bit) of each model against each platform's
+(peak compute, bandwidth) roofline.
+"""
+
+from repro.dnn import zoo
+from repro.dnn.workload import extract_workload
+from repro.experiments.roofline import (
+    platform_rooflines,
+    render_roofline,
+    roofline_analysis,
+)
+
+
+def regenerate():
+    workloads = {
+        name: extract_workload(zoo.build(name))
+        for name in zoo.MODEL_BUILDERS
+    }
+    return roofline_analysis(workloads)
+
+
+def test_bench_roofline(benchmark):
+    points = benchmark(regenerate)
+    print("\n" + render_roofline(points))
+
+    by_key = {(p.model, p.platform): p for p in points}
+    # The electrical interposer is memory-bound on every Table 2 model.
+    for model in zoo.MODEL_BUILDERS:
+        assert not by_key[(model, "2.5D-CrossLight-Elec")].compute_bound
+    # The photonic interposer turns the big CNNs compute-bound.
+    for model in ("ResNet50", "DenseNet121", "VGG16", "MobileNetV2"):
+        assert by_key[(model, "2.5D-CrossLight-SiPh")].compute_bound
+    # Ridge ordering mirrors the bandwidth ordering.
+    rooflines = platform_rooflines()
+    assert (
+        rooflines["2.5D-CrossLight-SiPh"].ridge_intensity_macs_per_bit
+        < rooflines["2.5D-CrossLight-Elec"].ridge_intensity_macs_per_bit
+    )

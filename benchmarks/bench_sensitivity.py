@@ -1,0 +1,24 @@
+"""E17 (extension) — sensitivity of the headline ratios.
+
+One-at-a-time perturbation of the documented calibration knobs; the
+paper's qualitative conclusions must hold at every grid point.
+"""
+
+from repro.experiments.sensitivity import (
+    DEFAULT_KNOBS,
+    render_sensitivity,
+    sensitivity_study,
+)
+
+
+def regenerate():
+    return sensitivity_study(knobs=DEFAULT_KNOBS)
+
+
+def test_bench_sensitivity(benchmark):
+    points = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print("\n" + render_sensitivity(points))
+
+    assert all(point.conclusions_hold for point in points)
+    # The grid covers all four knobs at three values each.
+    assert len(points) == sum(len(v) for v in DEFAULT_KNOBS.values())

@@ -1,0 +1,54 @@
+"""E12 (extension) — signal-integrity validation of the 64-lambda comb.
+
+Reproduces the physical reasoning behind Table 1's wavelength count:
+with second-order (flat-top) gateway filters and small-radius rings, the
+worst-case interposer path supports exactly 64 wavelengths at BER 1e-12;
+plain first-order rings support almost none — the crosstalk problem the
+paper's group addresses in [41].
+"""
+
+from repro.config import DEFAULT_PLATFORM
+from repro.interposer.photonic.links import swmr_read_budget
+from repro.interposer.topology import build_floorplan
+from repro.photonics.signal_integrity import (
+    interposer_filter_ring,
+    interposer_grid,
+    link_signal_report,
+    max_wavelengths_for_ber,
+)
+
+
+def regenerate():
+    floorplan = build_floorplan(DEFAULT_PLATFORM)
+    budget = swmr_read_budget(DEFAULT_PLATFORM, floorplan)
+    rows = []
+    for order in (1, 2):
+        for n_channels in (8, 16, 32, 64):
+            report = link_signal_report(
+                budget, interposer_grid(n_channels),
+                n_rings_passed=8, filter_order=order,
+            )
+            rows.append((order, n_channels, report))
+    return budget, rows
+
+
+def test_bench_signal_integrity(benchmark):
+    budget, rows = benchmark(regenerate)
+
+    print(f"\n{'filter order':<14}{'wavelengths':>12}{'Q':>8}{'BER':>12}")
+    print("-" * 46)
+    for order, n_channels, report in rows:
+        print(f"{order:<14}{n_channels:>12}{report.q_factor:>8.2f}"
+              f"{report.ber:>12.2e}")
+
+    ring = interposer_filter_ring()
+    max_order1 = max_wavelengths_for_ber(budget, ring, filter_order=1)
+    max_order2 = max_wavelengths_for_ber(budget, ring, filter_order=2)
+    print(f"\nmax wavelengths @ BER 1e-12: order-1 filters {max_order1}, "
+          f"order-2 filters {max_order2} (Table 1 uses 64)")
+
+    assert max_order2 == DEFAULT_PLATFORM.n_wavelengths
+    assert max_order1 < DEFAULT_PLATFORM.n_wavelengths
+    for order, n_channels, report in rows:
+        if order == 2:
+            assert report.meets_1e12

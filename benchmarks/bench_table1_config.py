@@ -1,0 +1,30 @@
+"""E1 — Table 1: modeling parameters.
+
+Regenerates the configuration table from the live platform config and
+checks every printed value against the paper.
+"""
+
+from repro.config import DEFAULT_PLATFORM
+from repro.experiments.tables import render_table1
+
+
+def test_bench_table1(benchmark):
+    text = benchmark(render_table1, DEFAULT_PLATFORM)
+    print("\n" + text)
+
+    # Paper values, verbatim from Table 1.
+    assert "12 Gb/s" in text
+    assert DEFAULT_PLATFORM.n_wavelengths == 64
+    assert DEFAULT_PLATFORM.n_memory_chiplets == 1
+    assert DEFAULT_PLATFORM.n_compute_chiplets == 8
+    assert DEFAULT_PLATFORM.electrical_link_width_bits == 128
+    census = {
+        (g.kind, g.n_chiplets, g.macs_per_chiplet, g.macs_per_gateway)
+        for g in DEFAULT_PLATFORM.mac_groups
+    }
+    assert census == {
+        ("dense100", 2, 4, 1),
+        ("7x7 conv", 1, 8, 2),
+        ("5x5 conv", 2, 16, 4),
+        ("3x3 conv", 3, 44, 11),
+    }

@@ -1,0 +1,23 @@
+"""E2 — Table 2: the DNN model census.
+
+Benchmarks building all five zoo models (shape inference + parameter
+accounting over every layer) and asserts the exact Table 2 counts.
+"""
+
+from repro.dnn import zoo
+from repro.experiments.tables import render_table2
+
+
+def build_all():
+    return [zoo.build(name) for name in zoo.MODEL_BUILDERS]
+
+
+def test_bench_table2(benchmark):
+    models = benchmark(build_all)
+    print("\n" + render_table2())
+
+    for model in models:
+        assert model.total_params == zoo.TABLE2_PARAMS[model.name]
+        conv, fc = zoo.TABLE2_LAYERS[model.name]
+        assert model.conv_layer_count == conv
+        assert model.fc_layer_count == fc

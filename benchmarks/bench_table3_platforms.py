@@ -1,0 +1,27 @@
+"""E6 — Table 3: average power, latency and EPB across ten platforms."""
+
+from repro.experiments.table3 import PAPER_TABLE3, build_table3, render_table3
+
+
+def test_bench_table3(benchmark, warm_runner):
+    table = benchmark(build_table3, warm_runner)
+    print("\n" + render_table3(table))
+
+    assert len(table.rows) == 10
+
+    # Literature rows are calibrated to the paper's operating points.
+    for name in ("Nvidia P100 GPU", "Intel 9282 CPU", "AMD 3970 CPU",
+                 "Edge TPU", "Null Hop", "Deap_CNN", "HolyLight"):
+        row = table.row(name)
+        paper_power, paper_latency, _ = PAPER_TABLE3[name]
+        assert row.power_w == paper_power
+        assert abs(row.latency_ms - paper_latency) / paper_latency < 0.05
+
+    # Simulated rows reproduce the paper's ordering.
+    siph = table.row("2.5D-CrossLight-SiPh")
+    elec = table.row("2.5D-CrossLight-Elec")
+    mono = table.row("CrossLight")
+    assert siph.latency_ms < mono.latency_ms < elec.latency_ms
+    assert elec.power_w < mono.power_w < siph.power_w
+    assert siph.epb_nj_per_bit == min(r.epb_nj_per_bit for r in table.rows)
+    assert siph.latency_ms == min(r.latency_ms for r in table.rows)

@@ -1,0 +1,27 @@
+"""Benchmark fixtures.
+
+Benchmarks regenerate every table and figure of the paper.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+The ``-s`` flag shows the regenerated tables alongside the timings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="session")
+def warm_runner() -> ExperimentRunner:
+    """A runner with the full evaluation matrix pre-simulated.
+
+    Benchmarks that only aggregate (Table 3 assembly, Fig. 7 panels)
+    measure the aggregation on this warm cache; benchmarks that measure
+    simulation cost build their own cold runners.
+    """
+    runner = ExperimentRunner()
+    runner.run_matrix()
+    return runner

@@ -1,0 +1,55 @@
+"""Design-space exploration of the 2.5D photonic platform.
+
+The paper's conclusions (Section VII) call for exploration of the number
+of wavelengths, gateways per chiplet, and the interposer control policy.
+This example runs all three sweeps on ResNet-50 and prints the resulting
+latency / power / energy-per-bit trade-offs.
+
+Run:  python examples/design_space_exploration.py        (~20 s)
+"""
+
+from repro.experiments.dse import (
+    controller_ablation,
+    mapping_ablation,
+    render_sweep,
+    sweep_gateways,
+    sweep_wavelengths,
+)
+
+
+def main():
+    print(render_sweep(
+        "Wavelengths per waveguide (ResNet50 on 2.5D-SiPh)",
+        sweep_wavelengths("ResNet50", values=(8, 16, 32, 64, 128)),
+    ))
+    print()
+    print(render_sweep(
+        "Gateways per compute chiplet (ResNet50 on 2.5D-SiPh)",
+        sweep_gateways("ResNet50", values=(1, 2, 4)),
+    ))
+    print()
+
+    print("Interposer control policy ablation")
+    print(f"{'policy':<12}{'model':<12}{'latency(ms)':>14}{'power(W)':>10}"
+          f"{'reconfigs':>10}")
+    print("-" * 58)
+    for (policy, model), result in sorted(
+        controller_ablation(model_names=("LeNet5", "ResNet50")).items()
+    ):
+        print(f"{policy:<12}{model:<12}{result.latency_s * 1e3:>14.4f}"
+              f"{result.average_power_w:>10.2f}"
+              f"{result.reconfigurations:>10d}")
+    print()
+
+    print("Mapping policy ablation (spillover vs strict kernel matching)")
+    print(f"{'mapping':<12}{'model':<12}{'latency(ms)':>14}{'power(W)':>10}")
+    print("-" * 48)
+    for (policy, model), result in sorted(
+        mapping_ablation(model_names=("ResNet50", "VGG16")).items()
+    ):
+        print(f"{policy:<12}{model:<12}{result.latency_s * 1e3:>14.4f}"
+              f"{result.average_power_w:>10.2f}")
+
+
+if __name__ == "__main__":
+    main()

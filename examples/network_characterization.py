@@ -1,0 +1,35 @@
+"""Characterise the four interposer fabrics with synthetic traffic.
+
+Sweeps offered load under the DNN-like hotspot pattern (every compute
+chiplet reading from the memory chiplet) and prints latency-vs-load and
+saturation for: the ReSiPI photonic fabric, the same fabric without
+reconfiguration, an AWGR all-to-all interposer, and the electrical mesh.
+
+Run:  python examples/network_characterization.py        (~10 s)
+"""
+
+from repro.experiments.network_characterization import (
+    characterize_all,
+    render_characterization,
+)
+
+
+def main():
+    loads = (0.1e12, 0.2e12, 0.5e12, 1e12, 2e12, 4e12)
+    curves = characterize_all(loads_bps=loads)
+    print(render_characterization(curves))
+
+    print()
+    print("Reading the curves:")
+    print(" * the photonic fabrics saturate at the HBM's 3.2 Tb/s —")
+    print("   the interposer itself is no longer the bottleneck;")
+    print(" * the AWGR caps at its fixed per-pair wavelength slices")
+    print("   (~0.67 Tb/s aggregate for the memory hub pattern);")
+    print(" * the electrical mesh saturates at the memory chiplet's")
+    print("   single injection port — the paper's 34x latency story;")
+    print(" * ReSiPI tracks the static fabric's throughput while paying")
+    print("   a small latency premium for gateway wake-up ramps.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Tour of the photonic device models and the interposer link budget.
+
+Walks the Section II device stack: microring spectra and weighting,
+WDM grid sizing against FSR and crosstalk, PCM coupler states, and the
+end-to-end SWMR/SWSR link budgets that set the interposer laser power.
+
+Run:  python examples/photonic_link_budget.py
+"""
+
+from repro.config import DEFAULT_PLATFORM
+from repro.interposer.photonic.links import (
+    swmr_read_budget,
+    swsr_write_budget,
+)
+from repro.interposer.topology import build_floorplan
+from repro.photonics import (
+    LaserSource,
+    MicroringResonator,
+    PCMCoupler,
+    PCMCState,
+    Photodetector,
+    WDMGrid,
+    max_channels_for_crosstalk,
+)
+
+
+def main():
+    ring = MicroringResonator()
+    print("Microring resonator (Q = {:.0f}, R = {:.0f} um)".format(
+        ring.quality_factor, ring.radius_m * 1e6))
+    print(f"  FWHM               : {ring.fwhm_m * 1e9:8.3f} nm")
+    print(f"  FSR                : {ring.free_spectral_range_m * 1e9:8.3f} nm")
+    print(f"  finesse            : {ring.finesse:8.1f}")
+    for weight in (1.0, 0.5, 0.1):
+        detuning = ring.detuning_for_weight(weight)
+        power = ring.weighting_power_w(weight)
+        print(f"  weight {weight:>4.1f} -> detune {detuning * 1e9:6.3f} nm, "
+              f"tuning power {power * 1e3:6.3f} mW")
+    print()
+
+    grid = WDMGrid(n_channels=DEFAULT_PLATFORM.n_wavelengths)
+    print(f"DWDM grid: {grid.n_channels} channels @ "
+          f"{grid.channel_spacing_hz / 1e9:.0f} GHz")
+    print(f"  span               : {grid.span_m * 1e9:8.2f} nm")
+    print(f"  fits in ring FSR   : {grid.fits_in_fsr(ring)}")
+    print(f"  adjacent crosstalk : "
+          f"{grid.worst_case_crosstalk_db(ring):8.2f} dB")
+    print(f"  max channels for -20 dB crosstalk within FSR: "
+          f"{max_channels_for_crosstalk(ring)}")
+    print()
+
+    pcmc = PCMCoupler()
+    print("PCM coupler (gateway activation switch)")
+    for state in PCMCState:
+        pcmc.state = state
+        print(f"  {state.value:<24} bar {pcmc.bar_fraction:5.3f}   "
+              f"cross {pcmc.cross_fraction:5.3f}")
+    energy, time = PCMCoupler().activate()
+    print(f"  switching cost: {energy * 1e9:.0f} nJ, {time * 1e6:.1f} us, "
+          f"zero static hold power")
+    print()
+
+    floorplan = build_floorplan(DEFAULT_PLATFORM)
+    detector = Photodetector()
+    laser = LaserSource.off_chip()
+    read = swmr_read_budget(DEFAULT_PLATFORM, floorplan)
+    print("SWMR read channel budget (memory -> farthest compute reader)")
+    for name, loss in read.breakdown().items():
+        print(f"  {name:<24}{loss:8.3f} dB")
+    print(f"  {'TOTAL':<24}{read.total_loss_db:8.3f} dB")
+    per_lambda = read.required_on_chip_power_w(detector)
+    electrical = read.required_laser_electrical_power_w(
+        laser, detector, DEFAULT_PLATFORM.n_wavelengths
+    )
+    print(f"  per-wavelength on-chip laser power : "
+          f"{per_lambda * 1e6:8.2f} uW")
+    print(f"  laser electrical power (64 lambda) : "
+          f"{electrical * 1e3:8.2f} mW")
+    print()
+
+    write = swsr_write_budget(DEFAULT_PLATFORM, floorplan, "3x3 conv-0")
+    print(f"SWSR write channel ('3x3 conv-0' -> memory): "
+          f"{write.total_loss_db:.2f} dB total")
+
+
+if __name__ == "__main__":
+    main()

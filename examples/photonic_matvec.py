@@ -1,0 +1,62 @@
+"""Functional demo: analog inference through the photonic MAC models.
+
+The MAC unit model is not just a performance abstraction — it computes
+numerically through the device transfer functions (quantised DACs,
+Lorentzian microring weighting, photodetector accumulation).  This
+example runs a tiny two-layer classifier through a 3x3-conv-sized MAC
+unit (9 lanes, chunked channel-major) and compares the analog result
+against exact floating-point inference.
+
+Run:  python examples/photonic_matvec.py
+"""
+
+import numpy as np
+
+from repro.core.mac_unit import MacUnitSpec, PhotonicMacUnit
+
+
+def relu(x):
+    return np.maximum(x, 0.0)
+
+
+def main():
+    rng = np.random.default_rng(2023)
+    # A small dense network: 16 -> 12 -> 4, weights in [-1, 1].
+    w1 = rng.uniform(-1, 1, (12, 16))
+    w2 = rng.uniform(-1, 1, (4, 12))
+    x = rng.uniform(0, 1, 16)
+
+    # Exact digital reference.
+    h_ref = relu(w1 @ x)
+    y_ref = w2 @ h_ref
+
+    # Photonic execution on one 9-lane unit (dots chunked into <=9 lanes,
+    # partial sums accumulated electronically, as the tiler counts).
+    unit = PhotonicMacUnit(MacUnitSpec(vector_length=9, kernel_size=3))
+    h_analog = relu(unit.matvec(w1, x))
+    # Activations can exceed 1 after accumulation; rescale into the
+    # modulator's dynamic range, compute, and scale back.
+    scale = max(1.0, float(np.max(np.abs(h_analog))))
+    y_analog = unit.matvec(w2, h_analog / scale) * scale
+
+    print(f"{'output':<8}{'digital':>12}{'photonic':>12}{'error':>10}")
+    print("-" * 42)
+    for index, (ref, analog) in enumerate(zip(y_ref, y_analog)):
+        print(f"y[{index}]    {ref:>12.4f}{analog:>12.4f}"
+              f"{abs(ref - analog):>10.4f}")
+
+    rms = float(np.sqrt(np.mean((y_ref - y_analog) ** 2)))
+    print(f"\nRMS error: {rms:.4f} "
+          f"(8-bit DACs/ADC, Lorentzian ring weighting)")
+
+    ops = unit.spec.ops_per_second
+    energy = unit.energy_per_vector_op_j()
+    print(f"unit throughput: {ops / 1e9:.1f} GMAC/s at "
+          f"{unit.spec.mac_rate_hz / 1e9:.0f} GHz, "
+          f"{energy * 1e12:.1f} pJ per vector pass")
+
+    assert rms < 0.2, "analog inference diverged from digital reference"
+
+
+if __name__ == "__main__":
+    main()

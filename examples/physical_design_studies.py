@@ -1,0 +1,96 @@
+"""Physical-design studies: signal integrity, variation, thermal, PAM-4.
+
+Four device-level analyses that close the loop between the architecture
+(Table 1) and the photonics underneath it:
+
+1. why 64 wavelengths need second-order gateway filters (crosstalk/BER),
+2. what process variation costs in trimming power, per die,
+3. the thermal trimming fixed point of each chiplet class,
+4. whether PAM-4 signalling would beat OOK on the interposer links.
+
+Run:  python examples/physical_design_studies.py
+"""
+
+from repro.config import DEFAULT_PLATFORM
+from repro.core.accuracy import model_accuracy_report, worst_layer
+from repro.dnn import zoo
+from repro.dnn.workload import extract_workload
+from repro.interposer.photonic.links import swmr_read_budget
+from repro.interposer.topology import build_floorplan
+from repro.photonics import (
+    TuningMechanism,
+    interposer_grid,
+    link_signal_report,
+    max_wavelengths_for_ber,
+    pam4_tradeoff,
+    platform_trimming_power_w,
+    thermal_operating_point,
+    trimming_report,
+)
+
+
+def main():
+    floorplan = build_floorplan(DEFAULT_PLATFORM)
+    budget = swmr_read_budget(DEFAULT_PLATFORM, floorplan)
+
+    print("1. Signal integrity of the 64-wavelength comb")
+    for order in (1, 2):
+        report = link_signal_report(
+            budget, interposer_grid(64), n_rings_passed=8,
+            filter_order=order,
+        )
+        print(f"   order-{order} gateway filters: Q = {report.q_factor:5.2f},"
+              f" BER = {report.ber:.2e}"
+              f" {'(closes)' if report.meets_1e12 else '(fails)'}")
+    print(f"   max comb @ BER 1e-12 with order-2 filters: "
+          f"{max_wavelengths_for_ber(budget, filter_order=2)} wavelengths "
+          f"(Table 1 uses {DEFAULT_PLATFORM.n_wavelengths})")
+    print()
+
+    print("2. Process-variation trimming cost")
+    bank = trimming_report(2 * 44 * 9, TuningMechanism.THERMO_OPTIC)
+    print(f"   one 3x3 chiplet's MAC rings ({bank.n_rings} rings): "
+          f"{bank.total_power_w:.2f} W thermal trimming, "
+          f"{bank.fsr_hop_fraction:.1%} of rings lock to the next FSR")
+    per_die = platform_trimming_power_w(
+        {f"3x3 conv-{i}": 792 for i in range(3)}
+    )
+    for die, power in per_die.items():
+        print(f"   {die}: {power:.2f} W")
+    print()
+
+    print("3. Thermal closure per chiplet class")
+    for name, (power, rings) in {
+        "3x3 conv chiplet": (6.0, 792),
+        "dense100 chiplet": (5.0, 800),
+        "memory MRG stack": (8.0, 2560),
+    }.items():
+        point = thermal_operating_point(power, rings)
+        print(f"   {name:<18} rise {point.temperature_rise_k:5.2f} K, "
+              f"drift {point.resonance_drift_nm:5.3f} nm, "
+              f"extra trimming {point.thermal_trimming_power_w:5.3f} W")
+    print()
+
+    print("4. PAM-4 vs OOK on the SWMR read channel")
+    trade = pam4_tradeoff(budget)
+    print(f"   OOK : {trade.ook.data_rate_bps / 1e9:6.0f} Gb/s, "
+          f"{trade.ook.energy_per_bit_j * 1e12:5.2f} pJ/bit")
+    print(f"   PAM4: {trade.pam4.data_rate_bps / 1e9:6.0f} Gb/s, "
+          f"{trade.pam4.energy_per_bit_j * 1e12:5.2f} pJ/bit "
+          f"({trade.laser_power_ratio:.1f}x laser power)")
+    print(f"   PAM-4 wins energy per bit: {trade.pam4_wins_energy}")
+    print()
+
+    print("5. Analog accuracy of the MAC datapath (LeNet5, 8-bit)")
+    report = model_accuracy_report(extract_workload(zoo.build("LeNet5")))
+    for entry in report:
+        print(f"   {entry.name:<8} dot length {entry.dot_length:>5}: "
+              f"{entry.snr_db:5.1f} dB SNR "
+              f"({entry.effective_bits:.1f} effective bits)")
+    limiting = worst_layer(report)
+    print(f"   accuracy-limiting layer: {limiting.name} "
+          f"({limiting.effective_bits:.1f} effective bits)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Quickstart: simulate one DNN inference on the three platforms.
+
+Builds LeNet-5 from the model zoo, runs it through the monolithic
+CrossLight baseline, the 2.5D electrical-interposer variant, and the
+proposed 2.5D silicon-photonic platform, then prints the comparison and
+the photonic platform's per-layer timeline.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    CrossLight25DElec,
+    CrossLight25DSiPh,
+    MonolithicCrossLight,
+)
+from repro.dnn import zoo
+
+
+def main():
+    model = zoo.build("LeNet5")
+    print(model.summary())
+    print()
+
+    header = (
+        f"{'platform':<28}{'model':<14}{'power':>11}{'latency':>14}"
+        f"{'EPB':>12}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    results = {}
+    for platform_cls in (MonolithicCrossLight, CrossLight25DElec,
+                         CrossLight25DSiPh):
+        platform = platform_cls()
+        result = platform.run_model(model)
+        results[result.platform] = result
+        print(result.summary_row())
+
+    siph = results["2.5D-CrossLight-SiPh"]
+    print()
+    print("2.5D-CrossLight-SiPh per-layer timeline:")
+    print(f"{'layer':<10}{'start(us)':>12}{'end(us)':>12}{'chiplets':<40}")
+    for timing in siph.layer_timeline:
+        chiplets = ", ".join(timing.chiplets)
+        print(
+            f"{timing.name:<10}{timing.start_s * 1e6:>12.3f}"
+            f"{timing.end_s * 1e6:>12.3f}  {chiplets:<40}"
+        )
+    print()
+    print(
+        f"ReSiPI reconfigured the interposer {siph.reconfigurations} times "
+        f"during this inference."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Reproduce every evaluation artefact of the paper in one run.
+
+Regenerates Table 1, Table 2, Fig. 7 (all three panels) and Table 3 with
+the headline ratios, then prints the calibration report comparing each
+measured value against the paper's and checking every qualitative claim.
+
+Run:  python examples/reproduce_paper.py        (~10 s)
+"""
+
+from repro.experiments import (
+    ExperimentRunner,
+    calibration_report,
+    fig7_all,
+    render_fig7,
+    render_table1,
+    render_table2,
+)
+
+
+def main():
+    print(render_table1())
+    print()
+    print(render_table2())
+    print()
+
+    runner = ExperimentRunner()
+    for panel in fig7_all(runner).values():
+        print(render_fig7(panel))
+        print()
+
+    print(calibration_report(runner))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""repro: reproduction of "Machine Learning Accelerators in 2.5D Chiplet
+Platforms with Silicon Photonics" (DATE 2023).
+
+Public API highlights:
+
+* :mod:`repro.dnn` — DNN model descriptions and the Table 2 zoo.
+* :mod:`repro.photonics` — silicon-photonic device models.
+* :mod:`repro.core` — the accelerator platforms (monolithic CrossLight,
+  2.5D electrical, 2.5D photonic with ReSiPI).
+* :mod:`repro.experiments` — regenerators for every table and figure.
+"""
+
+from .config import DEFAULT_PLATFORM, PlatformConfig
+from .core import (
+    CrossLight25DElec,
+    CrossLight25DSiPh,
+    InferenceResult,
+    MonolithicCrossLight,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_PLATFORM",
+    "PlatformConfig",
+    "CrossLight25DElec",
+    "CrossLight25DSiPh",
+    "MonolithicCrossLight",
+    "InferenceResult",
+    "__version__",
+]

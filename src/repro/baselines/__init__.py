@@ -1,0 +1,25 @@
+"""Analytic models of Table 3's literature comparison platforms."""
+
+from .platforms import (
+    AMD_3970,
+    DEAP_CNN,
+    EDGE_TPU,
+    HOLYLIGHT,
+    INTEL_9282,
+    LITERATURE_PLATFORMS,
+    NULLHOP,
+    NVIDIA_P100,
+    BaselinePlatform,
+)
+
+__all__ = [
+    "AMD_3970",
+    "DEAP_CNN",
+    "EDGE_TPU",
+    "HOLYLIGHT",
+    "INTEL_9282",
+    "LITERATURE_PLATFORMS",
+    "NULLHOP",
+    "NVIDIA_P100",
+    "BaselinePlatform",
+]

@@ -1,0 +1,193 @@
+"""Command-line interface.
+
+Exposes the experiment drivers without writing Python::
+
+    python -m repro table1                 # print Table 1
+    python -m repro table2                 # print Table 2
+    python -m repro fig7 --metric latency  # one Fig. 7 panel
+    python -m repro table3                 # Table 3 + headline ratios
+    python -m repro calibrate              # full paper-vs-measured report
+    python -m repro run --model ResNet50 --platform siph --batch 4
+    python -m repro dse --sweep wavelengths
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .config import DEFAULT_PLATFORM
+from .core.accelerator import (
+    CrossLight25DAWGR,
+    CrossLight25DElec,
+    CrossLight25DSiPh,
+    MonolithicCrossLight,
+)
+from .dnn import zoo
+
+PLATFORM_ALIASES = {
+    "mono": MonolithicCrossLight,
+    "crosslight": MonolithicCrossLight,
+    "elec": CrossLight25DElec,
+    "siph": CrossLight25DSiPh,
+    "awgr": CrossLight25DAWGR,
+}
+
+
+def _cmd_table1(_: argparse.Namespace) -> int:
+    from .experiments.tables import render_table1
+
+    print(render_table1(DEFAULT_PLATFORM))
+    return 0
+
+
+def _cmd_table2(_: argparse.Namespace) -> int:
+    from .experiments.tables import render_table2
+
+    print(render_table2())
+    return 0
+
+
+def _cmd_fig7(args: argparse.Namespace) -> int:
+    from .experiments.fig7 import METRICS, fig7_series, render_fig7
+    from .experiments.runner import ExperimentRunner
+
+    runner = ExperimentRunner()
+    metrics = [args.metric] if args.metric else list(METRICS)
+    for metric in metrics:
+        print(render_fig7(fig7_series(runner, metric)))
+        print()
+    return 0
+
+
+def _cmd_table3(_: argparse.Namespace) -> int:
+    from .experiments.table3 import build_table3, render_table3
+
+    print(render_table3(build_table3()))
+    return 0
+
+
+def _cmd_calibrate(_: argparse.Namespace) -> int:
+    from .experiments.calibration import calibration_report, shape_checks
+
+    print(calibration_report())
+    failed = [check for check in shape_checks() if not check.passed]
+    return 1 if failed else 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    platform_cls = PLATFORM_ALIASES[args.platform]
+    if args.platform == "siph":
+        platform = platform_cls(controller=args.controller)
+    else:
+        platform = platform_cls()
+    model = zoo.build(args.model)
+    result = platform.run_model(model, batch_size=args.batch)
+    print(result.summary_row())
+    print(f"batch {result.batch_size}: "
+          f"{result.latency_per_inference_s * 1e3:.4f} ms/image, "
+          f"{result.throughput_inferences_per_s:.1f} inferences/s, "
+          f"{result.total_energy_j * 1e3:.3f} mJ total")
+    if args.timeline:
+        print(f"\n{'layer':<28}{'start(us)':>12}{'end(us)':>12}")
+        for timing in result.layer_timeline:
+            print(f"{timing.name:<28}{timing.start_s * 1e6:>12.2f}"
+                  f"{timing.end_s * 1e6:>12.2f}")
+    return 0
+
+
+def _cmd_dse(args: argparse.Namespace) -> int:
+    from .experiments import dse
+    from .experiments.quantization_study import (
+        quantization_study,
+        render_quantization_study,
+    )
+
+    if args.sweep == "wavelengths":
+        print(dse.render_sweep(
+            "wavelength sweep", dse.sweep_wavelengths(args.model)
+        ))
+    elif args.sweep == "gateways":
+        print(dse.render_sweep(
+            "gateway sweep", dse.sweep_gateways(args.model)
+        ))
+    elif args.sweep == "controllers":
+        results = dse.controller_ablation(model_names=(args.model,))
+        for (policy, model), result in sorted(results.items()):
+            print(f"{policy:<10}{model:<14}{result.latency_s * 1e3:10.4f} ms"
+                  f"{result.average_power_w:9.2f} W")
+    elif args.sweep == "mapping":
+        results = dse.mapping_ablation(model_names=(args.model,))
+        for (policy, model), result in sorted(results.items()):
+            print(f"{policy:<10}{model:<14}{result.latency_s * 1e3:10.4f} ms"
+                  f"{result.average_power_w:9.2f} W")
+    else:  # quantization
+        print(render_quantization_study(quantization_study(args.model)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Machine Learning Accelerators in 2.5D "
+            "Chiplet Platforms with Silicon Photonics' (DATE 2023)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print Table 1").set_defaults(
+        func=_cmd_table1
+    )
+    sub.add_parser("table2", help="print Table 2").set_defaults(
+        func=_cmd_table2
+    )
+
+    fig7 = sub.add_parser("fig7", help="regenerate Fig. 7 panels")
+    fig7.add_argument("--metric", choices=("power", "latency", "epb"),
+                      default=None, help="one panel (default: all three)")
+    fig7.set_defaults(func=_cmd_fig7)
+
+    sub.add_parser(
+        "table3", help="regenerate Table 3 + headline ratios"
+    ).set_defaults(func=_cmd_table3)
+    sub.add_parser(
+        "calibrate", help="paper-vs-measured report with shape checks"
+    ).set_defaults(func=_cmd_calibrate)
+
+    run = sub.add_parser("run", help="simulate one model on one platform")
+    run.add_argument("--model", choices=tuple(zoo.MODEL_BUILDERS),
+                     default="ResNet50")
+    run.add_argument("--platform", choices=tuple(PLATFORM_ALIASES),
+                     default="siph")
+    run.add_argument("--controller",
+                     choices=("resipi", "prowaves", "static"),
+                     default="resipi",
+                     help="interposer policy (siph platform only)")
+    run.add_argument("--batch", type=int, default=1)
+    run.add_argument("--timeline", action="store_true",
+                     help="print the per-layer timeline")
+    run.set_defaults(func=_cmd_run)
+
+    dse = sub.add_parser("dse", help="design-space exploration sweeps")
+    dse.add_argument("--sweep",
+                     choices=("wavelengths", "gateways", "controllers",
+                              "mapping", "quantization"),
+                     default="wavelengths")
+    dse.add_argument("--model", choices=tuple(zoo.MODEL_BUILDERS),
+                     default="ResNet50")
+    dse.set_defaults(func=_cmd_dse)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

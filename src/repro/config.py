@@ -1,0 +1,261 @@
+"""Architecture configurations.
+
+:class:`PlatformConfig` and its helpers encode the paper's Table 1
+exactly, plus the additional parameters the evaluation needs (monolithic
+CrossLight baseline configuration, electrical-interposer signalling
+derating, memory bandwidths).  Everything is a frozen dataclass so that
+experiment sweeps build modified copies via ``dataclasses.replace``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .errors import ConfigurationError
+from .units import GIGA
+
+# ---------------------------------------------------------------------------
+# MAC chiplet groups (Table 1, lower half).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MacGroupConfig:
+    """One row-group of Table 1: a class of compute chiplets.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable kind ("3x3 conv", "dense100", ...).
+    vector_length:
+        Dot-product lanes per MAC unit (k*k for k x k conv units; 100 for
+        the dense units).
+    kernel_size:
+        Native spatial kernel edge (0 marks dense units).
+    n_chiplets / macs_per_chiplet / macs_per_gateway:
+        Directly from Table 1.
+    """
+
+    kind: str
+    vector_length: int
+    kernel_size: int
+    n_chiplets: int
+    macs_per_chiplet: int
+    macs_per_gateway: int
+
+    def __post_init__(self) -> None:
+        if self.vector_length < 1:
+            raise ConfigurationError("vector length must be >= 1")
+        if self.n_chiplets < 1 or self.macs_per_chiplet < 1:
+            raise ConfigurationError("chiplet/MAC counts must be >= 1")
+        if self.macs_per_chiplet % self.macs_per_gateway:
+            raise ConfigurationError(
+                f"{self.kind}: MACs per chiplet ({self.macs_per_chiplet}) "
+                f"must divide evenly into gateways "
+                f"({self.macs_per_gateway} per gateway)"
+            )
+
+    @property
+    def gateways_per_chiplet(self) -> int:
+        """Gateways on each chiplet of this group."""
+        return self.macs_per_chiplet // self.macs_per_gateway
+
+    @property
+    def total_macs(self) -> int:
+        """MAC units across all chiplets of the group."""
+        return self.n_chiplets * self.macs_per_chiplet
+
+    @property
+    def total_lanes(self) -> int:
+        """Dot-product lanes across all chiplets of the group."""
+        return self.total_macs * self.vector_length
+
+
+TABLE1_MAC_GROUPS: tuple[MacGroupConfig, ...] = (
+    MacGroupConfig(
+        kind="dense100",
+        vector_length=100,
+        kernel_size=0,
+        n_chiplets=2,
+        macs_per_chiplet=4,
+        macs_per_gateway=1,
+    ),
+    MacGroupConfig(
+        kind="7x7 conv",
+        vector_length=49,
+        kernel_size=7,
+        n_chiplets=1,
+        macs_per_chiplet=8,
+        macs_per_gateway=2,
+    ),
+    MacGroupConfig(
+        kind="5x5 conv",
+        vector_length=25,
+        kernel_size=5,
+        n_chiplets=2,
+        macs_per_chiplet=16,
+        macs_per_gateway=4,
+    ),
+    MacGroupConfig(
+        kind="3x3 conv",
+        vector_length=9,
+        kernel_size=3,
+        n_chiplets=3,
+        macs_per_chiplet=44,
+        macs_per_gateway=11,
+    ),
+)
+"""The compute-chiplet inventory exactly as printed in Table 1."""
+
+
+# ---------------------------------------------------------------------------
+# Platform-level configuration (Table 1, upper half + modelling knobs).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """Full configuration of the 2.5D platform and its baselines."""
+
+    # --- Table 1, upper half -------------------------------------------------
+    wavelength_data_rate_bps: float = 12 * GIGA
+    gateway_frequency_hz: float = 2 * GIGA
+    electrical_link_width_bits: int = 128
+    electrical_noc_frequency_hz: float = 2 * GIGA
+    n_wavelengths: int = 64
+    n_memory_chiplets: int = 1
+    mac_groups: tuple[MacGroupConfig, ...] = TABLE1_MAC_GROUPS
+
+    # --- photonic interposer -------------------------------------------------
+    n_memory_write_gateways: int = 8
+    """SWMR broadcast channels sourced by the memory chiplet (reads)."""
+    n_memory_read_gateways: int = 32
+    """MRG filter rows on the memory chiplet (one per compute writer)."""
+    resipi_epoch_s: float = 1e-6
+    """ReSiPI traffic-monitoring epoch length."""
+    gateway_conversion_latency_s: float = 10e-9
+    """O/E/O + buffering latency through a gateway pair (write + read)."""
+    gateway_protocol_overhead_s: float = 150e-9
+    """Per-message protocol cost on the photonic interposer: SWMR
+    reader-select arbitration, filter-row retuning and OOK frame sync.
+    Negligible for megabit transfers, dominant for tiny models — the
+    source of the paper's LeNet5 overhead observation."""
+
+    # --- memory system ---------------------------------------------------------
+    hbm_internal_bandwidth_bps: float = 3.2e12
+    """Aggregate internal bandwidth of the HBM memory chiplet (b/s)."""
+
+    # --- MAC timing --------------------------------------------------------------
+    mac_rate_hz: float = 2 * GIGA
+    """Vector operations per second per MAC unit (gateway-clock fed)."""
+
+    # --- electrical interposer baseline ---------------------------------------------
+    mesh_link_efficiency: float = 0.10
+    """Effective fraction of the raw 128 bit x 2 GHz link rate achieved on
+    the passive electrical interposer.  Long unrepeated interposer traces
+    cannot be clocked pipelined at the on-chiplet rate; this derating is
+    the calibration knob for the electrical baseline (see DESIGN.md)."""
+    mesh_router_latency_s: float = 2e-9
+    """Per-hop router traversal latency."""
+    mesh_wire_latency_s_per_mm: float = 0.15e-9
+    """Per-mm interposer trace latency."""
+    chiplet_pitch_mm: float = 8.0
+    """Center-to-center spacing of adjacent chiplets on the interposer."""
+
+    # --- monolithic CrossLight baseline ----------------------------------------------
+    mono_n_vdp_units: int = 16
+    mono_vector_length: int = 64
+    mono_mac_rate_hz: float = 1 * GIGA
+    mono_noc_bandwidth_bps: float = 1.28e12
+    """Global on-chip NoC feeding the VDP units (512 bits @ 2.5 GHz)."""
+    mono_dram_bandwidth_bps: float = 0.2e12
+    """Off-chip DRAM weight-streaming bandwidth of the single-chip design."""
+    mono_die_edge_mm: float = 20.0
+    """Monolithic die edge; sets its on-chip waveguide lengths."""
+
+    def __post_init__(self) -> None:
+        if self.n_wavelengths < 1:
+            raise ConfigurationError("need at least one wavelength")
+        if self.wavelength_data_rate_bps <= 0:
+            raise ConfigurationError("data rate must be positive")
+        if not 0.0 < self.mesh_link_efficiency <= 1.0:
+            raise ConfigurationError(
+                "mesh link efficiency must be in (0, 1], got "
+                f"{self.mesh_link_efficiency}"
+            )
+        if not self.mac_groups:
+            raise ConfigurationError("at least one MAC group is required")
+
+    # -- derived quantities ------------------------------------------------------
+
+    @property
+    def n_compute_chiplets(self) -> int:
+        """Total compute chiplets (Table 1: 8)."""
+        return sum(group.n_chiplets for group in self.mac_groups)
+
+    @property
+    def n_chiplets(self) -> int:
+        """All chiplets including memory."""
+        return self.n_compute_chiplets + self.n_memory_chiplets
+
+    @property
+    def gateway_bandwidth_bps(self) -> float:
+        """Aggregate bandwidth of one gateway's wavelength comb (b/s)."""
+        return self.n_wavelengths * self.wavelength_data_rate_bps
+
+    @property
+    def total_compute_gateways(self) -> int:
+        """Writer/reader gateway pairs across all compute chiplets."""
+        return sum(
+            group.n_chiplets * group.gateways_per_chiplet
+            for group in self.mac_groups
+        )
+
+    @property
+    def total_mac_units(self) -> int:
+        """All MAC units on the platform."""
+        return sum(group.total_macs for group in self.mac_groups)
+
+    @property
+    def total_mac_lanes(self) -> int:
+        """All dot-product lanes on the platform."""
+        return sum(group.total_lanes for group in self.mac_groups)
+
+    @property
+    def peak_mac_throughput_per_s(self) -> float:
+        """Peak platform MAC rate (multiply-accumulates per second)."""
+        return self.total_mac_lanes * self.mac_rate_hz
+
+    @property
+    def mesh_link_bandwidth_bps(self) -> float:
+        """Raw electrical mesh link bandwidth (b/s)."""
+        return self.electrical_link_width_bits * self.electrical_noc_frequency_hz
+
+    @property
+    def mesh_effective_link_bandwidth_bps(self) -> float:
+        """Derated electrical interposer link bandwidth (b/s)."""
+        return self.mesh_link_bandwidth_bps * self.mesh_link_efficiency
+
+    @property
+    def mono_peak_mac_throughput_per_s(self) -> float:
+        """Monolithic CrossLight peak MAC rate."""
+        return (
+            self.mono_n_vdp_units
+            * self.mono_vector_length
+            * self.mono_mac_rate_hz
+        )
+
+    def group_by_kind(self, kind: str) -> MacGroupConfig:
+        """Look up a MAC group by its kind string."""
+        for group in self.mac_groups:
+            if group.kind == kind:
+                return group
+        raise ConfigurationError(f"no MAC group of kind {kind!r}")
+
+    def with_wavelengths(self, n: int) -> "PlatformConfig":
+        """Copy of this config with a different wavelength count (DSE)."""
+        return replace(self, n_wavelengths=n)
+
+
+DEFAULT_PLATFORM = PlatformConfig()
+"""The paper's Table 1 configuration."""

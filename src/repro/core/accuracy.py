@@ -1,0 +1,148 @@
+"""Analytical accuracy model of the analog photonic datapath.
+
+The photonic MAC pipeline introduces error at three points: DAC
+quantisation of activations and weights, the Lorentzian weighting round
+trip, and ADC quantisation of the accumulated sum.  This module derives
+the expected signal-to-noise ratio of a dot product analytically and
+checks out (in ``tests/test_accuracy.py``) against Monte-Carlo runs of
+the functional :class:`~repro.core.mac_unit.PhotonicMacUnit` — closing
+the loop between the statistical model and the device-level simulation.
+
+The per-layer SNR estimates feed a simple accuracy proxy: layers whose
+dot-product SNR falls below ~6 effective bits are where binarised /
+low-precision photonic accelerators ([24], [25]) start losing model
+accuracy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..dnn.workload import InferenceWorkload, LayerWorkload
+from ..errors import ConfigurationError
+from .mac_unit import MacUnitSpec
+
+
+@dataclass(frozen=True)
+class DotProductSNR:
+    """Predicted analog fidelity of one dot-product shape."""
+
+    dot_length: int
+    signal_power: float
+    noise_power: float
+
+    @property
+    def snr(self) -> float:
+        if self.noise_power <= 0:
+            return math.inf
+        return self.signal_power / self.noise_power
+
+    @property
+    def snr_db(self) -> float:
+        return 10.0 * math.log10(self.snr)
+
+    @property
+    def effective_bits(self) -> float:
+        """Equivalent converter resolution: (SNR_dB - 1.76) / 6.02."""
+        return (self.snr_db - 1.76) / 6.02
+
+
+def dot_product_snr(dot_length: int, spec: MacUnitSpec) -> DotProductSNR:
+    """Analytical SNR of a length-``dot_length`` dot product.
+
+    Operands are modelled as i.i.d. uniform on [0, 1] (magnitude rails).
+
+    * Signal: ``E[(sum a_i w_i)^2]`` for uniform operands.
+    * DAC noise: each product carries two quantisation errors of
+      variance ``delta^2 / 12`` scaled by the other operand's power;
+      independent across lanes, so variances add.
+    * ADC noise: one quantisation of the result at full scale
+      ``dot_length`` (chunked execution re-quantises per chunk; the
+      chunk count is ceil(L / v), each at full scale v).
+    """
+    if dot_length < 1:
+        raise ConfigurationError("dot length must be >= 1")
+    length = float(dot_length)
+
+    # E[a^2] = 1/3 for U(0,1); E[a]=1/2.
+    # Signal power of the sum: L*Var(aw) + (L*E[aw])^2 with E[aw]=1/4.
+    e_prod_sq = (1.0 / 3.0) ** 2
+    e_prod = 0.25
+    signal = length * (e_prod_sq - e_prod ** 2) + (length * e_prod) ** 2
+
+    dac_delta = 1.0 / ((1 << spec.dac_bits) - 1)
+    per_lane_dac_noise = 2.0 * (dac_delta ** 2 / 12.0) * (1.0 / 3.0)
+    dac_noise = length * per_lane_dac_noise
+
+    # Chunked ADC re-quantisation: ceil(L/v) conversions at full scale v.
+    chunk = min(dot_length, spec.vector_length)
+    n_chunks = math.ceil(dot_length / spec.vector_length)
+    adc_delta = chunk / ((1 << spec.adc_bits) - 1)
+    adc_noise = n_chunks * adc_delta ** 2 / 12.0
+
+    return DotProductSNR(
+        dot_length=dot_length,
+        signal_power=signal,
+        noise_power=dac_noise + adc_noise,
+    )
+
+
+@dataclass(frozen=True)
+class LayerAccuracy:
+    """Per-layer analog fidelity record."""
+
+    name: str
+    dot_length: int
+    snr_db: float
+    effective_bits: float
+
+
+def model_accuracy_report(
+    workload: InferenceWorkload,
+    spec: MacUnitSpec | None = None,
+) -> list[LayerAccuracy]:
+    """Per-layer SNR of a whole model on a given MAC unit design."""
+    spec = spec or MacUnitSpec(vector_length=9)
+    report = []
+    for layer in workload:
+        estimate = dot_product_snr(layer.dot_length, spec)
+        report.append(
+            LayerAccuracy(
+                name=layer.name,
+                dot_length=layer.dot_length,
+                snr_db=estimate.snr_db,
+                effective_bits=estimate.effective_bits,
+            )
+        )
+    return report
+
+
+def worst_layer(report: list[LayerAccuracy]) -> LayerAccuracy:
+    """The accuracy-limiting layer (lowest SNR)."""
+    if not report:
+        raise ConfigurationError("empty accuracy report")
+    return min(report, key=lambda entry: entry.snr_db)
+
+
+def min_dac_bits_for_effective_bits(
+    dot_length: int,
+    target_effective_bits: float,
+    adc_bits: int = 8,
+    vector_length: int = 9,
+) -> int:
+    """Smallest DAC resolution achieving a target effective resolution.
+
+    The co-design question of [22]: how low can per-layer precision go
+    before the analog chain (not the algorithm) becomes the limit.
+    """
+    for dac_bits in range(1, 17):
+        spec = MacUnitSpec(vector_length=vector_length, dac_bits=dac_bits,
+                           adc_bits=adc_bits)
+        estimate = dot_product_snr(dot_length, spec)
+        if estimate.effective_bits >= target_effective_bits:
+            return dac_bits
+    raise ConfigurationError(
+        f"no DAC resolution reaches {target_effective_bits} effective bits "
+        f"for dot length {dot_length}"
+    )

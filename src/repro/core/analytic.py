@@ -1,0 +1,142 @@
+"""Closed-form analytic performance model.
+
+A fast first-order estimator for the 2.5D photonic platform: per layer,
+latency = max(compute, weight fetch, input stream, output drain) with
+bandwidths taken at their configured maxima (no contention, no
+controller lag).  Two uses:
+
+* **Cross-validation** — the DES must agree with the analytic bound for
+  uncontended, compute-bound workloads and may only be *slower*
+  otherwise (``tests/test_analytic.py`` asserts both directions).
+* **Fast DSE** — sweeps that only need first-order trends run in
+  microseconds instead of simulating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import PlatformConfig
+from ..dnn.workload import InferenceWorkload
+from ..errors import ConfigurationError
+from ..mapping.mapper import ModelMapping
+
+
+@dataclass(frozen=True)
+class AnalyticLayerEstimate:
+    """Closed-form bounds for one layer."""
+
+    name: str
+    compute_s: float
+    weight_fetch_s: float
+    input_stream_s: float
+    output_drain_s: float
+
+    @property
+    def latency_s(self) -> float:
+        """Streaming execution: the slowest of the overlapped phases.
+
+        Weight fetch is prefetched during the previous layer, so it only
+        binds when it exceeds the previous layer's span; the max() here
+        is therefore a lower bound.
+        """
+        return max(self.compute_s, self.input_stream_s,
+                   self.output_drain_s)
+
+    @property
+    def bound_s(self) -> float:
+        """Non-overlapped upper bound (everything serial)."""
+        return (self.compute_s + self.weight_fetch_s
+                + self.input_stream_s + self.output_drain_s)
+
+
+@dataclass(frozen=True)
+class AnalyticEstimate:
+    """Whole-model analytic bounds."""
+
+    model_name: str
+    layers: tuple[AnalyticLayerEstimate, ...]
+
+    @property
+    def lower_bound_s(self) -> float:
+        """Sum of per-layer streaming maxima (no contention)."""
+        return sum(layer.latency_s for layer in self.layers)
+
+    @property
+    def upper_bound_s(self) -> float:
+        """Sum of fully serialised phases."""
+        return sum(layer.bound_s for layer in self.layers)
+
+
+def analytic_estimate(
+    mapping: ModelMapping,
+    config: PlatformConfig,
+    workload: InferenceWorkload | None = None,
+) -> AnalyticEstimate:
+    """Closed-form latency bounds for a mapped workload on the 2.5D
+    photonic platform at full (static) interposer capacity."""
+    read_bw = min(
+        config.n_memory_write_gateways * config.gateway_bandwidth_bps,
+        config.hbm_internal_bandwidth_bps,
+    )
+    layers = []
+    for layer_mapping in mapping:
+        layer = layer_mapping.layer
+        compute_s = max(
+            (
+                alloc.vector_ops / (alloc.n_macs * config.mac_rate_hz)
+                for alloc in layer_mapping.allocations
+            ),
+            default=0.0,
+        )
+        # Per-chiplet ingest can bind before the memory side does.
+        slowest_ingest = min(
+            (
+                config.group_by_kind(alloc.kind).gateways_per_chiplet
+                * config.gateway_bandwidth_bps
+                for alloc in layer_mapping.allocations
+            ),
+            default=read_bw,
+        )
+        input_bw = min(read_bw, slowest_ingest)
+        weight_fetch_s = layer.weight_bits / read_bw
+        input_stream_s = layer.input_bits / input_bw
+        write_bw = min(
+            (
+                config.group_by_kind(alloc.kind).gateways_per_chiplet
+                * config.gateway_bandwidth_bps
+                for alloc in layer_mapping.allocations
+            ),
+            default=read_bw,
+        )
+        output_drain_s = layer.output_bits / min(
+            write_bw, config.hbm_internal_bandwidth_bps
+        )
+        layers.append(
+            AnalyticLayerEstimate(
+                name=layer.name,
+                compute_s=compute_s,
+                weight_fetch_s=weight_fetch_s,
+                input_stream_s=input_stream_s,
+                output_drain_s=output_drain_s,
+            )
+        )
+    if not layers:
+        raise ConfigurationError("cannot estimate an empty mapping")
+    return AnalyticEstimate(
+        model_name=mapping.workload.model_name
+        if mapping.workload is not None
+        else (workload.model_name if workload else "unknown"),
+        layers=tuple(layers),
+    )
+
+
+def compute_bound_fraction(estimate: AnalyticEstimate) -> float:
+    """Fraction of layers whose streaming maximum is the compute term."""
+    compute_bound = sum(
+        1
+        for layer in estimate.layers
+        if layer.compute_s >= max(layer.input_stream_s,
+                                  layer.output_drain_s)
+    )
+    return compute_bound / len(estimate.layers)

@@ -1,0 +1,163 @@
+"""Discrete-event inference engine.
+
+Executes a mapped DNN workload over an interposer fabric, layer by layer,
+with the dataflow of Section V:
+
+1. weights for the next layer prefetch while the current layer runs,
+2. input activations are read from the memory chiplet (multicast to
+   every chiplet hosting the layer),
+3. each chiplet computes its work share, streaming: compute finishes no
+   earlier than its inputs and no earlier than its pure compute time,
+4. outputs are written back to memory; the next layer starts when all
+   writes land and its weights are present.
+
+The engine records per-layer timings and the lane-operation counts the
+energy model needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import PlatformConfig
+from ..interposer.base import InterposerFabric
+from ..mapping.mapper import LayerMapping, ModelMapping
+from ..sim.core import Environment, Event
+from .metrics import LayerTiming
+
+
+@dataclass
+class ExecutionTrace:
+    """Mutable accounting collected during a run."""
+
+    layer_timings: list[LayerTiming] = field(default_factory=list)
+    lane_ops_by_kind: dict[str, int] = field(default_factory=dict)
+    vector_ops_by_kind: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_lane_ops(self) -> int:
+        return sum(self.lane_ops_by_kind.values())
+
+    @property
+    def total_vector_ops(self) -> int:
+        return sum(self.vector_ops_by_kind.values())
+
+
+class InferenceEngine:
+    """Drives one inference through the fabric and compute model."""
+
+    def __init__(
+        self,
+        env: Environment,
+        config: PlatformConfig,
+        fabric: InterposerFabric,
+        mac_rate_hz: float | None = None,
+        batch_size: int = 1,
+    ):
+        if batch_size < 1:
+            raise ValueError(f"batch size must be >= 1, got {batch_size}")
+        self.env = env
+        self.config = config
+        self.fabric = fabric
+        self.mac_rate_hz = mac_rate_hz or config.mac_rate_hz
+        self.batch_size = batch_size
+        self.trace = ExecutionTrace()
+
+    # -- public API --------------------------------------------------------------
+
+    def run(self, mapping: ModelMapping, time_limit_s: float = 100.0) -> float:
+        """Execute the mapped workload; returns the completion time (s).
+
+        ``time_limit_s`` is a simulated-time hang guard (perpetual
+        controller processes keep the event queue alive forever).
+        """
+        done = self.env.process(self._run_proc(mapping))
+        self.env.run_until_event(done, limit=time_limit_s)
+        return self.env.now
+
+    # -- internals ------------------------------------------------------------------
+
+    def _fetch_weights(self, layer_mapping: LayerMapping) -> Event:
+        """Unicast weight transfers for every allocation of a layer."""
+        transfers = [
+            self.fabric.read_weights(alloc.chiplet_id, alloc.weight_bits)
+            for alloc in layer_mapping.allocations
+            if alloc.weight_bits > 0
+        ]
+        return self.env.all_of(transfers)
+
+    def _run_proc(self, mapping: ModelMapping):
+        layers = list(mapping)
+        if not layers:
+            return
+        weights_ready: list[Event | None] = [None] * len(layers)
+        weights_ready[0] = self._fetch_weights(layers[0])
+
+        for index, layer_mapping in enumerate(layers):
+            start = self.env.now
+            yield weights_ready[index]
+            # Prefetch the next layer's weights concurrently.
+            if index + 1 < len(layers):
+                weights_ready[index + 1] = self._fetch_weights(
+                    layers[index + 1]
+                )
+
+            # Input activations: one multicast read to all host chiplets.
+            # Layer-major batching: the whole batch's activations stream
+            # while the layer's weights stay resident (fetched once).
+            input_done = self.fabric.read(
+                layer_mapping.chiplet_ids[0],
+                layer_mapping.layer.input_bits * self.batch_size,
+                multicast=layer_mapping.chiplet_ids,
+            )
+
+            input_ready_holder = [0.0]
+            compute_done_holder = [0.0]
+            chiplet_events = [
+                self.env.process(
+                    self._chiplet_proc(
+                        alloc, input_done, input_ready_holder,
+                        compute_done_holder
+                    )
+                )
+                for alloc in layer_mapping.allocations
+            ]
+            yield self.env.all_of(chiplet_events)
+
+            self.trace.layer_timings.append(
+                LayerTiming(
+                    name=layer_mapping.layer.name,
+                    start_s=start,
+                    input_ready_s=input_ready_holder[0],
+                    compute_done_s=compute_done_holder[0],
+                    end_s=self.env.now,
+                    chiplets=layer_mapping.chiplet_ids,
+                    vector_ops=layer_mapping.total_vector_ops,
+                )
+            )
+
+    def _chiplet_proc(self, alloc, input_done: Event, input_ready_holder,
+                      compute_done_holder):
+        """One chiplet's share: wait for data, compute, write back."""
+        compute_s = (
+            alloc.vector_ops * self.batch_size
+            / (alloc.n_macs * self.mac_rate_hz)
+        )
+        # Streaming: compute completes when both its own duration has
+        # elapsed and the input stream has fully arrived.
+        yield self.env.all_of([input_done, self.env.timeout(compute_s)])
+        input_ready_holder[0] = max(input_ready_holder[0], self.env.now)
+        compute_done_holder[0] = max(compute_done_holder[0], self.env.now)
+        kind = alloc.kind
+        self.trace.lane_ops_by_kind[kind] = (
+            self.trace.lane_ops_by_kind.get(kind, 0)
+            + alloc.lane_ops * self.batch_size
+        )
+        self.trace.vector_ops_by_kind[kind] = (
+            self.trace.vector_ops_by_kind.get(kind, 0)
+            + alloc.vector_ops * self.batch_size
+        )
+        if alloc.output_bits > 0:
+            yield self.fabric.write(
+                alloc.chiplet_id, alloc.output_bits * self.batch_size
+            )

@@ -1,0 +1,70 @@
+"""ASCII Gantt rendering of inference timelines.
+
+Turns an :class:`~repro.core.metrics.InferenceResult`'s per-layer
+timeline into a text chart, so schedule structure (weight-prefetch
+overlap, per-chiplet spreading, communication stalls) is visible in a
+terminal without plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from .metrics import InferenceResult
+
+DEFAULT_WIDTH = 72
+
+
+def render_gantt(result: InferenceResult, width: int = DEFAULT_WIDTH,
+                 max_rows: int = 40) -> str:
+    """Render the layer timeline as an ASCII Gantt chart.
+
+    Each row is one layer; ``#`` marks the layer's active interval on a
+    time axis normalised to the total latency.  Long models are
+    down-sampled to ``max_rows`` evenly spaced layers.
+    """
+    if width < 20:
+        raise ConfigurationError("chart width must be >= 20 columns")
+    timeline = result.layer_timeline
+    if not timeline:
+        return f"{result.model} on {result.platform}: empty timeline"
+    total = result.latency_s
+    if total <= 0:
+        raise ConfigurationError("result has non-positive latency")
+
+    rows = list(timeline)
+    step = max(1, len(rows) // max_rows)
+    sampled = rows[::step]
+
+    name_width = min(28, max(len(t.name) for t in sampled) + 2)
+    lines = [
+        f"{result.model} on {result.platform} — "
+        f"{total * 1e3:.4f} ms total, {len(rows)} layers"
+        + (f" (showing every {step})" if step > 1 else ""),
+        f"{'layer':<{name_width}}|{'-' * width}|",
+    ]
+    for timing in sampled:
+        start_col = int(round(timing.start_s / total * width))
+        end_col = int(round(timing.end_s / total * width))
+        end_col = max(end_col, start_col + 1)
+        bar = (
+            " " * start_col
+            + "#" * (end_col - start_col)
+            + " " * (width - end_col)
+        )
+        lines.append(f"{timing.name:<{name_width}}|{bar}|")
+    axis = f"{'':<{name_width}}|0{'':>{width - 10}}{total * 1e3:8.3f}ms|"
+    lines.append(axis)
+    return "\n".join(lines)
+
+
+def utilization_summary(result: InferenceResult) -> str:
+    """One-line compute/communication balance summary."""
+    timeline = result.layer_timeline
+    if not timeline or result.latency_s <= 0:
+        return "no timeline"
+    busy = sum(t.duration_s for t in timeline)
+    return (
+        f"layers cover {busy / result.latency_s:.0%} of the critical path; "
+        f"mean layer {busy / len(timeline) * 1e6:.2f} us; "
+        f"{result.reconfigurations} interposer reconfigurations"
+    )

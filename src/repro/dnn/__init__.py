@@ -1,0 +1,49 @@
+"""DNN workload substrate: layer algebra, model graphs, the Table 2 zoo,
+quantisation, and inference-workload extraction."""
+
+from .layers import (
+    Activation,
+    Add,
+    AveragePooling2D,
+    BatchNormalization,
+    Concatenate,
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    Flatten,
+    GlobalAveragePooling2D,
+    Input,
+    Layer,
+    LayerStats,
+    MaxPooling2D,
+    Shape,
+    ZeroPadding2D,
+)
+from .model import Model, Node
+from .quantization import QuantizationConfig
+from .workload import InferenceWorkload, LayerWorkload, extract_workload
+
+__all__ = [
+    "Activation",
+    "Add",
+    "AveragePooling2D",
+    "BatchNormalization",
+    "Concatenate",
+    "Conv2D",
+    "Dense",
+    "DepthwiseConv2D",
+    "Flatten",
+    "GlobalAveragePooling2D",
+    "Input",
+    "Layer",
+    "LayerStats",
+    "MaxPooling2D",
+    "Shape",
+    "ZeroPadding2D",
+    "Model",
+    "Node",
+    "QuantizationConfig",
+    "InferenceWorkload",
+    "LayerWorkload",
+    "extract_workload",
+]

@@ -1,0 +1,458 @@
+"""DNN layer algebra: shape inference, parameter and MAC accounting.
+
+Layers are *descriptions*, not executable kernels: performance modelling
+of inference needs layer shapes, parameter counts, MAC counts and
+activation volumes — never the weight values themselves.  Shape and
+parameter semantics follow Keras (channels-last, ``same``/``valid``
+padding), because the paper's Table 2 parameter counts are the Keras
+application-model values.
+
+Every layer implements three queries against explicit input shapes:
+
+* :meth:`Layer.infer_shape` — output tensor shape,
+* :meth:`Layer.param_count` — trainable + non-trainable parameters,
+* :meth:`Layer.mac_count` — multiply-accumulate operations for one
+  inference at batch size 1.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ShapeError
+
+Shape = tuple[int, ...]
+"""Tensor shape without the batch dimension; conv features are (H, W, C)."""
+
+
+def _require_hwc(shape: Shape, layer_name: str) -> tuple[int, int, int]:
+    """Validate and unpack an (H, W, C) feature-map shape."""
+    if len(shape) != 3:
+        raise ShapeError(
+            f"layer {layer_name!r} expects an (H, W, C) input, got {shape}"
+        )
+    height, width, channels = shape
+    if height < 1 or width < 1 or channels < 1:
+        raise ShapeError(
+            f"layer {layer_name!r} got non-positive input dims {shape}"
+        )
+    return height, width, channels
+
+
+def _conv_output_length(input_length: int, kernel: int, stride: int,
+                        padding: str) -> int:
+    """Spatial output length under Keras padding semantics."""
+    if padding == "same":
+        return math.ceil(input_length / stride)
+    if padding == "valid":
+        if input_length < kernel:
+            raise ShapeError(
+                f"valid conv kernel {kernel} exceeds input length {input_length}"
+            )
+        return (input_length - kernel) // stride + 1
+    raise ShapeError(f"unknown padding mode {padding!r}")
+
+
+class Layer(abc.ABC):
+    """Base class for all layer descriptions."""
+
+    def __init__(self, name: str | None = None):
+        self.name = name if name is not None else type(self).__name__.lower()
+
+    @abc.abstractmethod
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        """Output shape for the given input shapes."""
+
+    def param_count(self, input_shapes: Sequence[Shape]) -> int:
+        """Number of parameters (default: parameter-free layer)."""
+        return 0
+
+    def mac_count(self, input_shapes: Sequence[Shape]) -> int:
+        """Multiply-accumulates for one inference (default: none)."""
+        return 0
+
+    @property
+    def is_conv(self) -> bool:
+        """Whether Table 2 would count this layer as a CONV layer."""
+        return False
+
+    @property
+    def is_fc(self) -> bool:
+        """Whether Table 2 would count this layer as an FC layer."""
+        return False
+
+    def _single_input(self, input_shapes: Sequence[Shape]) -> Shape:
+        if len(input_shapes) != 1:
+            raise ShapeError(
+                f"layer {self.name!r} expects exactly one input, "
+                f"got {len(input_shapes)}"
+            )
+        return input_shapes[0]
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class Input(Layer):
+    """Pseudo-layer pinning the model input shape."""
+
+    def __init__(self, shape: Shape, name: str = "input"):
+        super().__init__(name)
+        self.shape = tuple(shape)
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        if input_shapes:
+            raise ShapeError("Input layer takes no inputs")
+        return self.shape
+
+
+class Conv2D(Layer):
+    """Standard 2-D convolution (optionally grouped)."""
+
+    def __init__(
+        self,
+        filters: int,
+        kernel_size: int | tuple[int, int],
+        strides: int | tuple[int, int] = 1,
+        padding: str = "same",
+        use_bias: bool = True,
+        groups: int = 1,
+        name: str = "conv",
+    ):
+        super().__init__(name)
+        self.filters = filters
+        self.kernel_size = (
+            (kernel_size, kernel_size)
+            if isinstance(kernel_size, int)
+            else tuple(kernel_size)
+        )
+        self.strides = (
+            (strides, strides) if isinstance(strides, int) else tuple(strides)
+        )
+        self.padding = padding
+        self.use_bias = use_bias
+        self.groups = groups
+        if filters < 1:
+            raise ShapeError(f"conv {name!r} needs >= 1 filter")
+        if groups < 1 or filters % groups:
+            raise ShapeError(f"conv {name!r}: filters must divide into groups")
+
+    @property
+    def is_conv(self) -> bool:
+        return True
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        height, width, channels = _require_hwc(
+            self._single_input(input_shapes), self.name
+        )
+        if channels % self.groups:
+            raise ShapeError(
+                f"conv {self.name!r}: input channels {channels} not divisible "
+                f"by groups {self.groups}"
+            )
+        out_h = _conv_output_length(
+            height, self.kernel_size[0], self.strides[0], self.padding
+        )
+        out_w = _conv_output_length(
+            width, self.kernel_size[1], self.strides[1], self.padding
+        )
+        return (out_h, out_w, self.filters)
+
+    def param_count(self, input_shapes: Sequence[Shape]) -> int:
+        _, _, channels = _require_hwc(
+            self._single_input(input_shapes), self.name
+        )
+        kernel_params = (
+            self.kernel_size[0]
+            * self.kernel_size[1]
+            * (channels // self.groups)
+            * self.filters
+        )
+        bias_params = self.filters if self.use_bias else 0
+        return kernel_params + bias_params
+
+    def mac_count(self, input_shapes: Sequence[Shape]) -> int:
+        _, _, channels = _require_hwc(
+            self._single_input(input_shapes), self.name
+        )
+        out_h, out_w, out_c = self.infer_shape(input_shapes)
+        per_output = (
+            self.kernel_size[0] * self.kernel_size[1] * (channels // self.groups)
+        )
+        return out_h * out_w * out_c * per_output
+
+
+class DepthwiseConv2D(Layer):
+    """Depthwise 2-D convolution (MobileNet-style)."""
+
+    def __init__(
+        self,
+        kernel_size: int | tuple[int, int],
+        strides: int | tuple[int, int] = 1,
+        padding: str = "same",
+        depth_multiplier: int = 1,
+        use_bias: bool = True,
+        name: str = "dwconv",
+    ):
+        super().__init__(name)
+        self.kernel_size = (
+            (kernel_size, kernel_size)
+            if isinstance(kernel_size, int)
+            else tuple(kernel_size)
+        )
+        self.strides = (
+            (strides, strides) if isinstance(strides, int) else tuple(strides)
+        )
+        self.padding = padding
+        self.depth_multiplier = depth_multiplier
+        self.use_bias = use_bias
+
+    @property
+    def is_conv(self) -> bool:
+        return True
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        height, width, channels = _require_hwc(
+            self._single_input(input_shapes), self.name
+        )
+        out_h = _conv_output_length(
+            height, self.kernel_size[0], self.strides[0], self.padding
+        )
+        out_w = _conv_output_length(
+            width, self.kernel_size[1], self.strides[1], self.padding
+        )
+        return (out_h, out_w, channels * self.depth_multiplier)
+
+    def param_count(self, input_shapes: Sequence[Shape]) -> int:
+        _, _, channels = _require_hwc(
+            self._single_input(input_shapes), self.name
+        )
+        kernel_params = (
+            self.kernel_size[0]
+            * self.kernel_size[1]
+            * channels
+            * self.depth_multiplier
+        )
+        bias_params = (
+            channels * self.depth_multiplier if self.use_bias else 0
+        )
+        return kernel_params + bias_params
+
+    def mac_count(self, input_shapes: Sequence[Shape]) -> int:
+        out_h, out_w, out_c = self.infer_shape(input_shapes)
+        return out_h * out_w * out_c * self.kernel_size[0] * self.kernel_size[1]
+
+
+class Dense(Layer):
+    """Fully connected layer over a flat input."""
+
+    def __init__(self, units: int, use_bias: bool = True, name: str = "dense"):
+        super().__init__(name)
+        self.units = units
+        self.use_bias = use_bias
+        if units < 1:
+            raise ShapeError(f"dense {name!r} needs >= 1 unit")
+
+    @property
+    def is_fc(self) -> bool:
+        return True
+
+    def _input_features(self, input_shapes: Sequence[Shape]) -> int:
+        shape = self._single_input(input_shapes)
+        if len(shape) != 1:
+            raise ShapeError(
+                f"dense {self.name!r} expects a flat input, got {shape}; "
+                "insert Flatten or GlobalAveragePooling first"
+            )
+        return shape[0]
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        self._input_features(input_shapes)
+        return (self.units,)
+
+    def param_count(self, input_shapes: Sequence[Shape]) -> int:
+        features = self._input_features(input_shapes)
+        return features * self.units + (self.units if self.use_bias else 0)
+
+    def mac_count(self, input_shapes: Sequence[Shape]) -> int:
+        return self._input_features(input_shapes) * self.units
+
+
+class BatchNormalization(Layer):
+    """Batch normalisation; 4 parameters per channel (Keras total count)."""
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        return self._single_input(input_shapes)
+
+    def param_count(self, input_shapes: Sequence[Shape]) -> int:
+        return 4 * self._single_input(input_shapes)[-1]
+
+
+class Activation(Layer):
+    """Elementwise nonlinearity (ReLU, ReLU6, tanh, softmax...)."""
+
+    def __init__(self, function: str = "relu", name: str = "act"):
+        super().__init__(name)
+        self.function = function
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        return self._single_input(input_shapes)
+
+
+class ZeroPadding2D(Layer):
+    """Explicit spatial zero padding (Keras-style asymmetric supported)."""
+
+    def __init__(
+        self,
+        padding: int | tuple[tuple[int, int], tuple[int, int]],
+        name: str = "pad",
+    ):
+        super().__init__(name)
+        if isinstance(padding, int):
+            self.padding = ((padding, padding), (padding, padding))
+        else:
+            self.padding = tuple(tuple(pair) for pair in padding)
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        height, width, channels = _require_hwc(
+            self._single_input(input_shapes), self.name
+        )
+        (top, bottom), (left, right) = self.padding
+        return (height + top + bottom, width + left + right, channels)
+
+
+class _Pool2D(Layer):
+    """Shared spatial pooling implementation."""
+
+    def __init__(
+        self,
+        pool_size: int | tuple[int, int],
+        strides: int | tuple[int, int] | None = None,
+        padding: str = "valid",
+        name: str = "pool",
+    ):
+        super().__init__(name)
+        self.pool_size = (
+            (pool_size, pool_size)
+            if isinstance(pool_size, int)
+            else tuple(pool_size)
+        )
+        if strides is None:
+            self.strides = self.pool_size
+        else:
+            self.strides = (
+                (strides, strides) if isinstance(strides, int) else tuple(strides)
+            )
+        self.padding = padding
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        height, width, channels = _require_hwc(
+            self._single_input(input_shapes), self.name
+        )
+        out_h = _conv_output_length(
+            height, self.pool_size[0], self.strides[0], self.padding
+        )
+        out_w = _conv_output_length(
+            width, self.pool_size[1], self.strides[1], self.padding
+        )
+        return (out_h, out_w, channels)
+
+
+class MaxPooling2D(_Pool2D):
+    """Max pooling."""
+
+
+class AveragePooling2D(_Pool2D):
+    """Average pooling."""
+
+
+class GlobalAveragePooling2D(Layer):
+    """Spatial global average pooling to a flat (C,) vector."""
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        _, _, channels = _require_hwc(
+            self._single_input(input_shapes), self.name
+        )
+        return (channels,)
+
+
+class Flatten(Layer):
+    """Flatten any tensor to a (N,) vector."""
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        shape = self._single_input(input_shapes)
+        total = 1
+        for dim in shape:
+            total *= dim
+        return (total,)
+
+
+class Add(Layer):
+    """Elementwise sum of identically shaped tensors (residual join)."""
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        if len(input_shapes) < 2:
+            raise ShapeError(f"Add {self.name!r} needs >= 2 inputs")
+        first = input_shapes[0]
+        for other in input_shapes[1:]:
+            if tuple(other) != tuple(first):
+                raise ShapeError(
+                    f"Add {self.name!r}: mismatched shapes {first} vs {other}"
+                )
+        return tuple(first)
+
+
+class Concatenate(Layer):
+    """Channel-axis concatenation (DenseNet join)."""
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        if len(input_shapes) < 2:
+            raise ShapeError(f"Concatenate {self.name!r} needs >= 2 inputs")
+        first = input_shapes[0]
+        if len(first) != 3:
+            raise ShapeError(
+                f"Concatenate {self.name!r} expects (H, W, C) inputs"
+            )
+        total_channels = 0
+        for shape in input_shapes:
+            if shape[:2] != first[:2]:
+                raise ShapeError(
+                    f"Concatenate {self.name!r}: spatial mismatch "
+                    f"{first} vs {shape}"
+                )
+            total_channels += shape[2]
+        return (first[0], first[1], total_channels)
+
+
+@dataclass(frozen=True)
+class LayerStats:
+    """Accounting record for one layer instance inside a model."""
+
+    name: str
+    kind: str
+    input_shapes: tuple[Shape, ...]
+    output_shape: Shape
+    params: int
+    macs: int
+
+    @property
+    def output_elements(self) -> int:
+        """Number of scalar elements in the output tensor."""
+        total = 1
+        for dim in self.output_shape:
+            total *= dim
+        return total
+
+    @property
+    def input_elements(self) -> int:
+        """Total scalar elements across all input tensors."""
+        total = 0
+        for shape in self.input_shapes:
+            count = 1
+            for dim in shape:
+                count *= dim
+            total += count
+        return total

@@ -1,0 +1,161 @@
+"""Model graphs: DAGs of layer descriptions with full accounting.
+
+A :class:`Model` is built functionally — apply layers to nodes — and then
+answers the questions the accelerator model needs: per-layer shapes,
+parameter counts, MAC counts, conv/FC layer counts (Table 2), and ordered
+compute-layer records for mapping onto chiplets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ShapeError
+from .layers import (
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    Input,
+    Layer,
+    LayerStats,
+    Shape,
+)
+
+
+@dataclass(frozen=True)
+class Node:
+    """One placed layer inside a model graph."""
+
+    index: int
+    layer: Layer
+    parents: tuple["Node", ...]
+    output_shape: Shape
+
+    @property
+    def name(self) -> str:
+        return self.layer.name
+
+
+@dataclass
+class Model:
+    """A DAG of layers with shape inference performed at build time.
+
+    Example
+    -------
+    >>> model = Model("tiny", input_shape=(8, 8, 3))
+    >>> x = model.apply(Conv2D(4, 3, name="c1"), model.input)
+    >>> model.output_shape
+    (8, 8, 4)
+    """
+
+    name: str
+    input_shape: Shape
+    nodes: list[Node] = field(default_factory=list, init=False)
+    _names: set[str] = field(default_factory=set, init=False)
+
+    def __post_init__(self) -> None:
+        input_layer = Input(tuple(self.input_shape))
+        node = Node(0, input_layer, (), input_layer.infer_shape(()))
+        self.nodes.append(node)
+        self._names.add(input_layer.name)
+
+    @property
+    def input(self) -> Node:
+        """The graph's input node."""
+        return self.nodes[0]
+
+    @property
+    def output(self) -> Node:
+        """The most recently added node (the model output by convention)."""
+        return self.nodes[-1]
+
+    @property
+    def output_shape(self) -> Shape:
+        return self.output.output_shape
+
+    def apply(self, layer: Layer, *parents: Node) -> Node:
+        """Place ``layer`` on top of ``parents`` and return the new node."""
+        if not parents:
+            raise ShapeError(
+                f"layer {layer.name!r} must be applied to at least one node"
+            )
+        if layer.name in self._names:
+            raise ShapeError(
+                f"duplicate layer name {layer.name!r} in model {self.name!r}"
+            )
+        input_shapes = [parent.output_shape for parent in parents]
+        output_shape = layer.infer_shape(input_shapes)
+        node = Node(len(self.nodes), layer, tuple(parents), output_shape)
+        self.nodes.append(node)
+        self._names.add(layer.name)
+        return node
+
+    # -- accounting ------------------------------------------------------------
+
+    def layer_stats(self) -> list[LayerStats]:
+        """Per-layer accounting records in topological (insertion) order."""
+        records = []
+        for node in self.nodes[1:]:
+            input_shapes = tuple(p.output_shape for p in node.parents)
+            records.append(
+                LayerStats(
+                    name=node.name,
+                    kind=type(node.layer).__name__,
+                    input_shapes=input_shapes,
+                    output_shape=node.output_shape,
+                    params=node.layer.param_count(input_shapes),
+                    macs=node.layer.mac_count(input_shapes),
+                )
+            )
+        return records
+
+    @property
+    def total_params(self) -> int:
+        """Total parameter count (trainable + non-trainable), Keras-style."""
+        return sum(record.params for record in self.layer_stats())
+
+    @property
+    def total_macs(self) -> int:
+        """Total MACs for one inference at batch size 1."""
+        return sum(record.macs for record in self.layer_stats())
+
+    @property
+    def conv_layer_count(self) -> int:
+        """Number of CONV layers as Table 2 counts them (incl. depthwise)."""
+        return sum(
+            1
+            for node in self.nodes
+            if isinstance(node.layer, (Conv2D, DepthwiseConv2D))
+        )
+
+    @property
+    def fc_layer_count(self) -> int:
+        """Number of FC layers as Table 2 counts them."""
+        return sum(1 for node in self.nodes if isinstance(node.layer, Dense))
+
+    def compute_nodes(self) -> list[Node]:
+        """Nodes of MAC-bearing layers (conv / depthwise / dense) in order."""
+        return [
+            node
+            for node in self.nodes
+            if isinstance(node.layer, (Conv2D, DepthwiseConv2D, Dense))
+        ]
+
+    def summary(self) -> str:
+        """Human-readable per-layer table (name, kind, shape, params, MACs)."""
+        lines = [
+            f"Model: {self.name}  (input {self.input_shape})",
+            f"{'layer':<28}{'kind':<22}{'output':<18}{'params':>12}{'MACs':>14}",
+            "-" * 94,
+        ]
+        for record in self.layer_stats():
+            lines.append(
+                f"{record.name:<28}{record.kind:<22}"
+                f"{str(record.output_shape):<18}"
+                f"{record.params:>12,}{record.macs:>14,}"
+            )
+        lines.append("-" * 94)
+        lines.append(
+            f"{'total':<68}{self.total_params:>12,}{self.total_macs:>14,}"
+        )
+        return "\n".join(lines)

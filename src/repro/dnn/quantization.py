@@ -1,0 +1,73 @@
+"""Quantisation configuration.
+
+The CrossLight family quantises parameters for the electro-optic
+interface; follow-up work [22] shows per-layer *heterogeneous*
+quantisation saves interface power.  The default here is uniform 8-bit
+weights and activations; heterogeneous schedules assign different weight
+bit-widths per layer (by index or by name pattern).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+
+DEFAULT_WEIGHT_BITS = 8
+DEFAULT_ACTIVATION_BITS = 8
+
+
+@dataclass(frozen=True)
+class QuantizationConfig:
+    """Per-model precision assignment.
+
+    Parameters
+    ----------
+    weight_bits:
+        Default weight precision (bits per parameter).
+    activation_bits:
+        Activation precision (uniform; the interposer carries OOK-framed
+        activation words of this width).
+    per_layer_weight_bits:
+        Optional overrides: mapping from compute-layer index to bits.
+    """
+
+    weight_bits: int = DEFAULT_WEIGHT_BITS
+    activation_bits: int = DEFAULT_ACTIVATION_BITS
+    per_layer_weight_bits: dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.weight_bits <= 32:
+            raise ConfigurationError(
+                f"weight bits must be in [1, 32], got {self.weight_bits}"
+            )
+        if not 1 <= self.activation_bits <= 32:
+            raise ConfigurationError(
+                f"activation bits must be in [1, 32], got {self.activation_bits}"
+            )
+        for index, bits in self.per_layer_weight_bits.items():
+            if not 1 <= bits <= 32:
+                raise ConfigurationError(
+                    f"layer {index} weight bits out of range: {bits}"
+                )
+
+    def weight_bits_for(self, layer_index: int, layer_name: str = "") -> int:
+        """Weight precision for a given compute-layer index."""
+        return self.per_layer_weight_bits.get(layer_index, self.weight_bits)
+
+    @classmethod
+    def binary(cls) -> "QuantizationConfig":
+        """Fully binarised config (LightBulb [24] style)."""
+        return cls(weight_bits=1, activation_bits=1)
+
+    @classmethod
+    def heterogeneous_front_heavy(cls, n_layers: int,
+                                  front_bits: int = 8,
+                                  back_bits: int = 4) -> "QuantizationConfig":
+        """A simple heterogeneous schedule: early layers keep high
+        precision, later layers drop to ``back_bits`` (the pattern [22]
+        reports as accuracy-safe)."""
+        split = max(1, n_layers // 2)
+        overrides = {index: back_bits for index in range(split, n_layers)}
+        return cls(weight_bits=front_bits,
+                   per_layer_weight_bits=overrides)

@@ -1,0 +1,145 @@
+"""Inference workload extraction.
+
+Converts a :class:`~repro.dnn.model.Model` into the per-layer records the
+accelerator model consumes: MAC counts, dot-product vector shapes, and
+the traffic each layer generates on the interposer (weights and input
+activations read from the memory chiplet, output activations written
+back).  BN / activation / pooling layers are folded into the preceding
+compute layer, the standard deployment transformation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import ShapeError
+from .layers import Conv2D, Dense, DepthwiseConv2D
+from .model import Model
+from .quantization import QuantizationConfig
+
+
+@dataclass(frozen=True)
+class LayerWorkload:
+    """Everything the accelerator needs to know about one compute layer.
+
+    Attributes
+    ----------
+    name / kind:
+        Identification ("Conv2D", "DepthwiseConv2D", "Dense").
+    kernel_size:
+        Spatial kernel edge for conv layers (3 for 3x3); 1 for dense.
+    dot_length:
+        Length of the dot products the layer decomposes into
+        (``k*k*C_in`` for convs, input features for dense).
+    n_dots:
+        Number of such dot products per inference.
+    macs:
+        Total multiply-accumulates (= ``dot_length * n_dots``).
+    weight_bits / input_bits / output_bits:
+        Traffic volumes for one inference at the layer's precision.
+    """
+
+    index: int
+    name: str
+    kind: str
+    kernel_size: int
+    dot_length: int
+    n_dots: int
+    macs: int
+    weight_bits: int
+    input_bits: int
+    output_bits: int
+
+    @property
+    def total_traffic_bits(self) -> int:
+        """All interposer traffic this layer generates (bits)."""
+        return self.weight_bits + self.input_bits + self.output_bits
+
+    @property
+    def is_dense(self) -> bool:
+        return self.kind == "Dense"
+
+
+@dataclass(frozen=True)
+class InferenceWorkload:
+    """Ordered compute-layer workloads for one model inference."""
+
+    model_name: str
+    layers: tuple[LayerWorkload, ...]
+
+    def __iter__(self) -> Iterator[LayerWorkload]:
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    @property
+    def total_macs(self) -> int:
+        return sum(layer.macs for layer in self.layers)
+
+    @property
+    def total_traffic_bits(self) -> int:
+        return sum(layer.total_traffic_bits for layer in self.layers)
+
+    @property
+    def total_weight_bits(self) -> int:
+        return sum(layer.weight_bits for layer in self.layers)
+
+
+def extract_workload(
+    model: Model,
+    quantization: QuantizationConfig | None = None,
+) -> InferenceWorkload:
+    """Build the inference workload of ``model`` at a given precision."""
+    quant = quantization or QuantizationConfig()
+    records = []
+    for position, node in enumerate(model.compute_nodes()):
+        layer = node.layer
+        input_shape = node.parents[0].output_shape
+        output_shape = node.output_shape
+        weight_bits_per_param = quant.weight_bits_for(position, node.name)
+        act_bits = quant.activation_bits
+
+        input_elements = 1
+        for dim in input_shape:
+            input_elements *= dim
+        output_elements = 1
+        for dim in output_shape:
+            output_elements *= dim
+
+        params = layer.param_count([input_shape])
+        macs = layer.mac_count([input_shape])
+
+        if isinstance(layer, Conv2D):
+            kernel = layer.kernel_size[0]
+            dot_length = (
+                kernel * layer.kernel_size[1] * (input_shape[2] // layer.groups)
+            )
+            n_dots = output_elements
+        elif isinstance(layer, DepthwiseConv2D):
+            kernel = layer.kernel_size[0]
+            dot_length = kernel * layer.kernel_size[1]
+            n_dots = output_elements
+        elif isinstance(layer, Dense):
+            kernel = 1
+            dot_length = input_shape[0]
+            n_dots = layer.units
+        else:  # pragma: no cover - compute_nodes() filters to these kinds
+            raise ShapeError(f"unexpected compute layer {layer!r}")
+
+        records.append(
+            LayerWorkload(
+                index=position,
+                name=node.name,
+                kind=type(layer).__name__,
+                kernel_size=kernel,
+                dot_length=dot_length,
+                n_dots=n_dots,
+                macs=macs,
+                weight_bits=params * weight_bits_per_param,
+                input_bits=input_elements * act_bits,
+                output_bits=output_elements * act_bits,
+            )
+        )
+    return InferenceWorkload(model_name=model.name, layers=tuple(records))

@@ -1,0 +1,82 @@
+"""Model zoo: the five DNNs of the paper's Table 2.
+
+Each builder returns a :class:`repro.dnn.model.Model` whose layer census
+and total parameter count match Table 2 exactly (verified in
+``tests/test_zoo_table2.py``).
+"""
+
+from ..model import Model
+from .densenet121 import densenet121
+from .extended import (
+    EXTENDED_BUILDERS,
+    EXTENDED_PARAMS,
+    densenet169,
+    densenet201,
+    resnet101,
+    resnet152,
+    vgg19,
+)
+from .lenet5 import lenet5
+from .mobilenetv2 import mobilenetv2
+from .resnet50 import resnet50
+from .vgg16 import vgg16
+
+MODEL_BUILDERS = {
+    "LeNet5": lenet5,
+    "ResNet50": resnet50,
+    "DenseNet121": densenet121,
+    "VGG16": vgg16,
+    "MobileNetV2": mobilenetv2,
+}
+"""Builders keyed by the names Table 2 uses."""
+
+TABLE2_PARAMS = {
+    "LeNet5": 62_006,
+    "ResNet50": 25_636_712,
+    "DenseNet121": 8_062_504,
+    "VGG16": 138_357_544,
+    "MobileNetV2": 3_538_984,
+}
+"""Parameter counts as printed in Table 2."""
+
+TABLE2_LAYERS = {
+    "LeNet5": (3, 2),
+    "ResNet50": (53, 1),
+    "DenseNet121": (120, 1),
+    "VGG16": (13, 3),
+    "MobileNetV2": (52, 1),
+}
+"""(CONV layers, FC layers) as printed in Table 2."""
+
+
+def build(name: str) -> Model:
+    """Build a zoo model by name (Table 2 or extended zoo)."""
+    if name in MODEL_BUILDERS:
+        return MODEL_BUILDERS[name]()
+    return EXTENDED_BUILDERS[name]()
+
+
+def all_models() -> list[Model]:
+    """Build every Table 2 model, in Table 2 order."""
+    return [builder() for builder in MODEL_BUILDERS.values()]
+
+
+__all__ = [
+    "MODEL_BUILDERS",
+    "EXTENDED_BUILDERS",
+    "EXTENDED_PARAMS",
+    "resnet101",
+    "resnet152",
+    "densenet169",
+    "densenet201",
+    "vgg19",
+    "TABLE2_PARAMS",
+    "TABLE2_LAYERS",
+    "build",
+    "all_models",
+    "lenet5",
+    "resnet50",
+    "densenet121",
+    "vgg16",
+    "mobilenetv2",
+]

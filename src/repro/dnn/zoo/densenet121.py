@@ -1,0 +1,85 @@
+"""DenseNet-121 model description (Keras `keras.applications.DenseNet121`).
+
+120 CONV + 1 FC layers, 8,062,504 parameters (Table 2): a 7x7 stem, four
+dense blocks of (6, 12, 24, 16) layers with growth rate 32, and 0.5x
+compression transitions.  All convolutions are bias-free; BN carries the
+affine parameters.
+"""
+
+from __future__ import annotations
+
+from ..layers import (
+    Activation,
+    AveragePooling2D,
+    BatchNormalization,
+    Concatenate,
+    Conv2D,
+    Dense,
+    GlobalAveragePooling2D,
+    MaxPooling2D,
+    ZeroPadding2D,
+)
+from ..model import Model, Node
+
+GROWTH_RATE = 32
+BLOCK_SIZES = (6, 12, 24, 16)
+
+
+def _dense_layer(model: Model, x: Node, tag: str) -> Node:
+    """BN-ReLU-Conv1x1(4k)-BN-ReLU-Conv3x3(k), concatenated to the input."""
+    y = model.apply(BatchNormalization(name=f"{tag}_bn1"), x)
+    y = model.apply(Activation("relu", name=f"{tag}_relu1"), y)
+    y = model.apply(
+        Conv2D(4 * GROWTH_RATE, 1, use_bias=False, padding="valid",
+               name=f"{tag}_conv1"),
+        y,
+    )
+    y = model.apply(BatchNormalization(name=f"{tag}_bn2"), y)
+    y = model.apply(Activation("relu", name=f"{tag}_relu2"), y)
+    y = model.apply(
+        Conv2D(GROWTH_RATE, 3, use_bias=False, padding="same",
+               name=f"{tag}_conv2"),
+        y,
+    )
+    return model.apply(Concatenate(name=f"{tag}_concat"), x, y)
+
+
+def _transition(model: Model, x: Node, tag: str) -> Node:
+    """BN-ReLU-Conv1x1 (0.5x channels) followed by 2x2 average pooling."""
+    channels = x.output_shape[2]
+    y = model.apply(BatchNormalization(name=f"{tag}_bn"), x)
+    y = model.apply(Activation("relu", name=f"{tag}_relu"), y)
+    y = model.apply(
+        Conv2D(channels // 2, 1, use_bias=False, padding="valid",
+               name=f"{tag}_conv"),
+        y,
+    )
+    return model.apply(AveragePooling2D(2, strides=2, name=f"{tag}_pool"), y)
+
+
+def densenet121(input_shape=(224, 224, 3), classes: int = 1000) -> Model:
+    """Build DenseNet-121 with the classifier head."""
+    model = Model("DenseNet121", input_shape=tuple(input_shape))
+    x = model.apply(ZeroPadding2D(3, name="stem_pad"), model.input)
+    x = model.apply(
+        Conv2D(64, 7, strides=2, padding="valid", use_bias=False,
+               name="stem_conv"),
+        x,
+    )
+    x = model.apply(BatchNormalization(name="stem_bn"), x)
+    x = model.apply(Activation("relu", name="stem_relu"), x)
+    x = model.apply(ZeroPadding2D(1, name="pool_pad"), x)
+    x = model.apply(MaxPooling2D(3, strides=2, name="stem_pool"), x)
+
+    for block_index, n_layers in enumerate(BLOCK_SIZES, start=1):
+        for layer_index in range(1, n_layers + 1):
+            x = _dense_layer(model, x, f"block{block_index}_layer{layer_index}")
+        if block_index < len(BLOCK_SIZES):
+            x = _transition(model, x, f"transition{block_index}")
+
+    x = model.apply(BatchNormalization(name="final_bn"), x)
+    x = model.apply(Activation("relu", name="final_relu"), x)
+    x = model.apply(GlobalAveragePooling2D(name="avg_pool"), x)
+    x = model.apply(Dense(classes, name="predictions"), x)
+    model.apply(Activation("softmax", name="softmax"), x)
+    return model

@@ -1,0 +1,180 @@
+"""Extended model zoo (beyond the paper's Table 2).
+
+Deeper members of the same families, for design-space exploration on
+larger workloads than the paper evaluates.  All builders reuse the
+Table 2 families' block implementations and reproduce the published
+Keras application-model parameter counts exactly
+(``tests/test_zoo_extended.py``):
+
+* ResNet-101 — 44,707,176 parameters
+* ResNet-152 — 60,419,944 parameters
+* DenseNet-169 — 14,307,880 parameters
+* DenseNet-201 — 20,242,984 parameters
+* VGG-19 — 143,667,240 parameters
+"""
+
+from __future__ import annotations
+
+from ..layers import (
+    Activation,
+    BatchNormalization,
+    Conv2D,
+    Dense,
+    Flatten,
+    GlobalAveragePooling2D,
+    MaxPooling2D,
+    ZeroPadding2D,
+)
+from ..model import Model
+from .densenet121 import _dense_layer, _transition
+from .resnet50 import _bottleneck
+
+ResNetStage = tuple[int, tuple[int, int, int], int]
+"""(blocks, (f1, f2, f3), first-block stride)."""
+
+
+def _resnet_family(name: str, stages: list[ResNetStage],
+                   input_shape, classes: int) -> Model:
+    """Generic bottleneck ResNet built from the ResNet-50 blocks."""
+    model = Model(name, input_shape=tuple(input_shape))
+    x = model.apply(ZeroPadding2D(3, name="conv1_pad"), model.input)
+    x = model.apply(
+        Conv2D(64, 7, strides=2, padding="valid", name="conv1"), x
+    )
+    x = model.apply(BatchNormalization(name="conv1_bn"), x)
+    x = model.apply(Activation("relu", name="conv1_relu"), x)
+    x = model.apply(ZeroPadding2D(1, name="pool1_pad"), x)
+    x = model.apply(MaxPooling2D(3, strides=2, name="pool1"), x)
+    for stage_index, (n_blocks, filters, first_stride) in enumerate(
+        stages, start=2
+    ):
+        for block_index in range(n_blocks):
+            x = _bottleneck(
+                model, x, filters,
+                stride=first_stride if block_index == 0 else 1,
+                project=block_index == 0,
+                tag=f"stage{stage_index}_block{block_index + 1}",
+            )
+    x = model.apply(GlobalAveragePooling2D(name="avg_pool"), x)
+    x = model.apply(Dense(classes, name="predictions"), x)
+    model.apply(Activation("softmax", name="softmax"), x)
+    return model
+
+
+def resnet101(input_shape=(224, 224, 3), classes: int = 1000) -> Model:
+    """ResNet-101: stages of (3, 4, 23, 3) bottleneck blocks."""
+    return _resnet_family(
+        "ResNet101",
+        [
+            (3, (64, 64, 256), 1),
+            (4, (128, 128, 512), 2),
+            (23, (256, 256, 1024), 2),
+            (3, (512, 512, 2048), 2),
+        ],
+        input_shape, classes,
+    )
+
+
+def resnet152(input_shape=(224, 224, 3), classes: int = 1000) -> Model:
+    """ResNet-152: stages of (3, 8, 36, 3) bottleneck blocks."""
+    return _resnet_family(
+        "ResNet152",
+        [
+            (3, (64, 64, 256), 1),
+            (8, (128, 128, 512), 2),
+            (36, (256, 256, 1024), 2),
+            (3, (512, 512, 2048), 2),
+        ],
+        input_shape, classes,
+    )
+
+
+def _densenet_family(name: str, blocks: tuple[int, ...],
+                     input_shape, classes: int) -> Model:
+    """Generic DenseNet built from the DenseNet-121 blocks."""
+    model = Model(name, input_shape=tuple(input_shape))
+    x = model.apply(ZeroPadding2D(3, name="stem_pad"), model.input)
+    x = model.apply(
+        Conv2D(64, 7, strides=2, padding="valid", use_bias=False,
+               name="stem_conv"),
+        x,
+    )
+    x = model.apply(BatchNormalization(name="stem_bn"), x)
+    x = model.apply(Activation("relu", name="stem_relu"), x)
+    x = model.apply(ZeroPadding2D(1, name="pool_pad"), x)
+    x = model.apply(MaxPooling2D(3, strides=2, name="stem_pool"), x)
+    for block_index, n_layers in enumerate(blocks, start=1):
+        for layer_index in range(1, n_layers + 1):
+            x = _dense_layer(
+                model, x, f"block{block_index}_layer{layer_index}"
+            )
+        if block_index < len(blocks):
+            x = _transition(model, x, f"transition{block_index}")
+    x = model.apply(BatchNormalization(name="final_bn"), x)
+    x = model.apply(Activation("relu", name="final_relu"), x)
+    x = model.apply(GlobalAveragePooling2D(name="avg_pool"), x)
+    x = model.apply(Dense(classes, name="predictions"), x)
+    model.apply(Activation("softmax", name="softmax"), x)
+    return model
+
+
+def densenet169(input_shape=(224, 224, 3), classes: int = 1000) -> Model:
+    """DenseNet-169: dense blocks of (6, 12, 32, 32) layers."""
+    return _densenet_family("DenseNet169", (6, 12, 32, 32),
+                            input_shape, classes)
+
+
+def densenet201(input_shape=(224, 224, 3), classes: int = 1000) -> Model:
+    """DenseNet-201: dense blocks of (6, 12, 48, 32) layers."""
+    return _densenet_family("DenseNet201", (6, 12, 48, 32),
+                            input_shape, classes)
+
+
+def vgg19(input_shape=(224, 224, 3), classes: int = 1000) -> Model:
+    """VGG-19: blocks of (2, 2, 4, 4, 4) convolutions."""
+    model = Model("VGG19", input_shape=tuple(input_shape))
+    x = model.input
+    for block_index, (n_convs, filters) in enumerate(
+        [(2, 64), (2, 128), (4, 256), (4, 512), (4, 512)], start=1
+    ):
+        for conv_index in range(1, n_convs + 1):
+            x = model.apply(
+                Conv2D(filters, 3, padding="same",
+                       name=f"block{block_index}_conv{conv_index}"),
+                x,
+            )
+            x = model.apply(
+                Activation("relu",
+                           name=f"block{block_index}_relu{conv_index}"),
+                x,
+            )
+        x = model.apply(
+            MaxPooling2D(2, strides=2, name=f"block{block_index}_pool"), x
+        )
+    x = model.apply(Flatten(name="flatten"), x)
+    x = model.apply(Dense(4096, name="fc1"), x)
+    x = model.apply(Activation("relu", name="fc1_relu"), x)
+    x = model.apply(Dense(4096, name="fc2"), x)
+    x = model.apply(Activation("relu", name="fc2_relu"), x)
+    x = model.apply(Dense(classes, name="predictions"), x)
+    model.apply(Activation("softmax", name="softmax"), x)
+    return model
+
+
+EXTENDED_BUILDERS = {
+    "ResNet101": resnet101,
+    "ResNet152": resnet152,
+    "DenseNet169": densenet169,
+    "DenseNet201": densenet201,
+    "VGG19": vgg19,
+}
+"""Extended-zoo builders keyed by model name."""
+
+EXTENDED_PARAMS = {
+    "ResNet101": 44_707_176,
+    "ResNet152": 60_419_944,
+    "DenseNet169": 14_307_880,
+    "DenseNet201": 20_242_984,
+    "VGG19": 143_667_240,
+}
+"""Published Keras parameter counts for the extended zoo."""

@@ -1,0 +1,124 @@
+"""MobileNetV2 model description (Keras `keras.applications.MobileNetV2`).
+
+52 CONV + 1 FC layers, 3,538,984 parameters (Table 2): a strided 3x3
+stem, 17 inverted-residual bottlenecks (first with expansion 1, the rest
+with expansion 6), a 1x1 feature conv to 1280 channels, and the
+classifier.  Depthwise convolutions count as CONV layers, matching the
+Table 2 layer census.
+"""
+
+from __future__ import annotations
+
+from ..layers import (
+    Activation,
+    Add,
+    BatchNormalization,
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    GlobalAveragePooling2D,
+    ZeroPadding2D,
+)
+from ..model import Model, Node
+
+_BOTTLENECKS = [
+    # (expansion, out_channels, stride)
+    (6, 24, 2),
+    (6, 24, 1),
+    (6, 32, 2),
+    (6, 32, 1),
+    (6, 32, 1),
+    (6, 64, 2),
+    (6, 64, 1),
+    (6, 64, 1),
+    (6, 64, 1),
+    (6, 96, 1),
+    (6, 96, 1),
+    (6, 96, 1),
+    (6, 160, 2),
+    (6, 160, 1),
+    (6, 160, 1),
+    (6, 320, 1),
+]
+
+
+def _inverted_residual(
+    model: Model,
+    x: Node,
+    expansion: int,
+    out_channels: int,
+    stride: int,
+    tag: str,
+) -> Node:
+    """One MobileNetV2 inverted-residual bottleneck."""
+    in_channels = x.output_shape[2]
+    y = x
+    if expansion != 1:
+        y = model.apply(
+            Conv2D(expansion * in_channels, 1, use_bias=False,
+                   padding="valid", name=f"{tag}_expand"),
+            y,
+        )
+        y = model.apply(BatchNormalization(name=f"{tag}_expand_bn"), y)
+        y = model.apply(Activation("relu6", name=f"{tag}_expand_relu"), y)
+    if stride == 2:
+        y = model.apply(
+            ZeroPadding2D(((0, 1), (0, 1)), name=f"{tag}_pad"), y
+        )
+        y = model.apply(
+            DepthwiseConv2D(3, strides=2, padding="valid", use_bias=False,
+                            name=f"{tag}_depthwise"),
+            y,
+        )
+    else:
+        y = model.apply(
+            DepthwiseConv2D(3, padding="same", use_bias=False,
+                            name=f"{tag}_depthwise"),
+            y,
+        )
+    y = model.apply(BatchNormalization(name=f"{tag}_depthwise_bn"), y)
+    y = model.apply(Activation("relu6", name=f"{tag}_depthwise_relu"), y)
+    y = model.apply(
+        Conv2D(out_channels, 1, use_bias=False, padding="valid",
+               name=f"{tag}_project"),
+        y,
+    )
+    y = model.apply(BatchNormalization(name=f"{tag}_project_bn"), y)
+    if stride == 1 and in_channels == out_channels:
+        y = model.apply(Add(name=f"{tag}_add"), x, y)
+    return y
+
+
+def mobilenetv2(input_shape=(224, 224, 3), classes: int = 1000) -> Model:
+    """Build MobileNetV2 (alpha = 1.0) with the classifier head."""
+    model = Model("MobileNetV2", input_shape=tuple(input_shape))
+    x = model.apply(
+        ZeroPadding2D(((0, 1), (0, 1)), name="conv1_pad"), model.input
+    )
+    x = model.apply(
+        Conv2D(32, 3, strides=2, padding="valid", use_bias=False,
+               name="conv1"),
+        x,
+    )
+    x = model.apply(BatchNormalization(name="conv1_bn"), x)
+    x = model.apply(Activation("relu6", name="conv1_relu"), x)
+
+    # First bottleneck: expansion factor 1, 16 output channels, stride 1.
+    x = _inverted_residual(model, x, expansion=1, out_channels=16, stride=1,
+                           tag="block0")
+    for index, (expansion, out_channels, stride) in enumerate(
+        _BOTTLENECKS, start=1
+    ):
+        x = _inverted_residual(
+            model, x, expansion, out_channels, stride, tag=f"block{index}"
+        )
+
+    x = model.apply(
+        Conv2D(1280, 1, use_bias=False, padding="valid", name="conv_last"), x
+    )
+    x = model.apply(BatchNormalization(name="conv_last_bn"), x)
+    x = model.apply(Activation("relu6", name="conv_last_relu"), x)
+    x = model.apply(GlobalAveragePooling2D(name="avg_pool"), x)
+    x = model.apply(Dense(classes, name="predictions"), x)
+    model.apply(Activation("softmax", name="softmax"), x)
+    return model

@@ -1,0 +1,96 @@
+"""ResNet-50 model description (Keras `keras.applications.ResNet50`).
+
+53 CONV + 1 FC layers, 25,636,712 parameters (Table 2): a 7x7 stem, four
+stages of bottleneck blocks (3, 4, 6, 3) with 1x1 projection shortcuts on
+the first block of each stage, global average pooling and a 1000-way
+classifier.
+"""
+
+from __future__ import annotations
+
+from ..layers import (
+    Activation,
+    Add,
+    BatchNormalization,
+    Conv2D,
+    Dense,
+    GlobalAveragePooling2D,
+    MaxPooling2D,
+    ZeroPadding2D,
+)
+from ..model import Model
+from ..model import Node
+
+_STAGES = [
+    (3, (64, 64, 256), 1),
+    (4, (128, 128, 512), 2),
+    (6, (256, 256, 1024), 2),
+    (3, (512, 512, 2048), 2),
+]
+"""(blocks, (f1, f2, f3), first-block stride) per stage."""
+
+
+def _bottleneck(
+    model: Model,
+    x: Node,
+    filters: tuple[int, int, int],
+    stride: int,
+    project: bool,
+    tag: str,
+) -> Node:
+    """One bottleneck residual block (conv or identity variant)."""
+    f1, f2, f3 = filters
+    shortcut = x
+    if project:
+        shortcut = model.apply(
+            Conv2D(f3, 1, strides=stride, padding="valid", name=f"{tag}_sc_conv"),
+            x,
+        )
+        shortcut = model.apply(
+            BatchNormalization(name=f"{tag}_sc_bn"), shortcut
+        )
+    y = model.apply(
+        Conv2D(f1, 1, strides=stride, padding="valid", name=f"{tag}_conv1"), x
+    )
+    y = model.apply(BatchNormalization(name=f"{tag}_bn1"), y)
+    y = model.apply(Activation("relu", name=f"{tag}_relu1"), y)
+    y = model.apply(Conv2D(f2, 3, padding="same", name=f"{tag}_conv2"), y)
+    y = model.apply(BatchNormalization(name=f"{tag}_bn2"), y)
+    y = model.apply(Activation("relu", name=f"{tag}_relu2"), y)
+    y = model.apply(Conv2D(f3, 1, padding="valid", name=f"{tag}_conv3"), y)
+    y = model.apply(BatchNormalization(name=f"{tag}_bn3"), y)
+    y = model.apply(Add(name=f"{tag}_add"), y, shortcut)
+    return model.apply(Activation("relu", name=f"{tag}_out"), y)
+
+
+def resnet50(input_shape=(224, 224, 3), classes: int = 1000) -> Model:
+    """Build ResNet-50 with the classifier head."""
+    model = Model("ResNet50", input_shape=tuple(input_shape))
+    x = model.apply(ZeroPadding2D(3, name="conv1_pad"), model.input)
+    x = model.apply(
+        Conv2D(64, 7, strides=2, padding="valid", name="conv1"), x
+    )
+    x = model.apply(BatchNormalization(name="conv1_bn"), x)
+    x = model.apply(Activation("relu", name="conv1_relu"), x)
+    x = model.apply(ZeroPadding2D(1, name="pool1_pad"), x)
+    x = model.apply(MaxPooling2D(3, strides=2, name="pool1"), x)
+
+    for stage_index, (n_blocks, filters, first_stride) in enumerate(
+        _STAGES, start=2
+    ):
+        for block_index in range(n_blocks):
+            tag = f"stage{stage_index}_block{block_index + 1}"
+            stride = first_stride if block_index == 0 else 1
+            x = _bottleneck(
+                model,
+                x,
+                filters,
+                stride=stride,
+                project=(block_index == 0),
+                tag=tag,
+            )
+
+    x = model.apply(GlobalAveragePooling2D(name="avg_pool"), x)
+    x = model.apply(Dense(classes, name="predictions"), x)
+    model.apply(Activation("softmax", name="softmax"), x)
+    return model

@@ -1,0 +1,50 @@
+"""VGG-16 model description (Keras `keras.applications.VGG16` structure).
+
+13 CONV + 3 FC layers, 138,357,544 parameters (Table 2).
+"""
+
+from __future__ import annotations
+
+from ..layers import Activation, Conv2D, Dense, Flatten, MaxPooling2D
+from ..model import Model
+
+_BLOCKS = [
+    (2, 64),
+    (2, 128),
+    (3, 256),
+    (3, 512),
+    (3, 512),
+]
+"""(conv layers, filters) per VGG block."""
+
+
+def vgg16(input_shape=(224, 224, 3), classes: int = 1000) -> Model:
+    """Build VGG-16 with the classifier head."""
+    model = Model("VGG16", input_shape=tuple(input_shape))
+    x = model.input
+    for block_index, (n_convs, filters) in enumerate(_BLOCKS, start=1):
+        for conv_index in range(1, n_convs + 1):
+            x = model.apply(
+                Conv2D(
+                    filters,
+                    3,
+                    padding="same",
+                    name=f"block{block_index}_conv{conv_index}",
+                ),
+                x,
+            )
+            x = model.apply(
+                Activation("relu", name=f"block{block_index}_relu{conv_index}"),
+                x,
+            )
+        x = model.apply(
+            MaxPooling2D(2, strides=2, name=f"block{block_index}_pool"), x
+        )
+    x = model.apply(Flatten(name="flatten"), x)
+    x = model.apply(Dense(4096, name="fc1"), x)
+    x = model.apply(Activation("relu", name="fc1_relu"), x)
+    x = model.apply(Dense(4096, name="fc2"), x)
+    x = model.apply(Activation("relu", name="fc2_relu"), x)
+    x = model.apply(Dense(classes, name="predictions"), x)
+    model.apply(Activation("softmax", name="softmax"), x)
+    return model

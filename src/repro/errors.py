@@ -1,0 +1,32 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific failures derive from :class:`ReproError` so that
+callers can catch one base class.  Subclasses separate configuration
+mistakes (user-fixable) from modelling violations (internal invariants).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An architecture or device configuration is invalid or inconsistent."""
+
+
+class LinkBudgetError(ReproError):
+    """A photonic link cannot close: losses exceed the available power."""
+
+
+class MappingError(ReproError):
+    """A DNN layer cannot be mapped onto the available compute resources."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation kernel detected an invariant violation."""
+
+
+class ShapeError(ReproError):
+    """DNN tensor shapes are incompatible with a layer's expectations."""

@@ -1,0 +1,174 @@
+"""Design-space exploration (Section VII, open challenge 3).
+
+The paper's conclusions call for exploration of the number of
+wavelengths, gateways per chiplet, and MACs per chiplet.  These sweeps
+implement that study on top of the simulator, plus an ablation of the
+interposer reconfiguration policy (ReSiPI vs PROWAVES vs static).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..config import DEFAULT_PLATFORM, MacGroupConfig, PlatformConfig
+from ..core.metrics import InferenceResult
+from .runner import ExperimentRunner
+
+DEFAULT_WAVELENGTH_SWEEP = (8, 16, 32, 64, 128)
+DEFAULT_GATEWAY_SWEEP = (1, 2, 4)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One design point of a sweep."""
+
+    label: str
+    value: float
+    result: InferenceResult
+
+    @property
+    def latency_ms(self) -> float:
+        return self.result.latency_s * 1e3
+
+    @property
+    def power_w(self) -> float:
+        return self.result.average_power_w
+
+    @property
+    def epb_nj(self) -> float:
+        return self.result.energy_per_bit_j * 1e9
+
+
+def sweep_wavelengths(
+    model_name: str = "ResNet50",
+    values: tuple[int, ...] = DEFAULT_WAVELENGTH_SWEEP,
+    base_config: PlatformConfig | None = None,
+) -> list[SweepPoint]:
+    """Latency/power/EPB of the SiPh platform vs wavelength count."""
+    base = base_config or DEFAULT_PLATFORM
+    points = []
+    for n_lambda in values:
+        runner = ExperimentRunner(config=base.with_wavelengths(n_lambda))
+        result = runner.run("2.5D-CrossLight-SiPh", model_name)
+        points.append(
+            SweepPoint(label=f"{n_lambda} wavelengths", value=n_lambda,
+                       result=result)
+        )
+    return points
+
+
+def _with_gateways_per_chiplet(config: PlatformConfig,
+                               gateways: int) -> PlatformConfig:
+    """Rebuild the MAC groups with a different gateway count per chiplet.
+
+    Table 1's groups all have MAC counts divisible by 1, 2 and 4, so the
+    default sweep values keep the inventory integral.  The memory
+    chiplet's writer-gateway count scales along (2x the per-chiplet
+    count, matching the Table 1 ratio of 8 memory gateways to 4 per
+    compute chiplet) — that is the side that actually bounds read
+    bandwidth.
+    """
+    groups = []
+    for group in config.mac_groups:
+        if group.macs_per_chiplet % gateways:
+            raise ValueError(
+                f"{group.kind}: {group.macs_per_chiplet} MACs cannot split "
+                f"over {gateways} gateways"
+            )
+        groups.append(
+            MacGroupConfig(
+                kind=group.kind,
+                vector_length=group.vector_length,
+                kernel_size=group.kernel_size,
+                n_chiplets=group.n_chiplets,
+                macs_per_chiplet=group.macs_per_chiplet,
+                macs_per_gateway=group.macs_per_chiplet // gateways,
+            )
+        )
+    return replace(
+        config,
+        mac_groups=tuple(groups),
+        n_memory_write_gateways=2 * gateways,
+    )
+
+
+def sweep_gateways(
+    model_name: str = "ResNet50",
+    values: tuple[int, ...] = DEFAULT_GATEWAY_SWEEP,
+    base_config: PlatformConfig | None = None,
+) -> list[SweepPoint]:
+    """SiPh platform vs gateways per compute chiplet."""
+    base = base_config or DEFAULT_PLATFORM
+    points = []
+    for gateways in values:
+        config = _with_gateways_per_chiplet(base, gateways)
+        runner = ExperimentRunner(config=config)
+        result = runner.run("2.5D-CrossLight-SiPh", model_name)
+        points.append(
+            SweepPoint(label=f"{gateways} gateways/chiplet", value=gateways,
+                       result=result)
+        )
+    return points
+
+
+def mapping_ablation(
+    model_names: tuple[str, ...] = ("ResNet50", "VGG16"),
+    base_config: PlatformConfig | None = None,
+) -> dict[tuple[str, str], InferenceResult]:
+    """Spillover vs strict-kernel-match mapping on the SiPh platform.
+
+    Quantifies how much of the 2.5D win depends on letting conv layers
+    spill beyond their kernel-matched chiplets (DESIGN.md discusses why
+    the paper's averages imply spillover).
+    """
+    from ..core.accelerator import CrossLight25DSiPh
+    from ..interposer.topology import build_floorplan
+    from ..mapping.mapper import KernelMatchMapper
+
+    base = base_config or DEFAULT_PLATFORM
+    floorplan = build_floorplan(base)
+    runner = ExperimentRunner(config=base)
+    results = {}
+    for strict in (False, True):
+        label = "strict" if strict else "spillover"
+        mapper = KernelMatchMapper(base, floorplan,
+                                   strict_kernel_match=strict)
+        platform = CrossLight25DSiPh(base, mapper=mapper)
+        for model_name in model_names:
+            results[(label, model_name)] = platform.run_workload(
+                runner.workload(model_name)
+            )
+    return results
+
+
+def controller_ablation(
+    model_names: tuple[str, ...] = ("LeNet5", "ResNet50"),
+    controllers: tuple[str, ...] = ("resipi", "prowaves", "static"),
+    base_config: PlatformConfig | None = None,
+) -> dict[tuple[str, str], InferenceResult]:
+    """Compare interposer reconfiguration policies (E10)."""
+    base = base_config or DEFAULT_PLATFORM
+    results = {}
+    for controller in controllers:
+        runner = ExperimentRunner(config=base, controller=controller)
+        for model_name in model_names:
+            results[(controller, model_name)] = runner.run(
+                "2.5D-CrossLight-SiPh", model_name
+            )
+    return results
+
+
+def render_sweep(title: str, points: list[SweepPoint]) -> str:
+    """Text table of a sweep."""
+    lines = [
+        title,
+        f"{'design point':<24}{'latency(ms)':>14}{'power(W)':>12}"
+        f"{'EPB(nJ/b)':>12}",
+        "-" * 62,
+    ]
+    for point in points:
+        lines.append(
+            f"{point.label:<24}{point.latency_ms:>14.4f}"
+            f"{point.power_w:>12.2f}{point.epb_nj:>12.3f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""Result export: JSON / CSV serialisation of experiment outputs.
+
+Downstream users plot these tables; the renderers in the other modules
+print them.  Exports are plain-stdlib (json/csv) and deterministic.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Iterable
+
+from ..core.metrics import InferenceResult
+from .table3 import Table3
+
+RESULT_FIELDS = (
+    "platform",
+    "model",
+    "batch_size",
+    "latency_s",
+    "average_power_w",
+    "total_energy_j",
+    "energy_per_bit_j",
+    "traffic_bits",
+    "reconfigurations",
+)
+"""Columns exported for every inference result."""
+
+
+def result_to_dict(result: InferenceResult) -> dict:
+    """Flatten one result to a JSON-safe dictionary."""
+    record = {field: getattr(result, field) for field in RESULT_FIELDS}
+    record["energy_breakdown_j"] = {
+        "network_static": result.energy.network_static_j,
+        "network_dynamic": result.energy.network_dynamic_j,
+        "compute_static": result.energy.compute_static_j,
+        "compute_dynamic": result.energy.compute_dynamic_j,
+        "logic_static": result.energy.logic_static_j,
+    }
+    record["layer_timeline"] = [
+        {
+            "name": timing.name,
+            "start_s": timing.start_s,
+            "end_s": timing.end_s,
+            "chiplets": list(timing.chiplets),
+        }
+        for timing in result.layer_timeline
+    ]
+    return record
+
+
+def results_to_json(results: Iterable[InferenceResult],
+                    indent: int = 2) -> str:
+    """Serialise results to a JSON array."""
+    return json.dumps([result_to_dict(r) for r in results], indent=indent)
+
+
+def results_to_csv(results: Iterable[InferenceResult]) -> str:
+    """Serialise the scalar columns of results to CSV."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(RESULT_FIELDS)
+    for result in results:
+        writer.writerow([getattr(result, field) for field in RESULT_FIELDS])
+    return buffer.getvalue()
+
+
+def table3_to_csv(table: Table3) -> str:
+    """Serialise a regenerated Table 3 to CSV."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(("platform", "power_w", "latency_ms", "epb_nj_per_bit"))
+    for row in table.rows:
+        writer.writerow(
+            (row.platform, row.power_w, row.latency_ms, row.epb_nj_per_bit)
+        )
+    return buffer.getvalue()
+
+
+def write_text(path: str, content: str) -> None:
+    """Write an export to disk."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(content)

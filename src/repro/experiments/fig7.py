@@ -1,0 +1,79 @@
+"""Figure 7 regeneration: per-model normalized power, latency and EPB.
+
+Fig. 7 plots, for each of the five DNNs, (a) normalized power,
+(b) normalized total latency and (c) normalized energy-per-bit across
+the three platforms.  The figure's normalization base is not stated in
+the text; we normalize each model's bars to the monolithic CrossLight
+value (CrossLight = 1.0), which preserves every ratio the prose quotes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .runner import MODEL_NAMES, PLATFORM_ORDER, ExperimentRunner
+
+METRICS = {
+    "power": "average_power_w",
+    "latency": "latency_s",
+    "epb": "energy_per_bit_j",
+}
+"""Fig. 7 panel name -> InferenceResult attribute."""
+
+NORMALIZATION_BASE = "CrossLight"
+
+
+@dataclass(frozen=True)
+class Fig7Series:
+    """One panel of Fig. 7: metric values per (model, platform)."""
+
+    metric: str
+    absolute: dict[str, dict[str, float]]
+    normalized: dict[str, dict[str, float]]
+
+    def bar(self, model: str, platform: str) -> float:
+        """Normalized bar height for one (model, platform) pair."""
+        return self.normalized[model][platform]
+
+
+def fig7_series(runner: ExperimentRunner, metric: str,
+                models: tuple[str, ...] = MODEL_NAMES) -> Fig7Series:
+    """Compute one Fig. 7 panel."""
+    attribute = METRICS[metric]
+    absolute: dict[str, dict[str, float]] = {}
+    normalized: dict[str, dict[str, float]] = {}
+    for model in models:
+        absolute[model] = {}
+        for platform in PLATFORM_ORDER:
+            absolute[model][platform] = getattr(
+                runner.run(platform, model), attribute
+            )
+        base = absolute[model][NORMALIZATION_BASE]
+        normalized[model] = {
+            platform: value / base
+            for platform, value in absolute[model].items()
+        }
+    return Fig7Series(metric=metric, absolute=absolute, normalized=normalized)
+
+
+def fig7_all(runner: ExperimentRunner | None = None
+             ) -> dict[str, Fig7Series]:
+    """All three Fig. 7 panels."""
+    runner = runner or ExperimentRunner()
+    return {metric: fig7_series(runner, metric) for metric in METRICS}
+
+
+def render_fig7(series: Fig7Series) -> str:
+    """Text rendering of one panel, one row per model."""
+    header = f"Fig. 7 ({series.metric}, normalized to CrossLight = 1.0)"
+    lines = [header, "-" * len(header)]
+    platforms = PLATFORM_ORDER
+    lines.append(
+        f"{'model':<14}" + "".join(f"{p:>24}" for p in platforms)
+    )
+    for model, row in series.normalized.items():
+        lines.append(
+            f"{model:<14}"
+            + "".join(f"{row[platform]:>24.3f}" for platform in platforms)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,126 @@
+"""Open-loop network characterisation: latency-vs-load curves.
+
+Standard NoC methodology (as in the PROWAVES/ReSiPI/DeFT evaluations):
+inject synthetic traffic at increasing offered loads and record mean
+message latency and delivered throughput for each fabric.  Locates each
+interposer's saturation point independently of any DNN workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import DEFAULT_PLATFORM, PlatformConfig
+from ..interposer.electrical.mesh import ElectricalMeshFabric
+from ..interposer.photonic.awgr import AWGRInterposerFabric
+from ..interposer.photonic.controllers import (
+    ReSiPIController,
+    StaticController,
+)
+from ..interposer.photonic.fabric import PhotonicInterposerFabric
+from ..interposer.topology import build_floorplan
+from ..sim.core import Environment
+from ..sim.traffic import TrafficGenerator, TrafficPattern, TrafficReport
+
+FABRIC_KINDS = ("photonic-resipi", "photonic-static", "awgr", "electrical")
+
+
+@dataclass(frozen=True)
+class LoadPoint:
+    """One (fabric, offered load) measurement."""
+
+    fabric: str
+    offered_load_bps: float
+    report: TrafficReport
+
+    @property
+    def mean_latency_us(self) -> float:
+        return self.report.mean_latency_s * 1e6
+
+    @property
+    def throughput_tbps(self) -> float:
+        return self.report.achieved_throughput_bps / 1e12
+
+
+def _build_fabric(kind: str, env: Environment, config: PlatformConfig,
+                  floorplan):
+    if kind == "photonic-resipi":
+        fabric = PhotonicInterposerFabric(env, config, floorplan)
+        ReSiPIController(env, fabric, config)
+        return fabric
+    if kind == "photonic-static":
+        fabric = PhotonicInterposerFabric(env, config, floorplan)
+        StaticController(env, fabric, config)
+        return fabric
+    if kind == "awgr":
+        return AWGRInterposerFabric(env, config, floorplan)
+    if kind == "electrical":
+        return ElectricalMeshFabric(env, config, floorplan)
+    raise KeyError(f"unknown fabric kind {kind!r}")
+
+
+def characterize(
+    fabric_kind: str,
+    loads_bps: tuple[float, ...],
+    pattern_name: str = "hotspot",
+    config: PlatformConfig | None = None,
+    message_bits: float = 1e6,
+    duration_s: float = 50e-6,
+) -> list[LoadPoint]:
+    """Latency-vs-load curve for one fabric kind."""
+    config = config or DEFAULT_PLATFORM
+    floorplan = build_floorplan(config)
+    compute_ids = tuple(
+        site.chiplet_id for site in floorplan.compute_sites
+    )
+    points = []
+    for load in loads_bps:
+        env = Environment()
+        fabric = _build_fabric(fabric_kind, env, config, floorplan)
+        pattern = TrafficPattern(
+            name=pattern_name,
+            offered_load_bps=load,
+            message_bits=message_bits,
+            duration_s=duration_s,
+        )
+        generator = TrafficGenerator(env, fabric, compute_ids, pattern)
+        report = generator.run()
+        points.append(
+            LoadPoint(fabric=fabric_kind, offered_load_bps=load,
+                      report=report)
+        )
+    return points
+
+
+def characterize_all(
+    loads_bps: tuple[float, ...] = (0.2e12, 0.5e12, 1e12, 2e12, 4e12),
+    pattern_name: str = "hotspot",
+    config: PlatformConfig | None = None,
+) -> dict[str, list[LoadPoint]]:
+    """Curves for every fabric kind."""
+    return {
+        kind: characterize(kind, loads_bps, pattern_name, config)
+        for kind in FABRIC_KINDS
+    }
+
+
+def render_characterization(
+    curves: dict[str, list[LoadPoint]]
+) -> str:
+    """Text table: one block per fabric."""
+    lines = ["Network characterisation (hotspot reads, 1 Mb messages)"]
+    for kind, points in curves.items():
+        lines.append("")
+        lines.append(f"{kind}")
+        lines.append(
+            f"{'offered (Tb/s)':>15}{'delivered (Tb/s)':>18}"
+            f"{'mean latency (us)':>19}{'saturated':>11}"
+        )
+        for point in points:
+            lines.append(
+                f"{point.offered_load_bps / 1e12:>15.2f}"
+                f"{point.throughput_tbps:>18.3f}"
+                f"{point.mean_latency_us:>19.2f}"
+                f"{'yes' if point.report.saturated else 'no':>11}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""Quantisation study (extension, from the CrossLight follow-ups).
+
+The paper's accelerator lineage includes heterogeneous quantisation [22]
+(different weight bit-widths per layer) and fully/partially binarised
+networks [24], [25].  This experiment measures how precision changes
+interposer traffic, latency, power and energy-per-bit on the 2.5D
+photonic platform — the deployment question those papers answer at the
+device level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import DEFAULT_PLATFORM, PlatformConfig
+from ..core.accelerator import CrossLight25DSiPh
+from ..core.metrics import InferenceResult
+from ..dnn import zoo
+from ..dnn.quantization import QuantizationConfig
+from ..dnn.workload import extract_workload
+
+
+@dataclass(frozen=True)
+class QuantizationPoint:
+    """One precision configuration and its measured outcome."""
+
+    scheme: str
+    weight_bits_description: str
+    traffic_bits: float
+    result: InferenceResult
+
+
+def quantization_schemes(n_layers: int) -> dict[str, QuantizationConfig]:
+    """The precision ladder the study sweeps."""
+    return {
+        "uniform-8b": QuantizationConfig(),
+        "heterogeneous-8/4b": QuantizationConfig.heterogeneous_front_heavy(
+            n_layers
+        ),
+        "uniform-4b": QuantizationConfig(weight_bits=4, activation_bits=4),
+        "binary (LightBulb-style)": QuantizationConfig.binary(),
+    }
+
+
+def quantization_study(
+    model_name: str = "ResNet50",
+    config: PlatformConfig | None = None,
+) -> list[QuantizationPoint]:
+    """Run the precision ladder on the 2.5D SiPh platform."""
+    config = config or DEFAULT_PLATFORM
+    model = zoo.build(model_name)
+    n_layers = len(model.compute_nodes())
+    platform = CrossLight25DSiPh(config)
+    points = []
+    for scheme, quant in quantization_schemes(n_layers).items():
+        workload = extract_workload(model, quant)
+        result = platform.run_workload(workload)
+        points.append(
+            QuantizationPoint(
+                scheme=scheme,
+                weight_bits_description=(
+                    f"{quant.weight_bits}b weights / "
+                    f"{quant.activation_bits}b activations"
+                ),
+                traffic_bits=workload.total_traffic_bits,
+                result=result,
+            )
+        )
+    return points
+
+
+def render_quantization_study(points: list[QuantizationPoint]) -> str:
+    """Text table of the study."""
+    lines = [
+        "Quantisation study (2.5D-CrossLight-SiPh)",
+        f"{'scheme':<26}{'traffic(Mb)':>12}{'latency(ms)':>13}"
+        f"{'power(W)':>10}{'energy(mJ)':>12}",
+        "-" * 73,
+    ]
+    for point in points:
+        result = point.result
+        lines.append(
+            f"{point.scheme:<26}{point.traffic_bits / 1e6:>12.1f}"
+            f"{result.latency_s * 1e3:>13.4f}"
+            f"{result.average_power_w:>10.2f}"
+            f"{result.total_energy_j * 1e3:>12.3f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,149 @@
+"""Roofline analysis: where the platform crossovers fall.
+
+Classic roofline methodology applied to the three simulated platforms:
+each platform is a (peak compute, memory/interposer bandwidth) pair,
+each model an operational intensity (MACs per interposer byte), and the
+attainable throughput is ``min(peak, intensity * bandwidth)``.  The
+ridge point — the intensity where a platform turns compute-bound —
+explains the Fig. 7 shapes: the electrical interposer's ridge sits far
+to the right of every DNN, so it is bandwidth-starved everywhere, while
+the photonic interposer's ridge sits left of the big CNNs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import DEFAULT_PLATFORM, PlatformConfig
+from ..dnn.workload import InferenceWorkload
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PlatformRoofline:
+    """One platform's roofline parameters."""
+
+    name: str
+    peak_macs_per_s: float
+    bandwidth_bps: float
+
+    def __post_init__(self) -> None:
+        if self.peak_macs_per_s <= 0 or self.bandwidth_bps <= 0:
+            raise ConfigurationError("roofline parameters must be positive")
+
+    @property
+    def ridge_intensity_macs_per_bit(self) -> float:
+        """Operational intensity where compute and bandwidth bound meet."""
+        return self.peak_macs_per_s / self.bandwidth_bps
+
+    def attainable_macs_per_s(self, intensity_macs_per_bit: float) -> float:
+        """Roofline-attainable throughput at a given intensity."""
+        if intensity_macs_per_bit <= 0:
+            raise ConfigurationError("intensity must be positive")
+        return min(
+            self.peak_macs_per_s,
+            intensity_macs_per_bit * self.bandwidth_bps,
+        )
+
+    def is_compute_bound(self, intensity_macs_per_bit: float) -> bool:
+        return intensity_macs_per_bit >= self.ridge_intensity_macs_per_bit
+
+
+def platform_rooflines(
+    config: PlatformConfig | None = None,
+) -> dict[str, PlatformRoofline]:
+    """Rooflines of the three simulated platforms from the live config."""
+    config = config or DEFAULT_PLATFORM
+    photonic_bw = min(
+        config.n_memory_write_gateways * config.gateway_bandwidth_bps,
+        config.hbm_internal_bandwidth_bps,
+    )
+    return {
+        "CrossLight": PlatformRoofline(
+            name="CrossLight",
+            peak_macs_per_s=config.mono_peak_mac_throughput_per_s,
+            bandwidth_bps=min(config.mono_noc_bandwidth_bps,
+                              config.mono_dram_bandwidth_bps
+                              + config.mono_noc_bandwidth_bps),
+        ),
+        "2.5D-CrossLight-Elec": PlatformRoofline(
+            name="2.5D-CrossLight-Elec",
+            peak_macs_per_s=config.peak_mac_throughput_per_s,
+            bandwidth_bps=config.mesh_effective_link_bandwidth_bps,
+        ),
+        "2.5D-CrossLight-SiPh": PlatformRoofline(
+            name="2.5D-CrossLight-SiPh",
+            peak_macs_per_s=config.peak_mac_throughput_per_s,
+            bandwidth_bps=photonic_bw,
+        ),
+    }
+
+
+def operational_intensity(workload: InferenceWorkload) -> float:
+    """MACs per bit of interposer traffic for one inference."""
+    if workload.total_traffic_bits <= 0:
+        raise ConfigurationError("workload moves no data")
+    return workload.total_macs / workload.total_traffic_bits
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One (model, platform) roofline placement."""
+
+    model: str
+    platform: str
+    intensity_macs_per_bit: float
+    attainable_macs_per_s: float
+    compute_bound: bool
+
+
+def roofline_analysis(
+    workloads: dict[str, InferenceWorkload],
+    config: PlatformConfig | None = None,
+) -> list[RooflinePoint]:
+    """Place every model on every platform's roofline."""
+    rooflines = platform_rooflines(config)
+    points = []
+    for model_name, workload in workloads.items():
+        intensity = operational_intensity(workload)
+        for platform_name, roofline in rooflines.items():
+            points.append(
+                RooflinePoint(
+                    model=model_name,
+                    platform=platform_name,
+                    intensity_macs_per_bit=intensity,
+                    attainable_macs_per_s=roofline.attainable_macs_per_s(
+                        intensity
+                    ),
+                    compute_bound=roofline.is_compute_bound(intensity),
+                )
+            )
+    return points
+
+
+def render_roofline(points: list[RooflinePoint],
+                    config: PlatformConfig | None = None) -> str:
+    """Text table of the analysis plus the platform ridge points."""
+    rooflines = platform_rooflines(config)
+    lines = ["Platform rooflines (ridge = MACs/bit where compute binds)"]
+    for roofline in rooflines.values():
+        lines.append(
+            f"  {roofline.name:<24} peak "
+            f"{roofline.peak_macs_per_s / 1e12:6.2f} TMAC/s, bandwidth "
+            f"{roofline.bandwidth_bps / 1e12:6.3f} Tb/s, ridge "
+            f"{roofline.ridge_intensity_macs_per_bit:8.1f} MAC/bit"
+        )
+    lines.append("")
+    lines.append(
+        f"{'model':<14}{'platform':<24}{'MAC/bit':>9}"
+        f"{'attainable':>14}{'bound':>10}"
+    )
+    lines.append("-" * 71)
+    for point in points:
+        lines.append(
+            f"{point.model:<14}{point.platform:<24}"
+            f"{point.intensity_macs_per_bit:>9.1f}"
+            f"{point.attainable_macs_per_s / 1e12:>11.3f} T"
+            f"{'compute' if point.compute_bound else 'memory':>10}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""Experiment orchestration: run model suites across platforms.
+
+Results are cached per ``(platform, model, config-id)`` within a runner
+instance so that Fig. 7 and Table 3 (which share runs) do not simulate
+twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import DEFAULT_PLATFORM, PlatformConfig
+from ..core.accelerator import (
+    CrossLight25DElec,
+    CrossLight25DSiPh,
+    MonolithicCrossLight,
+)
+from ..core.metrics import InferenceResult
+from ..dnn import zoo
+from ..dnn.workload import InferenceWorkload, extract_workload
+
+MODEL_NAMES = tuple(zoo.MODEL_BUILDERS)
+"""Table 2 model names in paper order."""
+
+PLATFORM_ORDER = (
+    "CrossLight",
+    "2.5D-CrossLight-Elec",
+    "2.5D-CrossLight-SiPh",
+)
+"""The three simulated platforms, Table 3 order."""
+
+
+@dataclass
+class ExperimentRunner:
+    """Runs and caches inferences across the evaluation matrix."""
+
+    config: PlatformConfig = field(default_factory=lambda: DEFAULT_PLATFORM)
+    controller: str = "resipi"
+    _workloads: dict[str, InferenceWorkload] = field(default_factory=dict)
+    _results: dict[tuple[str, str], InferenceResult] = field(
+        default_factory=dict
+    )
+
+    def workload(self, model_name: str) -> InferenceWorkload:
+        """Extract (and cache) the inference workload of a zoo model."""
+        if model_name not in self._workloads:
+            self._workloads[model_name] = extract_workload(
+                zoo.build(model_name)
+            )
+        return self._workloads[model_name]
+
+    def _platform(self, platform_name: str):
+        if platform_name == "CrossLight":
+            return MonolithicCrossLight(self.config)
+        if platform_name == "2.5D-CrossLight-Elec":
+            return CrossLight25DElec(self.config)
+        if platform_name == "2.5D-CrossLight-SiPh":
+            return CrossLight25DSiPh(self.config, controller=self.controller)
+        raise KeyError(f"unknown platform {platform_name!r}")
+
+    def run(self, platform_name: str, model_name: str) -> InferenceResult:
+        """Run one (platform, model) cell, cached."""
+        key = (platform_name, model_name)
+        if key not in self._results:
+            platform = self._platform(platform_name)
+            self._results[key] = platform.run_workload(
+                self.workload(model_name)
+            )
+        return self._results[key]
+
+    def run_matrix(
+        self,
+        platforms: tuple[str, ...] = PLATFORM_ORDER,
+        models: tuple[str, ...] = MODEL_NAMES,
+    ) -> dict[tuple[str, str], InferenceResult]:
+        """Run the full evaluation matrix; returns all cells."""
+        for platform_name in platforms:
+            for model_name in models:
+                self.run(platform_name, model_name)
+        return {
+            key: result
+            for key, result in self._results.items()
+            if key[0] in platforms and key[1] in models
+        }
+
+    def average(self, platform_name: str, metric: str,
+                models: tuple[str, ...] = MODEL_NAMES) -> float:
+        """Average a result attribute across models for one platform."""
+        values = [
+            getattr(self.run(platform_name, model_name), metric)
+            for model_name in models
+        ]
+        return sum(values) / len(values)

@@ -1,0 +1,99 @@
+"""Sensitivity of the headline results to calibration knobs.
+
+A reproduction whose conclusions hinge on one magic constant is fragile.
+This study perturbs the documented calibration knobs (DESIGN.md §7) —
+the electrical-interposer link derating, the monolithic design's DRAM
+bandwidth and VDP inventory, and the HBM bandwidth — and recomputes the
+four headline ratios, verifying the paper's qualitative conclusions
+survive across the plausible parameter ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..config import DEFAULT_PLATFORM, PlatformConfig
+from .runner import ExperimentRunner
+from .table3 import Table3, build_table3
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """Headline ratios under one perturbed configuration."""
+
+    knob: str
+    value: float
+    latency_vs_mono: float
+    epb_vs_mono: float
+    latency_vs_elec: float
+    epb_vs_elec: float
+
+    @property
+    def conclusions_hold(self) -> bool:
+        """The paper's qualitative claims: SiPh wins everything."""
+        return (
+            self.latency_vs_mono > 1.0
+            and self.epb_vs_mono > 1.0
+            and self.latency_vs_elec > 1.0
+            and self.epb_vs_elec > 1.0
+        )
+
+
+DEFAULT_KNOBS: dict[str, tuple[float, ...]] = {
+    "mesh_link_efficiency": (0.05, 0.10, 0.20),
+    "mono_dram_bandwidth_bps": (0.1e12, 0.2e12, 0.4e12),
+    "hbm_internal_bandwidth_bps": (1.6e12, 3.2e12, 6.4e12),
+    "mono_n_vdp_units": (8, 16, 32),
+}
+"""Perturbation grid: centre values are the defaults."""
+
+_FAST_MODELS = ("LeNet5", "MobileNetV2", "ResNet50")
+"""Model subset for the sweep (keeps the grid tractable; the two
+largest models shift averages but not orderings)."""
+
+
+def _ratios(knob: str, value: float,
+            config: PlatformConfig) -> SensitivityPoint:
+    runner = ExperimentRunner(config=config)
+    table: Table3 = build_table3(runner, models=_FAST_MODELS)
+    return SensitivityPoint(
+        knob=knob,
+        value=float(value),
+        latency_vs_mono=table.latency_gain_vs_monolithic,
+        epb_vs_mono=table.epb_gain_vs_monolithic,
+        latency_vs_elec=table.latency_gain_vs_electrical,
+        epb_vs_elec=table.epb_gain_vs_electrical,
+    )
+
+
+def sensitivity_study(
+    knobs: dict[str, tuple[float, ...]] | None = None,
+    base_config: PlatformConfig | None = None,
+) -> list[SensitivityPoint]:
+    """One-at-a-time perturbation study over the calibration knobs."""
+    knobs = knobs or DEFAULT_KNOBS
+    base = base_config or DEFAULT_PLATFORM
+    points = []
+    for knob, values in knobs.items():
+        for value in values:
+            config = replace(base, **{knob: value})
+            points.append(_ratios(knob, value, config))
+    return points
+
+
+def render_sensitivity(points: list[SensitivityPoint]) -> str:
+    """Text table of the study."""
+    lines = [
+        "Sensitivity of headline ratios to calibration knobs",
+        f"{'knob':<30}{'value':>12}{'lat/mono':>10}{'EPB/mono':>10}"
+        f"{'lat/elec':>10}{'EPB/elec':>10}{'holds':>7}",
+        "-" * 89,
+    ]
+    for point in points:
+        lines.append(
+            f"{point.knob:<30}{point.value:>12.3g}"
+            f"{point.latency_vs_mono:>10.1f}{point.epb_vs_mono:>10.1f}"
+            f"{point.latency_vs_elec:>10.1f}{point.epb_vs_elec:>10.1f}"
+            f"{'yes' if point.conclusions_hold else 'NO':>7}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,149 @@
+"""Table 3 regeneration: average power, latency and EPB per platform.
+
+Reproduces the ten-row comparison: the three simulated platforms
+(averaged over the five Table 2 models) plus the seven literature
+platforms modelled in :mod:`repro.baselines`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines.platforms import LITERATURE_PLATFORMS
+from .runner import MODEL_NAMES, PLATFORM_ORDER, ExperimentRunner
+
+PAPER_TABLE3 = {
+    "CrossLight": (50.8, 8.0, 3.6),
+    "2.5D-CrossLight-Elec": (45.3, 41.4, 20.5),
+    "2.5D-CrossLight-SiPh": (89.7, 1.21, 1.3),
+    "Nvidia P100 GPU": (250.0, 13.1, 12.3),
+    "Intel 9282 CPU": (400.0, 86.5, 64.4),
+    "AMD 3970 CPU": (280.0, 141.3, 73.7),
+    "Edge TPU": (2.0, 2366.4, 17.6),
+    "Null Hop": (2.3, 8049.3, 68.9),
+    "Deap_CNN": (122.0, 619.01, 1959.4),
+    "HolyLight": (66.5, 86.4, 40.3),
+}
+"""(power W, latency ms, EPB nJ/bit) exactly as printed in Table 3."""
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """One regenerated Table 3 row."""
+
+    platform: str
+    power_w: float
+    latency_ms: float
+    epb_nj_per_bit: float
+
+
+@dataclass(frozen=True)
+class Table3:
+    """The regenerated table plus the headline ratios of Section VI."""
+
+    rows: tuple[Table3Row, ...]
+
+    def row(self, platform: str) -> Table3Row:
+        for candidate in self.rows:
+            if candidate.platform == platform:
+                return candidate
+        raise KeyError(platform)
+
+    # -- headline ratios (Section VI prose) ----------------------------------
+
+    @property
+    def latency_gain_vs_monolithic(self) -> float:
+        """Paper: 6.6x lower latency than monolithic CrossLight."""
+        return (
+            self.row("CrossLight").latency_ms
+            / self.row("2.5D-CrossLight-SiPh").latency_ms
+        )
+
+    @property
+    def epb_gain_vs_monolithic(self) -> float:
+        """Paper: 2.8x lower EPB than monolithic CrossLight."""
+        return (
+            self.row("CrossLight").epb_nj_per_bit
+            / self.row("2.5D-CrossLight-SiPh").epb_nj_per_bit
+        )
+
+    @property
+    def latency_gain_vs_electrical(self) -> float:
+        """Paper: 34x lower latency than the electrical interposer."""
+        return (
+            self.row("2.5D-CrossLight-Elec").latency_ms
+            / self.row("2.5D-CrossLight-SiPh").latency_ms
+        )
+
+    @property
+    def epb_gain_vs_electrical(self) -> float:
+        """Paper: 15.8x lower EPB than the electrical interposer."""
+        return (
+            self.row("2.5D-CrossLight-Elec").epb_nj_per_bit
+            / self.row("2.5D-CrossLight-SiPh").epb_nj_per_bit
+        )
+
+
+def build_table3(runner: ExperimentRunner | None = None,
+                 models: tuple[str, ...] = MODEL_NAMES) -> Table3:
+    """Run everything Table 3 needs and assemble the rows."""
+    runner = runner or ExperimentRunner()
+    rows = []
+    for platform in PLATFORM_ORDER:
+        rows.append(
+            Table3Row(
+                platform=platform,
+                power_w=runner.average(platform, "average_power_w", models),
+                latency_ms=runner.average(platform, "latency_s", models)
+                * 1e3,
+                epb_nj_per_bit=runner.average(
+                    platform, "energy_per_bit_j", models
+                )
+                * 1e9,
+            )
+        )
+    for baseline in LITERATURE_PLATFORMS:
+        results = [
+            baseline.run_workload(runner.workload(model)) for model in models
+        ]
+        rows.append(
+            Table3Row(
+                platform=baseline.name,
+                power_w=sum(r.average_power_w for r in results) / len(results),
+                latency_ms=sum(r.latency_s for r in results)
+                / len(results)
+                * 1e3,
+                epb_nj_per_bit=sum(r.energy_per_bit_j for r in results)
+                / len(results)
+                * 1e9,
+            )
+        )
+    return Table3(rows=tuple(rows))
+
+
+def render_table3(table: Table3, include_paper: bool = True) -> str:
+    """Text rendering, optionally with the paper's values side by side."""
+    lines = [
+        "Table 3: average power, latency and energy-per-bit",
+        f"{'platform':<24}{'power(W)':>10}{'lat(ms)':>12}{'EPB(nJ/b)':>12}"
+        + ("{:>30}".format("paper (P / L / EPB)") if include_paper else ""),
+        "-" * (58 + (30 if include_paper else 0)),
+    ]
+    for row in table.rows:
+        line = (
+            f"{row.platform:<24}{row.power_w:>10.2f}"
+            f"{row.latency_ms:>12.3f}{row.epb_nj_per_bit:>12.3f}"
+        )
+        if include_paper and row.platform in PAPER_TABLE3:
+            p, l, e = PAPER_TABLE3[row.platform]
+            line += f"{p:>12.1f}{l:>9.2f}{e:>9.1f}"
+        lines.append(line)
+    lines.append("")
+    lines.append(
+        "headline ratios (paper: 6.6x / 2.8x / 34x / 15.8x): "
+        f"{table.latency_gain_vs_monolithic:.1f}x lat vs mono, "
+        f"{table.epb_gain_vs_monolithic:.1f}x EPB vs mono, "
+        f"{table.latency_gain_vs_electrical:.1f}x lat vs elec, "
+        f"{table.epb_gain_vs_electrical:.1f}x EPB vs elec"
+    )
+    return "\n".join(lines)

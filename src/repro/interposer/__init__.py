@@ -1,0 +1,13 @@
+"""Interposer networks: floorplan, photonic fabric, electrical mesh."""
+
+from .base import DEFAULT_CHUNK_BITS, InterposerFabric, NetworkEnergyReport
+from .topology import ChipletSite, Floorplan, build_floorplan
+
+__all__ = [
+    "DEFAULT_CHUNK_BITS",
+    "InterposerFabric",
+    "NetworkEnergyReport",
+    "ChipletSite",
+    "Floorplan",
+    "build_floorplan",
+]

@@ -1,0 +1,76 @@
+"""Abstract interposer fabric interface.
+
+The inference engine drives any communication substrate through this
+interface: unicast/multicast reads from the memory chiplet, writes back
+to it, and weight fetches.  Implementations: the silicon-photonic
+interposer (:mod:`repro.interposer.photonic.fabric`), the electrical mesh
+(:mod:`repro.interposer.electrical.mesh`), and the monolithic on-chip
+network (:mod:`repro.core.crosslight`).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from ..sim.core import Environment, Event
+
+DEFAULT_CHUNK_BITS = 256 * 1024
+"""Transfer chunking granularity: 32 KiB chunks keep reconfiguration
+responsive while bounding event counts."""
+
+
+@dataclass
+class NetworkEnergyReport:
+    """Energy consumed by a fabric over a finished simulation."""
+
+    elapsed_s: float
+    static_energy_j: float
+    dynamic_energy_j: float
+    breakdown_j: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.static_energy_j + self.dynamic_energy_j
+
+    @property
+    def average_power_w(self) -> float:
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.total_energy_j / self.elapsed_s
+
+
+class InterposerFabric(abc.ABC):
+    """A communication substrate between memory and compute chiplets."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self.bits_read = 0.0
+        self.bits_written = 0.0
+
+    @abc.abstractmethod
+    def read(self, dst_chiplet: str, bits: float,
+             multicast: tuple[str, ...] | None = None) -> Event:
+        """Move activation data memory -> chiplet(s).
+
+        With ``multicast`` set, the same payload reaches every listed
+        chiplet; fabrics with native broadcast charge the shared medium
+        once, others replicate.  Returns an event firing on completion.
+        """
+
+    @abc.abstractmethod
+    def write(self, src_chiplet: str, bits: float) -> Event:
+        """Move result data chiplet -> memory."""
+
+    def read_weights(self, dst_chiplet: str, bits: float) -> Event:
+        """Move weights memory -> chiplet (defaults to the read path)."""
+        return self.read(dst_chiplet, bits)
+
+    @abc.abstractmethod
+    def energy_report(self) -> NetworkEnergyReport:
+        """Close the books: energy consumed up to ``env.now``."""
+
+    @property
+    def total_bits_moved(self) -> float:
+        """All payload bits that crossed the fabric."""
+        return self.bits_read + self.bits_written

@@ -1,0 +1,5 @@
+"""Electrical mesh interposer baseline."""
+
+from .mesh import ElectricalMeshFabric
+
+__all__ = ["ElectricalMeshFabric"]

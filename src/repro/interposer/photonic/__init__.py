@@ -1,0 +1,35 @@
+"""Silicon-photonic interposer network: fabric, link budgets, controllers."""
+
+from .controllers import (
+    CONTROLLER_FACTORIES,
+    ProwavesController,
+    ReSiPIController,
+    StaticController,
+)
+from .awgr import AWGRInterposerFabric, awgr_link_budget
+from .fabric import PHOTONIC_DYNAMIC_J_PER_BIT, PhotonicInterposerFabric
+from .faults import FaultInjector, FaultPlan, uniform_fault_plan
+from .links import (
+    INTERPOSER_WAVEGUIDE_LOSS_DB_PER_CM,
+    swmr_read_budget,
+    swsr_write_budget,
+    worst_case_write_budget,
+)
+
+__all__ = [
+    "CONTROLLER_FACTORIES",
+    "ProwavesController",
+    "ReSiPIController",
+    "StaticController",
+    "AWGRInterposerFabric",
+    "awgr_link_budget",
+    "FaultInjector",
+    "FaultPlan",
+    "uniform_fault_plan",
+    "PHOTONIC_DYNAMIC_J_PER_BIT",
+    "PhotonicInterposerFabric",
+    "INTERPOSER_WAVEGUIDE_LOSS_DB_PER_CM",
+    "swmr_read_budget",
+    "swsr_write_budget",
+    "worst_case_write_budget",
+]

@@ -1,0 +1,162 @@
+"""Reconfiguration controllers for the photonic interposer.
+
+Three policies, matching Section IV of the paper:
+
+* :class:`ReSiPIController` [37] — monitors per-chiplet traffic in time
+  epochs and tunes the **number of active gateways** through PCM
+  couplers; laser power follows the active-gateway count.
+* :class:`ProwavesController` [11] — tunes the **number of active
+  wavelengths** globally with respect to traffic load.
+* :class:`StaticController` — everything always on (the passive-network
+  upper bound on performance and power; ablation baseline).
+
+Controllers are simulation processes: they wake at every epoch boundary,
+read the fabric's traffic monitor, and apply the new configuration
+(PCMC/laser switching costs are charged by the fabric).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ...config import PlatformConfig
+from ...sim.core import Environment
+from .fabric import PhotonicInterposerFabric
+
+
+class ReSiPIController:
+    """Epoch-driven gateway scaling via PCM couplers (ReSiPI [37])."""
+
+    def __init__(
+        self,
+        env: Environment,
+        fabric: PhotonicInterposerFabric,
+        config: PlatformConfig,
+        headroom: float = 1.25,
+    ):
+        self.env = env
+        self.fabric = fabric
+        self.config = config
+        self.headroom = headroom
+        self.decision_log: list[dict[str, int]] = []
+        # Start minimal: one gateway everywhere; traffic wakes more up.
+        fabric.set_active_memory_gateways(1)
+        for chiplet_id in fabric.inventories:
+            fabric.set_active_chiplet_gateways(chiplet_id, 1, 1)
+        self._process = env.process(self._run())
+
+    def _gateways_for_demand(self, demand_bps: float, maximum: int) -> int:
+        """Gateways needed to serve a demand with headroom, at least one."""
+        gateway_bw = self.config.gateway_bandwidth_bps
+        needed = math.ceil(self.headroom * demand_bps / gateway_bw)
+        return max(1, min(maximum, needed))
+
+    def _run(self):
+        while True:
+            yield self.env.timeout(self.config.resipi_epoch_s)
+            traffic = self.fabric.monitor.close_epoch()
+            demand = self.fabric.monitor.demanded_bandwidth_bps(traffic)
+            decisions: dict[str, int] = {}
+
+            memory_demand = demand.get("mem_read", 0.0)
+            n_memory = self._gateways_for_demand(
+                memory_demand, self.config.n_memory_write_gateways
+            )
+            self.fabric.set_active_memory_gateways(n_memory)
+            decisions["mem"] = n_memory
+
+            for chiplet_id, inventory in self.fabric.inventories.items():
+                read_demand = demand.get(f"read:{chiplet_id}", 0.0)
+                write_demand = demand.get(f"write:{chiplet_id}", 0.0)
+                n_read = self._gateways_for_demand(
+                    read_demand, inventory.n_read_gateways
+                )
+                n_write = self._gateways_for_demand(
+                    write_demand, inventory.n_write_gateways
+                )
+                self.fabric.set_active_chiplet_gateways(
+                    chiplet_id, n_write, n_read
+                )
+                decisions[chiplet_id] = n_read + n_write
+            self.decision_log.append(decisions)
+
+
+class ProwavesController:
+    """Epoch-driven wavelength scaling (PROWAVES [11]).
+
+    All gateways stay active; the controller scales the active share of
+    the wavelength comb to match the *peak* per-channel demand, because
+    every channel shares the comb of the single laser source.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        fabric: PhotonicInterposerFabric,
+        config: PlatformConfig,
+        headroom: float = 1.25,
+    ):
+        self.env = env
+        self.fabric = fabric
+        self.config = config
+        self.headroom = headroom
+        self.decision_log: list[float] = []
+        fabric.set_wavelength_fraction(1.0 / config.n_wavelengths)
+        self._process = env.process(self._run())
+
+    def _run(self):
+        per_lambda_bw = self.config.wavelength_data_rate_bps
+        n_lambda = self.config.n_wavelengths
+        while True:
+            yield self.env.timeout(self.config.resipi_epoch_s)
+            traffic = self.fabric.monitor.close_epoch()
+            demand = self.fabric.monitor.demanded_bandwidth_bps(traffic)
+            # Peak per-gateway demand across channels sets the comb size.
+            peak = 0.0
+            mem_gateways = self.config.n_memory_write_gateways
+            peak = max(peak, demand.get("mem_read", 0.0) / mem_gateways)
+            for chiplet_id, inventory in self.fabric.inventories.items():
+                peak = max(
+                    peak,
+                    demand.get(f"read:{chiplet_id}", 0.0)
+                    / inventory.n_read_gateways,
+                )
+                peak = max(
+                    peak,
+                    demand.get(f"write:{chiplet_id}", 0.0)
+                    / inventory.n_write_gateways,
+                )
+            wanted = math.ceil(self.headroom * peak / per_lambda_bw)
+            wanted = max(1, min(n_lambda, wanted))
+            fraction = wanted / n_lambda
+            self.fabric.set_wavelength_fraction(fraction)
+            self.decision_log.append(fraction)
+
+
+class StaticController:
+    """No reconfiguration: all gateways and wavelengths always active."""
+
+    def __init__(
+        self,
+        env: Environment,
+        fabric: PhotonicInterposerFabric,
+        config: PlatformConfig,
+    ):
+        self.env = env
+        self.fabric = fabric
+        self.decision_log: list[None] = []
+        # The fabric boots fully active; drain epochs so monitors don't grow.
+        self._process = env.process(self._run(config.resipi_epoch_s))
+
+    def _run(self, epoch_s: float):
+        while True:
+            yield self.env.timeout(epoch_s)
+            self.fabric.monitor.close_epoch()
+
+
+CONTROLLER_FACTORIES = {
+    "resipi": ReSiPIController,
+    "prowaves": ProwavesController,
+    "static": StaticController,
+}
+"""Controller constructors keyed by policy name."""

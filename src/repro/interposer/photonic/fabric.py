@@ -1,0 +1,432 @@
+"""Silicon-photonic interposer fabric (Section V, Fig. 6).
+
+Transfer paths are staged pipelines of bandwidth channels:
+
+* **read** (memory -> compute): HBM internal port -> memory writer
+  gateways (SWMR channels, aggregated elastically) -> destination
+  chiplet's reader gateways.  Multicast charges the shared stages once.
+* **write** (compute -> memory): source chiplet's writer gateways (SWSR
+  channels) -> HBM internal port.
+
+Gateway counts are *elastic*: a reconfiguration controller (ReSiPI,
+PROWAVES, or a static policy) owns how many gateways/wavelengths are
+active, and the fabric exposes ``set_*`` hooks that rescale the channel
+bandwidths and the power-accounting signals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...config import PlatformConfig
+from ...errors import ConfigurationError
+from ...photonics import constants as ph
+from ...photonics.laser import LaserSource
+from ...photonics.photodetector import Photodetector
+from ...power import params as ep
+from ...sim.core import Environment, Event
+from ...sim.resources import BandwidthChannel, Store
+from ...sim.stats import EpochTrafficMonitor, TimeWeightedValue
+from ..base import DEFAULT_CHUNK_BITS, InterposerFabric, NetworkEnergyReport
+from ..topology import Floorplan
+from .links import swmr_read_budget, worst_case_write_budget
+
+PHOTONIC_DYNAMIC_J_PER_BIT = (
+    2.0 * ph.SERDES_ENERGY_J_PER_BIT
+    + ph.MODULATOR_DRIVER_ENERGY_J_PER_BIT
+    + 2.0 * ep.MICROBUMP_ENERGY_J_PER_BIT
+)
+"""Per-bit dynamic energy of one interposer traversal: serialize +
+modulate + receive + deserialize + two microbump crossings."""
+
+
+@dataclass(frozen=True)
+class GatewayInventory:
+    """Gateway counts for one compute chiplet."""
+
+    chiplet_id: str
+    n_write_gateways: int
+    n_read_gateways: int
+
+
+class PhotonicInterposerFabric(InterposerFabric):
+    """The reconfigurable photonic interposer network."""
+
+    def __init__(
+        self,
+        env: Environment,
+        config: PlatformConfig,
+        floorplan: Floorplan,
+        chunk_bits: float = DEFAULT_CHUNK_BITS,
+    ):
+        super().__init__(env)
+        self.config = config
+        self.floorplan = floorplan
+        self.chunk_bits = chunk_bits
+        self._gateway_bw = config.gateway_bandwidth_bps
+        self._wavelength_fraction = 1.0
+
+        # -- channels -----------------------------------------------------
+        self.hbm_channel = BandwidthChannel(
+            env, config.hbm_internal_bandwidth_bps, name="hbm"
+        )
+        self.memory_write_channel = BandwidthChannel(
+            env,
+            config.n_memory_write_gateways * self._gateway_bw,
+            name="mem-write-gateways",
+        )
+        self.chiplet_read_channels: dict[str, BandwidthChannel] = {}
+        self.chiplet_write_channels: dict[str, BandwidthChannel] = {}
+        self.inventories: dict[str, GatewayInventory] = {}
+        for site in floorplan.compute_sites:
+            group = config.group_by_kind(site.kind)
+            inventory = GatewayInventory(
+                chiplet_id=site.chiplet_id,
+                n_write_gateways=group.gateways_per_chiplet,
+                n_read_gateways=group.gateways_per_chiplet,
+            )
+            self.inventories[site.chiplet_id] = inventory
+            self.chiplet_read_channels[site.chiplet_id] = BandwidthChannel(
+                env,
+                inventory.n_read_gateways * self._gateway_bw,
+                name=f"{site.chiplet_id}-read",
+            )
+            self.chiplet_write_channels[site.chiplet_id] = BandwidthChannel(
+                env,
+                inventory.n_write_gateways * self._gateway_bw,
+                name=f"{site.chiplet_id}-write",
+            )
+
+        # -- controller-visible state ------------------------------------------
+        self.active_memory_gateways = TimeWeightedValue(
+            env, float(config.n_memory_write_gateways)
+        )
+        self.active_write_gateways: dict[str, TimeWeightedValue] = {}
+        self.active_read_gateways: dict[str, TimeWeightedValue] = {}
+        for chiplet_id, inventory in self.inventories.items():
+            self.active_write_gateways[chiplet_id] = TimeWeightedValue(
+                env, float(inventory.n_write_gateways)
+            )
+            self.active_read_gateways[chiplet_id] = TimeWeightedValue(
+                env, float(inventory.n_read_gateways)
+            )
+        self.monitor = EpochTrafficMonitor(env, config.resipi_epoch_s)
+        self.pcmc_energy_j = 0.0
+        self.reconfiguration_count = 0
+        self._desired_bandwidth: dict[str, float] = {}
+
+        # -- power-model ingredients ---------------------------------------------
+        detector = Photodetector()
+        laser = LaserSource.off_chip()
+        read_budget = swmr_read_budget(config, floorplan)
+        write_budget = worst_case_write_budget(config, floorplan)
+        self._laser_w_per_mem_gateway = laser.electrical_power_w(
+            read_budget.required_on_chip_power_w(detector)
+            * config.n_wavelengths
+        )
+        self._laser_w_per_compute_gateway = laser.electrical_power_w(
+            write_budget.required_on_chip_power_w(detector)
+            * config.n_wavelengths
+        )
+        self._propagation_delay_s = (
+            floorplan.broadcast_waveguide_length_m("mem-0")
+            * ph.GROUP_INDEX_SOI
+            / 299_792_458.0
+        )
+
+    # -- controller hooks ---------------------------------------------------------
+
+    def _apply_bandwidth(self, channel: BandwidthChannel, target_bps: float,
+                         increase: bool) -> None:
+        """Apply a channel bandwidth change, honouring PCMC write time.
+
+        Capacity reductions are immediate (light simply stops being
+        delivered); capacity increases only take effect once the PCM
+        cells have been re-amorphised (~1 us), so a demand spike pays one
+        epoch of lag — the ReSiPI behaviour.
+        """
+        self._desired_bandwidth[channel.name] = target_bps
+        if not increase:
+            channel.set_bandwidth(target_bps)
+            return
+
+        def deferred():
+            yield self.env.timeout(ph.PCMC_SWITCHING_TIME_S)
+            # A newer decision may have superseded this one.
+            if self._desired_bandwidth.get(channel.name) == target_bps:
+                channel.set_bandwidth(target_bps)
+
+        self.env.process(deferred())
+
+    def set_active_memory_gateways(self, count: int) -> None:
+        """Rescale the memory-side SWMR write capacity."""
+        maximum = self.config.n_memory_write_gateways
+        if not 1 <= count <= maximum:
+            raise ConfigurationError(
+                f"memory gateways must be in [1, {maximum}], got {count}"
+            )
+        previous = int(self.active_memory_gateways.value)
+        if count != previous:
+            self.reconfiguration_count += 1
+            self.pcmc_energy_j += ph.PCMC_SWITCHING_ENERGY_J * abs(
+                count - previous
+            )
+        self.active_memory_gateways.set(float(count))
+        self._apply_bandwidth(
+            self.memory_write_channel,
+            count * self._gateway_bw * self._wavelength_fraction,
+            increase=count > previous,
+        )
+
+    def set_active_chiplet_gateways(
+        self, chiplet_id: str, n_write: int, n_read: int
+    ) -> None:
+        """Rescale one compute chiplet's gateway counts."""
+        inventory = self.inventories[chiplet_id]
+        if not 1 <= n_write <= inventory.n_write_gateways:
+            raise ConfigurationError(
+                f"{chiplet_id}: write gateways must be in "
+                f"[1, {inventory.n_write_gateways}], got {n_write}"
+            )
+        if not 1 <= n_read <= inventory.n_read_gateways:
+            raise ConfigurationError(
+                f"{chiplet_id}: read gateways must be in "
+                f"[1, {inventory.n_read_gateways}], got {n_read}"
+            )
+        previous_write = int(self.active_write_gateways[chiplet_id].value)
+        previous_read = int(self.active_read_gateways[chiplet_id].value)
+        delta = abs(n_write - previous_write) + abs(n_read - previous_read)
+        if delta:
+            self.reconfiguration_count += 1
+            self.pcmc_energy_j += ph.PCMC_SWITCHING_ENERGY_J * delta
+        self.active_write_gateways[chiplet_id].set(float(n_write))
+        self.active_read_gateways[chiplet_id].set(float(n_read))
+        scale = self._gateway_bw * self._wavelength_fraction
+        self._apply_bandwidth(
+            self.chiplet_write_channels[chiplet_id], n_write * scale,
+            increase=n_write > previous_write,
+        )
+        self._apply_bandwidth(
+            self.chiplet_read_channels[chiplet_id], n_read * scale,
+            increase=n_read > previous_read,
+        )
+
+    def set_wavelength_fraction(self, fraction: float) -> None:
+        """Scale every channel's active wavelength share (PROWAVES)."""
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigurationError(
+                f"wavelength fraction must be in (0, 1], got {fraction}"
+            )
+        self._wavelength_fraction = fraction
+        self.memory_write_channel.set_bandwidth(
+            self.active_memory_gateways.value * self._gateway_bw * fraction
+        )
+        for chiplet_id in self.inventories:
+            self.set_active_chiplet_gateways(
+                chiplet_id,
+                int(self.active_write_gateways[chiplet_id].value),
+                int(self.active_read_gateways[chiplet_id].value),
+            )
+
+    # -- transfers -------------------------------------------------------------------
+
+    def _chunks(self, bits: float) -> list[float]:
+        """Split a payload into channel-granularity chunks."""
+        if bits <= 0:
+            return []
+        full, remainder = divmod(bits, self.chunk_bits)
+        chunks = [self.chunk_bits] * int(full)
+        if remainder > 0:
+            chunks.append(remainder)
+        return chunks
+
+    def _pump(self, chunks, channel, downstream: Store | None,
+              done: Event | None, monitor_key: str | None = None):
+        """Process: push chunks through one channel stage.
+
+        Traffic is recorded per chunk as it is served, so the epoch
+        monitor sees *sustained* load while a long message drains — the
+        signal the reconfiguration controllers ramp on.
+        """
+        for chunk in chunks:
+            yield self.env.process(channel.transfer(chunk))
+            if monitor_key is not None:
+                self.monitor.record(monitor_key, chunk)
+            if downstream is not None:
+                downstream.put(chunk)
+        if done is not None:
+            done.succeed()
+
+    def _drain(self, n_chunks: int, source: Store, channel,
+               downstream: Store | None, done: Event | None,
+               monitor_key: str | None = None):
+        """Process: pull chunks from a store and push them onward."""
+        for _ in range(n_chunks):
+            chunk = yield source.get()
+            yield self.env.process(channel.transfer(chunk))
+            if monitor_key is not None:
+                self.monitor.record(monitor_key, chunk)
+            if downstream is not None:
+                downstream.put(chunk)
+        if done is not None:
+            done.succeed()
+
+    def read(self, dst_chiplet: str, bits: float,
+             multicast: tuple[str, ...] | None = None) -> Event:
+        """Memory -> chiplet(s) transfer; multicast shares the SWMR stage."""
+        destinations = multicast if multicast else (dst_chiplet,)
+        return self.env.process(self._read_proc(destinations, bits))
+
+    def _read_proc(self, destinations: tuple[str, ...], bits: float):
+        chunks = self._chunks(bits)
+        self.bits_read += bits * 1  # shared-medium payload charged once
+        if not chunks:
+            return
+
+        # Stage 1: HBM -> stage 2: SWMR writer -> stage 3: per-dst readers.
+        to_writer: Store = Store(self.env)
+        fanout_stores = {dst: Store(self.env) for dst in destinations}
+        dones = []
+
+        self.env.process(self._pump(chunks, self.hbm_channel, to_writer, None))
+
+        def writer_stage():
+            for _ in range(len(chunks)):
+                chunk = yield to_writer.get()
+                yield self.env.process(self.memory_write_channel.transfer(chunk))
+                self.monitor.record("mem_read", chunk)
+                for store in fanout_stores.values():
+                    store.put(chunk)
+
+        self.env.process(writer_stage())
+
+        for destination in destinations:
+            done = self.env.event()
+            dones.append(done)
+            self.env.process(
+                self._drain(
+                    len(chunks),
+                    fanout_stores[destination],
+                    self.chiplet_read_channels[destination],
+                    None,
+                    done,
+                    monitor_key=f"read:{destination}",
+                )
+            )
+        yield self.env.all_of(dones)
+        yield self.env.timeout(
+            self._propagation_delay_s
+            + self.config.gateway_conversion_latency_s
+            + self.config.gateway_protocol_overhead_s
+        )
+
+    def write(self, src_chiplet: str, bits: float) -> Event:
+        """Chiplet -> memory transfer over the chiplet's SWSR channels."""
+        return self.env.process(self._write_proc(src_chiplet, bits))
+
+    def _write_proc(self, src_chiplet: str, bits: float):
+        chunks = self._chunks(bits)
+        self.bits_written += bits
+        if not chunks:
+            return
+        to_hbm: Store = Store(self.env)
+        done = self.env.event()
+        self.env.process(
+            self._pump(
+                chunks, self.chiplet_write_channels[src_chiplet], to_hbm, None,
+                monitor_key=f"write:{src_chiplet}",
+            )
+        )
+        self.env.process(
+            self._drain(len(chunks), to_hbm, self.hbm_channel, None, done)
+        )
+        yield done
+        yield self.env.timeout(
+            self._propagation_delay_s
+            + self.config.gateway_conversion_latency_s
+            + self.config.gateway_protocol_overhead_s
+        )
+
+    # -- energy ------------------------------------------------------------------------
+
+    def energy_report(self) -> NetworkEnergyReport:
+        """Integrate static power signals and dynamic per-bit energies."""
+        elapsed = self.env.now
+        n_lambda = self.config.n_wavelengths * self._wavelength_fraction
+
+        # Laser: proportional to active writer gateways on each side.
+        laser_j = (
+            self.active_memory_gateways.integral()
+            * self._laser_w_per_mem_gateway
+        )
+        compute_writer_integral = sum(
+            signal.integral() for signal in self.active_write_gateways.values()
+        )
+        laser_j += compute_writer_integral * self._laser_w_per_compute_gateway
+
+        # Per-active-gateway electronics (writer: modulators + buffers;
+        # reader: TIAs + buffers), per wavelength where applicable.
+        writer_static_w = (
+            ph.MODULATOR_STATIC_POWER_W * n_lambda
+            + ph.GATEWAY_BUFFER_STATIC_POWER_W
+        )
+        reader_static_w = (
+            ph.PD_TIA_POWER_W * n_lambda + ph.GATEWAY_BUFFER_STATIC_POWER_W
+        )
+        writer_integral = (
+            self.active_memory_gateways.integral() + compute_writer_integral
+        )
+        reader_integral = sum(
+            signal.integral() for signal in self.active_read_gateways.values()
+        )
+        # Memory-side filter rows listen to compute writers: one row per
+        # active compute writer gateway.
+        reader_integral += compute_writer_integral
+        electronics_j = (
+            writer_integral * writer_static_w
+            + reader_integral * reader_static_w
+        )
+
+        # Ring trimming on active gateway rows.  MRG rows are held on the
+        # DWDM grid with thermo-optic trimming (ReSiPI's PCMs gate optical
+        # power; they do not replace resonance trimming), which is why the
+        # photonic interposer carries a notable power overhead (Table 3).
+        trim_per_row_w = (
+            n_lambda
+            * ph.MR_TO_TUNING_POWER_W_PER_NM
+            * ph.MR_THERMAL_TRIMMING_NM
+        )
+        trimming_j = (writer_integral + reader_integral) * trim_per_row_w
+
+        controller_j = ep.RESIPI_CONTROLLER_POWER_W * elapsed
+
+        dynamic_j = (
+            self.total_bits_moved * PHOTONIC_DYNAMIC_J_PER_BIT
+            + (self.bits_read + self.bits_written) * ep.HBM_ENERGY_J_PER_BIT
+            + self.pcmc_energy_j
+        )
+        static_j = (
+            laser_j
+            + electronics_j
+            + trimming_j
+            + controller_j
+            + ep.HBM_STATIC_POWER_W * elapsed
+            + ep.MEMORY_CHIPLET_LOGIC_STATIC_POWER_W * elapsed
+        )
+        return NetworkEnergyReport(
+            elapsed_s=elapsed,
+            static_energy_j=static_j,
+            dynamic_energy_j=dynamic_j,
+            breakdown_j={
+                "laser": laser_j,
+                "gateway_electronics": electronics_j,
+                "ring_trimming": trimming_j,
+                "controller": controller_j,
+                "hbm_static": ep.HBM_STATIC_POWER_W * elapsed,
+                "hbm_dynamic": (self.bits_read + self.bits_written)
+                * ep.HBM_ENERGY_J_PER_BIT,
+                "serdes_modulate_receive": self.total_bits_moved
+                * PHOTONIC_DYNAMIC_J_PER_BIT,
+                "pcmc_switching": self.pcmc_energy_j,
+            },
+        )

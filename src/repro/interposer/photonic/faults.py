@@ -1,0 +1,169 @@
+"""Gateway fault injection for the photonic interposer.
+
+The paper builds on fault-tolerance work ([39] SiPterposer, [40] DeFT):
+2.5D integration must survive defective interconnect resources.  The
+ReSiPI fabric has natural redundancy — each chiplet owns several
+gateways and the memory chiplet several writer gateways — so a failed
+gateway can be masked by treating it as permanently deactivated, at a
+bandwidth cost the controller then works around.
+
+:class:`FaultInjector` marks gateways dead, constrains the fabric and
+controller decisions accordingly, and reports the degradation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...errors import ConfigurationError
+from .fabric import PhotonicInterposerFabric
+
+
+@dataclass
+class FaultPlan:
+    """Which gateway resources are dead.
+
+    ``memory_gateways_failed`` removes memory-side writer gateways;
+    ``chiplet_gateways_failed`` maps chiplet id -> (write, read) failed
+    counts.
+    """
+
+    memory_gateways_failed: int = 0
+    chiplet_gateways_failed: dict[str, tuple[int, int]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def total_failed(self) -> int:
+        return self.memory_gateways_failed + sum(
+            w + r for w, r in self.chiplet_gateways_failed.values()
+        )
+
+
+class FaultInjector:
+    """Applies a fault plan to a fabric and keeps controllers honest.
+
+    After injection, the fabric's channel capacities are capped at the
+    surviving-gateway counts.  Because controllers call the fabric's
+    ``set_active_*`` hooks, the injector wraps those hooks so a decision
+    can never resurrect a dead gateway.
+    """
+
+    def __init__(self, fabric: PhotonicInterposerFabric, plan: FaultPlan):
+        self.fabric = fabric
+        self.plan = plan
+        self._validate()
+        self._wrap_hooks()
+        self._apply_caps()
+
+    def _validate(self) -> None:
+        config = self.fabric.config
+        if not 0 <= self.plan.memory_gateways_failed < (
+            config.n_memory_write_gateways
+        ):
+            raise ConfigurationError(
+                "memory gateway failures must leave at least one alive"
+            )
+        for chiplet_id, (write, read) in (
+            self.plan.chiplet_gateways_failed.items()
+        ):
+            inventory = self.fabric.inventories.get(chiplet_id)
+            if inventory is None:
+                raise ConfigurationError(f"unknown chiplet {chiplet_id!r}")
+            if write >= inventory.n_write_gateways or write < 0:
+                raise ConfigurationError(
+                    f"{chiplet_id}: write failures must leave one alive"
+                )
+            if read >= inventory.n_read_gateways or read < 0:
+                raise ConfigurationError(
+                    f"{chiplet_id}: read failures must leave one alive"
+                )
+
+    # -- capacity capping -------------------------------------------------------
+
+    def surviving_memory_gateways(self) -> int:
+        return (
+            self.fabric.config.n_memory_write_gateways
+            - self.plan.memory_gateways_failed
+        )
+
+    def surviving_chiplet_gateways(self, chiplet_id: str) -> tuple[int, int]:
+        inventory = self.fabric.inventories[chiplet_id]
+        failed_w, failed_r = self.plan.chiplet_gateways_failed.get(
+            chiplet_id, (0, 0)
+        )
+        return (
+            inventory.n_write_gateways - failed_w,
+            inventory.n_read_gateways - failed_r,
+        )
+
+    def _wrap_hooks(self) -> None:
+        original_memory = self.fabric.set_active_memory_gateways
+        original_chiplet = self.fabric.set_active_chiplet_gateways
+
+        def capped_memory(count: int) -> None:
+            original_memory(min(count, self.surviving_memory_gateways()))
+
+        def capped_chiplet(chiplet_id: str, n_write: int,
+                           n_read: int) -> None:
+            max_w, max_r = self.surviving_chiplet_gateways(chiplet_id)
+            original_chiplet(
+                chiplet_id, min(n_write, max_w), min(n_read, max_r)
+            )
+
+        self.fabric.set_active_memory_gateways = capped_memory
+        self.fabric.set_active_chiplet_gateways = capped_chiplet
+
+    def _apply_caps(self) -> None:
+        """Clamp the current configuration to the surviving resources."""
+        self.fabric.set_active_memory_gateways(
+            min(
+                int(self.fabric.active_memory_gateways.value),
+                self.surviving_memory_gateways(),
+            )
+        )
+        for chiplet_id in self.fabric.inventories:
+            max_w, max_r = self.surviving_chiplet_gateways(chiplet_id)
+            self.fabric.set_active_chiplet_gateways(
+                chiplet_id,
+                min(int(self.fabric.active_write_gateways[chiplet_id].value),
+                    max_w),
+                min(int(self.fabric.active_read_gateways[chiplet_id].value),
+                    max_r),
+            )
+
+
+def uniform_fault_plan(fabric: PhotonicInterposerFabric,
+                       n_failures: int) -> FaultPlan:
+    """Spread ``n_failures`` dead gateways round-robin over the system.
+
+    Deterministic: memory gateways fail first (they are the shared
+    resource, i.e. the worst case), then one write gateway per chiplet
+    in floorplan order.
+    """
+    if n_failures < 0:
+        raise ConfigurationError("failure count must be >= 0")
+    config = fabric.config
+    memory_failures = min(n_failures,
+                          config.n_memory_write_gateways - 1)
+    remaining = n_failures - memory_failures
+    chiplet_failures: dict[str, tuple[int, int]] = {}
+    chiplet_ids = sorted(fabric.inventories)
+    index = 0
+    while remaining > 0 and chiplet_ids:
+        chiplet_id = chiplet_ids[index % len(chiplet_ids)]
+        inventory = fabric.inventories[chiplet_id]
+        write, read = chiplet_failures.get(chiplet_id, (0, 0))
+        if write < inventory.n_write_gateways - 1:
+            chiplet_failures[chiplet_id] = (write + 1, read)
+            remaining -= 1
+        index += 1
+        if index > 10 * len(chiplet_ids):
+            raise ConfigurationError(
+                f"cannot place {n_failures} failures with one survivor "
+                "per resource"
+            )
+    return FaultPlan(
+        memory_gateways_failed=memory_failures,
+        chiplet_gateways_failed=chiplet_failures,
+    )

@@ -1,0 +1,100 @@
+"""Link-budget construction for interposer photonic paths.
+
+Builds the loss chains for the two channel types of the fabric
+(Section V / Fig. 6):
+
+* **SWMR read channels**: a memory-chiplet writer gateway modulates onto
+  a waveguide that snakes past every compute chiplet's reader MRG.
+* **SWSR write channels**: each compute writer gateway owns a dedicated
+  waveguide to one filter row of the memory MRG.
+
+Interposer-scale waveguides are assumed to be lower-loss than on-die
+strip waveguides (0.5 dB/cm vs 1 dB/cm); see DESIGN.md calibration notes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ...config import PlatformConfig
+from ...photonics import constants as ph
+from ...photonics.link_budget import LinkBudget
+from ..topology import Floorplan
+
+INTERPOSER_WAVEGUIDE_LOSS_DB_PER_CM = 0.5
+"""Propagation loss of interposer routing waveguides (dB/cm)."""
+
+
+def _common_front_end(budget: LinkBudget) -> LinkBudget:
+    """Laser coupling and gateway-activation losses shared by all paths."""
+    budget.add("fiber_coupler", ph.GRATING_COUPLER_LOSS_DB)
+    budget.add("pcmc", ph.PCMC_INSERTION_LOSS_DB)
+    budget.add("modulator_insertion", ph.MR_MODULATION_INSERTION_LOSS_DB)
+    return budget
+
+
+def swmr_read_budget(
+    config: PlatformConfig,
+    floorplan: Floorplan,
+    multicast_degree: int = 1,
+) -> LinkBudget:
+    """Worst-case budget of a memory->compute SWMR broadcast channel.
+
+    ``multicast_degree`` > 1 models true multicast: each reader taps only
+    a fraction of the carrier, so the budget grows by the split factor.
+    """
+    budget = LinkBudget()
+    _common_front_end(budget)
+    # Carrier passes the other modulator rings of its own gateway row.
+    budget.add(
+        "writer_row_passby", ph.MR_THROUGH_LOSS_DB,
+        count=max(0, config.n_wavelengths - 1),
+    )
+    length_m = floorplan.broadcast_waveguide_length_m("mem-0")
+    budget.add(
+        "waveguide", INTERPOSER_WAVEGUIDE_LOSS_DB_PER_CM * length_m * 100.0
+    )
+    # Worst-case reader: passes every other compute chiplet's filter row
+    # first (one near-resonance ring each).
+    budget.add(
+        "reader_rows_passby", ph.MR_THROUGH_LOSS_DB,
+        count=max(0, len(floorplan.compute_sites) - 1),
+    )
+    if multicast_degree > 1:
+        budget.add("multicast_split", 10.0 * math.log10(multicast_degree))
+    budget.add("filter_drop", ph.MR_DROP_LOSS_DB)
+    return budget
+
+
+def swsr_write_budget(
+    config: PlatformConfig,
+    floorplan: Floorplan,
+    chiplet_id: str,
+) -> LinkBudget:
+    """Budget of a compute->memory SWSR point-to-point channel."""
+    budget = LinkBudget()
+    _common_front_end(budget)
+    budget.add(
+        "writer_row_passby", ph.MR_THROUGH_LOSS_DB,
+        count=max(0, config.n_wavelengths - 1),
+    )
+    length_m = floorplan.waveguide_length_m(chiplet_id, "mem-0")
+    budget.add(
+        "waveguide", INTERPOSER_WAVEGUIDE_LOSS_DB_PER_CM * length_m * 100.0
+    )
+    budget.add("filter_drop", ph.MR_DROP_LOSS_DB)
+    return budget
+
+
+def worst_case_write_budget(
+    config: PlatformConfig, floorplan: Floorplan
+) -> LinkBudget:
+    """The SWSR budget of the compute chiplet farthest from memory."""
+    worst = None
+    for site in floorplan.compute_sites:
+        budget = swsr_write_budget(config, floorplan, site.chiplet_id)
+        if worst is None or budget.total_loss_db > worst.total_loss_db:
+            worst = budget
+    if worst is None:
+        raise ValueError("floorplan has no compute sites")
+    return worst

@@ -1,0 +1,126 @@
+"""Interposer floorplan: chiplet identities, placement and distances.
+
+Both interposer networks share one floorplan: chiplets on a regular grid
+(3x3 for the Table 1 platform: 8 compute + 1 memory), the memory chiplet
+at the grid center to minimise its average distance.  The photonic
+network uses the floorplan for waveguide lengths (propagation delay and
+loss); the electrical mesh uses it for hop counts and wire delays.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..config import PlatformConfig
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ChipletSite:
+    """One placed chiplet."""
+
+    chiplet_id: str
+    kind: str
+    grid_x: int
+    grid_y: int
+    is_memory: bool = False
+
+
+@dataclass(frozen=True)
+class Floorplan:
+    """Grid placement of every chiplet on the interposer."""
+
+    sites: tuple[ChipletSite, ...]
+    pitch_mm: float
+    grid_width: int
+    grid_height: int
+
+    def site(self, chiplet_id: str) -> ChipletSite:
+        """Look up a chiplet by id."""
+        for candidate in self.sites:
+            if candidate.chiplet_id == chiplet_id:
+                return candidate
+        raise ConfigurationError(f"unknown chiplet {chiplet_id!r}")
+
+    @property
+    def memory_sites(self) -> tuple[ChipletSite, ...]:
+        return tuple(site for site in self.sites if site.is_memory)
+
+    @property
+    def compute_sites(self) -> tuple[ChipletSite, ...]:
+        return tuple(site for site in self.sites if not site.is_memory)
+
+    def manhattan_hops(self, src: str, dst: str) -> int:
+        """Mesh hop count between two chiplets (XY routing)."""
+        a, b = self.site(src), self.site(dst)
+        return abs(a.grid_x - b.grid_x) + abs(a.grid_y - b.grid_y)
+
+    def manhattan_distance_mm(self, src: str, dst: str) -> float:
+        """Physical Manhattan wire distance between two chiplets (mm)."""
+        return self.manhattan_hops(src, dst) * self.pitch_mm
+
+    def waveguide_length_m(self, src: str, dst: str) -> float:
+        """Routed waveguide length between two chiplet gateways (m).
+
+        Photonic interposer waveguides are routed Manhattan with a small
+        detour factor for the routing channels.
+        """
+        detour = 1.2
+        return self.manhattan_distance_mm(src, dst) * 1e-3 * detour
+
+    def broadcast_waveguide_length_m(self, src: str) -> float:
+        """Length of an SWMR waveguide visiting every compute chiplet (m).
+
+        A broadcast waveguide snakes from the source past every compute
+        site; its length is bounded by the full grid serpentine.
+        """
+        serpentine_mm = self.pitch_mm * (self.grid_width * self.grid_height)
+        return serpentine_mm * 1e-3 * 1.2
+
+    @property
+    def xy_path_cache_key(self) -> tuple[int, int]:
+        return (self.grid_width, self.grid_height)
+
+
+def build_floorplan(config: PlatformConfig) -> Floorplan:
+    """Place the Table 1 chiplets on the smallest near-square grid.
+
+    Compute chiplets are laid out around the memory chiplet, which takes
+    the most central slot.  Chiplet ids follow their MAC group:
+    ``3x3 conv-0``, ``dense100-1``, ... and ``mem-0``.
+    """
+    n_total = config.n_chiplets
+    grid_w = math.ceil(math.sqrt(n_total))
+    grid_h = math.ceil(n_total / grid_w)
+
+    # All grid slots, sorted by centrality (closest to center first).
+    center_x = (grid_w - 1) / 2.0
+    center_y = (grid_h - 1) / 2.0
+    slots = sorted(
+        ((x, y) for y in range(grid_h) for x in range(grid_w)),
+        key=lambda xy: (abs(xy[0] - center_x) + abs(xy[1] - center_y),
+                        xy[1], xy[0]),
+    )
+
+    sites: list[ChipletSite] = []
+    slot_iter = iter(slots)
+    for memory_index in range(config.n_memory_chiplets):
+        x, y = next(slot_iter)
+        sites.append(
+            ChipletSite(f"mem-{memory_index}", "memory", x, y, is_memory=True)
+        )
+    for group in config.mac_groups:
+        for chiplet_index in range(group.n_chiplets):
+            x, y = next(slot_iter)
+            sites.append(
+                ChipletSite(
+                    f"{group.kind}-{chiplet_index}", group.kind, x, y
+                )
+            )
+    return Floorplan(
+        sites=tuple(sites),
+        pitch_mm=config.chiplet_pitch_mm,
+        grid_width=grid_w,
+        grid_height=grid_h,
+    )

@@ -1,0 +1,13 @@
+"""Layer-to-chiplet mapping and MAC-unit tiling."""
+
+from .mapper import Allocation, KernelMatchMapper, LayerMapping, ModelMapping
+from .tiling import TilingResult, tile_layer
+
+__all__ = [
+    "Allocation",
+    "KernelMatchMapper",
+    "LayerMapping",
+    "ModelMapping",
+    "TilingResult",
+    "tile_layer",
+]

@@ -1,0 +1,72 @@
+"""Tiling of layer dot products onto photonic MAC vector units.
+
+A MAC unit of vector length ``v`` consumes dot products in chunks of at
+most ``v`` lanes per pass.  Two dataflows are available (Section V: the
+MAC units buffer parameters and tune MRs per pass with fast EO tuning):
+
+* **spatial**: the unit holds one ``K x K`` kernel slice; a conv dot of
+  length ``K*K*C_in`` takes ``C_in * ceil(K*K / v)`` passes.  Perfectly
+  efficient when the kernel matches the unit (the heterogeneity argument
+  of the paper).
+* **channel-major**: the dot is streamed as flat chunks of ``v`` lanes:
+  ``ceil(dot_length / v)`` passes.  This is how dense layers, 1x1
+  convolutions and mismatched kernels run.
+
+The tiler picks whichever needs fewer passes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..dnn.workload import LayerWorkload
+from ..errors import MappingError
+
+
+@dataclass(frozen=True)
+class TilingResult:
+    """Vector-operation count for one layer on one unit geometry."""
+
+    vector_ops: int
+    mode: str
+    efficiency: float
+
+    def __post_init__(self) -> None:
+        if self.vector_ops < 0:
+            raise MappingError("vector op count cannot be negative")
+
+
+def tile_layer(layer: LayerWorkload, vector_length: int,
+               unit_kernel_size: int = 0,
+               spatial_only: bool = False) -> TilingResult:
+    """Vector ops to run ``layer`` on units of ``vector_length`` lanes.
+
+    With ``spatial_only`` (the strict heterogeneous dataflow), conv
+    layers (K >= 2) may only use the window-based spatial mode — the
+    assumption that a k x k conv unit's line buffers cannot stage
+    arbitrary channel-major chunks.  The default allows both, because
+    CrossLight's fast EO weight tuning makes a conv unit a generic
+    chunked vector engine.
+    """
+    if vector_length < 1:
+        raise MappingError(f"vector length must be >= 1, got {vector_length}")
+    if layer.macs == 0:
+        return TilingResult(vector_ops=0, mode="empty", efficiency=1.0)
+
+    # Channel-major: flat chunking of the whole dot.
+    channel_ops = layer.n_dots * math.ceil(layer.dot_length / vector_length)
+
+    if layer.kernel_size >= 2:
+        # Spatial: per-channel kernel-window passes.
+        window = layer.kernel_size * layer.kernel_size
+        channels = layer.dot_length // window
+        spatial_ops = layer.n_dots * channels * math.ceil(
+            window / vector_length
+        )
+        if spatial_only or spatial_ops <= channel_ops:
+            efficiency = layer.macs / (spatial_ops * vector_length)
+            return TilingResult(spatial_ops, "spatial", efficiency)
+
+    efficiency = layer.macs / (channel_ops * vector_length)
+    return TilingResult(channel_ops, "channel-major", efficiency)

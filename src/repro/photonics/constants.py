@@ -1,0 +1,195 @@
+"""Default silicon-photonic device constants.
+
+Every value carries a comment naming its source: the paper's Table 1 where
+the paper pins it, otherwise the cited device literature (CrossLight [21],
+ReSiPI [37], PROWAVES [11], Bogaerts et al. [34], Miller [13]).  Models
+take these as *defaults*; every constructor accepts overrides so that
+design-space exploration can sweep them.
+"""
+
+from __future__ import annotations
+
+# --- Operating band ---------------------------------------------------------
+
+C_BAND_CENTER_M = 1550e-9
+"""Center wavelength of the C band (m); standard for SOI photonics."""
+
+WDM_CHANNEL_SPACING_HZ = 100e9
+"""Dense-WDM grid spacing (Hz); ITU 100 GHz grid, typical in PNoC studies."""
+
+GROUP_INDEX_SOI = 4.2
+"""Group index of a standard 450x220 nm SOI strip waveguide (dimensionless).
+
+Sets on-chip light propagation speed; from Bogaerts et al. [34].
+"""
+
+# --- Waveguide losses --------------------------------------------------------
+
+WAVEGUIDE_PROPAGATION_LOSS_DB_PER_CM = 1.0
+"""Interposer-scale strip waveguide propagation loss (dB/cm).
+
+ReSiPI [37] and PROWAVES [11] both assume ~1 dB/cm for interposer links.
+"""
+
+WAVEGUIDE_BEND_LOSS_DB = 0.01
+"""Loss per 90-degree bend (dB); typical for >5 um radius bends."""
+
+WAVEGUIDE_CROSSING_LOSS_DB = 0.05
+"""Loss per waveguide crossing (dB); optimised multimode-interference
+crossings reach 0.02-0.2 dB.  ReSiPI-class interposers route to avoid most
+crossings, so the per-crossing figure matters less than its existence."""
+
+# --- Couplers / splitters ----------------------------------------------------
+
+GRATING_COUPLER_LOSS_DB = 1.5
+"""Fiber-to-chip grating coupler insertion loss (dB); Nambiar et al. [33]."""
+
+EDGE_COUPLER_LOSS_DB = 1.0
+"""Edge coupler insertion loss (dB)."""
+
+SPLITTER_INSERTION_LOSS_DB = 0.1
+"""Excess insertion loss of a Y-branch / 1x2 MMI splitter (dB), on top of
+the intrinsic 3 dB split."""
+
+# --- Microring resonators ----------------------------------------------------
+
+MR_THROUGH_LOSS_DB = 0.02
+"""Per-ring through (pass-by) loss seen by off-resonance wavelengths (dB).
+
+CrossLight [21] uses 0.02 dB/ring; with 64-wavelength MRGs this term
+dominates the gateway insertion loss."""
+
+MR_DROP_LOSS_DB = 0.7
+"""Drop-port insertion loss when a ring filters its resonant wavelength
+(dB); typical add-drop ring figure."""
+
+MR_MODULATION_INSERTION_LOSS_DB = 1.0
+"""Insertion loss of an active MR modulator on its resonant carrier (dB)."""
+
+MR_QUALITY_FACTOR = 8000.0
+"""Loaded quality factor of add-drop rings used in weight banks and
+gateway filters.  CrossLight's cross-layer optimisation targets 5k-10k to
+balance crosstalk against tuning cost."""
+
+MR_RADIUS_M = 10e-6
+"""Ring radius (m); 10 um rings give ~9 nm FSR at 1550 nm."""
+
+MR_EO_TUNING_POWER_W_PER_NM = 4e-3
+"""Electro-optic (carrier-injection) tuning power per nm of resonance
+shift (W/nm); ~4 mW/nm, used for fast weight updates in CrossLight."""
+
+MR_TO_TUNING_POWER_W_PER_NM = 24e-3
+"""Thermo-optic tuning power per nm of shift (W/nm); ~24 mW/nm is the
+figure CrossLight [21] adopts for fabrication-variation trimming."""
+
+MR_THERMAL_TRIMMING_NM = 0.35
+"""Average resonance trimming range needed to correct process variation
+(nm); from CrossLight's variation analysis."""
+
+MR_EO_SWITCHING_TIME_S = 50e-12
+"""EO tuning settling time (s); tens of ps enables GHz-rate weight reuse."""
+
+MR_TO_SWITCHING_TIME_S = 4e-6
+"""TO tuning settling time (s); microseconds, used only for trimming."""
+
+# --- Microdisks ---------------------------------------------------------------
+
+MICRODISK_THROUGH_LOSS_DB = 0.03
+"""Microdisk pass-by loss (dB); slightly above an MR's (HolyLight [23])."""
+
+MICRODISK_DROP_LOSS_DB = 1.0
+"""Microdisk drop loss (dB)."""
+
+MICRODISK_RADIUS_M = 5e-6
+"""Microdisks are roughly half the footprint of MRs at equal FSR."""
+
+# --- Mach-Zehnder interferometers ---------------------------------------------
+
+MZI_INSERTION_LOSS_DB = 0.3
+"""2x2 MZI insertion loss including both directional couplers (dB)."""
+
+MZI_PHASE_SHIFTER_POWER_W = 10e-3
+"""Thermo-optic phase shifter power for a pi shift (W); ~10 mW/pi."""
+
+MZI_EXTINCTION_RATIO_DB = 30.0
+"""MZI extinction ratio (dB); better than an MR's, per Section II."""
+
+# --- Photodetectors ------------------------------------------------------------
+
+PD_RESPONSIVITY_A_PER_W = 1.1
+"""Ge-on-Si photodetector responsivity (A/W) at 1550 nm."""
+
+PD_SENSITIVITY_DBM = -20.0
+"""Minimum detectable optical power for BER 1e-9 at ~12 Gb/s OOK (dBm);
+PROWAVES [11] uses -20 dBm receivers."""
+
+PD_DARK_CURRENT_A = 1e-7
+"""Dark current (A)."""
+
+PD_BANDWIDTH_HZ = 20e9
+"""3-dB opto-electrical bandwidth (Hz); comfortably covers 12 Gb/s."""
+
+PD_TIA_POWER_W = 1.2e-3
+"""Receiver (PD + transimpedance amplifier) static power per wavelength
+(W); ~1.2 mW is a standard 10-12 Gb/s figure."""
+
+# --- Lasers ---------------------------------------------------------------------
+
+LASER_WALL_PLUG_EFFICIENCY = 0.10
+"""Off-chip comb/DFB laser wall-plug efficiency; 10% follows PROWAVES [11]."""
+
+ON_CHIP_LASER_WALL_PLUG_EFFICIENCY = 0.05
+"""On-chip III-V laser wall-plug efficiency; lower emission efficiency but
+no coupling loss (Section II)."""
+
+LASER_MAX_OPTICAL_POWER_DBM = 20.0
+"""Maximum aggregate optical power of the laser source (dBm); beyond
+~100 mW per waveguide nonlinearities set in."""
+
+# --- Modulators / drivers --------------------------------------------------------
+
+MODULATOR_DRIVER_ENERGY_J_PER_BIT = 50e-15
+"""OOK MR modulator driver energy (J/bit); ~50 fJ/bit at 12 Gb/s."""
+
+MODULATOR_STATIC_POWER_W = 0.4e-3
+"""Modulator bias static power per wavelength (W)."""
+
+# --- Serdes / gateway electronics -------------------------------------------------
+
+SERDES_ENERGY_J_PER_BIT = 0.4e-12
+"""Gateway serializer/deserializer + clocking energy (J/bit); 0.4 pJ/bit
+matches the electronic front-end assumed by ReSiPI [37]."""
+
+GATEWAY_BUFFER_STATIC_POWER_W = 30e-3
+"""Static power of a gateway's buffering, clocking and SerDes PLL (W);
+a 768 Gb/s interface keeps tens of mW of clocking alive even when idle."""
+
+# --- PCM couplers (ReSiPI) ---------------------------------------------------------
+
+PCMC_INSERTION_LOSS_DB = 0.3
+"""PCM-based directional coupler insertion loss (dB); Teo et al. [38]."""
+
+PCMC_SWITCHING_ENERGY_J = 15e-9
+"""Energy to switch a PCMC between states (J); amorphization pulse of
+GST-on-Si couplers, Teo et al. [38]."""
+
+PCMC_SWITCHING_TIME_S = 1e-6
+"""PCMC reconfiguration time (s); ~1 us write pulse + settle."""
+
+PCMC_STATIC_POWER_W = 0.0
+"""PCM couplers are non-volatile: zero static hold power.  This is the
+property ReSiPI exploits over pn/thermal switches."""
+
+# --- DAC/ADC (MAC electro-optic interface, CrossLight [21]) -------------------------
+
+DAC_ENERGY_J_PER_CONVERSION = 0.8e-12
+"""Energy per DAC conversion driving a weight/activation MR (J)."""
+
+DAC_POWER_W = 2.6e-3
+"""Per-DAC power at full rate (W); 8-bit multi-GS/s DAC figure."""
+
+ADC_ENERGY_J_PER_CONVERSION = 1.6e-12
+"""Energy per ADC conversion at a MAC unit output (J)."""
+
+ADC_POWER_W = 4.4e-3
+"""Per-ADC power at full rate (W)."""

@@ -1,0 +1,90 @@
+"""Chip-coupling and power-splitting passives.
+
+Couplers move light between fibers and on-chip waveguides (Section II);
+splitters fan a carrier out to multiple destinations.  Both are loss
+elements in the link budget.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from . import constants
+
+
+class CouplerKind(enum.Enum):
+    """Fiber-to-chip coupling technologies (Nambiar et al. [33])."""
+
+    GRATING = "grating"
+    EDGE = "edge"
+
+
+@dataclass(frozen=True)
+class FiberCoupler:
+    """A fiber-to-chip coupler of a given technology."""
+
+    kind: CouplerKind = CouplerKind.GRATING
+    insertion_loss_db: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.insertion_loss_db is None:
+            default = {
+                CouplerKind.GRATING: constants.GRATING_COUPLER_LOSS_DB,
+                CouplerKind.EDGE: constants.EDGE_COUPLER_LOSS_DB,
+            }[self.kind]
+            object.__setattr__(self, "insertion_loss_db", default)
+        if self.insertion_loss_db < 0:
+            raise ConfigurationError("insertion loss must be non-negative")
+
+    @property
+    def transmission(self) -> float:
+        """Linear power transmission through the coupler."""
+        return 10.0 ** (-self.insertion_loss_db / 10.0)
+
+
+@dataclass(frozen=True)
+class PowerSplitter:
+    """A passive 1-to-N optical power splitter (tree of Y-branches).
+
+    A 1:N split costs ``10*log10(N)`` dB of intrinsic division plus an
+    excess insertion loss per Y-branch stage.  Passive splitters cannot be
+    turned off — the limitation that motivates ReSiPI's PCM couplers
+    (Section IV).
+    """
+
+    fanout: int
+    excess_loss_per_stage_db: float = constants.SPLITTER_INSERTION_LOSS_DB
+
+    def __post_init__(self) -> None:
+        if self.fanout < 1:
+            raise ConfigurationError(f"fanout must be >= 1, got {self.fanout}")
+        if self.excess_loss_per_stage_db < 0:
+            raise ConfigurationError("excess loss must be non-negative")
+
+    @property
+    def n_stages(self) -> int:
+        """Depth of the binary splitter tree."""
+        if self.fanout == 1:
+            return 0
+        return math.ceil(math.log2(self.fanout))
+
+    @property
+    def intrinsic_split_loss_db(self) -> float:
+        """Unavoidable power-division loss per output branch (dB)."""
+        return 10.0 * math.log10(self.fanout)
+
+    @property
+    def insertion_loss_db(self) -> float:
+        """Total per-branch loss: division + excess (dB)."""
+        return (
+            self.intrinsic_split_loss_db
+            + self.n_stages * self.excess_loss_per_stage_db
+        )
+
+    @property
+    def per_branch_transmission(self) -> float:
+        """Linear fraction of input power arriving at each output."""
+        return 10.0 ** (-self.insertion_loss_db / 10.0)

@@ -1,0 +1,95 @@
+"""Laser source models.
+
+Lasers provide the optical carriers for both communication and computation
+(Section II).  Off-chip lasers (the architecture's choice) have better
+wall-plug efficiency but pay a fiber-to-chip coupling loss; on-chip lasers
+integrate densely but emit less efficiently.
+
+The laser model answers two questions for the power model:
+
+* electrical power drawn to emit a required optical power, and
+* whether the requested optical power is within the source's range.
+
+Per-wavelength gating is what PROWAVES [11] exploits, and whole-gateway
+gating is what ReSiPI [37] exploits; :meth:`LaserSource.electrical_power_w`
+therefore takes the *currently required* optical power, which controllers
+recompute per epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError, LinkBudgetError
+from ..units import dbm_to_watts
+from . import constants
+
+
+@dataclass(frozen=True)
+class LaserSource:
+    """An optical power source feeding one or more waveguides.
+
+    Parameters
+    ----------
+    wall_plug_efficiency:
+        Optical watts emitted per electrical watt consumed.
+    coupling_loss_db:
+        Loss incurred coupling into the on-chip waveguide (0 for on-chip
+        lasers; grating/edge coupler loss for off-chip lasers).
+    max_optical_power_w:
+        Maximum optical power the source can emit.
+    """
+
+    wall_plug_efficiency: float = constants.LASER_WALL_PLUG_EFFICIENCY
+    coupling_loss_db: float = constants.GRATING_COUPLER_LOSS_DB
+    max_optical_power_w: float = dbm_to_watts(
+        constants.LASER_MAX_OPTICAL_POWER_DBM
+    )
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.wall_plug_efficiency <= 1.0:
+            raise ConfigurationError(
+                "wall-plug efficiency must be in (0, 1], got "
+                f"{self.wall_plug_efficiency!r}"
+            )
+        if self.coupling_loss_db < 0:
+            raise ConfigurationError("coupling loss must be non-negative")
+
+    @classmethod
+    def off_chip(cls) -> "LaserSource":
+        """Standard off-chip laser coupled through a grating coupler."""
+        return cls(
+            wall_plug_efficiency=constants.LASER_WALL_PLUG_EFFICIENCY,
+            coupling_loss_db=constants.GRATING_COUPLER_LOSS_DB,
+        )
+
+    @classmethod
+    def on_chip(cls) -> "LaserSource":
+        """On-chip III-V laser: no coupling loss, lower efficiency."""
+        return cls(
+            wall_plug_efficiency=constants.ON_CHIP_LASER_WALL_PLUG_EFFICIENCY,
+            coupling_loss_db=0.0,
+        )
+
+    @property
+    def coupling_transmission(self) -> float:
+        """Linear transmission of the chip-coupling interface."""
+        return 10.0 ** (-self.coupling_loss_db / 10.0)
+
+    def emitted_power_for_on_chip_w(self, on_chip_power_w: float) -> float:
+        """Optical power the source must emit so that ``on_chip_power_w``
+        arrives past the coupling interface (W)."""
+        if on_chip_power_w < 0:
+            raise ConfigurationError("optical power must be non-negative")
+        required = on_chip_power_w / self.coupling_transmission
+        if required > self.max_optical_power_w:
+            raise LinkBudgetError(
+                f"laser cannot emit {required:.3e} W "
+                f"(max {self.max_optical_power_w:.3e} W)"
+            )
+        return required
+
+    def electrical_power_w(self, on_chip_power_w: float) -> float:
+        """Electrical power drawn to sustain an on-chip optical power (W)."""
+        emitted = self.emitted_power_for_on_chip_w(on_chip_power_w)
+        return emitted / self.wall_plug_efficiency

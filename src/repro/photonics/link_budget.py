@@ -1,0 +1,134 @@
+"""Photonic link-budget solver.
+
+Answers the question at the heart of the photonic power model: *how much
+laser power does a link need so that every receiver still sees the
+photodetector sensitivity after all losses?*
+
+A link is described as an ordered chain of named loss contributions
+(coupler, PCMC, splitter, modulator, waveguide, ring pass-bys, filter
+drop).  The solver sums them, adds a system margin, and works back through
+the laser's coupling loss and wall-plug efficiency to an electrical power.
+This mirrors the power model of PROWAVES [11] / ReSiPI [37] that the paper
+says it adopts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..errors import ConfigurationError, LinkBudgetError
+from ..units import dbm_to_watts, watts_to_dbm
+from .laser import LaserSource
+from .photodetector import Photodetector
+
+DEFAULT_SYSTEM_MARGIN_DB = 1.0
+"""Safety margin added on top of the summed losses (dB)."""
+
+
+@dataclass(frozen=True)
+class LossElement:
+    """One named contribution to a link's insertion loss."""
+
+    name: str
+    loss_db: float
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.loss_db < 0:
+            raise ConfigurationError(
+                f"loss element {self.name!r} has negative loss {self.loss_db}"
+            )
+        if self.count < 0:
+            raise ConfigurationError(
+                f"loss element {self.name!r} has negative count {self.count}"
+            )
+
+    @property
+    def total_db(self) -> float:
+        """Aggregate loss of all instances of this element (dB)."""
+        return self.loss_db * self.count
+
+
+@dataclass
+class LinkBudget:
+    """Loss accounting for one photonic path, laser to photodetector.
+
+    Build it incrementally with :meth:`add`, then query
+    :meth:`required_laser_power_w` for the per-wavelength optical power
+    the source must deliver on-chip.
+    """
+
+    elements: list[LossElement] = field(default_factory=list)
+    margin_db: float = DEFAULT_SYSTEM_MARGIN_DB
+
+    def add(self, name: str, loss_db: float, count: int = 1) -> "LinkBudget":
+        """Append a loss contribution; returns self for chaining."""
+        self.elements.append(LossElement(name, loss_db, count))
+        return self
+
+    def extend(self, elements: Iterable[LossElement]) -> "LinkBudget":
+        """Append several prepared loss elements."""
+        self.elements.extend(elements)
+        return self
+
+    @property
+    def total_loss_db(self) -> float:
+        """Sum of all losses plus the system margin (dB)."""
+        return sum(element.total_db for element in self.elements) + self.margin_db
+
+    @property
+    def transmission(self) -> float:
+        """Linear end-to-end power transmission of the path."""
+        return 10.0 ** (-self.total_loss_db / 10.0)
+
+    def breakdown(self) -> dict[str, float]:
+        """Per-element loss in dB, keyed by element name (merged)."""
+        result: dict[str, float] = {}
+        for element in self.elements:
+            result[element.name] = result.get(element.name, 0.0) + element.total_db
+        result["margin"] = self.margin_db
+        return result
+
+    # -- solving ---------------------------------------------------------------
+
+    def required_on_chip_power_w(self, detector: Photodetector) -> float:
+        """Per-wavelength on-chip laser power so the PD sees sensitivity (W)."""
+        required_dbm = detector.sensitivity_dbm + self.total_loss_db
+        return dbm_to_watts(required_dbm)
+
+    def required_laser_electrical_power_w(
+        self,
+        laser: LaserSource,
+        detector: Photodetector,
+        n_wavelengths: int = 1,
+    ) -> float:
+        """Electrical power of the laser feeding this link (W).
+
+        ``n_wavelengths`` identical carriers share the path (each must
+        independently meet sensitivity, so power scales linearly).
+        Raises :class:`LinkBudgetError` if the laser cannot close the link.
+        """
+        if n_wavelengths < 1:
+            raise ConfigurationError("need at least one wavelength")
+        per_lambda = self.required_on_chip_power_w(detector)
+        total_optical = per_lambda * n_wavelengths
+        try:
+            return laser.electrical_power_w(total_optical)
+        except LinkBudgetError as exc:
+            raise LinkBudgetError(
+                f"link with {self.total_loss_db:.2f} dB loss and "
+                f"{n_wavelengths} wavelengths cannot close: {exc}"
+            ) from exc
+
+    def received_power_dbm(self, launched_power_w: float) -> float:
+        """Power arriving at the detector for a given launch power (dBm)."""
+        if launched_power_w <= 0:
+            raise ConfigurationError("launched power must be positive")
+        return watts_to_dbm(launched_power_w) - self.total_loss_db
+
+    def closes(self, launched_power_w: float, detector: Photodetector) -> bool:
+        """Whether a launch power closes the link at the PD sensitivity."""
+        return (
+            self.received_power_dbm(launched_power_w) >= detector.sensitivity_dbm
+        )

@@ -1,0 +1,36 @@
+"""Microdisk resonator model.
+
+Microdisks (Section II) are whispering-gallery-mode resonators: more
+compact than microrings at equal FSR but with higher operating losses.
+HolyLight [23] and LightBulb [24] build accelerators from them.  We model
+a microdisk as a microring with disk-specific default losses and half the
+footprint radius, reusing the Lorentzian response.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import constants
+from .microring import MicroringResonator, TuningMechanism
+
+
+@dataclass(frozen=True)
+class MicrodiskResonator(MicroringResonator):
+    """A microdisk resonator; spectrally ring-like, physically smaller.
+
+    Defaults differ from :class:`MicroringResonator` in footprint
+    (``radius_m``) and the higher through/drop losses of disk modes.
+    """
+
+    radius_m: float = constants.MICRODISK_RADIUS_M
+    through_loss_db: float = constants.MICRODISK_THROUGH_LOSS_DB
+    drop_loss_db: float = constants.MICRODISK_DROP_LOSS_DB
+    tuning: TuningMechanism = TuningMechanism.ELECTRO_OPTIC
+
+    @property
+    def footprint_m2(self) -> float:
+        """Physical footprint (m^2); the microdisk's key advantage."""
+        import math
+
+        return math.pi * self.radius_m ** 2

@@ -1,0 +1,180 @@
+"""Microring resonator (MR) model.
+
+MRs are the workhorse device of the architecture (Section II of the
+paper): gateway filters and modulators on the interposer, and weight /
+activation imprinting elements inside the photonic MAC units.
+
+The model captures the add-drop ring's Lorentzian spectral response,
+free-spectral range from the ring geometry, resonance tuning via the
+electro-optic (EO) or thermo-optic (TO) effect with the associated power
+cost, and amplitude-weighting: choosing a detuning so that the drop-port
+transmission equals a desired weight value in [0, 1] — the core operation
+of broadcast-and-weight computation [35].
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from . import constants
+
+
+class TuningMechanism(enum.Enum):
+    """How an MR's resonance is shifted."""
+
+    ELECTRO_OPTIC = "eo"
+    THERMO_OPTIC = "to"
+
+
+@dataclass(frozen=True)
+class MicroringResonator:
+    """An add-drop microring resonator.
+
+    Parameters
+    ----------
+    resonance_wavelength_m:
+        Resonant wavelength the ring is nominally tuned to (m).
+    quality_factor:
+        Loaded quality factor; sets the Lorentzian linewidth.
+    radius_m:
+        Ring radius (m); sets the free-spectral range.
+    tuning:
+        Tuning mechanism (EO for fast weight updates, TO for trimming).
+    """
+
+    resonance_wavelength_m: float = constants.C_BAND_CENTER_M
+    quality_factor: float = constants.MR_QUALITY_FACTOR
+    radius_m: float = constants.MR_RADIUS_M
+    tuning: TuningMechanism = TuningMechanism.ELECTRO_OPTIC
+    through_loss_db: float = constants.MR_THROUGH_LOSS_DB
+    drop_loss_db: float = constants.MR_DROP_LOSS_DB
+    group_index: float = constants.GROUP_INDEX_SOI
+
+    def __post_init__(self) -> None:
+        if self.resonance_wavelength_m <= 0:
+            raise ConfigurationError("resonance wavelength must be positive")
+        if self.quality_factor <= 0:
+            raise ConfigurationError("quality factor must be positive")
+        if self.radius_m <= 0:
+            raise ConfigurationError("ring radius must be positive")
+
+    # -- spectral geometry ---------------------------------------------------
+
+    @property
+    def circumference_m(self) -> float:
+        """Ring circumference (m)."""
+        return 2.0 * math.pi * self.radius_m
+
+    @property
+    def fwhm_m(self) -> float:
+        """Full width at half maximum of the resonance (m)."""
+        return self.resonance_wavelength_m / self.quality_factor
+
+    @property
+    def free_spectral_range_m(self) -> float:
+        """Free spectral range (m): spacing between adjacent resonances."""
+        return self.resonance_wavelength_m ** 2 / (
+            self.group_index * self.circumference_m
+        )
+
+    @property
+    def finesse(self) -> float:
+        """Finesse = FSR / FWHM (dimensionless)."""
+        return self.free_spectral_range_m / self.fwhm_m
+
+    # -- spectral response -----------------------------------------------------
+
+    def drop_transmission(self, wavelength_m: float) -> float:
+        """Fraction of input power routed to the drop port at ``wavelength_m``.
+
+        Lorentzian lineshape peaked at the resonance; the peak value is
+        reduced by the drop insertion loss.
+        """
+        half_width = self.fwhm_m / 2.0
+        detuning = wavelength_m - self.resonance_wavelength_m
+        lorentzian = half_width ** 2 / (detuning ** 2 + half_width ** 2)
+        peak = 10.0 ** (-self.drop_loss_db / 10.0)
+        return peak * lorentzian
+
+    def through_transmission(self, wavelength_m: float) -> float:
+        """Fraction of input power continuing on the through port.
+
+        Energy conservation up to the per-pass through loss: what is not
+        dropped continues, attenuated by the off-resonance ring loss.
+        """
+        half_width = self.fwhm_m / 2.0
+        detuning = wavelength_m - self.resonance_wavelength_m
+        lorentzian = half_width ** 2 / (detuning ** 2 + half_width ** 2)
+        passby = 10.0 ** (-self.through_loss_db / 10.0)
+        return passby * (1.0 - lorentzian)
+
+    def crosstalk_db(self, channel_spacing_m: float) -> float:
+        """Drop-port suppression of a neighbour ``channel_spacing_m`` away (dB).
+
+        Returns a negative number: how far below the peak the adjacent WDM
+        channel lands.  Used to size the minimum channel spacing of a WDM
+        grid shared with this ring.
+        """
+        if channel_spacing_m <= 0:
+            raise ConfigurationError("channel spacing must be positive")
+        peak = self.drop_transmission(self.resonance_wavelength_m)
+        neighbour = self.drop_transmission(
+            self.resonance_wavelength_m + channel_spacing_m
+        )
+        return 10.0 * math.log10(neighbour / peak)
+
+    # -- tuning ------------------------------------------------------------------
+
+    @property
+    def tuning_power_w_per_nm(self) -> float:
+        """Tuning power cost per nm of resonance shift (W/nm)."""
+        if self.tuning is TuningMechanism.ELECTRO_OPTIC:
+            return constants.MR_EO_TUNING_POWER_W_PER_NM
+        return constants.MR_TO_TUNING_POWER_W_PER_NM
+
+    @property
+    def tuning_time_s(self) -> float:
+        """Settling time of a tuning step (s)."""
+        if self.tuning is TuningMechanism.ELECTRO_OPTIC:
+            return constants.MR_EO_SWITCHING_TIME_S
+        return constants.MR_TO_SWITCHING_TIME_S
+
+    def tuning_power_w(self, shift_m: float) -> float:
+        """Power to hold a resonance shift of ``shift_m`` meters (W)."""
+        shift_nm = abs(shift_m) * 1e9
+        return self.tuning_power_w_per_nm * shift_nm
+
+    def trimming_power_w(
+        self, trim_range_nm: float = constants.MR_THERMAL_TRIMMING_NM
+    ) -> float:
+        """Average thermal trimming power against process variation (W)."""
+        return constants.MR_TO_TUNING_POWER_W_PER_NM * trim_range_nm
+
+    # -- amplitude weighting (broadcast-and-weight) ---------------------------------
+
+    def detuning_for_weight(self, weight: float) -> float:
+        """Resonance detuning (m) that sets drop transmission to ``weight``.
+
+        ``weight`` is the desired normalised amplitude in (0, 1]; it is
+        interpreted relative to the on-resonance peak (i.e. insertion loss
+        is calibrated out, as CrossLight's tuning-circuit co-design does).
+        Inverting the Lorentzian:  delta = (FWHM/2) * sqrt(1/w - 1).
+        """
+        if not 0.0 < weight <= 1.0:
+            raise ConfigurationError(
+                f"weight must be in (0, 1], got {weight!r}"
+            )
+        half_width = self.fwhm_m / 2.0
+        return half_width * math.sqrt(1.0 / weight - 1.0)
+
+    def weight_for_detuning(self, detuning_m: float) -> float:
+        """Normalised drop amplitude achieved at a given detuning (m)."""
+        half_width = self.fwhm_m / 2.0
+        return half_width ** 2 / (detuning_m ** 2 + half_width ** 2)
+
+    def weighting_power_w(self, weight: float) -> float:
+        """Tuning power to imprint ``weight`` via resonance detuning (W)."""
+        return self.tuning_power_w(self.detuning_for_weight(weight))

@@ -1,0 +1,163 @@
+"""Modulation schemes: OOK and PAM-4 signalling.
+
+Section II: "In advanced modulation schemes such as 4 pulse amplitude
+modulation (PAM-4) [44], MRs can be used to modulate signal amplitude on
+four distinct levels."  PAM-4 doubles the bits per symbol at the same
+symbol rate, but the eye openings shrink to a third of the OOK eye, so
+the receiver needs ~4.8 dB more *optical* power (a factor of 3) for the
+same BER — a classic bandwidth-vs-laser-power trade that [44] exploits
+with multilevel signalling on photonic NoCs.
+
+:func:`pam4_tradeoff` evaluates that trade on an interposer link: for a
+given loss budget, does doubling the per-wavelength data rate pay for
+its extra laser power in energy per bit?
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..units import linear_to_db
+from .laser import LaserSource
+from .link_budget import LinkBudget
+from .photodetector import Photodetector
+
+
+class ModulationScheme(enum.Enum):
+    """Supported line codes."""
+
+    OOK = "ook"
+    PAM4 = "pam4"
+
+
+@dataclass(frozen=True)
+class ModulationSpec:
+    """Physical properties of a line code."""
+
+    scheme: ModulationScheme
+    bits_per_symbol: int
+    eye_fraction: float
+    """Worst-case eye opening relative to the full swing (1.0 for OOK,
+    1/3 for PAM-4's three stacked eyes)."""
+
+    @property
+    def power_penalty_db(self) -> float:
+        """Receiver power penalty vs OOK at equal symbol rate and BER."""
+        return -linear_to_db(self.eye_fraction)
+
+    def data_rate_bps(self, symbol_rate_baud: float) -> float:
+        """Line rate at a given symbol rate."""
+        if symbol_rate_baud <= 0:
+            raise ConfigurationError("symbol rate must be positive")
+        return symbol_rate_baud * self.bits_per_symbol
+
+
+OOK = ModulationSpec(ModulationScheme.OOK, bits_per_symbol=1,
+                     eye_fraction=1.0)
+PAM4 = ModulationSpec(ModulationScheme.PAM4, bits_per_symbol=2,
+                      eye_fraction=1.0 / 3.0)
+
+SCHEMES = {ModulationScheme.OOK: OOK, ModulationScheme.PAM4: PAM4}
+
+
+@dataclass(frozen=True)
+class ModulationOperatingPoint:
+    """One scheme's operating point on a given link."""
+
+    spec: ModulationSpec
+    data_rate_bps: float
+    laser_power_w: float
+    energy_per_bit_j: float
+
+
+def operating_point(
+    spec: ModulationSpec,
+    budget: LinkBudget,
+    symbol_rate_baud: float,
+    laser: LaserSource | None = None,
+    detector: Photodetector | None = None,
+    n_wavelengths: int = 1,
+    electronics_j_per_symbol: float = 0.8e-12,
+    electronics_j_per_bit: float = 0.15e-12,
+) -> ModulationOperatingPoint:
+    """Laser power and energy/bit of one scheme on one link.
+
+    The scheme's power penalty is added to the link budget before
+    solving for the laser.  Serialisation electronics split into a
+    per-*symbol* part (clocking, driver switching — PAM-4 amortises this
+    over two bits) and a small per-bit part (framing, buffering).
+    """
+    laser = laser or LaserSource.off_chip()
+    detector = detector or Photodetector()
+    penalised = LinkBudget(
+        elements=list(budget.elements), margin_db=budget.margin_db
+    )
+    penalised.add(f"{spec.scheme.value}_penalty", spec.power_penalty_db)
+    laser_w = penalised.required_laser_electrical_power_w(
+        laser, detector, n_wavelengths
+    )
+    rate = spec.data_rate_bps(symbol_rate_baud) * n_wavelengths
+    energy_per_bit = (
+        laser_w / rate
+        + electronics_j_per_symbol / spec.bits_per_symbol
+        + electronics_j_per_bit
+    )
+    return ModulationOperatingPoint(
+        spec=spec,
+        data_rate_bps=rate,
+        laser_power_w=laser_w,
+        energy_per_bit_j=energy_per_bit,
+    )
+
+
+@dataclass(frozen=True)
+class Pam4Tradeoff:
+    """OOK-vs-PAM4 comparison on one link."""
+
+    ook: ModulationOperatingPoint
+    pam4: ModulationOperatingPoint
+
+    @property
+    def bandwidth_gain(self) -> float:
+        return self.pam4.data_rate_bps / self.ook.data_rate_bps
+
+    @property
+    def laser_power_ratio(self) -> float:
+        return self.pam4.laser_power_w / self.ook.laser_power_w
+
+    @property
+    def pam4_wins_energy(self) -> bool:
+        """Whether PAM-4's rate gain beats its laser penalty per bit."""
+        return self.pam4.energy_per_bit_j < self.ook.energy_per_bit_j
+
+
+def pam4_tradeoff(
+    budget: LinkBudget,
+    symbol_rate_baud: float = 12e9,
+    n_wavelengths: int = 64,
+) -> Pam4Tradeoff:
+    """Evaluate PAM-4 against OOK on one interposer link."""
+    return Pam4Tradeoff(
+        ook=operating_point(OOK, budget, symbol_rate_baud,
+                            n_wavelengths=n_wavelengths),
+        pam4=operating_point(PAM4, budget, symbol_rate_baud,
+                             n_wavelengths=n_wavelengths),
+    )
+
+
+def required_q_factor(ber: float) -> float:
+    """Invert the OOK BER formula: Q needed for a target BER."""
+    if not 0.0 < ber < 0.5:
+        raise ConfigurationError("BER must be in (0, 0.5)")
+    # Bisection on 0.5*erfc(q/sqrt(2)).
+    low, high = 0.0, 10.0
+    for _ in range(80):
+        mid = (low + high) / 2.0
+        if 0.5 * math.erfc(mid / math.sqrt(2.0)) > ber:
+            low = mid
+        else:
+            high = mid
+    return (low + high) / 2.0

@@ -1,0 +1,80 @@
+"""Mach-Zehnder interferometer (MZI) model.
+
+MZIs (Section II) are 2x2 devices built from two 3-dB directional
+couplers and two arms carrying phase shifters.  Coherent accelerators
+weight signals with them; in this architecture they appear as broadband
+switches and as a comparison point against MRs (better thermal stability
+and extinction ratio, larger footprint and power).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from . import constants
+
+
+@dataclass(frozen=True)
+class MachZehnderInterferometer:
+    """A 2x2 MZI with thermo-optic phase shifters on its arms.
+
+    The power splitting between the two output ports follows the phase
+    difference ``delta_phi`` between the arms:
+
+    * bar port:   sin^2(delta_phi / 2)
+    * cross port: cos^2(delta_phi / 2)
+
+    A finite extinction ratio bounds how completely either port can be
+    turned off.
+    """
+
+    insertion_loss_db: float = constants.MZI_INSERTION_LOSS_DB
+    phase_shifter_power_w_per_pi: float = constants.MZI_PHASE_SHIFTER_POWER_W
+    extinction_ratio_db: float = constants.MZI_EXTINCTION_RATIO_DB
+
+    def __post_init__(self) -> None:
+        if self.extinction_ratio_db <= 0:
+            raise ConfigurationError("extinction ratio must be positive dB")
+
+    @property
+    def _leakage(self) -> float:
+        """Minimum normalised power at a nominally dark port."""
+        return 10.0 ** (-self.extinction_ratio_db / 10.0)
+
+    @property
+    def _transmission(self) -> float:
+        """Linear insertion transmission through the device."""
+        return 10.0 ** (-self.insertion_loss_db / 10.0)
+
+    def bar_transmission(self, delta_phi_rad: float) -> float:
+        """Fraction of input power at the bar port for a phase difference."""
+        ideal = math.sin(delta_phi_rad / 2.0) ** 2
+        clamped = min(max(ideal, self._leakage), 1.0 - self._leakage)
+        return self._transmission * clamped
+
+    def cross_transmission(self, delta_phi_rad: float) -> float:
+        """Fraction of input power at the cross port for a phase difference."""
+        ideal = math.cos(delta_phi_rad / 2.0) ** 2
+        clamped = min(max(ideal, self._leakage), 1.0 - self._leakage)
+        return self._transmission * clamped
+
+    def phase_for_weight(self, weight: float) -> float:
+        """Arm phase difference (rad) that puts ``weight`` on the bar port.
+
+        Used by coherent weighting: electrical-field attenuation
+        proportional to the weight magnitude (Section III).
+        """
+        if not 0.0 <= weight <= 1.0:
+            raise ConfigurationError(f"weight must be in [0, 1], got {weight!r}")
+        effective = min(max(weight, self._leakage), 1.0 - self._leakage)
+        return 2.0 * math.asin(math.sqrt(effective))
+
+    def phase_shifter_power_w(self, delta_phi_rad: float) -> float:
+        """Thermo-optic power to hold a phase difference (W)."""
+        return self.phase_shifter_power_w_per_pi * abs(delta_phi_rad) / math.pi
+
+    def switching_power_w(self, weight: float) -> float:
+        """Power to hold the device at a given bar-port weight (W)."""
+        return self.phase_shifter_power_w(self.phase_for_weight(weight))

@@ -1,0 +1,131 @@
+"""Phase-change-material coupler (PCMC) model.
+
+The PCMC (Fig. 2 of the paper; device from Teo et al. [38]) is the switch
+ReSiPI uses to activate and deactivate gateways.  A GST-on-Si directional
+coupler whose coupling strength depends on the PCM phase state:
+
+* **crystalline**            -> light exits the Bar port (gateway off),
+* **partially crystalline**  -> light splits between Bar and Cross,
+* **amorphous**              -> light exits the Cross port (gateway on).
+
+The split ratio in the partial state is set by the ratio of amorphous to
+crystalline coupling lengths (``L_am / L_cr``).  PCM is non-volatile, so a
+state costs energy only when *changed* — the property that lets ReSiPI
+reconfigure gateway power delivery without a standing power draw,
+unlike pn-junction or thermal switches.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from . import constants
+
+
+class PCMCState(enum.Enum):
+    """Phase state of the PCM cell over the coupler."""
+
+    CRYSTALLINE = "crystalline"
+    PARTIAL = "partially_crystalline"
+    AMORPHOUS = "amorphous"
+
+
+@dataclass
+class PCMCoupler:
+    """A reconfigurable PCM-based 1x2 coupler.
+
+    Parameters
+    ----------
+    state:
+        Current phase state.
+    partial_cross_fraction:
+        Fraction of input power sent to the Cross port when in the
+        PARTIAL state; set at design time by the ``L_am / L_cr`` coupling
+        length ratio.
+    """
+
+    state: PCMCState = PCMCState.CRYSTALLINE
+    partial_cross_fraction: float = 0.5
+    insertion_loss_db: float = constants.PCMC_INSERTION_LOSS_DB
+    switching_energy_j: float = constants.PCMC_SWITCHING_ENERGY_J
+    switching_time_s: float = constants.PCMC_SWITCHING_TIME_S
+    static_power_w: float = constants.PCMC_STATIC_POWER_W
+    switch_count: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.partial_cross_fraction <= 1.0:
+            raise ConfigurationError(
+                "partial cross fraction must be in [0, 1], got "
+                f"{self.partial_cross_fraction!r}"
+            )
+        if self.insertion_loss_db < 0:
+            raise ConfigurationError("insertion loss must be non-negative")
+
+    @property
+    def _transmission(self) -> float:
+        """Linear insertion transmission of the coupler."""
+        return 10.0 ** (-self.insertion_loss_db / 10.0)
+
+    @property
+    def cross_fraction(self) -> float:
+        """Fraction of input power delivered to the Cross port (gateway)."""
+        if self.state is PCMCState.CRYSTALLINE:
+            ideal = 0.0
+        elif self.state is PCMCState.AMORPHOUS:
+            ideal = 1.0
+        else:
+            ideal = self.partial_cross_fraction
+        return self._transmission * ideal
+
+    @property
+    def bar_fraction(self) -> float:
+        """Fraction of input power continuing on the Bar port."""
+        if self.state is PCMCState.CRYSTALLINE:
+            ideal = 1.0
+        elif self.state is PCMCState.AMORPHOUS:
+            ideal = 0.0
+        else:
+            ideal = 1.0 - self.partial_cross_fraction
+        return self._transmission * ideal
+
+    @property
+    def is_gateway_active(self) -> bool:
+        """Whether any light reaches the attached gateway."""
+        return self.state is not PCMCState.CRYSTALLINE
+
+    def switch_to(self, new_state: PCMCState) -> tuple[float, float]:
+        """Change phase state; returns ``(energy_j, time_s)`` of the write.
+
+        Writing the same state is free (non-volatile retention).
+        """
+        if new_state is self.state:
+            return (0.0, 0.0)
+        self.state = new_state
+        self.switch_count += 1
+        return (self.switching_energy_j, self.switching_time_s)
+
+    def activate(self) -> tuple[float, float]:
+        """Route all light to the gateway (amorphous state)."""
+        return self.switch_to(PCMCState.AMORPHOUS)
+
+    def deactivate(self) -> tuple[float, float]:
+        """Bypass the gateway entirely (crystalline state)."""
+        return self.switch_to(PCMCState.CRYSTALLINE)
+
+
+def coupling_length_ratio_for_fraction(cross_fraction: float) -> float:
+    """Design helper: ``L_am / L_cr`` ratio for a partial-state split.
+
+    The paper notes the input power delivered to a writer gateway is
+    adjusted "by tuning the ratio of L_am to L_cr".  In the two-state
+    interpolation model of [38] the delivered fraction is proportional to
+    the amorphous share of the coupling region, so the ratio follows
+    directly:  ``r / (1 + r) = cross_fraction``.
+    """
+    if not 0.0 <= cross_fraction < 1.0:
+        raise ConfigurationError(
+            f"cross fraction must be in [0, 1), got {cross_fraction!r}"
+        )
+    return cross_fraction / (1.0 - cross_fraction)

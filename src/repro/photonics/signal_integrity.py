@@ -1,0 +1,177 @@
+"""Signal-integrity analysis: crosstalk, SNR and BER of WDM links.
+
+Section II notes that a PD needs sufficient optical power for its
+responsivity, and the paper's group has shown that inter-channel
+crosstalk bounds the usable comb size in high-radix photonic networks
+(crosstalk mitigation, [41]).  This module quantifies those effects for
+the interposer links:
+
+* **Crosstalk accumulation** — every ring filter a carrier passes leaks
+  a Lorentzian tail of its neighbours onto it; the leaked power adds up
+  along the path and acts as noise at the PD.
+* **OOK BER** — the Q-factor/BER of on-off keying given signal and
+  crosstalk + receiver noise currents.
+* **Comb sizing** — the largest wavelength count that meets a BER floor
+  on the worst-case interposer path *and* fits inside one filter FSR.
+
+A notable physical finding (see ``tests/test_signal_integrity.py`` and
+``benchmarks/bench_signal_integrity.py``): with plain first-order
+add-drop rings, 64 wavelengths do NOT survive the interposer's
+multi-ring paths — Table 1's comb requires second-order (cascaded-ring,
+flat-top) gateway filters and small-radius rings whose FSR spans the
+comb.  Those are the defaults of :func:`interposer_filter_ring`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .link_budget import LinkBudget
+from .microring import MicroringResonator
+from .photodetector import Photodetector
+from .wdm import WDMGrid
+
+RECEIVER_NOISE_CURRENT_A = 0.7e-6
+"""RMS input-referred receiver (TIA + shot + thermal) noise current (A)
+at ~12 Gb/s, consistent with the -20 dBm @ BER 1e-12 sensitivity of the
+default photodetector."""
+
+INTERPOSER_CHANNEL_SPACING_HZ = 50e9
+"""DWDM spacing of the 64-wavelength interposer comb (Hz).  64 channels
+at 50 GHz span ~25 nm, which fits one small-ring FSR; at the looser
+100 GHz grid they would alias across filter FSRs."""
+
+
+def interposer_filter_ring() -> MicroringResonator:
+    """The gateway MRG filter ring design the 64-wavelength comb needs.
+
+    Radius 3.2 um pushes the FSR to ~28 nm (> the 25 nm comb span);
+    loaded Q of 10k balances drop-port loss against adjacent-channel
+    leakage at 50 GHz spacing.
+    """
+    return MicroringResonator(radius_m=3.2e-6, quality_factor=10_000.0)
+
+
+def interposer_grid(n_channels: int) -> WDMGrid:
+    """The interposer DWDM comb at the 50 GHz interposer spacing."""
+    return WDMGrid(
+        n_channels=n_channels,
+        channel_spacing_hz=INTERPOSER_CHANNEL_SPACING_HZ,
+    )
+
+
+@dataclass(frozen=True)
+class SignalReport:
+    """Signal quality at one link's photodetector."""
+
+    received_signal_w: float
+    crosstalk_w: float
+    q_factor: float
+    ber: float
+    snr_db: float
+
+    @property
+    def meets_1e12(self) -> bool:
+        """Whether the link runs error-free for practical purposes."""
+        return self.ber <= 1e-12
+
+
+def crosstalk_fraction_per_ring(
+    ring: MicroringResonator,
+    grid: WDMGrid,
+    filter_order: int = 1,
+) -> float:
+    """Fraction of neighbouring-channel power leaked by one filter stage.
+
+    Sums the Lorentzian tails of both adjacent channels at the filter's
+    resonance, with a 1.25 safety factor folding in the next-nearest
+    channels.  ``filter_order`` models cascaded-ring (flat-top) filters:
+    an order-N add-drop suppresses out-of-band light N times over.
+    """
+    if filter_order < 1:
+        raise ConfigurationError("filter order must be >= 1")
+    if grid.n_channels < 2:
+        return 0.0
+    spacing = grid.adjacent_spacing_m
+    single_neighbour = ring.drop_transmission(
+        ring.resonance_wavelength_m + spacing
+    ) / ring.drop_transmission(ring.resonance_wavelength_m)
+    return 2.0 * 1.25 * single_neighbour ** filter_order
+
+
+def link_signal_report(
+    budget: LinkBudget,
+    grid: WDMGrid,
+    ring: MicroringResonator | None = None,
+    detector: Photodetector | None = None,
+    n_rings_passed: int = 1,
+    filter_order: int = 2,
+    launch_power_w: float | None = None,
+) -> SignalReport:
+    """Signal quality of a WDM link through ``n_rings_passed`` filters.
+
+    ``launch_power_w`` defaults to the budget-solved power (PD
+    sensitivity exactly met) — the worst case the architecture is
+    provisioned for.  ``filter_order`` defaults to the second-order
+    gateway filters the interposer requires (module docstring).
+    """
+    ring = ring or interposer_filter_ring()
+    detector = detector or Photodetector()
+    if n_rings_passed < 1:
+        raise ConfigurationError("a link passes at least one ring")
+
+    launch = launch_power_w or budget.required_on_chip_power_w(detector)
+    received = launch * budget.transmission
+
+    # Crosstalk accumulates once per filter traversal; neighbours run at
+    # the same launch power and suffer (approximately) the same loss.
+    per_ring = crosstalk_fraction_per_ring(ring, grid, filter_order)
+    crosstalk = received * per_ring * n_rings_passed
+
+    signal_current = detector.responsivity_a_per_w * received
+    noise_current = math.sqrt(
+        RECEIVER_NOISE_CURRENT_A ** 2
+        + (detector.responsivity_a_per_w * crosstalk) ** 2
+    )
+    # OOK Q-factor: eye opening between the 1 and 0 rails over the
+    # summed rail noise (the 0 rail carries crosstalk + receiver noise).
+    q_factor = signal_current / (2.0 * noise_current)
+    ber = 0.5 * math.erfc(q_factor / math.sqrt(2.0))
+    snr_db = 20.0 * math.log10(q_factor) if q_factor > 0 else -math.inf
+    return SignalReport(
+        received_signal_w=received,
+        crosstalk_w=crosstalk,
+        q_factor=q_factor,
+        ber=ber,
+        snr_db=snr_db,
+    )
+
+
+def max_wavelengths_for_ber(
+    budget: LinkBudget,
+    ring: MicroringResonator | None = None,
+    detector: Photodetector | None = None,
+    n_rings_passed: int = 8,
+    filter_order: int = 2,
+    ber_floor: float = 1e-12,
+    candidates: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 96, 128),
+) -> int:
+    """Largest comb (from ``candidates``) meeting the BER floor.
+
+    Also enforces the FSR-aliasing constraint: the comb must fit inside
+    one filter FSR so every MRG row addresses unique channels.
+    """
+    ring = ring or interposer_filter_ring()
+    best = 1
+    for n_channels in candidates:
+        grid = interposer_grid(n_channels)
+        if n_channels > 1 and not grid.fits_in_fsr(ring):
+            continue
+        report = link_signal_report(
+            budget, grid, ring, detector, n_rings_passed, filter_order
+        )
+        if report.ber <= ber_floor:
+            best = max(best, n_channels)
+    return best

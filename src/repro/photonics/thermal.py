@@ -1,0 +1,125 @@
+"""Thermal co-modelling of photonic chiplets.
+
+Ring resonances drift with temperature (~0.08 nm/K for SOI rings), and a
+chiplet's own power dissipation heats its rings — so compute power and
+trimming power are coupled.  This module closes that loop with a simple
+steady-state model:
+
+1. chiplet power -> temperature rise (power density x thermal
+   resistance),
+2. temperature rise -> resonance drift,
+3. drift -> additional thermal trimming power (which itself heats the
+   die — iterated to a fixed point).
+
+The fixed-point iteration is the standard methodology for photonic
+accelerator power closure, and it converges fast because trimming power
+is a small fraction of total power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from . import constants
+
+RING_DRIFT_NM_PER_K = 0.08
+"""SOI microring resonance drift per kelvin."""
+
+CHIPLET_THERMAL_RESISTANCE_K_PER_W = 0.45
+"""Junction-to-ambient thermal resistance of an interposer-mounted
+chiplet with a shared heat spreader (K/W)."""
+
+AMBIENT_MARGIN_K = 10.0
+"""Guard band above ambient assumed already trimmed out at calibration."""
+
+
+@dataclass(frozen=True)
+class ThermalOperatingPoint:
+    """Converged thermal state of one chiplet."""
+
+    base_power_w: float
+    temperature_rise_k: float
+    resonance_drift_nm: float
+    thermal_trimming_power_w: float
+    iterations: int
+
+    @property
+    def total_power_w(self) -> float:
+        return self.base_power_w + self.thermal_trimming_power_w
+
+
+def thermal_operating_point(
+    base_power_w: float,
+    n_rings: int,
+    thermal_resistance_k_per_w: float = CHIPLET_THERMAL_RESISTANCE_K_PER_W,
+    drift_nm_per_k: float = RING_DRIFT_NM_PER_K,
+    max_iterations: int = 50,
+    tolerance_w: float = 1e-4,
+) -> ThermalOperatingPoint:
+    """Fixed-point thermal closure for one chiplet.
+
+    Rings are assumed athermalised to the calibration temperature; drift
+    beyond :data:`AMBIENT_MARGIN_K` must be actively trimmed out, and
+    EO-assisted trimming (the chiplets' mechanism) pays
+    ``MR_EO_TUNING_POWER_W_PER_NM`` per ring per nm.
+    """
+    if base_power_w < 0:
+        raise ConfigurationError("base power must be >= 0")
+    if n_rings < 0:
+        raise ConfigurationError("ring count must be >= 0")
+    if thermal_resistance_k_per_w <= 0:
+        raise ConfigurationError("thermal resistance must be positive")
+
+    trimming_w = 0.0
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        total = base_power_w + trimming_w
+        rise_k = total * thermal_resistance_k_per_w
+        excess_k = max(0.0, rise_k - AMBIENT_MARGIN_K)
+        drift_nm = excess_k * drift_nm_per_k
+        new_trimming = (
+            n_rings * constants.MR_EO_TUNING_POWER_W_PER_NM * drift_nm
+        )
+        if abs(new_trimming - trimming_w) < tolerance_w:
+            trimming_w = new_trimming
+            break
+        trimming_w = new_trimming
+
+    total = base_power_w + trimming_w
+    rise_k = total * thermal_resistance_k_per_w
+    return ThermalOperatingPoint(
+        base_power_w=base_power_w,
+        temperature_rise_k=rise_k,
+        resonance_drift_nm=max(0.0, rise_k - AMBIENT_MARGIN_K)
+        * drift_nm_per_k,
+        thermal_trimming_power_w=trimming_w,
+        iterations=iterations,
+    )
+
+
+def thermal_runaway_limit_w(
+    n_rings: int,
+    thermal_resistance_k_per_w: float = CHIPLET_THERMAL_RESISTANCE_K_PER_W,
+    drift_nm_per_k: float = RING_DRIFT_NM_PER_K,
+) -> float:
+    """Base power above which trimming feedback diverges.
+
+    The fixed point ``t = a*(P + t) + b`` diverges when the loop gain
+    ``a = n_rings * k_trim * drift * R_th`` reaches 1; the runaway limit
+    is where total power would grow without bound.  Packaging must keep
+    each die's power well below this.
+    """
+    loop_gain = (
+        n_rings
+        * constants.MR_EO_TUNING_POWER_W_PER_NM
+        * drift_nm_per_k
+        * thermal_resistance_k_per_w
+    )
+    if loop_gain >= 1.0:
+        return 0.0
+    # At the limit, the *effective* series sum P/(1-g) stays finite for
+    # any P; practical limit: keep the trimming share below 50%.
+    return (1.0 - loop_gain) / loop_gain * AMBIENT_MARGIN_K / (
+        thermal_resistance_k_per_w
+    )

@@ -1,0 +1,88 @@
+"""Silicon-on-insulator waveguide model.
+
+A waveguide is characterised by its routed length and the discrete
+features along it (90-degree bends, crossings with other waveguides).  It
+contributes propagation delay (set by the group index) and insertion loss
+to a photonic link budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from ..units import SPEED_OF_LIGHT
+from . import constants
+
+
+@dataclass(frozen=True)
+class Waveguide:
+    """A routed SOI waveguide segment.
+
+    Parameters
+    ----------
+    length_m:
+        Routed length in meters.
+    n_bends:
+        Number of 90-degree bends along the route.
+    n_crossings:
+        Number of crossings with other waveguides.
+    propagation_loss_db_per_cm:
+        Propagation loss (dB/cm).
+    group_index:
+        Group index; sets the propagation velocity of modulated light.
+    """
+
+    length_m: float
+    n_bends: int = 0
+    n_crossings: int = 0
+    propagation_loss_db_per_cm: float = (
+        constants.WAVEGUIDE_PROPAGATION_LOSS_DB_PER_CM
+    )
+    bend_loss_db: float = constants.WAVEGUIDE_BEND_LOSS_DB
+    crossing_loss_db: float = constants.WAVEGUIDE_CROSSING_LOSS_DB
+    group_index: float = field(default=constants.GROUP_INDEX_SOI)
+
+    def __post_init__(self) -> None:
+        if self.length_m < 0:
+            raise ConfigurationError(
+                f"waveguide length must be non-negative, got {self.length_m}"
+            )
+        if self.n_bends < 0 or self.n_crossings < 0:
+            raise ConfigurationError("bend/crossing counts must be non-negative")
+        if self.group_index < 1.0:
+            raise ConfigurationError(
+                f"group index below 1 is unphysical: {self.group_index}"
+            )
+
+    @property
+    def propagation_loss_db(self) -> float:
+        """Distributed propagation loss over the full length (dB)."""
+        return self.propagation_loss_db_per_cm * (self.length_m * 100.0)
+
+    @property
+    def insertion_loss_db(self) -> float:
+        """Total insertion loss: propagation + bends + crossings (dB)."""
+        return (
+            self.propagation_loss_db
+            + self.n_bends * self.bend_loss_db
+            + self.n_crossings * self.crossing_loss_db
+        )
+
+    @property
+    def propagation_delay_s(self) -> float:
+        """Time for light to traverse the waveguide (s)."""
+        return self.length_m * self.group_index / SPEED_OF_LIGHT
+
+    def extended(self, extra_length_m: float, extra_bends: int = 0,
+                 extra_crossings: int = 0) -> "Waveguide":
+        """Return a new waveguide with additional routed length/features."""
+        return Waveguide(
+            length_m=self.length_m + extra_length_m,
+            n_bends=self.n_bends + extra_bends,
+            n_crossings=self.n_crossings + extra_crossings,
+            propagation_loss_db_per_cm=self.propagation_loss_db_per_cm,
+            bend_loss_db=self.bend_loss_db,
+            crossing_loss_db=self.crossing_loss_db,
+            group_index=self.group_index,
+        )

@@ -1,0 +1,135 @@
+"""Wavelength-division multiplexing (WDM) grid and signal helpers.
+
+WDM lets many carriers share one waveguide (Section II): 64 wavelengths at
+12 Gb/s each give a 768 Gb/s waveguide in the paper's configuration.  This
+module builds wavelength grids, checks them against ring spectra
+(FSR aliasing, adjacent-channel crosstalk) and aggregates bandwidth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import ConfigurationError
+from ..units import SPEED_OF_LIGHT
+from . import constants
+from .microring import MicroringResonator
+
+
+@dataclass(frozen=True)
+class WDMGrid:
+    """A dense-WDM wavelength comb.
+
+    Channels are spaced uniformly in *frequency* (ITU convention) around a
+    center wavelength.
+
+    Parameters
+    ----------
+    n_channels:
+        Number of wavelengths in the comb.
+    channel_spacing_hz:
+        Frequency spacing between adjacent channels (Hz).
+    center_wavelength_m:
+        Wavelength of the comb center (m).
+    """
+
+    n_channels: int
+    channel_spacing_hz: float = constants.WDM_CHANNEL_SPACING_HZ
+    center_wavelength_m: float = constants.C_BAND_CENTER_M
+
+    def __post_init__(self) -> None:
+        if self.n_channels < 1:
+            raise ConfigurationError(
+                f"need at least one channel, got {self.n_channels}"
+            )
+        if self.channel_spacing_hz <= 0:
+            raise ConfigurationError("channel spacing must be positive")
+
+    @property
+    def center_frequency_hz(self) -> float:
+        """Optical frequency of the comb center (Hz)."""
+        return SPEED_OF_LIGHT / self.center_wavelength_m
+
+    def _check_channel(self, channel: int) -> None:
+        if not 0 <= channel < self.n_channels:
+            raise ConfigurationError(
+                f"channel {channel} out of range [0, {self.n_channels})"
+            )
+
+    def frequency_hz(self, channel: int) -> float:
+        """Optical frequency of channel ``channel`` (0-based, Hz)."""
+        self._check_channel(channel)
+        offset = channel - (self.n_channels - 1) / 2.0
+        return self.center_frequency_hz + offset * self.channel_spacing_hz
+
+    def wavelength_m(self, channel: int) -> float:
+        """Vacuum wavelength of channel ``channel`` (m)."""
+        return SPEED_OF_LIGHT / self.frequency_hz(channel)
+
+    def wavelengths(self) -> Iterator[float]:
+        """Iterate channel wavelengths from channel 0 upward (m)."""
+        for channel in range(self.n_channels):
+            yield self.wavelength_m(channel)
+
+    @property
+    def span_m(self) -> float:
+        """Spectral span between the outermost channels (m)."""
+        if self.n_channels == 1:
+            return 0.0
+        return abs(self.wavelength_m(0) - self.wavelength_m(self.n_channels - 1))
+
+    @property
+    def adjacent_spacing_m(self) -> float:
+        """Approximate wavelength spacing of adjacent channels (m)."""
+        center = self.center_wavelength_m
+        return self.channel_spacing_hz * center ** 2 / SPEED_OF_LIGHT
+
+    def aggregate_bandwidth_bps(self, data_rate_bps: float) -> float:
+        """Total waveguide bandwidth with every channel carrying
+        ``data_rate_bps`` (b/s)."""
+        if data_rate_bps <= 0:
+            raise ConfigurationError("data rate must be positive")
+        return self.n_channels * data_rate_bps
+
+    def fits_in_fsr(self, ring: MicroringResonator) -> bool:
+        """Whether the comb fits inside one ring FSR (no aliasing).
+
+        A ring resonates periodically; if the comb spans more than one
+        FSR, two comb channels alias onto the same resonance and the
+        weight banks / filters cannot address channels independently.
+        """
+        return self.span_m < ring.free_spectral_range_m
+
+    def worst_case_crosstalk_db(self, ring: MicroringResonator) -> float:
+        """Adjacent-channel crosstalk of a ring filter on this grid (dB).
+
+        Returns the suppression (negative dB) of the nearest neighbouring
+        channel; architectural rule of thumb wants < -20 dB.
+        """
+        if self.n_channels == 1:
+            return -math.inf
+        return ring.crosstalk_db(self.adjacent_spacing_m)
+
+
+def max_channels_for_crosstalk(
+    ring: MicroringResonator,
+    crosstalk_floor_db: float = -20.0,
+    center_wavelength_m: float = constants.C_BAND_CENTER_M,
+) -> int:
+    """Largest DWDM comb a ring supports within a crosstalk floor.
+
+    Finds the tightest ITU-style spacing whose adjacent-channel crosstalk
+    stays below ``crosstalk_floor_db``, then counts how many such channels
+    fit in the ring's FSR.  Used by design-space exploration to bound the
+    wavelength count (Section VII, open challenge 3).
+    """
+    if crosstalk_floor_db >= 0:
+        raise ConfigurationError("crosstalk floor must be negative dB")
+    # Invert the Lorentzian: find spacing where suppression == floor.
+    half_width = ring.fwhm_m / 2.0
+    ratio = 10.0 ** (-crosstalk_floor_db / 10.0)  # >= 1
+    spacing_m = half_width * math.sqrt(ratio - 1.0)
+    n_by_fsr = int(ring.free_spectral_range_m // spacing_m)
+    return max(1, n_by_fsr)

@@ -1,0 +1,12 @@
+"""Power and energy models: device parameter tables, compute-fabric power,
+and energy-per-bit metrics."""
+
+from . import params
+from .compute_power import MacPowerBreakdown, mac_fabric_power, mac_unit_link_budget
+
+__all__ = [
+    "params",
+    "MacPowerBreakdown",
+    "mac_fabric_power",
+    "mac_unit_link_budget",
+]

@@ -1,0 +1,132 @@
+"""Power model of the photonic MAC compute fabric.
+
+A MAC unit of vector length ``v`` comprises, per lane: one MR modulator
+imprinting the activation, one MR weight element, and a DAC driving each
+(CrossLight's VDP structure, Fig. 4 of the paper); plus one broadband
+photodetector + ADC per unit, and the unit's share of the compute laser.
+
+The same model covers the monolithic die (longer waveguides, thermal
+trimming) and the chiplets (short waveguides, EO tuning), so the
+monolithic-vs-2.5D compute power difference falls out of the device
+parameters instead of being asserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..photonics import constants as ph
+from ..photonics.laser import LaserSource
+from ..photonics.link_budget import LinkBudget
+from ..photonics.microring import MicroringResonator, TuningMechanism
+from ..photonics.photodetector import Photodetector
+
+
+@dataclass(frozen=True)
+class MacPowerBreakdown:
+    """Per-component power of a set of MAC units (W)."""
+
+    dac_w: float
+    adc_w: float
+    tuning_w: float
+    trimming_w: float
+    laser_w: float
+    receiver_w: float
+
+    @property
+    def total_w(self) -> float:
+        return (
+            self.dac_w
+            + self.adc_w
+            + self.tuning_w
+            + self.trimming_w
+            + self.laser_w
+            + self.receiver_w
+        )
+
+
+def mac_unit_link_budget(
+    vector_length: int, waveguide_length_m: float
+) -> LinkBudget:
+    """Optical loss budget through one MAC unit's dot-product path.
+
+    Path: laser comb -> activation modulator bank (pass v-1 rings, drive
+    one) -> weight bank (same structure) -> photodetector.  Every carrier
+    passes the other lanes' rings on the shared waveguide.
+    """
+    budget = LinkBudget()
+    budget.add("splitter", 3.0)  # comb distribution inside the chiplet
+    budget.add(
+        "waveguide",
+        ph.WAVEGUIDE_PROPAGATION_LOSS_DB_PER_CM * waveguide_length_m * 100.0,
+    )
+    budget.add("modulator", ph.MR_MODULATION_INSERTION_LOSS_DB)
+    budget.add("mod_bank_passby", ph.MR_THROUGH_LOSS_DB, count=vector_length - 1)
+    budget.add("weight_ring", ph.MR_MODULATION_INSERTION_LOSS_DB)
+    budget.add(
+        "weight_bank_passby", ph.MR_THROUGH_LOSS_DB, count=vector_length - 1
+    )
+    return budget
+
+
+def mac_fabric_power(
+    n_units: int,
+    vector_length: int,
+    mac_rate_hz: float,
+    activity: float = 1.0,
+    waveguide_length_m: float = 2e-3,
+    trimming: TuningMechanism = TuningMechanism.ELECTRO_OPTIC,
+    laser: LaserSource | None = None,
+) -> MacPowerBreakdown:
+    """Power of ``n_units`` MAC units of ``vector_length`` lanes each.
+
+    Parameters
+    ----------
+    activity:
+        Fraction of time the units are streaming operands (dynamic scaling
+        of DAC/ADC/modulator energy).
+    waveguide_length_m:
+        Optical path length through one unit — millimetres on a chiplet,
+        centimetres on the monolithic die.
+    trimming:
+        Mechanism used to hold rings on resonance against variations;
+        thermal trimming (monolithic CrossLight) is an order of magnitude
+        costlier than EO-assisted trimming.
+    """
+    lanes = n_units * vector_length
+    detector = Photodetector()
+    source = laser or LaserSource.off_chip()
+
+    # Two DACs per lane (weight + activation), one ADC per unit.
+    dac_w = 2.0 * lanes * ph.DAC_POWER_W * activity
+    adc_w = n_units * ph.ADC_POWER_W * activity
+
+    # Weight/activation imprinting: average EO detuning holds ~half the
+    # linewidth worth of shift per ring.
+    ring = MicroringResonator()
+    average_shift_m = ring.fwhm_m / 2.0
+    tuning_w = 2.0 * lanes * ring.tuning_power_w(average_shift_m) * activity
+
+    # Fabrication-variation trimming on every ring.
+    if trimming is TuningMechanism.THERMO_OPTIC:
+        per_ring_trim = ph.MR_TO_TUNING_POWER_W_PER_NM * ph.MR_THERMAL_TRIMMING_NM
+    else:
+        per_ring_trim = ph.MR_EO_TUNING_POWER_W_PER_NM * ph.MR_THERMAL_TRIMMING_NM
+    trimming_w = 2.0 * lanes * per_ring_trim
+
+    # Compute laser: each unit's comb must close the unit's optical path.
+    budget = mac_unit_link_budget(vector_length, waveguide_length_m)
+    per_unit_optical = (
+        budget.required_on_chip_power_w(detector) * vector_length
+    )
+    laser_w = n_units * source.electrical_power_w(per_unit_optical)
+
+    receiver_w = n_units * ph.PD_TIA_POWER_W
+    return MacPowerBreakdown(
+        dac_w=dac_w,
+        adc_w=adc_w,
+        tuning_w=tuning_w,
+        trimming_w=trimming_w,
+        laser_w=laser_w,
+        receiver_w=receiver_w,
+    )

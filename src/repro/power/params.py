@@ -1,0 +1,58 @@
+"""Power-model parameters not owned by the photonic device library.
+
+Electrical energy/power figures for the NoC, memory system, and chiplet
+electronics.  Sources: the active-interposer router literature the paper
+cites ([40]), HBM2E datasheet-level figures, and the CrossLight [21]
+electronic back-end assumptions.  Photonic device figures live in
+:mod:`repro.photonics.constants`.
+"""
+
+from __future__ import annotations
+
+# --- Electrical NoC (interposer mesh and on-chiplet networks) -----------------
+
+ROUTER_ENERGY_J_PER_BIT = 0.6e-12
+"""Energy per bit through one mesh router (buffering + crossbar)."""
+
+ROUTER_STATIC_POWER_W = 0.25
+"""Static power of one 5-port 128-bit mesh router at 2 GHz."""
+
+INTERPOSER_WIRE_ENERGY_J_PER_BIT_PER_MM = 0.18e-12
+"""Energy per bit per mm of interposer trace (passive, full-swing)."""
+
+ONCHIP_WIRE_ENERGY_J_PER_BIT_PER_MM = 0.10e-12
+"""Energy per bit per mm of on-die global wire."""
+
+MICROBUMP_ENERGY_J_PER_BIT = 0.05e-12
+"""Energy crossing a microbump interface between chiplet and interposer."""
+
+# --- Memory system ---------------------------------------------------------------
+
+HBM_ENERGY_J_PER_BIT = 3.9e-12
+"""HBM2E access energy per bit (I/O + DRAM core)."""
+
+HBM_STATIC_POWER_W = 1.2
+"""HBM stack standby power."""
+
+DDR_ENERGY_J_PER_BIT = 15e-12
+"""Conventional off-package DRAM access energy (monolithic baseline)."""
+
+DDR_PHY_STATIC_POWER_W = 1.5
+"""DDR PHY + controller static power."""
+
+# --- Chiplet / die electronics -----------------------------------------------------
+
+SRAM_BUFFER_ENERGY_J_PER_BIT = 0.08e-12
+"""Read/write energy of chiplet-local SRAM buffers per bit."""
+
+CHIPLET_LOGIC_STATIC_POWER_W = 0.35
+"""Control logic + clocking static power per compute chiplet."""
+
+MEMORY_CHIPLET_LOGIC_STATIC_POWER_W = 0.8
+"""Controller logic static power of the memory chiplet."""
+
+MONO_LOGIC_STATIC_POWER_W = 2.0
+"""Control/clocking static power of the monolithic die."""
+
+RESIPI_CONTROLLER_POWER_W = 0.25
+"""ReSiPI epoch controller (traffic counters + decision logic)."""

@@ -1,0 +1,19 @@
+"""Discrete-event simulation kernel and shared-resource primitives."""
+
+from .core import AllOf, Environment, Event, Process, Timeout
+from .resources import BandwidthChannel, Resource, Store
+from .stats import EpochTrafficMonitor, LatencyRecorder, TimeWeightedValue
+
+__all__ = [
+    "AllOf",
+    "Environment",
+    "Event",
+    "Process",
+    "Timeout",
+    "BandwidthChannel",
+    "Resource",
+    "Store",
+    "EpochTrafficMonitor",
+    "LatencyRecorder",
+    "TimeWeightedValue",
+]

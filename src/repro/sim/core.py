@@ -1,0 +1,228 @@
+"""Discrete-event simulation kernel.
+
+A small process-based kernel in the SimPy style: generator coroutines
+yield :class:`Event` objects and are resumed when those events fire.
+Both interposer network models run on this kernel so that contention
+(queueing at gateways, mesh links, memory ports) emerges from explicit
+resource sharing instead of closed-form approximations.
+
+Design choices:
+
+* Time is a ``float`` in seconds.
+* Events fire in (time, insertion-order) order — deterministic replays.
+* No interrupts/preemption: network messages never abort mid-flight.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from ..errors import SimulationError
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on."""
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._triggered = False
+        self._processed = False
+        self._value: Any = None
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has been scheduled to fire."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """Whether the event's callbacks have already run."""
+        return self._processed
+
+    @property
+    def value(self) -> Any:
+        """The value the event fired with (valid once triggered)."""
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event now with an optional value."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._value = value
+        self._triggered = True
+        self.env._schedule(self, delay=0.0)
+        return self
+
+    def _fire(self) -> None:
+        """Run callbacks; called by the environment at the scheduled time."""
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(env)
+        self._value = value
+        self._triggered = True
+        env._schedule(self, delay=delay)
+
+
+class Process(Event):
+    """A running generator coroutine; itself an event that fires on return.
+
+    The generator yields events; each yielded event resumes the generator
+    with the event's value when it fires.  When the generator returns, the
+    process event triggers with the return value.
+    """
+
+    def __init__(self, env: "Environment",
+                 generator: Generator[Event, Any, Any]):
+        super().__init__(env)
+        self._generator = generator
+        # Bootstrap: resume the generator at time `now`.
+        bootstrap = Event(env)
+        bootstrap.callbacks.append(self._step)
+        bootstrap._triggered = True
+        env._schedule(bootstrap, delay=0.0)
+
+    def _step(self, event: Event) -> None:
+        """Advance the generator with the fired event's value."""
+        try:
+            target = self._generator.send(event.value)
+        except StopIteration as stop:
+            if not self._triggered:
+                self.succeed(stop.value)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process yielded {target!r}; processes must yield Events"
+            )
+        if target.processed:
+            # Already fired: resume immediately at the current time.
+            resume = Event(self.env)
+            resume._value = target.value
+            resume.callbacks.append(self._step)
+            resume._triggered = True
+            self.env._schedule(resume, delay=0.0)
+        else:
+            target.callbacks.append(self._step)
+
+
+class AllOf(Event):
+    """Fires when every child event has fired (a barrier).
+
+    The value is the list of child values in the original order.
+    """
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        self._pending = len(self._events)
+        if self._pending == 0:
+            self.succeed([])
+            return
+        for event in self._events:
+            if event.processed:
+                self._on_child(event)
+            else:
+                event.callbacks.append(self._on_child)
+
+    def _on_child(self, _: Event) -> None:
+        self._pending -= 1
+        if self._pending == 0 and not self._triggered:
+            self.succeed([event.value for event in self._events])
+
+
+class Environment:
+    """Event queue and simulated clock."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._queue: list[tuple[float, int, Event]] = []
+        self._sequence = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (s)."""
+        return self._now
+
+    def _schedule(self, event: Event, delay: float) -> None:
+        self._sequence += 1
+        heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
+
+    # -- factories ------------------------------------------------------------
+
+    def event(self) -> Event:
+        """An untriggered event; fire it later with ``succeed``."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any]) -> Process:
+        """Start a process from a generator coroutine."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Barrier event over several events."""
+        return AllOf(self, events)
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Execute events until the queue drains or ``until`` is reached.
+
+        Returns the simulation time when execution stopped.
+        """
+        while self._queue:
+            fire_time, _, event = self._queue[0]
+            if until is not None and fire_time > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._queue)
+            if fire_time < self._now:
+                raise SimulationError(
+                    f"time went backwards: {fire_time} < {self._now}"
+                )
+            self._now = fire_time
+            event._fire()
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+    def run_until_event(self, event: Event, limit: Optional[float] = None
+                        ) -> float:
+        """Execute events until ``event`` has been processed.
+
+        Needed when perpetual processes (epoch controllers) keep the queue
+        non-empty forever.  ``limit`` bounds simulated time as a hang
+        guard; exceeding it raises :class:`SimulationError`.
+        """
+        while not event.processed:
+            if not self._queue:
+                raise SimulationError(
+                    "event queue drained before the awaited event fired"
+                )
+            fire_time, _, next_event = heapq.heappop(self._queue)
+            if limit is not None and fire_time > limit:
+                raise SimulationError(
+                    f"simulation exceeded time limit {limit} s"
+                )
+            self._now = fire_time
+            next_event._fire()
+        return self._now
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        if not self._queue:
+            return float("inf")
+        return self._queue[0][0]

@@ -1,0 +1,178 @@
+"""Shared-resource primitives for the simulation kernel.
+
+* :class:`Resource` — counted semaphore with FIFO queueing; models
+  routers, gateway front-ends, memory ports.
+* :class:`Store` — unbounded FIFO message queue; models buffers.
+* :class:`BandwidthChannel` — a serial transmission medium: each transfer
+  occupies the channel for ``bits / bandwidth`` seconds, FIFO.  Models a
+  waveguide (with its wavelength comb aggregated into one bandwidth
+  figure) or an electrical link.  Bandwidth may be changed at runtime —
+  that is exactly what the reconfiguration controllers do — and in-flight
+  transfers are unaffected (they were admitted at the old rate).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator
+
+from ..errors import SimulationError
+from .core import Environment, Event
+
+
+class Resource:
+    """A counted resource with FIFO request queueing."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiting: Deque[Event] = deque()
+        # Busy-time integration for utilization reporting.
+        self._busy_since: float | None = None
+        self._busy_time = 0.0
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently held slots."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting."""
+        return len(self._waiting)
+
+    def request(self) -> Event:
+        """Acquire a slot; the returned event fires when granted."""
+        event = Event(self.env)
+        if self._in_use < self.capacity:
+            self._grant(event)
+        else:
+            self._waiting.append(event)
+        return event
+
+    def _grant(self, event: Event) -> None:
+        if self._in_use == 0:
+            self._busy_since = self.env.now
+        self._in_use += 1
+        event.succeed()
+
+    def release(self) -> None:
+        """Release one held slot; grants the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError("release() without a matching request()")
+        self._in_use -= 1
+        if self._in_use == 0 and self._busy_since is not None:
+            self._busy_time += self.env.now - self._busy_since
+            self._busy_since = None
+        if self._waiting:
+            self._grant(self._waiting.popleft())
+
+    def busy_time(self) -> float:
+        """Total time the resource had at least one holder (s)."""
+        total = self._busy_time
+        if self._busy_since is not None:
+            total += self.env.now - self._busy_since
+        return total
+
+    def utilization(self) -> float:
+        """Fraction of elapsed time the resource was busy."""
+        if self.env.now == 0.0:
+            return 0.0
+        return self.busy_time() / self.env.now
+
+
+class Store:
+    """Unbounded FIFO queue of items with blocking ``get``."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit an item; wakes the oldest waiting getter."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Take the oldest item; the event fires with the item as value."""
+        event = Event(self.env)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+
+class BandwidthChannel:
+    """A serial channel: transfers occupy it for ``bits / bandwidth``.
+
+    Combines a unit-capacity :class:`Resource` with the serialization-time
+    computation, and accumulates transferred bits for traffic accounting.
+    """
+
+    def __init__(self, env: Environment, bandwidth_bps: float,
+                 name: str = "channel"):
+        if bandwidth_bps <= 0:
+            raise SimulationError(
+                f"channel {name!r} bandwidth must be positive"
+            )
+        self.env = env
+        self.name = name
+        self._bandwidth_bps = bandwidth_bps
+        self._resource = Resource(env, capacity=1)
+        self.bits_transferred = 0.0
+        self.transfer_count = 0
+
+    @property
+    def bandwidth_bps(self) -> float:
+        """Current channel bandwidth (b/s)."""
+        return self._bandwidth_bps
+
+    def set_bandwidth(self, bandwidth_bps: float) -> None:
+        """Reconfigure the channel rate (controllers call this per epoch)."""
+        if bandwidth_bps <= 0:
+            raise SimulationError(
+                f"channel {self.name!r} bandwidth must be positive"
+            )
+        self._bandwidth_bps = bandwidth_bps
+
+    def serialization_time(self, bits: float) -> float:
+        """Time to clock ``bits`` onto the channel at the current rate (s)."""
+        if bits < 0:
+            raise SimulationError("cannot transfer negative bits")
+        return bits / self._bandwidth_bps
+
+    def transfer(self, bits: float,
+                 extra_latency_s: float = 0.0) -> Generator[Event, Any, None]:
+        """Process: occupy the channel for the serialization time.
+
+        ``extra_latency_s`` (propagation, conversion) is added *after* the
+        channel is released — it is pipeline latency, not occupancy.
+        """
+        grant = self._resource.request()
+        yield grant
+        hold = self.serialization_time(bits)
+        yield self.env.timeout(hold)
+        self._resource.release()
+        self.bits_transferred += bits
+        self.transfer_count += 1
+        if extra_latency_s > 0.0:
+            yield self.env.timeout(extra_latency_s)
+
+    def utilization(self) -> float:
+        """Fraction of simulated time the channel carried a transfer."""
+        return self._resource.utilization()
+
+    @property
+    def queue_length(self) -> int:
+        """Transfers currently waiting for the channel."""
+        return self._resource.queue_length

@@ -1,0 +1,159 @@
+"""Unit constants and conversion helpers used across the library.
+
+All internal computation uses base SI units: seconds, watts, hertz, meters,
+bits.  Device datasheets and the paper quote values in engineering units
+(dB, mW, GHz, Gb/s, nm, mm); the helpers here convert between the two so
+that magic conversion factors never appear inline in models.
+"""
+
+from __future__ import annotations
+
+import math
+
+# ---------------------------------------------------------------------------
+# SI prefixes (multipliers relative to the base unit).
+# ---------------------------------------------------------------------------
+
+TERA = 1e12
+GIGA = 1e9
+MEGA = 1e6
+KILO = 1e3
+MILLI = 1e-3
+MICRO = 1e-6
+NANO = 1e-9
+PICO = 1e-12
+FEMTO = 1e-15
+
+# ---------------------------------------------------------------------------
+# Physical constants.
+# ---------------------------------------------------------------------------
+
+SPEED_OF_LIGHT = 299_792_458.0
+"""Speed of light in vacuum (m/s)."""
+
+PLANCK = 6.626_070_15e-34
+"""Planck constant (J*s)."""
+
+BOLTZMANN = 1.380_649e-23
+"""Boltzmann constant (J/K)."""
+
+ELEMENTARY_CHARGE = 1.602_176_634e-19
+"""Elementary charge (C)."""
+
+# ---------------------------------------------------------------------------
+# Data-size units (bits are the base unit for traffic accounting).
+# ---------------------------------------------------------------------------
+
+BYTE = 8
+KIB = 1024 * BYTE
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+
+def bits_from_bytes(n_bytes: float) -> float:
+    """Return the number of bits in ``n_bytes`` bytes."""
+    return n_bytes * BYTE
+
+
+def bytes_from_bits(n_bits: float) -> float:
+    """Return the number of bytes in ``n_bits`` bits."""
+    return n_bits / BYTE
+
+
+# ---------------------------------------------------------------------------
+# Decibel conversions.
+# ---------------------------------------------------------------------------
+
+
+def db_to_linear(value_db: float) -> float:
+    """Convert a power ratio expressed in dB to a linear ratio.
+
+    >>> db_to_linear(3.0103)  # doctest: +ELLIPSIS
+    2.000...
+    """
+    return 10.0 ** (value_db / 10.0)
+
+
+def linear_to_db(ratio: float) -> float:
+    """Convert a linear power ratio to dB.
+
+    Raises ``ValueError`` for non-positive ratios, which have no dB
+    representation.
+    """
+    if ratio <= 0.0:
+        raise ValueError(f"cannot express non-positive ratio {ratio!r} in dB")
+    return 10.0 * math.log10(ratio)
+
+
+def dbm_to_watts(power_dbm: float) -> float:
+    """Convert optical/electrical power from dBm to watts.
+
+    >>> dbm_to_watts(0.0)
+    0.001
+    """
+    return MILLI * db_to_linear(power_dbm)
+
+
+def watts_to_dbm(power_w: float) -> float:
+    """Convert power in watts to dBm."""
+    if power_w <= 0.0:
+        raise ValueError(f"cannot express non-positive power {power_w!r} in dBm")
+    return linear_to_db(power_w / MILLI)
+
+
+# ---------------------------------------------------------------------------
+# Frequency / wavelength conversions (optical carriers).
+# ---------------------------------------------------------------------------
+
+
+def wavelength_to_frequency(wavelength_m: float) -> float:
+    """Optical frequency (Hz) of a carrier with the given vacuum wavelength."""
+    if wavelength_m <= 0.0:
+        raise ValueError("wavelength must be positive")
+    return SPEED_OF_LIGHT / wavelength_m
+
+def frequency_to_wavelength(frequency_hz: float) -> float:
+    """Vacuum wavelength (m) of a carrier at the given optical frequency."""
+    if frequency_hz <= 0.0:
+        raise ValueError("frequency must be positive")
+    return SPEED_OF_LIGHT / frequency_hz
+
+
+def photon_energy(wavelength_m: float) -> float:
+    """Energy (J) of a single photon at the given vacuum wavelength."""
+    return PLANCK * wavelength_to_frequency(wavelength_m)
+
+
+# ---------------------------------------------------------------------------
+# Engineering-notation formatting (used by report renderers).
+# ---------------------------------------------------------------------------
+
+_ENG_PREFIXES = {
+    -15: "f",
+    -12: "p",
+    -9: "n",
+    -6: "u",
+    -3: "m",
+    0: "",
+    3: "k",
+    6: "M",
+    9: "G",
+    12: "T",
+}
+
+
+def format_si(value: float, unit: str = "", precision: int = 3) -> str:
+    """Format ``value`` with an SI prefix, e.g. ``format_si(1.2e-9, 's')``.
+
+    >>> format_si(1.21e-3, 's')
+    '1.21 ms'
+    """
+    if value == 0.0:
+        return f"0 {unit}".rstrip()
+    magnitude = value if value >= 0 else -value
+    exponent = int(math.floor(math.log10(magnitude) / 3.0) * 3)
+    exponent = max(-15, min(12, exponent))
+    scaled = value / (10.0 ** exponent)
+    prefix = _ENG_PREFIXES[exponent]
+    text = f"{scaled:.{precision}g} {prefix}{unit}"
+    return text.rstrip()

@@ -1,0 +1,39 @@
+"""Shared fixtures.
+
+The session-scoped :func:`runner` fixture caches every (platform, model)
+simulation, so the Fig. 7 / Table 3 / calibration tests share one run of
+the evaluation matrix instead of re-simulating it per test file.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DEFAULT_PLATFORM
+from repro.experiments.runner import ExperimentRunner
+from repro.interposer.topology import build_floorplan
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    """One shared, caching experiment runner for the whole session."""
+    return ExperimentRunner()
+
+
+@pytest.fixture(scope="session")
+def floorplan():
+    """The Table 1 floorplan."""
+    return build_floorplan(DEFAULT_PLATFORM)
+
+
+@pytest.fixture(scope="session")
+def lenet_results(runner):
+    """LeNet5 on all three platforms (cheap, used by several files)."""
+    return {
+        platform: runner.run(platform, "LeNet5")
+        for platform in (
+            "CrossLight",
+            "2.5D-CrossLight-Elec",
+            "2.5D-CrossLight-SiPh",
+        )
+    }

@@ -1,0 +1,118 @@
+"""Analog accuracy model, validated against the functional MAC unit."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.accuracy import (
+    dot_product_snr,
+    min_dac_bits_for_effective_bits,
+    model_accuracy_report,
+    worst_layer,
+)
+from repro.core.mac_unit import MacUnitSpec, PhotonicMacUnit
+from repro.dnn import zoo
+from repro.dnn.workload import extract_workload
+from repro.errors import ConfigurationError
+
+
+class TestAnalyticalSNR:
+    def test_snr_improves_with_dac_bits(self):
+        low = dot_product_snr(64, MacUnitSpec(9, dac_bits=4))
+        high = dot_product_snr(64, MacUnitSpec(9, dac_bits=10))
+        assert high.snr_db > low.snr_db
+
+    def test_snr_improves_with_adc_bits(self):
+        low = dot_product_snr(64, MacUnitSpec(9, adc_bits=4))
+        high = dot_product_snr(64, MacUnitSpec(9, adc_bits=12))
+        assert high.snr_db > low.snr_db
+
+    def test_longer_dots_gain_snr(self):
+        """Signal grows as L^2, noise as L: long dots average noise out."""
+        short = dot_product_snr(9, MacUnitSpec(9))
+        long = dot_product_snr(576, MacUnitSpec(9))
+        assert long.snr_db > short.snr_db
+
+    def test_effective_bits_formula(self):
+        estimate = dot_product_snr(64, MacUnitSpec(9))
+        assert estimate.effective_bits == pytest.approx(
+            (estimate.snr_db - 1.76) / 6.02
+        )
+
+    def test_invalid_dot_length(self):
+        with pytest.raises(ConfigurationError):
+            dot_product_snr(0, MacUnitSpec(9))
+
+
+class TestMonteCarloValidation:
+    """The analytical noise model must match the functional simulation."""
+
+    @pytest.mark.parametrize("dac_bits", [4, 6, 8])
+    def test_predicted_rms_matches_measured(self, dac_bits):
+        spec = MacUnitSpec(vector_length=9, dac_bits=dac_bits, adc_bits=12)
+        unit = PhotonicMacUnit(spec)
+        rng = np.random.default_rng(99)
+        length = 9
+        errors = []
+        for _ in range(300):
+            acts = rng.uniform(0, 1, length)
+            weights = rng.uniform(0, 1, length)
+            exact = float(np.dot(acts, weights))
+            measured = unit.dot(acts, weights)
+            errors.append(measured - exact)
+        measured_noise = float(np.mean(np.square(errors)))
+        predicted_noise = dot_product_snr(length, spec).noise_power
+        # Within a factor of 3 across resolutions (the analytical model
+        # assumes uniform quantisation error; ring weighting adds a
+        # deterministic component).
+        assert measured_noise < 3.0 * predicted_noise + 1e-9
+        assert measured_noise > predicted_noise / 3.0
+
+    def test_high_resolution_is_nearly_exact(self):
+        spec = MacUnitSpec(vector_length=9, dac_bits=12, adc_bits=14)
+        unit = PhotonicMacUnit(spec)
+        rng = np.random.default_rng(5)
+        acts = rng.uniform(0, 1, 9)
+        weights = rng.uniform(0, 1, 9)
+        assert unit.dot(acts, weights) == pytest.approx(
+            float(np.dot(acts, weights)), abs=5e-3
+        )
+
+
+class TestModelReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        workload = extract_workload(zoo.build("LeNet5"))
+        return model_accuracy_report(workload)
+
+    def test_one_entry_per_layer(self, report):
+        assert len(report) == 5
+
+    def test_worst_layer_is_shortest_dot(self, report):
+        worst = worst_layer(report)
+        assert worst.dot_length == min(e.dot_length for e in report)
+
+    def test_all_layers_above_4_effective_bits_at_8bit(self, report):
+        for entry in report:
+            assert entry.effective_bits > 4.0
+
+    def test_empty_report_rejected(self):
+        with pytest.raises(ConfigurationError):
+            worst_layer([])
+
+
+class TestCoDesign:
+    def test_min_dac_bits_monotone_in_target(self):
+        low = min_dac_bits_for_effective_bits(64, 4.0)
+        high = min_dac_bits_for_effective_bits(64, 7.0)
+        assert high >= low
+
+    def test_unreachable_target_raises(self):
+        with pytest.raises(ConfigurationError):
+            min_dac_bits_for_effective_bits(9, 20.0)
+
+    def test_long_dots_tolerate_lower_dacs(self):
+        short = min_dac_bits_for_effective_bits(9, 6.0)
+        long = min_dac_bits_for_effective_bits(1024, 6.0)
+        assert long <= short

@@ -1,0 +1,106 @@
+"""Literature baseline platforms (Table 3 comparison rows)."""
+
+import pytest
+
+from repro.baselines.platforms import (
+    LITERATURE_PLATFORMS,
+    NVIDIA_P100,
+    BaselinePlatform,
+)
+from repro.dnn import zoo
+from repro.dnn.workload import extract_workload
+from repro.errors import ConfigurationError
+from repro.experiments.table3 import PAPER_TABLE3
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return {
+        name: extract_workload(zoo.build(name))
+        for name in zoo.MODEL_BUILDERS
+    }
+
+
+class TestRoofline:
+    def test_compute_bound_latency(self):
+        platform = BaselinePlatform(
+            name="test", power_w=100.0, throughput_macs_per_s=1e9,
+            memory_bandwidth_bps=1e15,
+        )
+        workload = extract_workload(zoo.build("LeNet5"))
+        assert platform.latency_s(workload) == pytest.approx(
+            workload.total_macs / 1e9
+        )
+
+    def test_memory_bound_latency(self):
+        platform = BaselinePlatform(
+            name="test", power_w=100.0, throughput_macs_per_s=1e18,
+            memory_bandwidth_bps=1e6,
+        )
+        workload = extract_workload(zoo.build("LeNet5"))
+        assert platform.latency_s(workload) == pytest.approx(
+            workload.total_traffic_bits / 1e6
+        )
+
+    def test_overhead_added(self):
+        fast = BaselinePlatform(
+            name="fast", power_w=1.0, throughput_macs_per_s=1e18,
+            memory_bandwidth_bps=1e18, overhead_s=1e-3,
+        )
+        workload = extract_workload(zoo.build("LeNet5"))
+        assert fast.latency_s(workload) == pytest.approx(1e-3, rel=1e-3)
+
+    def test_result_object_consistency(self):
+        workload = extract_workload(zoo.build("LeNet5"))
+        result = NVIDIA_P100.run_workload(workload)
+        assert result.platform == "Nvidia P100 GPU"
+        assert result.average_power_w == pytest.approx(NVIDIA_P100.power_w)
+        assert result.total_energy_j == pytest.approx(
+            NVIDIA_P100.power_w * result.latency_s
+        )
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BaselinePlatform("bad", power_w=0.0, throughput_macs_per_s=1e9,
+                             memory_bandwidth_bps=1e9)
+        with pytest.raises(ConfigurationError):
+            BaselinePlatform("bad", power_w=1.0, throughput_macs_per_s=1e9,
+                             memory_bandwidth_bps=0.0)
+
+
+class TestTable3Calibration:
+    """Each platform's five-model average must land on its Table 3 row."""
+
+    @pytest.mark.parametrize(
+        "platform", LITERATURE_PLATFORMS, ids=lambda p: p.name
+    )
+    def test_average_latency_matches_paper(self, platform, workloads):
+        latencies = [
+            platform.latency_s(workload) for workload in workloads.values()
+        ]
+        average_ms = sum(latencies) / len(latencies) * 1e3
+        paper_ms = PAPER_TABLE3[platform.name][1]
+        assert average_ms == pytest.approx(paper_ms, rel=0.05)
+
+    @pytest.mark.parametrize(
+        "platform", LITERATURE_PLATFORMS, ids=lambda p: p.name
+    )
+    def test_power_matches_paper(self, platform):
+        assert platform.power_w == PAPER_TABLE3[platform.name][0]
+
+    def test_ordering_gpu_beats_cpus(self, workloads):
+        def average(platform):
+            return sum(
+                platform.latency_s(w) for w in workloads.values()
+            ) / len(workloads)
+
+        from repro.baselines.platforms import AMD_3970, INTEL_9282
+
+        assert average(NVIDIA_P100) < average(INTEL_9282) < average(AMD_3970)
+
+    def test_all_seven_platforms_present(self):
+        assert len(LITERATURE_PLATFORMS) == 7
+        names = {p.name for p in LITERATURE_PLATFORMS}
+        assert names == set(PAPER_TABLE3) - {
+            "CrossLight", "2.5D-CrossLight-Elec", "2.5D-CrossLight-SiPh",
+        }

@@ -1,0 +1,93 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.model == "ResNet50"
+        assert args.platform == "siph"
+        assert args.batch == 1
+
+    def test_invalid_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--model", "AlexNet"])
+
+    def test_invalid_platform_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--platform", "tpu"])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Number of wavelengths" in out
+        assert "12 Gb/s" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "138,357,544" in out
+        assert "NO" not in out
+
+    def test_run_lenet_mono(self, capsys):
+        assert main(["run", "--model", "LeNet5", "--platform", "mono"]) == 0
+        out = capsys.readouterr().out
+        assert "CrossLight" in out
+        assert "inferences/s" in out
+
+    def test_run_with_timeline(self, capsys):
+        assert main([
+            "run", "--model", "LeNet5", "--platform", "siph", "--timeline",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "c1" in out
+        assert "start(us)" in out
+
+    def test_run_batched(self, capsys):
+        assert main([
+            "run", "--model", "LeNet5", "--platform", "elec", "--batch", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "batch 2" in out
+
+    def test_run_awgr(self, capsys):
+        assert main(["run", "--model", "LeNet5", "--platform", "awgr"]) == 0
+        assert "AWGR" in capsys.readouterr().out
+
+    def test_run_alternative_controller(self, capsys):
+        assert main([
+            "run", "--model", "LeNet5", "--platform", "siph",
+            "--controller", "static",
+        ]) == 0
+        assert "static" in capsys.readouterr().out
+
+    def test_dse_quantization(self, capsys):
+        assert main([
+            "dse", "--sweep", "quantization", "--model", "LeNet5",
+        ]) == 0
+        assert "uniform-8b" in capsys.readouterr().out
+
+    def test_dse_controllers(self, capsys):
+        assert main([
+            "dse", "--sweep", "controllers", "--model", "LeNet5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "resipi" in out
+        assert "static" in out
+
+    def test_dse_mapping(self, capsys):
+        assert main([
+            "dse", "--sweep", "mapping", "--model", "LeNet5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "spillover" in out
+        assert "strict" in out

@@ -1,0 +1,149 @@
+"""Platform configuration (Table 1 encoding and derived quantities)."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    DEFAULT_PLATFORM,
+    TABLE1_MAC_GROUPS,
+    MacGroupConfig,
+    PlatformConfig,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTable1Values:
+    def test_data_rate(self):
+        assert DEFAULT_PLATFORM.wavelength_data_rate_bps == 12e9
+
+    def test_gateway_frequency(self):
+        assert DEFAULT_PLATFORM.gateway_frequency_hz == 2e9
+
+    def test_electrical_noc(self):
+        assert DEFAULT_PLATFORM.electrical_link_width_bits == 128
+        assert DEFAULT_PLATFORM.electrical_noc_frequency_hz == 2e9
+
+    def test_wavelengths(self):
+        assert DEFAULT_PLATFORM.n_wavelengths == 64
+
+    def test_chiplet_counts(self):
+        assert DEFAULT_PLATFORM.n_memory_chiplets == 1
+        assert DEFAULT_PLATFORM.n_compute_chiplets == 8
+        assert DEFAULT_PLATFORM.n_chiplets == 9
+
+    def test_mac_group_census(self):
+        by_kind = {g.kind: g for g in TABLE1_MAC_GROUPS}
+        assert by_kind["dense100"].n_chiplets == 2
+        assert by_kind["dense100"].macs_per_chiplet == 4
+        assert by_kind["dense100"].macs_per_gateway == 1
+        assert by_kind["7x7 conv"].n_chiplets == 1
+        assert by_kind["7x7 conv"].macs_per_chiplet == 8
+        assert by_kind["7x7 conv"].macs_per_gateway == 2
+        assert by_kind["5x5 conv"].n_chiplets == 2
+        assert by_kind["5x5 conv"].macs_per_chiplet == 16
+        assert by_kind["5x5 conv"].macs_per_gateway == 4
+        assert by_kind["3x3 conv"].n_chiplets == 3
+        assert by_kind["3x3 conv"].macs_per_chiplet == 44
+        assert by_kind["3x3 conv"].macs_per_gateway == 11
+
+    def test_every_chiplet_has_four_gateways(self):
+        for group in TABLE1_MAC_GROUPS:
+            assert group.gateways_per_chiplet == 4
+
+    def test_vector_lengths(self):
+        by_kind = {g.kind: g.vector_length for g in TABLE1_MAC_GROUPS}
+        assert by_kind == {
+            "dense100": 100, "7x7 conv": 49, "5x5 conv": 25, "3x3 conv": 9,
+        }
+
+
+class TestDerivedQuantities:
+    def test_gateway_bandwidth(self):
+        # 64 wavelengths x 12 Gb/s = 768 Gb/s.
+        assert DEFAULT_PLATFORM.gateway_bandwidth_bps == 768e9
+
+    def test_total_compute_gateways(self):
+        assert DEFAULT_PLATFORM.total_compute_gateways == 32
+
+    def test_total_mac_units(self):
+        assert DEFAULT_PLATFORM.total_mac_units == 2 * 4 + 8 + 2 * 16 + 3 * 44
+
+    def test_total_mac_lanes(self):
+        expected = 2 * 4 * 100 + 8 * 49 + 2 * 16 * 25 + 3 * 44 * 9
+        assert DEFAULT_PLATFORM.total_mac_lanes == expected
+
+    def test_peak_throughput(self):
+        assert DEFAULT_PLATFORM.peak_mac_throughput_per_s == (
+            DEFAULT_PLATFORM.total_mac_lanes * 2e9
+        )
+
+    def test_mesh_bandwidths(self):
+        assert DEFAULT_PLATFORM.mesh_link_bandwidth_bps == 256e9
+        assert DEFAULT_PLATFORM.mesh_effective_link_bandwidth_bps == (
+            pytest.approx(25.6e9)
+        )
+
+    def test_mono_peak_throughput(self):
+        assert DEFAULT_PLATFORM.mono_peak_mac_throughput_per_s == (
+            DEFAULT_PLATFORM.mono_n_vdp_units
+            * DEFAULT_PLATFORM.mono_vector_length
+            * DEFAULT_PLATFORM.mono_mac_rate_hz
+        )
+
+    def test_group_lookup(self):
+        group = DEFAULT_PLATFORM.group_by_kind("3x3 conv")
+        assert group.vector_length == 9
+        with pytest.raises(ConfigurationError):
+            DEFAULT_PLATFORM.group_by_kind("9x9 conv")
+
+
+class TestValidationAndVariants:
+    def test_with_wavelengths(self):
+        narrow = DEFAULT_PLATFORM.with_wavelengths(16)
+        assert narrow.n_wavelengths == 16
+        assert narrow.gateway_bandwidth_bps == 16 * 12e9
+        # Original untouched (frozen dataclass).
+        assert DEFAULT_PLATFORM.n_wavelengths == 64
+
+    def test_invalid_wavelengths(self):
+        with pytest.raises(ConfigurationError):
+            PlatformConfig(n_wavelengths=0)
+
+    def test_invalid_data_rate(self):
+        with pytest.raises(ConfigurationError):
+            PlatformConfig(wavelength_data_rate_bps=0)
+
+    def test_invalid_mesh_efficiency(self):
+        with pytest.raises(ConfigurationError):
+            PlatformConfig(mesh_link_efficiency=0.0)
+        with pytest.raises(ConfigurationError):
+            PlatformConfig(mesh_link_efficiency=1.5)
+
+    def test_empty_mac_groups(self):
+        with pytest.raises(ConfigurationError):
+            PlatformConfig(mac_groups=())
+
+    def test_mac_group_divisibility(self):
+        with pytest.raises(ConfigurationError):
+            MacGroupConfig(
+                kind="bad", vector_length=9, kernel_size=3, n_chiplets=1,
+                macs_per_chiplet=10, macs_per_gateway=3,
+            )
+
+    def test_mac_group_positive_counts(self):
+        with pytest.raises(ConfigurationError):
+            MacGroupConfig(
+                kind="bad", vector_length=0, kernel_size=0, n_chiplets=1,
+                macs_per_chiplet=1, macs_per_gateway=1,
+            )
+
+    def test_config_is_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            DEFAULT_PLATFORM.n_wavelengths = 128
+
+    def test_replace_for_sweeps(self):
+        fast = dataclasses.replace(DEFAULT_PLATFORM, mac_rate_hz=4e9)
+        assert fast.peak_mac_throughput_per_s == (
+            2 * DEFAULT_PLATFORM.peak_mac_throughput_per_s
+        )

@@ -1,0 +1,154 @@
+"""Interposer reconfiguration controllers (ReSiPI / PROWAVES / static)."""
+
+import pytest
+
+from repro.config import DEFAULT_PLATFORM
+from repro.interposer.photonic.controllers import (
+    ProwavesController,
+    ReSiPIController,
+    StaticController,
+)
+from repro.interposer.photonic.fabric import PhotonicInterposerFabric
+from repro.interposer.topology import build_floorplan
+from repro.sim.core import Environment
+
+
+def make_stack(controller_cls):
+    env = Environment()
+    floorplan = build_floorplan(DEFAULT_PLATFORM)
+    fabric = PhotonicInterposerFabric(env, DEFAULT_PLATFORM, floorplan)
+    controller = controller_cls(env, fabric, DEFAULT_PLATFORM)
+    return env, fabric, controller
+
+
+def drive_traffic(env, fabric, bits, chiplet="3x3 conv-0", repeat=3):
+    """Generate several rounds of read traffic."""
+
+    def workload():
+        for _ in range(repeat):
+            yield fabric.read(chiplet, bits)
+
+    return env.process(workload())
+
+
+class TestReSiPI:
+    def test_starts_minimal(self):
+        _, fabric, _ = make_stack(ReSiPIController)
+        assert fabric.active_memory_gateways.value == 1.0
+        for chiplet_id in fabric.inventories:
+            assert fabric.active_write_gateways[chiplet_id].value == 1.0
+
+    def test_high_demand_activates_gateways(self):
+        env, fabric, controller = make_stack(ReSiPIController)
+        # ~6 Tb/s offered read load, far above one gateway's 768 Gb/s.
+        done = drive_traffic(env, fabric, bits=50e6, repeat=6)
+        env.run_until_event(done, limit=1.0)
+        peak_memory_gateways = max(
+            decisions["mem"] for decisions in controller.decision_log
+        )
+        assert peak_memory_gateways > 1
+
+    def test_idle_epochs_deactivate(self):
+        env, fabric, controller = make_stack(ReSiPIController)
+        done = drive_traffic(env, fabric, bits=50e6, repeat=3)
+        env.run_until_event(done, limit=1.0)
+
+        def idle():
+            yield env.timeout(5e-6)  # five silent epochs
+
+        idle_done = env.process(idle())
+        env.run_until_event(idle_done, limit=1.0)
+        assert controller.decision_log[-1]["mem"] == 1
+        assert fabric.active_memory_gateways.value == 1.0
+
+    def test_decisions_logged_every_epoch(self):
+        env, fabric, controller = make_stack(ReSiPIController)
+        done = drive_traffic(env, fabric, bits=1e6)
+        env.run_until_event(done, limit=1.0)
+
+        def wait():
+            yield env.timeout(3e-6)
+
+        env.run_until_event(env.process(wait()), limit=1.0)
+        assert len(controller.decision_log) >= 3
+
+    def test_gateways_never_exceed_inventory(self):
+        env, fabric, controller = make_stack(ReSiPIController)
+        done = drive_traffic(env, fabric, bits=500e6, repeat=4)
+        env.run_until_event(done, limit=1.0)
+        maximum = DEFAULT_PLATFORM.n_memory_write_gateways
+        for decisions in controller.decision_log:
+            assert 1 <= decisions["mem"] <= maximum
+
+
+class TestProwaves:
+    def test_starts_with_one_wavelength(self):
+        _, fabric, _ = make_stack(ProwavesController)
+        one_lambda = (
+            DEFAULT_PLATFORM.n_memory_write_gateways
+            * DEFAULT_PLATFORM.wavelength_data_rate_bps
+        )
+        assert fabric.memory_write_channel.bandwidth_bps == pytest.approx(
+            one_lambda
+        )
+
+    def test_demand_raises_wavelength_fraction(self):
+        env, fabric, controller = make_stack(ProwavesController)
+        done = drive_traffic(env, fabric, bits=100e6, repeat=4)
+        env.run_until_event(done, limit=1.0)
+        assert max(controller.decision_log) > 1.0 / DEFAULT_PLATFORM.n_wavelengths
+
+    def test_fraction_bounded(self):
+        env, fabric, controller = make_stack(ProwavesController)
+        done = drive_traffic(env, fabric, bits=800e6, repeat=4)
+        env.run_until_event(done, limit=1.0)
+        for fraction in controller.decision_log:
+            assert 0.0 < fraction <= 1.0
+
+    def test_all_gateways_stay_active(self):
+        env, fabric, _ = make_stack(ProwavesController)
+        done = drive_traffic(env, fabric, bits=10e6)
+        env.run_until_event(done, limit=1.0)
+        assert fabric.active_memory_gateways.value == float(
+            DEFAULT_PLATFORM.n_memory_write_gateways
+        )
+
+
+class TestStatic:
+    def test_everything_stays_on(self):
+        env, fabric, _ = make_stack(StaticController)
+        done = drive_traffic(env, fabric, bits=10e6)
+        env.run_until_event(done, limit=1.0)
+        assert fabric.active_memory_gateways.value == float(
+            DEFAULT_PLATFORM.n_memory_write_gateways
+        )
+        assert fabric.reconfiguration_count == 0
+
+    def test_epochs_still_drained(self):
+        env, fabric, _ = make_stack(StaticController)
+        done = drive_traffic(env, fabric, bits=1e6)
+        env.run_until_event(done, limit=1.0)
+
+        def wait():
+            yield env.timeout(4e-6)
+
+        env.run_until_event(env.process(wait()), limit=1.0)
+        assert len(fabric.monitor.history) >= 4
+
+
+class TestPolicyComparison:
+    def test_resipi_saves_static_energy_vs_static(self):
+        """The core ReSiPI claim: gateway gating cuts network power."""
+        results = {}
+        for name, cls in (("resipi", ReSiPIController),
+                          ("static", StaticController)):
+            env, fabric, _ = make_stack(cls)
+            done = drive_traffic(env, fabric, bits=1e6, repeat=2)
+            env.run_until_event(done, limit=1.0)
+
+            def tail():
+                yield env.timeout(20e-6)
+
+            env.run_until_event(env.process(tail()), limit=1.0)
+            results[name] = fabric.energy_report().static_energy_j
+        assert results["resipi"] < results["static"]

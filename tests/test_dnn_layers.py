@@ -1,0 +1,205 @@
+"""DNN layer algebra: shapes, parameters, MACs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dnn.layers import (
+    Activation,
+    Add,
+    AveragePooling2D,
+    BatchNormalization,
+    Concatenate,
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    Flatten,
+    GlobalAveragePooling2D,
+    Input,
+    MaxPooling2D,
+    ZeroPadding2D,
+)
+from repro.errors import ShapeError
+
+
+class TestConv2D:
+    def test_same_padding_preserves_spatial(self):
+        conv = Conv2D(16, 3, padding="same")
+        assert conv.infer_shape([(32, 32, 3)]) == (32, 32, 16)
+
+    def test_valid_padding_shrinks(self):
+        conv = Conv2D(6, 5, padding="valid")
+        assert conv.infer_shape([(32, 32, 1)]) == (28, 28, 6)
+
+    def test_stride_two_same_padding_ceils(self):
+        conv = Conv2D(8, 3, strides=2, padding="same")
+        assert conv.infer_shape([(7, 7, 4)]) == (4, 4, 8)
+
+    def test_stride_two_valid(self):
+        conv = Conv2D(64, 7, strides=2, padding="valid")
+        assert conv.infer_shape([(230, 230, 3)]) == (112, 112, 64)
+
+    def test_params_with_bias(self):
+        conv = Conv2D(6, 5)
+        assert conv.param_count([(32, 32, 3)]) == 5 * 5 * 3 * 6 + 6
+
+    def test_params_without_bias(self):
+        conv = Conv2D(6, 5, use_bias=False)
+        assert conv.param_count([(32, 32, 3)]) == 5 * 5 * 3 * 6
+
+    def test_macs(self):
+        conv = Conv2D(16, 3, padding="same")
+        # 32*32 outputs x 16 filters x 3*3*3 dot length.
+        assert conv.mac_count([(32, 32, 3)]) == 32 * 32 * 16 * 27
+
+    def test_grouped_conv_params(self):
+        conv = Conv2D(8, 3, groups=2, use_bias=False)
+        assert conv.param_count([(8, 8, 4)]) == 3 * 3 * 2 * 8
+
+    def test_groups_must_divide_channels(self):
+        conv = Conv2D(9, 3, groups=3)
+        with pytest.raises(ShapeError):
+            conv.infer_shape([(8, 8, 4)])
+
+    def test_groups_must_divide_filters_at_construction(self):
+        with pytest.raises(ShapeError):
+            Conv2D(8, 3, groups=3)
+
+    def test_kernel_larger_than_valid_input_rejected(self):
+        conv = Conv2D(4, 7, padding="valid")
+        with pytest.raises(ShapeError):
+            conv.infer_shape([(5, 5, 3)])
+
+    def test_needs_hwc_input(self):
+        with pytest.raises(ShapeError):
+            Conv2D(4, 3).infer_shape([(100,)])
+
+    def test_unknown_padding_rejected(self):
+        conv = Conv2D(4, 3, padding="reflect")
+        with pytest.raises(ShapeError):
+            conv.infer_shape([(8, 8, 3)])
+
+    def test_is_conv_flag(self):
+        assert Conv2D(4, 3).is_conv
+        assert not Conv2D(4, 3).is_fc
+
+    @given(
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=1, max_value=7),
+        st.integers(min_value=1, max_value=3),
+    )
+    def test_macs_equal_params_times_positions_unbiased(
+        self, filters, kernel, stride
+    ):
+        conv = Conv2D(filters, kernel, strides=stride, padding="same",
+                      use_bias=False)
+        shape = (16, 16, 8)
+        out_h, out_w, _ = conv.infer_shape([shape])
+        assert conv.mac_count([shape]) == (
+            conv.param_count([shape]) * out_h * out_w
+        )
+
+
+class TestDepthwiseConv2D:
+    def test_preserves_channels(self):
+        dw = DepthwiseConv2D(3)
+        assert dw.infer_shape([(16, 16, 32)]) == (16, 16, 32)
+
+    def test_depth_multiplier(self):
+        dw = DepthwiseConv2D(3, depth_multiplier=2)
+        assert dw.infer_shape([(16, 16, 32)]) == (16, 16, 64)
+
+    def test_params_no_bias(self):
+        dw = DepthwiseConv2D(3, use_bias=False)
+        assert dw.param_count([(16, 16, 32)]) == 3 * 3 * 32
+
+    def test_macs_independent_of_channel_mixing(self):
+        dw = DepthwiseConv2D(3, use_bias=False)
+        assert dw.mac_count([(16, 16, 32)]) == 16 * 16 * 32 * 9
+
+    def test_counts_as_conv(self):
+        assert DepthwiseConv2D(3).is_conv
+
+
+class TestDense:
+    def test_shape(self):
+        assert Dense(10).infer_shape([(84,)]) == (10,)
+
+    def test_params(self):
+        assert Dense(10).param_count([(84,)]) == 84 * 10 + 10
+
+    def test_macs(self):
+        assert Dense(10).mac_count([(84,)]) == 840
+
+    def test_rejects_feature_maps(self):
+        with pytest.raises(ShapeError):
+            Dense(10).infer_shape([(8, 8, 3)])
+
+    def test_is_fc(self):
+        assert Dense(10).is_fc
+        assert not Dense(10).is_conv
+
+
+class TestPoolingAndPadding:
+    def test_maxpool_default_stride(self):
+        assert MaxPooling2D(2).infer_shape([(8, 8, 4)]) == (4, 4, 4)
+
+    def test_avgpool_stride_override(self):
+        pool = AveragePooling2D(3, strides=2)
+        assert pool.infer_shape([(9, 9, 2)]) == (4, 4, 2)
+
+    def test_zero_padding_symmetric(self):
+        assert ZeroPadding2D(3).infer_shape([(224, 224, 3)]) == (230, 230, 3)
+
+    def test_zero_padding_asymmetric(self):
+        pad = ZeroPadding2D(((0, 1), (0, 1)))
+        assert pad.infer_shape([(224, 224, 3)]) == (225, 225, 3)
+
+    def test_global_average_pooling(self):
+        gap = GlobalAveragePooling2D()
+        assert gap.infer_shape([(7, 7, 2048)]) == (2048,)
+
+    def test_flatten(self):
+        assert Flatten().infer_shape([(5, 5, 16)]) == (400,)
+
+    def test_pools_have_no_params(self):
+        assert MaxPooling2D(2).param_count([(8, 8, 4)]) == 0
+
+
+class TestJoinsAndNorm:
+    def test_add_requires_same_shapes(self):
+        add = Add()
+        assert add.infer_shape([(8, 8, 4), (8, 8, 4)]) == (8, 8, 4)
+        with pytest.raises(ShapeError):
+            add.infer_shape([(8, 8, 4), (8, 8, 5)])
+
+    def test_add_requires_two_inputs(self):
+        with pytest.raises(ShapeError):
+            Add().infer_shape([(8, 8, 4)])
+
+    def test_concat_sums_channels(self):
+        concat = Concatenate()
+        assert concat.infer_shape([(8, 8, 4), (8, 8, 12)]) == (8, 8, 16)
+
+    def test_concat_requires_same_spatial(self):
+        with pytest.raises(ShapeError):
+            Concatenate().infer_shape([(8, 8, 4), (4, 4, 4)])
+
+    def test_batchnorm_four_params_per_channel(self):
+        bn = BatchNormalization()
+        assert bn.param_count([(8, 8, 64)]) == 256
+
+    def test_batchnorm_preserves_shape(self):
+        assert BatchNormalization().infer_shape([(8, 8, 64)]) == (8, 8, 64)
+
+    def test_activation_free(self):
+        act = Activation("relu")
+        assert act.infer_shape([(8, 8, 4)]) == (8, 8, 4)
+        assert act.param_count([(8, 8, 4)]) == 0
+        assert act.mac_count([(8, 8, 4)]) == 0
+
+    def test_input_layer(self):
+        layer = Input((32, 32, 3))
+        assert layer.infer_shape([]) == (32, 32, 3)
+        with pytest.raises(ShapeError):
+            layer.infer_shape([(1,)])

@@ -1,0 +1,104 @@
+"""Workload extraction and quantisation."""
+
+import pytest
+
+from repro.dnn import zoo
+from repro.dnn.quantization import QuantizationConfig
+from repro.dnn.workload import extract_workload
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def lenet_workload():
+    return extract_workload(zoo.build("LeNet5"))
+
+
+class TestExtraction:
+    def test_one_record_per_compute_layer(self, lenet_workload):
+        assert len(lenet_workload) == 5  # 3 conv + 2 fc
+
+    def test_macs_match_model(self, lenet_workload):
+        assert lenet_workload.total_macs == zoo.build("LeNet5").total_macs
+
+    def test_dot_products_cover_macs(self, lenet_workload):
+        for layer in lenet_workload:
+            assert layer.dot_length * layer.n_dots == layer.macs
+
+    def test_weight_bits_at_8bit(self, lenet_workload):
+        total_params = zoo.TABLE2_PARAMS["LeNet5"]
+        assert lenet_workload.total_weight_bits == total_params * 8
+
+    def test_kernel_sizes(self, lenet_workload):
+        kernels = [layer.kernel_size for layer in lenet_workload]
+        assert kernels == [5, 5, 5, 1, 1]
+
+    def test_first_layer_input_volume(self, lenet_workload):
+        first = lenet_workload.layers[0]
+        assert first.input_bits == 32 * 32 * 3 * 8
+
+    def test_traffic_is_weights_plus_activations(self, lenet_workload):
+        for layer in lenet_workload:
+            assert layer.total_traffic_bits == (
+                layer.weight_bits + layer.input_bits + layer.output_bits
+            )
+
+    def test_dense_layer_flagged(self, lenet_workload):
+        kinds = [layer.kind for layer in lenet_workload]
+        assert kinds == ["Conv2D", "Conv2D", "Conv2D", "Dense", "Dense"]
+        assert lenet_workload.layers[-1].is_dense
+
+    def test_resnet_has_54_compute_layers(self):
+        workload = extract_workload(zoo.build("ResNet50"))
+        assert len(workload) == 54  # 53 conv + 1 fc
+
+    def test_depthwise_dot_length_is_window(self):
+        workload = extract_workload(zoo.build("MobileNetV2"))
+        depthwise = [l for l in workload if l.kind == "DepthwiseConv2D"]
+        assert depthwise
+        for layer in depthwise:
+            assert layer.dot_length == 9
+
+
+class TestQuantization:
+    def test_default_8_bit(self):
+        config = QuantizationConfig()
+        assert config.weight_bits_for(0) == 8
+        assert config.activation_bits == 8
+
+    def test_per_layer_override(self):
+        config = QuantizationConfig(per_layer_weight_bits={2: 4})
+        assert config.weight_bits_for(2) == 4
+        assert config.weight_bits_for(3) == 8
+
+    def test_binary_preset(self):
+        config = QuantizationConfig.binary()
+        assert config.weight_bits == 1
+        assert config.activation_bits == 1
+
+    def test_heterogeneous_front_heavy(self):
+        config = QuantizationConfig.heterogeneous_front_heavy(10)
+        assert config.weight_bits_for(0) == 8
+        assert config.weight_bits_for(9) == 4
+
+    def test_quantization_shrinks_traffic(self):
+        model = zoo.build("LeNet5")
+        full = extract_workload(model, QuantizationConfig())
+        slim = extract_workload(
+            model, QuantizationConfig(weight_bits=4, activation_bits=4)
+        )
+        assert slim.total_traffic_bits < full.total_traffic_bits
+        assert slim.total_weight_bits == full.total_weight_bits // 2
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QuantizationConfig(weight_bits=0)
+        with pytest.raises(ConfigurationError):
+            QuantizationConfig(activation_bits=64)
+        with pytest.raises(ConfigurationError):
+            QuantizationConfig(per_layer_weight_bits={0: 0})
+
+    def test_macs_unaffected_by_quantization(self):
+        model = zoo.build("LeNet5")
+        full = extract_workload(model)
+        binary = extract_workload(model, QuantizationConfig.binary())
+        assert full.total_macs == binary.total_macs

@@ -1,0 +1,139 @@
+"""Electrical mesh interposer fabric."""
+
+import pytest
+
+from repro.config import DEFAULT_PLATFORM
+from repro.interposer.electrical.mesh import ElectricalMeshFabric
+from repro.interposer.topology import build_floorplan
+from repro.sim.core import Environment
+
+
+def make_mesh(chunk_bits=256 * 1024):
+    env = Environment()
+    floorplan = build_floorplan(DEFAULT_PLATFORM)
+    fabric = ElectricalMeshFabric(
+        env, DEFAULT_PLATFORM, floorplan, chunk_bits=chunk_bits
+    )
+    return env, fabric
+
+
+class TestRouting:
+    def test_route_endpoints(self):
+        _, fabric = make_mesh()
+        route = fabric._xy_route("mem-0", "3x3 conv-0")
+        assert route[0].name == "inj:mem-0"
+        assert route[-1].name == "ej:3x3 conv-0"
+
+    def test_route_length_matches_hops(self):
+        _, fabric = make_mesh()
+        for site in fabric.floorplan.compute_sites:
+            route = fabric._xy_route("mem-0", site.chiplet_id)
+            hops = fabric.floorplan.manhattan_hops("mem-0", site.chiplet_id)
+            # inject + one link per hop + eject.
+            assert len(route) == hops + 2
+
+    def test_mesh_has_24_directed_links(self):
+        _, fabric = make_mesh()
+        # 3x3 mesh: 12 undirected adjacencies, two directions each.
+        assert len(fabric.links) == 24
+
+    def test_link_bandwidth_derated(self):
+        _, fabric = make_mesh()
+        link = next(iter(fabric.links.values()))
+        assert link.bandwidth_bps == pytest.approx(
+            DEFAULT_PLATFORM.mesh_effective_link_bandwidth_bps
+        )
+
+
+class TestTransfers:
+    def test_read_completes(self):
+        env, fabric = make_mesh()
+        done = fabric.read("3x3 conv-0", 1e6)
+        env.run()
+        assert done.processed
+        assert fabric.bits_read == 1e6
+
+    def test_write_completes(self):
+        env, fabric = make_mesh()
+        done = fabric.write("5x5 conv-1", 1e6)
+        env.run()
+        assert done.processed
+
+    def test_multicast_replicates_traffic(self):
+        group = ("3x3 conv-0", "3x3 conv-1", "3x3 conv-2")
+        env, fabric = make_mesh()
+        done = fabric.read(group[0], 1e6, multicast=group)
+        env.run()
+        assert done.processed
+        assert fabric.bits_read == pytest.approx(3e6)
+
+    def test_multicast_slower_than_photonic_unicast_equivalent(self):
+        """Replication makes the mesh pay per destination."""
+        env1, fabric1 = make_mesh()
+        fabric1.read("3x3 conv-0", 5e6)
+        t_one = env1.run()
+        env2, fabric2 = make_mesh()
+        fabric2.read(
+            "3x3 conv-0", 5e6,
+            multicast=("3x3 conv-0", "3x3 conv-1", "3x3 conv-2",
+                       "5x5 conv-0", "5x5 conv-1"),
+        )
+        t_five = env2.run()
+        assert t_five > t_one
+
+    def test_memory_injection_port_is_bottleneck(self):
+        env, fabric = make_mesh()
+        for site in fabric.floorplan.compute_sites:
+            fabric.read(site.chiplet_id, 10e6)
+        total = env.run()
+        port_bw = fabric.ports["inj:mem-0"].bandwidth_bps
+        assert total >= (8 * 10e6) / port_bw * 0.95
+
+    def test_chunks_pipeline_across_hops(self):
+        """Many small chunks should not pay full per-chunk serialization
+        at every hop in sequence (store-and-forward pipelining)."""
+        env_small, fabric_small = make_mesh(chunk_bits=64 * 1024)
+        fabric_small.read("3x3 conv-2", 10e6)  # a 2-hop destination
+        t_pipelined = env_small.run()
+
+        # Upper bound: un-pipelined would multiply by route length (4).
+        port_bw = fabric_small.ports["inj:mem-0"].bandwidth_bps
+        serial_once = 10e6 / port_bw
+        assert t_pipelined < 2.5 * serial_once
+
+    def test_hop_accounting(self):
+        env, fabric = make_mesh()
+        fabric.write("3x3 conv-0", 1e6)
+        env.run()
+        assert fabric.hop_bits > 0
+        assert fabric.mm_bits > 0
+
+
+class TestEnergy:
+    def test_energy_report(self):
+        env, fabric = make_mesh()
+        fabric.read("7x7 conv-0", 10e6)
+        env.run()
+        report = fabric.energy_report()
+        assert report.dynamic_energy_j > 0
+        assert report.static_energy_j > 0
+        for key in ("router_static", "router_dynamic", "interposer_wires",
+                    "microbumps", "hbm"):
+            assert key in report.breakdown_j
+
+    def test_farther_destination_costs_more_wire_energy(self):
+        env1, fabric1 = make_mesh()
+        fabric1.read("dense100-0", 1e6)  # adjacent to memory (1 hop)
+        env1.run()
+        near = fabric1.mm_bits
+
+        env2, fabric2 = make_mesh()
+        far_site = max(
+            fabric2.floorplan.compute_sites,
+            key=lambda s: fabric2.floorplan.manhattan_hops(
+                "mem-0", s.chiplet_id
+            ),
+        )
+        fabric2.read(far_site.chiplet_id, 1e6)
+        env2.run()
+        assert fabric2.mm_bits > near

@@ -1,0 +1,137 @@
+"""DES inference engine semantics: overlap, streaming, tracing."""
+
+import pytest
+
+from repro.config import DEFAULT_PLATFORM
+from repro.core.crosslight import MonolithicFabric, monolithic_mapping
+from repro.core.engine import InferenceEngine
+from repro.dnn import zoo
+from repro.dnn.workload import LayerWorkload, extract_workload
+from repro.errors import SimulationError
+from repro.interposer.photonic.fabric import PhotonicInterposerFabric
+from repro.interposer.topology import build_floorplan
+from repro.mapping.mapper import (
+    Allocation,
+    KernelMatchMapper,
+    LayerMapping,
+    ModelMapping,
+)
+from repro.mapping.tiling import TilingResult
+from repro.sim.core import Environment
+
+
+def synthetic_mapping(n_layers=3, vector_ops=1_000_000, weight_bits=1e6,
+                      input_bits=1e6, output_bits=1e6):
+    """A uniform synthetic workload mapped onto one pseudo-chiplet."""
+    layers = []
+    for index in range(n_layers):
+        workload = LayerWorkload(
+            index=index, name=f"l{index}", kind="Conv2D", kernel_size=3,
+            dot_length=9, n_dots=vector_ops, macs=9 * vector_ops,
+            weight_bits=int(weight_bits), input_bits=int(input_bits),
+            output_bits=int(output_bits),
+        )
+        alloc = Allocation(
+            chiplet_id="mono-0", kind="mono-vdp", n_macs=16,
+            vector_length=64, vector_ops=vector_ops,
+            weight_bits=int(weight_bits), output_bits=int(output_bits),
+        )
+        layers.append(LayerMapping(
+            layer=workload, allocations=(alloc,),
+            tiling=TilingResult(vector_ops, "spatial", 1.0),
+        ))
+    return ModelMapping(workload=None, layers=tuple(layers))
+
+
+def run_mono(mapping, config=DEFAULT_PLATFORM):
+    env = Environment()
+    fabric = MonolithicFabric(env, config)
+    engine = InferenceEngine(env, config, fabric,
+                             mac_rate_hz=config.mono_mac_rate_hz)
+    latency = engine.run(mapping)
+    return latency, engine, fabric
+
+
+class TestExecutionSemantics:
+    def test_empty_mapping_completes_instantly(self):
+        latency, _, _ = run_mono(ModelMapping(workload=None, layers=()))
+        assert latency == 0.0
+
+    def test_compute_bound_layer_time(self):
+        # One layer, negligible traffic: latency ~ ops / (units * rate).
+        mapping = synthetic_mapping(n_layers=1, vector_ops=16_000_000,
+                                    weight_bits=8, input_bits=8,
+                                    output_bits=8)
+        latency, _, _ = run_mono(mapping)
+        expected = 16_000_000 / (16 * DEFAULT_PLATFORM.mono_mac_rate_hz)
+        assert latency == pytest.approx(expected, rel=0.01)
+
+    def test_communication_bound_layer_time(self):
+        # Negligible compute, 1 Gbit input: bounded by NoC bandwidth.
+        mapping = synthetic_mapping(n_layers=1, vector_ops=1,
+                                    weight_bits=8, input_bits=1e9,
+                                    output_bits=8)
+        latency, _, _ = run_mono(mapping)
+        expected = 1e9 / DEFAULT_PLATFORM.mono_noc_bandwidth_bps
+        assert latency == pytest.approx(expected, rel=0.05)
+
+    def test_weight_prefetch_overlaps_compute(self):
+        """Weights of layer N+1 stream during layer N's compute."""
+        heavy_weights = 1e9  # 5 ms on the 0.2 Tb/s DRAM channel
+        compute_ops = 16_000_000  # 1 ms of compute per layer
+        mapping = synthetic_mapping(n_layers=2, vector_ops=compute_ops,
+                                    weight_bits=heavy_weights,
+                                    input_bits=8, output_bits=8)
+        latency, _, _ = run_mono(mapping)
+        weight_time = heavy_weights / DEFAULT_PLATFORM.mono_dram_bandwidth_bps
+        compute_time = compute_ops / (16 * DEFAULT_PLATFORM.mono_mac_rate_hz)
+        serial = 2 * (weight_time + compute_time)
+        overlapped = weight_time + max(weight_time, compute_time) + (
+            compute_time
+        )
+        assert latency == pytest.approx(overlapped, rel=0.05)
+        assert latency < serial * 0.95
+
+    def test_streaming_max_semantics(self):
+        """Layer time = max(input stream, compute), not the sum."""
+        input_bits = 1.28e9  # exactly 1 ms on the NoC
+        compute_ops = 16_000_000  # exactly 1 ms of compute
+        mapping = synthetic_mapping(n_layers=1, vector_ops=compute_ops,
+                                    weight_bits=8, input_bits=input_bits,
+                                    output_bits=8)
+        latency, _, _ = run_mono(mapping)
+        assert latency == pytest.approx(1e-3, rel=0.1)
+        assert latency < 1.9e-3  # clearly not the 2 ms serial sum
+
+    def test_trace_accumulates_ops(self):
+        mapping = synthetic_mapping(n_layers=3, vector_ops=1000)
+        _, engine, _ = run_mono(mapping)
+        assert engine.trace.total_vector_ops == 3000
+        assert engine.trace.lane_ops_by_kind["mono-vdp"] == 3000 * 64
+
+    def test_time_limit_guard(self):
+        mapping = synthetic_mapping(n_layers=1, vector_ops=int(1e15))
+        env = Environment()
+        fabric = MonolithicFabric(env, DEFAULT_PLATFORM)
+        engine = InferenceEngine(env, DEFAULT_PLATFORM, fabric,
+                                 mac_rate_hz=1e3)
+        with pytest.raises(SimulationError):
+            engine.run(mapping, time_limit_s=1e-3)
+
+
+class TestAgainstRealWorkload:
+    def test_lenet_on_photonic_fabric_layer_order(self):
+        config = DEFAULT_PLATFORM
+        workload = extract_workload(zoo.build("LeNet5"))
+        env = Environment()
+        floorplan = build_floorplan(config)
+        fabric = PhotonicInterposerFabric(env, config, floorplan)
+        mapping = KernelMatchMapper(config, floorplan).map_workload(workload)
+        engine = InferenceEngine(env, config, fabric)
+        latency = engine.run(mapping)
+        names = [t.name for t in engine.trace.layer_timings]
+        assert names == [layer.name for layer in workload]
+        assert latency > 0
+        # All traffic accounted: weights + inputs + outputs reached fabric.
+        total_weights = sum(layer.weight_bits for layer in workload)
+        assert fabric.bits_read >= total_weights

@@ -1,0 +1,171 @@
+"""Experiment drivers: Fig. 7, Table 3, Tables 1/2, DSE, calibration."""
+
+import pytest
+
+from repro.config import DEFAULT_PLATFORM
+from repro.dnn import zoo
+from repro.experiments.calibration import calibration_report, shape_checks
+from repro.experiments.dse import (
+    controller_ablation,
+    render_sweep,
+    sweep_gateways,
+    sweep_wavelengths,
+)
+from repro.experiments.fig7 import fig7_all, fig7_series, render_fig7
+from repro.experiments.runner import (
+    MODEL_NAMES,
+    PLATFORM_ORDER,
+    ExperimentRunner,
+)
+from repro.experiments.table3 import PAPER_TABLE3, build_table3, render_table3
+from repro.experiments.tables import render_table1, render_table2
+
+
+class TestRunner:
+    def test_caching(self, runner):
+        first = runner.run("CrossLight", "LeNet5")
+        second = runner.run("CrossLight", "LeNet5")
+        assert first is second
+
+    def test_matrix_complete(self, runner):
+        results = runner.run_matrix(models=("LeNet5",))
+        assert set(results) == {
+            (platform, "LeNet5") for platform in PLATFORM_ORDER
+        }
+
+    def test_unknown_platform(self, runner):
+        with pytest.raises(KeyError):
+            runner.run("TPUv7", "LeNet5")
+
+    def test_model_names_are_table2(self):
+        assert MODEL_NAMES == tuple(zoo.MODEL_BUILDERS)
+
+
+class TestFig7:
+    def test_normalization_base_is_one(self, runner):
+        series = fig7_series(runner, "latency")
+        for model in MODEL_NAMES:
+            assert series.normalized[model]["CrossLight"] == pytest.approx(
+                1.0
+            )
+
+    def test_all_panels_present(self, runner):
+        panels = fig7_all(runner)
+        assert set(panels) == {"power", "latency", "epb"}
+
+    def test_siph_latency_bars_below_one_for_large_models(self, runner):
+        series = fig7_series(runner, "latency")
+        for model in ("ResNet50", "DenseNet121", "VGG16", "MobileNetV2"):
+            assert series.bar(model, "2.5D-CrossLight-SiPh") < 1.0
+
+    def test_elec_latency_bars_above_one(self, runner):
+        series = fig7_series(runner, "latency")
+        for model in MODEL_NAMES:
+            assert series.bar(model, "2.5D-CrossLight-Elec") > 1.0
+
+    def test_render_contains_all_models(self, runner):
+        text = render_fig7(fig7_series(runner, "epb"))
+        for model in MODEL_NAMES:
+            assert model in text
+
+    def test_absolute_values_positive(self, runner):
+        series = fig7_series(runner, "power")
+        for model in MODEL_NAMES:
+            for platform in PLATFORM_ORDER:
+                assert series.absolute[model][platform] > 0
+
+
+class TestTable3:
+    def test_ten_rows(self, runner):
+        table = build_table3(runner)
+        assert len(table.rows) == 10
+        assert {row.platform for row in table.rows} == set(PAPER_TABLE3)
+
+    def test_headline_ratios_in_band(self, runner):
+        table = build_table3(runner)
+        assert 2.0 <= table.latency_gain_vs_monolithic <= 15.0
+        assert 1.5 <= table.epb_gain_vs_monolithic <= 6.0
+        assert 15.0 <= table.latency_gain_vs_electrical <= 70.0
+        assert 6.0 <= table.epb_gain_vs_electrical <= 35.0
+
+    def test_render_includes_paper_values(self, runner):
+        text = render_table3(build_table3(runner))
+        assert "paper" in text
+        assert "6.6x" in text
+        for platform in PAPER_TABLE3:
+            assert platform in text
+
+    def test_row_lookup(self, runner):
+        table = build_table3(runner)
+        assert table.row("HolyLight").power_w == pytest.approx(66.5)
+        with pytest.raises(KeyError):
+            table.row("Cerebras")
+
+
+class TestStaticTables:
+    def test_table1_values(self):
+        text = render_table1()
+        assert "12 Gb/s" in text
+        assert "64" in text
+        assert "3x3 conv MAC" in text
+        assert "44" in text  # MACs per 3x3 chiplet
+
+    def test_table2_all_match(self):
+        text = render_table2()
+        assert text.count("yes") == 5
+        assert "NO" not in text
+        assert "138,357,544" in text
+
+
+class TestDSE:
+    def test_wavelength_sweep_improves_latency(self):
+        points = sweep_wavelengths(
+            model_name="MobileNetV2", values=(8, 64)
+        )
+        assert points[0].result.latency_s >= points[1].result.latency_s
+
+    def test_wavelength_sweep_labels(self):
+        points = sweep_wavelengths(model_name="LeNet5", values=(16, 32))
+        assert [p.value for p in points] == [16, 32]
+        assert "16 wavelengths" == points[0].label
+
+    def test_gateway_sweep_runs(self):
+        points = sweep_gateways(model_name="LeNet5", values=(1, 4))
+        assert len(points) == 2
+        for point in points:
+            assert point.result.latency_s > 0
+
+    def test_gateway_sweep_rejects_nondivisor(self):
+        with pytest.raises(ValueError):
+            sweep_gateways(model_name="LeNet5", values=(3,))
+
+    def test_controller_ablation_keys(self):
+        results = controller_ablation(model_names=("LeNet5",))
+        assert set(results) == {
+            ("resipi", "LeNet5"), ("prowaves", "LeNet5"),
+            ("static", "LeNet5"),
+        }
+
+    def test_static_controller_draws_most_power_when_idle_heavy(self):
+        results = controller_ablation(model_names=("LeNet5",))
+        static = results[("static", "LeNet5")]
+        resipi = results[("resipi", "LeNet5")]
+        assert resipi.average_power_w < static.average_power_w
+
+    def test_render_sweep(self):
+        points = sweep_wavelengths(model_name="LeNet5", values=(32,))
+        text = render_sweep("sweep", points)
+        assert "32 wavelengths" in text
+        assert "latency(ms)" in text
+
+
+class TestCalibration:
+    def test_all_shape_checks_pass(self, runner):
+        """The headline reproduction assertion of the whole repository."""
+        for check in shape_checks(runner):
+            assert check.passed, f"{check.claim}: {check.detail}"
+
+    def test_report_renders(self, runner):
+        text = calibration_report(runner)
+        assert "PASS" in text
+        assert "Table 3" in text

@@ -1,0 +1,99 @@
+"""Result export (JSON/CSV) and ASCII Gantt rendering."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.core.gantt import render_gantt, utilization_summary
+from repro.core.metrics import EnergyBreakdown, InferenceResult, LayerTiming
+from repro.errors import ConfigurationError
+from repro.experiments.export import (
+    RESULT_FIELDS,
+    result_to_dict,
+    results_to_csv,
+    results_to_json,
+    table3_to_csv,
+)
+from repro.experiments.table3 import build_table3
+
+
+class TestExport:
+    def test_result_to_dict_fields(self, lenet_results):
+        record = result_to_dict(lenet_results["CrossLight"])
+        for field in RESULT_FIELDS:
+            assert field in record
+        assert "energy_breakdown_j" in record
+        assert len(record["layer_timeline"]) == 5
+
+    def test_json_round_trip(self, lenet_results):
+        text = results_to_json(lenet_results.values())
+        parsed = json.loads(text)
+        assert len(parsed) == 3
+        platforms = {entry["platform"] for entry in parsed}
+        assert "2.5D-CrossLight-SiPh" in platforms
+
+    def test_csv_structure(self, lenet_results):
+        text = results_to_csv(lenet_results.values())
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == list(RESULT_FIELDS)
+        assert len(rows) == 4  # header + 3 results
+
+    def test_csv_values_parse_as_numbers(self, lenet_results):
+        text = results_to_csv(lenet_results.values())
+        rows = list(csv.DictReader(io.StringIO(text)))
+        for row in rows:
+            assert float(row["latency_s"]) > 0
+            assert float(row["average_power_w"]) > 0
+
+    def test_table3_csv(self, runner):
+        text = table3_to_csv(build_table3(runner))
+        rows = list(csv.reader(io.StringIO(text)))
+        assert len(rows) == 11  # header + 10 platforms
+        assert rows[0][0] == "platform"
+
+    def test_write_text(self, tmp_path, lenet_results):
+        from repro.experiments.export import write_text
+
+        path = tmp_path / "results.json"
+        write_text(str(path), results_to_json(lenet_results.values()))
+        assert json.loads(path.read_text())
+
+
+class TestGantt:
+    def test_render_contains_all_layers(self, lenet_results):
+        chart = render_gantt(lenet_results["2.5D-CrossLight-SiPh"])
+        for layer in ("c1", "c3", "c5", "f6", "output"):
+            assert layer in chart
+        assert "#" in chart
+
+    def test_bars_ordered_left_to_right(self, lenet_results):
+        chart = render_gantt(lenet_results["CrossLight"])
+        lines = [l for l in chart.splitlines() if "#" in l]
+        first_positions = [line.index("#") for line in lines]
+        assert first_positions == sorted(first_positions)
+
+    def test_downsampling_long_models(self, runner):
+        result = runner.run("2.5D-CrossLight-SiPh", "ResNet50")
+        chart = render_gantt(result, max_rows=10)
+        assert "showing every" in chart
+        bar_lines = [l for l in chart.splitlines() if "#" in l]
+        assert len(bar_lines) <= 12
+
+    def test_width_validation(self, lenet_results):
+        with pytest.raises(ConfigurationError):
+            render_gantt(lenet_results["CrossLight"], width=5)
+
+    def test_empty_timeline(self):
+        result = InferenceResult(
+            platform="p", model="m", latency_s=1.0,
+            energy=EnergyBreakdown(0, 0, 0, 0, 0),
+            traffic_bits=1, layer_timeline=(),
+        )
+        assert "empty timeline" in render_gantt(result)
+
+    def test_utilization_summary(self, lenet_results):
+        text = utilization_summary(lenet_results["2.5D-CrossLight-SiPh"])
+        assert "critical path" in text
+        assert "reconfigurations" in text

@@ -1,0 +1,137 @@
+"""Functional photonic MAC unit: analog dot products through device models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mac_unit import MacUnitSpec, PhotonicMacUnit
+from repro.errors import ConfigurationError
+
+unit_vectors = st.lists(
+    st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=9
+)
+
+
+@pytest.fixture
+def unit9():
+    return PhotonicMacUnit(MacUnitSpec(vector_length=9, kernel_size=3))
+
+
+class TestSpec:
+    def test_kind_strings(self):
+        assert MacUnitSpec(9, kernel_size=3).kind == "3x3 conv"
+        assert MacUnitSpec(100).kind == "dense100"
+
+    def test_ops_per_second(self):
+        spec = MacUnitSpec(vector_length=9, mac_rate_hz=2e9)
+        assert spec.ops_per_second == pytest.approx(18e9)
+
+    def test_invalid_vector_length(self):
+        with pytest.raises(ConfigurationError):
+            MacUnitSpec(vector_length=0)
+
+    def test_invalid_converter_bits(self):
+        with pytest.raises(ConfigurationError):
+            MacUnitSpec(vector_length=4, dac_bits=0)
+        with pytest.raises(ConfigurationError):
+            MacUnitSpec(vector_length=4, adc_bits=20)
+
+
+class TestDotProduct:
+    def test_exact_on_lattice_values(self, unit9):
+        # Values on the 8-bit DAC lattice survive quantisation exactly.
+        acts = [1.0, 0.0, 1.0]
+        weights = [1.0, 1.0, 0.0]
+        assert unit9.dot(acts, weights) == pytest.approx(1.0, abs=0.02)
+
+    def test_matches_numpy_within_quantization(self, unit9):
+        rng = np.random.default_rng(7)
+        acts = rng.uniform(0, 1, 9)
+        weights = rng.uniform(0, 1, 9)
+        expected = float(np.dot(acts, weights))
+        measured = unit9.dot(acts, weights)
+        # 8-bit operands + 8-bit ADC on a 9-lane sum.
+        assert measured == pytest.approx(expected, abs=0.05)
+
+    @settings(max_examples=50)
+    @given(unit_vectors)
+    def test_self_dot_bounded(self, values):
+        unit = PhotonicMacUnit(MacUnitSpec(vector_length=9))
+        result = unit.dot(values, values)
+        assert -0.05 <= result <= len(values) + 0.05
+
+    @settings(max_examples=50)
+    @given(unit_vectors)
+    def test_zero_weights_kill_signal(self, acts):
+        unit = PhotonicMacUnit(MacUnitSpec(vector_length=9))
+        result = unit.dot(acts, [0.0] * len(acts))
+        assert result == pytest.approx(0.0, abs=0.02 * len(acts))
+
+    def test_length_mismatch_rejected(self, unit9):
+        with pytest.raises(ConfigurationError):
+            unit9.dot([0.5, 0.5], [0.5])
+
+    def test_vector_too_long_rejected(self, unit9):
+        with pytest.raises(ConfigurationError):
+            unit9.dot([0.5] * 10, [0.5] * 10)
+
+    def test_out_of_range_rejected(self, unit9):
+        with pytest.raises(ConfigurationError):
+            unit9.dot([1.5, 0.0], [0.5, 0.5])
+        with pytest.raises(ConfigurationError):
+            unit9.dot([0.5, 0.5], [-0.1, 0.5])
+
+    def test_lower_resolution_dac_coarser(self):
+        fine = PhotonicMacUnit(MacUnitSpec(vector_length=4, dac_bits=8))
+        coarse = PhotonicMacUnit(MacUnitSpec(vector_length=4, dac_bits=2))
+        acts = [0.37, 0.61, 0.12, 0.88]
+        weights = [0.5, 0.4, 0.9, 0.2]
+        expected = float(np.dot(acts, weights))
+        assert abs(coarse.dot(acts, weights) - expected) >= (
+            abs(fine.dot(acts, weights) - expected) - 1e-9
+        )
+
+
+class TestSignedAndMatvec:
+    def test_signed_dot(self):
+        unit = PhotonicMacUnit(MacUnitSpec(vector_length=9))
+        acts = [0.5, -0.5, 0.25]
+        weights = [-1.0, 0.5, 0.5]
+        expected = np.dot(acts, weights)
+        assert unit.dot_signed(acts, weights) == pytest.approx(
+            float(expected), abs=0.05
+        )
+
+    def test_signed_rejects_out_of_range(self):
+        unit = PhotonicMacUnit(MacUnitSpec(vector_length=4))
+        with pytest.raises(ConfigurationError):
+            unit.dot_signed([1.5], [0.5])
+
+    def test_matvec_matches_numpy(self):
+        unit = PhotonicMacUnit(MacUnitSpec(vector_length=9))
+        rng = np.random.default_rng(3)
+        matrix = rng.uniform(-1, 1, (4, 21))  # forces chunking (21 > 9)
+        vector = rng.uniform(-1, 1, 21)
+        expected = matrix @ vector
+        measured = unit.matvec(matrix, vector)
+        np.testing.assert_allclose(measured, expected, atol=0.2)
+
+    def test_matvec_shape_check(self):
+        unit = PhotonicMacUnit(MacUnitSpec(vector_length=9))
+        with pytest.raises(ConfigurationError):
+            unit.matvec(np.ones((2, 3)), np.ones(4))
+
+
+class TestPhysicalAccounting:
+    def test_ring_count(self, unit9):
+        assert unit9.n_rings == 18
+
+    def test_energy_per_op_scales_with_lanes(self):
+        small = PhotonicMacUnit(MacUnitSpec(vector_length=9))
+        big = PhotonicMacUnit(MacUnitSpec(vector_length=100))
+        assert big.energy_per_vector_op_j() > small.energy_per_vector_op_j()
+
+    def test_energy_positive_picojoule_scale(self, unit9):
+        energy = unit9.energy_per_vector_op_j()
+        assert 1e-12 < energy < 1e-9

@@ -1,0 +1,189 @@
+"""Tiling and layer-to-chiplet mapping."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import DEFAULT_PLATFORM
+from repro.dnn import zoo
+from repro.dnn.workload import LayerWorkload, extract_workload
+from repro.errors import MappingError
+from repro.interposer.topology import build_floorplan
+from repro.mapping.mapper import KernelMatchMapper
+from repro.mapping.tiling import tile_layer
+
+
+def make_layer(kind="Conv2D", kernel=3, dot_length=None, n_dots=1000,
+               macs=None):
+    dot_length = dot_length or kernel * kernel * 16
+    macs = macs if macs is not None else dot_length * n_dots
+    return LayerWorkload(
+        index=0, name="layer", kind=kind, kernel_size=kernel,
+        dot_length=dot_length, n_dots=n_dots, macs=macs,
+        weight_bits=1000, input_bits=2000, output_bits=1500,
+    )
+
+
+@pytest.fixture(scope="module")
+def mapper():
+    return KernelMatchMapper(
+        DEFAULT_PLATFORM, build_floorplan(DEFAULT_PLATFORM)
+    )
+
+
+class TestTiling:
+    def test_matching_kernel_is_fully_efficient(self):
+        layer = make_layer(kernel=3, dot_length=9 * 16, n_dots=100)
+        result = tile_layer(layer, vector_length=9, unit_kernel_size=3)
+        assert result.efficiency == pytest.approx(1.0)
+        assert result.mode == "spatial"
+        assert result.vector_ops == 100 * 16
+
+    def test_dense_channel_major(self):
+        layer = make_layer(kind="Dense", kernel=1, dot_length=400, n_dots=10)
+        result = tile_layer(layer, vector_length=100)
+        assert result.mode == "channel-major"
+        assert result.vector_ops == 40
+        assert result.efficiency == pytest.approx(1.0)
+
+    def test_partial_last_chunk_waste(self):
+        layer = make_layer(kind="Dense", kernel=1, dot_length=150, n_dots=10)
+        result = tile_layer(layer, vector_length=100)
+        assert result.vector_ops == 20
+        assert result.efficiency == pytest.approx(0.75)
+
+    def test_small_kernel_on_big_unit_prefers_channel_major(self):
+        # 3x3 conv on a 7x7 (49-lane) unit: spatial wastes 40/49 lanes,
+        # channel-major packs the 9*C dot almost perfectly.
+        layer = make_layer(kernel=3, dot_length=9 * 64, n_dots=100)
+        result = tile_layer(layer, vector_length=49, unit_kernel_size=7)
+        assert result.mode == "channel-major"
+        assert result.efficiency > 0.9
+
+    def test_large_kernel_on_small_unit(self):
+        layer = make_layer(kernel=7, dot_length=49 * 4, n_dots=10)
+        result = tile_layer(layer, vector_length=9, unit_kernel_size=3)
+        # ceil(196/9) = 22 channel-major beats 4*ceil(49/9) = 24 spatial.
+        assert result.vector_ops == 10 * 22
+
+    def test_empty_layer(self):
+        layer = make_layer(macs=0, n_dots=0, dot_length=9)
+        result = tile_layer(layer, vector_length=9)
+        assert result.vector_ops == 0
+        assert result.mode == "empty"
+
+    def test_invalid_vector_length(self):
+        with pytest.raises(MappingError):
+            tile_layer(make_layer(), vector_length=0)
+
+    @given(
+        st.integers(min_value=1, max_value=200),   # dot length
+        st.integers(min_value=1, max_value=500),   # dots
+        st.sampled_from([9, 25, 49, 100]),          # unit sizes
+    )
+    def test_lanes_always_cover_macs(self, dot_length, n_dots, vector_len):
+        layer = make_layer(kind="Dense", kernel=1, dot_length=dot_length,
+                           n_dots=n_dots)
+        result = tile_layer(layer, vector_length=vector_len)
+        assert result.vector_ops * vector_len >= layer.macs
+        assert 0 < result.efficiency <= 1.0
+
+
+class TestMapper:
+    def test_3x3_layers_include_3x3_chiplets_with_top_efficiency(self, mapper):
+        layer = make_layer(kernel=3, dot_length=9 * 64,
+                           n_dots=100_000)
+        mapping = mapper.map_layer(layer)
+        kinds = {alloc.kind for alloc in mapping.allocations}
+        # Spillover mapping: matching kind always present, best-ranked.
+        assert "3x3 conv" in kinds
+        assert mapping.tiling.efficiency == pytest.approx(1.0)
+
+    def test_strict_mapper_keeps_convs_on_matching_kind(self):
+        strict = KernelMatchMapper(
+            DEFAULT_PLATFORM, build_floorplan(DEFAULT_PLATFORM),
+            strict_kernel_match=True,
+        )
+        layer = make_layer(kernel=3, dot_length=9 * 64, n_dots=100_000)
+        mapping = strict.map_layer(layer)
+        assert {a.kind for a in mapping.allocations} == {"3x3 conv"}
+
+    def test_strict_mapper_excludes_dense_units_for_convs(self):
+        strict = KernelMatchMapper(
+            DEFAULT_PLATFORM, build_floorplan(DEFAULT_PLATFORM),
+            strict_kernel_match=True,
+        )
+        layer = make_layer(kernel=7, dot_length=49 * 64, n_dots=100_000)
+        mapping = strict.map_layer(layer)
+        assert all(a.kind != "dense100" for a in mapping.allocations)
+
+    def test_dense_layers_prefer_dense_chiplets(self, mapper):
+        layer = make_layer(kind="Dense", kernel=1, dot_length=2048,
+                           n_dots=1000)
+        mapping = mapper.map_layer(layer)
+        assert any(a.kind == "dense100" for a in mapping.allocations)
+
+    def test_small_layer_uses_single_chiplet(self, mapper):
+        layer = make_layer(kernel=3, dot_length=9 * 4, n_dots=100)
+        mapping = mapper.map_layer(layer)
+        assert len(mapping.allocations) == 1
+
+    def test_large_layer_spreads_wide(self, mapper):
+        layer = make_layer(kernel=3, dot_length=9 * 256, n_dots=1_000_000)
+        mapping = mapper.map_layer(layer)
+        assert len(mapping.allocations) >= 3
+
+    def test_work_split_proportional_to_throughput(self, mapper):
+        layer = make_layer(kernel=3, dot_length=9 * 256, n_dots=1_000_000)
+        mapping = mapper.map_layer(layer)
+        ops = [a.vector_ops for a in mapping.allocations]
+        macs = [a.n_macs * a.vector_length for a in mapping.allocations]
+        # Same-kind chiplets receive equal shares.
+        by_kind = {}
+        for alloc in mapping.allocations:
+            by_kind.setdefault(alloc.kind, []).append(alloc.vector_ops)
+        for kind_ops in by_kind.values():
+            assert max(kind_ops) - min(kind_ops) <= 1
+
+    def test_weight_bits_conserved(self, mapper):
+        layer = make_layer(kernel=3, dot_length=9 * 256, n_dots=500_000)
+        mapping = mapper.map_layer(layer)
+        total_weight = sum(a.weight_bits for a in mapping.allocations)
+        assert total_weight == pytest.approx(layer.weight_bits, rel=0.01)
+
+    def test_output_bits_conserved(self, mapper):
+        layer = make_layer(kernel=3, dot_length=9 * 256, n_dots=500_000)
+        mapping = mapper.map_layer(layer)
+        total_output = sum(a.output_bits for a in mapping.allocations)
+        assert total_output == pytest.approx(layer.output_bits, rel=0.01)
+
+    def test_vector_ops_cover_layer(self, mapper):
+        layer = make_layer(kernel=5, dot_length=25 * 32, n_dots=250_000)
+        mapping = mapper.map_layer(layer)
+        assert mapping.total_vector_ops >= mapping.tiling.vector_ops * 0.99
+
+    def test_replication_counts_chiplets(self, mapper):
+        layer = make_layer(kernel=3, dot_length=9 * 256, n_dots=1_000_000)
+        mapping = mapper.map_layer(layer)
+        assert mapping.replication == len(mapping.allocations)
+
+    def test_map_full_workload(self, mapper):
+        workload = extract_workload(zoo.build("ResNet50"))
+        mapping = mapper.map_workload(workload)
+        assert len(mapping) == len(workload)
+        for layer_mapping in mapping:
+            assert layer_mapping.allocations
+
+    def test_invalid_threshold_rejected(self):
+        floorplan = build_floorplan(DEFAULT_PLATFORM)
+        with pytest.raises(MappingError):
+            KernelMatchMapper(DEFAULT_PLATFORM, floorplan,
+                              efficiency_threshold=0.0)
+
+    def test_depthwise_maps_to_3x3(self, mapper):
+        workload = extract_workload(zoo.build("MobileNetV2"))
+        depthwise = [l for l in workload if l.kind == "DepthwiseConv2D"]
+        mapping = mapper.map_layer(depthwise[0])
+        assert all(a.kind == "3x3 conv" for a in mapping.allocations)

@@ -1,0 +1,156 @@
+"""PAM-4 modulation trade-off and thermal co-modelling."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import DEFAULT_PLATFORM
+from repro.errors import ConfigurationError
+from repro.interposer.photonic.links import swmr_read_budget
+from repro.interposer.topology import build_floorplan
+from repro.photonics.link_budget import LinkBudget
+from repro.photonics.modulation import (
+    OOK,
+    PAM4,
+    ModulationScheme,
+    operating_point,
+    pam4_tradeoff,
+    required_q_factor,
+)
+from repro.photonics.thermal import (
+    AMBIENT_MARGIN_K,
+    ThermalOperatingPoint,
+    thermal_operating_point,
+    thermal_runaway_limit_w,
+)
+
+
+@pytest.fixture(scope="module")
+def read_budget(floorplan):
+    return swmr_read_budget(DEFAULT_PLATFORM, floorplan)
+
+
+class TestModulationSpecs:
+    def test_ook_no_penalty(self):
+        assert OOK.power_penalty_db == pytest.approx(0.0)
+        assert OOK.bits_per_symbol == 1
+
+    def test_pam4_penalty_about_4_8db_optical(self):
+        # 1/3 eye opening in the optical power domain -> 10*log10(3).
+        assert PAM4.power_penalty_db == pytest.approx(4.77, abs=0.05)
+        assert PAM4.bits_per_symbol == 2
+
+    def test_data_rate(self):
+        assert PAM4.data_rate_bps(12e9) == pytest.approx(24e9)
+        with pytest.raises(ConfigurationError):
+            OOK.data_rate_bps(0)
+
+
+class TestOperatingPoints:
+    def test_pam4_doubles_rate(self, read_budget):
+        trade = pam4_tradeoff(read_budget)
+        assert trade.bandwidth_gain == pytest.approx(2.0)
+
+    def test_pam4_laser_penalty_factor(self, read_budget):
+        trade = pam4_tradeoff(read_budget)
+        # 4.77 dB -> 3x more laser power.
+        assert trade.laser_power_ratio == pytest.approx(3.0, rel=0.05)
+
+    def test_energy_verdict_depends_on_electronics_share(self, read_budget):
+        """On low-loss links the laser is cheap: PAM-4's halved
+        serialisation energy dominates only if electronics dominate."""
+        cheap_link = LinkBudget().add("short", 2.0)
+        lossy_link = LinkBudget().add("long", 12.0)
+        cheap = pam4_tradeoff(cheap_link)
+        lossy = pam4_tradeoff(lossy_link)
+        # On the lossy link the 3x laser factor hurts more.
+        cheap_delta = (cheap.pam4.energy_per_bit_j
+                       - cheap.ook.energy_per_bit_j)
+        lossy_delta = (lossy.pam4.energy_per_bit_j
+                       - lossy.ook.energy_per_bit_j)
+        assert lossy_delta > cheap_delta
+
+    def test_operating_point_scales_with_wavelengths(self, read_budget):
+        one = operating_point(OOK, read_budget, 12e9, n_wavelengths=1)
+        many = operating_point(OOK, read_budget, 12e9, n_wavelengths=64)
+        assert many.laser_power_w == pytest.approx(
+            64 * one.laser_power_w
+        )
+        assert many.data_rate_bps == pytest.approx(64 * one.data_rate_bps)
+
+    def test_budget_not_mutated(self, read_budget):
+        before = read_budget.total_loss_db
+        pam4_tradeoff(read_budget)
+        assert read_budget.total_loss_db == before
+
+
+class TestRequiredQ:
+    def test_known_points(self):
+        # BER 1e-9 -> Q ~ 6.0; BER 1e-12 -> Q ~ 7.03.
+        assert required_q_factor(1e-9) == pytest.approx(6.0, abs=0.05)
+        assert required_q_factor(1e-12) == pytest.approx(7.03, abs=0.05)
+
+    def test_inverse_of_erfc_formula(self):
+        q = required_q_factor(1e-6)
+        assert 0.5 * math.erfc(q / math.sqrt(2)) == pytest.approx(
+            1e-6, rel=0.02
+        )
+
+    def test_invalid_ber(self):
+        with pytest.raises(ConfigurationError):
+            required_q_factor(0.0)
+        with pytest.raises(ConfigurationError):
+            required_q_factor(0.7)
+
+
+class TestThermal:
+    def test_cool_chiplet_needs_no_trimming(self):
+        point = thermal_operating_point(base_power_w=5.0, n_rings=500)
+        # 5 W x 0.45 K/W = 2.25 K < 10 K margin.
+        assert point.thermal_trimming_power_w == 0.0
+        assert point.resonance_drift_nm == 0.0
+
+    def test_hot_chiplet_pays_trimming(self):
+        point = thermal_operating_point(base_power_w=40.0, n_rings=2000)
+        assert point.temperature_rise_k > AMBIENT_MARGIN_K
+        assert point.thermal_trimming_power_w > 0.0
+        assert point.total_power_w > point.base_power_w
+
+    def test_fixed_point_self_consistent(self):
+        point = thermal_operating_point(base_power_w=40.0, n_rings=2000)
+        assert point.temperature_rise_k == pytest.approx(
+            point.total_power_w * 0.45, rel=1e-3
+        )
+
+    def test_more_rings_more_trimming(self):
+        small = thermal_operating_point(base_power_w=40.0, n_rings=500)
+        large = thermal_operating_point(base_power_w=40.0, n_rings=4000)
+        assert large.thermal_trimming_power_w > (
+            small.thermal_trimming_power_w
+        )
+
+    def test_converges_quickly(self):
+        point = thermal_operating_point(base_power_w=30.0, n_rings=3000)
+        assert point.iterations < 30
+
+    def test_runaway_limit_positive_for_sane_designs(self):
+        limit = thermal_runaway_limit_w(n_rings=2000)
+        assert limit > 0
+        # Larger banks lower the runaway ceiling.
+        assert thermal_runaway_limit_w(n_rings=8000) < limit
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            thermal_operating_point(-1.0, 100)
+        with pytest.raises(ConfigurationError):
+            thermal_operating_point(1.0, -5)
+        with pytest.raises(ConfigurationError):
+            thermal_operating_point(1.0, 5, thermal_resistance_k_per_w=0.0)
+
+    @given(st.floats(min_value=0.0, max_value=60.0))
+    def test_total_power_monotone_in_base(self, base_power):
+        point = thermal_operating_point(base_power, n_rings=1000)
+        assert point.total_power_w >= base_power
+        assert isinstance(point, ThermalOperatingPoint)

@@ -1,0 +1,225 @@
+"""Photonic interposer fabric: transfers, multicast, reconfiguration."""
+
+import pytest
+
+from repro.config import DEFAULT_PLATFORM
+from repro.errors import ConfigurationError
+from repro.interposer.photonic.fabric import PhotonicInterposerFabric
+from repro.interposer.photonic.links import (
+    swmr_read_budget,
+    swsr_write_budget,
+    worst_case_write_budget,
+)
+from repro.interposer.topology import build_floorplan
+from repro.sim.core import Environment
+
+
+def make_fabric(chunk_bits=256 * 1024):
+    env = Environment()
+    floorplan = build_floorplan(DEFAULT_PLATFORM)
+    fabric = PhotonicInterposerFabric(
+        env, DEFAULT_PLATFORM, floorplan, chunk_bits=chunk_bits
+    )
+    return env, fabric
+
+
+class TestTransfers:
+    def test_read_completes(self):
+        env, fabric = make_fabric()
+        done = fabric.read("3x3 conv-0", 1e6)
+        env.run()
+        assert done.processed
+        assert fabric.bits_read == 1e6
+
+    def test_write_completes(self):
+        env, fabric = make_fabric()
+        done = fabric.write("3x3 conv-0", 1e6)
+        env.run()
+        assert done.processed
+        assert fabric.bits_written == 1e6
+
+    def test_zero_bit_transfer_is_instant(self):
+        env, fabric = make_fabric()
+        done = fabric.read("3x3 conv-0", 0.0)
+        env.run()
+        assert done.processed
+        assert env.now == 0.0
+
+    def test_read_latency_scales_with_size(self):
+        env1, fabric1 = make_fabric()
+        fabric1.read("3x3 conv-0", 1e6)
+        t_small = env1.run()
+        env2, fabric2 = make_fabric()
+        fabric2.read("3x3 conv-0", 100e6)
+        t_large = env2.run()
+        assert t_large > t_small
+
+    def test_multicast_charges_shared_stage_once(self):
+        group = ("3x3 conv-0", "3x3 conv-1", "3x3 conv-2")
+        env1, fabric1 = make_fabric()
+        fabric1.read(group[0], 50e6, multicast=group)
+        t_multicast = env1.run()
+        mem_bits_multicast = fabric1.memory_write_channel.bits_transferred
+
+        env2, fabric2 = make_fabric()
+        for dst in group:
+            fabric2.read(dst, 50e6)
+        t_unicast = env2.run()
+        mem_bits_unicast = fabric2.memory_write_channel.bits_transferred
+
+        assert mem_bits_multicast == pytest.approx(50e6)
+        assert mem_bits_unicast == pytest.approx(150e6)
+        assert t_multicast < t_unicast
+
+    def test_reads_contend_on_memory_gateways(self):
+        env, fabric = make_fabric()
+        # Saturate: every chiplet reads a large block simultaneously.
+        for site in fabric.floorplan.compute_sites:
+            fabric.read(site.chiplet_id, 200e6)
+        total = env.run()
+        # Aggregate memory-side bandwidth bounds completion time.
+        min_time = (8 * 200e6) / fabric.memory_write_channel.bandwidth_bps
+        assert total >= min_time
+
+    def test_traffic_recorded_in_monitor(self):
+        env, fabric = make_fabric()
+        fabric.read("5x5 conv-0", 1e6)
+        fabric.write("5x5 conv-0", 2e6)
+        env.run()
+        epoch = fabric.monitor.close_epoch()
+        assert epoch["read:5x5 conv-0"] == 1e6
+        assert epoch["write:5x5 conv-0"] == 2e6
+        assert epoch["mem_read"] == 1e6
+
+
+class TestReconfiguration:
+    def test_gateway_bounds_enforced(self):
+        _, fabric = make_fabric()
+        with pytest.raises(ConfigurationError):
+            fabric.set_active_memory_gateways(0)
+        with pytest.raises(ConfigurationError):
+            fabric.set_active_memory_gateways(99)
+        with pytest.raises(ConfigurationError):
+            fabric.set_active_chiplet_gateways("3x3 conv-0", 0, 1)
+
+    def test_deactivation_is_immediate(self):
+        env, fabric = make_fabric()
+        before = fabric.memory_write_channel.bandwidth_bps
+        fabric.set_active_memory_gateways(1)
+        assert fabric.memory_write_channel.bandwidth_bps == pytest.approx(
+            before / DEFAULT_PLATFORM.n_memory_write_gateways
+        )
+
+    def test_activation_lags_by_pcmc_write_time(self):
+        env, fabric = make_fabric()
+        fabric.set_active_memory_gateways(1)
+        fabric.set_active_memory_gateways(8)
+        # Bandwidth not yet raised: PCM cells still switching.
+        low = fabric.memory_write_channel.bandwidth_bps
+        env.run(until=2e-6)  # > PCMC_SWITCHING_TIME_S
+        high = fabric.memory_write_channel.bandwidth_bps
+        assert high == pytest.approx(8 * low)
+
+    def test_superseded_activation_is_dropped(self):
+        env, fabric = make_fabric()
+        fabric.set_active_memory_gateways(1)
+        fabric.set_active_memory_gateways(8)   # deferred
+        fabric.set_active_memory_gateways(2)   # overrides before it lands
+        env.run(until=5e-6)
+        expected = 2 * fabric.config.gateway_bandwidth_bps
+        assert fabric.memory_write_channel.bandwidth_bps == pytest.approx(
+            expected
+        )
+
+    def test_reconfiguration_charges_pcmc_energy(self):
+        _, fabric = make_fabric()
+        fabric.set_active_memory_gateways(4)
+        assert fabric.pcmc_energy_j > 0
+        assert fabric.reconfiguration_count == 1
+
+    def test_same_setting_costs_nothing(self):
+        _, fabric = make_fabric()
+        count = DEFAULT_PLATFORM.n_memory_write_gateways
+        fabric.set_active_memory_gateways(count)
+        assert fabric.pcmc_energy_j == 0.0
+        assert fabric.reconfiguration_count == 0
+
+    def test_wavelength_fraction_scales_bandwidth(self):
+        env, fabric = make_fabric()
+        full = fabric.memory_write_channel.bandwidth_bps
+        fabric.set_wavelength_fraction(0.5)
+        assert fabric.memory_write_channel.bandwidth_bps == pytest.approx(
+            full / 2
+        )
+
+    def test_invalid_wavelength_fraction(self):
+        _, fabric = make_fabric()
+        with pytest.raises(ConfigurationError):
+            fabric.set_wavelength_fraction(0.0)
+        with pytest.raises(ConfigurationError):
+            fabric.set_wavelength_fraction(1.5)
+
+
+class TestEnergy:
+    def test_energy_report_after_traffic(self):
+        env, fabric = make_fabric()
+        fabric.read("3x3 conv-0", 10e6)
+        env.run()
+        report = fabric.energy_report()
+        assert report.elapsed_s == env.now
+        assert report.dynamic_energy_j > 0
+        assert report.static_energy_j > 0
+        assert report.average_power_w > 0
+
+    def test_fewer_gateways_less_static_energy(self):
+        env1, fabric1 = make_fabric()
+        fabric1.read("3x3 conv-0", 1e6)
+        env1.run()
+        env1._now = 1e-3  # hold both fabrics at the same elapsed time
+        full = fabric1.energy_report()
+
+        env2, fabric2 = make_fabric()
+        fabric2.set_active_memory_gateways(1)
+        for chiplet_id in fabric2.inventories:
+            fabric2.set_active_chiplet_gateways(chiplet_id, 1, 1)
+        fabric2.read("3x3 conv-0", 1e6)
+        env2.run()
+        env2._now = 1e-3
+        gated = fabric2.energy_report()
+        assert gated.static_energy_j < full.static_energy_j
+
+    def test_breakdown_keys(self):
+        env, fabric = make_fabric()
+        fabric.write("7x7 conv-0", 1e6)
+        env.run()
+        breakdown = fabric.energy_report().breakdown_j
+        for key in ("laser", "gateway_electronics", "ring_trimming",
+                    "hbm_dynamic", "serdes_modulate_receive"):
+            assert key in breakdown
+
+
+class TestLinkBudgets:
+    def test_swmr_includes_broadcast_waveguide(self, floorplan):
+        budget = swmr_read_budget(DEFAULT_PLATFORM, floorplan)
+        assert budget.breakdown()["waveguide"] > 0
+        assert 5.0 < budget.total_loss_db < 20.0
+
+    def test_multicast_degree_adds_split_loss(self, floorplan):
+        unicast = swmr_read_budget(DEFAULT_PLATFORM, floorplan, 1)
+        multicast = swmr_read_budget(DEFAULT_PLATFORM, floorplan, 8)
+        assert multicast.total_loss_db == pytest.approx(
+            unicast.total_loss_db + 9.03, abs=0.1
+        )
+
+    def test_swsr_shorter_than_swmr(self, floorplan):
+        write = swsr_write_budget(DEFAULT_PLATFORM, floorplan, "3x3 conv-0")
+        read = swmr_read_budget(DEFAULT_PLATFORM, floorplan)
+        assert write.total_loss_db < read.total_loss_db
+
+    def test_worst_case_write_is_max(self, floorplan):
+        worst = worst_case_write_budget(DEFAULT_PLATFORM, floorplan)
+        for site in floorplan.compute_sites:
+            budget = swsr_write_budget(
+                DEFAULT_PLATFORM, floorplan, site.chiplet_id
+            )
+            assert budget.total_loss_db <= worst.total_loss_db + 1e-12

@@ -1,0 +1,314 @@
+"""Waveguides, microdisks, MZIs, photodetectors, lasers, couplers, PCMCs."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, LinkBudgetError
+from repro.photonics import constants as ph
+from repro.photonics.coupler import CouplerKind, FiberCoupler, PowerSplitter
+from repro.photonics.laser import LaserSource
+from repro.photonics.microdisk import MicrodiskResonator
+from repro.photonics.microring import MicroringResonator
+from repro.photonics.mzi import MachZehnderInterferometer
+from repro.photonics.pcmc import (
+    PCMCoupler,
+    PCMCState,
+    coupling_length_ratio_for_fraction,
+)
+from repro.photonics.photodetector import Photodetector
+from repro.photonics.waveguide import Waveguide
+
+
+class TestWaveguide:
+    def test_propagation_loss_scales_with_length(self):
+        short = Waveguide(length_m=0.01)
+        long = Waveguide(length_m=0.02)
+        assert long.propagation_loss_db == pytest.approx(
+            2 * short.propagation_loss_db
+        )
+
+    def test_one_cm_default_loss(self):
+        assert Waveguide(length_m=0.01).propagation_loss_db == pytest.approx(
+            ph.WAVEGUIDE_PROPAGATION_LOSS_DB_PER_CM
+        )
+
+    def test_bends_and_crossings_add_loss(self):
+        plain = Waveguide(length_m=0.01)
+        complicated = Waveguide(length_m=0.01, n_bends=4, n_crossings=2)
+        expected = (
+            plain.insertion_loss_db
+            + 4 * ph.WAVEGUIDE_BEND_LOSS_DB
+            + 2 * ph.WAVEGUIDE_CROSSING_LOSS_DB
+        )
+        assert complicated.insertion_loss_db == pytest.approx(expected)
+
+    def test_propagation_delay(self):
+        wg = Waveguide(length_m=0.03)  # 3 cm at n_g = 4.2 -> ~420 ps
+        assert wg.propagation_delay_s == pytest.approx(420e-12, rel=0.01)
+
+    def test_extended_accumulates(self):
+        base = Waveguide(length_m=0.01, n_bends=1)
+        longer = base.extended(0.01, extra_bends=2, extra_crossings=1)
+        assert longer.length_m == pytest.approx(0.02)
+        assert longer.n_bends == 3
+        assert longer.n_crossings == 1
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Waveguide(length_m=-0.01)
+
+    def test_unphysical_group_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Waveguide(length_m=0.01, group_index=0.5)
+
+
+class TestMicrodisk:
+    def test_is_a_resonator(self):
+        disk = MicrodiskResonator()
+        assert isinstance(disk, MicroringResonator)
+
+    def test_smaller_than_default_ring(self):
+        disk = MicrodiskResonator()
+        ring = MicroringResonator()
+        assert disk.radius_m < ring.radius_m
+
+    def test_higher_losses_than_ring(self):
+        disk = MicrodiskResonator()
+        ring = MicroringResonator()
+        assert disk.through_loss_db > ring.through_loss_db
+        assert disk.drop_loss_db > ring.drop_loss_db
+
+    def test_footprint(self):
+        disk = MicrodiskResonator(radius_m=5e-6)
+        assert disk.footprint_m2 == pytest.approx(math.pi * 25e-12)
+
+    def test_spectral_response_inherited(self):
+        disk = MicrodiskResonator()
+        peak = disk.drop_transmission(disk.resonance_wavelength_m)
+        assert 0 < peak <= 1
+
+
+class TestMZI:
+    def test_bar_cross_complementary(self):
+        mzi = MachZehnderInterferometer()
+        for phi in (0.3, 1.0, 2.0, 3.0):
+            total = mzi.bar_transmission(phi) + mzi.cross_transmission(phi)
+            assert total <= 1.0
+            # Up to insertion loss and leakage they are complementary.
+            assert total == pytest.approx(
+                10 ** (-mzi.insertion_loss_db / 10), rel=0.02
+            )
+
+    def test_zero_phase_goes_cross(self):
+        mzi = MachZehnderInterferometer()
+        assert mzi.cross_transmission(0.0) > mzi.bar_transmission(0.0)
+
+    def test_pi_phase_goes_bar(self):
+        mzi = MachZehnderInterferometer()
+        assert mzi.bar_transmission(math.pi) > mzi.cross_transmission(math.pi)
+
+    def test_extinction_limits_dark_port(self):
+        mzi = MachZehnderInterferometer(extinction_ratio_db=20.0)
+        leakage = mzi.bar_transmission(0.0)
+        assert leakage >= 10 ** (-20 / 10) * 10 ** (
+            -mzi.insertion_loss_db / 10
+        ) * 0.99
+
+    @given(st.floats(min_value=0.01, max_value=0.99))
+    def test_phase_for_weight_roundtrip(self, weight):
+        mzi = MachZehnderInterferometer(extinction_ratio_db=60.0,
+                                        insertion_loss_db=0.0)
+        phase = mzi.phase_for_weight(weight)
+        assert mzi.bar_transmission(phase) == pytest.approx(weight, rel=1e-6)
+
+    def test_weight_out_of_range_rejected(self):
+        mzi = MachZehnderInterferometer()
+        with pytest.raises(ConfigurationError):
+            mzi.phase_for_weight(1.5)
+
+    def test_phase_power_linear(self):
+        mzi = MachZehnderInterferometer()
+        assert mzi.phase_shifter_power_w(math.pi) == pytest.approx(
+            ph.MZI_PHASE_SHIFTER_POWER_W
+        )
+        assert mzi.phase_shifter_power_w(math.pi / 2) == pytest.approx(
+            ph.MZI_PHASE_SHIFTER_POWER_W / 2
+        )
+
+    def test_invalid_extinction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachZehnderInterferometer(extinction_ratio_db=0.0)
+
+
+class TestPhotodetector:
+    def test_photocurrent_linear(self):
+        pd = Photodetector()
+        base = pd.photocurrent_a(1e-3) - pd.dark_current_a
+        double = pd.photocurrent_a(2e-3) - pd.dark_current_a
+        assert double == pytest.approx(2 * base)
+
+    def test_sensitivity_in_watts(self):
+        pd = Photodetector(sensitivity_dbm=-20.0)
+        assert pd.sensitivity_w == pytest.approx(10e-6)
+
+    def test_can_detect_at_sensitivity(self):
+        pd = Photodetector()
+        assert pd.can_detect(pd.sensitivity_w)
+        assert not pd.can_detect(pd.sensitivity_w * 0.5)
+
+    def test_supports_12gbps(self):
+        pd = Photodetector()
+        assert pd.supports_data_rate(12e9)
+        assert not pd.supports_data_rate(50e9)
+
+    def test_accumulate_sums_wavelengths(self):
+        pd = Photodetector()
+        separate = sum(
+            pd.photocurrent_a(p) - pd.dark_current_a
+            for p in (1e-4, 2e-4, 3e-4)
+        )
+        combined = pd.accumulate([1e-4, 2e-4, 3e-4]) - pd.dark_current_a
+        assert combined == pytest.approx(separate)
+
+    def test_accumulate_rejects_negative_power(self):
+        pd = Photodetector()
+        with pytest.raises(ConfigurationError):
+            pd.accumulate([1e-4, -1e-4])
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Photodetector().photocurrent_a(-1.0)
+
+    def test_invalid_responsivity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Photodetector(responsivity_a_per_w=0.0)
+
+
+class TestLaser:
+    def test_off_chip_beats_on_chip_efficiency(self):
+        assert (
+            LaserSource.off_chip().wall_plug_efficiency
+            > LaserSource.on_chip().wall_plug_efficiency
+        )
+
+    def test_on_chip_has_no_coupling_loss(self):
+        assert LaserSource.on_chip().coupling_loss_db == 0.0
+
+    def test_electrical_power_includes_coupling_and_wpe(self):
+        laser = LaserSource(wall_plug_efficiency=0.1, coupling_loss_db=3.0)
+        # 1 mW on-chip needs ~2 mW emitted (3 dB), so 20 mW electrical.
+        assert laser.electrical_power_w(1e-3) == pytest.approx(
+            19.95e-3, rel=1e-2
+        )
+
+    def test_max_power_enforced(self):
+        laser = LaserSource(max_optical_power_w=1e-3)
+        with pytest.raises(LinkBudgetError):
+            laser.emitted_power_for_on_chip_w(1.0)
+
+    def test_invalid_wpe_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LaserSource(wall_plug_efficiency=0.0)
+        with pytest.raises(ConfigurationError):
+            LaserSource(wall_plug_efficiency=1.5)
+
+    @given(st.floats(min_value=1e-6, max_value=1e-2))
+    def test_electrical_power_monotonic(self, optical):
+        laser = LaserSource.off_chip()
+        assert laser.electrical_power_w(optical * 2) > laser.electrical_power_w(
+            optical
+        )
+
+
+class TestCouplers:
+    def test_grating_default_loss(self):
+        coupler = FiberCoupler(CouplerKind.GRATING)
+        assert coupler.insertion_loss_db == ph.GRATING_COUPLER_LOSS_DB
+
+    def test_edge_default_loss(self):
+        coupler = FiberCoupler(CouplerKind.EDGE)
+        assert coupler.insertion_loss_db == ph.EDGE_COUPLER_LOSS_DB
+
+    def test_transmission_matches_loss(self):
+        coupler = FiberCoupler(insertion_loss_db=3.0)
+        assert coupler.transmission == pytest.approx(0.501, rel=1e-2)
+
+    def test_splitter_fanout_one_is_free(self):
+        splitter = PowerSplitter(fanout=1)
+        assert splitter.insertion_loss_db == 0.0
+        assert splitter.per_branch_transmission == 1.0
+
+    def test_splitter_two_way_is_3db_plus_excess(self):
+        splitter = PowerSplitter(fanout=2)
+        assert splitter.insertion_loss_db == pytest.approx(
+            3.0103 + ph.SPLITTER_INSERTION_LOSS_DB, rel=1e-3
+        )
+
+    def test_splitter_stage_count(self):
+        assert PowerSplitter(fanout=8).n_stages == 3
+        assert PowerSplitter(fanout=5).n_stages == 3
+
+    @given(st.integers(min_value=1, max_value=256))
+    def test_splitter_conserves_energy(self, fanout):
+        splitter = PowerSplitter(fanout=fanout)
+        assert splitter.per_branch_transmission * fanout <= 1.0 + 1e-9
+
+    def test_splitter_invalid_fanout(self):
+        with pytest.raises(ConfigurationError):
+            PowerSplitter(fanout=0)
+
+
+class TestPCMC:
+    def test_crystalline_routes_bar(self):
+        pcmc = PCMCoupler(state=PCMCState.CRYSTALLINE)
+        assert pcmc.cross_fraction == 0.0
+        assert pcmc.bar_fraction > 0.9
+        assert not pcmc.is_gateway_active
+
+    def test_amorphous_routes_cross(self):
+        pcmc = PCMCoupler(state=PCMCState.AMORPHOUS)
+        assert pcmc.bar_fraction == 0.0
+        assert pcmc.cross_fraction > 0.9
+        assert pcmc.is_gateway_active
+
+    def test_partial_splits(self):
+        pcmc = PCMCoupler(state=PCMCState.PARTIAL, partial_cross_fraction=0.3)
+        assert pcmc.cross_fraction == pytest.approx(
+            0.3 * pcmc._transmission
+        )
+        assert pcmc.bar_fraction == pytest.approx(0.7 * pcmc._transmission)
+
+    def test_switching_costs_energy_once(self):
+        pcmc = PCMCoupler()
+        energy, time = pcmc.activate()
+        assert energy == ph.PCMC_SWITCHING_ENERGY_J
+        assert time == ph.PCMC_SWITCHING_TIME_S
+        # Re-writing the same state is free (non-volatile).
+        energy2, time2 = pcmc.activate()
+        assert energy2 == 0.0
+        assert time2 == 0.0
+        assert pcmc.switch_count == 1
+
+    def test_nonvolatile_zero_static_power(self):
+        assert PCMCoupler().static_power_w == 0.0
+
+    def test_deactivate(self):
+        pcmc = PCMCoupler(state=PCMCState.AMORPHOUS)
+        pcmc.deactivate()
+        assert pcmc.state is PCMCState.CRYSTALLINE
+
+    def test_invalid_partial_fraction(self):
+        with pytest.raises(ConfigurationError):
+            PCMCoupler(partial_cross_fraction=1.5)
+
+    @given(st.floats(min_value=0.0, max_value=0.99))
+    def test_coupling_length_ratio(self, fraction):
+        ratio = coupling_length_ratio_for_fraction(fraction)
+        assert ratio / (1 + ratio) == pytest.approx(fraction, abs=1e-9)
+
+    def test_coupling_length_ratio_rejects_unity(self):
+        with pytest.raises(ConfigurationError):
+            coupling_length_ratio_for_fraction(1.0)

@@ -1,0 +1,154 @@
+"""Microring resonator physics."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.photonics.microring import MicroringResonator, TuningMechanism
+
+
+@pytest.fixture
+def ring():
+    return MicroringResonator()
+
+
+class TestSpectralGeometry:
+    def test_fwhm_follows_q(self, ring):
+        assert ring.fwhm_m == pytest.approx(
+            ring.resonance_wavelength_m / ring.quality_factor
+        )
+
+    def test_fsr_for_10um_ring(self, ring):
+        # lambda^2 / (n_g * 2*pi*R) ~ 9.1 nm for R = 10 um, n_g = 4.2.
+        assert ring.free_spectral_range_m == pytest.approx(9.1e-9, rel=0.05)
+
+    def test_finesse_is_fsr_over_fwhm(self, ring):
+        assert ring.finesse == pytest.approx(
+            ring.free_spectral_range_m / ring.fwhm_m
+        )
+
+    def test_smaller_ring_has_larger_fsr(self):
+        small = MicroringResonator(radius_m=5e-6)
+        large = MicroringResonator(radius_m=20e-6)
+        assert small.free_spectral_range_m > large.free_spectral_range_m
+
+    def test_invalid_quality_factor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MicroringResonator(quality_factor=0)
+
+    def test_invalid_radius_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MicroringResonator(radius_m=-1e-6)
+
+
+class TestSpectralResponse:
+    def test_drop_peaks_at_resonance(self, ring):
+        on_peak = ring.drop_transmission(ring.resonance_wavelength_m)
+        detuned = ring.drop_transmission(
+            ring.resonance_wavelength_m + ring.fwhm_m
+        )
+        assert on_peak > detuned
+
+    def test_drop_peak_equals_insertion_loss(self, ring):
+        peak = ring.drop_transmission(ring.resonance_wavelength_m)
+        assert peak == pytest.approx(10 ** (-ring.drop_loss_db / 10))
+
+    def test_half_power_at_half_fwhm(self, ring):
+        peak = ring.drop_transmission(ring.resonance_wavelength_m)
+        half = ring.drop_transmission(
+            ring.resonance_wavelength_m + ring.fwhm_m / 2
+        )
+        assert half == pytest.approx(peak / 2)
+
+    def test_through_dips_at_resonance(self, ring):
+        on_res = ring.through_transmission(ring.resonance_wavelength_m)
+        far = ring.through_transmission(
+            ring.resonance_wavelength_m + 50 * ring.fwhm_m
+        )
+        assert on_res < 0.01
+        assert far > 0.99 * 10 ** (-ring.through_loss_db / 10)
+
+    @given(st.floats(min_value=-5e-9, max_value=5e-9))
+    def test_energy_never_created(self, detuning):
+        ring = MicroringResonator()
+        wavelength = ring.resonance_wavelength_m + detuning
+        total = ring.drop_transmission(wavelength) + ring.through_transmission(
+            wavelength
+        )
+        assert total <= 1.0 + 1e-12
+
+    def test_crosstalk_negative_and_improves_with_spacing(self, ring):
+        near = ring.crosstalk_db(0.4e-9)
+        far = ring.crosstalk_db(1.6e-9)
+        assert near < 0
+        assert far < near
+
+    def test_crosstalk_rejects_nonpositive_spacing(self, ring):
+        with pytest.raises(ConfigurationError):
+            ring.crosstalk_db(0.0)
+
+
+class TestWeighting:
+    def test_full_weight_means_zero_detuning(self, ring):
+        assert ring.detuning_for_weight(1.0) == pytest.approx(0.0)
+
+    def test_half_weight_detunes_half_fwhm(self, ring):
+        assert ring.detuning_for_weight(0.5) == pytest.approx(
+            ring.fwhm_m / 2
+        )
+
+    @given(st.floats(min_value=1e-3, max_value=1.0))
+    def test_weight_roundtrip(self, weight):
+        ring = MicroringResonator()
+        detuning = ring.detuning_for_weight(weight)
+        assert ring.weight_for_detuning(detuning) == pytest.approx(
+            weight, rel=1e-9
+        )
+
+    @given(
+        st.floats(min_value=1e-3, max_value=1.0),
+        st.floats(min_value=1e-3, max_value=1.0),
+    )
+    def test_weighting_monotonic(self, w1, w2):
+        ring = MicroringResonator()
+        d1 = ring.detuning_for_weight(w1)
+        d2 = ring.detuning_for_weight(w2)
+        if w1 < w2:
+            assert d1 >= d2
+        else:
+            assert d1 <= d2
+
+    def test_weight_out_of_range_rejected(self, ring):
+        with pytest.raises(ConfigurationError):
+            ring.detuning_for_weight(0.0)
+        with pytest.raises(ConfigurationError):
+            ring.detuning_for_weight(1.5)
+
+    def test_smaller_weight_costs_more_tuning_power(self, ring):
+        assert ring.weighting_power_w(0.1) > ring.weighting_power_w(0.9)
+
+
+class TestTuning:
+    def test_eo_faster_than_to(self):
+        eo = MicroringResonator(tuning=TuningMechanism.ELECTRO_OPTIC)
+        to = MicroringResonator(tuning=TuningMechanism.THERMO_OPTIC)
+        assert eo.tuning_time_s < to.tuning_time_s
+
+    def test_to_more_power_per_nm_than_eo(self):
+        eo = MicroringResonator(tuning=TuningMechanism.ELECTRO_OPTIC)
+        to = MicroringResonator(tuning=TuningMechanism.THERMO_OPTIC)
+        assert to.tuning_power_w_per_nm > eo.tuning_power_w_per_nm
+
+    def test_tuning_power_linear_in_shift(self, ring):
+        one = ring.tuning_power_w(0.1e-9)
+        two = ring.tuning_power_w(0.2e-9)
+        assert two == pytest.approx(2 * one)
+
+    def test_tuning_power_symmetric_in_sign(self, ring):
+        assert ring.tuning_power_w(-0.3e-9) == ring.tuning_power_w(0.3e-9)
+
+    def test_trimming_power_positive(self, ring):
+        assert ring.trimming_power_w() > 0

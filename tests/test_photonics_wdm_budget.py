@@ -1,0 +1,163 @@
+"""WDM grids and link-budget solving."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, LinkBudgetError
+from repro.photonics.laser import LaserSource
+from repro.photonics.link_budget import LinkBudget, LossElement
+from repro.photonics.microring import MicroringResonator
+from repro.photonics.photodetector import Photodetector
+from repro.photonics.wdm import WDMGrid, max_channels_for_crosstalk
+
+
+class TestWDMGrid:
+    def test_single_channel_at_center(self):
+        grid = WDMGrid(n_channels=1)
+        assert grid.wavelength_m(0) == pytest.approx(
+            grid.center_wavelength_m
+        )
+        assert grid.span_m == 0.0
+
+    def test_uniform_frequency_spacing(self):
+        grid = WDMGrid(n_channels=8)
+        freqs = [grid.frequency_hz(i) for i in range(8)]
+        gaps = [b - a for a, b in zip(freqs, freqs[1:])]
+        for gap in gaps:
+            assert gap == pytest.approx(grid.channel_spacing_hz)
+
+    def test_64_channels_at_100ghz_span(self):
+        grid = WDMGrid(n_channels=64)
+        # 63 gaps of 100 GHz around 193.4 THz -> ~50.5 nm span.
+        assert grid.span_m == pytest.approx(50.5e-9, rel=0.03)
+
+    def test_adjacent_spacing_near_0p8nm(self):
+        grid = WDMGrid(n_channels=2)
+        assert grid.adjacent_spacing_m == pytest.approx(0.8e-9, rel=0.03)
+
+    def test_aggregate_bandwidth(self):
+        grid = WDMGrid(n_channels=64)
+        assert grid.aggregate_bandwidth_bps(12e9) == pytest.approx(768e9)
+
+    def test_aggregate_rejects_bad_rate(self):
+        with pytest.raises(ConfigurationError):
+            WDMGrid(n_channels=4).aggregate_bandwidth_bps(0)
+
+    def test_wavelengths_iterator_descending(self):
+        grid = WDMGrid(n_channels=4)
+        wavelengths = list(grid.wavelengths())
+        assert len(wavelengths) == 4
+        # Higher channel -> higher frequency -> shorter wavelength.
+        assert wavelengths == sorted(wavelengths, reverse=True)
+
+    def test_invalid_channel_count(self):
+        with pytest.raises(ConfigurationError):
+            WDMGrid(n_channels=0)
+
+    def test_fsr_aliasing_check(self):
+        ring = MicroringResonator()  # FSR ~9.1 nm
+        small = WDMGrid(n_channels=8)  # span ~5.6 nm
+        large = WDMGrid(n_channels=64)  # span ~50 nm
+        assert small.fits_in_fsr(ring)
+        assert not large.fits_in_fsr(ring)
+
+    def test_crosstalk_improves_with_spacing(self):
+        ring = MicroringResonator()
+        tight = WDMGrid(n_channels=4, channel_spacing_hz=50e9)
+        loose = WDMGrid(n_channels=4, channel_spacing_hz=200e9)
+        assert loose.worst_case_crosstalk_db(ring) < (
+            tight.worst_case_crosstalk_db(ring)
+        )
+
+    def test_single_channel_has_no_crosstalk(self):
+        ring = MicroringResonator()
+        assert WDMGrid(n_channels=1).worst_case_crosstalk_db(ring) == float(
+            "-inf"
+        )
+
+    def test_max_channels_positive_and_bounded(self):
+        ring = MicroringResonator()
+        n = max_channels_for_crosstalk(ring, crosstalk_floor_db=-20.0)
+        assert n >= 1
+        # Higher Q (narrower line) supports more channels in the same FSR.
+        sharp = MicroringResonator(quality_factor=20000)
+        assert max_channels_for_crosstalk(sharp) >= n
+
+    def test_max_channels_rejects_positive_floor(self):
+        with pytest.raises(ConfigurationError):
+            max_channels_for_crosstalk(MicroringResonator(), 3.0)
+
+
+class TestLinkBudget:
+    def test_total_includes_margin(self):
+        budget = LinkBudget().add("a", 1.0).add("b", 2.0)
+        assert budget.total_loss_db == pytest.approx(3.0 + budget.margin_db)
+
+    def test_counted_elements(self):
+        budget = LinkBudget(margin_db=0.0).add("rings", 0.02, count=64)
+        assert budget.total_loss_db == pytest.approx(1.28)
+
+    def test_breakdown_merges_names(self):
+        budget = LinkBudget().add("wg", 1.0).add("wg", 0.5)
+        assert budget.breakdown()["wg"] == pytest.approx(1.5)
+
+    def test_negative_loss_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LossElement("gain", -1.0)
+
+    def test_required_power_follows_sensitivity(self):
+        pd = Photodetector(sensitivity_dbm=-20.0)
+        budget = LinkBudget(margin_db=0.0).add("path", 10.0)
+        # -20 dBm + 10 dB = -10 dBm = 100 uW.
+        assert budget.required_on_chip_power_w(pd) == pytest.approx(100e-6)
+
+    def test_laser_power_scales_with_wavelengths(self):
+        pd = Photodetector()
+        laser = LaserSource.off_chip()
+        budget = LinkBudget().add("path", 5.0)
+        one = budget.required_laser_electrical_power_w(laser, pd, 1)
+        many = budget.required_laser_electrical_power_w(laser, pd, 64)
+        assert many == pytest.approx(64 * one)
+
+    def test_link_budget_error_when_laser_too_small(self):
+        pd = Photodetector()
+        laser = LaserSource(max_optical_power_w=1e-6)
+        budget = LinkBudget().add("path", 30.0)
+        with pytest.raises(LinkBudgetError):
+            budget.required_laser_electrical_power_w(laser, pd, 64)
+
+    def test_closes_at_required_power(self):
+        pd = Photodetector()
+        budget = LinkBudget().add("path", 12.0)
+        required = budget.required_on_chip_power_w(pd)
+        assert budget.closes(required * 1.01, pd)
+        assert not budget.closes(required * 0.5, pd)
+
+    def test_received_power_subtracts_loss(self):
+        budget = LinkBudget(margin_db=0.0).add("path", 7.0)
+        assert budget.received_power_dbm(1e-3) == pytest.approx(-7.0)
+
+    def test_received_power_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            LinkBudget().received_power_dbm(0.0)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=5.0), min_size=1, max_size=10
+        )
+    )
+    def test_transmission_consistent_with_loss(self, losses):
+        budget = LinkBudget(margin_db=0.0)
+        for index, loss in enumerate(losses):
+            budget.add(f"el{index}", loss)
+        assert budget.transmission == pytest.approx(
+            10 ** (-sum(losses) / 10), rel=1e-9
+        )
+
+    def test_wavelength_count_validated(self):
+        budget = LinkBudget().add("p", 1.0)
+        with pytest.raises(ConfigurationError):
+            budget.required_laser_electrical_power_w(
+                LaserSource.off_chip(), Photodetector(), 0
+            )

@@ -1,0 +1,95 @@
+"""Compute-fabric power model and power parameter sanity."""
+
+import pytest
+
+from repro.photonics.laser import LaserSource
+from repro.photonics.microring import TuningMechanism
+from repro.power import params as ep
+from repro.power.compute_power import (
+    mac_fabric_power,
+    mac_unit_link_budget,
+)
+
+
+class TestMacUnitLinkBudget:
+    def test_budget_scales_with_vector_length(self):
+        small = mac_unit_link_budget(9, 2e-3)
+        large = mac_unit_link_budget(100, 2e-3)
+        assert large.total_loss_db > small.total_loss_db
+
+    def test_budget_scales_with_waveguide(self):
+        short = mac_unit_link_budget(9, 2e-3)
+        long = mac_unit_link_budget(9, 20e-3)
+        assert long.total_loss_db > short.total_loss_db
+
+    def test_breakdown_contains_banks(self):
+        breakdown = mac_unit_link_budget(25, 2e-3).breakdown()
+        assert "mod_bank_passby" in breakdown
+        assert "weight_bank_passby" in breakdown
+
+
+class TestMacFabricPower:
+    def test_zero_activity_zeroes_dynamic_parts(self):
+        power = mac_fabric_power(10, 9, 2e9, activity=0.0)
+        assert power.dac_w == 0.0
+        assert power.adc_w == 0.0
+        assert power.tuning_w == 0.0
+        assert power.trimming_w > 0.0
+        assert power.laser_w > 0.0
+
+    def test_full_activity_dominated_by_dacs(self):
+        power = mac_fabric_power(10, 9, 2e9, activity=1.0)
+        assert power.dac_w > power.adc_w
+
+    def test_total_is_sum(self):
+        power = mac_fabric_power(4, 25, 2e9, activity=0.5)
+        assert power.total_w == pytest.approx(
+            power.dac_w + power.adc_w + power.tuning_w
+            + power.trimming_w + power.laser_w + power.receiver_w
+        )
+
+    def test_thermal_trimming_costs_more(self):
+        eo = mac_fabric_power(8, 64, 1e9,
+                              trimming=TuningMechanism.ELECTRO_OPTIC)
+        to = mac_fabric_power(8, 64, 1e9,
+                              trimming=TuningMechanism.THERMO_OPTIC)
+        assert to.trimming_w > 3 * eo.trimming_w
+
+    def test_long_waveguides_raise_laser_power(self):
+        chiplet = mac_fabric_power(8, 64, 1e9, waveguide_length_m=2e-3)
+        monolithic = mac_fabric_power(8, 64, 1e9, waveguide_length_m=20e-3)
+        assert monolithic.laser_w > chiplet.laser_w
+
+    def test_on_chip_laser_less_efficient(self):
+        off = mac_fabric_power(8, 16, 1e9, laser=LaserSource.off_chip())
+        on = mac_fabric_power(8, 16, 1e9, laser=LaserSource.on_chip())
+        # On-chip: no coupling loss but half the wall-plug efficiency;
+        # at these small budgets WPE dominates.
+        assert on.laser_w > off.laser_w * 1.2
+
+    def test_power_scales_linearly_with_units(self):
+        one = mac_fabric_power(1, 9, 2e9)
+        ten = mac_fabric_power(10, 9, 2e9)
+        assert ten.total_w == pytest.approx(10 * one.total_w, rel=1e-6)
+
+
+class TestPowerParams:
+    """Order-of-magnitude sanity on the electrical parameter table."""
+
+    def test_hbm_cheaper_than_ddr_per_bit(self):
+        assert ep.HBM_ENERGY_J_PER_BIT < ep.DDR_ENERGY_J_PER_BIT
+
+    def test_onchip_wire_cheaper_than_interposer(self):
+        assert (
+            ep.ONCHIP_WIRE_ENERGY_J_PER_BIT_PER_MM
+            < ep.INTERPOSER_WIRE_ENERGY_J_PER_BIT_PER_MM
+        )
+
+    def test_router_energy_picojoule_scale(self):
+        assert 0.05e-12 < ep.ROUTER_ENERGY_J_PER_BIT < 5e-12
+
+    def test_statics_positive(self):
+        assert ep.ROUTER_STATIC_POWER_W > 0
+        assert ep.HBM_STATIC_POWER_W > 0
+        assert ep.CHIPLET_LOGIC_STATIC_POWER_W > 0
+        assert ep.RESIPI_CONTROLLER_POWER_W > 0

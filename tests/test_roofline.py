@@ -1,0 +1,107 @@
+"""Roofline analysis."""
+
+import pytest
+
+from repro.config import DEFAULT_PLATFORM
+from repro.dnn import zoo
+from repro.dnn.workload import extract_workload
+from repro.errors import ConfigurationError
+from repro.experiments.roofline import (
+    PlatformRoofline,
+    operational_intensity,
+    platform_rooflines,
+    render_roofline,
+    roofline_analysis,
+)
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return {
+        name: extract_workload(zoo.build(name))
+        for name in ("LeNet5", "ResNet50", "VGG16")
+    }
+
+
+class TestRoofline:
+    def test_ridge_point(self):
+        roofline = PlatformRoofline("x", peak_macs_per_s=1e12,
+                                    bandwidth_bps=1e11)
+        assert roofline.ridge_intensity_macs_per_bit == pytest.approx(10.0)
+
+    def test_attainable_clamps_at_peak(self):
+        roofline = PlatformRoofline("x", 1e12, 1e11)
+        assert roofline.attainable_macs_per_s(100.0) == 1e12
+        assert roofline.attainable_macs_per_s(1.0) == pytest.approx(1e11)
+
+    def test_bound_classification(self):
+        roofline = PlatformRoofline("x", 1e12, 1e11)
+        assert roofline.is_compute_bound(20.0)
+        assert not roofline.is_compute_bound(5.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            PlatformRoofline("x", 0.0, 1e11)
+        with pytest.raises(ConfigurationError):
+            PlatformRoofline("x", 1e12, 1e11).attainable_macs_per_s(0.0)
+
+    def test_three_platforms(self):
+        rooflines = platform_rooflines()
+        assert set(rooflines) == {
+            "CrossLight", "2.5D-CrossLight-Elec", "2.5D-CrossLight-SiPh",
+        }
+
+    def test_2p5d_platforms_share_compute_peak(self):
+        rooflines = platform_rooflines()
+        assert rooflines["2.5D-CrossLight-Elec"].peak_macs_per_s == (
+            rooflines["2.5D-CrossLight-SiPh"].peak_macs_per_s
+        )
+
+    def test_siph_has_much_higher_bandwidth(self):
+        rooflines = platform_rooflines()
+        assert rooflines["2.5D-CrossLight-SiPh"].bandwidth_bps > (
+            50 * rooflines["2.5D-CrossLight-Elec"].bandwidth_bps
+        )
+
+    def test_intensity_of_vgg_higher_than_lenet(self, workloads):
+        # VGG16 reuses each parameter across a 224x224 map: much higher
+        # operational intensity than the tiny LeNet5.
+        assert operational_intensity(workloads["VGG16"]) > (
+            operational_intensity(workloads["LeNet5"])
+        )
+
+    def test_analysis_explains_the_paper_shape(self, workloads):
+        """The crossover story: big CNNs are compute-bound on SiPh but
+        memory-bound on the electrical interposer."""
+        points = roofline_analysis(workloads)
+        by_key = {(p.model, p.platform): p for p in points}
+        assert by_key[("VGG16", "2.5D-CrossLight-SiPh")].compute_bound
+        assert not by_key[("VGG16", "2.5D-CrossLight-Elec")].compute_bound
+        assert not by_key[("ResNet50", "2.5D-CrossLight-Elec")].compute_bound
+
+    def test_attainable_consistent_with_simulation_ordering(self, workloads,
+                                                            runner):
+        """Roofline-attainable throughput ranks platforms like the DES."""
+        points = roofline_analysis(workloads)
+        by_key = {(p.model, p.platform): p for p in points}
+        for model in ("ResNet50", "VGG16"):
+            siph = by_key[(model, "2.5D-CrossLight-SiPh")]
+            elec = by_key[(model, "2.5D-CrossLight-Elec")]
+            assert siph.attainable_macs_per_s > elec.attainable_macs_per_s
+            sim_siph = runner.run("2.5D-CrossLight-SiPh", model)
+            sim_elec = runner.run("2.5D-CrossLight-Elec", model)
+            assert sim_siph.latency_s < sim_elec.latency_s
+
+    def test_render(self, workloads):
+        text = render_roofline(roofline_analysis(workloads))
+        assert "ridge" in text
+        assert "VGG16" in text
+        assert "compute" in text and "memory" in text
+
+    def test_zero_traffic_rejected(self):
+        class Fake:
+            total_macs = 10
+            total_traffic_bits = 0
+
+        with pytest.raises(ConfigurationError):
+            operational_intensity(Fake())

@@ -1,0 +1,47 @@
+"""Sensitivity study: robustness of headline conclusions."""
+
+import pytest
+
+from repro.experiments.sensitivity import (
+    render_sensitivity,
+    sensitivity_study,
+)
+
+FAST_KNOBS = {
+    "mesh_link_efficiency": (0.05, 0.20),
+    "mono_n_vdp_units": (8, 32),
+}
+
+
+@pytest.fixture(scope="module")
+def points():
+    return sensitivity_study(knobs=FAST_KNOBS)
+
+
+class TestSensitivity:
+    def test_one_point_per_knob_value(self, points):
+        assert len(points) == 4
+
+    def test_conclusions_hold_everywhere(self, points):
+        """The reproduction's key robustness claim."""
+        for point in points:
+            assert point.conclusions_hold, (
+                f"{point.knob}={point.value} breaks the paper's conclusions"
+            )
+
+    def test_worse_mesh_widens_electrical_gap(self, points):
+        by_value = {
+            p.value: p for p in points if p.knob == "mesh_link_efficiency"
+        }
+        assert by_value[0.05].latency_vs_elec > by_value[0.20].latency_vs_elec
+
+    def test_bigger_mono_narrows_monolithic_gap(self, points):
+        by_value = {
+            p.value: p for p in points if p.knob == "mono_n_vdp_units"
+        }
+        assert by_value[32].latency_vs_mono < by_value[8].latency_vs_mono
+
+    def test_render(self, points):
+        text = render_sensitivity(points)
+        assert "mesh_link_efficiency" in text
+        assert "NO" not in text

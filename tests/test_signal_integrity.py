@@ -1,0 +1,138 @@
+"""Signal integrity: crosstalk accumulation, BER, comb sizing."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import DEFAULT_PLATFORM
+from repro.errors import ConfigurationError
+from repro.interposer.photonic.links import swmr_read_budget
+from repro.interposer.topology import build_floorplan
+from repro.photonics.link_budget import LinkBudget
+from repro.photonics.signal_integrity import (
+    crosstalk_fraction_per_ring,
+    interposer_filter_ring,
+    interposer_grid,
+    link_signal_report,
+    max_wavelengths_for_ber,
+)
+from repro.photonics.wdm import WDMGrid
+
+
+@pytest.fixture(scope="module")
+def read_budget(floorplan):
+    return swmr_read_budget(DEFAULT_PLATFORM, floorplan)
+
+
+class TestInterposerFilterDesign:
+    def test_fsr_spans_the_64_channel_comb(self):
+        ring = interposer_filter_ring()
+        grid = interposer_grid(64)
+        assert grid.fits_in_fsr(ring)
+
+    def test_96_channels_alias(self):
+        ring = interposer_filter_ring()
+        assert not interposer_grid(96).fits_in_fsr(ring)
+
+    def test_interposer_spacing_tighter_than_default(self):
+        assert interposer_grid(2).channel_spacing_hz < WDMGrid(
+            n_channels=2
+        ).channel_spacing_hz
+
+
+class TestCrosstalkFraction:
+    def test_single_channel_no_crosstalk(self):
+        ring = interposer_filter_ring()
+        assert crosstalk_fraction_per_ring(ring, interposer_grid(1)) == 0.0
+
+    def test_second_order_suppresses_quadratically(self):
+        ring = interposer_filter_ring()
+        grid = interposer_grid(64)
+        first = crosstalk_fraction_per_ring(ring, grid, filter_order=1)
+        second = crosstalk_fraction_per_ring(ring, grid, filter_order=2)
+        single = first / 2.5
+        assert second == pytest.approx(2.5 * single ** 2, rel=1e-9)
+        assert second < first / 10
+
+    def test_invalid_order(self):
+        ring = interposer_filter_ring()
+        with pytest.raises(ConfigurationError):
+            crosstalk_fraction_per_ring(ring, interposer_grid(4), 0)
+
+    @given(st.integers(min_value=1, max_value=4))
+    def test_fraction_decreases_with_order(self, order):
+        ring = interposer_filter_ring()
+        grid = interposer_grid(16)
+        assert crosstalk_fraction_per_ring(
+            ring, grid, order + 1
+        ) < crosstalk_fraction_per_ring(ring, grid, order)
+
+
+class TestLinkSignalReport:
+    def test_second_order_filters_close_64_lambda_link(self, read_budget):
+        report = link_signal_report(
+            read_budget, interposer_grid(64), n_rings_passed=8,
+            filter_order=2,
+        )
+        assert report.meets_1e12
+        assert report.q_factor > 7.0
+
+    def test_first_order_filters_fail(self, read_budget):
+        """The finding that motivates flat-top gateway filters."""
+        report = link_signal_report(
+            read_budget, interposer_grid(64), n_rings_passed=8,
+            filter_order=1,
+        )
+        assert not report.meets_1e12
+        assert report.ber > 1e-3
+
+    def test_more_rings_more_crosstalk(self, read_budget):
+        few = link_signal_report(read_budget, interposer_grid(64),
+                                 n_rings_passed=2)
+        many = link_signal_report(read_budget, interposer_grid(64),
+                                  n_rings_passed=16)
+        assert many.crosstalk_w > few.crosstalk_w
+        assert many.ber >= few.ber
+
+    def test_extra_launch_power_buys_margin(self, read_budget):
+        nominal = link_signal_report(read_budget, interposer_grid(64),
+                                     n_rings_passed=8)
+        det = None
+        boosted = link_signal_report(
+            read_budget, interposer_grid(64), None, det, 8, 2,
+            launch_power_w=nominal.received_signal_w
+            / read_budget.transmission * 2.0,
+        )
+        assert boosted.received_signal_w > nominal.received_signal_w
+        # Crosstalk grows with launch power too, but receiver noise no
+        # longer dominates, so Q still improves.
+        assert boosted.q_factor > nominal.q_factor
+
+    def test_ber_is_valid_probability(self, read_budget):
+        report = link_signal_report(read_budget, interposer_grid(32),
+                                    n_rings_passed=4)
+        assert 0.0 <= report.ber <= 0.5
+        assert report.snr_db == pytest.approx(
+            20 * math.log10(report.q_factor)
+        )
+
+    def test_invalid_ring_count(self, read_budget):
+        with pytest.raises(ConfigurationError):
+            link_signal_report(read_budget, interposer_grid(4),
+                               n_rings_passed=0)
+
+
+class TestCombSizing:
+    def test_table1_comb_validated(self, read_budget):
+        """The headline result: 64 wavelengths are exactly achievable
+        with second-order gateway filters."""
+        assert max_wavelengths_for_ber(read_budget, filter_order=2) == 64
+
+    def test_first_order_filters_support_almost_nothing(self, read_budget):
+        assert max_wavelengths_for_ber(read_budget, filter_order=1) == 1
+
+    def test_lossier_path_cannot_do_worse_than_one(self):
+        terrible = LinkBudget().add("path", 60.0)
+        assert max_wavelengths_for_ber(terrible) >= 1

@@ -1,0 +1,78 @@
+"""Interposer floorplan."""
+
+import pytest
+
+from repro.config import DEFAULT_PLATFORM, PlatformConfig
+from repro.errors import ConfigurationError
+from repro.interposer.topology import build_floorplan
+
+
+class TestFloorplan:
+    def test_nine_sites_on_3x3_grid(self, floorplan):
+        assert len(floorplan.sites) == 9
+        assert floorplan.grid_width == 3
+        assert floorplan.grid_height == 3
+
+    def test_one_memory_eight_compute(self, floorplan):
+        assert len(floorplan.memory_sites) == 1
+        assert len(floorplan.compute_sites) == 8
+
+    def test_memory_takes_the_center(self, floorplan):
+        memory = floorplan.memory_sites[0]
+        assert (memory.grid_x, memory.grid_y) == (1, 1)
+
+    def test_chiplet_ids_follow_groups(self, floorplan):
+        ids = {site.chiplet_id for site in floorplan.sites}
+        assert "mem-0" in ids
+        assert "3x3 conv-0" in ids
+        assert "3x3 conv-2" in ids
+        assert "dense100-1" in ids
+        assert "7x7 conv-0" in ids
+
+    def test_kind_census_matches_table1(self, floorplan):
+        kinds = [site.kind for site in floorplan.compute_sites]
+        assert kinds.count("3x3 conv") == 3
+        assert kinds.count("5x5 conv") == 2
+        assert kinds.count("7x7 conv") == 1
+        assert kinds.count("dense100") == 2
+
+    def test_unknown_chiplet_rejected(self, floorplan):
+        with pytest.raises(ConfigurationError):
+            floorplan.site("gpu-0")
+
+    def test_hops_from_memory_bounded(self, floorplan):
+        for site in floorplan.compute_sites:
+            hops = floorplan.manhattan_hops("mem-0", site.chiplet_id)
+            assert 1 <= hops <= 2  # center reaches everything in <= 2
+
+    def test_hops_symmetric(self, floorplan):
+        a, b = "3x3 conv-0", "dense100-0"
+        assert floorplan.manhattan_hops(a, b) == floorplan.manhattan_hops(b, a)
+
+    def test_distance_uses_pitch(self, floorplan):
+        site = floorplan.compute_sites[0]
+        hops = floorplan.manhattan_hops("mem-0", site.chiplet_id)
+        assert floorplan.manhattan_distance_mm(
+            "mem-0", site.chiplet_id
+        ) == pytest.approx(hops * DEFAULT_PLATFORM.chiplet_pitch_mm)
+
+    def test_waveguide_longer_than_manhattan(self, floorplan):
+        site = floorplan.compute_sites[-1]
+        direct_m = (
+            floorplan.manhattan_distance_mm("mem-0", site.chiplet_id) * 1e-3
+        )
+        assert floorplan.waveguide_length_m(
+            "mem-0", site.chiplet_id
+        ) >= direct_m
+
+    def test_broadcast_waveguide_covers_grid(self, floorplan):
+        length_m = floorplan.broadcast_waveguide_length_m("mem-0")
+        # Serpentine over 9 slots at 8 mm pitch with 1.2 detour = 86.4 mm.
+        assert length_m == pytest.approx(0.0864, rel=1e-6)
+
+    def test_larger_platform_gets_larger_grid(self):
+        config = PlatformConfig(n_memory_chiplets=2)
+        floorplan = build_floorplan(config)
+        assert len(floorplan.sites) == 10
+        assert floorplan.grid_width * floorplan.grid_height >= 10
+        assert len(floorplan.memory_sites) == 2

@@ -1,0 +1,138 @@
+"""Synthetic traffic generation and network characterisation."""
+
+import pytest
+
+from repro.config import DEFAULT_PLATFORM
+from repro.errors import ConfigurationError
+from repro.experiments.network_characterization import (
+    FABRIC_KINDS,
+    characterize,
+    characterize_all,
+    render_characterization,
+)
+from repro.interposer.photonic.fabric import PhotonicInterposerFabric
+from repro.interposer.topology import build_floorplan
+from repro.sim.core import Environment
+from repro.sim.traffic import TrafficGenerator, TrafficPattern
+
+
+def make_generator(pattern):
+    env = Environment()
+    floorplan = build_floorplan(DEFAULT_PLATFORM)
+    fabric = PhotonicInterposerFabric(env, DEFAULT_PLATFORM, floorplan)
+    compute_ids = tuple(s.chiplet_id for s in floorplan.compute_sites)
+    return TrafficGenerator(env, fabric, compute_ids, pattern)
+
+
+class TestTrafficPattern:
+    def test_valid_patterns(self):
+        for name in ("hotspot", "writeback", "mixed", "uniform"):
+            TrafficPattern(name=name)
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TrafficPattern(name="tornado")
+
+    def test_invalid_load_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TrafficPattern(offered_load_bps=0)
+
+    def test_invalid_read_fraction(self):
+        with pytest.raises(ConfigurationError):
+            TrafficPattern(read_fraction=1.5)
+
+
+class TestTrafficGenerator:
+    def test_hotspot_injects_reads_only(self):
+        pattern = TrafficPattern(name="hotspot", offered_load_bps=0.5e12,
+                                 duration_s=20e-6)
+        generator = make_generator(pattern)
+        report = generator.run()
+        assert report.messages_injected > 0
+        assert generator.fabric.bits_written == 0.0
+        assert generator.fabric.bits_read > 0
+
+    def test_writeback_injects_writes_only(self):
+        pattern = TrafficPattern(name="writeback", offered_load_bps=0.5e12,
+                                 duration_s=20e-6)
+        generator = make_generator(pattern)
+        generator.run()
+        assert generator.fabric.bits_read == 0.0
+        assert generator.fabric.bits_written > 0
+
+    def test_mixed_injects_both(self):
+        pattern = TrafficPattern(name="mixed", offered_load_bps=1e12,
+                                 duration_s=50e-6, read_fraction=0.5)
+        generator = make_generator(pattern)
+        generator.run()
+        assert generator.fabric.bits_read > 0
+        assert generator.fabric.bits_written > 0
+
+    def test_deterministic_given_seed(self):
+        pattern = TrafficPattern(offered_load_bps=0.5e12, duration_s=20e-6,
+                                 seed=42)
+        first = make_generator(pattern).run()
+        second = make_generator(pattern).run()
+        assert first.messages_injected == second.messages_injected
+        assert first.completion_time_s == pytest.approx(
+            second.completion_time_s
+        )
+
+    def test_injection_rate_tracks_offered_load(self):
+        pattern = TrafficPattern(offered_load_bps=1e12, duration_s=100e-6)
+        report = make_generator(pattern).run()
+        offered_bits = 1e12 * 100e-6
+        assert report.bits_injected == pytest.approx(offered_bits, rel=0.3)
+
+    def test_latencies_recorded_per_message(self):
+        pattern = TrafficPattern(offered_load_bps=0.2e12, duration_s=20e-6)
+        report = make_generator(pattern).run()
+        assert report.latencies.count == report.messages_injected
+        assert report.mean_latency_s > 0
+
+    def test_empty_chiplet_list_rejected(self):
+        env = Environment()
+        floorplan = build_floorplan(DEFAULT_PLATFORM)
+        fabric = PhotonicInterposerFabric(env, DEFAULT_PLATFORM, floorplan)
+        with pytest.raises(ConfigurationError):
+            TrafficGenerator(env, fabric, (), TrafficPattern())
+
+
+class TestCharacterization:
+    def test_photonic_outperforms_electrical(self):
+        loads = (0.2e12,)
+        photonic = characterize("photonic-static", loads)
+        electrical = characterize("electrical", loads)
+        assert photonic[0].throughput_tbps > electrical[0].throughput_tbps
+        assert photonic[0].mean_latency_us < electrical[0].mean_latency_us
+
+    def test_latency_rises_with_load(self):
+        points = characterize("photonic-static", (0.2e12, 4e12))
+        assert points[1].mean_latency_us > points[0].mean_latency_us
+
+    def test_electrical_saturates_at_port_bandwidth(self):
+        points = characterize("electrical", (1e12,))
+        assert points[0].report.saturated
+        port_bw = DEFAULT_PLATFORM.mesh_effective_link_bandwidth_bps
+        assert points[0].report.achieved_throughput_bps <= 1.2 * port_bw
+
+    def test_photonic_bounded_by_hbm(self):
+        points = characterize("photonic-static", (8e12,))
+        hbm = DEFAULT_PLATFORM.hbm_internal_bandwidth_bps
+        assert points[0].report.achieved_throughput_bps <= 1.05 * hbm
+
+    def test_awgr_saturates_below_resipi(self):
+        load = (2e12,)
+        awgr = characterize("awgr", load)
+        resipi = characterize("photonic-resipi", load)
+        assert awgr[0].throughput_tbps < resipi[0].throughput_tbps
+
+    def test_characterize_all_covers_fabrics(self):
+        curves = characterize_all(loads_bps=(0.2e12,))
+        assert set(curves) == set(FABRIC_KINDS)
+
+    def test_render(self):
+        curves = characterize_all(loads_bps=(0.2e12,))
+        text = render_characterization(curves)
+        assert "photonic-resipi" in text
+        assert "saturated" in text

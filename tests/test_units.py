@@ -1,0 +1,131 @@
+"""Unit conversion helpers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+class TestDecibels:
+    def test_db_to_linear_zero_db_is_unity(self):
+        assert units.db_to_linear(0.0) == pytest.approx(1.0)
+
+    def test_db_to_linear_ten_db_is_ten(self):
+        assert units.db_to_linear(10.0) == pytest.approx(10.0)
+
+    def test_linear_to_db_inverse(self):
+        assert units.linear_to_db(100.0) == pytest.approx(20.0)
+
+    def test_linear_to_db_rejects_zero(self):
+        with pytest.raises(ValueError):
+            units.linear_to_db(0.0)
+
+    def test_linear_to_db_rejects_negative(self):
+        with pytest.raises(ValueError):
+            units.linear_to_db(-3.0)
+
+    @given(st.floats(min_value=-80.0, max_value=80.0))
+    def test_roundtrip_db(self, value_db):
+        assert units.linear_to_db(
+            units.db_to_linear(value_db)
+        ) == pytest.approx(value_db, abs=1e-9)
+
+    def test_dbm_to_watts_zero_dbm_is_one_mw(self):
+        assert units.dbm_to_watts(0.0) == pytest.approx(1e-3)
+
+    def test_watts_to_dbm_one_watt(self):
+        assert units.watts_to_dbm(1.0) == pytest.approx(30.0)
+
+    def test_watts_to_dbm_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.watts_to_dbm(0.0)
+
+    @given(st.floats(min_value=-60.0, max_value=30.0))
+    def test_roundtrip_dbm(self, power_dbm):
+        assert units.watts_to_dbm(
+            units.dbm_to_watts(power_dbm)
+        ) == pytest.approx(power_dbm, abs=1e-9)
+
+
+class TestOptical:
+    def test_wavelength_frequency_1550nm(self):
+        freq = units.wavelength_to_frequency(1550e-9)
+        assert freq == pytest.approx(193.4e12, rel=1e-3)
+
+    def test_frequency_to_wavelength_inverse(self):
+        wavelength = 1310e-9
+        assert units.frequency_to_wavelength(
+            units.wavelength_to_frequency(wavelength)
+        ) == pytest.approx(wavelength)
+
+    def test_wavelength_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.wavelength_to_frequency(0.0)
+
+    def test_frequency_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.frequency_to_wavelength(-1.0)
+
+    def test_photon_energy_1550nm(self):
+        # ~0.8 eV at 1550 nm.
+        energy_ev = units.photon_energy(1550e-9) / units.ELEMENTARY_CHARGE
+        assert energy_ev == pytest.approx(0.8, rel=0.01)
+
+
+class TestDataSizes:
+    def test_bits_from_bytes(self):
+        assert units.bits_from_bytes(2) == 16
+
+    def test_bytes_from_bits(self):
+        assert units.bytes_from_bits(16) == 2
+
+    def test_kib_mib_gib_chain(self):
+        assert units.MIB == 1024 * units.KIB
+        assert units.GIB == 1024 * units.MIB
+
+    @given(st.floats(min_value=0, max_value=1e15))
+    def test_roundtrip_bytes(self, n_bytes):
+        assert units.bytes_from_bits(
+            units.bits_from_bytes(n_bytes)
+        ) == pytest.approx(n_bytes)
+
+
+class TestFormatting:
+    def test_format_si_milliseconds(self):
+        assert units.format_si(1.21e-3, "s") == "1.21 ms"
+
+    def test_format_si_zero(self):
+        assert units.format_si(0.0, "W") == "0 W"
+
+    def test_format_si_unit_range_giga(self):
+        assert units.format_si(12e9, "b/s") == "12 Gb/s"
+
+    def test_format_si_no_unit(self):
+        assert units.format_si(2.5e3) == "2.5 k"
+
+    def test_format_si_clamps_below_femto(self):
+        text = units.format_si(1e-18, "s")
+        assert "f" in text  # clamped to femto prefix
+
+    @given(st.floats(min_value=1e-14, max_value=1e13))
+    def test_format_si_always_parses_back(self, value):
+        text = units.format_si(value, "x", precision=12)
+        number, prefix_unit = text.split(" ")
+        scale = {
+            "f": 1e-15, "p": 1e-12, "n": 1e-9, "u": 1e-6, "m": 1e-3,
+            "k": 1e3, "M": 1e6, "G": 1e9, "T": 1e12,
+        }.get(prefix_unit[0] if prefix_unit != "x" else "", 1.0)
+        assert float(number) * scale == pytest.approx(value, rel=1e-6)
+
+
+class TestConstants:
+    def test_speed_of_light(self):
+        assert units.SPEED_OF_LIGHT == pytest.approx(2.998e8, rel=1e-3)
+
+    def test_si_prefix_chain(self):
+        assert units.GIGA == 1e9
+        assert units.NANO * units.GIGA == pytest.approx(1.0)
+        assert math.isclose(units.PICO * units.TERA, 1.0)

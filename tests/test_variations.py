@@ -1,0 +1,119 @@
+"""Process variation and trimming-power modelling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.photonics.microring import MicroringResonator, TuningMechanism
+from repro.photonics.variations import (
+    VariationModel,
+    platform_trimming_power_w,
+    trimming_report,
+)
+
+
+class TestVariationModel:
+    def test_deterministic_given_seed(self):
+        model = VariationModel(seed=7)
+        first = model.sample_deviations_nm(100, die_index=3)
+        second = model.sample_deviations_nm(100, die_index=3)
+        np.testing.assert_array_equal(first, second)
+
+    def test_different_dies_differ(self):
+        model = VariationModel(seed=7)
+        a = model.sample_deviations_nm(100, die_index=0)
+        b = model.sample_deviations_nm(100, die_index=1)
+        assert not np.allclose(a, b)
+
+    def test_die_offset_shared_within_die(self):
+        # With zero within-die sigma every ring shows the same offset.
+        model = VariationModel(within_die_sigma_nm=0.0, seed=1)
+        deviations = model.sample_deviations_nm(50, die_index=0)
+        assert np.allclose(deviations, deviations[0])
+
+    def test_statistics_roughly_match_sigmas(self):
+        model = VariationModel(seed=11)
+        samples = np.concatenate([
+            model.sample_deviations_nm(2000, die_index=i) for i in range(30)
+        ])
+        total_sigma = np.std(samples)
+        expected = np.hypot(model.within_die_sigma_nm, model.die_sigma_nm)
+        assert total_sigma == pytest.approx(expected, rel=0.2)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            VariationModel(within_die_sigma_nm=-0.1)
+        with pytest.raises(ConfigurationError):
+            VariationModel().sample_deviations_nm(0)
+
+
+class TestTrimmingReport:
+    def test_thermal_costs_more_than_eo(self):
+        thermal = trimming_report(256, TuningMechanism.THERMO_OPTIC)
+        eo = trimming_report(256, TuningMechanism.ELECTRO_OPTIC)
+        assert thermal.total_power_w > eo.total_power_w
+        assert thermal.mean_shift_nm == pytest.approx(eo.mean_shift_nm)
+
+    def test_power_scales_with_bank_size(self):
+        small = trimming_report(64)
+        large = trimming_report(1024)
+        assert large.total_power_w > 4 * small.total_power_w
+
+    def test_per_ring_power_milliwatt_scale(self):
+        report = trimming_report(512, TuningMechanism.THERMO_OPTIC)
+        assert 1e-3 < report.power_per_ring_w < 50e-3
+
+    def test_fsr_hops_appear_with_tight_range(self):
+        tight = trimming_report(512, trim_range_nm=0.3)
+        loose = trimming_report(512, trim_range_nm=5.0)
+        assert tight.fsr_hop_fraction > loose.fsr_hop_fraction
+        assert 0.0 <= tight.fsr_hop_fraction <= 1.0
+
+    def test_max_shift_bounded_by_range_or_residual(self):
+        report = trimming_report(512, trim_range_nm=0.8)
+        assert report.max_shift_nm <= 0.8 + 1e-9
+
+    def test_invalid_trim_range(self):
+        with pytest.raises(ConfigurationError):
+            trimming_report(16, trim_range_nm=0.0)
+
+    def test_small_ring_hops_less(self):
+        # Smaller ring -> larger FSR -> longer forward walks for rings
+        # deviated upward -> with the same range, *more* hops; check the
+        # direction explicitly.
+        big_fsr = trimming_report(
+            512, ring=MicroringResonator(radius_m=3.2e-6), trim_range_nm=1.0
+        )
+        small_fsr = trimming_report(
+            512, ring=MicroringResonator(radius_m=20e-6), trim_range_nm=1.0
+        )
+        assert big_fsr.fsr_hop_fraction >= small_fsr.fsr_hop_fraction
+
+
+class TestPlatformTrimming:
+    def test_one_entry_per_die(self):
+        result = platform_trimming_power_w(
+            {"3x3 conv-0": 1000, "mem-0": 500}
+        )
+        assert set(result) == {"3x3 conv-0", "mem-0"}
+        assert all(power > 0 for power in result.values())
+
+    def test_chiplets_average_better_than_worst_die(self):
+        """Many small dies diversify the die-level offset; a monolithic
+        reticle rides a single draw."""
+        n_total = 6360
+        chiplets = platform_trimming_power_w(
+            {f"chiplet-{i}": n_total // 8 for i in range(8)}
+        )
+        per_ring_chiplets = sum(chiplets.values()) / n_total
+        worst_die = max(
+            trimming_report(n_total, die_index=i).total_power_w / n_total
+            for i in range(8)
+        )
+        assert per_ring_chiplets <= worst_die
+
+    def test_deterministic(self):
+        counts = {"a": 100, "b": 200}
+        assert platform_trimming_power_w(counts) == (
+            platform_trimming_power_w(counts)
+        )
