@@ -2,80 +2,38 @@
 
 Not paper artefacts — these track the performance of the DES kernel, the
 photonic fabric, and the functional MAC unit so regressions in simulator
-speed are visible.
+speed are visible.  The benchmark bodies are shared with
+:mod:`repro.bench` (the ``python -m repro bench`` inline runner and the
+``BENCH_sim.json`` baseline) so both measure exactly the same work.
 """
 
-import numpy as np
-
-from repro.config import DEFAULT_PLATFORM
-from repro.core.mac_unit import MacUnitSpec, PhotonicMacUnit
-from repro.interposer.photonic.fabric import PhotonicInterposerFabric
-from repro.interposer.topology import build_floorplan
-from repro.sim.core import Environment
-from repro.sim.resources import BandwidthChannel
+from repro.bench import (
+    make_channel_contention,
+    make_functional_mac_matvec,
+    make_kernel_event_throughput,
+    make_photonic_fabric_reads,
+)
 
 
 def test_bench_kernel_event_throughput(benchmark):
     """Schedule and fire 10k timeout events."""
-
-    def run():
-        env = Environment()
-
-        def ticker():
-            for _ in range(10_000):
-                yield env.timeout(1e-9)
-
-        env.process(ticker())
-        env.run()
-        return env.now
-
-    now = benchmark(run)
+    now = benchmark(make_kernel_event_throughput())
     assert now > 0
 
 
 def test_bench_channel_contention(benchmark):
     """1000 contended transfers through one channel."""
-
-    def run():
-        env = Environment()
-        channel = BandwidthChannel(env, bandwidth_bps=1e9)
-
-        def sender():
-            yield env.process(channel.transfer(1e3))
-
-        for _ in range(1000):
-            env.process(sender())
-        env.run()
-        return channel.transfer_count
-
-    count = benchmark(run)
+    count = benchmark(make_channel_contention())
     assert count == 1000
 
 
 def test_bench_photonic_fabric_reads(benchmark):
     """100 reads across the full interposer pipeline."""
-
-    floorplan = build_floorplan(DEFAULT_PLATFORM)
-
-    def run():
-        env = Environment()
-        fabric = PhotonicInterposerFabric(env, DEFAULT_PLATFORM, floorplan)
-        for site in floorplan.compute_sites:
-            for _ in range(12):
-                fabric.read(site.chiplet_id, 1e6)
-        env.run()
-        return fabric.bits_read
-
-    bits = benchmark(run)
+    bits = benchmark(make_photonic_fabric_reads())
     assert bits > 0
 
 
 def test_bench_functional_mac_matvec(benchmark):
     """Analog matvec through the device transfer functions."""
-    unit = PhotonicMacUnit(MacUnitSpec(vector_length=9))
-    rng = np.random.default_rng(11)
-    matrix = rng.uniform(-1, 1, (8, 27))
-    vector = rng.uniform(-1, 1, 27)
-
-    result = benchmark(unit.matvec, matrix, vector)
+    result = benchmark(make_functional_mac_matvec())
     assert result.shape == (8,)

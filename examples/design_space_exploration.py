@@ -3,10 +3,14 @@
 The paper's conclusions (Section VII) call for exploration of the number
 of wavelengths, gateways per chiplet, and the interposer control policy.
 This example runs all three sweeps on ResNet-50 and prints the resulting
-latency / power / energy-per-bit trade-offs.
+latency / power / energy-per-bit trade-offs.  Sweep points fan out over
+``JOBS`` worker processes and land in a persistent result cache, so a
+second run returns instantly.
 
-Run:  python examples/design_space_exploration.py        (~20 s)
+Run:  python examples/design_space_exploration.py        (~20 s cold)
 """
+
+import os
 
 from repro.experiments.dse import (
     controller_ablation,
@@ -16,16 +20,21 @@ from repro.experiments.dse import (
     sweep_wavelengths,
 )
 
+JOBS = min(4, os.cpu_count() or 1)
+CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
+
 
 def main():
     print(render_sweep(
         "Wavelengths per waveguide (ResNet50 on 2.5D-SiPh)",
-        sweep_wavelengths("ResNet50", values=(8, 16, 32, 64, 128)),
+        sweep_wavelengths("ResNet50", values=(8, 16, 32, 64, 128),
+                          jobs=JOBS, cache_dir=CACHE_DIR),
     ))
     print()
     print(render_sweep(
         "Gateways per compute chiplet (ResNet50 on 2.5D-SiPh)",
-        sweep_gateways("ResNet50", values=(1, 2, 4)),
+        sweep_gateways("ResNet50", values=(1, 2, 4),
+                       jobs=JOBS, cache_dir=CACHE_DIR),
     ))
     print()
 
@@ -34,7 +43,8 @@ def main():
           f"{'reconfigs':>10}")
     print("-" * 58)
     for (policy, model), result in sorted(
-        controller_ablation(model_names=("LeNet5", "ResNet50")).items()
+        controller_ablation(model_names=("LeNet5", "ResNet50"),
+                            jobs=JOBS, cache_dir=CACHE_DIR).items()
     ):
         print(f"{policy:<12}{model:<12}{result.latency_s * 1e3:>14.4f}"
               f"{result.average_power_w:>10.2f}"

@@ -4,8 +4,13 @@ Regenerates Table 1, Table 2, Fig. 7 (all three panels) and Table 3 with
 the headline ratios, then prints the calibration report comparing each
 measured value against the paper's and checking every qualitative claim.
 
-Run:  python examples/reproduce_paper.py        (~10 s)
+The evaluation matrix fans out over ``JOBS`` worker processes and is
+cached on disk, so re-runs skip straight to the report.
+
+Run:  python examples/reproduce_paper.py        (~10 s cold)
 """
+
+import os
 
 from repro.experiments import (
     ExperimentRunner,
@@ -16,6 +21,9 @@ from repro.experiments import (
     render_table2,
 )
 
+JOBS = min(4, os.cpu_count() or 1)
+CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
+
 
 def main():
     print(render_table1())
@@ -23,7 +31,7 @@ def main():
     print(render_table2())
     print()
 
-    runner = ExperimentRunner()
+    runner = ExperimentRunner(jobs=JOBS, cache_dir=CACHE_DIR)
     for panel in fig7_all(runner).values():
         print(render_fig7(panel))
         print()

@@ -1,3 +1,40 @@
-from setuptools import setup
+"""Package definition for the DATE 2023 chiplet-photonics reproduction.
 
-setup()
+The core simulator is pure stdlib; numpy is only needed for the
+functional (analog) MAC-unit models and the microbenchmark that
+exercises them, so it ships as an extra alongside the test/bench
+tooling.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-chiplet-siph",
+    version="0.2.0",
+    description=(
+        "Reproduction of 'Machine Learning Accelerators in 2.5D Chiplet "
+        "Platforms with Silicon Photonics' (DATE 2023): DES-based "
+        "simulator, experiment drivers, and paper artefacts"
+    ),
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=[],
+    extras_require={
+        "functional": ["numpy"],
+        "bench": ["pytest", "pytest-benchmark", "numpy"],
+        "test": ["pytest", "hypothesis", "numpy"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Topic :: Scientific/Engineering",
+        "Intended Audience :: Science/Research",
+    ],
+)

@@ -1,0 +1,222 @@
+"""Simulator microbenchmarks and the perf-regression smoke check.
+
+The canonical definition of the kernel/fabric microbenchmark bodies
+lives here; ``benchmarks/bench_sim_microbenchmarks.py`` wraps the same
+bodies in pytest-benchmark fixtures, and ``python -m repro bench``
+times them inline with :func:`time.perf_counter` — no test framework
+needed.  ``python -m repro bench --check`` compares the inline medians
+against the committed ``BENCH_sim.json`` baseline and fails when a
+benchmark has regressed more than :data:`REGRESSION_FACTOR`, so the
+perf trajectory of the DES kernel is guarded across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable
+
+BASELINE_FILENAME = "BENCH_sim.json"
+"""Committed baseline written by ``benchmarks/run_all.py``."""
+
+BASELINE_SCHEMA_VERSION = 1
+
+REGRESSION_FACTOR = 2.0
+"""A benchmark slower than ``factor x baseline`` fails ``--check``."""
+
+KERNEL_BENCHMARK = "test_bench_kernel_event_throughput"
+"""The headline kernel benchmark the acceptance criteria track."""
+
+
+# ---------------------------------------------------------------------------
+# Benchmark bodies.  Each factory does the one-time setup and returns the
+# callable that gets timed — mirroring how pytest-benchmark separates
+# fixture setup from the benchmarked function.
+# ---------------------------------------------------------------------------
+
+
+def make_kernel_event_throughput() -> Callable[[], float]:
+    """Schedule and fire 10k timeout events."""
+    from .sim.core import Environment
+
+    def run() -> float:
+        env = Environment()
+
+        def ticker():
+            for _ in range(10_000):
+                yield env.timeout(1e-9)
+
+        env.process(ticker())
+        env.run()
+        return env.now
+
+    return run
+
+
+def make_channel_contention() -> Callable[[], int]:
+    """1000 contended transfers through one channel."""
+    from .sim.core import Environment
+    from .sim.resources import BandwidthChannel
+
+    def run() -> int:
+        env = Environment()
+        channel = BandwidthChannel(env, bandwidth_bps=1e9)
+
+        def sender():
+            yield env.process(channel.transfer(1e3))
+
+        for _ in range(1000):
+            env.process(sender())
+        env.run()
+        return channel.transfer_count
+
+    return run
+
+
+def make_photonic_fabric_reads() -> Callable[[], float]:
+    """100 reads across the full interposer pipeline."""
+    from .config import DEFAULT_PLATFORM
+    from .interposer.photonic.fabric import PhotonicInterposerFabric
+    from .interposer.topology import build_floorplan
+    from .sim.core import Environment
+
+    floorplan = build_floorplan(DEFAULT_PLATFORM)
+
+    def run() -> float:
+        env = Environment()
+        fabric = PhotonicInterposerFabric(env, DEFAULT_PLATFORM, floorplan)
+        for site in floorplan.compute_sites:
+            for _ in range(12):
+                fabric.read(site.chiplet_id, 1e6)
+        env.run()
+        return fabric.bits_read
+
+    return run
+
+
+def make_functional_mac_matvec() -> Callable[[], object]:
+    """Analog matvec through the device transfer functions."""
+    import numpy as np
+
+    from .core.mac_unit import MacUnitSpec, PhotonicMacUnit
+
+    unit = PhotonicMacUnit(MacUnitSpec(vector_length=9))
+    rng = np.random.default_rng(11)
+    matrix = rng.uniform(-1, 1, (8, 27))
+    vector = rng.uniform(-1, 1, 27)
+
+    def run():
+        return unit.matvec(matrix, vector)
+
+    return run
+
+
+MICROBENCHMARKS: dict[str, Callable[[], Callable[[], object]]] = {
+    KERNEL_BENCHMARK: make_kernel_event_throughput,
+    "test_bench_channel_contention": make_channel_contention,
+    "test_bench_photonic_fabric_reads": make_photonic_fabric_reads,
+    "test_bench_functional_mac_matvec": make_functional_mac_matvec,
+}
+"""Benchmark name (matching the pytest test name) -> body factory."""
+
+
+# ---------------------------------------------------------------------------
+# Inline timing.
+# ---------------------------------------------------------------------------
+
+
+def measure_ns(run: Callable[[], object], repeats: int = 5,
+               warmup: int = 1) -> float:
+    """Median wall time of ``run()`` in nanoseconds."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    for _ in range(warmup):
+        run()
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run()
+        samples.append(time.perf_counter() - start)
+    samples.sort()
+    return samples[len(samples) // 2] * 1e9
+
+
+def run_suite(names: tuple[str, ...] | None = None,
+              repeats: int = 5) -> dict[str, float]:
+    """Time the microbenchmarks inline; returns name -> median ns/op."""
+    selected = names or tuple(MICROBENCHMARKS)
+    medians = {}
+    for name in selected:
+        medians[name] = measure_ns(MICROBENCHMARKS[name](), repeats=repeats)
+    return medians
+
+
+# ---------------------------------------------------------------------------
+# Baseline file handling + the regression check.
+# ---------------------------------------------------------------------------
+
+
+def write_baseline(medians: dict[str, float], path: str | Path,
+                   source: str = "repro.bench") -> None:
+    """Write a BENCH_sim.json baseline."""
+    payload = {
+        "schema": BASELINE_SCHEMA_VERSION,
+        "source": source,
+        "unit": "ns/op (median)",
+        "benchmarks": {
+            name: {"median_ns": median}
+            for name, median in sorted(medians.items())
+        },
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n",
+                          encoding="utf-8")
+
+
+def load_baseline(path: str | Path) -> dict[str, float]:
+    """Read a baseline; returns name -> median ns/op."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    return {
+        name: float(entry["median_ns"])
+        for name, entry in payload.get("benchmarks", {}).items()
+    }
+
+
+def check_against_baseline(
+    medians: dict[str, float],
+    baseline: dict[str, float],
+    factor: float = REGRESSION_FACTOR,
+) -> list[str]:
+    """Regression report lines for benchmarks slower than the budget.
+
+    Only benchmarks present in both mappings are compared; an empty
+    return value means the check passed.
+    """
+    failures = []
+    for name, measured in medians.items():
+        reference = baseline.get(name)
+        if reference is None or reference <= 0:
+            continue
+        ratio = measured / reference
+        if ratio > factor:
+            failures.append(
+                f"{name}: {measured / 1e6:.2f} ms vs baseline "
+                f"{reference / 1e6:.2f} ms ({ratio:.2f}x > {factor:.1f}x)"
+            )
+    return failures
+
+
+def render_suite(medians: dict[str, float],
+                 baseline: dict[str, float] | None = None) -> str:
+    """Text table of measured medians (and ratios when given a baseline)."""
+    lines = [
+        f"{'benchmark':<42}{'median':>12}"
+        + ("{:>12}".format("vs base") if baseline else ""),
+        "-" * (54 + (12 if baseline else 0)),
+    ]
+    for name, median in medians.items():
+        row = f"{name:<42}{median / 1e6:>10.2f}ms"
+        if baseline and baseline.get(name):
+            row += f"{median / baseline[name]:>11.2f}x"
+        lines.append(row)
+    return "\n".join(lines)

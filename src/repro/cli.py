@@ -8,13 +8,19 @@ Exposes the experiment drivers without writing Python::
     python -m repro table3                 # Table 3 + headline ratios
     python -m repro calibrate              # full paper-vs-measured report
     python -m repro run --model ResNet50 --platform siph --batch 4
-    python -m repro dse --sweep wavelengths
+    python -m repro dse --sweep wavelengths --jobs 4 --cache-dir .repro-cache
+    python -m repro bench --check        # perf-regression smoke check
+
+Experiment commands accept ``--jobs N`` (process fan-out over the
+simulation cells) and ``--cache-dir PATH`` (persistent result cache:
+repeated invocations never re-simulate identical cells).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from .config import DEFAULT_PLATFORM
@@ -49,11 +55,23 @@ def _cmd_table2(_: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_fig7(args: argparse.Namespace) -> int:
-    from .experiments.fig7 import METRICS, fig7_series, render_fig7
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _runner(args: argparse.Namespace):
     from .experiments.runner import ExperimentRunner
 
-    runner = ExperimentRunner()
+    return ExperimentRunner(jobs=args.jobs, cache_dir=args.cache_dir)
+
+
+def _cmd_fig7(args: argparse.Namespace) -> int:
+    from .experiments.fig7 import METRICS, fig7_series, render_fig7
+
+    runner = _runner(args)
     metrics = [args.metric] if args.metric else list(METRICS)
     for metric in metrics:
         print(render_fig7(fig7_series(runner, metric)))
@@ -61,18 +79,19 @@ def _cmd_fig7(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_table3(_: argparse.Namespace) -> int:
+def _cmd_table3(args: argparse.Namespace) -> int:
     from .experiments.table3 import build_table3, render_table3
 
-    print(render_table3(build_table3()))
+    print(render_table3(build_table3(_runner(args))))
     return 0
 
 
-def _cmd_calibrate(_: argparse.Namespace) -> int:
+def _cmd_calibrate(args: argparse.Namespace) -> int:
     from .experiments.calibration import calibration_report, shape_checks
 
-    print(calibration_report())
-    failed = [check for check in shape_checks() if not check.passed]
+    runner = _runner(args)
+    print(calibration_report(runner))
+    failed = [check for check in shape_checks(runner) if not check.passed]
     return 1 if failed else 0
 
 
@@ -106,14 +125,21 @@ def _cmd_dse(args: argparse.Namespace) -> int:
 
     if args.sweep == "wavelengths":
         print(dse.render_sweep(
-            "wavelength sweep", dse.sweep_wavelengths(args.model)
+            "wavelength sweep",
+            dse.sweep_wavelengths(args.model, jobs=args.jobs,
+                                  cache_dir=args.cache_dir),
         ))
     elif args.sweep == "gateways":
         print(dse.render_sweep(
-            "gateway sweep", dse.sweep_gateways(args.model)
+            "gateway sweep",
+            dse.sweep_gateways(args.model, jobs=args.jobs,
+                               cache_dir=args.cache_dir),
         ))
     elif args.sweep == "controllers":
-        results = dse.controller_ablation(model_names=(args.model,))
+        results = dse.controller_ablation(
+            model_names=(args.model,), jobs=args.jobs,
+            cache_dir=args.cache_dir,
+        )
         for (policy, model), result in sorted(results.items()):
             print(f"{policy:<10}{model:<14}{result.latency_s * 1e3:10.4f} ms"
                   f"{result.average_power_w:9.2f} W")
@@ -123,7 +149,40 @@ def _cmd_dse(args: argparse.Namespace) -> int:
             print(f"{policy:<10}{model:<14}{result.latency_s * 1e3:10.4f} ms"
                   f"{result.average_power_w:9.2f} W")
     else:  # quantization
-        print(render_quantization_study(quantization_study(args.model)))
+        print(render_quantization_study(quantization_study(
+            args.model, jobs=args.jobs, cache_dir=args.cache_dir,
+        )))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from . import bench
+
+    medians = bench.run_suite(repeats=args.repeats)
+    baseline = None
+    baseline_path = Path(args.baseline)
+    if baseline_path.exists():
+        baseline = bench.load_baseline(baseline_path)
+    print(bench.render_suite(medians, baseline))
+    if not args.check:
+        return 0
+    if baseline is None:
+        print(
+            f"no baseline at {args.baseline}; generate one with "
+            "`python benchmarks/run_all.py`",
+            file=sys.stderr,
+        )
+        return 2
+    failures = bench.check_against_baseline(medians, baseline)
+    if failures:
+        print("\nPERF REGRESSION:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print(
+        f"\nperf check OK: all benchmarks within "
+        f"{bench.REGRESSION_FACTOR:.1f}x of baseline"
+    )
     return 0
 
 
@@ -138,6 +197,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # Shared performance options for every simulation-heavy command.
+    perf = argparse.ArgumentParser(add_help=False)
+    perf.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="fan simulations out over N worker processes",
+    )
+    perf.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="persistent result cache; identical cells never re-simulate",
+    )
+
     sub.add_parser("table1", help="print Table 1").set_defaults(
         func=_cmd_table1
     )
@@ -145,16 +215,19 @@ def build_parser() -> argparse.ArgumentParser:
         func=_cmd_table2
     )
 
-    fig7 = sub.add_parser("fig7", help="regenerate Fig. 7 panels")
+    fig7 = sub.add_parser("fig7", parents=[perf],
+                          help="regenerate Fig. 7 panels")
     fig7.add_argument("--metric", choices=("power", "latency", "epb"),
                       default=None, help="one panel (default: all three)")
     fig7.set_defaults(func=_cmd_fig7)
 
     sub.add_parser(
-        "table3", help="regenerate Table 3 + headline ratios"
+        "table3", parents=[perf],
+        help="regenerate Table 3 + headline ratios",
     ).set_defaults(func=_cmd_table3)
     sub.add_parser(
-        "calibrate", help="paper-vs-measured report with shape checks"
+        "calibrate", parents=[perf],
+        help="paper-vs-measured report with shape checks",
     ).set_defaults(func=_cmd_calibrate)
 
     run = sub.add_parser("run", help="simulate one model on one platform")
@@ -171,7 +244,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print the per-layer timeline")
     run.set_defaults(func=_cmd_run)
 
-    dse = sub.add_parser("dse", help="design-space exploration sweeps")
+    dse = sub.add_parser("dse", parents=[perf],
+                         help="design-space exploration sweeps")
     dse.add_argument("--sweep",
                      choices=("wavelengths", "gateways", "controllers",
                               "mapping", "quantization"),
@@ -179,6 +253,21 @@ def build_parser() -> argparse.ArgumentParser:
     dse.add_argument("--model", choices=tuple(zoo.MODEL_BUILDERS),
                      default="ResNet50")
     dse.set_defaults(func=_cmd_dse)
+
+    bench = sub.add_parser(
+        "bench", help="time the simulator microbenchmarks"
+    )
+    bench.add_argument(
+        "--check", action="store_true",
+        help="fail (exit 1) if any benchmark regressed >2x vs baseline",
+    )
+    bench.add_argument(
+        "--baseline", default="BENCH_sim.json", metavar="PATH",
+        help="baseline file written by benchmarks/run_all.py",
+    )
+    bench.add_argument("--repeats", type=_positive_int, default=5,
+                       help="timing repeats per benchmark")
+    bench.set_defaults(func=_cmd_bench)
     return parser
 
 

@@ -82,6 +82,7 @@ class _PlatformBase:
                          reconfigurations: int = 0,
                          batch_size: int = 1) -> InferenceResult:
         network = fabric.energy_report()
+        engine.trace.record_channel_stats(fabric)
         energy = EnergyBreakdown(
             network_static_j=network.static_energy_j,
             network_dynamic_j=network.dynamic_energy_j,
@@ -99,6 +100,7 @@ class _PlatformBase:
             layer_timeline=tuple(engine.trace.layer_timings),
             reconfigurations=reconfigurations,
             batch_size=batch_size,
+            channel_stats=engine.trace.channel_stats,
         )
 
 

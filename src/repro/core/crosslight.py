@@ -52,6 +52,10 @@ class MonolithicFabric(InterposerFabric):
         )
         self.weight_bits_moved = 0.0
 
+    def iter_channels(self):
+        yield self.noc_channel
+        yield self.dram_channel
+
     def _chunks(self, bits: float) -> list[float]:
         if bits <= 0:
             return []

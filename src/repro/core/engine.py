@@ -23,6 +23,7 @@ from ..config import PlatformConfig
 from ..interposer.base import InterposerFabric
 from ..mapping.mapper import LayerMapping, ModelMapping
 from ..sim.core import Environment, Event
+from ..sim.resources import ChannelStat
 from .metrics import LayerTiming
 
 
@@ -33,6 +34,9 @@ class ExecutionTrace:
     layer_timings: list[LayerTiming] = field(default_factory=list)
     lane_ops_by_kind: dict[str, int] = field(default_factory=dict)
     vector_ops_by_kind: dict[str, int] = field(default_factory=dict)
+    channel_stats: tuple[ChannelStat, ...] = ()
+    """End-of-run utilization snapshot of every fabric channel (filled
+    by the platform once the simulation completes)."""
 
     @property
     def total_lane_ops(self) -> int:
@@ -41,6 +45,10 @@ class ExecutionTrace:
     @property
     def total_vector_ops(self) -> int:
         return sum(self.vector_ops_by_kind.values())
+
+    def record_channel_stats(self, fabric: InterposerFabric) -> None:
+        """Snapshot the fabric's channel utilization into the trace."""
+        self.channel_stats = fabric.channel_stats()
 
 
 class InferenceEngine:

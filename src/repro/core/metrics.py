@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..sim.resources import ChannelStat
+
 
 @dataclass(frozen=True)
 class LayerTiming:
@@ -56,6 +58,16 @@ class InferenceResult:
     layer_timeline: tuple[LayerTiming, ...]
     reconfigurations: int = 0
     batch_size: int = 1
+    channel_stats: tuple[ChannelStat, ...] = ()
+    """Per-channel utilization snapshot; travels with pickled results so
+    runs executed in worker processes stay debuggable."""
+
+    def busiest_channels(self, n: int = 5) -> tuple[ChannelStat, ...]:
+        """The ``n`` highest-utilization channels of the run."""
+        ranked = sorted(
+            self.channel_stats, key=lambda s: s.utilization, reverse=True
+        )
+        return tuple(ranked[:n])
 
     @property
     def total_energy_j(self) -> float:

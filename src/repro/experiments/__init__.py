@@ -32,7 +32,17 @@ from .roofline import (
     render_roofline,
     roofline_analysis,
 )
-from .runner import MODEL_NAMES, PLATFORM_ORDER, ExperimentRunner
+from .runner import (
+    MODEL_NAMES,
+    PLATFORM_ORDER,
+    ExperimentRunner,
+    ResultCache,
+    build_platform,
+    cell_key,
+    config_digest,
+    parallel_map,
+    simulate_cells,
+)
 from .sensitivity import (
     SensitivityPoint,
     render_sensitivity,
@@ -74,6 +84,12 @@ __all__ = [
     "MODEL_NAMES",
     "PLATFORM_ORDER",
     "ExperimentRunner",
+    "ResultCache",
+    "build_platform",
+    "cell_key",
+    "config_digest",
+    "parallel_map",
+    "simulate_cells",
     "PAPER_TABLE3",
     "Table3",
     "build_table3",

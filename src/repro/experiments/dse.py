@@ -4,18 +4,25 @@ The paper's conclusions call for exploration of the number of
 wavelengths, gateways per chiplet, and MACs per chiplet.  These sweeps
 implement that study on top of the simulator, plus an ablation of the
 interposer reconfiguration policy (ReSiPI vs PROWAVES vs static).
+
+Every sweep takes ``jobs``/``cache_dir``: design points are independent
+simulations, so they fan out over worker processes and share the
+persistent result cache (see :mod:`repro.experiments.runner`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from pathlib import Path
 
 from ..config import DEFAULT_PLATFORM, MacGroupConfig, PlatformConfig
 from ..core.metrics import InferenceResult
-from .runner import ExperimentRunner
+from .runner import ExperimentRunner, simulate_cells
 
 DEFAULT_WAVELENGTH_SWEEP = (8, 16, 32, 64, 128)
 DEFAULT_GATEWAY_SWEEP = (1, 2, 4)
+
+SIPH = "2.5D-CrossLight-SiPh"
 
 
 @dataclass(frozen=True)
@@ -43,18 +50,21 @@ def sweep_wavelengths(
     model_name: str = "ResNet50",
     values: tuple[int, ...] = DEFAULT_WAVELENGTH_SWEEP,
     base_config: PlatformConfig | None = None,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
 ) -> list[SweepPoint]:
     """Latency/power/EPB of the SiPh platform vs wavelength count."""
     base = base_config or DEFAULT_PLATFORM
-    points = []
-    for n_lambda in values:
-        runner = ExperimentRunner(config=base.with_wavelengths(n_lambda))
-        result = runner.run("2.5D-CrossLight-SiPh", model_name)
-        points.append(
-            SweepPoint(label=f"{n_lambda} wavelengths", value=n_lambda,
-                       result=result)
-        )
-    return points
+    cells = [
+        (SIPH, model_name, "resipi", base.with_wavelengths(n_lambda))
+        for n_lambda in values
+    ]
+    results = simulate_cells(cells, jobs=jobs, cache_dir=cache_dir)
+    return [
+        SweepPoint(label=f"{n_lambda} wavelengths", value=n_lambda,
+                   result=result)
+        for n_lambda, result in zip(values, results)
+    ]
 
 
 def _with_gateways_per_chiplet(config: PlatformConfig,
@@ -96,19 +106,21 @@ def sweep_gateways(
     model_name: str = "ResNet50",
     values: tuple[int, ...] = DEFAULT_GATEWAY_SWEEP,
     base_config: PlatformConfig | None = None,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
 ) -> list[SweepPoint]:
     """SiPh platform vs gateways per compute chiplet."""
     base = base_config or DEFAULT_PLATFORM
-    points = []
-    for gateways in values:
-        config = _with_gateways_per_chiplet(base, gateways)
-        runner = ExperimentRunner(config=config)
-        result = runner.run("2.5D-CrossLight-SiPh", model_name)
-        points.append(
-            SweepPoint(label=f"{gateways} gateways/chiplet", value=gateways,
-                       result=result)
-        )
-    return points
+    cells = [
+        (SIPH, model_name, "resipi", _with_gateways_per_chiplet(base, g))
+        for g in values
+    ]
+    results = simulate_cells(cells, jobs=jobs, cache_dir=cache_dir)
+    return [
+        SweepPoint(label=f"{gateways} gateways/chiplet", value=gateways,
+                   result=result)
+        for gateways, result in zip(values, results)
+    ]
 
 
 def mapping_ablation(
@@ -119,7 +131,8 @@ def mapping_ablation(
 
     Quantifies how much of the 2.5D win depends on letting conv layers
     spill beyond their kernel-matched chiplets (DESIGN.md discusses why
-    the paper's averages imply spillover).
+    the paper's averages imply spillover).  Custom mappers are not part
+    of the cache key scheme, so this study always simulates.
     """
     from ..core.accelerator import CrossLight25DSiPh
     from ..interposer.topology import build_floorplan
@@ -145,17 +158,21 @@ def controller_ablation(
     model_names: tuple[str, ...] = ("LeNet5", "ResNet50"),
     controllers: tuple[str, ...] = ("resipi", "prowaves", "static"),
     base_config: PlatformConfig | None = None,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
 ) -> dict[tuple[str, str], InferenceResult]:
     """Compare interposer reconfiguration policies (E10)."""
     base = base_config or DEFAULT_PLATFORM
-    results = {}
-    for controller in controllers:
-        runner = ExperimentRunner(config=base, controller=controller)
-        for model_name in model_names:
-            results[(controller, model_name)] = runner.run(
-                "2.5D-CrossLight-SiPh", model_name
-            )
-    return results
+    cells = [
+        (SIPH, model_name, controller, base)
+        for controller in controllers
+        for model_name in model_names
+    ]
+    results = simulate_cells(cells, jobs=jobs, cache_dir=cache_dir)
+    return {
+        (cell[2], cell[1]): result
+        for cell, result in zip(cells, results)
+    }
 
 
 def render_sweep(title: str, points: list[SweepPoint]) -> str:

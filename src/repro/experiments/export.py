@@ -47,6 +47,17 @@ def result_to_dict(result: InferenceResult) -> dict:
         }
         for timing in result.layer_timeline
     ]
+    record["channel_utilization"] = [
+        {
+            "name": stat.name,
+            "utilization": stat.utilization,
+            "busy_time_s": stat.busy_time_s,
+            "bits_transferred": stat.bits_transferred,
+            "transfer_count": stat.transfer_count,
+            "queue_length": stat.queue_length,
+        }
+        for stat in result.channel_stats
+    ]
     return record
 
 

@@ -38,7 +38,13 @@ class Fig7Series:
 
 def fig7_series(runner: ExperimentRunner, metric: str,
                 models: tuple[str, ...] = MODEL_NAMES) -> Fig7Series:
-    """Compute one Fig. 7 panel."""
+    """Compute one Fig. 7 panel.
+
+    Missing cells are filled by ``runner.run_matrix`` first, so a runner
+    configured with ``jobs``/``cache_dir`` simulates them in parallel
+    (or not at all); the per-cell lookups below then hit memory.
+    """
+    runner.run_matrix(models=models)
     attribute = METRICS[metric]
     absolute: dict[str, dict[str, float]] = {}
     normalized: dict[str, dict[str, float]] = {}

@@ -1,13 +1,29 @@
 """Experiment orchestration: run model suites across platforms.
 
-Results are cached per ``(platform, model, config-id)`` within a runner
-instance so that Fig. 7 and Table 3 (which share runs) do not simulate
-twice.
+Three layers of reuse keep repeated invocations cheap:
+
+* an **in-memory cache** per runner instance — Fig. 7 and Table 3 share
+  runs within one process, as before;
+* an optional **persistent on-disk result cache** (``cache_dir``) keyed
+  by a content hash of ``(platform, model, controller, PlatformConfig)``
+  — repeated benchmark/figure invocations across processes never
+  re-simulate identical cells;
+* a **process-pool fan-out** (``jobs=N``) for cold cells — every cell is
+  an independent simulation in a fresh :class:`Environment`, so parallel
+  results are bit-identical to serial ones.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Sequence
 
 from ..config import DEFAULT_PLATFORM, PlatformConfig
 from ..core.accelerator import (
@@ -29,17 +45,208 @@ PLATFORM_ORDER = (
 )
 """The three simulated platforms, Table 3 order."""
 
+CACHE_SCHEMA_VERSION = 1
+"""Bump whenever simulation semantics change so stale cached results
+are never served for new code."""
+
+
+# ---------------------------------------------------------------------------
+# Content-hash cache keys.
+# ---------------------------------------------------------------------------
+
+
+def config_digest(config: PlatformConfig) -> str:
+    """Stable content hash of a platform configuration.
+
+    Hashes the JSON of every dataclass field (nested MAC groups
+    included), so two configs with equal contents share a digest no
+    matter how they were constructed.
+    """
+    payload = json.dumps(asdict(config), sort_keys=True, default=repr)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def cell_key(platform_name: str, model_name: str, controller: str,
+             config: PlatformConfig,
+             extra: dict[str, Any] | None = None) -> str:
+    """Content hash identifying one simulation cell.
+
+    ``extra`` lets studies that vary more than the platform config
+    (e.g. quantisation schemes) extend the key instead of colliding.
+    """
+    payload = json.dumps(
+        {
+            "schema": CACHE_SCHEMA_VERSION,
+            "platform": platform_name,
+            "model": model_name,
+            "controller": controller,
+            "config": asdict(config),
+            "extra": extra or {},
+        },
+        sort_keys=True,
+        default=repr,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Persistent on-disk store of pickled :class:`InferenceResult`.
+
+    One file per content-hash key; writes are atomic (temp file +
+    ``os.replace``) so concurrent worker processes can share a cache
+    directory safely.
+    """
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        if self.directory.exists() and not self.directory.is_dir():
+            raise NotADirectoryError(
+                f"cache dir {self.directory} exists and is not a directory"
+            )
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.pkl"
+
+    def get(self, key: str) -> InferenceResult | None:
+        """The cached result for ``key``, or None on miss/corruption."""
+        try:
+            with open(self._path(key), "rb") as handle:
+                return pickle.load(handle)
+        except (OSError, EOFError, pickle.UnpicklingError, AttributeError):
+            return None
+
+    def put(self, key: str, result: InferenceResult) -> None:
+        """Store a result under ``key`` (atomic, last-writer-wins)."""
+        fd, temp_path = tempfile.mkstemp(
+            dir=self.directory, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_path, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.pkl"))
+
+
+# ---------------------------------------------------------------------------
+# Cell simulation — module-level so ProcessPoolExecutor can pickle it.
+# ---------------------------------------------------------------------------
+
+
+def build_platform(platform_name: str, config: PlatformConfig,
+                   controller: str = "resipi"):
+    """Construct one of the three simulated platforms by Table 3 name."""
+    if platform_name == "CrossLight":
+        return MonolithicCrossLight(config)
+    if platform_name == "2.5D-CrossLight-Elec":
+        return CrossLight25DElec(config)
+    if platform_name == "2.5D-CrossLight-SiPh":
+        return CrossLight25DSiPh(config, controller=controller)
+    raise KeyError(f"unknown platform {platform_name!r}")
+
+
+def _simulate_cell(platform_name: str, model_name: str, controller: str,
+                   config: PlatformConfig) -> InferenceResult:
+    """Worker body: one full simulation of one matrix cell."""
+    platform = build_platform(platform_name, config, controller)
+    workload = extract_workload(zoo.build(model_name))
+    return platform.run_workload(workload)
+
+
+Cell = tuple[str, str, str, PlatformConfig]
+"""(platform, model, controller, config) — one simulation to run."""
+
+
+def parallel_map(fn: Callable, argument_tuples: Sequence[tuple],
+                 jobs: int) -> list:
+    """``[fn(*args) for args in argument_tuples]`` with process fan-out.
+
+    The single pool-dispatch implementation every study shares: results
+    come back in input order regardless of completion order, and
+    ``jobs=1`` (or a single task) stays in-process.  ``fn`` and all
+    arguments must be picklable module-level objects.
+    """
+    tasks = list(argument_tuples)
+    if jobs > 1 and len(tasks) > 1:
+        workers = min(jobs, len(tasks))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(fn, *args) for args in tasks]
+            return [future.result() for future in futures]
+    return [fn(*args) for args in tasks]
+
+
+def _simulate_many(cells: Sequence[Cell], jobs: int
+                   ) -> list[InferenceResult]:
+    """Simulate cells; each runs in a fresh environment, so the output
+    is bit-identical to a serial loop."""
+    return parallel_map(_simulate_cell, cells, jobs)
+
+
+def simulate_cells(cells: Sequence[Cell], jobs: int = 1,
+                   cache_dir: str | Path | None = None
+                   ) -> list[InferenceResult]:
+    """Run arbitrary simulation cells with optional cache and fan-out.
+
+    The shared building block for the DSE sweeps: resolves the disk
+    cache first, simulates only the misses (in parallel when asked),
+    then back-fills the cache.
+    """
+    cache = ResultCache(cache_dir) if cache_dir else None
+    results: list[InferenceResult | None] = [None] * len(cells)
+    pending: list[int] = []
+    for index, cell in enumerate(cells):
+        hit = cache.get(cell_key(*cell)) if cache is not None else None
+        if hit is not None:
+            results[index] = hit
+        else:
+            pending.append(index)
+    fresh = _simulate_many([cells[i] for i in pending], jobs)
+    for index, result in zip(pending, fresh):
+        results[index] = result
+        if cache is not None:
+            cache.put(cell_key(*cells[index]), result)
+    return results  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------------
+# The runner.
+# ---------------------------------------------------------------------------
+
 
 @dataclass
 class ExperimentRunner:
-    """Runs and caches inferences across the evaluation matrix."""
+    """Runs and caches inferences across the evaluation matrix.
+
+    ``jobs`` sets the default process fan-out of :meth:`run_matrix`;
+    ``cache_dir`` enables the persistent on-disk result cache.  The
+    counters ``simulations_executed`` / ``disk_cache_hits`` expose how
+    much work a call actually did (tests assert a warm cache re-run
+    simulates nothing).
+    """
 
     config: PlatformConfig = field(default_factory=lambda: DEFAULT_PLATFORM)
     controller: str = "resipi"
+    jobs: int = 1
+    cache_dir: str | Path | None = None
     _workloads: dict[str, InferenceWorkload] = field(default_factory=dict)
     _results: dict[tuple[str, str], InferenceResult] = field(
         default_factory=dict
     )
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        self._cache = ResultCache(self.cache_dir) if self.cache_dir else None
+        self.simulations_executed = 0
+        self.disk_cache_hits = 0
 
     def workload(self, model_name: str) -> InferenceWorkload:
         """Extract (and cache) the inference workload of a zoo model."""
@@ -50,37 +257,79 @@ class ExperimentRunner:
         return self._workloads[model_name]
 
     def _platform(self, platform_name: str):
-        if platform_name == "CrossLight":
-            return MonolithicCrossLight(self.config)
-        if platform_name == "2.5D-CrossLight-Elec":
-            return CrossLight25DElec(self.config)
-        if platform_name == "2.5D-CrossLight-SiPh":
-            return CrossLight25DSiPh(self.config, controller=self.controller)
-        raise KeyError(f"unknown platform {platform_name!r}")
+        return build_platform(platform_name, self.config, self.controller)
+
+    def _key(self, platform_name: str, model_name: str) -> str:
+        return cell_key(platform_name, model_name, self.controller,
+                        self.config)
 
     def run(self, platform_name: str, model_name: str) -> InferenceResult:
-        """Run one (platform, model) cell, cached."""
+        """Run one (platform, model) cell, cached (memory, then disk)."""
         key = (platform_name, model_name)
-        if key not in self._results:
+        if key in self._results:
+            return self._results[key]
+        result = None
+        if self._cache is not None:
+            result = self._cache.get(self._key(platform_name, model_name))
+            if result is not None:
+                self.disk_cache_hits += 1
+        if result is None:
             platform = self._platform(platform_name)
-            self._results[key] = platform.run_workload(
-                self.workload(model_name)
-            )
-        return self._results[key]
+            result = platform.run_workload(self.workload(model_name))
+            self.simulations_executed += 1
+            if self._cache is not None:
+                self._cache.put(
+                    self._key(platform_name, model_name), result
+                )
+        self._results[key] = result
+        return result
 
     def run_matrix(
         self,
         platforms: tuple[str, ...] = PLATFORM_ORDER,
         models: tuple[str, ...] = MODEL_NAMES,
+        jobs: int | None = None,
     ) -> dict[tuple[str, str], InferenceResult]:
-        """Run the full evaluation matrix; returns all cells."""
+        """Run the full evaluation matrix; returns all cells.
+
+        ``jobs`` overrides the runner default for this call.  Cold cells
+        fan out over worker processes; every platform still validates
+        eagerly (a bad name fails fast, as in serial mode).
+        """
+        jobs = self.jobs if jobs is None else jobs
+        for platform_name in platforms:
+            if platform_name not in PLATFORM_ORDER:
+                raise KeyError(f"unknown platform {platform_name!r}")
+        pending: list[tuple[str, str]] = []
         for platform_name in platforms:
             for model_name in models:
-                self.run(platform_name, model_name)
+                key = (platform_name, model_name)
+                if key in self._results:
+                    continue
+                hit = (
+                    self._cache.get(self._key(platform_name, model_name))
+                    if self._cache is not None else None
+                )
+                if hit is not None:
+                    self._results[key] = hit
+                    self.disk_cache_hits += 1
+                else:
+                    pending.append(key)
+        fresh = _simulate_many(
+            [(p, m, self.controller, self.config) for p, m in pending],
+            jobs,
+        )
+        for key, result in zip(pending, fresh):
+            self._results[key] = result
+            self.simulations_executed += 1
+            if self._cache is not None:
+                self._cache.put(self._key(*key), result)
         return {
-            key: result
-            for key, result in self._results.items()
-            if key[0] in platforms and key[1] in models
+            (platform_name, model_name): self._results[
+                (platform_name, model_name)
+            ]
+            for platform_name in platforms
+            for model_name in models
         }
 
     def average(self, platform_name: str, metric: str,

@@ -11,9 +11,10 @@ survive across the plausible parameter ranges.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from pathlib import Path
 
 from ..config import DEFAULT_PLATFORM, PlatformConfig
-from .runner import ExperimentRunner
+from .runner import ExperimentRunner, parallel_map
 from .table3 import Table3, build_table3
 
 
@@ -52,9 +53,9 @@ _FAST_MODELS = ("LeNet5", "MobileNetV2", "ResNet50")
 largest models shift averages but not orderings)."""
 
 
-def _ratios(knob: str, value: float,
-            config: PlatformConfig) -> SensitivityPoint:
-    runner = ExperimentRunner(config=config)
+def _ratios(knob: str, value: float, config: PlatformConfig,
+            cache_dir: str | Path | None = None) -> SensitivityPoint:
+    runner = ExperimentRunner(config=config, cache_dir=cache_dir)
     table: Table3 = build_table3(runner, models=_FAST_MODELS)
     return SensitivityPoint(
         knob=knob,
@@ -69,16 +70,23 @@ def _ratios(knob: str, value: float,
 def sensitivity_study(
     knobs: dict[str, tuple[float, ...]] | None = None,
     base_config: PlatformConfig | None = None,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
 ) -> list[SensitivityPoint]:
-    """One-at-a-time perturbation study over the calibration knobs."""
+    """One-at-a-time perturbation study over the calibration knobs.
+
+    Each perturbed configuration is an independent nine-cell Table 3
+    rebuild, so the grid fans out whole points to worker processes;
+    ``cache_dir`` lets repeated studies reuse each other's cells.
+    """
     knobs = knobs or DEFAULT_KNOBS
     base = base_config or DEFAULT_PLATFORM
-    points = []
-    for knob, values in knobs.items():
-        for value in values:
-            config = replace(base, **{knob: value})
-            points.append(_ratios(knob, value, config))
-    return points
+    tasks = [
+        (knob, value, replace(base, **{knob: value}), cache_dir)
+        for knob, values in knobs.items()
+        for value in values
+    ]
+    return parallel_map(_ratios, tasks, jobs)
 
 
 def render_sensitivity(points: list[SensitivityPoint]) -> str:

@@ -12,8 +12,10 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from ..sim.core import Environment, Event
+from ..sim.resources import BandwidthChannel, ChannelStat
 
 DEFAULT_CHUNK_BITS = 256 * 1024
 """Transfer chunking granularity: 32 KiB chunks keep reconfiguration
@@ -69,6 +71,18 @@ class InterposerFabric(abc.ABC):
     @abc.abstractmethod
     def energy_report(self) -> NetworkEnergyReport:
         """Close the books: energy consumed up to ``env.now``."""
+
+    def iter_channels(self) -> Iterable[BandwidthChannel]:
+        """Every bandwidth channel of the fabric, in a stable order.
+
+        Subclasses override; the default (no channels) keeps ad-hoc test
+        fabrics working.
+        """
+        return ()
+
+    def channel_stats(self) -> tuple[ChannelStat, ...]:
+        """Utilization snapshot of every channel, for trace export."""
+        return tuple(channel.stats() for channel in self.iter_channels())
 
     @property
     def total_bits_moved(self) -> float:

@@ -89,6 +89,12 @@ class ElectricalMeshFabric(InterposerFabric):
         path.append(self.ports[f"ej:{dst}"])
         return path
 
+    def iter_channels(self):
+        """HBM port, chiplet inj/ej ports, then the directed mesh links."""
+        yield self.hbm_channel
+        yield from self.ports.values()
+        yield from self.links.values()
+
     def _per_hop_latency_s(self) -> float:
         """Router traversal + wire flight per hop."""
         return (

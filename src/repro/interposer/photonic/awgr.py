@@ -92,6 +92,11 @@ class AWGRInterposerFabric(InterposerFabric):
             )
         return self.channels[key]
 
+    def iter_channels(self):
+        """HBM port plus every pair channel the run actually touched."""
+        yield self.hbm_channel
+        yield from self.channels.values()
+
     def _chunks(self, bits: float) -> list[float]:
         if bits <= 0:
             return []

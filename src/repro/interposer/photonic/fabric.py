@@ -228,6 +228,13 @@ class PhotonicInterposerFabric(InterposerFabric):
                 int(self.active_read_gateways[chiplet_id].value),
             )
 
+    def iter_channels(self):
+        """HBM port, SWMR writer stage, then per-chiplet reader/writers."""
+        yield self.hbm_channel
+        yield self.memory_write_channel
+        yield from self.chiplet_read_channels.values()
+        yield from self.chiplet_write_channels.values()
+
     # -- transfers -------------------------------------------------------------------
 
     def _chunks(self, bits: float) -> list[float]:

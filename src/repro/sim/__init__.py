@@ -1,7 +1,7 @@
 """Discrete-event simulation kernel and shared-resource primitives."""
 
 from .core import AllOf, Environment, Event, Process, Timeout
-from .resources import BandwidthChannel, Resource, Store
+from .resources import BandwidthChannel, ChannelStat, Resource, Store
 from .stats import EpochTrafficMonitor, LatencyRecorder, TimeWeightedValue
 
 __all__ = [
@@ -11,6 +11,7 @@ __all__ = [
     "Process",
     "Timeout",
     "BandwidthChannel",
+    "ChannelStat",
     "Resource",
     "Store",
     "EpochTrafficMonitor",

@@ -11,22 +11,49 @@ Design choices:
 * Time is a ``float`` in seconds.
 * Events fire in (time, insertion-order) order — deterministic replays.
 * No interrupts/preemption: network messages never abort mid-flight.
+
+Hot-path notes (this kernel executes tens of millions of events per
+experiment matrix, so it is tuned):
+
+* every kernel object declares ``__slots__`` — no per-instance dicts;
+* zero-delay schedules (``succeed``, process bootstraps/resumes,
+  zero-length timeouts) bypass the heap entirely: they land in a FIFO
+  deque that the run loops drain *in sequence order* relative to
+  same-time heap entries, so ordering is exactly the seed kernel's
+  (time, insertion-order) contract;
+* a :class:`Process` never allocates bootstrap/resume ``Event`` objects:
+  one reusable :class:`_Resume` per process carries the pending value.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from ..errors import SimulationError
 
+_INFINITY = float("inf")
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
 
 class Event:
-    """A one-shot occurrence that processes can wait on."""
+    """A one-shot occurrence that processes can wait on.
+
+    ``callbacks`` is stored adaptively: ``None`` while no waiter is
+    attached, the bare callable for exactly one waiter (the overwhelming
+    majority of events), and a list only once a second waiter arrives.
+    It is ``None`` again once the event has fired — events are one-shot,
+    so nothing may attach to a processed event.  Always attach through
+    :meth:`_add_callback`.
+    """
+
+    __slots__ = ("env", "callbacks", "_triggered", "_processed", "_value")
 
     def __init__(self, env: "Environment"):
         self.env = env
-        self.callbacks: list[Callable[["Event"], None]] = []
+        self.callbacks: Any = None
         self._triggered = False
         self._processed = False
         self._value: Any = None
@@ -52,27 +79,75 @@ class Event:
             raise SimulationError("event already triggered")
         self._value = value
         self._triggered = True
-        self.env._schedule(self, delay=0.0)
+        env = self.env
+        env._sequence += 1
+        env._immediate.append((env._sequence, self))
         return self
 
     def _fire(self) -> None:
         """Run callbacks; called by the environment at the scheduled time."""
         self._processed = True
-        callbacks, self.callbacks = self.callbacks, []
-        for callback in callbacks:
-            callback(self)
+        callbacks = self.callbacks
+        if callbacks is not None:
+            self.callbacks = None
+            if type(callbacks) is list:
+                for callback in callbacks:
+                    callback(self)
+            else:
+                callbacks(self)
+
+    def _add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Attach a waiter (internal; the event must not have fired yet)."""
+        callbacks = self.callbacks
+        if callbacks is None:
+            self.callbacks = callback
+        elif type(callbacks) is list:
+            callbacks.append(callback)
+        else:
+            self.callbacks = [callbacks, callback]
 
 
 class Timeout(Event):
     """An event that fires after a fixed simulated delay."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay!r}")
-        super().__init__(env)
-        self._value = value
+        self.env = env
+        self.callbacks = None
         self._triggered = True
-        env._schedule(self, delay=delay)
+        self._processed = False
+        self._value = value
+        seq = env._sequence = env._sequence + 1
+        if delay == 0.0:
+            env._immediate.append((seq, self))
+        else:
+            _heappush(env._queue, (env._now + delay, seq, self))
+
+
+_timeout_new = Timeout.__new__
+
+
+class _Resume:
+    """Reusable scheduler token that resumes a suspended process.
+
+    A process is suspended on at most one target at a time, so a single
+    token per process can carry every bootstrap/already-fired resume —
+    the seed kernel allocated a throwaway :class:`Event` for each.  It
+    exposes ``_value`` so :meth:`Process._step` can treat it like the
+    fired event it stands in for.
+    """
+
+    __slots__ = ("process", "_value")
+
+    def __init__(self, process: "Process"):
+        self.process = process
+        self._value: Any = None
+
+    def _fire(self) -> None:
+        self.process._step(self)
 
 
 class Process(Event):
@@ -83,20 +158,22 @@ class Process(Event):
     process event triggers with the return value.
     """
 
+    __slots__ = ("_generator", "_resume", "_step_callback")
+
     def __init__(self, env: "Environment",
                  generator: Generator[Event, Any, Any]):
         super().__init__(env)
         self._generator = generator
+        self._resume = _Resume(self)
+        self._step_callback = self._step  # bind once, reuse per yield
         # Bootstrap: resume the generator at time `now`.
-        bootstrap = Event(env)
-        bootstrap.callbacks.append(self._step)
-        bootstrap._triggered = True
-        env._schedule(bootstrap, delay=0.0)
+        env._sequence += 1
+        env._immediate.append((env._sequence, self._resume))
 
-    def _step(self, event: Event) -> None:
+    def _step(self, event: "Event | _Resume") -> None:
         """Advance the generator with the fired event's value."""
         try:
-            target = self._generator.send(event.value)
+            target = self._generator.send(event._value)
         except StopIteration as stop:
             if not self._triggered:
                 self.succeed(stop.value)
@@ -105,15 +182,17 @@ class Process(Event):
             raise SimulationError(
                 f"process yielded {target!r}; processes must yield Events"
             )
-        if target.processed:
-            # Already fired: resume immediately at the current time.
-            resume = Event(self.env)
-            resume._value = target.value
-            resume.callbacks.append(self._step)
-            resume._triggered = True
-            self.env._schedule(resume, delay=0.0)
+        if target._processed:
+            # Already fired: resume at the current time, in order.
+            resume = self._resume
+            resume._value = target._value
+            env = self.env
+            env._sequence += 1
+            env._immediate.append((env._sequence, resume))
+        elif target.callbacks is None:
+            target.callbacks = self._step_callback
         else:
-            target.callbacks.append(self._step)
+            target._add_callback(self._step_callback)
 
 
 class AllOf(Event):
@@ -121,6 +200,8 @@ class AllOf(Event):
 
     The value is the list of child values in the original order.
     """
+
+    __slots__ = ("_events", "_pending")
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
@@ -130,23 +211,40 @@ class AllOf(Event):
             self.succeed([])
             return
         for event in self._events:
-            if event.processed:
+            if event._processed:
                 self._on_child(event)
             else:
-                event.callbacks.append(self._on_child)
+                event._add_callback(self._on_child)
 
     def _on_child(self, _: Event) -> None:
         self._pending -= 1
         if self._pending == 0 and not self._triggered:
-            self.succeed([event.value for event in self._events])
+            self.succeed([event._value for event in self._events])
 
 
 class Environment:
-    """Event queue and simulated clock."""
+    """Event queue and simulated clock.
+
+    Two scheduling structures share one sequence counter:
+
+    * ``_queue`` — a heap of ``(fire_time, sequence, event)`` for delayed
+      events;
+    * ``_immediate`` — a FIFO of ``(sequence, event)`` for events firing
+      at the *current* time (``succeed``, process resumes, zero delays).
+
+    Every immediate entry fires at ``_now`` by construction: the run
+    loops never advance the clock while ``_immediate`` is non-empty, and
+    a heap entry is only popped ahead of an immediate one when it fires
+    at the same time with a smaller sequence number.  Interleaving by
+    sequence keeps the merged order identical to a single heap.
+    """
+
+    __slots__ = ("_now", "_queue", "_immediate", "_sequence")
 
     def __init__(self):
         self._now = 0.0
-        self._queue: list[tuple[float, int, Event]] = []
+        self._queue: list[tuple[float, int, Any]] = []
+        self._immediate: deque[tuple[int, Any]] = deque()
         self._sequence = 0
 
     @property
@@ -154,9 +252,12 @@ class Environment:
         """Current simulated time (s)."""
         return self._now
 
-    def _schedule(self, event: Event, delay: float) -> None:
-        self._sequence += 1
-        heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
+    # NOTE: there is deliberately no generic _schedule() helper — the
+    # three scheduling sites (succeed, Timeout, timeout()) inline the
+    # immediate-vs-heap dispatch because the call overhead is measurable
+    # at event rates.  New scheduling paths must follow the same
+    # pattern: bump _sequence, then append to _immediate for zero delay
+    # or heap-push (fire_time, seq, event) otherwise.
 
     # -- factories ------------------------------------------------------------
 
@@ -166,7 +267,22 @@ class Environment:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """An event that fires ``delay`` seconds from now."""
-        return Timeout(self, delay, value)
+        # Builds the Timeout inline (no __init__ frame): this factory is
+        # the single hottest allocation site in every simulation.
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        event = _timeout_new(Timeout)
+        event.env = self
+        event.callbacks = None
+        event._triggered = True
+        event._processed = False
+        event._value = value
+        seq = self._sequence = self._sequence + 1
+        if delay == 0.0:
+            self._immediate.append((seq, event))
+        else:
+            _heappush(self._queue, (self._now + delay, seq, event))
+        return event
 
     def process(self, generator: Generator[Event, Any, Any]) -> Process:
         """Start a process from a generator coroutine."""
@@ -182,22 +298,64 @@ class Environment:
         """Execute events until the queue drains or ``until`` is reached.
 
         Returns the simulation time when execution stopped.
+
+        Clamp semantics: the clock never moves backwards and always ends
+        at ``until`` when one is given —
+
+        * ``until`` in the past (``until < now``) raises
+          :class:`SimulationError` instead of rewinding the clock;
+        * events at exactly ``until`` still fire (the bound is inclusive);
+        * if the queue drains early, or holds only later events, ``_now``
+          idle-advances to ``until`` so back-to-back ``run(until=...)``
+          calls tile the timeline without gaps.
         """
-        while self._queue:
-            fire_time, _, event = self._queue[0]
-            if until is not None and fire_time > until:
+        now = self._now
+        if until is not None and until < now:
+            raise SimulationError(
+                f"cannot run to {until}: time is already {now}"
+            )
+        queue = self._queue
+        immediate = self._immediate
+        pop = _heappop
+        bound = _INFINITY if until is None else until
+        while True:
+            if immediate:
+                # Fire same-time heap entries first when they were
+                # scheduled earlier (lower sequence number).
+                if queue and queue[0][0] == now and (
+                    queue[0][1] < immediate[0][0]
+                ):
+                    event = pop(queue)[2]
+                else:
+                    event = immediate.popleft()[1]
+                event._fire()
+                continue
+            if not queue:
+                break
+            fire_time = queue[0][0]
+            if fire_time > bound:
                 self._now = until
-                return self._now
-            heapq.heappop(self._queue)
-            if fire_time < self._now:
+                return until
+            if fire_time < now:
                 raise SimulationError(
-                    f"time went backwards: {fire_time} < {self._now}"
+                    f"time went backwards: {fire_time} < {now}"
                 )
-            self._now = fire_time
-            event._fire()
-        if until is not None and until > self._now:
-            self._now = until
-        return self._now
+            event = pop(queue)[2]
+            self._now = now = fire_time
+            # Inlined Event._fire — no kernel class overrides it, and
+            # the call overhead is measurable at this loop's rate.
+            event._processed = True
+            callbacks = event.callbacks
+            if callbacks is not None:
+                event.callbacks = None
+                if type(callbacks) is list:
+                    for callback in callbacks:
+                        callback(event)
+                else:
+                    callbacks(event)
+        if until is not None and until > now:
+            self._now = now = until
+        return now
 
     def run_until_event(self, event: Event, limit: Optional[float] = None
                         ) -> float:
@@ -205,24 +363,57 @@ class Environment:
 
         Needed when perpetual processes (epoch controllers) keep the queue
         non-empty forever.  ``limit`` bounds simulated time as a hang
-        guard; exceeding it raises :class:`SimulationError`.
+        guard; exceeding it raises :class:`SimulationError`.  The same
+        backwards-time guard as :meth:`run` applies: a queue entry firing
+        before the current time raises instead of rewinding the clock.
         """
-        while not event.processed:
-            if not self._queue:
+        queue = self._queue
+        immediate = self._immediate
+        pop = _heappop
+        now = self._now
+        bound = _INFINITY if limit is None else limit
+        while not event._processed:
+            if immediate:
+                if queue and queue[0][0] == now and (
+                    queue[0][1] < immediate[0][0]
+                ):
+                    next_event = pop(queue)[2]
+                else:
+                    next_event = immediate.popleft()[1]
+                next_event._fire()
+                continue
+            if not queue:
                 raise SimulationError(
                     "event queue drained before the awaited event fired"
                 )
-            fire_time, _, next_event = heapq.heappop(self._queue)
-            if limit is not None and fire_time > limit:
+            if queue[0][0] > bound:
+                # Checked before popping: the over-limit event stays
+                # queued, so a caller that retries with a larger limit
+                # still sees it (same peek-first discipline as run()).
                 raise SimulationError(
                     f"simulation exceeded time limit {limit} s"
                 )
-            self._now = fire_time
-            next_event._fire()
-        return self._now
+            fire_time, _, next_event = pop(queue)
+            if fire_time < now:
+                raise SimulationError(
+                    f"time went backwards: {fire_time} < {now}"
+                )
+            self._now = now = fire_time
+            next_event._processed = True
+            callbacks = next_event.callbacks
+            if callbacks is not None:
+                next_event.callbacks = None
+                if type(callbacks) is list:
+                    for callback in callbacks:
+                        callback(next_event)
+                else:
+                    callbacks(next_event)
+        return now
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if none."""
+        if self._immediate:
+            return self._now
         if not self._queue:
-            return float("inf")
+            return _INFINITY
         return self._queue[0][0]

@@ -14,14 +14,37 @@
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass
 from typing import Any, Deque, Generator
 
 from ..errors import SimulationError
 from .core import Environment, Event
 
 
+@dataclass(frozen=True)
+class ChannelStat:
+    """Utilization snapshot of one :class:`Resource` or
+    :class:`BandwidthChannel`, taken at the end of a run.
+
+    Attached to the execution trace (and exported with results) so that
+    runs farmed out to worker processes remain debuggable: the snapshot
+    travels with the pickled :class:`~repro.core.metrics.InferenceResult`
+    even though the simulation objects themselves do not.
+    """
+
+    name: str
+    utilization: float
+    busy_time_s: float
+    bits_transferred: float = 0.0
+    transfer_count: int = 0
+    queue_length: int = 0
+
+
 class Resource:
     """A counted resource with FIFO request queueing."""
+
+    __slots__ = ("env", "capacity", "_in_use", "_waiting", "_busy_since",
+                 "_busy_time")
 
     def __init__(self, env: Environment, capacity: int = 1):
         if capacity < 1:
@@ -83,9 +106,20 @@ class Resource:
             return 0.0
         return self.busy_time() / self.env.now
 
+    def stats(self, name: str = "resource") -> ChannelStat:
+        """Snapshot utilization for trace export."""
+        return ChannelStat(
+            name=name,
+            utilization=self.utilization(),
+            busy_time_s=self.busy_time(),
+            queue_length=self.queue_length,
+        )
+
 
 class Store:
     """Unbounded FIFO queue of items with blocking ``get``."""
+
+    __slots__ = ("env", "_items", "_getters")
 
     def __init__(self, env: Environment):
         self.env = env
@@ -118,6 +152,9 @@ class BandwidthChannel:
     Combines a unit-capacity :class:`Resource` with the serialization-time
     computation, and accumulates transferred bits for traffic accounting.
     """
+
+    __slots__ = ("env", "name", "_bandwidth_bps", "_resource",
+                 "bits_transferred", "transfer_count")
 
     def __init__(self, env: Environment, bandwidth_bps: float,
                  name: str = "channel"):
@@ -176,3 +213,14 @@ class BandwidthChannel:
     def queue_length(self) -> int:
         """Transfers currently waiting for the channel."""
         return self._resource.queue_length
+
+    def stats(self) -> ChannelStat:
+        """Snapshot utilization/traffic counters for trace export."""
+        return ChannelStat(
+            name=self.name,
+            utilization=self.utilization(),
+            busy_time_s=self._resource.busy_time(),
+            bits_transferred=self.bits_transferred,
+            transfer_count=self.transfer_count,
+            queue_length=self.queue_length,
+        )

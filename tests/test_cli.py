@@ -24,6 +24,30 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--platform", "tpu"])
 
+    def test_perf_options_default_off(self):
+        for command in ("fig7", "table3", "calibrate", "dse"):
+            args = build_parser().parse_args([command])
+            assert args.jobs == 1
+            assert args.cache_dir is None
+
+    def test_perf_options_parse(self):
+        args = build_parser().parse_args(
+            ["dse", "--jobs", "8", "--cache-dir", "/tmp/x"]
+        )
+        assert args.jobs == 8
+        assert args.cache_dir == "/tmp/x"
+
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.check is False
+        assert args.baseline == "BENCH_sim.json"
+
+    def test_nonpositive_jobs_and_repeats_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table3", "--jobs", "0"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--repeats", "0"])
+
 
 class TestCommands:
     def test_table1(self, capsys):
@@ -75,6 +99,16 @@ class TestCommands:
             "dse", "--sweep", "quantization", "--model", "LeNet5",
         ]) == 0
         assert "uniform-8b" in capsys.readouterr().out
+
+    def test_dse_with_jobs_and_cache(self, capsys, tmp_path):
+        argv = [
+            "dse", "--sweep", "wavelengths", "--model", "LeNet5",
+            "--jobs", "2", "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(argv) == 0  # warm: served from the cache
+        assert capsys.readouterr().out == cold
 
     def test_dse_controllers(self, capsys):
         assert main([

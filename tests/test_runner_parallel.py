@@ -1,0 +1,199 @@
+"""Parallel fan-out and persistent result cache of the experiment runner.
+
+The determinism contract: ``run_matrix`` must produce bit-identical
+``InferenceResult`` fields no matter whether cells were simulated
+serially, across ``jobs=4`` worker processes, or restored from a cold
+or warm on-disk cache.
+"""
+
+import pytest
+
+from repro.config import DEFAULT_PLATFORM
+from repro.experiments.runner import (
+    PLATFORM_ORDER,
+    ExperimentRunner,
+    ResultCache,
+    build_platform,
+    cell_key,
+    config_digest,
+    simulate_cells,
+)
+
+MODELS = ("LeNet5", "MobileNetV2")
+"""Small-model subset: full platform coverage, tractable runtime."""
+
+COMPARED_FIELDS = (
+    "latency_s",
+    "average_power_w",
+    "energy_per_bit_j",
+    "total_energy_j",
+    "traffic_bits",
+    "reconfigurations",
+    "batch_size",
+)
+
+
+def _fingerprint(results):
+    return {
+        key: tuple(getattr(result, field) for field in COMPARED_FIELDS)
+        for key, result in sorted(results.items())
+    }
+
+
+@pytest.fixture(scope="module")
+def serial_matrix():
+    runner = ExperimentRunner()
+    return _fingerprint(runner.run_matrix(models=MODELS))
+
+
+class TestParallelDeterminism:
+    def test_jobs4_bit_identical_to_serial(self, serial_matrix):
+        runner = ExperimentRunner()
+        parallel = runner.run_matrix(models=MODELS, jobs=4)
+        assert _fingerprint(parallel) == serial_matrix
+        assert runner.simulations_executed == len(PLATFORM_ORDER) * len(
+            MODELS
+        )
+
+    def test_cold_then_warm_cache_bit_identical(self, serial_matrix,
+                                                tmp_path):
+        cache_dir = tmp_path / "cache"
+        cold = ExperimentRunner(cache_dir=cache_dir)
+        cold_results = cold.run_matrix(models=MODELS, jobs=4)
+        assert _fingerprint(cold_results) == serial_matrix
+        assert cold.simulations_executed == len(PLATFORM_ORDER) * len(
+            MODELS
+        )
+
+        warm = ExperimentRunner(cache_dir=cache_dir)
+        warm_results = warm.run_matrix(models=MODELS, jobs=4)
+        assert _fingerprint(warm_results) == serial_matrix
+        assert warm.simulations_executed == 0
+        assert warm.disk_cache_hits == len(PLATFORM_ORDER) * len(MODELS)
+
+    def test_single_cell_run_uses_disk_cache(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        first = ExperimentRunner(cache_dir=cache_dir)
+        a = first.run("CrossLight", "LeNet5")
+        assert first.simulations_executed == 1
+
+        second = ExperimentRunner(cache_dir=cache_dir)
+        b = second.run("CrossLight", "LeNet5")
+        assert second.simulations_executed == 0
+        assert second.disk_cache_hits == 1
+        assert a.latency_s == b.latency_s
+        assert a.channel_stats == b.channel_stats
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentRunner(jobs=0)
+
+    def test_run_matrix_unknown_platform(self):
+        with pytest.raises(KeyError):
+            ExperimentRunner().run_matrix(platforms=("TPUv7",),
+                                          models=("LeNet5",))
+
+
+class TestCacheKeys:
+    def test_key_stable_for_equal_configs(self):
+        a = cell_key("2.5D-CrossLight-SiPh", "LeNet5", "resipi",
+                     DEFAULT_PLATFORM)
+        b = cell_key("2.5D-CrossLight-SiPh", "LeNet5", "resipi",
+                     DEFAULT_PLATFORM.with_wavelengths(64))
+        assert a == b  # 64 wavelengths IS the default: equal content
+
+    def test_key_changes_with_each_component(self):
+        base = cell_key("2.5D-CrossLight-SiPh", "LeNet5", "resipi",
+                        DEFAULT_PLATFORM)
+        assert base != cell_key("CrossLight", "LeNet5", "resipi",
+                                DEFAULT_PLATFORM)
+        assert base != cell_key("2.5D-CrossLight-SiPh", "VGG16", "resipi",
+                                DEFAULT_PLATFORM)
+        assert base != cell_key("2.5D-CrossLight-SiPh", "LeNet5", "static",
+                                DEFAULT_PLATFORM)
+        assert base != cell_key("2.5D-CrossLight-SiPh", "LeNet5", "resipi",
+                                DEFAULT_PLATFORM.with_wavelengths(32))
+        assert base != cell_key("2.5D-CrossLight-SiPh", "LeNet5", "resipi",
+                                DEFAULT_PLATFORM, extra={"x": 1})
+
+    def test_config_digest_tracks_content(self):
+        assert config_digest(DEFAULT_PLATFORM) == config_digest(
+            DEFAULT_PLATFORM.with_wavelengths(64)
+        )
+        assert config_digest(DEFAULT_PLATFORM) != config_digest(
+            DEFAULT_PLATFORM.with_wavelengths(32)
+        )
+
+
+class TestResultCache:
+    def test_miss_on_empty(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        assert cache.get("deadbeef") is None
+        assert len(cache) == 0
+
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        result = build_platform("CrossLight", DEFAULT_PLATFORM).run_model(
+            __import__("repro.dnn.zoo", fromlist=["zoo"]).build("LeNet5")
+        )
+        cache.put("k", result)
+        restored = cache.get("k")
+        assert restored is not None
+        assert restored.latency_s == result.latency_s
+        assert len(cache) == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        (cache.directory / "bad.pkl").write_bytes(b"not a pickle")
+        assert cache.get("bad") is None
+
+
+class TestSimulateCells:
+    def test_results_in_cell_order(self):
+        cells = [
+            ("CrossLight", "LeNet5", "resipi", DEFAULT_PLATFORM),
+            ("2.5D-CrossLight-SiPh", "LeNet5", "resipi", DEFAULT_PLATFORM),
+        ]
+        results = simulate_cells(cells, jobs=2)
+        assert results[0].platform == "CrossLight"
+        assert results[1].platform == "2.5D-CrossLight-SiPh"
+
+    def test_cache_backfill_and_reuse(self, tmp_path):
+        cells = [("CrossLight", "LeNet5", "resipi", DEFAULT_PLATFORM)]
+        cache_dir = tmp_path / "cache"
+        first = simulate_cells(cells, cache_dir=cache_dir)
+        assert len(ResultCache(cache_dir)) == 1
+        second = simulate_cells(cells, cache_dir=cache_dir)
+        assert first[0].latency_s == second[0].latency_s
+
+
+class TestChannelStats:
+    def test_results_carry_channel_stats(self):
+        runner = ExperimentRunner()
+        result = runner.run("2.5D-CrossLight-SiPh", "LeNet5")
+        assert result.channel_stats
+        names = {stat.name for stat in result.channel_stats}
+        assert "hbm" in names
+        assert any(0.0 < stat.utilization <= 1.0
+                   for stat in result.channel_stats)
+
+    def test_busiest_channels_ranked(self):
+        runner = ExperimentRunner()
+        result = runner.run("2.5D-CrossLight-Elec", "LeNet5")
+        top = result.busiest_channels(3)
+        assert len(top) == 3
+        assert top[0].utilization >= top[1].utilization >= top[2].utilization
+
+    def test_export_includes_channel_utilization(self):
+        import json
+
+        from repro.experiments.export import result_to_dict, results_to_json
+
+        runner = ExperimentRunner()
+        result = runner.run("CrossLight", "LeNet5")
+        record = result_to_dict(result)
+        assert {entry["name"] for entry in record["channel_utilization"]} == {
+            "mono-noc", "mono-dram",
+        }
+        parsed = json.loads(results_to_json([result]))
+        assert parsed[0]["channel_utilization"]

@@ -5,7 +5,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import SimulationError
-from repro.sim.core import Environment
+from repro.sim.core import Environment, Event
 from repro.sim.resources import BandwidthChannel, Resource, Store
 from repro.sim.stats import (
     EpochTrafficMonitor,
@@ -166,6 +166,22 @@ class TestEnvironment:
         with pytest.raises(SimulationError):
             env.run_until_event(never, limit=10.0)
 
+    def test_run_until_event_limit_keeps_over_limit_event(self):
+        env = Environment()
+
+        def late():
+            yield env.timeout(20.0)
+            return "late"
+
+        proc = env.process(late())
+        with pytest.raises(SimulationError):
+            env.run_until_event(proc, limit=10.0)
+        # The t=20 event was peeked, not popped: a retry with a larger
+        # limit still completes the process.
+        env.run_until_event(proc, limit=30.0)
+        assert proc.value == "late"
+        assert env.now == 20.0
+
     def test_run_until_event_empty_queue_raises(self):
         env = Environment()
         never = env.event()
@@ -177,6 +193,166 @@ class TestEnvironment:
         assert env.peek() == float("inf")
         env.timeout(2.5)
         assert env.peek() == 2.5
+
+    def test_peek_sees_immediate_events(self):
+        env = Environment()
+        env.timeout(2.5)
+        env.event().succeed()
+        assert env.peek() == 0.0
+
+
+class TestRunClampSemantics:
+    """``run(until=...)`` clamp contract (documented on the method)."""
+
+    def test_idle_advance_on_empty_queue(self):
+        env = Environment()
+        assert env.run(until=3.0) == 3.0
+        assert env.now == 3.0
+
+    def test_idle_advance_past_last_event(self):
+        env = Environment()
+        env.timeout(1.0)
+        assert env.run(until=5.0) == 5.0
+        assert env.now == 5.0
+
+    def test_event_exactly_at_until_fires(self):
+        env = Environment()
+        fired = []
+
+        def proc():
+            yield env.timeout(4.0)
+            fired.append(env.now)
+
+        env.process(proc())
+        assert env.run(until=4.0) == 4.0
+        assert fired == [4.0]
+
+    def test_until_in_past_raises_instead_of_rewinding(self):
+        env = Environment()
+        env.timeout(10.0)
+        env.run(until=5.0)
+        with pytest.raises(SimulationError):
+            env.run(until=2.0)
+        assert env.now == 5.0  # clock untouched by the failed call
+
+    def test_until_equal_to_now_is_a_noop(self):
+        env = Environment()
+        env.timeout(10.0)
+        env.run(until=5.0)
+        assert env.run(until=5.0) == 5.0
+
+    def test_tiled_runs_cover_the_timeline_without_gaps(self):
+        env = Environment()
+        fired = []
+
+        def proc():
+            for _ in range(3):
+                yield env.timeout(2.0)
+                fired.append(env.now)
+
+        env.process(proc())
+        for bound in (1.0, 3.0, 7.0):
+            env.run(until=bound)
+            assert env.now == bound
+        assert fired == [2.0, 4.0, 6.0]
+
+    def test_run_until_event_backwards_time_guard(self):
+        import heapq
+
+        env = Environment()
+        env.timeout(5.0)
+        env.run()  # now == 5.0
+        stale = Event(env)
+        stale._triggered = True
+        heapq.heappush(env._queue, (1.0, 999_999, stale))
+        never = env.event()
+        with pytest.raises(SimulationError):
+            env.run_until_event(never)
+
+    def test_run_backwards_time_guard(self):
+        import heapq
+
+        env = Environment()
+        env.timeout(5.0)
+        env.run()  # now == 5.0
+        stale = Event(env)
+        stale._triggered = True
+        heapq.heappush(env._queue, (1.0, 999_999, stale))
+        with pytest.raises(SimulationError):
+            env.run()
+
+
+class TestSameTimeSequencing:
+    """Zero-delay (immediate) and heap events must interleave in strict
+    insertion order — the determinism contract of the kernel."""
+
+    def test_succeed_and_zero_timeout_fifo(self):
+        env = Environment()
+        order = []
+
+        def waiter(tag, event):
+            yield event
+            order.append(tag)
+
+        first = env.event()
+        env.process(waiter("a", first))
+        # b's zero-timeout fires before b's bootstrap runs, so b resumes
+        # via a same-time reschedule that lands *after* the two succeed
+        # events already in the queue — for both the seed kernel and the
+        # fast path.
+        env.process(waiter("b", env.timeout(0.0)))
+        second = env.event()
+        env.process(waiter("c", second))
+        first.succeed()
+        second.succeed()
+        env.run()
+        assert order == ["a", "c", "b"]
+
+    def test_already_processed_yield_resumes_in_insertion_order(self):
+        env = Environment()
+        order = []
+
+        def early():
+            t = env.timeout(1.0, "x")
+            yield env.timeout(2.0)
+            # t fired long ago: the resume is scheduled at `now`, after
+            # anything already queued for time 2.0.
+            yield t
+            order.append("resumed")
+
+        def peer():
+            yield env.timeout(2.0)
+            order.append("peer")
+
+        env.process(early())
+        env.process(peer())
+        env.run()
+        assert order == ["peer", "resumed"]
+
+    def test_heap_event_before_later_immediate_at_same_time(self):
+        env = Environment()
+        order = []
+
+        def driver():
+            yield env.timeout(1.0)
+            order.append("heap-1")
+            # Scheduled *after* the 1.0 heap entries below were pushed,
+            # so it must fire after them despite being immediate.
+            env.process(immediate())
+
+        def immediate():
+            order.append("immediate")
+            return
+            yield  # pragma: no cover
+
+        def peer():
+            yield env.timeout(1.0)
+            order.append("heap-2")
+
+        env.process(driver())
+        env.process(peer())
+        env.run()
+        assert order == ["heap-1", "heap-2", "immediate"]
 
 
 class TestResource:
