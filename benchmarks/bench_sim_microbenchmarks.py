@@ -12,6 +12,7 @@ from repro.bench import (
     make_functional_mac_matvec,
     make_kernel_event_throughput,
     make_photonic_fabric_reads,
+    make_serving_request_throughput,
 )
 
 
@@ -37,3 +38,9 @@ def test_bench_functional_mac_matvec(benchmark):
     """Analog matvec through the device transfer functions."""
     result = benchmark(make_functional_mac_matvec())
     assert result.shape == (8,)
+
+
+def test_bench_serving_request_throughput(benchmark):
+    """~100 Poisson requests batched through the serving scheduler."""
+    completed = benchmark(make_serving_request_throughput())
+    assert completed > 0

@@ -112,11 +112,48 @@ def make_functional_mac_matvec() -> Callable[[], object]:
     return run
 
 
+def make_serving_request_throughput() -> Callable[[], int]:
+    """Steady-state request stream through the serving scheduler.
+
+    A 1 ms Poisson window at 100k requests/s of LeNet5 on the
+    monolithic platform — ~100 requests batched through the max-batch
+    dispatcher over one shared fabric.  Tracks the serving layer's
+    requests/sec of wall time.
+    """
+    from .core.accelerator import MonolithicCrossLight
+    from .core.engine import ExecutionTrace
+    from .dnn import zoo
+    from .dnn.workload import extract_workload
+    from .mapping.residency import WeightResidency
+    from .serving.scheduler import BatchPolicy, RequestScheduler
+    from .sim.core import Environment
+    from .sim.traffic import PoissonArrivals
+
+    platform = MonolithicCrossLight()
+    workload = extract_workload(zoo.build("LeNet5"))
+    policy = BatchPolicy.max_batch_with_timeout(
+        max_batch=8, batch_timeout_s=20e-6
+    )
+
+    def run() -> int:
+        env = Environment()
+        sim = platform.build_simulation(env)
+        scheduler = RequestScheduler(
+            sim, sim.map_workload(workload), "LeNet5", policy=policy,
+            residency=WeightResidency(env), trace=ExecutionTrace(),
+        )
+        scheduler.serve(PoissonArrivals(rate_rps=100e3, seed=7), 1e-3)
+        return scheduler.requests_completed
+
+    return run
+
+
 MICROBENCHMARKS: dict[str, Callable[[], Callable[[], object]]] = {
     KERNEL_BENCHMARK: make_kernel_event_throughput,
     "test_bench_channel_contention": make_channel_contention,
     "test_bench_photonic_fabric_reads": make_photonic_fabric_reads,
     "test_bench_functional_mac_matvec": make_functional_mac_matvec,
+    "test_bench_serving_request_throughput": make_serving_request_throughput,
 }
 """Benchmark name (matching the pytest test name) -> body factory."""
 

@@ -9,6 +9,7 @@ Exposes the experiment drivers without writing Python::
     python -m repro calibrate              # full paper-vs-measured report
     python -m repro run --model ResNet50 --platform siph --batch 4
     python -m repro dse --sweep wavelengths --jobs 4 --cache-dir .repro-cache
+    python -m repro serve-study --model LeNet5 --rates 20e3,50e3,100e3
     python -m repro bench --check        # perf-regression smoke check
 
 Experiment commands accept ``--jobs N`` (process fan-out over the
@@ -155,6 +156,79 @@ def _cmd_dse(args: argparse.Namespace) -> int:
     return 0
 
 
+SERVE_PLATFORM_NAMES = {
+    "mono": "CrossLight",
+    "elec": "2.5D-CrossLight-Elec",
+    "siph": "2.5D-CrossLight-SiPh",
+}
+"""Serving-study platform aliases -> Table 3 platform names."""
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
+
+
+def _non_negative_float(text: str) -> float:
+    value = float(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _parse_rates(text: str) -> tuple[float, ...]:
+    try:
+        rates = tuple(float(token) for token in text.split(",") if token)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"rates must be comma-separated numbers, got {text!r}"
+        )
+    if not rates or any(rate <= 0 for rate in rates):
+        raise argparse.ArgumentTypeError(
+            f"rates must be positive, got {text!r}"
+        )
+    return rates
+
+
+def _cmd_serve_study(args: argparse.Namespace) -> int:
+    from .experiments.export import serving_results_to_json, write_text
+    from .experiments.serving_study import (
+        render_serving_study,
+        serving_study,
+    )
+    from .serving.scheduler import BatchPolicy
+
+    if args.policy == "fifo":
+        policy = BatchPolicy.fifo(max_inflight=args.max_inflight)
+    else:
+        policy = BatchPolicy.max_batch_with_timeout(
+            max_batch=args.max_batch,
+            batch_timeout_s=args.batch_timeout_us * 1e-6,
+            max_inflight=args.max_inflight,
+        )
+    results = serving_study(
+        model_name=args.model,
+        platforms=tuple(
+            SERVE_PLATFORM_NAMES[alias] for alias in args.platforms
+        ),
+        controllers=tuple(args.controllers),
+        policies=(policy,),
+        rates_rps=args.rates,
+        arrival_kind=args.arrival,
+        duration_s=args.duration_us * 1e-6,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+    )
+    print(render_serving_study(results))
+    if args.json:
+        write_text(args.json, serving_results_to_json(results))
+        print(f"\nwrote {args.json}")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from . import bench
 
@@ -253,6 +327,42 @@ def build_parser() -> argparse.ArgumentParser:
     dse.add_argument("--model", choices=tuple(zoo.MODEL_BUILDERS),
                      default="ResNet50")
     dse.set_defaults(func=_cmd_dse)
+
+    serve = sub.add_parser(
+        "serve-study", parents=[perf],
+        help="latency-under-load curves: rate x policy x platform",
+    )
+    serve.add_argument("--model", choices=tuple(zoo.MODEL_BUILDERS),
+                       default="LeNet5")
+    serve.add_argument("--platforms", nargs="+",
+                       choices=tuple(SERVE_PLATFORM_NAMES),
+                       default=["siph"],
+                       help="platforms to sweep (default: siph)")
+    serve.add_argument("--controllers", nargs="+",
+                       choices=("resipi", "prowaves", "static"),
+                       default=["resipi"],
+                       help="interposer policies (siph platform only)")
+    serve.add_argument("--policy", choices=("fifo", "max-batch"),
+                       default="fifo", help="dispatch/batching policy")
+    serve.add_argument("--max-batch", type=_positive_int, default=8,
+                       help="batch size cap for --policy max-batch")
+    serve.add_argument("--batch-timeout-us", type=_non_negative_float,
+                       default=20.0, help="batch-gathering timeout (us)")
+    serve.add_argument("--max-inflight", type=_positive_int, default=4,
+                       help="admission cap on concurrent executions")
+    serve.add_argument("--arrival", choices=("poisson", "mmpp", "closed"),
+                       default="poisson", help="arrival process")
+    serve.add_argument("--rates", type=_parse_rates,
+                       default=(20e3, 50e3, 100e3, 200e3),
+                       help="comma-separated arrival rates (requests/s)")
+    serve.add_argument("--duration-us", type=_positive_float,
+                       default=2000.0,
+                       help="injection window per point (us)")
+    serve.add_argument("--seed", type=int, default=7,
+                       help="arrival-process RNG seed")
+    serve.add_argument("--json", default=None, metavar="PATH",
+                       help="also export the sweep as JSON")
+    serve.set_defaults(func=_cmd_serve_study)
 
     bench = sub.add_parser(
         "bench", help="time the simulator microbenchmarks"

@@ -6,20 +6,26 @@
   interposer,
 * :class:`MonolithicCrossLight` — the original single-chip CrossLight.
 
-Each platform builds a fresh simulation per inference, runs the DES
-engine, and assembles the energy ledger from the network report, the
-compute fabric model and the execution trace.
+Each platform can stand up a **live simulation context**
+(:meth:`build_simulation`): a fabric plus its reconfiguration
+controller inside a caller-owned :class:`Environment`.  The one-shot
+:meth:`run_workload` path builds a fresh context, drives a single
+:class:`InferenceEngine` through it and assembles the energy ledger;
+the serving layer (:mod:`repro.serving`) builds the same context once
+and streams many concurrent requests through it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from ..config import DEFAULT_PLATFORM, PlatformConfig
 from ..dnn.model import Model
 from ..dnn.quantization import QuantizationConfig
 from ..dnn.workload import InferenceWorkload, extract_workload
 from ..errors import ConfigurationError
+from ..interposer.base import InterposerFabric
 from ..interposer.electrical.mesh import ElectricalMeshFabric
 from ..interposer.photonic.controllers import CONTROLLER_FACTORIES
 from ..interposer.photonic.fabric import PhotonicInterposerFabric
@@ -31,7 +37,7 @@ from ..power import params as ep
 from ..power.compute_power import mac_fabric_power
 from ..sim.core import Environment
 from .crosslight import MonolithicFabric, monolithic_mapping
-from .engine import InferenceEngine
+from .engine import ExecutionTrace, InferenceEngine
 from .mac_unit import MacUnitSpec, PhotonicMacUnit
 from .metrics import EnergyBreakdown, InferenceResult
 
@@ -46,6 +52,30 @@ class _ComputeEnergy:
     dynamic_j: float
 
 
+@dataclass
+class PlatformSimulation:
+    """A live simulation context a platform stood up in a caller's env.
+
+    Holds everything an execution needs to run requests against the
+    platform: the shared fabric, the (optional) reconfiguration
+    controller keeping it alive, the MAC rate, the mapping function and
+    the simulated-time hang guard the platform wants.
+    """
+
+    platform: "_PlatformBase"
+    env: Environment
+    fabric: InterposerFabric
+    controller: object | None
+    mac_rate_hz: float
+    map_workload: Callable[[InferenceWorkload], ModelMapping]
+    time_limit_s: float = 100.0
+
+    @property
+    def reconfigurations(self) -> int:
+        """Fabric reconfiguration count so far (0 for passive fabrics)."""
+        return getattr(self.fabric, "reconfiguration_count", 0)
+
+
 class _PlatformBase:
     """Shared run/report plumbing for all three platforms."""
 
@@ -56,6 +86,10 @@ class _PlatformBase:
 
     # -- entry points ---------------------------------------------------------
 
+    def build_simulation(self, env: Environment) -> PlatformSimulation:
+        """Stand up the platform's fabric (+ controller) in ``env``."""
+        raise NotImplementedError
+
     def run_model(self, model: Model,
                   quantization: QuantizationConfig | None = None,
                   batch_size: int = 1) -> InferenceResult:
@@ -65,9 +99,47 @@ class _PlatformBase:
 
     def run_workload(self, workload: InferenceWorkload,
                      batch_size: int = 1) -> InferenceResult:
-        raise NotImplementedError
+        """One isolated inference on a cold fabric: the one-request case."""
+        env = Environment()
+        sim = self.build_simulation(env)
+        engine = InferenceEngine(
+            env, self.config, sim.fabric,
+            mac_rate_hz=sim.mac_rate_hz, batch_size=batch_size,
+        )
+        mapping = sim.map_workload(workload)
+        latency = engine.run(mapping, time_limit_s=sim.time_limit_s)
+        compute = self._compute_energy(engine.trace, latency)
+        return self._assemble_result(
+            workload, engine.trace, sim.fabric, latency, compute,
+            self._logic_static_w,
+            reconfigurations=sim.reconfigurations,
+            batch_size=batch_size,
+        )
 
     # -- energy assembly --------------------------------------------------------
+
+    def _compute_energy(self, trace: ExecutionTrace,
+                        elapsed_s: float) -> _ComputeEnergy:
+        raise NotImplementedError
+
+    @property
+    def _logic_static_w(self) -> float:
+        raise NotImplementedError
+
+    def trace_compute_energy_j(self, trace: ExecutionTrace,
+                               elapsed_s: float) -> float:
+        """Total compute-side energy of a trace over ``elapsed_s``.
+
+        Static fabric + chiplet-logic power integrated over the elapsed
+        window plus the dynamic energy of every recorded vector op —
+        the serving layer's compute ledger for multi-request runs.
+        """
+        compute = self._compute_energy(trace, elapsed_s)
+        return (
+            compute.static_w * elapsed_s
+            + compute.dynamic_j
+            + self._logic_static_w * elapsed_s
+        )
 
     def _vector_op_energy_j(self, vector_length: int) -> float:
         spec = MacUnitSpec(vector_length=vector_length)
@@ -77,12 +149,13 @@ class _PlatformBase:
             + vector_length * TUNING_HOLD_ENERGY_J_PER_LANE_OP
         )
 
-    def _assemble_result(self, workload, engine, fabric, latency,
-                         compute: _ComputeEnergy, logic_static_w: float,
+    def _assemble_result(self, workload, trace: ExecutionTrace, fabric,
+                         latency, compute: _ComputeEnergy,
+                         logic_static_w: float,
                          reconfigurations: int = 0,
                          batch_size: int = 1) -> InferenceResult:
         network = fabric.energy_report()
-        engine.trace.record_channel_stats(fabric)
+        trace.record_channel_stats(fabric)
         energy = EnergyBreakdown(
             network_static_j=network.static_energy_j,
             network_dynamic_j=network.dynamic_energy_j,
@@ -97,10 +170,10 @@ class _PlatformBase:
             latency_s=latency,
             energy=energy,
             traffic_bits=workload.total_traffic_bits * batch_size,
-            layer_timeline=tuple(engine.trace.layer_timings),
+            layer_timeline=tuple(trace.layer_timings),
             reconfigurations=reconfigurations,
             batch_size=batch_size,
-            channel_stats=engine.trace.channel_stats,
+            channel_stats=trace.channel_stats,
         )
 
 
@@ -117,7 +190,8 @@ class _CrossLight25DBase(_PlatformBase):
         """Expose the mapping for inspection and tests."""
         return self.mapper.map_workload(workload)
 
-    def _compute_energy(self, engine, latency: float) -> _ComputeEnergy:
+    def _compute_energy(self, trace: ExecutionTrace,
+                        elapsed_s: float) -> _ComputeEnergy:
         static_w = 0.0
         for group in self.config.mac_groups:
             breakdown = mac_fabric_power(
@@ -130,7 +204,7 @@ class _CrossLight25DBase(_PlatformBase):
             )
             static_w += breakdown.total_w
         dynamic_j = 0.0
-        for kind, vector_ops in engine.trace.vector_ops_by_kind.items():
+        for kind, vector_ops in trace.vector_ops_by_kind.items():
             group = self.config.group_by_kind(kind)
             dynamic_j += vector_ops * self._vector_op_energy_j(
                 group.vector_length
@@ -161,26 +235,15 @@ class CrossLight25DSiPh(_CrossLight25DBase):
         if controller != "resipi":
             self.name += f"[{controller}]"
 
-    def run_workload(self, workload: InferenceWorkload,
-                     batch_size: int = 1) -> InferenceResult:
-        env = Environment()
+    def build_simulation(self, env: Environment) -> PlatformSimulation:
         fabric = PhotonicInterposerFabric(env, self.config, self.floorplan)
         controller = CONTROLLER_FACTORIES[self.controller_name](
             env, fabric, self.config
         )
-        engine = InferenceEngine(env, self.config, fabric,
-                                 batch_size=batch_size)
-        mapping = self.map(workload)
-        latency = engine.run(mapping)
-        compute = self._compute_energy(engine, latency)
-        result = self._assemble_result(
-            workload, engine, fabric, latency, compute,
-            self._logic_static_w,
-            reconfigurations=fabric.reconfiguration_count,
-            batch_size=batch_size,
+        return PlatformSimulation(
+            platform=self, env=env, fabric=fabric, controller=controller,
+            mac_rate_hz=self.config.mac_rate_hz, map_workload=self.map,
         )
-        del controller
-        return result
 
 
 class CrossLight25DElec(_CrossLight25DBase):
@@ -191,18 +254,12 @@ class CrossLight25DElec(_CrossLight25DBase):
         super().__init__(config, mapper)
         self.name = "2.5D-CrossLight-Elec"
 
-    def run_workload(self, workload: InferenceWorkload,
-                     batch_size: int = 1) -> InferenceResult:
-        env = Environment()
+    def build_simulation(self, env: Environment) -> PlatformSimulation:
         fabric = ElectricalMeshFabric(env, self.config, self.floorplan)
-        engine = InferenceEngine(env, self.config, fabric,
-                                 batch_size=batch_size)
-        mapping = self.map(workload)
-        latency = engine.run(mapping, time_limit_s=1000.0)
-        compute = self._compute_energy(engine, latency)
-        return self._assemble_result(
-            workload, engine, fabric, latency, compute,
-            self._logic_static_w, batch_size=batch_size,
+        return PlatformSimulation(
+            platform=self, env=env, fabric=fabric, controller=None,
+            mac_rate_hz=self.config.mac_rate_hz, map_workload=self.map,
+            time_limit_s=1000.0,
         )
 
 
@@ -219,20 +276,13 @@ class CrossLight25DAWGR(_CrossLight25DBase):
         super().__init__(config, mapper)
         self.name = "2.5D-CrossLight-AWGR"
 
-    def run_workload(self, workload: InferenceWorkload,
-                     batch_size: int = 1) -> InferenceResult:
+    def build_simulation(self, env: Environment) -> PlatformSimulation:
         from ..interposer.photonic.awgr import AWGRInterposerFabric
 
-        env = Environment()
         fabric = AWGRInterposerFabric(env, self.config, self.floorplan)
-        engine = InferenceEngine(env, self.config, fabric,
-                                 batch_size=batch_size)
-        mapping = self.map(workload)
-        latency = engine.run(mapping)
-        compute = self._compute_energy(engine, latency)
-        return self._assemble_result(
-            workload, engine, fabric, latency, compute,
-            self._logic_static_w, batch_size=batch_size,
+        return PlatformSimulation(
+            platform=self, env=env, fabric=fabric, controller=None,
+            mac_rate_hz=self.config.mac_rate_hz, map_workload=self.map,
         )
 
 
@@ -243,18 +293,20 @@ class MonolithicCrossLight(_PlatformBase):
         super().__init__(config)
         self.name = "CrossLight"
 
-    def run_workload(self, workload: InferenceWorkload,
-                     batch_size: int = 1) -> InferenceResult:
-        env = Environment()
+    def build_simulation(self, env: Environment) -> PlatformSimulation:
         fabric = MonolithicFabric(env, self.config)
-        engine = InferenceEngine(
-            env, self.config, fabric,
-            mac_rate_hz=self.config.mono_mac_rate_hz,
-            batch_size=batch_size,
-        )
-        mapping = monolithic_mapping(workload, self.config)
-        latency = engine.run(mapping)
 
+        def map_workload(workload: InferenceWorkload) -> ModelMapping:
+            return monolithic_mapping(workload, self.config)
+
+        return PlatformSimulation(
+            platform=self, env=env, fabric=fabric, controller=None,
+            mac_rate_hz=self.config.mono_mac_rate_hz,
+            map_workload=map_workload,
+        )
+
+    def _compute_energy(self, trace: ExecutionTrace,
+                        elapsed_s: float) -> _ComputeEnergy:
         breakdown = mac_fabric_power(
             n_units=self.config.mono_n_vdp_units,
             vector_length=self.config.mono_vector_length,
@@ -263,16 +315,16 @@ class MonolithicCrossLight(_PlatformBase):
             waveguide_length_m=self.config.mono_die_edge_mm * 1e-3,
             trimming=TuningMechanism.THERMO_OPTIC,
         )
-        dynamic_j = engine.trace.total_vector_ops * self._vector_op_energy_j(
+        dynamic_j = trace.total_vector_ops * self._vector_op_energy_j(
             self.config.mono_vector_length
         )
-        compute = _ComputeEnergy(
+        return _ComputeEnergy(
             static_w=breakdown.total_w, dynamic_j=dynamic_j
         )
-        return self._assemble_result(
-            workload, engine, fabric, latency, compute,
-            ep.MONO_LOGIC_STATIC_POWER_W, batch_size=batch_size,
-        )
+
+    @property
+    def _logic_static_w(self) -> float:
+        return ep.MONO_LOGIC_STATIC_POWER_W
 
 
 ALL_PLATFORMS = {

@@ -1,7 +1,7 @@
 """Discrete-event inference engine.
 
-Executes a mapped DNN workload over an interposer fabric, layer by layer,
-with the dataflow of Section V:
+Executes mapped DNN workloads over an interposer fabric, layer by
+layer, with the dataflow of Section V:
 
 1. weights for the next layer prefetch while the current layer runs,
 2. input activations are read from the memory chiplet (multicast to
@@ -11,25 +11,44 @@ with the dataflow of Section V:
 4. outputs are written back to memory; the next layer starts when all
    writes land and its weights are present.
 
-The engine records per-layer timings and the lane-operation counts the
-energy model needs.
+Execution is **request-scoped**: a :class:`RequestExecution` drives one
+(batched) inference as an ordinary simulation process, so any number of
+requests can be in flight concurrently over one shared fabric — that is
+what the serving layer (:mod:`repro.serving`) does.  The classic
+single-inference :class:`InferenceEngine` is the trivial one-request
+case and produces bit-identical results to the pre-serving engine.
+
+Each execution records per-layer timings and the lane-operation counts
+the energy model needs into an :class:`ExecutionTrace`; concurrent
+requests may share one trace (operation counters simply accumulate).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
 
 from ..config import PlatformConfig
 from ..interposer.base import InterposerFabric
 from ..mapping.mapper import LayerMapping, ModelMapping
-from ..sim.core import Environment, Event
-from ..sim.resources import ChannelStat
+from ..sim.core import Environment, Event, Process
+from ..sim.resources import ChannelStat, Resource
 from .metrics import LayerTiming
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..mapping.residency import WeightResidency
 
 
 @dataclass
 class ExecutionTrace:
-    """Mutable accounting collected during a run."""
+    """Mutable accounting collected during a run.
+
+    One trace may be shared by many concurrent request executions: the
+    operation counters accumulate across requests (that is what the
+    compute-energy model integrates), ``layer_timings`` interleaves in
+    completion order, and ``request_records`` collects the per-request
+    latency records the serving layer aggregates.
+    """
 
     layer_timings: list[LayerTiming] = field(default_factory=list)
     lane_ops_by_kind: dict[str, int] = field(default_factory=dict)
@@ -37,6 +56,10 @@ class ExecutionTrace:
     channel_stats: tuple[ChannelStat, ...] = ()
     """End-of-run utilization snapshot of every fabric channel (filled
     by the platform once the simulation completes)."""
+    request_records: list[Any] = field(default_factory=list)
+    """Per-request completion records (see
+    :class:`repro.serving.metrics.RequestRecord`); empty for classic
+    single-inference runs."""
 
     @property
     def total_lane_ops(self) -> int:
@@ -51,42 +74,104 @@ class ExecutionTrace:
         self.channel_stats = fabric.channel_stats()
 
 
-class InferenceEngine:
-    """Drives one inference through the fabric and compute model."""
+class ComputeOccupancy:
+    """Per-chiplet MAC-array occupancy shared by concurrent requests.
+
+    A single inference owns every chiplet it maps to, so the one-shot
+    path needs no compute arbitration — but overlapping requests must
+    serialize on each chiplet's MAC array.  One unit-capacity
+    :class:`Resource` per chiplet (created lazily) models that: a
+    chiplet works on one request's layer share at a time, and compute
+    queueing emerges alongside the fabric's bandwidth contention.
+    """
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._resources: dict[str, Resource] = {}
+
+    def resource(self, chiplet_id: str) -> Resource:
+        """The chiplet's occupancy semaphore (lazily created)."""
+        resource = self._resources.get(chiplet_id)
+        if resource is None:
+            resource = Resource(self.env, capacity=1)
+            self._resources[chiplet_id] = resource
+        return resource
+
+    def utilization(self, chiplet_id: str) -> float:
+        """Busy fraction of one chiplet (0.0 if it never computed)."""
+        resource = self._resources.get(chiplet_id)
+        return resource.utilization() if resource is not None else 0.0
+
+    def mean_utilization(self) -> float:
+        """Average busy fraction across chiplets that ever computed."""
+        if not self._resources:
+            return 0.0
+        return sum(
+            resource.utilization() for resource in self._resources.values()
+        ) / len(self._resources)
+
+
+class RequestExecution:
+    """One in-flight (batched) inference request over a shared fabric.
+
+    Re-entrant by construction: every piece of per-inference state lives
+    on the instance, so any number of executions can run concurrently in
+    a single :class:`Environment` over one :class:`InterposerFabric` —
+    contention between them emerges from the fabric's shared channels.
+
+    ``residency`` (optional) makes weights **model-resident**: the first
+    request for a model fetches each layer's weights once and every
+    overlapping or later request waits on (or skips past) that same
+    fetch instead of re-streaming them.  Without a residency store the
+    execution fetches weights itself — the classic cold-fabric
+    single-inference behaviour.
+    """
 
     def __init__(
         self,
         env: Environment,
         config: PlatformConfig,
         fabric: InterposerFabric,
+        mapping: ModelMapping,
+        trace: ExecutionTrace,
         mac_rate_hz: float | None = None,
         batch_size: int = 1,
+        residency: "WeightResidency | None" = None,
+        compute: ComputeOccupancy | None = None,
+        model_name: str = "",
+        record_timings: bool = True,
     ):
         if batch_size < 1:
             raise ValueError(f"batch size must be >= 1, got {batch_size}")
         self.env = env
         self.config = config
         self.fabric = fabric
+        self.mapping = mapping
+        self.trace = trace
         self.mac_rate_hz = mac_rate_hz or config.mac_rate_hz
         self.batch_size = batch_size
-        self.trace = ExecutionTrace()
+        self.residency = residency
+        self.compute = compute
+        self.model_name = model_name
+        self.record_timings = record_timings
 
-    # -- public API --------------------------------------------------------------
-
-    def run(self, mapping: ModelMapping, time_limit_s: float = 100.0) -> float:
-        """Execute the mapped workload; returns the completion time (s).
-
-        ``time_limit_s`` is a simulated-time hang guard (perpetual
-        controller processes keep the event queue alive forever).
-        """
-        done = self.env.process(self._run_proc(mapping))
-        self.env.run_until_event(done, limit=time_limit_s)
-        return self.env.now
+    def start(self) -> Process:
+        """Launch the execution; the returned process fires on completion."""
+        return self.env.process(self._run_proc())
 
     # -- internals ------------------------------------------------------------------
 
     def _fetch_weights(self, layer_mapping: LayerMapping) -> Event:
-        """Unicast weight transfers for every allocation of a layer."""
+        """Weight-transfer barrier for one layer.
+
+        Resident mode delegates to the residency store (fetch once per
+        model, share the barrier); otherwise unicast transfers for every
+        allocation are issued directly.
+        """
+        if self.residency is not None:
+            return self.residency.acquire(
+                self.model_name, layer_mapping, self.fabric
+            )
         transfers = [
             self.fabric.read_weights(alloc.chiplet_id, alloc.weight_bits)
             for alloc in layer_mapping.allocations
@@ -94,8 +179,8 @@ class InferenceEngine:
         ]
         return self.env.all_of(transfers)
 
-    def _run_proc(self, mapping: ModelMapping):
-        layers = list(mapping)
+    def _run_proc(self):
+        layers = list(self.mapping)
         if not layers:
             return
         weights_ready: list[Event | None] = [None] * len(layers)
@@ -132,17 +217,18 @@ class InferenceEngine:
             ]
             yield self.env.all_of(chiplet_events)
 
-            self.trace.layer_timings.append(
-                LayerTiming(
-                    name=layer_mapping.layer.name,
-                    start_s=start,
-                    input_ready_s=input_ready_holder[0],
-                    compute_done_s=compute_done_holder[0],
-                    end_s=self.env.now,
-                    chiplets=layer_mapping.chiplet_ids,
-                    vector_ops=layer_mapping.total_vector_ops,
+            if self.record_timings:
+                self.trace.layer_timings.append(
+                    LayerTiming(
+                        name=layer_mapping.layer.name,
+                        start_s=start,
+                        input_ready_s=input_ready_holder[0],
+                        compute_done_s=compute_done_holder[0],
+                        end_s=self.env.now,
+                        chiplets=layer_mapping.chiplet_ids,
+                        vector_ops=layer_mapping.total_vector_ops,
+                    )
                 )
-            )
 
     def _chiplet_proc(self, alloc, input_done: Event, input_ready_holder,
                       compute_done_holder):
@@ -151,9 +237,24 @@ class InferenceEngine:
             alloc.vector_ops * self.batch_size
             / (alloc.n_macs * self.mac_rate_hz)
         )
-        # Streaming: compute completes when both its own duration has
-        # elapsed and the input stream has fully arrived.
-        yield self.env.all_of([input_done, self.env.timeout(compute_s)])
+        if self.compute is not None:
+            # Concurrent-request mode: the chiplet's MAC array works on
+            # one request's layer share at a time.  The occupancy spans
+            # the streaming window (max of input arrival and compute),
+            # the same interval the one-request timeline attributes to
+            # the chiplet.
+            occupancy = self.compute.resource(alloc.chiplet_id)
+            yield occupancy.request()
+            yield self.env.all_of(
+                [input_done, self.env.timeout(compute_s)]
+            )
+            occupancy.release()
+        else:
+            # Streaming: compute completes when both its own duration
+            # has elapsed and the input stream has fully arrived.
+            yield self.env.all_of(
+                [input_done, self.env.timeout(compute_s)]
+            )
         input_ready_holder[0] = max(input_ready_holder[0], self.env.now)
         compute_done_holder[0] = max(compute_done_holder[0], self.env.now)
         kind = alloc.kind
@@ -169,3 +270,45 @@ class InferenceEngine:
             yield self.fabric.write(
                 alloc.chiplet_id, alloc.output_bits * self.batch_size
             )
+
+
+class InferenceEngine:
+    """Drives one inference through the fabric: the one-request case.
+
+    Thin wrapper over :class:`RequestExecution` kept for the classic
+    single-inference experiments; results are bit-identical to running
+    the execution directly (it is the same process body).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        config: PlatformConfig,
+        fabric: InterposerFabric,
+        mac_rate_hz: float | None = None,
+        batch_size: int = 1,
+    ):
+        if batch_size < 1:
+            raise ValueError(f"batch size must be >= 1, got {batch_size}")
+        self.env = env
+        self.config = config
+        self.fabric = fabric
+        self.mac_rate_hz = mac_rate_hz or config.mac_rate_hz
+        self.batch_size = batch_size
+        self.trace = ExecutionTrace()
+
+    # -- public API --------------------------------------------------------------
+
+    def run(self, mapping: ModelMapping, time_limit_s: float = 100.0) -> float:
+        """Execute the mapped workload; returns the completion time (s).
+
+        ``time_limit_s`` is a simulated-time hang guard (perpetual
+        controller processes keep the event queue alive forever).
+        """
+        execution = RequestExecution(
+            self.env, self.config, self.fabric, mapping, self.trace,
+            mac_rate_hz=self.mac_rate_hz, batch_size=self.batch_size,
+        )
+        done = execution.start()
+        self.env.run_until_event(done, limit=time_limit_s)
+        return self.env.now

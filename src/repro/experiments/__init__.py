@@ -13,6 +13,9 @@ from .export import (
     result_to_dict,
     results_to_csv,
     results_to_json,
+    serving_result_to_dict,
+    serving_results_to_csv,
+    serving_results_to_json,
     table3_to_csv,
 )
 from .network_characterization import (
@@ -48,6 +51,14 @@ from .sensitivity import (
     render_sensitivity,
     sensitivity_study,
 )
+from .serving_study import (
+    ServingCell,
+    latency_throughput_curve,
+    render_serving_study,
+    serving_study,
+    simulate_serving_cell,
+    simulate_serving_cells,
+)
 from .table3 import PAPER_TABLE3, Table3, build_table3, render_table3
 from .tables import render_table1, render_table2
 
@@ -78,6 +89,15 @@ __all__ = [
     "SensitivityPoint",
     "render_sensitivity",
     "sensitivity_study",
+    "ServingCell",
+    "latency_throughput_curve",
+    "render_serving_study",
+    "serving_study",
+    "simulate_serving_cell",
+    "simulate_serving_cells",
+    "serving_result_to_dict",
+    "serving_results_to_csv",
+    "serving_results_to_json",
     "QuantizationPoint",
     "quantization_study",
     "render_quantization_study",

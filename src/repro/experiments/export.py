@@ -12,6 +12,7 @@ import json
 from typing import Iterable
 
 from ..core.metrics import InferenceResult
+from ..serving.metrics import ServingResult
 from .table3 import Table3
 
 RESULT_FIELDS = (
@@ -74,6 +75,77 @@ def results_to_csv(results: Iterable[InferenceResult]) -> str:
     writer.writerow(RESULT_FIELDS)
     for result in results:
         writer.writerow([getattr(result, field) for field in RESULT_FIELDS])
+    return buffer.getvalue()
+
+
+SERVING_FIELDS = (
+    "platform",
+    "model",
+    "controller",
+    "policy",
+    "arrival_kind",
+    "offered_rps",
+    "goodput_rps",
+    "requests_injected",
+    "requests_completed",
+    "mean_batch_size",
+    "mean_inflight",
+    "mean_compute_utilization",
+    "reconfigurations",
+    "energy_per_request_j",
+    "peak_channel_utilization",
+    "saturated",
+)
+"""Scalar columns exported for every serving result."""
+
+
+def serving_result_to_dict(result: ServingResult) -> dict:
+    """Flatten one serving result to a JSON-safe dictionary."""
+    record = {field: getattr(result, field) for field in SERVING_FIELDS}
+    record["latency_s"] = {
+        "mean": result.latency.mean_s,
+        "p50": result.latency.p50_s,
+        "p95": result.latency.p95_s,
+        "p99": result.latency.p99_s,
+        "max": result.latency.max_s,
+    }
+    record["queue_delay_s"] = {
+        "mean": result.queue_delay.mean_s,
+        "p50": result.queue_delay.p50_s,
+        "p95": result.queue_delay.p95_s,
+        "p99": result.queue_delay.p99_s,
+        "max": result.queue_delay.max_s,
+    }
+    record["channel_utilization"] = [
+        {
+            "name": stat.name,
+            "utilization": stat.utilization,
+            "bits_transferred": stat.bits_transferred,
+        }
+        for stat in result.channel_stats
+    ]
+    return record
+
+
+def serving_results_to_json(results: Iterable[ServingResult],
+                            indent: int = 2) -> str:
+    """Serialise a latency–throughput sweep to a JSON array."""
+    return json.dumps(
+        [serving_result_to_dict(r) for r in results], indent=indent
+    )
+
+
+def serving_results_to_csv(results: Iterable[ServingResult]) -> str:
+    """Serialise the scalar serving columns plus tail latencies to CSV."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(SERVING_FIELDS + ("p50_s", "p95_s", "p99_s"))
+    for result in results:
+        writer.writerow(
+            [getattr(result, field) for field in SERVING_FIELDS]
+            + [result.latency.p50_s, result.latency.p95_s,
+               result.latency.p99_s]
+        )
     return buffer.getvalue()
 
 

@@ -90,11 +90,13 @@ def cell_key(platform_name: str, model_name: str, controller: str,
 
 
 class ResultCache:
-    """Persistent on-disk store of pickled :class:`InferenceResult`.
+    """Persistent on-disk store of pickled results.
 
     One file per content-hash key; writes are atomic (temp file +
     ``os.replace``) so concurrent worker processes can share a cache
-    directory safely.
+    directory safely.  Values are any picklable result record —
+    :class:`InferenceResult` for the evaluation matrix,
+    :class:`~repro.serving.metrics.ServingResult` for serving studies.
     """
 
     def __init__(self, directory: str | Path):
@@ -108,15 +110,30 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.pkl"
 
-    def get(self, key: str) -> InferenceResult | None:
-        """The cached result for ``key``, or None on miss/corruption."""
+    def get(self, key: str) -> Any | None:
+        """The cached result for ``key``, or None on miss/corruption.
+
+        A file that cannot be unpickled (truncated write, renamed
+        classes, garbage bytes) is treated as a miss **and evicted**, so
+        one bad entry cannot shadow its key forever.  I/O errors while
+        reading (descriptor exhaustion, EIO) are transient, not
+        corruption: they miss without deleting.
+        """
+        path = self._path(key)
         try:
-            with open(self._path(key), "rb") as handle:
+            with open(path, "rb") as handle:
                 return pickle.load(handle)
-        except (OSError, EOFError, pickle.UnpicklingError, AttributeError):
+        except (OSError, MemoryError):
+            return None
+        except (EOFError, ValueError, TypeError, IndexError,
+                ImportError, pickle.UnpicklingError, AttributeError):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
             return None
 
-    def put(self, key: str, result: InferenceResult) -> None:
+    def put(self, key: str, result: Any) -> None:
         """Store a result under ``key`` (atomic, last-writer-wins)."""
         fd, temp_path = tempfile.mkstemp(
             dir=self.directory, suffix=".tmp"

@@ -1,0 +1,209 @@
+"""Latency-under-load study: latency–throughput curves per platform.
+
+Sweeps arrival rate × batch policy × controller × platform for one
+model, simulating a full request-serving window per point
+(:mod:`repro.serving`), and reports the latency–throughput curve with
+tail percentiles, goodput and fabric utilization.  Each point is an
+independent *cell* — the study reuses the parallel fan-out and the
+persistent on-disk result cache of the experiment runner, extending
+``cell_key`` with the serving parameters so serving points never
+collide with single-inference results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Sequence
+
+from ..config import DEFAULT_PLATFORM, PlatformConfig
+from ..core.engine import ExecutionTrace
+from ..dnn import zoo
+from ..dnn.workload import extract_workload
+from ..mapping.residency import WeightResidency
+from ..serving.metrics import ServingResult, aggregate
+from ..serving.scheduler import BatchPolicy, RequestScheduler
+from ..sim.core import Environment
+from ..sim.traffic import ARRIVAL_KINDS, ClosedLoopClients
+from .runner import ResultCache, build_platform, cell_key, parallel_map
+
+SERVING_STUDY_VERSION = 1
+"""Bump (with ``CACHE_SCHEMA_VERSION`` semantics) when the serving
+simulation changes meaning, so cached curves are never stale."""
+
+DEFAULT_RATES_RPS = (20e3, 50e3, 100e3, 200e3)
+"""Default arrival-rate sweep (requests/s): subsaturation through the
+knee of the LeNet5-class latency–throughput curve."""
+
+DEFAULT_DURATION_S = 2e-3
+"""Default injection window per point (simulated seconds)."""
+
+
+@dataclass(frozen=True)
+class ServingCell:
+    """One latency-under-load simulation point."""
+
+    platform: str
+    model: str
+    controller: str
+    policy: BatchPolicy
+    arrival_kind: str
+    rate_rps: float
+    duration_s: float
+    seed: int
+    config: PlatformConfig
+
+    def arrival_process(self):
+        """Instantiate the cell's arrival process."""
+        kind = ARRIVAL_KINDS[self.arrival_kind]
+        if kind is ClosedLoopClients:
+            # Closed loop: rate sets the client population via the
+            # zero-service-time bound n = rate * think.
+            think_s = 10e-6
+            n_clients = max(1, round(self.rate_rps * think_s))
+            return ClosedLoopClients(n_clients=n_clients,
+                                     think_time_s=think_s, seed=self.seed)
+        return kind(rate_rps=self.rate_rps, seed=self.seed)
+
+    def key(self) -> str:
+        """Disk-cache key: the inference cell key + serving extras."""
+        return cell_key(
+            self.platform, self.model, self.controller, self.config,
+            extra={
+                "study": "serving",
+                "version": SERVING_STUDY_VERSION,
+                "policy": asdict(self.policy),
+                "arrival_kind": self.arrival_kind,
+                "rate_rps": self.rate_rps,
+                "duration_s": self.duration_s,
+                "seed": self.seed,
+            },
+        )
+
+
+def simulate_serving_cell(cell: ServingCell) -> ServingResult:
+    """Worker body: one full request-serving simulation of one cell."""
+    platform = build_platform(cell.platform, cell.config, cell.controller)
+    workload = extract_workload(zoo.build(cell.model))
+
+    env = Environment()
+    sim = platform.build_simulation(env)
+    mapping = sim.map_workload(workload)
+    trace = ExecutionTrace()
+    scheduler = RequestScheduler(
+        sim, mapping, cell.model, policy=cell.policy,
+        residency=WeightResidency(env), trace=trace,
+    )
+    scheduler.serve(cell.arrival_process(), cell.duration_s)
+
+    elapsed = env.now
+    latency, queue_delay, mean_batch = aggregate(scheduler.records)
+    network = sim.fabric.energy_report()
+    trace.record_channel_stats(sim.fabric)
+    return ServingResult(
+        platform=platform.name,
+        model=cell.model,
+        controller=cell.controller,
+        policy=cell.policy.label,
+        arrival_kind=cell.arrival_kind,
+        offered_rps=cell.rate_rps,
+        duration_s=cell.duration_s,
+        elapsed_s=elapsed,
+        requests_injected=scheduler.requests_injected,
+        requests_completed=scheduler.requests_completed,
+        latency=latency,
+        queue_delay=queue_delay,
+        mean_batch_size=mean_batch,
+        mean_inflight=sim.fabric.mean_inflight_requests,
+        mean_compute_utilization=scheduler.compute.mean_utilization(),
+        reconfigurations=sim.reconfigurations,
+        network_energy_j=network.total_energy_j,
+        compute_energy_j=platform.trace_compute_energy_j(trace, elapsed),
+        channel_stats=trace.channel_stats,
+    )
+
+
+def simulate_serving_cells(cells: Sequence[ServingCell], jobs: int = 1,
+                           cache_dir: str | Path | None = None
+                           ) -> list[ServingResult]:
+    """Run serving cells with the runner's cache + process fan-out."""
+    cache = ResultCache(cache_dir) if cache_dir else None
+    results: list[ServingResult | None] = [None] * len(cells)
+    pending: list[int] = []
+    for index, cell in enumerate(cells):
+        hit = cache.get(cell.key()) if cache is not None else None
+        if hit is not None:
+            results[index] = hit
+        else:
+            pending.append(index)
+    fresh = parallel_map(
+        simulate_serving_cell, [(cells[i],) for i in pending], jobs
+    )
+    for index, result in zip(pending, fresh):
+        results[index] = result
+        if cache is not None:
+            cache.put(cells[index].key(), result)
+    return results  # type: ignore[return-value]
+
+
+def serving_study(
+    model_name: str = "LeNet5",
+    platforms: tuple[str, ...] = ("2.5D-CrossLight-SiPh",),
+    controllers: tuple[str, ...] = ("resipi",),
+    policies: tuple[BatchPolicy, ...] = (BatchPolicy.fifo(),),
+    rates_rps: tuple[float, ...] = DEFAULT_RATES_RPS,
+    arrival_kind: str = "poisson",
+    duration_s: float = DEFAULT_DURATION_S,
+    seed: int = 7,
+    config: PlatformConfig | None = None,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+) -> list[ServingResult]:
+    """The full sweep: rate × policy × controller × platform.
+
+    Controllers only differentiate the photonic platform; electrical
+    and monolithic baselines run once per (rate, policy) under the
+    first controller label to avoid duplicate cells.
+    """
+    config = config or DEFAULT_PLATFORM
+    cells = []
+    for platform in platforms:
+        platform_controllers = (
+            controllers if platform == "2.5D-CrossLight-SiPh"
+            else controllers[:1]
+        )
+        for controller in platform_controllers:
+            for policy in policies:
+                for rate in rates_rps:
+                    cells.append(ServingCell(
+                        platform=platform, model=model_name,
+                        controller=controller, policy=policy,
+                        arrival_kind=arrival_kind, rate_rps=rate,
+                        duration_s=duration_s, seed=seed, config=config,
+                    ))
+    return simulate_serving_cells(cells, jobs=jobs, cache_dir=cache_dir)
+
+
+def latency_throughput_curve(
+    results: Sequence[ServingResult],
+) -> list[tuple[float, float, float]]:
+    """(offered rps, goodput rps, p99 latency s) points, rate-sorted."""
+    return sorted(
+        (r.offered_rps, r.goodput_rps, r.latency.p99_s) for r in results
+    )
+
+
+def render_serving_study(results: Sequence[ServingResult]) -> str:
+    """Text latency–throughput table, one row per simulated point."""
+    header = (
+        f"{'platform':<28}{'policy':<12}{'offered/s':>12}{'goodput/s':>12}"
+        f"{'p50(us)':>11}{'p95(us)':>11}{'p99(us)':>11}{'util':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    ordered = sorted(
+        results,
+        key=lambda r: (r.platform, r.controller, r.policy, r.offered_rps),
+    )
+    for result in ordered:
+        lines.append(result.summary_row())
+    return "\n".join(lines)

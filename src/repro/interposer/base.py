@@ -14,8 +14,10 @@ import abc
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from ..errors import SimulationError
 from ..sim.core import Environment, Event
 from ..sim.resources import BandwidthChannel, ChannelStat
+from ..sim.stats import TimeWeightedValue
 
 DEFAULT_CHUNK_BITS = 256 * 1024
 """Transfer chunking granularity: 32 KiB chunks keep reconfiguration
@@ -49,6 +51,31 @@ class InterposerFabric(abc.ABC):
         self.env = env
         self.bits_read = 0.0
         self.bits_written = 0.0
+        self.inflight_requests = TimeWeightedValue(env, 0.0)
+        """In-flight request count over time.  The serving layer brackets
+        every request execution with :meth:`request_started` /
+        :meth:`request_finished`; the time average is the fabric's
+        offered concurrency — the load signal utilization-under-load
+        metrics are reported against."""
+
+    # -- request-load bookkeeping (serving layer) -------------------------------
+
+    def request_started(self) -> None:
+        """Note one more request now executing over this fabric."""
+        self.inflight_requests.add(1.0)
+
+    def request_finished(self) -> None:
+        """Note one request completed."""
+        if self.inflight_requests.value < 1.0:
+            raise SimulationError(
+                "request_finished() without a matching request_started()"
+            )
+        self.inflight_requests.add(-1.0)
+
+    @property
+    def mean_inflight_requests(self) -> float:
+        """Time-averaged concurrent request count over the fabric."""
+        return self.inflight_requests.time_average()
 
     @abc.abstractmethod
     def read(self, dst_chiplet: str, bits: float,

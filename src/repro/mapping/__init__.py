@@ -1,6 +1,7 @@
-"""Layer-to-chiplet mapping and MAC-unit tiling."""
+"""Layer-to-chiplet mapping, MAC-unit tiling, and weight residency."""
 
 from .mapper import Allocation, KernelMatchMapper, LayerMapping, ModelMapping
+from .residency import WeightResidency
 from .tiling import TilingResult, tile_layer
 
 __all__ = [
@@ -9,5 +10,6 @@ __all__ = [
     "LayerMapping",
     "ModelMapping",
     "TilingResult",
+    "WeightResidency",
     "tile_layer",
 ]

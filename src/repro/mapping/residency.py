@@ -1,0 +1,128 @@
+"""Resident-weight accounting for the request-serving layer.
+
+When a platform serves a stream of requests, each model's weights are
+fetched onto the compute chiplets **once** and stay resident; only
+activations stream per request.  :class:`WeightResidency` implements
+that contract on top of any fabric:
+
+* the first request needing a layer issues the weight transfers and
+  registers the completion barrier,
+* every overlapping or later request for the same ``(model, layer)``
+  waits on (or skips past) that same barrier instead of re-streaming,
+* resident bits are accounted per model against an optional capacity
+  budget; when the budget would overflow, the least-recently-used
+  *other* model is evicted (its next request re-fetches).
+
+The store is deliberately simulation-native: eviction only forgets the
+memoised barrier, so requests already waiting on an in-flight fetch are
+unaffected.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..interposer.base import InterposerFabric
+from ..sim.core import Environment, Event
+
+from .mapper import LayerMapping
+
+
+class WeightResidency:
+    """Per-model resident-weight store shared by in-flight requests."""
+
+    def __init__(self, env: Environment,
+                 capacity_bits: float | None = None):
+        if capacity_bits is not None and capacity_bits <= 0:
+            raise ConfigurationError(
+                f"capacity must be positive, got {capacity_bits}"
+            )
+        self.env = env
+        self.capacity_bits = capacity_bits
+        self._barriers: dict[tuple[str, int], Event] = {}
+        self._bits: dict[str, float] = {}
+        self._lru: list[str] = []  # least-recently-used model first
+        self.fetches_issued = 0
+        self.fetch_hits = 0
+        self.evictions = 0
+
+    # -- accounting ---------------------------------------------------------------
+
+    @property
+    def resident_bits(self) -> float:
+        """All weight bits currently resident, across models."""
+        return sum(self._bits.values())
+
+    def resident_bits_for(self, model_name: str) -> float:
+        """Weight bits resident for one model."""
+        return self._bits.get(model_name, 0.0)
+
+    def _touch(self, model_name: str) -> None:
+        if model_name in self._lru:
+            self._lru.remove(model_name)
+        self._lru.append(model_name)
+
+    def evict(self, model_name: str) -> float:
+        """Forget a model's residency; returns the bits freed.
+
+        In-flight fetches keep completing (their barriers already fired
+        or will fire); only the memoisation is dropped, so the next
+        request for the model re-fetches.
+        """
+        freed = self._bits.pop(model_name, 0.0)
+        if freed or any(key[0] == model_name for key in self._barriers):
+            self.evictions += 1
+        self._barriers = {
+            key: barrier for key, barrier in self._barriers.items()
+            if key[0] != model_name
+        }
+        if model_name in self._lru:
+            self._lru.remove(model_name)
+        return freed
+
+    def _make_room(self, model_name: str, wanted_bits: float) -> None:
+        """Evict LRU models (never the requester) until the new layer fits."""
+        if self.capacity_bits is None:
+            return
+        while (
+            self.resident_bits + wanted_bits > self.capacity_bits
+            and any(name != model_name for name in self._lru)
+        ):
+            victim = next(
+                name for name in self._lru if name != model_name
+            )
+            self.evict(victim)
+
+    # -- the fetch-once contract ---------------------------------------------------
+
+    def acquire(self, model_name: str, layer_mapping: LayerMapping,
+                fabric: InterposerFabric) -> Event:
+        """Barrier that fires when the layer's weights are resident.
+
+        The first caller per ``(model, layer)`` issues the transfers;
+        everyone else shares the same barrier (a hit on an already-fired
+        barrier resumes immediately at the current time).
+        """
+        key = (model_name, layer_mapping.layer.index)
+        barrier = self._barriers.get(key)
+        if barrier is not None:
+            self.fetch_hits += 1
+            self._touch(model_name)
+            return barrier
+
+        layer_bits = float(sum(
+            alloc.weight_bits for alloc in layer_mapping.allocations
+        ))
+        self._make_room(model_name, layer_bits)
+        transfers = [
+            fabric.read_weights(alloc.chiplet_id, alloc.weight_bits)
+            for alloc in layer_mapping.allocations
+            if alloc.weight_bits > 0
+        ]
+        barrier = fabric.env.all_of(transfers)
+        self._barriers[key] = barrier
+        self._bits[model_name] = (
+            self._bits.get(model_name, 0.0) + layer_bits
+        )
+        self._touch(model_name)
+        self.fetches_issued += 1
+        return barrier

@@ -1,0 +1,28 @@
+"""Request-serving layer: schedulers, metrics, arrival-driven load.
+
+Turns the one-shot simulator into a request-serving model: arrival
+processes feed a :class:`~repro.serving.scheduler.RequestScheduler`
+that dispatches batched :class:`~repro.core.engine.RequestExecution`
+instances over one shared fabric, and
+:mod:`repro.serving.metrics` aggregates the per-request records into
+latency/goodput/utilization results.
+"""
+
+from .metrics import (
+    LatencyProfile,
+    RequestRecord,
+    ServingResult,
+    aggregate,
+    percentile,
+)
+from .scheduler import BatchPolicy, RequestScheduler
+
+__all__ = [
+    "BatchPolicy",
+    "LatencyProfile",
+    "RequestRecord",
+    "RequestScheduler",
+    "ServingResult",
+    "aggregate",
+    "percentile",
+]

@@ -1,0 +1,192 @@
+"""Per-request latency records and serving-level aggregates.
+
+The scheduler stamps a :class:`RequestRecord` for every completed
+request (these travel on the shared
+:class:`~repro.core.engine.ExecutionTrace`); a finished run aggregates
+them into a :class:`ServingResult` — tail-latency percentiles, goodput
+and fabric-utilization-under-load — which is what serving studies
+cache, export and plot as latency–throughput curves.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+from ..sim.resources import ChannelStat
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Lifecycle timestamps of one completed request."""
+
+    request_id: int
+    model: str
+    arrival_s: float
+    dispatch_s: float
+    finish_s: float
+    batch_size: int = 1
+
+    @property
+    def latency_s(self) -> float:
+        """Arrival-to-completion latency (what the user experiences)."""
+        return self.finish_s - self.arrival_s
+
+    @property
+    def queue_delay_s(self) -> float:
+        """Time spent queued/batched before execution started."""
+        return self.dispatch_s - self.arrival_s
+
+    @property
+    def service_s(self) -> float:
+        """Time spent executing on the fabric."""
+        return self.finish_s - self.dispatch_s
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile of ``samples`` (deterministic, no
+    interpolation); 0.0 for an empty sample set."""
+    if not 0.0 <= q <= 100.0:
+        raise SimulationError(f"percentile must be in [0, 100], got {q}")
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class LatencyProfile:
+    """Latency distribution summary of one serving run."""
+
+    count: int
+    mean_s: float
+    p50_s: float
+    p95_s: float
+    p99_s: float
+    max_s: float
+
+    @classmethod
+    def from_samples(cls, samples: list[float]) -> "LatencyProfile":
+        if not samples:
+            return cls(count=0, mean_s=0.0, p50_s=0.0, p95_s=0.0,
+                       p99_s=0.0, max_s=0.0)
+        return cls(
+            count=len(samples),
+            mean_s=sum(samples) / len(samples),
+            p50_s=percentile(samples, 50.0),
+            p95_s=percentile(samples, 95.0),
+            p99_s=percentile(samples, 99.0),
+            max_s=max(samples),
+        )
+
+
+@dataclass(frozen=True)
+class ServingResult:
+    """Complete outcome of one request-serving simulation.
+
+    Picklable plain data: serving studies cache these through the same
+    on-disk :class:`~repro.experiments.runner.ResultCache` as inference
+    results, and the export layer serialises them to JSON/CSV.
+    """
+
+    platform: str
+    model: str
+    controller: str
+    policy: str
+    arrival_kind: str
+    offered_rps: float
+    duration_s: float
+    elapsed_s: float
+    requests_injected: int
+    requests_completed: int
+    latency: LatencyProfile
+    queue_delay: LatencyProfile
+    mean_batch_size: float
+    mean_inflight: float
+    mean_compute_utilization: float
+    reconfigurations: int
+    network_energy_j: float
+    compute_energy_j: float
+    channel_stats: tuple[ChannelStat, ...] = ()
+
+    @property
+    def goodput_rps(self) -> float:
+        """Completed requests per second of simulated time."""
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.requests_completed / self.elapsed_s
+
+    @property
+    def achieved_rps(self) -> float:
+        """Realized injection rate over the arrival window (sampling
+        makes this differ from the configured ``offered_rps``)."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.requests_injected / self.duration_s
+
+    @property
+    def saturated(self) -> bool:
+        """Whether service failed to keep pace with realized arrivals.
+
+        Every injected request completes eventually (the run drains),
+        so saturation shows up as the drain outliving the arrival
+        window: goodput well below the achieved injection rate.
+        """
+        return self.goodput_rps < 0.9 * self.achieved_rps
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.network_energy_j + self.compute_energy_j
+
+    @property
+    def energy_per_request_j(self) -> float:
+        if self.requests_completed <= 0:
+            return 0.0
+        return self.total_energy_j / self.requests_completed
+
+    @property
+    def peak_channel_utilization(self) -> float:
+        """Highest per-channel utilization over the run (bottleneck)."""
+        if not self.channel_stats:
+            return 0.0
+        return max(stat.utilization for stat in self.channel_stats)
+
+    @property
+    def mean_channel_utilization(self) -> float:
+        """Average utilization across every fabric channel."""
+        if not self.channel_stats:
+            return 0.0
+        return sum(stat.utilization for stat in self.channel_stats) / len(
+            self.channel_stats
+        )
+
+    def summary_row(self) -> str:
+        """One formatted latency–throughput line."""
+        return (
+            f"{self.platform:<28}{self.policy:<12}"
+            f"{self.offered_rps:>12.0f}"
+            f"{self.goodput_rps:>12.0f}"
+            f"{self.latency.p50_s * 1e6:>11.1f}"
+            f"{self.latency.p95_s * 1e6:>11.1f}"
+            f"{self.latency.p99_s * 1e6:>11.1f}"
+            f"{self.peak_channel_utilization:>8.2f}"
+            f"{'  SAT' if self.saturated else ''}"
+        )
+
+
+def aggregate(records: list[RequestRecord]) -> tuple[LatencyProfile,
+                                                     LatencyProfile, float]:
+    """(latency profile, queue-delay profile, mean batch size)."""
+    latencies = [record.latency_s for record in records]
+    delays = [record.queue_delay_s for record in records]
+    mean_batch = (
+        sum(record.batch_size for record in records) / len(records)
+        if records else 0.0
+    )
+    return (
+        LatencyProfile.from_samples(latencies),
+        LatencyProfile.from_samples(delays),
+        mean_batch,
+    )

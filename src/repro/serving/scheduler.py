@@ -1,0 +1,318 @@
+"""Request admission and dynamic batching over a shared platform.
+
+The scheduler closes the loop between an arrival process
+(:mod:`repro.sim.traffic`) and the re-entrant execution path
+(:class:`~repro.core.engine.RequestExecution`): requests queue as they
+arrive, a dispatcher groups them according to a :class:`BatchPolicy`,
+and each group executes as one batched inference over the platform's
+**shared** fabric — weights stay resident per model
+(:class:`~repro.mapping.residency.WeightResidency`), activations stream
+per request, and contention between overlapping requests emerges from
+the fabric's channels.
+
+Two policies:
+
+* ``fifo``      — every request dispatches alone, in arrival order;
+  ``max_inflight`` caps concurrent executions (admission control).
+* ``max-batch`` — the dispatcher opens a batch when an execution slot
+  is free, then gathers up to ``max_batch`` requests or until
+  ``batch_timeout_s`` elapses since the batch opened, whichever is
+  first — classic dynamic batching with a latency bound.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..core.accelerator import PlatformSimulation
+from ..core.engine import ComputeOccupancy, ExecutionTrace, RequestExecution
+from ..errors import ConfigurationError, SimulationError
+from ..mapping.mapper import ModelMapping
+from ..mapping.residency import WeightResidency
+from ..sim.core import Event
+from ..sim.resources import Resource
+from ..sim.traffic import ClosedLoopClients
+from .metrics import RequestRecord
+
+DEFAULT_DRAIN_LIMIT_S = 1.0
+"""Simulated-time hang guard for draining in-flight requests after
+injection stops (generous: serving windows are µs–ms scale)."""
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Admission + dynamic-batching configuration of the dispatcher."""
+
+    name: str = "fifo"
+    max_batch: int = 1
+    batch_timeout_s: float = 20e-6
+    max_inflight: int = 4
+
+    def __post_init__(self) -> None:
+        if self.name not in ("fifo", "max-batch"):
+            raise ConfigurationError(
+                f"unknown batch policy {self.name!r}; "
+                "choose 'fifo' or 'max-batch'"
+            )
+        if self.max_batch < 1:
+            raise ConfigurationError(
+                f"max batch must be >= 1, got {self.max_batch}"
+            )
+        if self.name == "fifo" and self.max_batch != 1:
+            raise ConfigurationError("fifo policy dispatches single requests")
+        if self.batch_timeout_s < 0:
+            raise ConfigurationError(
+                f"batch timeout must be non-negative, got "
+                f"{self.batch_timeout_s}"
+            )
+        if self.max_inflight < 1:
+            raise ConfigurationError(
+                f"max inflight must be >= 1, got {self.max_inflight}"
+            )
+
+    @classmethod
+    def fifo(cls, max_inflight: int = 4) -> "BatchPolicy":
+        """One request per dispatch, ``max_inflight`` concurrent."""
+        return cls(name="fifo", max_batch=1, max_inflight=max_inflight)
+
+    @classmethod
+    def max_batch_with_timeout(cls, max_batch: int = 8,
+                               batch_timeout_s: float = 20e-6,
+                               max_inflight: int = 4) -> "BatchPolicy":
+        """Gather up to ``max_batch`` requests or until the timeout."""
+        return cls(name="max-batch", max_batch=max_batch,
+                   batch_timeout_s=batch_timeout_s,
+                   max_inflight=max_inflight)
+
+    @property
+    def label(self) -> str:
+        if self.name == "fifo":
+            return "fifo"
+        return f"max-batch({self.max_batch})"
+
+
+@dataclass
+class _Request:
+    """One queued request (internal)."""
+
+    request_id: int
+    arrival_s: float
+    done: Event | None = field(default=None)
+
+
+class RequestScheduler:
+    """Streams requests from an arrival process through a platform.
+
+    Build one per serving simulation: it owns the queue, the dispatcher
+    process, the admission semaphore and the shared
+    :class:`ExecutionTrace` that accumulates operation counts (for the
+    energy ledger) and per-request records (for latency aggregation).
+    """
+
+    def __init__(
+        self,
+        sim: PlatformSimulation,
+        mapping: ModelMapping,
+        model_name: str,
+        policy: BatchPolicy | None = None,
+        residency: WeightResidency | None = None,
+        trace: ExecutionTrace | None = None,
+        record_timings: bool = False,
+    ):
+        self.sim = sim
+        self.env = sim.env
+        self.mapping = mapping
+        self.model_name = model_name
+        self.policy = policy or BatchPolicy.fifo()
+        self.residency = (
+            residency if residency is not None
+            else WeightResidency(sim.env)
+        )
+        self.trace = trace or ExecutionTrace()
+        self.record_timings = record_timings
+        self.compute = ComputeOccupancy(sim.env)
+
+        self._queue: deque[_Request] = deque()
+        self._arrival_signal: Event | None = None
+        self._admission = Resource(sim.env,
+                                   capacity=self.policy.max_inflight)
+        self.records: list[RequestRecord] = []
+        self.requests_injected = 0
+        self.requests_completed = 0
+        self.batches_dispatched = 0
+        self._injection_done = False
+        self._drained = sim.env.event()
+        self._next_id = 0
+        self._served = False
+        self.env.process(self._dispatch_loop())
+
+    # -- queue plumbing -----------------------------------------------------------
+
+    @property
+    def queue_length(self) -> int:
+        """Requests currently waiting for dispatch."""
+        return len(self._queue)
+
+    def submit(self, done: Event | None = None) -> _Request:
+        """Enqueue one request arriving now; returns its handle."""
+        request = _Request(
+            request_id=self._next_id, arrival_s=self.env.now, done=done
+        )
+        self._next_id += 1
+        self._queue.append(request)
+        self.requests_injected += 1
+        signal = self._arrival_signal
+        if signal is not None and not signal.triggered:
+            signal.succeed()
+        return request
+
+    def _wait_arrival(self) -> Event:
+        event = self.env.event()
+        self._arrival_signal = event
+        return event
+
+    # -- dispatcher ------------------------------------------------------------------
+
+    def _dispatch_loop(self):
+        policy = self.policy
+        while True:
+            while not self._queue:
+                yield self._wait_arrival()
+            # Back-pressure: only open a batch once an execution slot is
+            # free, so under load batches fill instead of fragmenting.
+            yield self._admission.request()
+            batch = [self._queue.popleft()]
+            if policy.name == "max-batch" and policy.max_batch > 1:
+                deadline = self.env.now + policy.batch_timeout_s
+                while len(batch) < policy.max_batch:
+                    if self._queue:
+                        batch.append(self._queue.popleft())
+                        continue
+                    remaining = deadline - self.env.now
+                    if remaining <= 0:
+                        break
+                    yield self.env.any_of([
+                        self._wait_arrival(),
+                        self.env.timeout(remaining),
+                    ])
+            self.batches_dispatched += 1
+            self.env.process(self._execute(batch))
+
+    def _execute(self, batch: list[_Request]):
+        """Run one dispatched batch as a single batched inference."""
+        fabric = self.sim.fabric
+        dispatch_s = self.env.now
+        for _ in batch:
+            fabric.request_started()
+        execution = RequestExecution(
+            self.env, self.sim.platform.config, fabric, self.mapping,
+            self.trace, mac_rate_hz=self.sim.mac_rate_hz,
+            batch_size=len(batch), residency=self.residency,
+            compute=self.compute, model_name=self.model_name,
+            record_timings=self.record_timings,
+        )
+        yield execution.start()
+        self._admission.release()
+        finish_s = self.env.now
+        for request in batch:
+            fabric.request_finished()
+            record = RequestRecord(
+                request_id=request.request_id,
+                model=self.model_name,
+                arrival_s=request.arrival_s,
+                dispatch_s=dispatch_s,
+                finish_s=finish_s,
+                batch_size=len(batch),
+            )
+            self.records.append(record)
+            self.trace.request_records.append(record)
+            if request.done is not None:
+                request.done.succeed()
+        self.requests_completed += len(batch)
+        self._check_drained()
+
+    def _check_drained(self) -> None:
+        if (
+            self._injection_done
+            and self.requests_completed == self.requests_injected
+            and not self._drained.triggered
+        ):
+            self._drained.succeed()
+
+    # -- injection -------------------------------------------------------------------
+
+    def _open_loop_injector(self, arrivals, duration_s: float):
+        """Inject an open-loop gap stream for the duration window."""
+        for gap in arrivals.gaps():
+            yield self.env.timeout(gap)
+            if self.env.now > duration_s:
+                return
+            self.submit()
+
+    def _closed_loop_client(self, clients: ClosedLoopClients, index: int,
+                            duration_s: float):
+        """One closed-loop client: think, request, await completion."""
+        for gap in clients.think_gaps(index):
+            yield self.env.timeout(gap)
+            if self.env.now > duration_s:
+                return
+            request = self.submit(done=self.env.event())
+            yield request.done
+
+    def _watch_injection(self, injectors):
+        yield self.env.all_of(injectors)
+        self._injection_done = True
+        self._check_drained()
+
+    def serve(self, arrivals, duration_s: float,
+              drain_limit_s: float = DEFAULT_DRAIN_LIMIT_S) -> None:
+        """Run the full serving window: inject, dispatch, drain.
+
+        ``arrivals`` is any open-loop process exposing ``gaps()`` (e.g.
+        :class:`~repro.sim.traffic.PoissonArrivals`,
+        :class:`~repro.sim.traffic.MMPPArrivals`) or a
+        :class:`~repro.sim.traffic.ClosedLoopClients` population.
+        Returns once every injected request completed; per-request
+        records are on :attr:`records` and the shared trace.
+        """
+        if duration_s <= 0:
+            raise ConfigurationError(
+                f"serving duration must be positive, got {duration_s}"
+            )
+        if self._served:
+            # The drained barrier and injection flags are one-shot;
+            # reuse would silently simulate nothing.
+            raise SimulationError(
+                "RequestScheduler.serve() is single-shot; build a new "
+                "scheduler for another serving window"
+            )
+        self._served = True
+        if isinstance(arrivals, ClosedLoopClients):
+            injectors = [
+                self.env.process(
+                    self._closed_loop_client(arrivals, index, duration_s)
+                )
+                for index in range(arrivals.n_clients)
+            ]
+        elif hasattr(arrivals, "gaps"):
+            injectors = [
+                self.env.process(
+                    self._open_loop_injector(arrivals, duration_s)
+                )
+            ]
+        else:
+            raise ConfigurationError(
+                f"unsupported arrival process {arrivals!r}"
+            )
+        self.env.process(self._watch_injection(injectors))
+        try:
+            self.env.run_until_event(
+                self._drained, limit=duration_s + drain_limit_s
+            )
+        except SimulationError as error:
+            raise SimulationError(
+                f"serving run did not drain: {self.requests_completed}/"
+                f"{self.requests_injected} requests completed within "
+                f"{duration_s + drain_limit_s} s — {error}"
+            ) from error

@@ -222,6 +222,34 @@ class AllOf(Event):
             self.succeed([event._value for event in self._events])
 
 
+class AnyOf(Event):
+    """Fires when the first of several child events fires (a race).
+
+    The value is the winning child's value.  Children that fire later
+    are simply ignored — events are one-shot, so no cancellation is
+    needed (but a pending child keeps its callback; never race a
+    stateful wait, e.g. a ``Store.get``, that must not stay registered).
+    """
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        children = list(events)
+        if not children:
+            raise SimulationError("any_of needs at least one event")
+        for event in children:
+            if event._processed:
+                self.succeed(event._value)
+                return
+        for event in children:
+            event._add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if not self._triggered:
+            self.succeed(event._value)
+
+
 class Environment:
     """Event queue and simulated clock.
 
@@ -291,6 +319,10 @@ class Environment:
     def all_of(self, events: Iterable[Event]) -> AllOf:
         """Barrier event over several events."""
         return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Race event: fires with the first child to fire."""
+        return AnyOf(self, events)
 
     # -- execution ---------------------------------------------------------------
 

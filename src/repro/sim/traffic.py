@@ -1,4 +1,4 @@
-"""Synthetic traffic generation for network characterisation.
+"""Synthetic traffic generation: link-level patterns and request arrivals.
 
 The interposer-network papers the platform builds on (PROWAVES [11],
 ReSiPI [37], DeFT [40]) characterise their fabrics with synthetic
@@ -13,14 +13,24 @@ N compute nodes):
   (the fabrics expose only the memory hub, matching Section V's
   traffic classes).
 
+It also provides the **request arrival processes** the serving layer
+(:mod:`repro.serving`) feeds the scheduler from:
+
+* :class:`PoissonArrivals`   — memoryless open-loop stream,
+* :class:`MMPPArrivals`      — bursty two-state Markov-modulated
+  Poisson process (high/low intensity phases),
+* :class:`ClosedLoopClients` — N clients that think, issue one request,
+  and wait for its completion before the next (load self-throttles).
+
 Generators inject fixed-size messages with exponential inter-arrival
-times from a deterministic seeded RNG, so characterisation sweeps are
-reproducible.
+times from a deterministic seeded RNG, so characterisation sweeps and
+serving studies are reproducible.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator
 
 import numpy as np
 
@@ -153,3 +163,149 @@ class TrafficGenerator:
             self.env.run_until_event(barrier, limit=drain_limit_s)
         self.report.completion_time_s = self.env.now
         return self.report
+
+
+# ---------------------------------------------------------------------------
+# Request arrival processes (the serving layer's offered load).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PoissonArrivals:
+    """Open-loop memoryless request stream at ``rate_rps`` requests/s."""
+
+    rate_rps: float
+    seed: int = 7
+    kind: str = "poisson"
+
+    def __post_init__(self) -> None:
+        if self.rate_rps <= 0:
+            raise ConfigurationError(
+                f"arrival rate must be positive, got {self.rate_rps}"
+            )
+
+    @property
+    def mean_rate_rps(self) -> float:
+        """Long-run average offered rate (requests/s)."""
+        return self.rate_rps
+
+    def gaps(self) -> Iterator[float]:
+        """Infinite deterministic stream of inter-arrival gaps (s)."""
+        rng = np.random.default_rng(self.seed)
+        mean_gap = 1.0 / self.rate_rps
+        while True:
+            yield float(rng.exponential(mean_gap))
+
+
+@dataclass(frozen=True)
+class MMPPArrivals:
+    """Bursty two-state Markov-modulated Poisson process.
+
+    The process alternates between a *high* and a *low* intensity phase
+    with exponentially distributed dwell times of mean ``dwell_s``.
+    ``burstiness`` is the high/low rate ratio; the phase rates are
+    chosen so the long-run average equals ``rate_rps`` (equal expected
+    time in each phase), so MMPP and Poisson points at the same
+    ``rate_rps`` are directly comparable on a latency–throughput curve.
+    """
+
+    rate_rps: float
+    burstiness: float = 4.0
+    dwell_s: float = 20e-6
+    seed: int = 7
+    kind: str = "mmpp"
+
+    def __post_init__(self) -> None:
+        if self.rate_rps <= 0:
+            raise ConfigurationError(
+                f"arrival rate must be positive, got {self.rate_rps}"
+            )
+        if self.burstiness < 1.0:
+            raise ConfigurationError(
+                f"burstiness must be >= 1, got {self.burstiness}"
+            )
+        if self.dwell_s <= 0:
+            raise ConfigurationError(
+                f"dwell time must be positive, got {self.dwell_s}"
+            )
+
+    @property
+    def mean_rate_rps(self) -> float:
+        return self.rate_rps
+
+    @property
+    def phase_rates_rps(self) -> tuple[float, float]:
+        """(low, high) phase intensities averaging to ``rate_rps``."""
+        low = 2.0 * self.rate_rps / (1.0 + self.burstiness)
+        return low, low * self.burstiness
+
+    def gaps(self) -> Iterator[float]:
+        """Infinite deterministic stream of inter-arrival gaps (s)."""
+        rng = np.random.default_rng(self.seed)
+        low, high = self.phase_rates_rps
+        rate = high  # bursts first: stresses admission immediately
+        phase_left = float(rng.exponential(self.dwell_s))
+        waited = 0.0
+        while True:
+            candidate = float(rng.exponential(1.0 / rate))
+            if candidate <= phase_left:
+                phase_left -= candidate
+                yield waited + candidate
+                waited = 0.0
+            else:
+                # No arrival before the phase ends: advance to the
+                # boundary, switch intensity, and resample — exact by
+                # the memorylessness of the within-phase process.
+                waited += phase_left
+                rate = low if rate == high else high
+                phase_left = float(rng.exponential(self.dwell_s))
+
+
+@dataclass(frozen=True)
+class ClosedLoopClients:
+    """N clients issuing one request each, thinking between requests.
+
+    Offered load self-throttles: a client only issues its next request
+    after the previous one completed and an exponential think time of
+    mean ``think_time_s`` elapsed — the classic closed-loop model whose
+    throughput saturates instead of its queue exploding.
+    """
+
+    n_clients: int
+    think_time_s: float = 10e-6
+    seed: int = 7
+    kind: str = "closed"
+
+    def __post_init__(self) -> None:
+        if self.n_clients < 1:
+            raise ConfigurationError(
+                f"need at least one client, got {self.n_clients}"
+            )
+        if self.think_time_s < 0:
+            raise ConfigurationError(
+                f"think time must be non-negative, got {self.think_time_s}"
+            )
+
+    @property
+    def mean_rate_rps(self) -> float:
+        """Upper bound on offered rate (zero service time)."""
+        if self.think_time_s <= 0:
+            return float("inf")
+        return self.n_clients / self.think_time_s
+
+    def think_gaps(self, client_index: int) -> Iterator[float]:
+        """Deterministic per-client stream of think gaps (s)."""
+        rng = np.random.default_rng((self.seed, client_index))
+        while True:
+            if self.think_time_s <= 0:
+                yield 0.0
+            else:
+                yield float(rng.exponential(self.think_time_s))
+
+
+ARRIVAL_KINDS = {
+    "poisson": PoissonArrivals,
+    "mmpp": MMPPArrivals,
+    "closed": ClosedLoopClients,
+}
+"""Arrival-process constructors keyed by CLI/serving-study kind name."""

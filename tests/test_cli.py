@@ -37,6 +37,38 @@ class TestParser:
         assert args.jobs == 8
         assert args.cache_dir == "/tmp/x"
 
+    def test_serve_study_defaults(self):
+        args = build_parser().parse_args(["serve-study"])
+        assert args.model == "LeNet5"
+        assert args.platforms == ["siph"]
+        assert args.policy == "fifo"
+        assert args.arrival == "poisson"
+        assert args.rates == (20e3, 50e3, 100e3, 200e3)
+
+    def test_serve_study_rates_parse(self):
+        args = build_parser().parse_args(
+            ["serve-study", "--rates", "1e4,5e4"]
+        )
+        assert args.rates == (1e4, 5e4)
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve-study", "--rates", "1e4,-2"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve-study", "--rates", "fast"])
+
+    def test_serve_study_duration_and_timeout_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve-study", "--duration-us", "0"]
+            )
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve-study", "--batch-timeout-us", "-1"]
+            )
+        args = build_parser().parse_args(
+            ["serve-study", "--batch-timeout-us", "0"]
+        )
+        assert args.batch_timeout_us == 0.0
+
     def test_bench_defaults(self):
         args = build_parser().parse_args(["bench"])
         assert args.check is False
@@ -117,6 +149,32 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "resipi" in out
         assert "static" in out
+
+    def test_serve_study_runs_and_exports(self, capsys, tmp_path):
+        json_path = tmp_path / "curve.json"
+        assert main([
+            "serve-study", "--model", "LeNet5", "--platforms", "mono",
+            "--rates", "1e5,3e5", "--duration-us", "300",
+            "--policy", "max-batch", "--max-batch", "4",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--json", str(json_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "goodput/s" in out
+        assert "CrossLight" in out
+        import json
+
+        parsed = json.loads(json_path.read_text())
+        assert len(parsed) == 2
+        assert parsed[0]["policy"] == "max-batch(4)"
+
+    def test_serve_study_closed_loop(self, capsys):
+        assert main([
+            "serve-study", "--model", "LeNet5", "--platforms", "mono",
+            "--arrival", "closed", "--rates", "2e5",
+            "--duration-us", "200",
+        ]) == 0
+        assert "CrossLight" in capsys.readouterr().out
 
     def test_dse_mapping(self, capsys):
         assert main([

@@ -142,10 +142,63 @@ class TestResultCache:
         assert restored.latency_s == result.latency_s
         assert len(cache) == 1
 
-    def test_corrupt_entry_is_a_miss(self, tmp_path):
+    def test_corrupt_entry_is_a_miss_and_evicted(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
         (cache.directory / "bad.pkl").write_bytes(b"not a pickle")
         assert cache.get("bad") is None
+        assert not (cache.directory / "bad.pkl").exists()
+
+    def test_truncated_entry_is_a_miss_and_evicted(self, tmp_path):
+        """A write cut off mid-pickle must not poison its key forever."""
+        import pickle
+
+        cache = ResultCache(tmp_path / "cache")
+        result = build_platform("CrossLight", DEFAULT_PLATFORM).run_model(
+            __import__("repro.dnn.zoo", fromlist=["zoo"]).build("LeNet5")
+        )
+        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        (cache.directory / "cut.pkl").write_bytes(payload[: len(payload) // 2])
+        assert cache.get("cut") is None
+        assert not (cache.directory / "cut.pkl").exists()
+        # The key is immediately usable again.
+        cache.put("cut", result)
+        assert cache.get("cut") is not None
+
+    def test_missing_entry_not_evicted_sideways(self, tmp_path):
+        """A plain miss must not try to delete anything."""
+        cache = ResultCache(tmp_path / "cache")
+        cache.put("good", 123)
+        assert cache.get("nope") is None
+        assert cache.get("good") == 123
+
+
+class TestCacheSchemaVersion:
+    def test_version_bump_changes_every_cell_key(self, monkeypatch):
+        """The staleness guard: bumping CACHE_SCHEMA_VERSION must move
+        every cell key, or stale caches serve wrong results."""
+        from repro.experiments import runner as runner_module
+
+        cells = [
+            ("CrossLight", "LeNet5", "resipi", DEFAULT_PLATFORM),
+            ("2.5D-CrossLight-SiPh", "VGG16", "static", DEFAULT_PLATFORM),
+            ("2.5D-CrossLight-Elec", "ResNet50", "prowaves",
+             DEFAULT_PLATFORM),
+        ]
+        extras = [None, {"study": "serving", "rate_rps": 1e5}]
+        before = {
+            cell_key(*cell, extra=extra)
+            for cell in cells for extra in extras
+        }
+        monkeypatch.setattr(
+            runner_module, "CACHE_SCHEMA_VERSION",
+            runner_module.CACHE_SCHEMA_VERSION + 1,
+        )
+        after = {
+            cell_key(*cell, extra=extra)
+            for cell in cells for extra in extras
+        }
+        assert len(before) == len(after) == len(cells) * len(extras)
+        assert before.isdisjoint(after)
 
 
 class TestSimulateCells:

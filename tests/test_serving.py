@@ -1,0 +1,391 @@
+"""Request-serving layer: scheduler, metrics, residency, load curves."""
+
+import json
+
+import pytest
+
+from repro.config import DEFAULT_PLATFORM
+from repro.core.accelerator import CrossLight25DSiPh, MonolithicCrossLight
+from repro.core.engine import ComputeOccupancy, ExecutionTrace
+from repro.dnn import zoo
+from repro.dnn.workload import extract_workload
+from repro.errors import ConfigurationError, SimulationError
+from repro.experiments.export import (
+    serving_result_to_dict,
+    serving_results_to_csv,
+    serving_results_to_json,
+)
+from repro.experiments.serving_study import (
+    ServingCell,
+    latency_throughput_curve,
+    render_serving_study,
+    serving_study,
+    simulate_serving_cell,
+)
+from repro.mapping.residency import WeightResidency
+from repro.serving.metrics import (
+    LatencyProfile,
+    RequestRecord,
+    aggregate,
+    percentile,
+)
+from repro.serving.scheduler import BatchPolicy, RequestScheduler
+from repro.sim.core import Environment
+from repro.sim.traffic import (
+    ClosedLoopClients,
+    MMPPArrivals,
+    PoissonArrivals,
+)
+
+WORKLOAD = extract_workload(zoo.build("LeNet5"))
+
+
+def make_scheduler(platform=None, policy=None, **kwargs):
+    platform = platform or MonolithicCrossLight()
+    env = Environment()
+    sim = platform.build_simulation(env)
+    scheduler = RequestScheduler(
+        sim, sim.map_workload(WORKLOAD), "LeNet5",
+        policy=policy or BatchPolicy.fifo(), **kwargs
+    )
+    return scheduler, sim
+
+
+class TestBatchPolicy:
+    def test_fifo_label_and_defaults(self):
+        policy = BatchPolicy.fifo()
+        assert policy.label == "fifo"
+        assert policy.max_batch == 1
+
+    def test_max_batch_label(self):
+        policy = BatchPolicy.max_batch_with_timeout(max_batch=8)
+        assert policy.label == "max-batch(8)"
+
+    def test_invalid_policies_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BatchPolicy(name="lifo")
+        with pytest.raises(ConfigurationError):
+            BatchPolicy(name="max-batch", max_batch=0)
+        with pytest.raises(ConfigurationError):
+            BatchPolicy(name="fifo", max_batch=2)
+        with pytest.raises(ConfigurationError):
+            BatchPolicy(name="max-batch", max_batch=4, batch_timeout_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            BatchPolicy(name="fifo", max_inflight=0)
+
+
+class TestPercentiles:
+    def test_nearest_rank(self):
+        samples = [float(i) for i in range(1, 101)]
+        assert percentile(samples, 50.0) == 50.0
+        assert percentile(samples, 99.0) == 99.0
+        assert percentile(samples, 100.0) == 100.0
+
+    def test_empty_and_bounds(self):
+        assert percentile([], 99.0) == 0.0
+        with pytest.raises(SimulationError):
+            percentile([1.0], 101.0)
+
+    def test_profile_from_samples(self):
+        profile = LatencyProfile.from_samples([3.0, 1.0, 2.0])
+        assert profile.count == 3
+        assert profile.mean_s == pytest.approx(2.0)
+        assert profile.p50_s == 2.0
+        assert profile.max_s == 3.0
+
+
+class TestSchedulerSemantics:
+    def test_every_request_completes(self):
+        scheduler, _ = make_scheduler()
+        scheduler.serve(PoissonArrivals(rate_rps=100e3, seed=11), 1e-3)
+        assert scheduler.requests_injected > 50
+        assert scheduler.requests_completed == scheduler.requests_injected
+        assert len(scheduler.records) == scheduler.requests_completed
+        assert scheduler.queue_length == 0
+
+    def test_records_are_causal(self):
+        scheduler, _ = make_scheduler()
+        scheduler.serve(PoissonArrivals(rate_rps=200e3, seed=3), 0.5e-3)
+        for record in scheduler.records:
+            assert record.arrival_s <= record.dispatch_s <= record.finish_s
+            assert record.latency_s >= 0.0
+
+    def test_seeded_rerun_is_bit_identical(self):
+        first, _ = make_scheduler()
+        first.serve(PoissonArrivals(rate_rps=150e3, seed=5), 1e-3)
+        second, _ = make_scheduler()
+        second.serve(PoissonArrivals(rate_rps=150e3, seed=5), 1e-3)
+        assert first.records == second.records
+
+    def test_single_request_matches_one_shot_engine(self):
+        """The serving path is the one-shot path for one request."""
+        platform = MonolithicCrossLight()
+        one_shot = platform.run_workload(WORKLOAD).latency_s
+        scheduler, _ = make_scheduler(platform)
+        scheduler.serve(PoissonArrivals(rate_rps=20e3, seed=1), 60e-6)
+        assert scheduler.requests_injected == 1
+        record = scheduler.records[0]
+        assert record.latency_s == pytest.approx(one_shot, rel=1e-9)
+
+    def test_max_batch_policy_batches_under_load(self):
+        policy = BatchPolicy.max_batch_with_timeout(
+            max_batch=8, batch_timeout_s=20e-6
+        )
+        scheduler, _ = make_scheduler(policy=policy)
+        scheduler.serve(PoissonArrivals(rate_rps=400e3, seed=7), 1e-3)
+        mean_batch = aggregate(scheduler.records)[2]
+        assert mean_batch > 1.5
+        assert max(r.batch_size for r in scheduler.records) <= 8
+        assert scheduler.batches_dispatched < scheduler.requests_completed
+
+    def test_batch_timeout_bounds_queue_delay(self):
+        """A lone request must not wait beyond the gather timeout."""
+        timeout_s = 10e-6
+        policy = BatchPolicy.max_batch_with_timeout(
+            max_batch=64, batch_timeout_s=timeout_s
+        )
+        scheduler, _ = make_scheduler(policy=policy)
+        scheduler.serve(PoissonArrivals(rate_rps=20e3, seed=1), 0.2e-3)
+        assert scheduler.records
+        for record in scheduler.records:
+            assert record.queue_delay_s <= timeout_s * (
+                record.batch_size + 1
+            )
+
+    def test_admission_caps_inflight(self):
+        scheduler, sim = make_scheduler(
+            policy=BatchPolicy.fifo(max_inflight=1)
+        )
+        scheduler.serve(PoissonArrivals(rate_rps=600e3, seed=9), 0.5e-3)
+        # With a single execution slot the time-averaged concurrency
+        # can never exceed one request... per dispatched batch of 1.
+        assert sim.fabric.inflight_requests.value == 0.0
+        assert sim.fabric.mean_inflight_requests <= 1.0 + 1e-9
+
+    def test_closed_loop_self_throttles(self):
+        clients = ClosedLoopClients(n_clients=3, think_time_s=5e-6, seed=2)
+        scheduler, sim = make_scheduler()
+        scheduler.serve(clients, 1e-3)
+        assert scheduler.requests_completed == scheduler.requests_injected
+        assert scheduler.requests_completed > 20
+        # Never more requests in flight than clients.
+        assert sim.fabric.mean_inflight_requests <= 3.0 + 1e-9
+
+    def test_rejects_bad_duration_and_arrivals(self):
+        scheduler, _ = make_scheduler()
+        with pytest.raises(ConfigurationError):
+            scheduler.serve(PoissonArrivals(rate_rps=1e5), 0.0)
+        with pytest.raises(ConfigurationError):
+            scheduler.serve(object(), 1e-3)
+
+    def test_serve_is_single_shot(self):
+        scheduler, _ = make_scheduler()
+        scheduler.serve(PoissonArrivals(rate_rps=100e3, seed=1), 0.2e-3)
+        with pytest.raises(SimulationError):
+            scheduler.serve(PoissonArrivals(rate_rps=100e3, seed=1),
+                            0.2e-3)
+
+
+class TestComputeOccupancy:
+    def test_concurrent_requests_queue_on_chiplets(self):
+        """p99 latency is monotonically non-decreasing in arrival rate."""
+        p99s = []
+        for rate in (100e3, 700e3):
+            scheduler, _ = make_scheduler()
+            scheduler.serve(PoissonArrivals(rate_rps=rate, seed=11), 2e-3)
+            p99s.append(aggregate(scheduler.records)[0].p99_s)
+        assert p99s[0] <= p99s[1]
+        assert p99s[1] > 1.5 * p99s[0]  # visibly queueing, not noise
+
+    def test_utilization_grows_with_load(self):
+        utils = []
+        for rate in (50e3, 700e3):
+            scheduler, _ = make_scheduler()
+            scheduler.serve(PoissonArrivals(rate_rps=rate, seed=4), 1e-3)
+            utils.append(scheduler.compute.mean_utilization())
+        assert 0.0 < utils[0] < utils[1] <= 1.0
+
+    def test_unused_occupancy_reports_zero(self):
+        occupancy = ComputeOccupancy(Environment())
+        assert occupancy.mean_utilization() == 0.0
+        assert occupancy.utilization("nowhere") == 0.0
+
+
+class TestWeightResidency:
+    def test_fetch_once_then_hit(self):
+        platform = MonolithicCrossLight()
+        env = Environment()
+        sim = platform.build_simulation(env)
+        residency = WeightResidency(env)
+        scheduler = RequestScheduler(
+            sim, sim.map_workload(WORKLOAD), "LeNet5",
+            residency=residency,
+        )
+        scheduler.serve(PoissonArrivals(rate_rps=300e3, seed=6), 0.5e-3)
+        assert residency.fetches_issued == len(WORKLOAD)
+        assert residency.fetch_hits > 0
+        assert residency.resident_bits == float(
+            WORKLOAD.total_weight_bits
+        )
+
+    def test_warm_requests_are_faster_than_cold(self):
+        scheduler, _ = make_scheduler()
+        scheduler.serve(PoissonArrivals(rate_rps=50e3, seed=11), 2e-3)
+        cold = scheduler.records[0].latency_s
+        warm = aggregate(scheduler.records[1:])[0].p50_s
+        assert warm < cold
+
+    def test_capacity_evicts_lru_model(self):
+        env = Environment()
+        residency = WeightResidency(env, capacity_bits=100.0)
+        platform = MonolithicCrossLight()
+        sim = platform.build_simulation(env)
+        mapping = sim.map_workload(WORKLOAD)
+        layer = mapping.layers[0]
+        residency.acquire("model-a", layer, sim.fabric)
+        assert residency.resident_bits_for("model-a") > 100.0
+        residency.acquire("model-b", layer, sim.fabric)
+        assert residency.resident_bits_for("model-a") == 0.0
+        assert residency.evictions == 1
+
+    def test_explicit_evict_forces_refetch(self):
+        env = Environment()
+        residency = WeightResidency(env)
+        platform = MonolithicCrossLight()
+        sim = platform.build_simulation(env)
+        layer = sim.map_workload(WORKLOAD).layers[0]
+        residency.acquire("m", layer, sim.fabric)
+        residency.evict("m")
+        residency.acquire("m", layer, sim.fabric)
+        assert residency.fetches_issued == 2
+        assert residency.fetch_hits == 0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WeightResidency(Environment(), capacity_bits=0.0)
+
+
+class TestFabricLoadSignal:
+    def test_unbalanced_finish_raises(self):
+        env = Environment()
+        fabric = MonolithicCrossLight().build_simulation(env).fabric
+        with pytest.raises(SimulationError):
+            fabric.request_finished()
+
+
+class TestControllersUnderLoad:
+    """Reconfiguration controllers react to multi-request demand."""
+
+    def _serve(self, controller, rate_rps, duration_s=0.4e-3):
+        platform = CrossLight25DSiPh(controller=controller)
+        env = Environment()
+        sim = platform.build_simulation(env)
+        scheduler = RequestScheduler(
+            sim, sim.map_workload(WORKLOAD), "LeNet5",
+            policy=BatchPolicy.fifo(max_inflight=8),
+        )
+        scheduler.serve(
+            PoissonArrivals(rate_rps=rate_rps, seed=13), duration_s
+        )
+        return sim, scheduler
+
+    def test_resipi_sees_overlapping_demand(self):
+        """The epoch monitor aggregates traffic across in-flight
+        requests — epochs during the serving window carry read traffic
+        for multiple chiplets at once."""
+        sim, scheduler = self._serve("resipi", 900e3)
+        assert sim.fabric.mean_inflight_requests > 1.0
+        busy_epochs = [
+            epoch for epoch in sim.fabric.monitor.history
+            if sum(1 for key in epoch if key.startswith("read:")) >= 2
+        ]
+        assert busy_epochs
+
+    def test_prowaves_scales_wavelengths_with_load(self):
+        """Time-varying demand moves the wavelength fraction: busy
+        epochs ramp it above the idle floor, and the drain tail lets it
+        fall back down."""
+        sim, _ = self._serve("prowaves", 500e3)
+        log = sim.controller.decision_log
+        floor = 1.0 / DEFAULT_PLATFORM.n_wavelengths
+        assert max(log) > floor
+        assert log[-1] < max(log)
+
+
+class TestServingStudy:
+    def test_p99_monotone_and_curve_export(self, tmp_path):
+        """Acceptance: Poisson at two rates -> non-decreasing p99, and
+        the latency-throughput curve survives the JSON export layer."""
+        results = serving_study(
+            model_name="LeNet5", platforms=("CrossLight",),
+            rates_rps=(100e3, 700e3), duration_s=2e-3,
+            cache_dir=tmp_path / "cache",
+        )
+        curve = latency_throughput_curve(results)
+        assert len(curve) == 2
+        (rate_lo, good_lo, p99_lo), (rate_hi, good_hi, p99_hi) = curve
+        assert rate_lo < rate_hi
+        assert p99_lo <= p99_hi
+        assert good_hi > good_lo
+
+        parsed = json.loads(serving_results_to_json(results))
+        assert parsed[0]["latency_s"]["p99"] == pytest.approx(p99_lo)
+        assert "goodput_rps" in parsed[0]
+
+    def test_study_is_cacheable_and_deterministic(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        kwargs = dict(
+            model_name="LeNet5", platforms=("CrossLight",),
+            rates_rps=(150e3,), duration_s=0.5e-3, cache_dir=cache_dir,
+        )
+        cold = serving_study(**kwargs)
+        warm = serving_study(**kwargs)
+        assert cold == warm
+        fresh = serving_study(
+            model_name="LeNet5", platforms=("CrossLight",),
+            rates_rps=(150e3,), duration_s=0.5e-3,
+        )
+        assert fresh == cold
+
+    def test_cells_do_not_collide_across_parameters(self):
+        base = ServingCell(
+            platform="CrossLight", model="LeNet5", controller="resipi",
+            policy=BatchPolicy.fifo(), arrival_kind="poisson",
+            rate_rps=1e5, duration_s=1e-3, seed=7,
+            config=DEFAULT_PLATFORM,
+        )
+        variants = [
+            ServingCell(**{**base.__dict__, "rate_rps": 2e5}),
+            ServingCell(**{**base.__dict__, "arrival_kind": "mmpp"}),
+            ServingCell(**{**base.__dict__, "seed": 8}),
+            ServingCell(**{**base.__dict__,
+                           "policy": BatchPolicy.max_batch_with_timeout()}),
+        ]
+        keys = {base.key()} | {cell.key() for cell in variants}
+        assert len(keys) == 5
+
+    def test_mmpp_study_runs(self):
+        cell = ServingCell(
+            platform="CrossLight", model="LeNet5", controller="resipi",
+            policy=BatchPolicy.max_batch_with_timeout(max_batch=4),
+            arrival_kind="mmpp", rate_rps=2e5, duration_s=0.5e-3,
+            seed=3, config=DEFAULT_PLATFORM,
+        )
+        result = simulate_serving_cell(cell)
+        assert result.requests_completed == result.requests_injected
+        assert result.arrival_kind == "mmpp"
+        assert result.total_energy_j > 0.0
+
+    def test_render_and_csv(self):
+        results = serving_study(
+            model_name="LeNet5", platforms=("CrossLight",),
+            rates_rps=(100e3,), duration_s=0.3e-3,
+        )
+        text = render_serving_study(results)
+        assert "goodput/s" in text
+        assert "CrossLight" in text
+        csv_text = serving_results_to_csv(results)
+        assert "p99_s" in csv_text.splitlines()[0]
+        record = serving_result_to_dict(results[0])
+        assert record["platform"] == "CrossLight"
+        assert record["channel_utilization"]

@@ -1,0 +1,148 @@
+"""Arrival processes: rate correctness, determinism, burst structure."""
+
+from itertools import islice
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.core import Environment
+from repro.sim.traffic import (
+    ARRIVAL_KINDS,
+    ClosedLoopClients,
+    MMPPArrivals,
+    PoissonArrivals,
+)
+
+
+def take(iterator, n):
+    return np.array(list(islice(iterator, n)))
+
+
+class TestPoissonArrivals:
+    def test_mean_rate_converges(self):
+        gaps = take(PoissonArrivals(rate_rps=1e5, seed=3).gaps(), 20_000)
+        assert 1.0 / gaps.mean() == pytest.approx(1e5, rel=0.05)
+
+    def test_exponential_shape(self):
+        """CV of exponential gaps is 1."""
+        gaps = take(PoissonArrivals(rate_rps=5e4, seed=9).gaps(), 20_000)
+        assert gaps.std() / gaps.mean() == pytest.approx(1.0, rel=0.05)
+
+    def test_seeded_determinism(self):
+        a = take(PoissonArrivals(rate_rps=1e5, seed=42).gaps(), 500)
+        b = take(PoissonArrivals(rate_rps=1e5, seed=42).gaps(), 500)
+        c = take(PoissonArrivals(rate_rps=1e5, seed=43).gaps(), 500)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PoissonArrivals(rate_rps=0.0)
+
+
+class TestMMPPArrivals:
+    def test_mean_rate_converges(self):
+        spec = MMPPArrivals(rate_rps=1e5, burstiness=4.0, dwell_s=20e-6,
+                            seed=3)
+        gaps = take(spec.gaps(), 60_000)
+        assert 1.0 / gaps.mean() == pytest.approx(1e5, rel=0.05)
+
+    def test_burstier_than_poisson(self):
+        spec = MMPPArrivals(rate_rps=1e5, burstiness=6.0, dwell_s=50e-6,
+                            seed=3)
+        gaps = take(spec.gaps(), 60_000)
+        assert gaps.std() / gaps.mean() > 1.1
+
+    def test_phase_rates_average_to_rate(self):
+        spec = MMPPArrivals(rate_rps=1e5, burstiness=4.0)
+        low, high = spec.phase_rates_rps
+        assert high == pytest.approx(4.0 * low)
+        assert (low + high) / 2.0 == pytest.approx(1e5)
+
+    def test_seeded_determinism(self):
+        make = lambda seed: MMPPArrivals(rate_rps=2e5, seed=seed)
+        assert np.array_equal(take(make(1).gaps(), 500),
+                              take(make(1).gaps(), 500))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MMPPArrivals(rate_rps=-1.0)
+        with pytest.raises(ConfigurationError):
+            MMPPArrivals(rate_rps=1e5, burstiness=0.5)
+        with pytest.raises(ConfigurationError):
+            MMPPArrivals(rate_rps=1e5, dwell_s=0.0)
+
+
+class TestClosedLoopClients:
+    def test_think_gaps_deterministic_per_client(self):
+        spec = ClosedLoopClients(n_clients=4, think_time_s=5e-6, seed=1)
+        a = take(spec.think_gaps(0), 100)
+        b = take(spec.think_gaps(0), 100)
+        other = take(spec.think_gaps(1), 100)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, other)
+
+    def test_think_rate(self):
+        spec = ClosedLoopClients(n_clients=1, think_time_s=2e-6, seed=5)
+        gaps = take(spec.think_gaps(0), 20_000)
+        assert gaps.mean() == pytest.approx(2e-6, rel=0.05)
+
+    def test_zero_think_time(self):
+        spec = ClosedLoopClients(n_clients=2, think_time_s=0.0)
+        assert take(spec.think_gaps(0), 3).tolist() == [0.0, 0.0, 0.0]
+        assert spec.mean_rate_rps == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ClosedLoopClients(n_clients=0)
+        with pytest.raises(ConfigurationError):
+            ClosedLoopClients(n_clients=1, think_time_s=-1.0)
+
+
+class TestArrivalRegistry:
+    def test_kinds_registered(self):
+        assert ARRIVAL_KINDS["poisson"] is PoissonArrivals
+        assert ARRIVAL_KINDS["mmpp"] is MMPPArrivals
+        assert ARRIVAL_KINDS["closed"] is ClosedLoopClients
+
+
+class TestAnyOf:
+    """Kernel race event backing the batch-timeout wait."""
+
+    def test_first_event_wins(self):
+        env = Environment()
+        early = env.timeout(1.0, value="early")
+        late = env.timeout(2.0, value="late")
+        race = env.any_of([late, early])
+        env.run()
+        assert race.processed
+        assert race.value == "early"
+
+    def test_already_fired_child_wins_immediately(self):
+        env = Environment()
+        fired = env.event()
+        fired.succeed("done")
+        env.run()
+        race = env.any_of([env.timeout(5.0), fired])
+        env.run(until=0.1)
+        assert race.value == "done"
+
+    def test_empty_race_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.any_of([])
+
+    def test_process_resumes_on_winner(self):
+        env = Environment()
+        seen = []
+
+        def proc():
+            value = yield env.any_of(
+                [env.timeout(3.0, "slow"), env.timeout(1.0, "fast")]
+            )
+            seen.append((env.now, value))
+
+        env.process(proc())
+        env.run()
+        assert seen == [(1.0, "fast")]
