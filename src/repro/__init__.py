@@ -8,6 +8,8 @@ Public API highlights:
 * :mod:`repro.core` — the accelerator platforms (monolithic CrossLight,
   2.5D electrical, 2.5D photonic with ReSiPI).
 * :mod:`repro.experiments` — regenerators for every table and figure.
+* :mod:`repro.studies` — the declarative scenario API: serializable
+  study specs, plugin registries and the ``run_study`` compiler.
 """
 
 from .config import DEFAULT_PLATFORM, PlatformConfig

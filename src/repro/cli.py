@@ -10,11 +10,18 @@ Exposes the experiment drivers without writing Python::
     python -m repro run --model ResNet50 --platform siph --batch 4
     python -m repro dse --sweep wavelengths --jobs 4 --cache-dir .repro-cache
     python -m repro serve-study --model LeNet5 --rates 20e3,50e3,100e3
+    python -m repro study examples/study_spec.json --jobs 4
     python -m repro bench --check        # perf-regression smoke check
 
 Experiment commands accept ``--jobs N`` (process fan-out over the
 simulation cells) and ``--cache-dir PATH`` (persistent result cache:
 repeated invocations never re-simulate identical cells).
+
+``run``, ``dse`` and ``serve-study`` are thin wrappers over the
+declarative scenario API (:mod:`repro.studies`): each builds a
+:class:`~repro.studies.spec.StudySpec` and executes it through
+``run_study`` — the same entry point the ``study`` verb feeds with a
+JSON spec file.
 """
 
 from __future__ import annotations
@@ -25,21 +32,17 @@ from pathlib import Path
 from typing import Sequence
 
 from .config import DEFAULT_PLATFORM
-from .core.accelerator import (
-    CrossLight25DAWGR,
-    CrossLight25DElec,
-    CrossLight25DSiPh,
-    MonolithicCrossLight,
-)
 from .dnn import zoo
+from .errors import ReproError
 
 PLATFORM_ALIASES = {
-    "mono": MonolithicCrossLight,
-    "crosslight": MonolithicCrossLight,
-    "elec": CrossLight25DElec,
-    "siph": CrossLight25DSiPh,
-    "awgr": CrossLight25DAWGR,
+    "mono": "CrossLight",
+    "crosslight": "CrossLight",
+    "elec": "2.5D-CrossLight-Elec",
+    "siph": "2.5D-CrossLight-SiPh",
+    "awgr": "2.5D-CrossLight-AWGR",
 }
+"""CLI platform aliases -> registry (Table 3) platform names."""
 
 
 def _cmd_table1(_: argparse.Namespace) -> int:
@@ -97,13 +100,16 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    platform_cls = PLATFORM_ALIASES[args.platform]
-    if args.platform == "siph":
-        platform = platform_cls(controller=args.controller)
-    else:
-        platform = platform_cls()
-    model = zoo.build(args.model)
-    result = platform.run_model(model, batch_size=args.batch)
+    from .studies.builders import run_spec
+    from .studies.compile import run_study
+
+    spec = run_spec(
+        model=args.model,
+        platform=PLATFORM_ALIASES[args.platform],
+        controller=args.controller,
+        batch_size=args.batch,
+    )
+    result = run_study(spec).points[0].results[0]
     print(result.summary_row())
     print(f"batch {result.batch_size}: "
           f"{result.latency_per_inference_s * 1e3:.4f} ms/image, "
@@ -156,12 +162,10 @@ def _cmd_dse(args: argparse.Namespace) -> int:
     return 0
 
 
-SERVE_PLATFORM_NAMES = {
-    "mono": "CrossLight",
-    "elec": "2.5D-CrossLight-Elec",
-    "siph": "2.5D-CrossLight-SiPh",
-}
-"""Serving-study platform aliases -> Table 3 platform names."""
+SERVE_PLATFORM_CHOICES = ("mono", "elec", "siph")
+"""Aliases servable by ``serve-study`` (resolved via
+``PLATFORM_ALIASES``; the AWGR topology baseline stays one-shot-only
+until its serving behavior is characterised)."""
 
 
 def _positive_float(text: str) -> float:
@@ -196,35 +200,74 @@ def _cmd_serve_study(args: argparse.Namespace) -> int:
     from .experiments.export import serving_results_to_json, write_text
     from .experiments.serving_study import (
         render_serving_study,
-        serving_study,
+        render_slo_summary,
     )
-    from .serving.scheduler import BatchPolicy
+    from .studies.builders import serve_study_spec
+    from .studies.compile import run_study
+    from .studies.spec import SchedulerSpec
 
-    if args.policy == "fifo":
-        policy = BatchPolicy.fifo(max_inflight=args.max_inflight)
-    else:
-        policy = BatchPolicy.max_batch_with_timeout(
+    if args.policy == "max-batch":
+        # Batching knobs are meaningful (and cache-key-relevant) only
+        # under max-batch; leave them at spec defaults otherwise so
+        # identical simulations share identical keys.
+        scheduler = SchedulerSpec(
+            policy=args.policy,
             max_batch=args.max_batch,
             batch_timeout_s=args.batch_timeout_us * 1e-6,
             max_inflight=args.max_inflight,
+            shed_expired=args.shed_expired,
         )
-    results = serving_study(
-        model_name=args.model,
+    else:
+        scheduler = SchedulerSpec(
+            policy=args.policy,
+            max_inflight=args.max_inflight,
+            shed_expired=args.shed_expired,
+        )
+    spec = serve_study_spec(
+        model=args.model,
         platforms=tuple(
-            SERVE_PLATFORM_NAMES[alias] for alias in args.platforms
+            PLATFORM_ALIASES[alias] for alias in args.platforms
         ),
         controllers=tuple(args.controllers),
-        policies=(policy,),
+        scheduler=scheduler,
         rates_rps=args.rates,
-        arrival_kind=args.arrival,
+        arrival=args.arrival,
         duration_s=args.duration_us * 1e-6,
         seed=args.seed,
-        jobs=args.jobs,
-        cache_dir=args.cache_dir,
     )
+    study = run_study(spec, jobs=args.jobs, cache_dir=args.cache_dir)
+    results = study.serving_results()
     print(render_serving_study(results))
+    slo_table = render_slo_summary(results)
+    if slo_table:
+        print(f"\nper-model SLO attainment:\n{slo_table}")
     if args.json:
         write_text(args.json, serving_results_to_json(results))
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    from .experiments.export import (
+        results_to_json,
+        serving_results_to_json,
+        write_text,
+    )
+    from .studies.compile import load_spec, render_study, run_study
+
+    try:
+        spec = load_spec(args.spec)
+        study = run_study(spec, jobs=args.jobs, cache_dir=args.cache_dir)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(render_study(study))
+    if args.json:
+        flat = study.flat_results()
+        if spec.kind == "serving":
+            write_text(args.json, serving_results_to_json(flat))
+        else:
+            write_text(args.json, results_to_json(flat))
         print(f"\nwrote {args.json}")
     return 0
 
@@ -335,15 +378,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--model", choices=tuple(zoo.MODEL_BUILDERS),
                        default="LeNet5")
     serve.add_argument("--platforms", nargs="+",
-                       choices=tuple(SERVE_PLATFORM_NAMES),
+                       choices=SERVE_PLATFORM_CHOICES,
                        default=["siph"],
                        help="platforms to sweep (default: siph)")
     serve.add_argument("--controllers", nargs="+",
                        choices=("resipi", "prowaves", "static"),
                        default=["resipi"],
                        help="interposer policies (siph platform only)")
-    serve.add_argument("--policy", choices=("fifo", "max-batch"),
+    serve.add_argument("--policy",
+                       choices=("fifo", "max-batch", "edf", "priority"),
                        default="fifo", help="dispatch/batching policy")
+    serve.add_argument("--shed-expired", action="store_true",
+                       help="shed requests whose deadline already passed")
     serve.add_argument("--max-batch", type=_positive_int, default=8,
                        help="batch size cap for --policy max-batch")
     serve.add_argument("--batch-timeout-us", type=_non_negative_float,
@@ -363,6 +409,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--json", default=None, metavar="PATH",
                        help="also export the sweep as JSON")
     serve.set_defaults(func=_cmd_serve_study)
+
+    study = sub.add_parser(
+        "study", parents=[perf],
+        help="run a declarative study spec (JSON) end to end",
+    )
+    study.add_argument("spec", metavar="SPEC.json",
+                       help="study spec file (see examples/study_spec.json)")
+    study.add_argument("--json", default=None, metavar="PATH",
+                       help="also export every point result as JSON")
+    study.set_defaults(func=_cmd_study)
 
     bench = sub.add_parser(
         "bench", help="time the simulator microbenchmarks"

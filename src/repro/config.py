@@ -256,6 +256,31 @@ class PlatformConfig:
         """Copy of this config with a different wavelength count (DSE)."""
         return replace(self, n_wavelengths=n)
 
+    def with_gateways_per_chiplet(self, gateways: int) -> "PlatformConfig":
+        """Copy with a different gateway count per compute chiplet (DSE).
+
+        Rebuilds every MAC group; the memory chiplet's writer-gateway
+        count scales along (2x the per-chiplet count, matching the
+        Table 1 ratio of 8 memory gateways to 4 per compute chiplet) —
+        that is the side that actually bounds read bandwidth.
+        """
+        groups = []
+        for group in self.mac_groups:
+            if group.macs_per_chiplet % gateways:
+                raise ConfigurationError(
+                    f"{group.kind}: {group.macs_per_chiplet} MACs cannot "
+                    f"split over {gateways} gateways"
+                )
+            groups.append(replace(
+                group,
+                macs_per_gateway=group.macs_per_chiplet // gateways,
+            ))
+        return replace(
+            self,
+            mac_groups=tuple(groups),
+            n_memory_write_gateways=2 * gateways,
+        )
+
 
 DEFAULT_PLATFORM = PlatformConfig()
 """The paper's Table 1 configuration."""

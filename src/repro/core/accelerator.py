@@ -24,7 +24,7 @@ from ..config import DEFAULT_PLATFORM, PlatformConfig
 from ..dnn.model import Model
 from ..dnn.quantization import QuantizationConfig
 from ..dnn.workload import InferenceWorkload, extract_workload
-from ..errors import ConfigurationError
+from ..errors import UnknownNameError
 from ..interposer.base import InterposerFabric
 from ..interposer.electrical.mesh import ElectricalMeshFabric
 from ..interposer.photonic.controllers import CONTROLLER_FACTORIES
@@ -226,9 +226,8 @@ class CrossLight25DSiPh(_CrossLight25DBase):
                  mapper: KernelMatchMapper | None = None):
         super().__init__(config, mapper)
         if controller not in CONTROLLER_FACTORIES:
-            raise ConfigurationError(
-                f"unknown controller {controller!r}; "
-                f"choose from {sorted(CONTROLLER_FACTORIES)}"
+            raise UnknownNameError(
+                "controller", controller, sorted(CONTROLLER_FACTORIES)
             )
         self.controller_name = controller
         self.name = "2.5D-CrossLight-SiPh"

@@ -7,6 +7,9 @@ mistakes (user-fixable) from modelling violations (internal invariants).
 
 from __future__ import annotations
 
+import difflib
+from typing import Iterable, Sequence
+
 
 class ReproError(Exception):
     """Base class for every error raised by this library."""
@@ -14,6 +17,52 @@ class ReproError(Exception):
 
 class ConfigurationError(ReproError):
     """An architecture or device configuration is invalid or inconsistent."""
+
+
+def did_you_mean(name: str, known: Iterable[str]) -> tuple[str, ...]:
+    """Close matches for a mistyped name among the registered ones."""
+    return tuple(
+        difflib.get_close_matches(name, list(known), n=3, cutoff=0.4)
+    )
+
+
+class UnknownNameError(ConfigurationError, KeyError):
+    """A registry lookup failed: no entry under the requested name.
+
+    Also a :class:`KeyError` because the registries replaced plain
+    dictionary lookups — callers catching ``KeyError`` keep working.
+    Carries the registry kind, the failing name, the registered names
+    and a did-you-mean suggestion list for error messages.
+    """
+
+    def __init__(self, kind: str, name: str, known: Sequence[str]):
+        self.kind = kind
+        self.name = name
+        self.known = tuple(known)
+        self.suggestions = did_you_mean(name, self.known)
+        message = f"unknown {kind} {name!r}"
+        if self.suggestions:
+            message += (
+                "; did you mean "
+                + " or ".join(repr(s) for s in self.suggestions)
+                + "?"
+            )
+        message += f" (registered: {', '.join(self.known)})"
+        super().__init__(message)
+        self.args = (message,)
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0]
+
+    def __reduce__(self):
+        # args holds the rendered message, not the ctor signature —
+        # rebuild from the fields so worker-process raises survive
+        # the trip back through the process pool.
+        return (type(self), (self.kind, self.name, self.known))
+
+
+class SpecError(ConfigurationError):
+    """A declarative study spec is malformed or fails validation."""
 
 
 class LinkBudgetError(ReproError):

@@ -44,6 +44,7 @@ from .runner import (
     cell_key,
     config_digest,
     parallel_map,
+    run_cached,
     simulate_cells,
 )
 from .sensitivity import (
@@ -52,12 +53,16 @@ from .sensitivity import (
     sensitivity_study,
 )
 from .serving_study import (
+    ScenarioCell,
     ServingCell,
     latency_throughput_curve,
     render_serving_study,
+    render_slo_summary,
     serving_study,
+    simulate_scenario_cell,
     simulate_serving_cell,
     simulate_serving_cells,
+    simulate_study_cells,
 )
 from .table3 import PAPER_TABLE3, Table3, build_table3, render_table3
 from .tables import render_table1, render_table2
@@ -89,12 +94,16 @@ __all__ = [
     "SensitivityPoint",
     "render_sensitivity",
     "sensitivity_study",
+    "ScenarioCell",
     "ServingCell",
     "latency_throughput_curve",
     "render_serving_study",
+    "render_slo_summary",
     "serving_study",
+    "simulate_scenario_cell",
     "simulate_serving_cell",
     "simulate_serving_cells",
+    "simulate_study_cells",
     "serving_result_to_dict",
     "serving_results_to_csv",
     "serving_results_to_json",
@@ -109,6 +118,7 @@ __all__ = [
     "cell_key",
     "config_digest",
     "parallel_map",
+    "run_cached",
     "simulate_cells",
     "PAPER_TABLE3",
     "Table3",

@@ -2,22 +2,38 @@
 
 The paper's conclusions call for exploration of the number of
 wavelengths, gateways per chiplet, and MACs per chiplet.  These sweeps
-implement that study on top of the simulator, plus an ablation of the
-interposer reconfiguration policy (ReSiPI vs PROWAVES vs static).
+implement that study as declarative specs lowered through the study
+compiler (:mod:`repro.studies`), plus an ablation of the interposer
+reconfiguration policy (ReSiPI vs PROWAVES vs static).
 
 Every sweep takes ``jobs``/``cache_dir``: design points are independent
 simulations, so they fan out over worker processes and share the
-persistent result cache (see :mod:`repro.experiments.runner`).
+persistent result cache (see :mod:`repro.experiments.runner`) — the
+spec path lowers to the exact same cells and cache keys as the
+pre-spec implementation.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from pathlib import Path
 
-from ..config import DEFAULT_PLATFORM, MacGroupConfig, PlatformConfig
+from ..config import DEFAULT_PLATFORM, PlatformConfig
 from ..core.metrics import InferenceResult
-from .runner import ExperimentRunner, simulate_cells
+from .runner import ExperimentRunner
+
+
+def _study_api():
+    """Late import of the study compiler.
+
+    The compiler sits above the experiment layer (it imports this
+    package's modules), so importing it at module scope would be a
+    cycle whenever :mod:`repro.studies.compile` loads first.
+    """
+    from ..studies import builders, compile as study_compile
+
+    return builders, study_compile.run_study
+
 
 DEFAULT_WAVELENGTH_SWEEP = (8, 16, 32, 64, 128)
 DEFAULT_GATEWAY_SWEEP = (1, 2, 4)
@@ -54,52 +70,16 @@ def sweep_wavelengths(
     cache_dir: str | Path | None = None,
 ) -> list[SweepPoint]:
     """Latency/power/EPB of the SiPh platform vs wavelength count."""
-    base = base_config or DEFAULT_PLATFORM
-    cells = [
-        (SIPH, model_name, "resipi", base.with_wavelengths(n_lambda))
-        for n_lambda in values
-    ]
-    results = simulate_cells(cells, jobs=jobs, cache_dir=cache_dir)
+    builders, run_study = _study_api()
+    study = run_study(
+        builders.wavelength_sweep_spec(model_name, values),
+        jobs=jobs, cache_dir=cache_dir, base_config=base_config,
+    )
     return [
         SweepPoint(label=f"{n_lambda} wavelengths", value=n_lambda,
-                   result=result)
-        for n_lambda, result in zip(values, results)
+                   result=point.results[0])
+        for n_lambda, point in zip(values, study.points)
     ]
-
-
-def _with_gateways_per_chiplet(config: PlatformConfig,
-                               gateways: int) -> PlatformConfig:
-    """Rebuild the MAC groups with a different gateway count per chiplet.
-
-    Table 1's groups all have MAC counts divisible by 1, 2 and 4, so the
-    default sweep values keep the inventory integral.  The memory
-    chiplet's writer-gateway count scales along (2x the per-chiplet
-    count, matching the Table 1 ratio of 8 memory gateways to 4 per
-    compute chiplet) — that is the side that actually bounds read
-    bandwidth.
-    """
-    groups = []
-    for group in config.mac_groups:
-        if group.macs_per_chiplet % gateways:
-            raise ValueError(
-                f"{group.kind}: {group.macs_per_chiplet} MACs cannot split "
-                f"over {gateways} gateways"
-            )
-        groups.append(
-            MacGroupConfig(
-                kind=group.kind,
-                vector_length=group.vector_length,
-                kernel_size=group.kernel_size,
-                n_chiplets=group.n_chiplets,
-                macs_per_chiplet=group.macs_per_chiplet,
-                macs_per_gateway=group.macs_per_chiplet // gateways,
-            )
-        )
-    return replace(
-        config,
-        mac_groups=tuple(groups),
-        n_memory_write_gateways=2 * gateways,
-    )
 
 
 def sweep_gateways(
@@ -110,16 +90,15 @@ def sweep_gateways(
     cache_dir: str | Path | None = None,
 ) -> list[SweepPoint]:
     """SiPh platform vs gateways per compute chiplet."""
-    base = base_config or DEFAULT_PLATFORM
-    cells = [
-        (SIPH, model_name, "resipi", _with_gateways_per_chiplet(base, g))
-        for g in values
-    ]
-    results = simulate_cells(cells, jobs=jobs, cache_dir=cache_dir)
+    builders, run_study = _study_api()
+    study = run_study(
+        builders.gateway_sweep_spec(model_name, values),
+        jobs=jobs, cache_dir=cache_dir, base_config=base_config,
+    )
     return [
         SweepPoint(label=f"{gateways} gateways/chiplet", value=gateways,
-                   result=result)
-        for gateways, result in zip(values, results)
+                   result=point.results[0])
+        for gateways, point in zip(values, study.points)
     ]
 
 
@@ -162,16 +141,15 @@ def controller_ablation(
     cache_dir: str | Path | None = None,
 ) -> dict[tuple[str, str], InferenceResult]:
     """Compare interposer reconfiguration policies (E10)."""
-    base = base_config or DEFAULT_PLATFORM
-    cells = [
-        (SIPH, model_name, controller, base)
-        for controller in controllers
-        for model_name in model_names
-    ]
-    results = simulate_cells(cells, jobs=jobs, cache_dir=cache_dir)
+    builders, run_study = _study_api()
+    study = run_study(
+        builders.controller_ablation_spec(model_names, controllers),
+        jobs=jobs, cache_dir=cache_dir, base_config=base_config,
+    )
     return {
-        (cell[2], cell[1]): result
-        for cell, result in zip(cells, results)
+        (point.spec.platform.controller, entry.model): result
+        for point in study.points
+        for entry, result in zip(point.spec.workload.models, point.results)
     }
 
 

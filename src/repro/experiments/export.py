@@ -95,6 +95,9 @@ SERVING_FIELDS = (
     "energy_per_request_j",
     "peak_channel_utilization",
     "saturated",
+    "requests_shed",
+    "slo_violations",
+    "slo_attainment",
 )
 """Scalar columns exported for every serving result."""
 
@@ -102,6 +105,25 @@ SERVING_FIELDS = (
 def serving_result_to_dict(result: ServingResult) -> dict:
     """Flatten one serving result to a JSON-safe dictionary."""
     record = {field: getattr(result, field) for field in SERVING_FIELDS}
+    record["per_model"] = [
+        {
+            "model": stats.model,
+            "slo_s": stats.slo_s,
+            "completed": stats.completed,
+            "shed": stats.shed,
+            "slo_violations": stats.slo_violations,
+            "slo_attainment": stats.slo_attainment,
+            "goodput_rps": stats.goodput_rps,
+            "latency_s": {
+                "mean": stats.latency.mean_s,
+                "p50": stats.latency.p50_s,
+                "p95": stats.latency.p95_s,
+                "p99": stats.latency.p99_s,
+                "max": stats.latency.max_s,
+            },
+        }
+        for stats in result.per_model
+    ]
     record["latency_s"] = {
         "mean": result.latency.mean_s,
         "p50": result.latency.p50_s,

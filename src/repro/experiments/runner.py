@@ -26,14 +26,11 @@ from pathlib import Path
 from typing import Any, Callable, Sequence
 
 from ..config import DEFAULT_PLATFORM, PlatformConfig
-from ..core.accelerator import (
-    CrossLight25DElec,
-    CrossLight25DSiPh,
-    MonolithicCrossLight,
-)
 from ..core.metrics import InferenceResult
 from ..dnn import zoo
 from ..dnn.workload import InferenceWorkload, extract_workload
+from ..errors import UnknownNameError
+from ..studies.registry import MODELS, PLATFORMS
 
 MODEL_NAMES = tuple(zoo.MODEL_BUILDERS)
 """Table 2 model names in paper order."""
@@ -160,21 +157,20 @@ class ResultCache:
 
 def build_platform(platform_name: str, config: PlatformConfig,
                    controller: str = "resipi"):
-    """Construct one of the three simulated platforms by Table 3 name."""
-    if platform_name == "CrossLight":
-        return MonolithicCrossLight(config)
-    if platform_name == "2.5D-CrossLight-Elec":
-        return CrossLight25DElec(config)
-    if platform_name == "2.5D-CrossLight-SiPh":
-        return CrossLight25DSiPh(config, controller=controller)
-    raise KeyError(f"unknown platform {platform_name!r}")
+    """Construct a simulated platform by its registry (Table 3) name.
+
+    Resolution goes through the platform registry, so unknown names
+    fail with a typed did-you-mean error and externally registered
+    platforms work everywhere this is called.
+    """
+    return PLATFORMS.get(platform_name)(config, controller)
 
 
 def _simulate_cell(platform_name: str, model_name: str, controller: str,
                    config: PlatformConfig) -> InferenceResult:
     """Worker body: one full simulation of one matrix cell."""
     platform = build_platform(platform_name, config, controller)
-    workload = extract_workload(zoo.build(model_name))
+    workload = extract_workload(MODELS.get(model_name)())
     return platform.run_workload(workload)
 
 
@@ -207,30 +203,53 @@ def _simulate_many(cells: Sequence[Cell], jobs: int
     return parallel_map(_simulate_cell, cells, jobs)
 
 
+def run_cached(cells: Sequence, key_fn: Callable[[Any], str],
+               simulate_fn: Callable, jobs: int = 1,
+               cache_dir: str | Path | None = None) -> list:
+    """``[simulate_fn(cell) for cell in cells]``, cached and parallel.
+
+    The one cache-then-fan-out driver every study shares: resolves the
+    disk cache first (by ``key_fn(cell)``), simulates only the misses —
+    over worker processes when ``jobs > 1`` — then back-fills the
+    cache.  ``simulate_fn`` and the cells must be picklable
+    module-level objects; results come back in input order.
+    """
+    cache = ResultCache(cache_dir) if cache_dir else None
+    results: list = [None] * len(cells)
+    pending: list[int] = []
+    for index, cell in enumerate(cells):
+        hit = cache.get(key_fn(cell)) if cache is not None else None
+        if hit is not None:
+            results[index] = hit
+        else:
+            pending.append(index)
+    fresh = parallel_map(
+        simulate_fn, [(cells[i],) for i in pending], jobs
+    )
+    for index, result in zip(pending, fresh):
+        results[index] = result
+        if cache is not None:
+            cache.put(key_fn(cells[index]), result)
+    return results
+
+
+def _simulate_cell_tuple(cell: Cell) -> InferenceResult:
+    """Adapter: one-argument worker for :func:`run_cached`."""
+    return _simulate_cell(*cell)
+
+
 def simulate_cells(cells: Sequence[Cell], jobs: int = 1,
                    cache_dir: str | Path | None = None
                    ) -> list[InferenceResult]:
     """Run arbitrary simulation cells with optional cache and fan-out.
 
-    The shared building block for the DSE sweeps: resolves the disk
-    cache first, simulates only the misses (in parallel when asked),
-    then back-fills the cache.
+    The shared building block for the DSE sweeps, on top of
+    :func:`run_cached` with the plain matrix-cell key.
     """
-    cache = ResultCache(cache_dir) if cache_dir else None
-    results: list[InferenceResult | None] = [None] * len(cells)
-    pending: list[int] = []
-    for index, cell in enumerate(cells):
-        hit = cache.get(cell_key(*cell)) if cache is not None else None
-        if hit is not None:
-            results[index] = hit
-        else:
-            pending.append(index)
-    fresh = _simulate_many([cells[i] for i in pending], jobs)
-    for index, result in zip(pending, fresh):
-        results[index] = result
-        if cache is not None:
-            cache.put(cell_key(*cells[index]), result)
-    return results  # type: ignore[return-value]
+    return run_cached(
+        list(cells), lambda cell: cell_key(*cell), _simulate_cell_tuple,
+        jobs=jobs, cache_dir=cache_dir,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -269,7 +288,7 @@ class ExperimentRunner:
         """Extract (and cache) the inference workload of a zoo model."""
         if model_name not in self._workloads:
             self._workloads[model_name] = extract_workload(
-                zoo.build(model_name)
+                MODELS.get(model_name)()
             )
         return self._workloads[model_name]
 
@@ -316,7 +335,9 @@ class ExperimentRunner:
         jobs = self.jobs if jobs is None else jobs
         for platform_name in platforms:
             if platform_name not in PLATFORM_ORDER:
-                raise KeyError(f"unknown platform {platform_name!r}")
+                raise UnknownNameError(
+                    "matrix platform", platform_name, PLATFORM_ORDER
+                )
         pending: list[tuple[str, str]] = []
         for platform_name in platforms:
             for model_name in models:

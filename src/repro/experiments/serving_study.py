@@ -1,35 +1,49 @@
-"""Latency-under-load study: latency–throughput curves per platform.
+"""Latency-under-load studies: serving simulations as cacheable cells.
 
-Sweeps arrival rate × batch policy × controller × platform for one
-model, simulating a full request-serving window per point
-(:mod:`repro.serving`), and reports the latency–throughput curve with
-tail percentiles, goodput and fabric utilization.  Each point is an
-independent *cell* — the study reuses the parallel fan-out and the
-persistent on-disk result cache of the experiment runner, extending
-``cell_key`` with the serving parameters so serving points never
-collide with single-inference results.
+Two cell shapes cover every serving scenario:
+
+* :class:`ServingCell` — the classic latency–throughput point: one
+  model, one arrival process, one batch policy.  ``serve-study`` sweeps
+  arrival rate × policy × controller × platform over these.
+* :class:`ScenarioCell` — the spec-driven generalisation: a
+  multi-tenant traffic mix with per-model SLOs/priorities, deadline-
+  aware policies (``edf``/``priority``/shedding), shared
+  weight-residency budgets and tunable arrival-process knobs.  The
+  declarative study layer (:mod:`repro.studies`) lowers
+  :class:`~repro.studies.spec.StudySpec` points onto these, keying the
+  cache by the spec digest.
+
+Both reuse the parallel fan-out and the persistent on-disk result cache
+of the experiment runner, extending ``cell_key`` with the serving
+parameters so serving points never collide with single-inference
+results.
 """
 
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Sequence
+from typing import Iterator, Sequence
+
+import numpy as np
 
 from ..config import DEFAULT_PLATFORM, PlatformConfig
 from ..core.engine import ExecutionTrace
-from ..dnn import zoo
 from ..dnn.workload import extract_workload
 from ..mapping.residency import WeightResidency
-from ..serving.metrics import ServingResult, aggregate
+from ..serving.metrics import ServingResult, aggregate, per_model_stats
 from ..serving.scheduler import BatchPolicy, RequestScheduler
 from ..sim.core import Environment
-from ..sim.traffic import ARRIVAL_KINDS, ClosedLoopClients
-from .runner import ResultCache, build_platform, cell_key, parallel_map
+from ..studies.registry import ARRIVALS, MODELS
+from .runner import build_platform, cell_key, run_cached
 
-SERVING_STUDY_VERSION = 1
+SERVING_STUDY_VERSION = 2
 """Bump (with ``CACHE_SCHEMA_VERSION`` semantics) when the serving
-simulation changes meaning, so cached curves are never stale."""
+simulation changes meaning, so cached curves are never stale.
+
+Version 2: ``BatchPolicy`` grew ``shed_expired`` (in ``asdict`` and
+therefore in every serving key) — results are unchanged, but the
+explicit bump records that serving keys moved."""
 
 DEFAULT_RATES_RPS = (20e3, 50e3, 100e3, 200e3)
 """Default arrival-rate sweep (requests/s): subsaturation through the
@@ -54,16 +68,8 @@ class ServingCell:
     config: PlatformConfig
 
     def arrival_process(self):
-        """Instantiate the cell's arrival process."""
-        kind = ARRIVAL_KINDS[self.arrival_kind]
-        if kind is ClosedLoopClients:
-            # Closed loop: rate sets the client population via the
-            # zero-service-time bound n = rate * think.
-            think_s = 10e-6
-            n_clients = max(1, round(self.rate_rps * think_s))
-            return ClosedLoopClients(n_clients=n_clients,
-                                     think_time_s=think_s, seed=self.seed)
-        return kind(rate_rps=self.rate_rps, seed=self.seed)
+        """Instantiate the cell's arrival process (via the registry)."""
+        return ARRIVALS.get(self.arrival_kind)(self.rate_rps, self.seed)
 
     def key(self) -> str:
         """Disk-cache key: the inference cell key + serving extras."""
@@ -84,7 +90,7 @@ class ServingCell:
 def simulate_serving_cell(cell: ServingCell) -> ServingResult:
     """Worker body: one full request-serving simulation of one cell."""
     platform = build_platform(cell.platform, cell.config, cell.controller)
-    workload = extract_workload(zoo.build(cell.model))
+    workload = extract_workload(MODELS.get(cell.model)())
 
     env = Environment()
     sim = platform.build_simulation(env)
@@ -127,23 +133,179 @@ def simulate_serving_cells(cells: Sequence[ServingCell], jobs: int = 1,
                            cache_dir: str | Path | None = None
                            ) -> list[ServingResult]:
     """Run serving cells with the runner's cache + process fan-out."""
-    cache = ResultCache(cache_dir) if cache_dir else None
-    results: list[ServingResult | None] = [None] * len(cells)
-    pending: list[int] = []
-    for index, cell in enumerate(cells):
-        hit = cache.get(cell.key()) if cache is not None else None
-        if hit is not None:
-            results[index] = hit
-        else:
-            pending.append(index)
-    fresh = parallel_map(
-        simulate_serving_cell, [(cells[i],) for i in pending], jobs
+    return run_cached(
+        list(cells), lambda cell: cell.key(), simulate_serving_cell,
+        jobs=jobs, cache_dir=cache_dir,
     )
-    for index, result in zip(pending, fresh):
-        results[index] = result
-        if cache is not None:
-            cache.put(cells[index].key(), result)
-    return results  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------------
+# Spec-driven scenario cells: traffic mixes, SLOs, deadline policies.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScenarioCell:
+    """One spec-driven serving point: a traffic mix under one policy.
+
+    ``models`` is the mix as ``(name, fraction, slo_s, priority)``
+    tuples; the first entry is the scheduler's primary model.
+    ``digest`` is the resolved study-spec digest — it already covers
+    every field, so it (plus the platform config, belt-and-braces) is
+    the cache identity.
+    """
+
+    platform: str
+    models: tuple[tuple[str, float, float | None, int], ...]
+    controller: str
+    policy: BatchPolicy
+    arrival_kind: str
+    rate_rps: float
+    duration_s: float
+    seed: int
+    config: PlatformConfig
+    burstiness: float = 4.0
+    dwell_s: float = 20e-6
+    think_time_s: float = 10e-6
+    residency_capacity_bits: float | None = None
+    digest: str = ""
+
+    @property
+    def mix_label(self) -> str:
+        """Readable mix name: ``70%LeNet5+30%ResNet50`` (or the model)."""
+        if len(self.models) == 1:
+            return self.models[0][0]
+        return "+".join(
+            f"{fraction * 100:.0f}%{name}"
+            for name, fraction, _, _ in self.models
+        )
+
+    def key(self) -> str:
+        """Disk-cache key: every behavioral field plus the spec digest.
+
+        The digest alone would suffice for compiler-built cells, but it
+        is defaultable — directly constructed cells must still never
+        collide, so the full cell identity goes into the hash.
+        """
+        return cell_key(
+            self.platform, self.mix_label, self.controller, self.config,
+            extra={
+                "study": "scenario",
+                "version": SERVING_STUDY_VERSION,
+                "models": list(self.models),
+                "policy": asdict(self.policy),
+                "arrival_kind": self.arrival_kind,
+                "rate_rps": self.rate_rps,
+                "duration_s": self.duration_s,
+                "seed": self.seed,
+                "burstiness": self.burstiness,
+                "dwell_s": self.dwell_s,
+                "think_time_s": self.think_time_s,
+                "residency_capacity_bits": self.residency_capacity_bits,
+                "spec": self.digest,
+            },
+        )
+
+
+def _mix_stream(models: tuple[tuple[str, float, float | None, int], ...],
+                seed: int) -> Iterator[str] | None:
+    """Seeded infinite stream assigning each arrival to a tenant.
+
+    Single-tenant mixes skip the RNG entirely so a one-model scenario
+    replays the exact event sequence of the classic serving cell.
+    """
+    if len(models) == 1:
+        return None
+    names = [name for name, _, _, _ in models]
+    fractions = np.cumsum([fraction for _, fraction, _, _ in models])
+    rng = np.random.default_rng((seed, 211))
+
+    def stream() -> Iterator[str]:
+        while True:
+            draw = rng.random()
+            index = int(np.searchsorted(fractions, draw, side="right"))
+            yield names[min(index, len(names) - 1)]
+
+    return stream()
+
+
+def simulate_scenario_cell(cell: ScenarioCell) -> ServingResult:
+    """Worker body: one full multi-tenant serving simulation."""
+    platform = build_platform(cell.platform, cell.config, cell.controller)
+    env = Environment()
+    sim = platform.build_simulation(env)
+    trace = ExecutionTrace()
+    residency = WeightResidency(
+        env, capacity_bits=cell.residency_capacity_bits
+    )
+
+    (primary, fraction, slo_s, priority), *tenants = cell.models
+    scheduler = RequestScheduler(
+        sim, sim.map_workload(extract_workload(MODELS.get(primary)())),
+        primary, policy=cell.policy, residency=residency, trace=trace,
+        slo_s=slo_s, priority=priority,
+    )
+    for name, _, tenant_slo, tenant_priority in tenants:
+        scheduler.add_model(
+            name, sim.map_workload(extract_workload(MODELS.get(name)())),
+            slo_s=tenant_slo, priority=tenant_priority,
+        )
+
+    arrivals = ARRIVALS.get(cell.arrival_kind)(
+        cell.rate_rps, cell.seed, burstiness=cell.burstiness,
+        dwell_s=cell.dwell_s, think_time_s=cell.think_time_s,
+    )
+    scheduler.serve(arrivals, cell.duration_s,
+                    models=_mix_stream(cell.models, cell.seed))
+
+    elapsed = env.now
+    latency, queue_delay, mean_batch = aggregate(scheduler.records)
+    network = sim.fabric.energy_report()
+    trace.record_channel_stats(sim.fabric)
+    return ServingResult(
+        platform=platform.name,
+        model=cell.mix_label,
+        controller=cell.controller,
+        policy=cell.policy.label,
+        arrival_kind=cell.arrival_kind,
+        offered_rps=cell.rate_rps,
+        duration_s=cell.duration_s,
+        elapsed_s=elapsed,
+        requests_injected=scheduler.requests_injected,
+        requests_completed=scheduler.requests_completed,
+        latency=latency,
+        queue_delay=queue_delay,
+        mean_batch_size=mean_batch,
+        mean_inflight=sim.fabric.mean_inflight_requests,
+        mean_compute_utilization=scheduler.compute.mean_utilization(),
+        reconfigurations=sim.reconfigurations,
+        network_energy_j=network.total_energy_j,
+        compute_energy_j=platform.trace_compute_energy_j(trace, elapsed),
+        channel_stats=trace.channel_stats,
+        requests_shed=scheduler.requests_shed,
+        per_model=per_model_stats(
+            scheduler.records, elapsed, scheduler.slos()
+        ),
+    )
+
+
+def simulate_any_serving_cell(
+    cell: "ServingCell | ScenarioCell",
+) -> ServingResult:
+    """Dispatch worker shared by mixed classic/scenario cell lists."""
+    if isinstance(cell, ScenarioCell):
+        return simulate_scenario_cell(cell)
+    return simulate_serving_cell(cell)
+
+
+def simulate_study_cells(cells: Sequence, jobs: int = 1,
+                         cache_dir: str | Path | None = None
+                         ) -> list[ServingResult]:
+    """Run a mixed list of classic and scenario serving cells."""
+    return run_cached(
+        list(cells), lambda cell: cell.key(), simulate_any_serving_cell,
+        jobs=jobs, cache_dir=cache_dir,
+    )
 
 
 def serving_study(
@@ -191,6 +353,36 @@ def latency_throughput_curve(
     return sorted(
         (r.offered_rps, r.goodput_rps, r.latency.p99_s) for r in results
     )
+
+
+def render_slo_summary(results: Sequence[ServingResult]) -> str:
+    """Per-tenant SLO table: one row per (point, model).
+
+    Empty string when no result carries per-model stats (classic
+    latency–throughput sweeps), so callers can append unconditionally.
+    """
+    rows = [
+        (result, stats)
+        for result in results
+        for stats in result.per_model
+    ]
+    if not rows:
+        return ""
+    header = (
+        f"{'policy':<16}{'offered/s':>12}  {'model':<18}{'slo(us)':>9}"
+        f"{'done':>7}{'shed':>6}{'viol':>6}{'attain':>9}{'p99(us)':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    for result, stats in rows:
+        slo = "-" if stats.slo_s is None else f"{stats.slo_s * 1e6:.0f}"
+        lines.append(
+            f"{result.policy:<16}{result.offered_rps:>12.0f}  "
+            f"{stats.model:<18}{slo:>9}"
+            f"{stats.completed:>7}{stats.shed:>6}{stats.slo_violations:>6}"
+            f"{stats.slo_attainment:>9.2%}"
+            f"{stats.latency.p99_s * 1e6:>10.1f}"
+        )
+    return "\n".join(lines)
 
 
 def render_serving_study(results: Sequence[ServingResult]) -> str:

@@ -5,24 +5,30 @@ processes feed a :class:`~repro.serving.scheduler.RequestScheduler`
 that dispatches batched :class:`~repro.core.engine.RequestExecution`
 instances over one shared fabric, and
 :mod:`repro.serving.metrics` aggregates the per-request records into
-latency/goodput/utilization results.
+latency/goodput/utilization results — per tenant model when several
+share the fabric.
 """
 
 from .metrics import (
     LatencyProfile,
+    ModelServingStats,
     RequestRecord,
     ServingResult,
     aggregate,
+    per_model_stats,
     percentile,
 )
-from .scheduler import BatchPolicy, RequestScheduler
+from .scheduler import BatchPolicy, RequestHandle, RequestScheduler
 
 __all__ = [
     "BatchPolicy",
     "LatencyProfile",
+    "ModelServingStats",
+    "RequestHandle",
     "RequestRecord",
     "RequestScheduler",
     "ServingResult",
     "aggregate",
+    "per_model_stats",
     "percentile",
 ]

@@ -19,7 +19,7 @@ from ..sim.resources import ChannelStat
 
 @dataclass(frozen=True)
 class RequestRecord:
-    """Lifecycle timestamps of one completed request."""
+    """Lifecycle timestamps of one completed (or shed) request."""
 
     request_id: int
     model: str
@@ -27,6 +27,8 @@ class RequestRecord:
     dispatch_s: float
     finish_s: float
     batch_size: int = 1
+    deadline_s: float | None = None
+    dropped: bool = False
 
     @property
     def latency_s(self) -> float:
@@ -42,6 +44,13 @@ class RequestRecord:
     def service_s(self) -> float:
         """Time spent executing on the fabric."""
         return self.finish_s - self.dispatch_s
+
+    @property
+    def slo_violated(self) -> bool:
+        """Shed, or completed after the assigned deadline."""
+        if self.dropped:
+            return True
+        return self.deadline_s is not None and self.finish_s > self.deadline_s
 
 
 def percentile(samples: list[float], q: float) -> float:
@@ -83,6 +92,77 @@ class LatencyProfile:
 
 
 @dataclass(frozen=True)
+class ModelServingStats:
+    """Per-tenant serving outcome: one model of a (possibly mixed) run."""
+
+    model: str
+    slo_s: float | None
+    completed: int
+    shed: int
+    slo_violations: int
+    latency: LatencyProfile
+    goodput_rps: float
+
+    @property
+    def submitted(self) -> int:
+        """Requests this model received (completed + shed)."""
+        return self.completed + self.shed
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of submitted requests served within their deadline
+        (1.0 when the model has no SLO and nothing was shed)."""
+        if self.submitted == 0:
+            return 1.0
+        return 1.0 - self.slo_violations / self.submitted
+
+
+def per_model_stats(
+    records: list[RequestRecord],
+    elapsed_s: float,
+    slos: dict[str, float | None] | None = None,
+) -> tuple[ModelServingStats, ...]:
+    """Group request records by model into per-tenant SLO stats.
+
+    ``slos`` optionally names each model's SLO (from the scheduler);
+    otherwise it is inferred from the records' assigned deadlines.
+    Models appear in first-record order, so output is deterministic.
+    """
+    order: list[str] = []
+    grouped: dict[str, list[RequestRecord]] = {}
+    for record in records:
+        if record.model not in grouped:
+            grouped[record.model] = []
+            order.append(record.model)
+        grouped[record.model].append(record)
+    stats = []
+    for model in order:
+        group = grouped[model]
+        served = [r for r in group if not r.dropped]
+        slo = (slos or {}).get(model)
+        if slo is None:
+            deadlines = [
+                r.deadline_s - r.arrival_s for r in group
+                if r.deadline_s is not None
+            ]
+            slo = deadlines[0] if deadlines else None
+        stats.append(ModelServingStats(
+            model=model,
+            slo_s=slo,
+            completed=len(served),
+            shed=len(group) - len(served),
+            slo_violations=sum(1 for r in group if r.slo_violated),
+            latency=LatencyProfile.from_samples(
+                [r.latency_s for r in served]
+            ),
+            goodput_rps=(
+                len(served) / elapsed_s if elapsed_s > 0 else 0.0
+            ),
+        ))
+    return tuple(stats)
+
+
+@dataclass(frozen=True)
 class ServingResult:
     """Complete outcome of one request-serving simulation.
 
@@ -110,6 +190,8 @@ class ServingResult:
     network_energy_j: float
     compute_energy_j: float
     channel_stats: tuple[ChannelStat, ...] = ()
+    requests_shed: int = 0
+    per_model: tuple[ModelServingStats, ...] = ()
 
     @property
     def goodput_rps(self) -> float:
@@ -147,6 +229,19 @@ class ServingResult:
         return self.total_energy_j / self.requests_completed
 
     @property
+    def slo_violations(self) -> int:
+        """Shed plus late completions, summed across tenants."""
+        return sum(stats.slo_violations for stats in self.per_model)
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of all submitted requests served within deadline."""
+        submitted = sum(stats.submitted for stats in self.per_model)
+        if submitted == 0:
+            return 1.0
+        return 1.0 - self.slo_violations / submitted
+
+    @property
     def peak_channel_utilization(self) -> float:
         """Highest per-channel utilization over the run (bottleneck)."""
         if not self.channel_stats:
@@ -178,12 +273,17 @@ class ServingResult:
 
 def aggregate(records: list[RequestRecord]) -> tuple[LatencyProfile,
                                                      LatencyProfile, float]:
-    """(latency profile, queue-delay profile, mean batch size)."""
-    latencies = [record.latency_s for record in records]
-    delays = [record.queue_delay_s for record in records]
+    """(latency profile, queue-delay profile, mean batch size).
+
+    Shed requests are excluded — they never executed, so they have no
+    meaningful latency sample or batch size.
+    """
+    served = [record for record in records if not record.dropped]
+    latencies = [record.latency_s for record in served]
+    delays = [record.queue_delay_s for record in served]
     mean_batch = (
-        sum(record.batch_size for record in records) / len(records)
-        if records else 0.0
+        sum(record.batch_size for record in served) / len(served)
+        if served else 0.0
     )
     return (
         LatencyProfile.from_samples(latencies),

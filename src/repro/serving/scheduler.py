@@ -1,4 +1,4 @@
-"""Request admission and dynamic batching over a shared platform.
+"""Request admission, dispatch ordering and dynamic batching.
 
 The scheduler closes the loop between an arrival process
 (:mod:`repro.sim.traffic`) and the re-entrant execution path
@@ -10,24 +10,41 @@ and each group executes as one batched inference over the platform's
 per request, and contention between overlapping requests emerges from
 the fabric's channels.
 
-Two policies:
+Several models can be served from one fabric: register extra tenants
+with :meth:`RequestScheduler.add_model` and tag submissions with a
+model name.  Batches never mix models (one batched inference is one
+model), and per-model latency SLOs assign every request a deadline at
+submission.
+
+Four policies:
 
 * ``fifo``      — every request dispatches alone, in arrival order;
   ``max_inflight`` caps concurrent executions (admission control).
 * ``max-batch`` — the dispatcher opens a batch when an execution slot
-  is free, then gathers up to ``max_batch`` requests or until
-  ``batch_timeout_s`` elapses since the batch opened, whichever is
-  first — classic dynamic batching with a latency bound.
+  is free, then gathers up to ``max_batch`` same-model requests or
+  until ``batch_timeout_s`` elapses since the batch opened, whichever
+  is first — classic dynamic batching with a latency bound.
+* ``edf``       — earliest-deadline-first: single-request dispatch
+  ordered by assigned deadline (no-SLO requests go last, FIFO among
+  themselves).
+* ``priority``  — single-request dispatch ordered by the submitting
+  model's priority (higher first), FIFO within a priority level.
+
+Any policy can additionally set ``shed_expired``: requests whose
+deadline has already passed when they are selected for dispatch are
+shed — they complete immediately as dropped (the closed-loop client
+moves on) and count as SLO violations instead of occupying the fabric.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from ..core.accelerator import PlatformSimulation
 from ..core.engine import ComputeOccupancy, ExecutionTrace, RequestExecution
-from ..errors import ConfigurationError, SimulationError
+from ..errors import ConfigurationError, SimulationError, UnknownNameError
 from ..mapping.mapper import ModelMapping
 from ..mapping.residency import WeightResidency
 from ..sim.core import Event
@@ -39,28 +56,34 @@ DEFAULT_DRAIN_LIMIT_S = 1.0
 """Simulated-time hang guard for draining in-flight requests after
 injection stops (generous: serving windows are µs–ms scale)."""
 
+POLICY_NAMES = ("fifo", "max-batch", "edf", "priority")
+"""Every dispatch policy the scheduler implements."""
+
 
 @dataclass(frozen=True)
 class BatchPolicy:
-    """Admission + dynamic-batching configuration of the dispatcher."""
+    """Admission + dispatch-ordering + batching configuration."""
 
     name: str = "fifo"
     max_batch: int = 1
     batch_timeout_s: float = 20e-6
     max_inflight: int = 4
+    shed_expired: bool = False
 
     def __post_init__(self) -> None:
-        if self.name not in ("fifo", "max-batch"):
+        if self.name not in POLICY_NAMES:
             raise ConfigurationError(
                 f"unknown batch policy {self.name!r}; "
-                "choose 'fifo' or 'max-batch'"
+                f"choose from {', '.join(POLICY_NAMES)}"
             )
         if self.max_batch < 1:
             raise ConfigurationError(
                 f"max batch must be >= 1, got {self.max_batch}"
             )
-        if self.name == "fifo" and self.max_batch != 1:
-            raise ConfigurationError("fifo policy dispatches single requests")
+        if self.name != "max-batch" and self.max_batch != 1:
+            raise ConfigurationError(
+                f"{self.name} policy dispatches single requests"
+            )
         if self.batch_timeout_s < 0:
             raise ConfigurationError(
                 f"batch timeout must be non-negative, got "
@@ -72,33 +95,75 @@ class BatchPolicy:
             )
 
     @classmethod
-    def fifo(cls, max_inflight: int = 4) -> "BatchPolicy":
+    def fifo(cls, max_inflight: int = 4,
+             shed_expired: bool = False) -> "BatchPolicy":
         """One request per dispatch, ``max_inflight`` concurrent."""
-        return cls(name="fifo", max_batch=1, max_inflight=max_inflight)
+        return cls(name="fifo", max_batch=1, max_inflight=max_inflight,
+                   shed_expired=shed_expired)
 
     @classmethod
     def max_batch_with_timeout(cls, max_batch: int = 8,
                                batch_timeout_s: float = 20e-6,
-                               max_inflight: int = 4) -> "BatchPolicy":
+                               max_inflight: int = 4,
+                               shed_expired: bool = False) -> "BatchPolicy":
         """Gather up to ``max_batch`` requests or until the timeout."""
         return cls(name="max-batch", max_batch=max_batch,
                    batch_timeout_s=batch_timeout_s,
-                   max_inflight=max_inflight)
+                   max_inflight=max_inflight, shed_expired=shed_expired)
+
+    @classmethod
+    def edf(cls, max_inflight: int = 4,
+            shed_expired: bool = False) -> "BatchPolicy":
+        """Earliest-deadline-first single-request dispatch."""
+        return cls(name="edf", max_batch=1, max_inflight=max_inflight,
+                   shed_expired=shed_expired)
+
+    @classmethod
+    def priority(cls, max_inflight: int = 4,
+                 shed_expired: bool = False) -> "BatchPolicy":
+        """Model-priority single-request dispatch (higher first)."""
+        return cls(name="priority", max_batch=1, max_inflight=max_inflight,
+                   shed_expired=shed_expired)
 
     @property
     def label(self) -> str:
-        if self.name == "fifo":
-            return "fifo"
-        return f"max-batch({self.max_batch})"
+        base = (
+            f"max-batch({self.max_batch})" if self.name == "max-batch"
+            else self.name
+        )
+        return base + "+shed" if self.shed_expired else base
 
 
 @dataclass
-class _Request:
-    """One queued request (internal)."""
+class RequestHandle:
+    """Public handle for one submitted request.
+
+    Returned by :meth:`RequestScheduler.submit`: carries the submit
+    time, the model the request targets, the deadline assigned from the
+    model's SLO (``None`` when the model has none) and the optional
+    completion event the submitter may wait on.
+    """
 
     request_id: int
-    arrival_s: float
+    model: str
+    submit_s: float
+    deadline_s: float | None = None
     done: Event | None = field(default=None)
+
+    @property
+    def arrival_s(self) -> float:
+        """Alias: submission is arrival, in scheduler terms."""
+        return self.submit_s
+
+
+@dataclass(frozen=True)
+class _ModelEntry:
+    """One served model: its mapping and service-level parameters."""
+
+    name: str
+    mapping: ModelMapping
+    slo_s: float | None = None
+    priority: int = 0
 
 
 class RequestScheduler:
@@ -119,6 +184,8 @@ class RequestScheduler:
         residency: WeightResidency | None = None,
         trace: ExecutionTrace | None = None,
         record_timings: bool = False,
+        slo_s: float | None = None,
+        priority: int = 0,
     ):
         self.sim = sim
         self.env = sim.env
@@ -132,20 +199,51 @@ class RequestScheduler:
         self.trace = trace or ExecutionTrace()
         self.record_timings = record_timings
         self.compute = ComputeOccupancy(sim.env)
+        self._models: dict[str, _ModelEntry] = {}
+        self._register(model_name, mapping, slo_s, priority)
 
-        self._queue: deque[_Request] = deque()
+        self._queue: deque[RequestHandle] = deque()
         self._arrival_signal: Event | None = None
         self._admission = Resource(sim.env,
                                    capacity=self.policy.max_inflight)
         self.records: list[RequestRecord] = []
         self.requests_injected = 0
         self.requests_completed = 0
+        self.requests_shed = 0
         self.batches_dispatched = 0
         self._injection_done = False
         self._drained = sim.env.event()
         self._next_id = 0
         self._served = False
         self.env.process(self._dispatch_loop())
+
+    # -- served models ------------------------------------------------------------
+
+    def _register(self, name: str, mapping: ModelMapping,
+                  slo_s: float | None, priority: int) -> None:
+        if name in self._models:
+            raise ConfigurationError(f"model {name!r} is already served")
+        if slo_s is not None and slo_s <= 0:
+            raise ConfigurationError(
+                f"SLO must be positive, got {slo_s} for {name!r}"
+            )
+        self._models[name] = _ModelEntry(
+            name=name, mapping=mapping, slo_s=slo_s, priority=priority
+        )
+
+    def add_model(self, name: str, mapping: ModelMapping,
+                  slo_s: float | None = None, priority: int = 0) -> None:
+        """Register another tenant model to serve from the same fabric."""
+        self._register(name, mapping, slo_s, priority)
+
+    @property
+    def served_models(self) -> tuple[str, ...]:
+        """Names of every registered tenant, registration order."""
+        return tuple(self._models)
+
+    def slos(self) -> dict[str, float | None]:
+        """Per-model latency SLOs (None where unset)."""
+        return {name: entry.slo_s for name, entry in self._models.items()}
 
     # -- queue plumbing -----------------------------------------------------------
 
@@ -154,10 +252,25 @@ class RequestScheduler:
         """Requests currently waiting for dispatch."""
         return len(self._queue)
 
-    def submit(self, done: Event | None = None) -> _Request:
-        """Enqueue one request arriving now; returns its handle."""
-        request = _Request(
-            request_id=self._next_id, arrival_s=self.env.now, done=done
+    def submit(self, done: Event | None = None,
+               model: str | None = None) -> RequestHandle:
+        """Enqueue one request arriving now; returns its public handle.
+
+        ``model`` defaults to the primary model the scheduler was built
+        with; the handle's deadline is assigned from the model's SLO.
+        """
+        name = self.model_name if model is None else model
+        try:
+            entry = self._models[name]
+        except KeyError:
+            raise UnknownNameError(
+                "served model", name, tuple(self._models)
+            ) from None
+        now = self.env.now
+        request = RequestHandle(
+            request_id=self._next_id, model=name, submit_s=now,
+            deadline_s=None if entry.slo_s is None else now + entry.slo_s,
+            done=done,
         )
         self._next_id += 1
         self._queue.append(request)
@@ -174,6 +287,56 @@ class RequestScheduler:
 
     # -- dispatcher ------------------------------------------------------------------
 
+    def _select_index(self) -> int:
+        """Queue index the policy dispatches next (queue non-empty)."""
+        queue = self._queue
+        if self.policy.name == "edf":
+            return min(
+                range(len(queue)),
+                key=lambda i: (
+                    float("inf") if queue[i].deadline_s is None
+                    else queue[i].deadline_s,
+                    i,
+                ),
+            )
+        if self.policy.name == "priority":
+            return min(
+                range(len(queue)),
+                key=lambda i: (-self._models[queue[i].model].priority, i),
+            )
+        return 0  # fifo / max-batch: arrival order
+
+    def _expired(self, request: RequestHandle) -> bool:
+        """Whether dispatching ``request`` now should shed it instead."""
+        return (
+            self.policy.shed_expired
+            and request.deadline_s is not None
+            and self.env.now > request.deadline_s
+        )
+
+    def _next_dispatch(self) -> RequestHandle | None:
+        """Pop the next live request, shedding expired ones if asked."""
+        while self._queue:
+            index = self._select_index()
+            request = self._queue[index]
+            del self._queue[index]
+            if self._expired(request):
+                self._shed(request)
+                continue
+            return request
+        return None
+
+    def _pop_match(self, model: str) -> RequestHandle | None:
+        """Pop the oldest queued request for ``model`` (batch filling)."""
+        queue = self._queue
+        if len(self._models) == 1:
+            return queue.popleft() if queue else None
+        for index, request in enumerate(queue):
+            if request.model == model:
+                del queue[index]
+                return request
+        return None
+
     def _dispatch_loop(self):
         policy = self.policy
         while True:
@@ -182,12 +345,21 @@ class RequestScheduler:
             # Back-pressure: only open a batch once an execution slot is
             # free, so under load batches fill instead of fragmenting.
             yield self._admission.request()
-            batch = [self._queue.popleft()]
+            head = self._next_dispatch()
+            if head is None:
+                # Everything queued was shed; give the slot back.
+                self._admission.release()
+                continue
+            batch = [head]
             if policy.name == "max-batch" and policy.max_batch > 1:
                 deadline = self.env.now + policy.batch_timeout_s
                 while len(batch) < policy.max_batch:
-                    if self._queue:
-                        batch.append(self._queue.popleft())
+                    candidate = self._pop_match(head.model)
+                    if candidate is not None:
+                        if self._expired(candidate):
+                            self._shed(candidate)
+                        else:
+                            batch.append(candidate)
                         continue
                     remaining = deadline - self.env.now
                     if remaining <= 0:
@@ -199,17 +371,38 @@ class RequestScheduler:
             self.batches_dispatched += 1
             self.env.process(self._execute(batch))
 
-    def _execute(self, batch: list[_Request]):
+    def _shed(self, request: RequestHandle) -> None:
+        """Drop an expired request without executing it."""
+        now = self.env.now
+        record = RequestRecord(
+            request_id=request.request_id,
+            model=request.model,
+            arrival_s=request.submit_s,
+            dispatch_s=now,
+            finish_s=now,
+            batch_size=0,
+            deadline_s=request.deadline_s,
+            dropped=True,
+        )
+        self.records.append(record)
+        self.trace.request_records.append(record)
+        if request.done is not None:
+            request.done.succeed()
+        self.requests_shed += 1
+        self._check_drained()
+
+    def _execute(self, batch: list[RequestHandle]):
         """Run one dispatched batch as a single batched inference."""
+        entry = self._models[batch[0].model]
         fabric = self.sim.fabric
         dispatch_s = self.env.now
         for _ in batch:
             fabric.request_started()
         execution = RequestExecution(
-            self.env, self.sim.platform.config, fabric, self.mapping,
+            self.env, self.sim.platform.config, fabric, entry.mapping,
             self.trace, mac_rate_hz=self.sim.mac_rate_hz,
             batch_size=len(batch), residency=self.residency,
-            compute=self.compute, model_name=self.model_name,
+            compute=self.compute, model_name=entry.name,
             record_timings=self.record_timings,
         )
         yield execution.start()
@@ -219,11 +412,12 @@ class RequestScheduler:
             fabric.request_finished()
             record = RequestRecord(
                 request_id=request.request_id,
-                model=self.model_name,
-                arrival_s=request.arrival_s,
+                model=request.model,
+                arrival_s=request.submit_s,
                 dispatch_s=dispatch_s,
                 finish_s=finish_s,
                 batch_size=len(batch),
+                deadline_s=request.deadline_s,
             )
             self.records.append(record)
             self.trace.request_records.append(record)
@@ -235,29 +429,37 @@ class RequestScheduler:
     def _check_drained(self) -> None:
         if (
             self._injection_done
-            and self.requests_completed == self.requests_injected
+            and self.requests_completed + self.requests_shed
+            == self.requests_injected
             and not self._drained.triggered
         ):
             self._drained.succeed()
 
     # -- injection -------------------------------------------------------------------
 
-    def _open_loop_injector(self, arrivals, duration_s: float):
+    def _next_model(self,
+                    models: Iterator[str] | None) -> str | None:
+        return None if models is None else next(models)
+
+    def _open_loop_injector(self, arrivals, duration_s: float,
+                            models: Iterator[str] | None = None):
         """Inject an open-loop gap stream for the duration window."""
         for gap in arrivals.gaps():
             yield self.env.timeout(gap)
             if self.env.now > duration_s:
                 return
-            self.submit()
+            self.submit(model=self._next_model(models))
 
     def _closed_loop_client(self, clients: ClosedLoopClients, index: int,
-                            duration_s: float):
+                            duration_s: float,
+                            models: Iterator[str] | None = None):
         """One closed-loop client: think, request, await completion."""
         for gap in clients.think_gaps(index):
             yield self.env.timeout(gap)
             if self.env.now > duration_s:
                 return
-            request = self.submit(done=self.env.event())
+            request = self.submit(done=self.env.event(),
+                                  model=self._next_model(models))
             yield request.done
 
     def _watch_injection(self, injectors):
@@ -266,15 +468,19 @@ class RequestScheduler:
         self._check_drained()
 
     def serve(self, arrivals, duration_s: float,
-              drain_limit_s: float = DEFAULT_DRAIN_LIMIT_S) -> None:
+              drain_limit_s: float = DEFAULT_DRAIN_LIMIT_S,
+              models: Iterator[str] | None = None) -> None:
         """Run the full serving window: inject, dispatch, drain.
 
         ``arrivals`` is any open-loop process exposing ``gaps()`` (e.g.
         :class:`~repro.sim.traffic.PoissonArrivals`,
         :class:`~repro.sim.traffic.MMPPArrivals`) or a
         :class:`~repro.sim.traffic.ClosedLoopClients` population.
-        Returns once every injected request completed; per-request
-        records are on :attr:`records` and the shared trace.
+        ``models`` optionally names the target model of each injected
+        request (an infinite iterator, e.g. a seeded traffic-mix
+        sampler); by default everything targets the primary model.
+        Returns once every injected request completed (or was shed);
+        per-request records are on :attr:`records` and the shared trace.
         """
         if duration_s <= 0:
             raise ConfigurationError(
@@ -291,14 +497,15 @@ class RequestScheduler:
         if isinstance(arrivals, ClosedLoopClients):
             injectors = [
                 self.env.process(
-                    self._closed_loop_client(arrivals, index, duration_s)
+                    self._closed_loop_client(arrivals, index, duration_s,
+                                             models)
                 )
                 for index in range(arrivals.n_clients)
             ]
         elif hasattr(arrivals, "gaps"):
             injectors = [
                 self.env.process(
-                    self._open_loop_injector(arrivals, duration_s)
+                    self._open_loop_injector(arrivals, duration_s, models)
                 )
             ]
         else:

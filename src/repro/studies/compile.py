@@ -1,0 +1,340 @@
+"""The study compiler: lower a :class:`StudySpec` onto simulation cells.
+
+``run_study`` is the single entry point every experiment-facing surface
+goes through — the legacy CLI verbs build specs and call it, the
+``repro study`` verb feeds it JSON files, and library users hand it
+spec objects.  It expands the sweep grid, resolves every name against
+the registries (typed did-you-mean errors), lowers each grid point onto
+the cheapest cell shape that expresses it, and runs the cells through
+the runner's parallel/cached machinery:
+
+* ``inference`` points with ``batch_size == 1`` lower to the plain
+  matrix cells — **the exact cache keys and simulations of the legacy
+  paths**, so spec-driven and legacy invocations share warm caches and
+  produce bit-identical results;
+* ``serving`` points that a classic :class:`ServingCell` can express
+  lower to one — bit-identical results through the same simulation,
+  with keys shared with legacy invocations at the current
+  ``SERVING_STUDY_VERSION``;
+* everything else — traffic mixes, SLOs, deadline policies, residency
+  budgets, tuned arrival knobs — lowers to a
+  :class:`~repro.experiments.serving_study.ScenarioCell` keyed by the
+  point's spec digest via ``cell_key(..., extra=...)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..config import DEFAULT_PLATFORM, PlatformConfig
+from ..core.metrics import InferenceResult
+from ..dnn.workload import extract_workload
+from ..errors import SpecError
+from ..experiments.runner import build_platform, cell_key, run_cached
+from ..experiments.serving_study import (
+    ScenarioCell,
+    ServingCell,
+    render_serving_study,
+    render_slo_summary,
+    simulate_study_cells,
+)
+from ..serving.metrics import ServingResult
+from ..serving.scheduler import BatchPolicy
+from .registry import ARRIVALS, BATCH_POLICIES, CONTROLLERS, MODELS, PLATFORMS
+from .spec import SchedulerSpec, StudySpec, WorkloadSpec
+
+SIPH_PLATFORM = "2.5D-CrossLight-SiPh"
+"""The one platform whose fabric takes a reconfiguration controller."""
+
+
+# ---------------------------------------------------------------------------
+# Inference cells (spec-driven batched variant of the matrix cell).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class InferenceCell:
+    """One isolated (batched) inference of one model on one platform."""
+
+    platform: str
+    model: str
+    controller: str
+    config: PlatformConfig
+    batch_size: int = 1
+
+    def key(self) -> str:
+        """Plain matrix-cell key at batch 1 (cache-compatible with the
+        legacy runner); batched cells get their own key space."""
+        if self.batch_size == 1:
+            return cell_key(
+                self.platform, self.model, self.controller, self.config
+            )
+        return cell_key(
+            self.platform, self.model, self.controller, self.config,
+            extra={"study": "inference", "batch_size": self.batch_size},
+        )
+
+
+def simulate_inference_cell(cell: InferenceCell) -> InferenceResult:
+    """Worker body: identical to the runner's matrix cell at batch 1."""
+    platform = build_platform(cell.platform, cell.config, cell.controller)
+    workload = extract_workload(MODELS.get(cell.model)())
+    return platform.run_workload(workload, batch_size=cell.batch_size)
+
+
+# ---------------------------------------------------------------------------
+# Spec resolution: names, configs, policies, the expanded grid.
+# ---------------------------------------------------------------------------
+
+
+def build_policy(scheduler: SchedulerSpec) -> BatchPolicy:
+    """Resolve a scheduler spec into a dispatch policy (typed errors)."""
+    return BATCH_POLICIES.get(scheduler.policy)(
+        scheduler.max_batch, scheduler.batch_timeout_s,
+        scheduler.max_inflight, scheduler.shed_expired,
+    )
+
+
+def resolve_config(spec: StudySpec,
+                   base_config: PlatformConfig | None = None
+                   ) -> PlatformConfig:
+    """The platform configuration of one resolved grid point."""
+    config = base_config or DEFAULT_PLATFORM
+    if spec.platform.n_wavelengths is not None:
+        config = config.with_wavelengths(spec.platform.n_wavelengths)
+    if spec.platform.gateways_per_chiplet is not None:
+        config = config.with_gateways_per_chiplet(
+            spec.platform.gateways_per_chiplet
+        )
+    return config
+
+
+def _validate_names(spec: StudySpec) -> None:
+    """Resolve every registry name once, before any simulation runs."""
+    PLATFORMS.get(spec.platform.name)
+    CONTROLLERS.get(spec.platform.controller)
+    for entry in spec.workload.models:
+        MODELS.get(entry.model)
+    if spec.kind == "serving":
+        ARRIVALS.get(spec.workload.arrival)
+        build_policy(spec.scheduler)
+
+
+def expand_points(spec: StudySpec) -> list[StudySpec]:
+    """The resolved grid, with the controller axis pinned off-SiPh.
+
+    Controllers only differentiate the photonic platform: grid points
+    on other platforms collapse onto the controller axis's first value
+    and deduplicate, exactly like the legacy serving study avoided
+    duplicate baseline cells.
+    """
+    points = spec.expand()
+    controller_axis = next(
+        (axis for axis in spec.sweep.axes
+         if axis.field == "platform.controller"),
+        None,
+    )
+    if controller_axis is None:
+        return points
+    seen: set[str] = set()
+    pinned: list[StudySpec] = []
+    for point in points:
+        if point.platform.name != SIPH_PLATFORM:
+            point = point.with_override(
+                "platform.controller", controller_axis.values[0]
+            )
+        digest = point.digest
+        if digest not in seen:
+            seen.add(digest)
+            pinned.append(point)
+    return pinned
+
+
+def _workload_defaults() -> dict[str, float]:
+    return {
+        name: WorkloadSpec.__dataclass_fields__[name].default
+        for name in ("burstiness", "dwell_s", "think_time_s")
+    }
+
+
+def is_classic_serving(point: StudySpec) -> bool:
+    """Whether a classic :class:`ServingCell` expresses this point.
+
+    Classic cells keep legacy cache keys and bit-identical legacy
+    results, so the compiler prefers them whenever the point uses none
+    of the scenario-only features.
+    """
+    workload, scheduler = point.workload, point.scheduler
+    defaults = _workload_defaults()
+    return (
+        len(workload.models) == 1
+        and workload.models[0].fraction == 1.0
+        and workload.models[0].slo_s is None
+        and workload.models[0].priority == 0
+        and scheduler.policy in ("fifo", "max-batch")
+        and not scheduler.shed_expired
+        and point.residency_capacity_bits is None
+        and workload.burstiness == defaults["burstiness"]
+        and workload.dwell_s == defaults["dwell_s"]
+        and workload.think_time_s == defaults["think_time_s"]
+    )
+
+
+def lower_serving_point(point: StudySpec,
+                        config: PlatformConfig
+                        ) -> "ServingCell | ScenarioCell":
+    """One resolved serving point to its cheapest cell shape."""
+    workload = point.workload
+    policy = build_policy(point.scheduler)
+    if is_classic_serving(point):
+        return ServingCell(
+            platform=point.platform.name,
+            model=workload.models[0].model,
+            controller=point.platform.controller,
+            policy=policy,
+            arrival_kind=workload.arrival,
+            rate_rps=workload.rate_rps,
+            duration_s=workload.duration_s,
+            seed=workload.seed,
+            config=config,
+        )
+    return ScenarioCell(
+        platform=point.platform.name,
+        models=tuple(
+            (entry.model, entry.fraction, entry.slo_s, entry.priority)
+            for entry in workload.models
+        ),
+        controller=point.platform.controller,
+        policy=policy,
+        arrival_kind=workload.arrival,
+        rate_rps=workload.rate_rps,
+        duration_s=workload.duration_s,
+        seed=workload.seed,
+        config=config,
+        burstiness=workload.burstiness,
+        dwell_s=workload.dwell_s,
+        think_time_s=workload.think_time_s,
+        residency_capacity_bits=point.residency_capacity_bits,
+        digest=point.digest,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The entry point.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StudyPoint:
+    """One resolved grid point and its result(s).
+
+    Serving points carry exactly one :class:`ServingResult`; inference
+    points carry one :class:`InferenceResult` per model of the
+    workload, in mix order.
+    """
+
+    spec: StudySpec
+    results: tuple
+
+
+@dataclass(frozen=True)
+class StudyResult:
+    """Everything ``run_study`` produced for one spec."""
+
+    spec: StudySpec
+    points: tuple[StudyPoint, ...]
+
+    def flat_results(self) -> list:
+        """Every result across the grid, point order."""
+        return [result for point in self.points for result in point.results]
+
+    def serving_results(self) -> list[ServingResult]:
+        return [r for r in self.flat_results()
+                if isinstance(r, ServingResult)]
+
+
+def run_study(spec: StudySpec, jobs: int = 1,
+              cache_dir: str | Path | None = None,
+              base_config: PlatformConfig | None = None) -> StudyResult:
+    """Execute a declarative study spec end to end.
+
+    Expands the sweep grid, lowers every point onto simulation cells
+    and runs them through the shared parallel (``jobs``) and
+    disk-cached (``cache_dir``) cell machinery.  ``base_config`` is a
+    Python-API escape hatch for sweeps over a non-default
+    :class:`PlatformConfig`; spec-level platform knobs apply on top of
+    it (JSON specs always start from the Table 1 defaults).
+    """
+    points = expand_points(spec)
+    for point in points:
+        _validate_names(point)
+    configs = [resolve_config(point, base_config) for point in points]
+
+    if spec.kind == "inference":
+        per_point = len(spec.workload.models)
+        cells = [
+            InferenceCell(
+                platform=point.platform.name,
+                model=entry.model,
+                controller=point.platform.controller,
+                config=config,
+                batch_size=point.workload.batch_size,
+            )
+            for point, config in zip(points, configs)
+            for entry in point.workload.models
+        ]
+        results = run_cached(
+            cells, lambda cell: cell.key(), simulate_inference_cell,
+            jobs=jobs, cache_dir=cache_dir,
+        )
+        grouped = [
+            tuple(results[i * per_point:(i + 1) * per_point])
+            for i in range(len(points))
+        ]
+    else:
+        cells = [
+            lower_serving_point(point, config)
+            for point, config in zip(points, configs)
+        ]
+        serving_results = simulate_study_cells(
+            cells, jobs=jobs, cache_dir=cache_dir
+        )
+        grouped = [(result,) for result in serving_results]
+
+    return StudyResult(
+        spec=spec,
+        points=tuple(
+            StudyPoint(spec=point, results=group)
+            for point, group in zip(points, grouped)
+        ),
+    )
+
+
+def render_study(study: StudyResult) -> str:
+    """Text report for one executed study, by kind."""
+    lines = [f"study: {study.spec.name} ({study.spec.kind}, "
+             f"{len(study.points)} point(s))", ""]
+    if study.spec.kind == "inference":
+        header = (
+            f"{'platform':<28}{'model':<14}{'power':>11}{'latency':>15}"
+            f"{'EPB':>15}"
+        )
+        lines += [header, "-" * len(header)]
+        lines += [result.summary_row() for result in study.flat_results()]
+    else:
+        results = study.serving_results()
+        lines.append(render_serving_study(results))
+        slo_table = render_slo_summary(results)
+        if slo_table:
+            lines += ["", "per-model SLO attainment:", slo_table]
+    return "\n".join(lines)
+
+
+def load_spec(path: str | Path) -> StudySpec:
+    """Read and validate a spec JSON file."""
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as error:
+        raise SpecError(f"cannot read spec file {path}: {error}") from None
+    return StudySpec.from_json(text)

@@ -1,0 +1,185 @@
+"""Plugin-style registries: every name the study layer can look up.
+
+One :class:`Registry` per extension point — platforms, models,
+interposer controllers, arrival processes and batch policies — replaces
+the name→builder dictionaries that used to be scattered across
+``experiments/runner.py``, ``experiments/serving_study.py`` and
+``cli.py``.  A failed lookup raises
+:class:`~repro.errors.UnknownNameError` with a did-you-mean suggestion
+instead of a bare ``KeyError``, and downstream code (including external
+plugins) can ``register`` new entries without touching any other layer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Mapping
+
+from ..config import PlatformConfig
+from ..core.accelerator import (
+    CrossLight25DAWGR,
+    CrossLight25DElec,
+    CrossLight25DSiPh,
+    MonolithicCrossLight,
+)
+from ..dnn.zoo import EXTENDED_BUILDERS, MODEL_BUILDERS
+from ..errors import ConfigurationError, UnknownNameError
+from ..interposer.photonic.controllers import CONTROLLER_FACTORIES
+from ..serving.scheduler import POLICY_NAMES, BatchPolicy
+from ..sim.traffic import ClosedLoopClients, MMPPArrivals, PoissonArrivals
+
+
+class Registry:
+    """Ordered name→factory map with typed lookup errors.
+
+    ``backing`` shares a pre-existing mutable dict instead of copying
+    it: registrations through the registry become visible to legacy
+    code still reading that dict directly (and vice versa).
+    """
+
+    def __init__(self, kind: str,
+                 entries: Mapping[str, Callable] | None = None,
+                 backing: dict[str, Callable] | None = None):
+        self.kind = kind
+        if backing is not None:
+            if entries is not None:
+                raise ConfigurationError(
+                    "pass either entries (copied) or backing (shared)"
+                )
+            self._entries = backing
+        else:
+            self._entries = dict(entries or {})
+
+    def register(self, name: str, factory: Callable,
+                 overwrite: bool = False) -> Callable:
+        """Add an entry; refuses silent shadowing unless ``overwrite``."""
+        if name in self._entries and not overwrite:
+            raise ConfigurationError(
+                f"{self.kind} {name!r} is already registered; "
+                "pass overwrite=True to replace it"
+            )
+        self._entries[name] = factory
+        return factory
+
+    def get(self, name: str) -> Callable:
+        """The factory under ``name``; typed error with suggestions."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise UnknownNameError(self.kind, name, self.names()) from None
+
+    def names(self) -> tuple[str, ...]:
+        """Registered names, in registration order."""
+        return tuple(self._entries)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+# ---------------------------------------------------------------------------
+# Platforms (Table 3 names + the AWGR topology baseline).
+# ---------------------------------------------------------------------------
+
+
+def _build_crosslight(config: PlatformConfig, controller: str):
+    return MonolithicCrossLight(config)
+
+
+def _build_25d_elec(config: PlatformConfig, controller: str):
+    return CrossLight25DElec(config)
+
+
+def _build_25d_siph(config: PlatformConfig, controller: str):
+    return CrossLight25DSiPh(config, controller=controller)
+
+
+def _build_25d_awgr(config: PlatformConfig, controller: str):
+    return CrossLight25DAWGR(config)
+
+
+PLATFORMS = Registry("platform", {
+    "CrossLight": _build_crosslight,
+    "2.5D-CrossLight-Elec": _build_25d_elec,
+    "2.5D-CrossLight-SiPh": _build_25d_siph,
+    "2.5D-CrossLight-AWGR": _build_25d_awgr,
+})
+"""Platform factories ``(config, controller) -> platform``; only the
+SiPh interposer actually consumes the controller name."""
+
+
+MODELS = Registry("model", {**MODEL_BUILDERS, **EXTENDED_BUILDERS})
+"""DNN builders by zoo name (Table 2 plus the extended zoo)."""
+
+
+CONTROLLERS = Registry("controller", backing=CONTROLLER_FACTORIES)
+"""Interposer reconfiguration controllers (SiPh platform).
+
+Shares the factory dict the SiPh platform constructs from, so a
+controller registered here is buildable — not just spec-valid."""
+
+
+# ---------------------------------------------------------------------------
+# Arrival processes: factories from (rate, seed, spec knobs).
+# ---------------------------------------------------------------------------
+
+
+def _poisson(rate_rps: float, seed: int, **_: Any) -> PoissonArrivals:
+    return PoissonArrivals(rate_rps=rate_rps, seed=seed)
+
+
+def _mmpp(rate_rps: float, seed: int, burstiness: float = 4.0,
+          dwell_s: float = 20e-6, **_: Any) -> MMPPArrivals:
+    return MMPPArrivals(rate_rps=rate_rps, burstiness=burstiness,
+                        dwell_s=dwell_s, seed=seed)
+
+
+def _closed(rate_rps: float, seed: int, think_time_s: float = 10e-6,
+            **_: Any) -> ClosedLoopClients:
+    # Closed loop: the rate sets the client population via the
+    # zero-service-time bound n = rate * think.
+    n_clients = max(1, round(rate_rps * think_time_s))
+    return ClosedLoopClients(n_clients=n_clients,
+                             think_time_s=think_time_s, seed=seed)
+
+
+ARRIVALS = Registry("arrival process", {
+    "poisson": _poisson,
+    "mmpp": _mmpp,
+    "closed": _closed,
+})
+"""Arrival-process factories ``(rate_rps, seed, **knobs) -> process``."""
+
+
+# ---------------------------------------------------------------------------
+# Batch/dispatch policies: factories from scheduler-spec knobs.
+# ---------------------------------------------------------------------------
+
+
+def _policy_factory(name: str) -> Callable[..., BatchPolicy]:
+    """One factory per policy name, forwarding every spec field.
+
+    Forwarding (rather than cherry-picking) keeps
+    :class:`BatchPolicy`'s own validation in force: e.g.
+    ``max_batch > 1`` with a single-dispatch policy raises instead of
+    silently no-oping.
+    """
+    def build(max_batch: int, batch_timeout_s: float, max_inflight: int,
+              shed_expired: bool) -> BatchPolicy:
+        return BatchPolicy(
+            name=name, max_batch=max_batch,
+            batch_timeout_s=batch_timeout_s, max_inflight=max_inflight,
+            shed_expired=shed_expired,
+        )
+    return build
+
+
+BATCH_POLICIES = Registry("batch policy", {
+    name: _policy_factory(name) for name in POLICY_NAMES
+})
+"""Dispatch-policy factories
+``(max_batch, batch_timeout_s, max_inflight, shed_expired) -> policy``."""

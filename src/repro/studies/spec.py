@@ -1,0 +1,550 @@
+"""Declarative, serializable scenario specs: one schema for every study.
+
+A :class:`StudySpec` is a frozen, JSON-round-trippable description of a
+complete experiment — *what* to serve or measure (:class:`WorkloadSpec`:
+the traffic mix with per-model fractions, SLOs and priorities, plus the
+arrival process), *where* (:class:`PlatformSpec`), *how*
+(:class:`SchedulerSpec`) and *across which grid*
+(:class:`SweepSpec`).  Specs validate on construction, reject unknown
+JSON fields (typos never silently no-op) and hash to a stable
+:func:`spec_digest` that the study compiler folds into the on-disk
+cache key of every simulation cell.
+
+The spec layer deliberately knows nothing about simulators: lowering a
+spec onto the cell machinery lives in :mod:`repro.studies.compile`, and
+name resolution (platforms, models, controllers, arrivals) happens
+against :mod:`repro.studies.registry` at compile time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields, replace
+from typing import Any, Mapping
+
+from ..errors import SpecError
+
+SPEC_SCHEMA_VERSION = 1
+"""Bump when the spec schema changes meaning: digests (and therefore
+every scenario cache key) move with it."""
+
+STUDY_KINDS = ("inference", "serving")
+"""Study kinds the compiler can lower."""
+
+
+# ---------------------------------------------------------------------------
+# (De)serialisation helpers shared by every spec class.
+# ---------------------------------------------------------------------------
+
+
+def _check_fields(cls: type, data: Mapping[str, Any], where: str) -> None:
+    """Reject unknown JSON fields with a precise, typed error."""
+    if not isinstance(data, Mapping):
+        raise SpecError(
+            f"{where} must be a JSON object, got {type(data).__name__}"
+        )
+    known = {field.name for field in fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise SpecError(
+            f"unknown field(s) {', '.join(map(repr, unknown))} in {where}; "
+            f"known fields: {', '.join(sorted(known))}"
+        )
+
+
+def _build(cls: type, kwargs: dict[str, Any], where: str):
+    """Construct a spec dataclass, translating failures to SpecError."""
+    try:
+        return cls(**kwargs)
+    except TypeError as error:  # missing required fields
+        raise SpecError(f"invalid {where}: {error}") from None
+
+
+def _jsonify(value: Any) -> Any:
+    """Spec values to JSON-native types (tuples become lists)."""
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    if hasattr(value, "to_dict"):
+        return value.to_dict()
+    return value
+
+
+def _scalars_to_dict(spec: Any) -> dict[str, Any]:
+    """Field-by-field dict of a spec dataclass (recursing via to_dict)."""
+    return {
+        field.name: _jsonify(getattr(spec, field.name))
+        for field in fields(spec)
+    }
+
+
+# ---------------------------------------------------------------------------
+# Workload: the traffic mix and its arrival process.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ModelTraffic:
+    """One tenant of the traffic mix.
+
+    ``fraction`` is this model's share of arrivals, ``slo_s`` its
+    latency SLO (deadline assigned at submission; ``None`` = best
+    effort) and ``priority`` its rank under the ``priority`` dispatch
+    policy (higher dispatches first).
+    """
+
+    model: str
+    fraction: float = 1.0
+    slo_s: float | None = None
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.model:
+            raise SpecError("model name must be non-empty")
+        if not 0.0 < self.fraction <= 1.0:
+            raise SpecError(
+                f"traffic fraction must be in (0, 1], got {self.fraction} "
+                f"for {self.model!r}"
+            )
+        if self.slo_s is not None and self.slo_s <= 0:
+            raise SpecError(
+                f"SLO must be positive, got {self.slo_s} for {self.model!r}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        return _scalars_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ModelTraffic":
+        _check_fields(cls, data, "workload model entry")
+        return _build(cls, dict(data), "workload model entry")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """What traffic the study offers: mix, rate, arrivals, window.
+
+    ``burstiness``/``dwell_s`` parameterise the ``mmpp`` arrival
+    process, ``think_time_s`` the ``closed`` loop; they are ignored by
+    the others.  ``batch_size`` applies to ``inference``-kind studies
+    (one isolated batched inference instead of a serving window).
+    """
+
+    models: tuple[ModelTraffic, ...]
+    arrival: str = "poisson"
+    rate_rps: float = 100e3
+    duration_s: float = 2e-3
+    seed: int = 7
+    burstiness: float = 4.0
+    dwell_s: float = 20e-6
+    think_time_s: float = 10e-6
+    batch_size: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.models:
+            raise SpecError("workload needs at least one model")
+        names = [entry.model for entry in self.models]
+        if len(set(names)) != len(names):
+            raise SpecError(f"duplicate models in workload: {names}")
+        if self.rate_rps <= 0:
+            raise SpecError(
+                f"arrival rate must be positive, got {self.rate_rps}"
+            )
+        if self.duration_s <= 0:
+            raise SpecError(
+                f"duration must be positive, got {self.duration_s}"
+            )
+        if self.burstiness < 1.0:
+            raise SpecError(
+                f"burstiness must be >= 1, got {self.burstiness}"
+            )
+        if self.dwell_s <= 0:
+            raise SpecError(f"dwell time must be positive, got {self.dwell_s}")
+        if self.think_time_s < 0:
+            raise SpecError(
+                f"think time must be non-negative, got {self.think_time_s}"
+            )
+        if self.batch_size < 1:
+            raise SpecError(
+                f"batch size must be >= 1, got {self.batch_size}"
+            )
+
+    @property
+    def fraction_total(self) -> float:
+        return sum(entry.fraction for entry in self.models)
+
+    def to_dict(self) -> dict[str, Any]:
+        return _scalars_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WorkloadSpec":
+        _check_fields(cls, data, "workload spec")
+        kwargs = dict(data)
+        models = kwargs.pop("models", None)
+        if not isinstance(models, (list, tuple)) or not models:
+            raise SpecError("workload spec needs a non-empty 'models' list")
+        kwargs["models"] = tuple(
+            ModelTraffic.from_dict(entry) for entry in models
+        )
+        return _build(cls, kwargs, "workload spec")
+
+
+# ---------------------------------------------------------------------------
+# Platform and scheduler.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """Which platform serves the workload, and its config knobs.
+
+    ``name``/``controller`` resolve against the platform and controller
+    registries at compile time.  ``n_wavelengths`` and
+    ``gateways_per_chiplet`` override the Table 1 defaults (the two
+    design-space axes the paper's conclusions call out).
+    """
+
+    name: str = "2.5D-CrossLight-SiPh"
+    controller: str = "resipi"
+    n_wavelengths: int | None = None
+    gateways_per_chiplet: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_wavelengths is not None and self.n_wavelengths < 1:
+            raise SpecError(
+                f"wavelength count must be >= 1, got {self.n_wavelengths}"
+            )
+        if (
+            self.gateways_per_chiplet is not None
+            and self.gateways_per_chiplet < 1
+        ):
+            raise SpecError(
+                f"gateway count must be >= 1, got "
+                f"{self.gateways_per_chiplet}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        return _scalars_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PlatformSpec":
+        _check_fields(cls, data, "platform spec")
+        return _build(cls, dict(data), "platform spec")
+
+
+@dataclass(frozen=True)
+class SchedulerSpec:
+    """How requests dispatch: policy, batching, admission, shedding.
+
+    Mirrors :class:`~repro.serving.scheduler.BatchPolicy`
+    field-for-field; the compiler builds the policy through the batch
+    policy registry so the name resolves with a typed error.
+    """
+
+    policy: str = "fifo"
+    max_batch: int = 1
+    batch_timeout_s: float = 20e-6
+    max_inflight: int = 4
+    shed_expired: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise SpecError(f"max batch must be >= 1, got {self.max_batch}")
+        if self.batch_timeout_s < 0:
+            raise SpecError(
+                f"batch timeout must be non-negative, got "
+                f"{self.batch_timeout_s}"
+            )
+        if self.max_inflight < 1:
+            raise SpecError(
+                f"max inflight must be >= 1, got {self.max_inflight}"
+            )
+        # Batching knobs on a single-dispatch policy would be inert at
+        # runtime but present in cache keys: reject instead of no-oping.
+        if self.policy != "max-batch":
+            if self.max_batch != 1:
+                raise SpecError(
+                    f"max_batch applies only to the max-batch policy "
+                    f"(got {self.max_batch} with {self.policy!r})"
+                )
+            default_timeout = type(self).__dataclass_fields__[
+                "batch_timeout_s"
+            ].default
+            if self.batch_timeout_s != default_timeout:
+                raise SpecError(
+                    f"batch_timeout_s applies only to the max-batch "
+                    f"policy (got {self.batch_timeout_s} with "
+                    f"{self.policy!r})"
+                )
+
+    def to_dict(self) -> dict[str, Any]:
+        return _scalars_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SchedulerSpec":
+        _check_fields(cls, data, "scheduler spec")
+        return _build(cls, dict(data), "scheduler spec")
+
+
+# ---------------------------------------------------------------------------
+# Sweep grid.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """One grid axis: a dotted spec field path and its values.
+
+    ``field`` addresses a scalar field of the spec tree —
+    ``"workload.rate_rps"``, ``"platform.controller"``,
+    ``"scheduler.policy"``, ``"platform.n_wavelengths"``, ... — and the
+    cross-product of all axes (first axis outermost) defines the grid.
+    """
+
+    field: str
+    values: tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        if not self.field:
+            raise SpecError("sweep axis needs a field path")
+        if not self.values:
+            raise SpecError(
+                f"sweep axis {self.field!r} needs at least one value"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"field": self.field, "values": _jsonify(self.values)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepAxis":
+        _check_fields(cls, data, "sweep axis")
+        kwargs = dict(data)
+        values = kwargs.pop("values", ())
+        if not isinstance(values, (list, tuple)):
+            raise SpecError("sweep axis 'values' must be a list")
+        kwargs["values"] = tuple(values)
+        return _build(cls, kwargs, "sweep axis")
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """The study's grid: zero or more axes, crossed in order."""
+
+    axes: tuple[SweepAxis, ...] = ()
+
+    def __post_init__(self) -> None:
+        paths = [axis.field for axis in self.axes]
+        if len(set(paths)) != len(paths):
+            raise SpecError(f"duplicate sweep axes: {paths}")
+
+    @property
+    def n_points(self) -> int:
+        total = 1
+        for axis in self.axes:
+            total *= len(axis.values)
+        return total
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"axes": [axis.to_dict() for axis in self.axes]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepSpec":
+        _check_fields(cls, data, "sweep spec")
+        axes = data.get("axes", [])
+        if not isinstance(axes, (list, tuple)):
+            raise SpecError("sweep spec 'axes' must be a list")
+        return cls(axes=tuple(SweepAxis.from_dict(axis) for axis in axes))
+
+
+# ---------------------------------------------------------------------------
+# The top-level study.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StudySpec:
+    """A complete declarative study: the unit `run_study` executes.
+
+    ``kind`` selects the lowering: ``"serving"`` simulates a full
+    request-serving window per grid point; ``"inference"`` runs one
+    isolated (batched) inference per model per grid point.
+    ``residency_capacity_bits`` bounds the shared weight store of
+    serving runs (LRU eviction between tenants).
+    """
+
+    name: str
+    workload: WorkloadSpec
+    kind: str = "serving"
+    platform: PlatformSpec = PlatformSpec()
+    scheduler: SchedulerSpec = SchedulerSpec()
+    sweep: SweepSpec = SweepSpec()
+    residency_capacity_bits: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecError("study needs a name")
+        if self.kind not in STUDY_KINDS:
+            raise SpecError(
+                f"unknown study kind {self.kind!r}; "
+                f"choose from {', '.join(STUDY_KINDS)}"
+            )
+        if self.kind == "serving":
+            total = self.workload.fraction_total
+            if abs(total - 1.0) > 1e-9:
+                raise SpecError(
+                    f"serving traffic fractions must sum to 1, got {total}"
+                )
+            if self.workload.batch_size != 1:
+                raise SpecError(
+                    "workload.batch_size applies to inference studies; "
+                    "serving batches via scheduler.max_batch"
+                )
+        else:
+            self._reject_serving_only_fields()
+        if (
+            self.residency_capacity_bits is not None
+            and self.residency_capacity_bits <= 0
+        ):
+            raise SpecError(
+                f"residency capacity must be positive, got "
+                f"{self.residency_capacity_bits}"
+            )
+
+    def _reject_serving_only_fields(self) -> None:
+        """Inference studies: serving-only fields must stay at their
+        defaults — accepting them would silently no-op."""
+        if self.scheduler != SchedulerSpec():
+            raise SpecError(
+                "the scheduler section applies only to serving studies"
+            )
+        if self.residency_capacity_bits is not None:
+            raise SpecError(
+                "residency_capacity_bits applies only to serving studies"
+            )
+        defaults = WorkloadSpec.__dataclass_fields__
+        for name in ("arrival", "rate_rps", "duration_s", "burstiness",
+                     "dwell_s", "think_time_s"):
+            if getattr(self.workload, name) != defaults[name].default:
+                raise SpecError(
+                    f"workload.{name} applies only to serving studies"
+                )
+        for entry in self.workload.models:
+            if entry.slo_s is not None or entry.priority != 0:
+                raise SpecError(
+                    f"SLO/priority on {entry.model!r} apply only to "
+                    "serving studies"
+                )
+
+    # -- serialisation -------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        record = {"schema": SPEC_SCHEMA_VERSION}
+        record.update(_scalars_to_dict(self))
+        return record
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "StudySpec":
+        if not isinstance(data, Mapping):
+            raise SpecError(
+                f"study spec must be a JSON object, got {type(data).__name__}"
+            )
+        kwargs = dict(data)
+        schema = kwargs.pop("schema", SPEC_SCHEMA_VERSION)
+        if schema != SPEC_SCHEMA_VERSION:
+            raise SpecError(
+                f"spec schema {schema!r} is not supported "
+                f"(this build reads schema {SPEC_SCHEMA_VERSION})"
+            )
+        _check_fields(cls, kwargs, "study spec")
+        if "workload" not in kwargs:
+            raise SpecError("study spec needs a 'workload' section")
+        kwargs["workload"] = WorkloadSpec.from_dict(kwargs["workload"])
+        if "platform" in kwargs:
+            kwargs["platform"] = PlatformSpec.from_dict(kwargs["platform"])
+        if "scheduler" in kwargs:
+            kwargs["scheduler"] = SchedulerSpec.from_dict(kwargs["scheduler"])
+        if "sweep" in kwargs:
+            kwargs["sweep"] = SweepSpec.from_dict(kwargs["sweep"])
+        return _build(cls, kwargs, "study spec")
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "StudySpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise SpecError(f"spec is not valid JSON: {error}") from None
+        return cls.from_dict(data)
+
+    # -- overrides and expansion ---------------------------------------------------
+
+    _SECTIONS = {"workload", "platform", "scheduler"}
+
+    def with_override(self, path: str, value: Any) -> "StudySpec":
+        """A copy with one scalar field replaced (sweep-axis setter).
+
+        ``path`` is ``"section.field"`` for the workload / platform /
+        scheduler sections or a bare top-level scalar such as
+        ``"residency_capacity_bits"``.  Validation re-runs on the copy.
+        """
+        section_name, dot, field_name = path.partition(".")
+        if not dot:
+            if section_name not in ("residency_capacity_bits",):
+                raise SpecError(
+                    f"cannot sweep top-level field {path!r}; sweepable "
+                    "sections: workload, platform, scheduler"
+                )
+            return replace(self, **{section_name: value})
+        if section_name not in self._SECTIONS:
+            raise SpecError(
+                f"unknown spec section {section_name!r} in sweep path "
+                f"{path!r}; choose from {', '.join(sorted(self._SECTIONS))}"
+            )
+        section = getattr(self, section_name)
+        known = {field.name for field in fields(section)}
+        if field_name not in known:
+            raise SpecError(
+                f"unknown field {field_name!r} in sweep path {path!r}; "
+                f"{section_name} fields: {', '.join(sorted(known))}"
+            )
+        if field_name == "models":
+            raise SpecError(
+                "the traffic mix cannot be a sweep axis; "
+                "write one study per mix"
+            )
+        return replace(
+            self, **{section_name: replace(section, **{field_name: value})}
+        )
+
+    def expand(self) -> list["StudySpec"]:
+        """The grid: fully-resolved point specs, first axis outermost.
+
+        Every returned spec has an empty sweep, so its digest identifies
+        exactly one simulation point.
+        """
+        base = replace(self, sweep=SweepSpec())
+        points = [base]
+        for axis in self.sweep.axes:
+            points = [
+                point.with_override(axis.field, value)
+                for point in points
+                for value in axis.values
+            ]
+        return points
+
+    @property
+    def digest(self) -> str:
+        return spec_digest(self)
+
+
+def spec_digest(spec: StudySpec) -> str:
+    """Stable content hash of a spec (schema version included).
+
+    Two specs with equal contents share a digest across processes and
+    machines; any field change — however deep — moves it.  The study
+    compiler folds this into every scenario cell's cache key.
+    """
+    payload = json.dumps(spec.to_dict(), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -4,6 +4,7 @@ import pytest
 
 from repro.config import DEFAULT_PLATFORM
 from repro.dnn import zoo
+from repro.errors import ConfigurationError
 from repro.experiments.calibration import calibration_report, shape_checks
 from repro.experiments.dse import (
     controller_ablation,
@@ -136,7 +137,7 @@ class TestDSE:
             assert point.result.latency_s > 0
 
     def test_gateway_sweep_rejects_nondivisor(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             sweep_gateways(model_name="LeNet5", values=(3,))
 
     def test_controller_ablation_keys(self):
