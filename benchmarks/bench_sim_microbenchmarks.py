@@ -10,6 +10,7 @@ speed are visible.  The benchmark bodies are shared with
 from repro.bench import (
     make_channel_contention,
     make_functional_mac_matvec,
+    make_hazard_timeline_reads,
     make_kernel_event_throughput,
     make_photonic_fabric_reads,
     make_serving_request_throughput,
@@ -44,3 +45,9 @@ def test_bench_serving_request_throughput(benchmark):
     """~100 Poisson requests batched through the serving scheduler."""
     completed = benchmark(make_serving_request_throughput())
     assert completed > 0
+
+
+def test_bench_hazard_timeline_reads(benchmark):
+    """Fabric reads under a capacity-mutating hazard timeline."""
+    bits = benchmark(make_hazard_timeline_reads())
+    assert bits > 0

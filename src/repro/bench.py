@@ -148,12 +148,65 @@ def make_serving_request_throughput() -> Callable[[], int]:
     return run
 
 
+def make_hazard_timeline_reads() -> Callable[[], float]:
+    """Fabric reads while a hazard timeline mutates capacities.
+
+    The same interposer read pattern as the plain fabric benchmark, but
+    with a hazard engine cycling gateway failures, a ring-drift burst
+    and repairs mid-run — tracks the overhead of the wrapped capacity
+    hooks and the event process itself.
+    """
+    from .config import DEFAULT_PLATFORM
+    from .interposer.photonic.fabric import PhotonicInterposerFabric
+    from .interposer.photonic.faults import (
+        GatewayFail,
+        GatewayRepair,
+        HazardEngine,
+        HazardTimeline,
+        RingDriftBurst,
+    )
+    from .interposer.topology import build_floorplan
+    from .sim.core import Environment
+
+    floorplan = build_floorplan(DEFAULT_PLATFORM)
+    chiplets = sorted(
+        site.chiplet_id for site in floorplan.compute_sites
+    )[:4]
+    timeline = HazardTimeline((
+        GatewayFail(at_s=2e-7, memory_gateways=4),
+        GatewayFail(
+            at_s=4e-7,
+            chiplet_gateways=tuple((cid, 2, 2) for cid in chiplets),
+        ),
+        RingDriftBurst(at_s=5e-7, duration_s=4e-7,
+                       temperature_rise_k=8.0),
+        GatewayRepair(at_s=8e-7, memory_gateways=4),
+        GatewayRepair(
+            at_s=1e-6,
+            chiplet_gateways=tuple((cid, 2, 2) for cid in chiplets),
+        ),
+    ))
+
+    def run() -> float:
+        env = Environment()
+        fabric = PhotonicInterposerFabric(env, DEFAULT_PLATFORM, floorplan)
+        HazardEngine(fabric, timeline)
+        for site in floorplan.compute_sites:
+            for _ in range(12):
+                fabric.read(site.chiplet_id, 1e6)
+        env.run()
+        return fabric.bits_read
+
+    return run
+
+
 MICROBENCHMARKS: dict[str, Callable[[], Callable[[], object]]] = {
     KERNEL_BENCHMARK: make_kernel_event_throughput,
     "test_bench_channel_contention": make_channel_contention,
     "test_bench_photonic_fabric_reads": make_photonic_fabric_reads,
     "test_bench_functional_mac_matvec": make_functional_mac_matvec,
     "test_bench_serving_request_throughput": make_serving_request_throughput,
+    "test_bench_hazard_timeline_reads": make_hazard_timeline_reads,
 }
 """Benchmark name (matching the pytest test name) -> body factory."""
 

@@ -253,10 +253,18 @@ def _cmd_study(args: argparse.Namespace) -> int:
         serving_results_to_json,
         write_text,
     )
-    from .studies.compile import load_spec, render_study, run_study
+    from .studies.compile import (
+        load_spec,
+        render_dry_run,
+        render_study,
+        run_study,
+    )
 
     try:
         spec = load_spec(args.spec)
+        if args.dry_run:
+            print(render_dry_run(spec))
+            return 0
         study = run_study(spec, jobs=args.jobs, cache_dir=args.cache_dir)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -418,6 +426,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="study spec file (see examples/study_spec.json)")
     study.add_argument("--json", default=None, metavar="PATH",
                        help="also export every point result as JSON")
+    study.add_argument("--dry-run", action="store_true",
+                       help="print the expanded grid, per-cell cache keys "
+                            "and the spec digest without simulating")
     study.set_defaults(func=_cmd_study)
 
     bench = sub.add_parser(

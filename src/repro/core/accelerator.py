@@ -29,6 +29,7 @@ from ..interposer.base import InterposerFabric
 from ..interposer.electrical.mesh import ElectricalMeshFabric
 from ..interposer.photonic.controllers import CONTROLLER_FACTORIES
 from ..interposer.photonic.fabric import PhotonicInterposerFabric
+from ..interposer.photonic.faults import HazardEngine, HazardTimeline
 from ..interposer.topology import build_floorplan
 from ..mapping.mapper import KernelMatchMapper, ModelMapping
 from ..photonics import constants as ph
@@ -69,6 +70,7 @@ class PlatformSimulation:
     mac_rate_hz: float
     map_workload: Callable[[InferenceWorkload], ModelMapping]
     time_limit_s: float = 100.0
+    hazards: HazardEngine | None = None
 
     @property
     def reconfigurations(self) -> int:
@@ -223,25 +225,34 @@ class CrossLight25DSiPh(_CrossLight25DBase):
 
     def __init__(self, config: PlatformConfig | None = None,
                  controller: str = "resipi",
-                 mapper: KernelMatchMapper | None = None):
+                 mapper: KernelMatchMapper | None = None,
+                 faults: HazardTimeline | None = None):
         super().__init__(config, mapper)
         if controller not in CONTROLLER_FACTORIES:
             raise UnknownNameError(
                 "controller", controller, sorted(CONTROLLER_FACTORIES)
             )
         self.controller_name = controller
+        self.faults = faults
         self.name = "2.5D-CrossLight-SiPh"
         if controller != "resipi":
             self.name += f"[{controller}]"
 
     def build_simulation(self, env: Environment) -> PlatformSimulation:
         fabric = PhotonicInterposerFabric(env, self.config, self.floorplan)
+        # Hazards attach before the controller boots: the ``t=0`` events
+        # of a static fault plan constrain the controller's very first
+        # decision, exactly like the historical FaultInjector did.
+        hazards = (
+            HazardEngine(fabric, self.faults) if self.faults else None
+        )
         controller = CONTROLLER_FACTORIES[self.controller_name](
             env, fabric, self.config
         )
         return PlatformSimulation(
             platform=self, env=env, fabric=fabric, controller=controller,
             mac_rate_hz=self.config.mac_rate_hz, map_workload=self.map,
+            hazards=hazards,
         )
 
 

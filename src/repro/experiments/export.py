@@ -98,6 +98,7 @@ SERVING_FIELDS = (
     "requests_shed",
     "slo_violations",
     "slo_attainment",
+    "time_degraded_s",
 )
 """Scalar columns exported for every serving result."""
 
@@ -145,6 +146,37 @@ def serving_result_to_dict(result: ServingResult) -> dict:
             "bits_transferred": stat.bits_transferred,
         }
         for stat in result.channel_stats
+    ]
+    record["hazard_events"] = [
+        {
+            "kind": event.kind,
+            "start_s": event.start_s,
+            "end_s": event.end_s,
+            "memory_gateways_delta": event.memory_gateways_delta,
+            "chiplet_gateways_delta": event.chiplet_gateways_delta,
+            "wavelength_fraction": event.wavelength_fraction,
+        }
+        for event in result.hazard_events
+    ]
+    record["fault_windows"] = [
+        {
+            "label": window.label,
+            "start_s": window.start_s,
+            "end_s": window.end_s,
+            "completed": window.completed,
+            "shed": window.shed,
+            "slo_violations": window.slo_violations,
+            "slo_attainment": window.slo_attainment,
+            "goodput_rps": window.goodput_rps,
+            "latency_s": {
+                "mean": window.latency.mean_s,
+                "p50": window.latency.p50_s,
+                "p95": window.latency.p95_s,
+                "p99": window.latency.p99_s,
+                "max": window.latency.max_s,
+            },
+        }
+        for window in result.windows
     ]
     return record
 

@@ -156,14 +156,21 @@ class ResultCache:
 
 
 def build_platform(platform_name: str, config: PlatformConfig,
-                   controller: str = "resipi"):
+                   controller: str = "resipi", faults=None):
     """Construct a simulated platform by its registry (Table 3) name.
 
     Resolution goes through the platform registry, so unknown names
     fail with a typed did-you-mean error and externally registered
-    platforms work everywhere this is called.
+    platforms work everywhere this is called.  ``faults`` is an
+    optional :class:`~repro.interposer.photonic.faults.HazardTimeline`
+    the platform will attach in ``build_simulation``; platforms without
+    a fault model reject it, and factories registered before the hazard
+    engine existed only see it when one is actually passed.
     """
-    return PLATFORMS.get(platform_name)(config, controller)
+    factory = PLATFORMS.get(platform_name)
+    if faults is None:
+        return factory(config, controller)
+    return factory(config, controller, faults=faults)
 
 
 def _simulate_cell(platform_name: str, model_name: str, controller: str,

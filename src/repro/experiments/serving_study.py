@@ -30,20 +30,32 @@ import numpy as np
 from ..config import DEFAULT_PLATFORM, PlatformConfig
 from ..core.engine import ExecutionTrace
 from ..dnn.workload import extract_workload
+from ..interposer.photonic.faults import HazardTimeline
 from ..mapping.residency import WeightResidency
-from ..serving.metrics import ServingResult, aggregate, per_model_stats
+from ..serving.metrics import (
+    ServingResult,
+    aggregate,
+    per_model_stats,
+    windowed_stats,
+)
 from ..serving.scheduler import BatchPolicy, RequestScheduler
 from ..sim.core import Environment
-from ..studies.registry import ARRIVALS, MODELS
+from ..studies.registry import ARRIVALS, HAZARDS, MODELS
+from ..studies.spec import FaultSpec
 from .runner import build_platform, cell_key, run_cached
 
-SERVING_STUDY_VERSION = 2
+SERVING_STUDY_VERSION = 3
 """Bump (with ``CACHE_SCHEMA_VERSION`` semantics) when the serving
 simulation changes meaning, so cached curves are never stale.
 
 Version 2: ``BatchPolicy`` grew ``shed_expired`` (in ``asdict`` and
 therefore in every serving key) — results are unchanged, but the
-explicit bump records that serving keys moved."""
+explicit bump records that serving keys moved.
+
+Version 3: ``ServingResult`` grew the hazard fields
+(``windows``/``hazard_events``/``time_degraded_s``) and scenario cells
+a ``faults`` timeline — fault-free results are unchanged, but the
+record layout and key contents moved together."""
 
 DEFAULT_RATES_RPS = (20e3, 50e3, 100e3, 200e3)
 """Default arrival-rate sweep (requests/s): subsaturation through the
@@ -144,6 +156,25 @@ def simulate_serving_cells(cells: Sequence[ServingCell], jobs: int = 1,
 # ---------------------------------------------------------------------------
 
 
+def hazard_timeline(faults: "FaultSpec | None") -> HazardTimeline | None:
+    """Lower a spec-level fault section onto a hazard timeline.
+
+    Resolves every event kind against the ``HAZARDS`` registry (typed
+    did-you-mean errors) and runs the per-kind factory validation, so a
+    malformed fault section fails at compile time — before any
+    simulation.  ``None``/empty lowers to ``None`` (no engine attached;
+    the simulation is exactly the fault-free one).
+    """
+    if faults is None or not faults.events:
+        return None
+    events = []
+    for entry in faults.events:
+        fields = entry.to_dict()
+        kind = fields.pop("kind")
+        events.append(HAZARDS.get(kind)(**fields))
+    return HazardTimeline(tuple(events))
+
+
 @dataclass(frozen=True)
 class ScenarioCell:
     """One spec-driven serving point: a traffic mix under one policy.
@@ -168,6 +199,7 @@ class ScenarioCell:
     dwell_s: float = 20e-6
     think_time_s: float = 10e-6
     residency_capacity_bits: float | None = None
+    faults: FaultSpec | None = None
     digest: str = ""
 
     @property
@@ -202,6 +234,9 @@ class ScenarioCell:
                 "dwell_s": self.dwell_s,
                 "think_time_s": self.think_time_s,
                 "residency_capacity_bits": self.residency_capacity_bits,
+                "faults": (
+                    self.faults.to_dict() if self.faults else None
+                ),
                 "spec": self.digest,
             },
         )
@@ -231,7 +266,10 @@ def _mix_stream(models: tuple[tuple[str, float, float | None, int], ...],
 
 def simulate_scenario_cell(cell: ScenarioCell) -> ServingResult:
     """Worker body: one full multi-tenant serving simulation."""
-    platform = build_platform(cell.platform, cell.config, cell.controller)
+    platform = build_platform(
+        cell.platform, cell.config, cell.controller,
+        faults=hazard_timeline(cell.faults),
+    )
     env = Environment()
     sim = platform.build_simulation(env)
     trace = ExecutionTrace()
@@ -262,6 +300,17 @@ def simulate_scenario_cell(cell: ScenarioCell) -> ServingResult:
     latency, queue_delay, mean_batch = aggregate(scheduler.records)
     network = sim.fabric.energy_report()
     trace.record_channel_stats(sim.fabric)
+    windows = ()
+    hazard_events: tuple = ()
+    time_degraded_s = 0.0
+    if sim.hazards is not None:
+        window = sim.hazards.fault_window(elapsed)
+        if window is not None:
+            windows = windowed_stats(
+                scheduler.records, window[0], window[1], elapsed
+            )
+        hazard_events = tuple(sim.hazards.records)
+        time_degraded_s = sim.hazards.time_degraded_s(elapsed)
     return ServingResult(
         platform=platform.name,
         model=cell.mix_label,
@@ -286,6 +335,9 @@ def simulate_scenario_cell(cell: ScenarioCell) -> ServingResult:
         per_model=per_model_stats(
             scheduler.records, elapsed, scheduler.slos()
         ),
+        windows=windows,
+        hazard_events=hazard_events,
+        time_degraded_s=time_degraded_s,
     )
 
 
@@ -382,6 +434,47 @@ def render_slo_summary(results: Sequence[ServingResult]) -> str:
             f"{stats.slo_attainment:>9.2%}"
             f"{stats.latency.p99_s * 1e6:>10.1f}"
         )
+    return "\n".join(lines)
+
+
+def render_fault_windows(results: Sequence[ServingResult]) -> str:
+    """Windowed degradation table: one row per (point, window).
+
+    Empty string when no result carries fault windows (fault-free
+    runs), so callers can append unconditionally.
+    """
+    rows = [
+        (result, window)
+        for result in results
+        for window in result.windows
+    ]
+    if not rows:
+        return ""
+    header = (
+        f"{'policy':<16}{'offered/s':>12}  {'window':<8}{'span(us)':>16}"
+        f"{'done':>7}{'shed':>6}{'goodput/s':>12}{'p99(us)':>10}"
+        f"{'attain':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for result, window in rows:
+        span = (
+            f"{window.start_s * 1e6:.0f}-{window.end_s * 1e6:.0f}"
+        )
+        lines.append(
+            f"{result.policy:<16}{result.offered_rps:>12.0f}  "
+            f"{window.label:<8}{span:>16}"
+            f"{window.completed:>7}{window.shed:>6}"
+            f"{window.goodput_rps:>12.0f}"
+            f"{window.latency.p99_s * 1e6:>10.1f}"
+            f"{window.slo_attainment:>9.2%}"
+        )
+    for result in results:
+        if result.windows:
+            lines.append(
+                f"{result.policy:<16}{result.offered_rps:>12.0f}  "
+                f"time degraded: {result.time_degraded_s * 1e6:.0f} us "
+                f"({result.platform}, {result.controller})"
+            )
     return "\n".join(lines)
 
 

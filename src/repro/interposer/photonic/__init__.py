@@ -8,7 +8,19 @@ from .controllers import (
 )
 from .awgr import AWGRInterposerFabric, awgr_link_budget
 from .fabric import PHOTONIC_DYNAMIC_J_PER_BIT, PhotonicInterposerFabric
-from .faults import FaultInjector, FaultPlan, uniform_fault_plan
+from .faults import (
+    HAZARD_FACTORIES,
+    FaultInjector,
+    FaultPlan,
+    GatewayFail,
+    GatewayRepair,
+    HazardEngine,
+    HazardRecord,
+    HazardTimeline,
+    LaserDegradation,
+    RingDriftBurst,
+    uniform_fault_plan,
+)
 from .links import (
     INTERPOSER_WAVEGUIDE_LOSS_DB_PER_CM,
     swmr_read_budget,
@@ -25,6 +37,14 @@ __all__ = [
     "awgr_link_budget",
     "FaultInjector",
     "FaultPlan",
+    "GatewayFail",
+    "GatewayRepair",
+    "HAZARD_FACTORIES",
+    "HazardEngine",
+    "HazardRecord",
+    "HazardTimeline",
+    "LaserDegradation",
+    "RingDriftBurst",
     "uniform_fault_plan",
     "PHOTONIC_DYNAMIC_J_PER_BIT",
     "PhotonicInterposerFabric",

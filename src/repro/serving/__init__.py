@@ -14,9 +14,11 @@ from .metrics import (
     ModelServingStats,
     RequestRecord,
     ServingResult,
+    WindowStats,
     aggregate,
     per_model_stats,
     percentile,
+    windowed_stats,
 )
 from .scheduler import BatchPolicy, RequestHandle, RequestScheduler
 
@@ -28,7 +30,9 @@ __all__ = [
     "RequestRecord",
     "RequestScheduler",
     "ServingResult",
+    "WindowStats",
     "aggregate",
     "per_model_stats",
     "percentile",
+    "windowed_stats",
 ]

@@ -163,6 +163,88 @@ def per_model_stats(
 
 
 @dataclass(frozen=True)
+class WindowStats:
+    """Serving outcome of one time window of a run.
+
+    Fault-injected runs report one of these per phase — ``before`` the
+    first hazard strikes, ``during`` the fault window, and ``after``
+    the last hazard clears — so degradation and recovery are directly
+    measurable instead of being averaged into the run totals.
+    Requests belong to the window their *arrival* falls in: those are
+    the users who experienced the degraded (or recovered) service.
+    """
+
+    label: str
+    start_s: float
+    end_s: float
+    completed: int
+    shed: int
+    slo_violations: int
+    latency: LatencyProfile
+    goodput_rps: float
+
+    @property
+    def submitted(self) -> int:
+        return self.completed + self.shed
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of the window's requests served within deadline."""
+        if self.submitted == 0:
+            return 1.0
+        return 1.0 - self.slo_violations / self.submitted
+
+
+def windowed_stats(
+    records: list[RequestRecord],
+    fault_start_s: float,
+    fault_end_s: float,
+    elapsed_s: float,
+) -> tuple[WindowStats, ...]:
+    """before/during/after-fault windows over one run's records.
+
+    The during window is ``[fault_start_s, fault_end_s)`` clamped to
+    the run; zero-span windows (a fault starting at t=0, or one that
+    outlives the run) are omitted.
+    """
+    if fault_end_s < fault_start_s:
+        raise SimulationError(
+            f"fault window must be ordered, got "
+            f"[{fault_start_s}, {fault_end_s}]"
+        )
+    start = min(fault_start_s, elapsed_s)
+    end = min(fault_end_s, elapsed_s)
+    spans = (
+        ("before", 0.0, start),
+        ("during", start, end),
+        ("after", end, elapsed_s),
+    )
+    windows = []
+    for label, span_start, span_end in spans:
+        if span_end <= span_start:
+            continue
+        group = [
+            r for r in records
+            if span_start <= r.arrival_s < span_end
+            or (label == "after" and r.arrival_s >= span_end)
+        ]
+        served = [r for r in group if not r.dropped]
+        windows.append(WindowStats(
+            label=label,
+            start_s=span_start,
+            end_s=span_end,
+            completed=len(served),
+            shed=len(group) - len(served),
+            slo_violations=sum(1 for r in group if r.slo_violated),
+            latency=LatencyProfile.from_samples(
+                [r.latency_s for r in served]
+            ),
+            goodput_rps=len(served) / (span_end - span_start),
+        ))
+    return tuple(windows)
+
+
+@dataclass(frozen=True)
 class ServingResult:
     """Complete outcome of one request-serving simulation.
 
@@ -192,6 +274,9 @@ class ServingResult:
     channel_stats: tuple[ChannelStat, ...] = ()
     requests_shed: int = 0
     per_model: tuple[ModelServingStats, ...] = ()
+    windows: tuple[WindowStats, ...] = ()
+    hazard_events: tuple = ()
+    time_degraded_s: float = 0.0
 
     @property
     def goodput_rps(self) -> float:

@@ -30,12 +30,15 @@ from .registry import (
     ARRIVALS,
     BATCH_POLICIES,
     CONTROLLERS,
+    HAZARDS,
     MODELS,
     PLATFORMS,
     Registry,
 )
 from .spec import (
     SPEC_SCHEMA_VERSION,
+    FaultEventSpec,
+    FaultSpec,
     ModelTraffic,
     PlatformSpec,
     SchedulerSpec,
@@ -54,6 +57,8 @@ _LAZY_EXPORTS = {
         "build_policy",
         "expand_points",
         "load_spec",
+        "lower_study",
+        "render_dry_run",
         "render_study",
         "resolve_config",
         "run_study",
@@ -92,6 +97,9 @@ __all__ = [
     "ARRIVALS",
     "BATCH_POLICIES",
     "CONTROLLERS",
+    "FaultEventSpec",
+    "FaultSpec",
+    "HAZARDS",
     "MODELS",
     "ModelTraffic",
     "PLATFORMS",

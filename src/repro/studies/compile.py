@@ -35,6 +35,8 @@ from ..experiments.runner import build_platform, cell_key, run_cached
 from ..experiments.serving_study import (
     ScenarioCell,
     ServingCell,
+    hazard_timeline,
+    render_fault_windows,
     render_serving_study,
     render_slo_summary,
     simulate_study_cells,
@@ -42,7 +44,7 @@ from ..experiments.serving_study import (
 from ..serving.metrics import ServingResult
 from ..serving.scheduler import BatchPolicy
 from .registry import ARRIVALS, BATCH_POLICIES, CONTROLLERS, MODELS, PLATFORMS
-from .spec import SchedulerSpec, StudySpec, WorkloadSpec
+from .spec import FaultSpec, SchedulerSpec, StudySpec, WorkloadSpec
 
 SIPH_PLATFORM = "2.5D-CrossLight-SiPh"
 """The one platform whose fabric takes a reconfiguration controller."""
@@ -62,23 +64,32 @@ class InferenceCell:
     controller: str
     config: PlatformConfig
     batch_size: int = 1
+    faults: FaultSpec | None = None
 
     def key(self) -> str:
         """Plain matrix-cell key at batch 1 (cache-compatible with the
-        legacy runner); batched cells get their own key space."""
-        if self.batch_size == 1:
+        legacy runner); batched and fault-injected cells get their own
+        key space."""
+        faulted = self.faults is not None and bool(self.faults.events)
+        if self.batch_size == 1 and not faulted:
             return cell_key(
                 self.platform, self.model, self.controller, self.config
             )
+        extra = {"study": "inference", "batch_size": self.batch_size}
+        if faulted:
+            extra["faults"] = self.faults.to_dict()
         return cell_key(
             self.platform, self.model, self.controller, self.config,
-            extra={"study": "inference", "batch_size": self.batch_size},
+            extra=extra,
         )
 
 
 def simulate_inference_cell(cell: InferenceCell) -> InferenceResult:
     """Worker body: identical to the runner's matrix cell at batch 1."""
-    platform = build_platform(cell.platform, cell.config, cell.controller)
+    platform = build_platform(
+        cell.platform, cell.config, cell.controller,
+        faults=hazard_timeline(cell.faults),
+    )
     workload = extract_workload(MODELS.get(cell.model)())
     return platform.run_workload(workload, batch_size=cell.batch_size)
 
@@ -116,6 +127,14 @@ def _validate_names(spec: StudySpec) -> None:
     CONTROLLERS.get(spec.platform.controller)
     for entry in spec.workload.models:
         MODELS.get(entry.model)
+    if spec.platform.faults.events:
+        if spec.platform.name != SIPH_PLATFORM:
+            raise SpecError(
+                f"platform.faults applies only to {SIPH_PLATFORM!r} "
+                f"(the hazard engine mutates its photonic fabric), got "
+                f"platform {spec.platform.name!r}"
+            )
+        hazard_timeline(spec.platform.faults)
     if spec.kind == "serving":
         ARRIVALS.get(spec.workload.arrival)
         build_policy(spec.scheduler)
@@ -175,6 +194,7 @@ def is_classic_serving(point: StudySpec) -> bool:
         and scheduler.policy in ("fifo", "max-batch")
         and not scheduler.shed_expired
         and point.residency_capacity_bits is None
+        and not point.platform.faults.events
         and workload.burstiness == defaults["burstiness"]
         and workload.dwell_s == defaults["dwell_s"]
         and workload.think_time_s == defaults["think_time_s"]
@@ -216,6 +236,9 @@ def lower_serving_point(point: StudySpec,
         dwell_s=workload.dwell_s,
         think_time_s=workload.think_time_s,
         residency_capacity_bits=point.residency_capacity_bits,
+        faults=(
+            point.platform.faults if point.platform.faults.events else None
+        ),
         digest=point.digest,
     )
 
@@ -254,6 +277,44 @@ class StudyResult:
                 if isinstance(r, ServingResult)]
 
 
+def lower_study(
+    spec: StudySpec, base_config: PlatformConfig | None = None
+) -> tuple[list[StudySpec], list[list]]:
+    """The fully lowered grid — nothing simulated.
+
+    Returns the resolved grid points and, per point, the list of cells
+    it lowers onto (one serving cell, or one inference cell per model
+    of the workload).  Shared by :func:`run_study` (which simulates
+    them) and :func:`render_dry_run` (which only prints them).
+    """
+    points = expand_points(spec)
+    for point in points:
+        _validate_names(point)
+    cells_per_point: list[list] = []
+    for point in points:
+        config = resolve_config(point, base_config)
+        if spec.kind == "inference":
+            cells_per_point.append([
+                InferenceCell(
+                    platform=point.platform.name,
+                    model=entry.model,
+                    controller=point.platform.controller,
+                    config=config,
+                    batch_size=point.workload.batch_size,
+                    faults=(
+                        point.platform.faults
+                        if point.platform.faults.events else None
+                    ),
+                )
+                for entry in point.workload.models
+            ])
+        else:
+            cells_per_point.append(
+                [lower_serving_point(point, config)]
+            )
+    return points, cells_per_point
+
+
 def run_study(spec: StudySpec, jobs: int = 1,
               cache_dir: str | Path | None = None,
               base_config: PlatformConfig | None = None) -> StudyResult:
@@ -266,41 +327,24 @@ def run_study(spec: StudySpec, jobs: int = 1,
     :class:`PlatformConfig`; spec-level platform knobs apply on top of
     it (JSON specs always start from the Table 1 defaults).
     """
-    points = expand_points(spec)
-    for point in points:
-        _validate_names(point)
-    configs = [resolve_config(point, base_config) for point in points]
+    points, cells_per_point = lower_study(spec, base_config)
+    cells = [cell for group in cells_per_point for cell in group]
 
     if spec.kind == "inference":
-        per_point = len(spec.workload.models)
-        cells = [
-            InferenceCell(
-                platform=point.platform.name,
-                model=entry.model,
-                controller=point.platform.controller,
-                config=config,
-                batch_size=point.workload.batch_size,
-            )
-            for point, config in zip(points, configs)
-            for entry in point.workload.models
-        ]
         results = run_cached(
             cells, lambda cell: cell.key(), simulate_inference_cell,
             jobs=jobs, cache_dir=cache_dir,
         )
-        grouped = [
-            tuple(results[i * per_point:(i + 1) * per_point])
-            for i in range(len(points))
-        ]
     else:
-        cells = [
-            lower_serving_point(point, config)
-            for point, config in zip(points, configs)
-        ]
-        serving_results = simulate_study_cells(
+        results = simulate_study_cells(
             cells, jobs=jobs, cache_dir=cache_dir
         )
-        grouped = [(result,) for result in serving_results]
+
+    grouped = []
+    cursor = 0
+    for group in cells_per_point:
+        grouped.append(tuple(results[cursor:cursor + len(group)]))
+        cursor += len(group)
 
     return StudyResult(
         spec=spec,
@@ -328,6 +372,56 @@ def render_study(study: StudyResult) -> str:
         slo_table = render_slo_summary(results)
         if slo_table:
             lines += ["", "per-model SLO attainment:", slo_table]
+        fault_table = render_fault_windows(results)
+        if fault_table:
+            lines += ["", "fault windows (before/during/after):",
+                      fault_table]
+    return "\n".join(lines)
+
+
+def _swept_values(point: StudySpec, spec: StudySpec) -> str:
+    """Readable ``field=value`` summary of one grid point's axes."""
+    parts = []
+    for axis in spec.sweep.axes:
+        section_name, _, field_name = axis.field.partition(".")
+        if field_name:
+            value = getattr(getattr(point, section_name), field_name)
+        else:
+            value = getattr(point, section_name)
+        if hasattr(value, "to_dict"):
+            value = f"<{len(value.to_dict().get('events', []))} event(s)>"
+        parts.append(f"{axis.field}={value}")
+    return ", ".join(parts) if parts else "-"
+
+
+def render_dry_run(spec: StudySpec,
+                   base_config: PlatformConfig | None = None) -> str:
+    """The expanded grid, per-cell cache keys and the spec digest —
+    everything ``run_study`` would do short of simulating.
+
+    Cheap spec debugging: verifies names resolve, shows how each point
+    lowers (classic vs scenario cells share or fork cache keys here)
+    and prints the exact on-disk keys a ``--cache-dir`` run would use.
+    """
+    points, cells_per_point = lower_study(spec, base_config)
+    n_cells = sum(len(group) for group in cells_per_point)
+    lines = [
+        f"study: {spec.name} ({spec.kind}) — dry run, nothing simulated",
+        f"spec digest: {spec.digest}",
+        f"grid: {len(points)} point(s), {n_cells} cell(s)",
+    ]
+    for axis in spec.sweep.axes:
+        lines.append(f"  axis {axis.field}: {list(axis.values)}")
+    lines.append("")
+    for index, (point, group) in enumerate(zip(points, cells_per_point)):
+        lines.append(
+            f"point {index}: {_swept_values(point, spec)} "
+            f"[digest {point.digest[:12]}]"
+        )
+        for cell in group:
+            label = type(cell).__name__
+            model = getattr(cell, "model", None) or cell.mix_label
+            lines.append(f"  {label:<14}{model:<24} key {cell.key()}")
     return "\n".join(lines)
 
 

@@ -24,6 +24,7 @@ from ..core.accelerator import (
 from ..dnn.zoo import EXTENDED_BUILDERS, MODEL_BUILDERS
 from ..errors import ConfigurationError, UnknownNameError
 from ..interposer.photonic.controllers import CONTROLLER_FACTORIES
+from ..interposer.photonic.faults import HAZARD_FACTORIES
 from ..serving.scheduler import POLICY_NAMES, BatchPolicy
 from ..sim.traffic import ClosedLoopClients, MMPPArrivals, PoissonArrivals
 
@@ -86,19 +87,31 @@ class Registry:
 # ---------------------------------------------------------------------------
 
 
-def _build_crosslight(config: PlatformConfig, controller: str):
+def _reject_faults(name: str, faults) -> None:
+    if faults is not None:
+        raise ConfigurationError(
+            f"platform {name!r} has no fault model; hazard timelines "
+            "apply to the photonic interposer platform "
+            "('2.5D-CrossLight-SiPh')"
+        )
+
+
+def _build_crosslight(config: PlatformConfig, controller: str, faults=None):
+    _reject_faults("CrossLight", faults)
     return MonolithicCrossLight(config)
 
 
-def _build_25d_elec(config: PlatformConfig, controller: str):
+def _build_25d_elec(config: PlatformConfig, controller: str, faults=None):
+    _reject_faults("2.5D-CrossLight-Elec", faults)
     return CrossLight25DElec(config)
 
 
-def _build_25d_siph(config: PlatformConfig, controller: str):
-    return CrossLight25DSiPh(config, controller=controller)
+def _build_25d_siph(config: PlatformConfig, controller: str, faults=None):
+    return CrossLight25DSiPh(config, controller=controller, faults=faults)
 
 
-def _build_25d_awgr(config: PlatformConfig, controller: str):
+def _build_25d_awgr(config: PlatformConfig, controller: str, faults=None):
+    _reject_faults("2.5D-CrossLight-AWGR", faults)
     return CrossLight25DAWGR(config)
 
 
@@ -121,6 +134,16 @@ CONTROLLERS = Registry("controller", backing=CONTROLLER_FACTORIES)
 
 Shares the factory dict the SiPh platform constructs from, so a
 controller registered here is buildable — not just spec-valid."""
+
+
+HAZARDS = Registry("hazard", backing=HAZARD_FACTORIES)
+"""Hazard-event factories for the platform fault timeline.
+
+Each factory takes the full :class:`~repro.studies.spec.FaultEventSpec`
+field set (minus ``kind``) and returns a typed hazard event, rejecting
+knobs that do not apply to its kind.  Shares the factory dict the
+hazard engine's spec lowering reads, so externally registered hazard
+kinds are buildable from JSON specs."""
 
 
 # ---------------------------------------------------------------------------

@@ -25,9 +25,14 @@ from typing import Any, Mapping
 
 from ..errors import SpecError
 
-SPEC_SCHEMA_VERSION = 1
+SPEC_SCHEMA_VERSION = 2
 """Bump when the spec schema changes meaning: digests (and therefore
-every scenario cache key) move with it."""
+every scenario cache key) move with it.
+
+Version 2: :class:`PlatformSpec` grew a ``faults`` section
+(:class:`FaultSpec`), so every digest — and with it every scenario
+cache key — moved; a pre-hazard cache can never satisfy a fault-aware
+spec."""
 
 STUDY_KINDS = ("inference", "serving")
 """Study kinds the compiler can lower."""
@@ -190,6 +195,124 @@ class WorkloadSpec:
 
 
 # ---------------------------------------------------------------------------
+# Faults: the hazard timeline a platform runs under.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultEventSpec:
+    """One hazard event of the platform's fault timeline.
+
+    ``kind`` resolves against the ``HAZARDS`` registry at compile time
+    (``gateway-fail``, ``gateway-repair``, ``ring-drift``,
+    ``laser-degradation``); the remaining fields are the union of every
+    kind's knobs — the per-kind factories reject knobs that do not
+    apply, so an inert field never silently moves a digest.
+    ``chiplet_gateways`` lists ``[chiplet_id, write, read]`` failure
+    (or repair) counts.
+    """
+
+    kind: str
+    at_s: float
+    duration_s: float | None = None
+    memory_gateways: int = 0
+    chiplet_gateways: tuple[tuple[str, int, int], ...] = ()
+    temperature_rise_k: float = 0.0
+    power_fraction: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.kind:
+            raise SpecError("fault event needs a kind")
+        if self.at_s < 0:
+            raise SpecError(
+                f"fault event time must be >= 0, got {self.at_s}"
+            )
+        if self.duration_s is not None and self.duration_s <= 0:
+            raise SpecError(
+                f"fault event duration must be positive, got "
+                f"{self.duration_s}"
+            )
+        if self.memory_gateways < 0:
+            raise SpecError(
+                f"memory gateway count must be >= 0, got "
+                f"{self.memory_gateways}"
+            )
+        for entry in self.chiplet_gateways:
+            if len(entry) != 3:
+                raise SpecError(
+                    "chiplet_gateways entries are "
+                    "[chiplet_id, write, read] triples, got "
+                    f"{list(entry)!r}"
+                )
+        if not 0.0 < self.power_fraction <= 1.0:
+            raise SpecError(
+                f"power fraction must be in (0, 1], got "
+                f"{self.power_fraction}"
+            )
+        if self.temperature_rise_k < 0:
+            raise SpecError(
+                f"temperature rise must be >= 0, got "
+                f"{self.temperature_rise_k}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        return _scalars_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultEventSpec":
+        _check_fields(cls, data, "fault event")
+        kwargs = dict(data)
+        entries = kwargs.get("chiplet_gateways", ())
+        if not isinstance(entries, (list, tuple)):
+            raise SpecError("fault event 'chiplet_gateways' must be a list")
+        kwargs["chiplet_gateways"] = tuple(
+            tuple(entry) if isinstance(entry, (list, tuple)) else (entry,)
+            for entry in entries
+        )
+        return _build(cls, kwargs, "fault event")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """The platform's hazard timeline: zero or more chronological events.
+
+    The empty timeline (the default) is the fault-free platform; a
+    timeline whose every event fires at ``t=0`` is the static fault
+    plan of the one-shot studies.
+    """
+
+    events: tuple[FaultEventSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        previous = 0.0
+        for event in self.events:
+            if event.at_s < previous:
+                raise SpecError(
+                    "fault events must be listed chronologically: "
+                    f"{event.kind!r} at t={event.at_s}s follows "
+                    f"t={previous}s"
+                )
+            previous = event.at_s
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"events": [event.to_dict() for event in self.events]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSpec":
+        _check_fields(cls, data, "fault spec")
+        events = data.get("events", [])
+        if not isinstance(events, (list, tuple)):
+            raise SpecError("fault spec 'events' must be a list")
+        return cls(events=tuple(
+            FaultEventSpec.from_dict(event) for event in events
+        ))
+
+
+# ---------------------------------------------------------------------------
 # Platform and scheduler.
 # ---------------------------------------------------------------------------
 
@@ -201,13 +324,16 @@ class PlatformSpec:
     ``name``/``controller`` resolve against the platform and controller
     registries at compile time.  ``n_wavelengths`` and
     ``gateways_per_chiplet`` override the Table 1 defaults (the two
-    design-space axes the paper's conclusions call out).
+    design-space axes the paper's conclusions call out).  ``faults`` is
+    the hazard timeline the platform runs under (photonic platform
+    only; empty = fault-free).
     """
 
     name: str = "2.5D-CrossLight-SiPh"
     controller: str = "resipi"
     n_wavelengths: int | None = None
     gateways_per_chiplet: int | None = None
+    faults: FaultSpec = FaultSpec()
 
     def __post_init__(self) -> None:
         if self.n_wavelengths is not None and self.n_wavelengths < 1:
@@ -229,7 +355,10 @@ class PlatformSpec:
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "PlatformSpec":
         _check_fields(cls, data, "platform spec")
-        return _build(cls, dict(data), "platform spec")
+        kwargs = dict(data)
+        if "faults" in kwargs:
+            kwargs["faults"] = FaultSpec.from_dict(kwargs["faults"])
+        return _build(cls, kwargs, "platform spec")
 
 
 @dataclass(frozen=True)
@@ -514,6 +643,11 @@ class StudySpec:
                 "the traffic mix cannot be a sweep axis; "
                 "write one study per mix"
             )
+        if field_name == "faults" and isinstance(value, Mapping):
+            # Sweepable fault scenarios: axis values are whole fault
+            # sections ({"events": [...]}; {} sweeps in the fault-free
+            # baseline).
+            value = FaultSpec.from_dict(value)
         return replace(
             self, **{section_name: replace(section, **{field_name: value})}
         )
