@@ -9,6 +9,7 @@ speed are visible.  The benchmark bodies are shared with
 
 from repro.bench import (
     make_channel_contention,
+    make_cluster_dispatch_throughput,
     make_functional_mac_matvec,
     make_hazard_timeline_reads,
     make_kernel_event_throughput,
@@ -51,3 +52,9 @@ def test_bench_hazard_timeline_reads(benchmark):
     """Fabric reads under a capacity-mutating hazard timeline."""
     bits = benchmark(make_hazard_timeline_reads())
     assert bits > 0
+
+
+def test_bench_cluster_dispatch_throughput(benchmark):
+    """~400 Poisson requests routed across an 8-node fleet."""
+    routed = benchmark(make_cluster_dispatch_throughput())
+    assert routed > 0

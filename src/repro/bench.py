@@ -200,6 +200,52 @@ def make_hazard_timeline_reads() -> Callable[[], float]:
     return run
 
 
+def make_cluster_dispatch_throughput() -> Callable[[], int]:
+    """Routed request stream across an 8-node fleet.
+
+    A 0.5 ms Poisson window at 800k requests/s of LeNet5 dispatched by
+    the least-outstanding router over 8 monolithic replicas sharing one
+    environment — tracks the cluster layer's routing + fleet-drain
+    overhead on top of the per-node schedulers.
+    """
+    from .cluster.router import ClusterNode, ClusterRouter
+    from .core.accelerator import MonolithicCrossLight
+    from .core.engine import ExecutionTrace
+    from .dnn import zoo
+    from .dnn.workload import extract_workload
+    from .mapping.residency import WeightResidency
+    from .serving.scheduler import BatchPolicy, RequestScheduler
+    from .sim.core import Environment
+    from .sim.traffic import PoissonArrivals
+    from .studies.registry import ROUTERS
+
+    platform = MonolithicCrossLight()
+    workload = extract_workload(zoo.build("LeNet5"))
+    policy = BatchPolicy.fifo(max_inflight=2)
+
+    def run() -> int:
+        env = Environment()
+        nodes = []
+        for index in range(8):
+            sim = platform.build_simulation(env)
+            scheduler = RequestScheduler(
+                sim, sim.map_workload(workload), "LeNet5", policy=policy,
+                residency=WeightResidency(env), trace=ExecutionTrace(),
+            )
+            nodes.append(ClusterNode(
+                index=index, platform=platform, sim=sim,
+                scheduler=scheduler,
+                residency=scheduler.residency,
+            ))
+        router = ClusterRouter(
+            nodes, ROUTERS.get("least-outstanding")(len(nodes), ())
+        )
+        router.serve(PoissonArrivals(rate_rps=800e3, seed=7), 0.5e-3)
+        return router.requests_routed
+
+    return run
+
+
 MICROBENCHMARKS: dict[str, Callable[[], Callable[[], object]]] = {
     KERNEL_BENCHMARK: make_kernel_event_throughput,
     "test_bench_channel_contention": make_channel_contention,
@@ -207,6 +253,7 @@ MICROBENCHMARKS: dict[str, Callable[[], Callable[[], object]]] = {
     "test_bench_functional_mac_matvec": make_functional_mac_matvec,
     "test_bench_serving_request_throughput": make_serving_request_throughput,
     "test_bench_hazard_timeline_reads": make_hazard_timeline_reads,
+    "test_bench_cluster_dispatch_throughput": make_cluster_dispatch_throughput,
 }
 """Benchmark name (matching the pytest test name) -> body factory."""
 

@@ -249,8 +249,10 @@ def _cmd_serve_study(args: argparse.Namespace) -> int:
 
 def _cmd_study(args: argparse.Namespace) -> int:
     from .experiments.export import (
+        results_to_csv,
         results_to_json,
-        serving_results_to_json,
+        study_results_to_csv,
+        study_results_to_json,
         write_text,
     )
     from .studies.compile import (
@@ -270,13 +272,19 @@ def _cmd_study(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     print(render_study(study))
+    flat = study.flat_results()
     if args.json:
-        flat = study.flat_results()
         if spec.kind == "serving":
-            write_text(args.json, serving_results_to_json(flat))
+            write_text(args.json, study_results_to_json(flat))
         else:
             write_text(args.json, results_to_json(flat))
         print(f"\nwrote {args.json}")
+    if args.csv:
+        if spec.kind == "serving":
+            write_text(args.csv, study_results_to_csv(flat))
+        else:
+            write_text(args.csv, results_to_csv(flat))
+        print(f"wrote {args.csv}")
     return 0
 
 
@@ -426,6 +434,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="study spec file (see examples/study_spec.json)")
     study.add_argument("--json", default=None, metavar="PATH",
                        help="also export every point result as JSON")
+    study.add_argument("--csv", default=None, metavar="PATH",
+                       help="also export every point result as CSV")
     study.add_argument("--dry-run", action="store_true",
                        help="print the expanded grid, per-cell cache keys "
                             "and the spec digest without simulating")

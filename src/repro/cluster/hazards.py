@@ -1,0 +1,237 @@
+"""Node-level hazards: whole accelerator nodes fail, drain and return.
+
+The fabric-level hazard engine (:mod:`repro.interposer.photonic.faults`)
+models resources dying *inside* one platform; at fleet scale the
+dominant events are coarser — an entire node drops out (power, host,
+link), is drained for maintenance, or rejoins after repair.  This
+module models those as typed events on the **cluster** timeline:
+
+* :class:`NodeFail`   — the node stops *receiving* at ``at_s``: the
+  router stops routing to it and, with ``reroute_on_fail`` (the
+  default), withdraws its queued-but-undispatched requests and
+  re-enqueues them on surviving nodes, so only in-flight batches finish
+  locally.  With rerouting disabled the accepted queue drains in place
+  instead (graceful for accepted work, closed to new work — the same
+  local behavior as a drain, but the requests are *not* moved).
+* :class:`NodeDrain`  — graceful removal: no new requests, the queue
+  drains in place.
+* :class:`NodeRepair` — a failed or draining node returns to rotation.
+
+The factories register under ``node-fail`` / ``node-drain`` /
+``node-repair`` in the same ``HAZARD_FACTORIES`` dict the ``HAZARDS``
+registry shares with the fabric-level kinds, so cluster fault sections
+resolve through the one hazard namespace — and each layer rejects the
+other layer's kinds instead of silently misapplying them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, Union
+
+from ..errors import ConfigurationError, UnknownNameError
+from ..interposer.photonic.faults import HAZARD_FACTORIES, _reject_inert
+
+
+@dataclass(frozen=True)
+class NodeFail:
+    """Node ``node`` stops serving at ``at_s`` (until a repair)."""
+
+    at_s: float
+    node: int
+
+    kind: ClassVar[str] = "node-fail"
+
+
+@dataclass(frozen=True)
+class NodeDrain:
+    """Node ``node`` stops accepting new requests at ``at_s``."""
+
+    at_s: float
+    node: int
+
+    kind: ClassVar[str] = "node-drain"
+
+
+@dataclass(frozen=True)
+class NodeRepair:
+    """Node ``node`` returns to the routing rotation at ``at_s``."""
+
+    at_s: float
+    node: int
+
+    kind: ClassVar[str] = "node-repair"
+
+
+NodeHazardEvent = Union[NodeFail, NodeDrain, NodeRepair]
+"""Any event a cluster hazard timeline can carry."""
+
+NODE_HAZARD_KINDS = ("node-fail", "node-drain", "node-repair")
+"""Hazard kinds that apply to cluster nodes, not the photonic fabric."""
+
+
+@dataclass(frozen=True)
+class NodeHazardRecord:
+    """One applied node event and what the router did about it.
+
+    Plain picklable data: cluster results carry these through the
+    cache and the JSON/CSV export path.  ``rerouted`` counts the
+    queued requests withdrawn from the node and re-enqueued elsewhere
+    (failures only; 0 for drains and repairs).
+    """
+
+    kind: str
+    node: int
+    at_s: float
+    rerouted: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Event factories (HAZARDS registry entries for the node kinds).
+# ---------------------------------------------------------------------------
+
+
+def _make_node_event(cls, kind: str, at_s: float,
+                     duration_s: float | None = None,
+                     memory_gateways: int = 0,
+                     chiplet_gateways=(),
+                     temperature_rise_k: float = 0.0,
+                     power_fraction: float = 1.0,
+                     seed: int = 0,
+                     node: int | None = None):
+    # Fabric-only spec knobs would silently no-op on a node event (yet
+    # still move cache digests): reject instead.
+    _reject_inert(
+        kind,
+        duration_s=duration_s is not None,
+        memory_gateways=memory_gateways != 0,
+        chiplet_gateways=bool(chiplet_gateways),
+        temperature_rise_k=temperature_rise_k != 0.0,
+        power_fraction=power_fraction != 1.0,
+        seed=seed != 0,
+    )
+    if node is None:
+        raise ConfigurationError(
+            f"{kind} at t={at_s}s needs a 'node' index"
+        )
+    if node < 0:
+        raise ConfigurationError(
+            f"{kind} node index must be >= 0, got {node}"
+        )
+    return cls(at_s=at_s, node=int(node))
+
+
+def make_node_fail(at_s: float, **fields) -> NodeFail:
+    """``node-fail`` factory: validates the generic spec field set."""
+    return _make_node_event(NodeFail, "node-fail", at_s, **fields)
+
+
+def make_node_drain(at_s: float, **fields) -> NodeDrain:
+    """``node-drain`` factory."""
+    return _make_node_event(NodeDrain, "node-drain", at_s, **fields)
+
+
+def make_node_repair(at_s: float, **fields) -> NodeRepair:
+    """``node-repair`` factory."""
+    return _make_node_event(NodeRepair, "node-repair", at_s, **fields)
+
+
+NODE_HAZARD_FACTORIES = {
+    "node-fail": make_node_fail,
+    "node-drain": make_node_drain,
+    "node-repair": make_node_repair,
+}
+
+for _kind, _factory in NODE_HAZARD_FACTORIES.items():
+    # Shared namespace with the fabric kinds: the HAZARDS registry is
+    # backed by this dict, so node kinds resolve everywhere specs do.
+    HAZARD_FACTORIES.setdefault(_kind, _factory)
+
+
+# ---------------------------------------------------------------------------
+# Timeline lowering and validation.
+# ---------------------------------------------------------------------------
+
+
+def node_hazard_timeline(faults) -> tuple[NodeHazardEvent, ...]:
+    """Lower a cluster-level fault section onto typed node events.
+
+    ``faults`` is a :class:`~repro.studies.spec.FaultSpec` (or None).
+    Every kind must be a node-level hazard; fabric kinds belong in
+    ``platform.faults`` and are rejected with a pointer there.
+    """
+    if faults is None or not faults.events:
+        return ()
+    events = []
+    for entry in faults.events:
+        fields = entry.to_dict()
+        kind = fields.pop("kind")
+        factory = HAZARD_FACTORIES.get(kind)
+        if factory is None:
+            raise UnknownNameError(
+                "hazard", kind, tuple(HAZARD_FACTORIES),
+                registry="HAZARDS",
+            )
+        if kind not in NODE_HAZARD_KINDS:
+            raise ConfigurationError(
+                f"hazard kind {kind!r} applies to the photonic fabric; "
+                "put it in platform.faults (cluster.faults takes "
+                f"{', '.join(NODE_HAZARD_KINDS)})"
+            )
+        events.append(factory(**fields))
+    return tuple(events)
+
+
+def validate_node_timeline(events: tuple[NodeHazardEvent, ...],
+                           n_nodes: int) -> None:
+    """Walk a node timeline once: it must stay applicable throughout.
+
+    Every event must address an existing node, transitions must be
+    legal (no failing a failed node, no repairing a healthy one) and —
+    mirroring the fabric engine's survivors rule — every instant must
+    leave at least one node in the ``up`` state to route to.
+    """
+    states = ["up"] * n_nodes
+    previous = 0.0
+    for event in events:
+        if event.at_s < previous:
+            raise ConfigurationError(
+                "node events must be listed chronologically: "
+                f"{event.kind} at t={event.at_s}s follows t={previous}s"
+            )
+        previous = event.at_s
+        if event.node >= n_nodes:
+            raise ConfigurationError(
+                f"{event.kind} at t={event.at_s}s names node "
+                f"{event.node} but the cluster has {n_nodes} node(s) "
+                f"(indices 0..{n_nodes - 1})"
+            )
+        state = states[event.node]
+        if isinstance(event, NodeFail):
+            if state == "failed":
+                raise ConfigurationError(
+                    f"node-fail at t={event.at_s}s: node {event.node} "
+                    "is already failed"
+                )
+            states[event.node] = "failed"
+        elif isinstance(event, NodeDrain):
+            if state != "up":
+                raise ConfigurationError(
+                    f"node-drain at t={event.at_s}s: node {event.node} "
+                    f"is {state}, only an up node can drain"
+                )
+            states[event.node] = "draining"
+        else:  # NodeRepair
+            if state == "up":
+                raise ConfigurationError(
+                    f"node-repair at t={event.at_s}s: node {event.node} "
+                    "is already up"
+                )
+            states[event.node] = "up"
+        surviving = states.count("up")
+        if surviving == 0:
+            raise ConfigurationError(
+                f"{event.kind} at t={event.at_s}s leaves no node up: "
+                f"all {n_nodes} node(s) failed or draining (at least "
+                "one must stay routable)"
+            )

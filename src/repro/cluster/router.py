@@ -1,0 +1,434 @@
+"""Fleet routing: dispatch one arrival stream across N platform nodes.
+
+A :class:`ClusterRouter` sits above the per-node
+:class:`~repro.serving.scheduler.RequestScheduler`s: it consumes the
+traffic-mix arrival process exactly like a single scheduler would, but
+each request is first assigned to a node by a pluggable
+:class:`RoutingPolicy`:
+
+* ``round-robin``         — cycle over the routable nodes;
+* ``least-outstanding``   — fewest accepted-but-uncompleted requests;
+* ``weighted``            — capacity-proportional: the node furthest
+  below its weight share of total dispatches goes next;
+* ``join-shortest-queue`` — fewest requests waiting for dispatch
+  (ignores in-flight work, the classic JSQ approximation);
+* ``model-affinity``      — prefer nodes whose
+  :class:`~repro.mapping.residency.WeightResidency` already holds the
+  request's model (no re-fetch), least-outstanding among them.
+
+The router also owns the **node-level hazard timeline**
+(:mod:`repro.cluster.hazards`): failed and draining nodes leave the
+routable set, a failure optionally withdraws the node's queued-but-
+undispatched requests and re-enqueues them on survivors (original
+arrival times preserved, so latency and SLO clocks keep running), and
+repairs return nodes to rotation.  Everything runs inside one shared
+:class:`~repro.sim.core.Environment`, so fleet results are exactly as
+deterministic as single-node ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from ..core.accelerator import PlatformSimulation
+from ..errors import ConfigurationError, SimulationError
+from ..mapping.residency import WeightResidency
+from ..serving.scheduler import DEFAULT_DRAIN_LIMIT_S, RequestScheduler
+from ..sim.traffic import ClosedLoopClients
+from .hazards import (
+    NodeDrain,
+    NodeFail,
+    NodeHazardEvent,
+    NodeHazardRecord,
+    validate_node_timeline,
+)
+
+
+@dataclass
+class ClusterNode:
+    """One platform replica behind the router.
+
+    ``state`` is router-visible only: a ``failed`` node's scheduler
+    keeps draining whatever it already accepted — in-flight batches,
+    plus its queue unless the router withdrew it on failure — it just
+    never receives another routed request until repaired.
+    """
+
+    index: int
+    platform: object
+    sim: PlatformSimulation
+    scheduler: RequestScheduler
+    residency: WeightResidency
+    weight: float = 1.0
+    state: str = "up"
+    routed: int = 0
+    rerouted_away: int = 0
+
+    @property
+    def name(self) -> str:
+        return f"node{self.index}"
+
+    @property
+    def outstanding(self) -> int:
+        return self.scheduler.outstanding
+
+    @property
+    def queue_length(self) -> int:
+        return self.scheduler.queue_length
+
+    def holds_model(self, model: str) -> bool:
+        """Whether the node's weight store already has (or is fetching)
+        this model's weights."""
+        return self.residency.resident_bits_for(model) > 0.0
+
+
+# ---------------------------------------------------------------------------
+# Routing policies.
+# ---------------------------------------------------------------------------
+
+
+class RoutingPolicy:
+    """Chooses a node for each request; stateless unless noted."""
+
+    name = "routing-policy"
+
+    def choose(self, candidates: list[ClusterNode],
+               model: str) -> ClusterNode:
+        """Pick one of ``candidates`` (non-empty, all routable)."""
+        raise NotImplementedError
+
+
+class RoundRobinRouting(RoutingPolicy):
+    """Cycle over the routable nodes in index order."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._dispatches = 0
+
+    def choose(self, candidates: list[ClusterNode],
+               model: str) -> ClusterNode:
+        node = candidates[self._dispatches % len(candidates)]
+        self._dispatches += 1
+        return node
+
+
+class LeastOutstandingRouting(RoutingPolicy):
+    """Fewest accepted-but-uncompleted requests (ties: lowest index)."""
+
+    name = "least-outstanding"
+
+    def choose(self, candidates: list[ClusterNode],
+               model: str) -> ClusterNode:
+        return min(candidates, key=lambda n: (n.outstanding, n.index))
+
+
+class WeightedRouting(RoutingPolicy):
+    """Capacity-proportional dispatch.
+
+    The node whose dispatch count is furthest below its weight share
+    goes next — deterministic smooth weighted round-robin, no RNG.
+    """
+
+    name = "weighted"
+
+    def choose(self, candidates: list[ClusterNode],
+               model: str) -> ClusterNode:
+        return min(candidates,
+                   key=lambda n: (n.routed / n.weight, n.index))
+
+
+class JoinShortestQueueRouting(RoutingPolicy):
+    """Fewest requests waiting for dispatch (ties: lowest index)."""
+
+    name = "join-shortest-queue"
+
+    def choose(self, candidates: list[ClusterNode],
+               model: str) -> ClusterNode:
+        return min(candidates, key=lambda n: (n.queue_length, n.index))
+
+
+class ModelAffinityRouting(RoutingPolicy):
+    """Prefer nodes already holding the request's weights.
+
+    Among the nodes where the model is resident (no weight re-fetch,
+    per-node :class:`~repro.mapping.residency.WeightResidency`), pick
+    the least-outstanding; when no node holds the model yet, fall back
+    to least-outstanding overall — which then *becomes* an affinity
+    node for the model's later requests.
+    """
+
+    name = "model-affinity"
+
+    def choose(self, candidates: list[ClusterNode],
+               model: str) -> ClusterNode:
+        resident = [n for n in candidates if n.holds_model(model)]
+        pool = resident or candidates
+        return min(pool, key=lambda n: (n.outstanding, n.index))
+
+
+def _require_no_weights(name: str, n_nodes: int,
+                        weights: tuple[float, ...]) -> None:
+    if weights:
+        raise ConfigurationError(
+            f"router {name!r} ignores per-node weights; "
+            "use the 'weighted' router or drop cluster.weights"
+        )
+
+
+def _make_round_robin(n_nodes: int, weights=()) -> RoutingPolicy:
+    _require_no_weights("round-robin", n_nodes, weights)
+    return RoundRobinRouting()
+
+
+def _make_least_outstanding(n_nodes: int, weights=()) -> RoutingPolicy:
+    _require_no_weights("least-outstanding", n_nodes, weights)
+    return LeastOutstandingRouting()
+
+
+def _make_weighted(n_nodes: int, weights=()) -> RoutingPolicy:
+    if len(weights) != n_nodes:
+        raise ConfigurationError(
+            f"the weighted router needs one weight per node: got "
+            f"{len(weights)} weight(s) for {n_nodes} node(s)"
+        )
+    if any(weight <= 0 for weight in weights):
+        raise ConfigurationError(
+            f"node weights must be positive, got {list(weights)}"
+        )
+    return WeightedRouting()
+
+
+def _make_jsq(n_nodes: int, weights=()) -> RoutingPolicy:
+    _require_no_weights("join-shortest-queue", n_nodes, weights)
+    return JoinShortestQueueRouting()
+
+
+def _make_model_affinity(n_nodes: int, weights=()) -> RoutingPolicy:
+    _require_no_weights("model-affinity", n_nodes, weights)
+    return ModelAffinityRouting()
+
+
+ROUTER_FACTORIES: dict[str, Callable[..., RoutingPolicy]] = {
+    "round-robin": _make_round_robin,
+    "least-outstanding": _make_least_outstanding,
+    "weighted": _make_weighted,
+    "join-shortest-queue": _make_jsq,
+    "model-affinity": _make_model_affinity,
+}
+"""Routing-policy factories ``(n_nodes, weights) -> policy``.  The
+``ROUTERS`` registry (:mod:`repro.studies.registry`) shares this dict,
+so externally registered routers are buildable from JSON specs."""
+
+
+# ---------------------------------------------------------------------------
+# The router.
+# ---------------------------------------------------------------------------
+
+
+class ClusterRouter:
+    """Streams one arrival process across a fleet of nodes.
+
+    Build one per cluster simulation: it owns the routing policy, the
+    node states, the node-level hazard timeline and the fleet-level
+    drain barrier.  ``t=0`` node events apply synchronously at
+    construction (mirroring the fabric hazard engine); later events run
+    as an ordinary process in the shared environment.
+    """
+
+    def __init__(self, nodes: list[ClusterNode], policy: RoutingPolicy,
+                 node_events: tuple[NodeHazardEvent, ...] = (),
+                 reroute_on_fail: bool = True):
+        if not nodes:
+            raise ConfigurationError("a cluster needs at least one node")
+        self.env = nodes[0].sim.env
+        for node in nodes:
+            if node.sim.env is not self.env:
+                raise ConfigurationError(
+                    f"{node.name} lives in a different Environment; "
+                    "all cluster nodes must share one"
+                )
+        validate_node_timeline(node_events, len(nodes))
+        self.nodes = nodes
+        self.policy = policy
+        self.node_events = node_events
+        self.reroute_on_fail = reroute_on_fail
+        self.records: list[NodeHazardRecord] = []
+        self.requests_routed = 0
+        self.requests_rerouted = 0
+        self._closed = 0
+        self._injection_done = False
+        self._drained = self.env.event()
+        self._served = False
+        for node in nodes:
+            node.scheduler.on_request_closed = self._request_closed
+        pending = []
+        for event in node_events:
+            if event.at_s <= 0.0:
+                self._apply(event)
+            else:
+                pending.append(event)
+        if pending:
+            self.env.process(self._run_events(pending))
+
+    # -- routing ------------------------------------------------------------------
+
+    def routable_nodes(self) -> list[ClusterNode]:
+        """Nodes currently accepting new requests, index order."""
+        return [node for node in self.nodes if node.state == "up"]
+
+    def _choose(self, model: str | None) -> ClusterNode:
+        candidates = self.routable_nodes()
+        if not candidates:
+            # The timeline validator forbids event sequences that kill
+            # every node, so this is an internal invariant violation.
+            raise SimulationError(
+                f"no routable node at t={self.env.now}s"
+            )
+        name = (
+            model if model is not None
+            else self.nodes[0].scheduler.model_name
+        )
+        return self.policy.choose(candidates, name)
+
+    def route(self, model: str | None = None, done=None):
+        """Assign one arriving request to a node and enqueue it there."""
+        node = self._choose(model)
+        handle = node.scheduler.submit(done=done, model=model)
+        node.routed += 1
+        self.requests_routed += 1
+        return handle
+
+    def _reroute(self, handle, from_node: ClusterNode) -> None:
+        """Re-enqueue an evicted request, preserving its arrival time."""
+        node = self._choose(handle.model)
+        node.scheduler.submit(
+            done=handle.done, model=handle.model,
+            arrival_s=handle.submit_s,
+        )
+        node.routed += 1
+        from_node.rerouted_away += 1
+        self.requests_rerouted += 1
+
+    # -- node hazards -------------------------------------------------------------
+
+    def _apply(self, event: NodeHazardEvent) -> None:
+        node = self.nodes[event.node]
+        rerouted = 0
+        if isinstance(event, NodeFail):
+            node.state = "failed"
+            if self.reroute_on_fail:
+                evicted = node.scheduler.evict_queued()
+                for handle in evicted:
+                    self._reroute(handle, node)
+                rerouted = len(evicted)
+        elif isinstance(event, NodeDrain):
+            node.state = "draining"
+        else:  # NodeRepair
+            node.state = "up"
+        self.records.append(NodeHazardRecord(
+            kind=event.kind, node=event.node, at_s=self.env.now,
+            rerouted=rerouted,
+        ))
+
+    def _run_events(self, pending: list[NodeHazardEvent]):
+        for event in pending:
+            delay = event.at_s - self.env.now
+            if delay > 0:
+                yield self.env.timeout(delay)
+            self._apply(event)
+
+    # -- fleet drain barrier ------------------------------------------------------
+
+    def _request_closed(self, handle) -> None:
+        self._closed += 1
+        self._check_drained()
+
+    def _check_drained(self) -> None:
+        if (
+            self._injection_done
+            and self._closed == self.requests_routed
+            and not self._drained.triggered
+        ):
+            self._drained.succeed()
+
+    # -- injection ----------------------------------------------------------------
+
+    def _next_model(self, models: Iterator[str] | None) -> str | None:
+        return None if models is None else next(models)
+
+    def _open_loop_injector(self, arrivals, duration_s: float,
+                            models: Iterator[str] | None = None):
+        for gap in arrivals.gaps():
+            yield self.env.timeout(gap)
+            if self.env.now > duration_s:
+                return
+            self.route(model=self._next_model(models))
+
+    def _closed_loop_client(self, clients: ClosedLoopClients, index: int,
+                            duration_s: float,
+                            models: Iterator[str] | None = None):
+        for gap in clients.think_gaps(index):
+            yield self.env.timeout(gap)
+            if self.env.now > duration_s:
+                return
+            handle = self.route(done=self.env.event(),
+                                model=self._next_model(models))
+            yield handle.done
+
+    def _watch_injection(self, injectors):
+        yield self.env.all_of(injectors)
+        self._injection_done = True
+        self._check_drained()
+
+    def serve(self, arrivals, duration_s: float,
+              drain_limit_s: float = DEFAULT_DRAIN_LIMIT_S,
+              models: Iterator[str] | None = None) -> None:
+        """Run the full fleet-serving window: inject, route, drain.
+
+        The same contract as
+        :meth:`~repro.serving.scheduler.RequestScheduler.serve`, lifted
+        to the fleet: the drain barrier is router-level (every routed
+        request completed or was shed *somewhere*), so requests
+        re-enqueued after a mid-drain node failure are still waited on.
+        """
+        if duration_s <= 0:
+            raise ConfigurationError(
+                f"serving duration must be positive, got {duration_s}"
+            )
+        if self._served:
+            raise SimulationError(
+                "ClusterRouter.serve() is single-shot; build a new "
+                "router for another serving window"
+            )
+        self._served = True
+        if isinstance(arrivals, ClosedLoopClients):
+            injectors = [
+                self.env.process(
+                    self._closed_loop_client(arrivals, index, duration_s,
+                                             models)
+                )
+                for index in range(arrivals.n_clients)
+            ]
+        elif hasattr(arrivals, "gaps"):
+            injectors = [
+                self.env.process(
+                    self._open_loop_injector(arrivals, duration_s, models)
+                )
+            ]
+        else:
+            raise ConfigurationError(
+                f"unsupported arrival process {arrivals!r}"
+            )
+        self.env.process(self._watch_injection(injectors))
+        try:
+            self.env.run_until_event(
+                self._drained, limit=duration_s + drain_limit_s
+            )
+        except SimulationError as error:
+            raise SimulationError(
+                f"cluster run did not drain: {self._closed}/"
+                f"{self.requests_routed} requests closed within "
+                f"{duration_s + drain_limit_s} s — {error}"
+            ) from error

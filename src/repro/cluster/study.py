@@ -1,0 +1,309 @@
+"""Fleet-serving studies: cluster simulations as cacheable cells.
+
+A :class:`ClusterCell` is the fleet generalisation of the serving
+cells in :mod:`repro.experiments.serving_study`: one traffic mix
+dispatched by one routing policy across N platform replicas, all
+simulated in one shared environment.  The declarative study layer
+(:mod:`repro.studies.compile`) lowers
+:class:`~repro.studies.spec.StudySpec` points whose ``cluster`` section
+is non-degenerate onto these, keying the cache by the spec digest —
+and the cells run through the exact same parallel fan-out and on-disk
+cache as every other study, so serial, ``jobs=N`` and warm-cache runs
+stay bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Sequence
+
+from ..config import PlatformConfig
+from ..core.engine import ExecutionTrace
+from ..dnn.workload import extract_workload
+from ..experiments.runner import build_platform, cell_key
+from ..experiments.serving_study import _mix_stream, hazard_timeline
+from ..mapping.residency import WeightResidency
+from ..serving.metrics import (
+    ClusterResult,
+    NodeStats,
+    LatencyProfile,
+    aggregate,
+    per_model_stats,
+)
+from ..serving.scheduler import BatchPolicy, RequestScheduler
+from ..sim.core import Environment
+from ..studies.registry import ARRIVALS, MODELS, ROUTERS
+from ..studies.spec import FaultSpec
+from .hazards import node_hazard_timeline
+from .router import ClusterNode, ClusterRouter
+
+CLUSTER_STUDY_VERSION = 1
+"""Bump (with ``CACHE_SCHEMA_VERSION`` semantics) when the cluster
+simulation changes meaning, so cached fleet results are never stale."""
+
+NodeOverride = tuple[int, "str | None", "int | None", "int | None"]
+"""Picklable per-node override: (node, controller, n_wavelengths,
+gateways_per_chiplet) with ``None`` meaning inherit."""
+
+
+@dataclass(frozen=True)
+class ClusterCell:
+    """One fleet-serving simulation point.
+
+    ``models`` is the traffic mix as ``(name, fraction, slo_s,
+    priority)`` tuples, exactly like
+    :class:`~repro.experiments.serving_study.ScenarioCell`;
+    ``node_overrides`` holds :data:`NodeOverride` tuples for
+    heterogeneous fleets; ``node_faults`` is the node-level hazard
+    timeline and ``platform_faults`` the fabric-level timeline applied
+    to *every* node.  ``digest`` is the resolved study-spec digest.
+    """
+
+    platform: str
+    models: tuple[tuple[str, float, "float | None", int], ...]
+    controller: str
+    policy: BatchPolicy
+    arrival_kind: str
+    rate_rps: float
+    duration_s: float
+    seed: int
+    config: PlatformConfig
+    replicas: int
+    router: str
+    weights: tuple[float, ...] = ()
+    reroute_on_fail: bool = True
+    node_overrides: tuple[NodeOverride, ...] = ()
+    node_faults: FaultSpec | None = None
+    platform_faults: FaultSpec | None = None
+    burstiness: float = 4.0
+    dwell_s: float = 20e-6
+    think_time_s: float = 10e-6
+    residency_capacity_bits: float | None = None
+    digest: str = ""
+
+    @property
+    def mix_label(self) -> str:
+        """Readable mix name, shared with the scenario cell."""
+        if len(self.models) == 1:
+            return self.models[0][0]
+        return "+".join(
+            f"{fraction * 100:.0f}%{name}"
+            for name, fraction, _, _ in self.models
+        )
+
+    @property
+    def grid_label(self) -> str:
+        """Dry-run label: the mix plus the fleet shape."""
+        return f"{self.replicas}x[{self.router}] {self.mix_label}"
+
+    def key(self) -> str:
+        """Disk-cache key: every behavioral field plus the spec digest."""
+        return cell_key(
+            self.platform, self.mix_label, self.controller, self.config,
+            extra={
+                "study": "cluster",
+                "version": CLUSTER_STUDY_VERSION,
+                "models": list(self.models),
+                "policy": asdict(self.policy),
+                "arrival_kind": self.arrival_kind,
+                "rate_rps": self.rate_rps,
+                "duration_s": self.duration_s,
+                "seed": self.seed,
+                "replicas": self.replicas,
+                "router": self.router,
+                "weights": list(self.weights),
+                "reroute_on_fail": self.reroute_on_fail,
+                "node_overrides": list(self.node_overrides),
+                "node_faults": (
+                    self.node_faults.to_dict() if self.node_faults
+                    else None
+                ),
+                "platform_faults": (
+                    self.platform_faults.to_dict() if self.platform_faults
+                    else None
+                ),
+                "burstiness": self.burstiness,
+                "dwell_s": self.dwell_s,
+                "think_time_s": self.think_time_s,
+                "residency_capacity_bits": self.residency_capacity_bits,
+                "spec": self.digest,
+            },
+        )
+
+
+def _node_config(cell: ClusterCell,
+                 override: "NodeOverride | None"
+                 ) -> tuple[PlatformConfig, str]:
+    """(config, controller) for one node after its overrides."""
+    config, controller = cell.config, cell.controller
+    if override is not None:
+        _, node_controller, n_wavelengths, gateways = override
+        if node_controller is not None:
+            controller = node_controller
+        if n_wavelengths is not None:
+            config = config.with_wavelengths(n_wavelengths)
+        if gateways is not None:
+            config = config.with_gateways_per_chiplet(gateways)
+    return config, controller
+
+
+def simulate_cluster_cell(cell: ClusterCell) -> ClusterResult:
+    """Worker body: one full fleet-serving simulation.
+
+    N replicas stand up in one shared environment (their controllers,
+    hazard engines and schedulers all interleave on the same event
+    queue), the router streams the arrival process across them, and the
+    per-node records aggregate into one :class:`ClusterResult`.
+    """
+    overrides = {entry[0]: entry for entry in cell.node_overrides}
+    workloads = {
+        name: extract_workload(MODELS.get(name)())
+        for name, _, _, _ in cell.models
+    }
+    fabric_faults = hazard_timeline(cell.platform_faults)
+
+    env = Environment()
+    nodes: list[ClusterNode] = []
+    for index in range(cell.replicas):
+        config, controller = _node_config(cell, overrides.get(index))
+        platform = build_platform(
+            cell.platform, config, controller, faults=fabric_faults
+        )
+        sim = platform.build_simulation(env)
+        residency = WeightResidency(
+            env, capacity_bits=cell.residency_capacity_bits
+        )
+        (primary, _, slo_s, priority), *tenants = cell.models
+        scheduler = RequestScheduler(
+            sim, sim.map_workload(workloads[primary]), primary,
+            policy=cell.policy, residency=residency,
+            trace=ExecutionTrace(), slo_s=slo_s, priority=priority,
+        )
+        for name, _, tenant_slo, tenant_priority in tenants:
+            scheduler.add_model(
+                name, sim.map_workload(workloads[name]),
+                slo_s=tenant_slo, priority=tenant_priority,
+            )
+        nodes.append(ClusterNode(
+            index=index, platform=platform, sim=sim,
+            scheduler=scheduler, residency=residency,
+            weight=cell.weights[index] if cell.weights else 1.0,
+        ))
+
+    policy = ROUTERS.get(cell.router)(len(nodes), cell.weights)
+    router = ClusterRouter(
+        nodes, policy,
+        node_events=node_hazard_timeline(cell.node_faults),
+        reroute_on_fail=cell.reroute_on_fail,
+    )
+    arrivals = ARRIVALS.get(cell.arrival_kind)(
+        cell.rate_rps, cell.seed, burstiness=cell.burstiness,
+        dwell_s=cell.dwell_s, think_time_s=cell.think_time_s,
+    )
+    router.serve(arrivals, cell.duration_s,
+                 models=_mix_stream(cell.models, cell.seed))
+
+    elapsed = env.now
+    all_records = [
+        record for node in nodes for record in node.scheduler.records
+    ]
+    latency, queue_delay, _ = aggregate(all_records)
+    per_node = []
+    network_energy_j = 0.0
+    compute_energy_j = 0.0
+    for node in nodes:
+        scheduler = node.scheduler
+        served = [r for r in scheduler.records if not r.dropped]
+        per_node.append(NodeStats(
+            node=node.name,
+            state=node.state,
+            requests_completed=scheduler.requests_completed,
+            requests_shed=scheduler.requests_shed,
+            rerouted_away=node.rerouted_away,
+            latency=LatencyProfile.from_samples(
+                [r.latency_s for r in served]
+            ),
+            goodput_rps=(
+                scheduler.requests_completed / elapsed
+                if elapsed > 0 else 0.0
+            ),
+            mean_compute_utilization=(
+                scheduler.compute.mean_utilization()
+            ),
+        ))
+        network_energy_j += node.sim.fabric.energy_report().total_energy_j
+        compute_energy_j += node.platform.trace_compute_energy_j(
+            scheduler.trace, elapsed
+        )
+
+    return ClusterResult(
+        platform=nodes[0].platform.name,
+        model=cell.mix_label,
+        controller=cell.controller,
+        router=cell.router,
+        policy=cell.policy.label,
+        arrival_kind=cell.arrival_kind,
+        n_nodes=cell.replicas,
+        offered_rps=cell.rate_rps,
+        duration_s=cell.duration_s,
+        elapsed_s=elapsed,
+        requests_injected=router.requests_routed,
+        requests_completed=sum(
+            node.scheduler.requests_completed for node in nodes
+        ),
+        latency=latency,
+        queue_delay=queue_delay,
+        per_node=tuple(per_node),
+        requests_shed=sum(
+            node.scheduler.requests_shed for node in nodes
+        ),
+        requests_rerouted=router.requests_rerouted,
+        per_model=per_model_stats(
+            all_records, elapsed, nodes[0].scheduler.slos()
+        ),
+        node_events=tuple(router.records),
+        network_energy_j=network_energy_j,
+        compute_energy_j=compute_energy_j,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Text reports.
+# ---------------------------------------------------------------------------
+
+
+def render_cluster_study(results: Sequence[ClusterResult]) -> str:
+    """Fleet latency–throughput table, one row per simulated point."""
+    header = (
+        f"{'platform':<28}{'router':<18}{'nodes':>6}{'offered/s':>12}"
+        f"{'goodput/s':>12}{'p50(us)':>11}{'p99(us)':>11}{'imbal':>10}"
+        f"{'rerouted':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    ordered = sorted(
+        results,
+        key=lambda r: (r.platform, r.router, r.n_nodes, r.offered_rps),
+    )
+    for result in ordered:
+        lines.append(result.summary_row())
+    return "\n".join(lines)
+
+
+def render_node_table(results: Sequence[ClusterResult]) -> str:
+    """Per-node breakdown: one row per (point, node)."""
+    header = (
+        f"{'router':<18}{'offered/s':>12}  {'node':<8}{'state':<10}"
+        f"{'done':>7}{'shed':>6}{'away':>6}{'p99(us)':>10}{'util':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for result in results:
+        for stats in result.per_node:
+            lines.append(
+                f"{result.router:<18}{result.offered_rps:>12.0f}  "
+                f"{stats.node:<8}{stats.state:<10}"
+                f"{stats.requests_completed:>7}{stats.requests_shed:>6}"
+                f"{stats.rerouted_away:>6}"
+                f"{stats.latency.p99_s * 1e6:>10.1f}"
+                f"{stats.mean_compute_utilization:>8.2f}"
+            )
+    return "\n".join(lines)

@@ -31,16 +31,22 @@ class UnknownNameError(ConfigurationError, KeyError):
 
     Also a :class:`KeyError` because the registries replaced plain
     dictionary lookups — callers catching ``KeyError`` keep working.
-    Carries the registry kind, the failing name, the registered names
-    and a did-you-mean suggestion list for error messages.
+    Carries the registry kind, the failing name, the registered names,
+    the registry's own name (``registry``, e.g. ``"ROUTERS"`` — multi-
+    registry specs need the message to say *which* table rejected the
+    name) and a did-you-mean suggestion list for error messages.
     """
 
-    def __init__(self, kind: str, name: str, known: Sequence[str]):
+    def __init__(self, kind: str, name: str, known: Sequence[str],
+                 registry: str | None = None):
         self.kind = kind
         self.name = name
         self.known = tuple(known)
+        self.registry = registry
         self.suggestions = did_you_mean(name, self.known)
         message = f"unknown {kind} {name!r}"
+        if registry:
+            message += f" in {registry} registry"
         if self.suggestions:
             message += (
                 "; did you mean "
@@ -58,7 +64,8 @@ class UnknownNameError(ConfigurationError, KeyError):
         # args holds the rendered message, not the ctor signature —
         # rebuild from the fields so worker-process raises survive
         # the trip back through the process pool.
-        return (type(self), (self.kind, self.name, self.known))
+        return (type(self), (self.kind, self.name, self.known,
+                             self.registry))
 
 
 class SpecError(ConfigurationError):

@@ -12,7 +12,7 @@ import json
 from typing import Iterable
 
 from ..core.metrics import InferenceResult
-from ..serving.metrics import ServingResult
+from ..serving.metrics import ClusterResult, ServingResult
 from .table3 import Table3
 
 RESULT_FIELDS = (
@@ -103,10 +103,19 @@ SERVING_FIELDS = (
 """Scalar columns exported for every serving result."""
 
 
-def serving_result_to_dict(result: ServingResult) -> dict:
-    """Flatten one serving result to a JSON-safe dictionary."""
-    record = {field: getattr(result, field) for field in SERVING_FIELDS}
-    record["per_model"] = [
+def _latency_dict(profile) -> dict:
+    return {
+        "mean": profile.mean_s,
+        "p50": profile.p50_s,
+        "p95": profile.p95_s,
+        "p99": profile.p99_s,
+        "max": profile.max_s,
+    }
+
+
+def _per_model_list(per_model) -> list[dict]:
+    """Per-tenant stat records, shared by serving and cluster exports."""
+    return [
         {
             "model": stats.model,
             "slo_s": stats.slo_s,
@@ -115,30 +124,18 @@ def serving_result_to_dict(result: ServingResult) -> dict:
             "slo_violations": stats.slo_violations,
             "slo_attainment": stats.slo_attainment,
             "goodput_rps": stats.goodput_rps,
-            "latency_s": {
-                "mean": stats.latency.mean_s,
-                "p50": stats.latency.p50_s,
-                "p95": stats.latency.p95_s,
-                "p99": stats.latency.p99_s,
-                "max": stats.latency.max_s,
-            },
+            "latency_s": _latency_dict(stats.latency),
         }
-        for stats in result.per_model
+        for stats in per_model
     ]
-    record["latency_s"] = {
-        "mean": result.latency.mean_s,
-        "p50": result.latency.p50_s,
-        "p95": result.latency.p95_s,
-        "p99": result.latency.p99_s,
-        "max": result.latency.max_s,
-    }
-    record["queue_delay_s"] = {
-        "mean": result.queue_delay.mean_s,
-        "p50": result.queue_delay.p50_s,
-        "p95": result.queue_delay.p95_s,
-        "p99": result.queue_delay.p99_s,
-        "max": result.queue_delay.max_s,
-    }
+
+
+def serving_result_to_dict(result: ServingResult) -> dict:
+    """Flatten one serving result to a JSON-safe dictionary."""
+    record = {field: getattr(result, field) for field in SERVING_FIELDS}
+    record["per_model"] = _per_model_list(result.per_model)
+    record["latency_s"] = _latency_dict(result.latency)
+    record["queue_delay_s"] = _latency_dict(result.queue_delay)
     record["channel_utilization"] = [
         {
             "name": stat.name,
@@ -168,13 +165,7 @@ def serving_result_to_dict(result: ServingResult) -> dict:
             "slo_violations": window.slo_violations,
             "slo_attainment": window.slo_attainment,
             "goodput_rps": window.goodput_rps,
-            "latency_s": {
-                "mean": window.latency.mean_s,
-                "p50": window.latency.p50_s,
-                "p95": window.latency.p95_s,
-                "p99": window.latency.p99_s,
-                "max": window.latency.max_s,
-            },
+            "latency_s": _latency_dict(window.latency),
         }
         for window in result.windows
     ]
@@ -201,6 +192,149 @@ def serving_results_to_csv(results: Iterable[ServingResult]) -> str:
                result.latency.p99_s]
         )
     return buffer.getvalue()
+
+
+CLUSTER_FIELDS = (
+    "platform",
+    "model",
+    "controller",
+    "router",
+    "policy",
+    "arrival_kind",
+    "n_nodes",
+    "offered_rps",
+    "goodput_rps",
+    "requests_injected",
+    "requests_completed",
+    "requests_shed",
+    "requests_rerouted",
+    "load_imbalance",
+    "energy_per_request_j",
+    "slo_violations",
+    "slo_attainment",
+)
+"""Scalar columns exported for every cluster (fleet) result."""
+
+
+def cluster_result_to_dict(result: ClusterResult) -> dict:
+    """Flatten one fleet result to a JSON-safe dictionary."""
+    record = {field: getattr(result, field) for field in CLUSTER_FIELDS}
+    record["latency_s"] = _latency_dict(result.latency)
+    record["queue_delay_s"] = _latency_dict(result.queue_delay)
+    record["per_node"] = [
+        {
+            "node": stats.node,
+            "state": stats.state,
+            "requests_completed": stats.requests_completed,
+            "requests_shed": stats.requests_shed,
+            "rerouted_away": stats.rerouted_away,
+            "goodput_rps": stats.goodput_rps,
+            "mean_compute_utilization": stats.mean_compute_utilization,
+            "latency_s": _latency_dict(stats.latency),
+        }
+        for stats in result.per_node
+    ]
+    record["per_model"] = _per_model_list(result.per_model)
+    record["node_events"] = [
+        {
+            "kind": event.kind,
+            "node": event.node,
+            "at_s": event.at_s,
+            "rerouted": event.rerouted,
+        }
+        for event in result.node_events
+    ]
+    return record
+
+
+def cluster_results_to_json(results: Iterable[ClusterResult],
+                            indent: int = 2) -> str:
+    """Serialise a fleet sweep to a JSON array."""
+    return json.dumps(
+        [cluster_result_to_dict(r) for r in results], indent=indent
+    )
+
+
+_CLUSTER_CSV_HEADER = (
+    CLUSTER_FIELDS
+    + ("p50_s", "p95_s", "p99_s",
+       "node", "node_state", "node_completed", "node_shed",
+       "node_rerouted_away", "node_goodput_rps", "node_utilization",
+       "node_p99_s")
+)
+
+
+def _write_cluster_rows(writer, result: "ClusterResult | ServingResult"
+                        ) -> None:
+    """Cluster-schema rows for one result: aggregate, then per node.
+
+    A :class:`ServingResult` exports as the degenerate single-node
+    fleet (``n_nodes`` 1, router ``-``, nothing rerouted), so a sweep
+    mixing 1-replica and multi-replica points stays one schema.
+    """
+    if isinstance(result, ClusterResult):
+        scalars = [getattr(result, field) for field in CLUSTER_FIELDS]
+        per_node = result.per_node
+    else:
+        single = {
+            "router": "-",
+            "n_nodes": 1,
+            "requests_rerouted": 0,
+            "load_imbalance": 1.0,
+        }
+        scalars = [
+            single.get(field, getattr(result, field, ""))
+            for field in CLUSTER_FIELDS
+        ]
+        per_node = ()
+    tails = [result.latency.p50_s, result.latency.p95_s,
+             result.latency.p99_s]
+    writer.writerow(scalars + tails + [""] * 8)
+    for stats in per_node:
+        writer.writerow(
+            scalars + tails
+            + [stats.node, stats.state, stats.requests_completed,
+               stats.requests_shed, stats.rerouted_away,
+               stats.goodput_rps, stats.mean_compute_utilization,
+               stats.latency.p99_s]
+        )
+
+
+def cluster_results_to_csv(results: Iterable[ClusterResult]) -> str:
+    """Fleet CSV: aggregate scalars + tail latencies, then one row per
+    node (long format — the ``node`` column is empty on aggregate
+    rows)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(_CLUSTER_CSV_HEADER)
+    for result in results:
+        _write_cluster_rows(writer, result)
+    return buffer.getvalue()
+
+
+def study_results_to_json(results: Iterable, indent: int = 2) -> str:
+    """Serialise a mixed serving/cluster result list to a JSON array."""
+    records = []
+    for result in results:
+        if isinstance(result, ClusterResult):
+            records.append(cluster_result_to_dict(result))
+        else:
+            records.append(serving_result_to_dict(result))
+    return json.dumps(records, indent=indent)
+
+
+def study_results_to_csv(results: Iterable) -> str:
+    """Serialise a mixed serving/cluster result list to CSV.
+
+    Homogeneous lists use the matching schema; as soon as any fleet
+    result is present every row exports in the cluster schema (serving
+    results become degenerate single-node fleets), so one file is
+    always one parseable table.
+    """
+    materialised = list(results)
+    if not any(isinstance(r, ClusterResult) for r in materialised):
+        return serving_results_to_csv(materialised)
+    return cluster_results_to_csv(materialised)
 
 
 def table3_to_csv(table: Table3) -> str:

@@ -27,8 +27,10 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from ..cluster.hazards import NODE_HAZARD_KINDS
 from ..config import DEFAULT_PLATFORM, PlatformConfig
 from ..core.engine import ExecutionTrace
+from ..errors import ConfigurationError
 from ..dnn.workload import extract_workload
 from ..interposer.photonic.faults import HazardTimeline
 from ..mapping.residency import WeightResidency
@@ -171,6 +173,12 @@ def hazard_timeline(faults: "FaultSpec | None") -> HazardTimeline | None:
     for entry in faults.events:
         fields = entry.to_dict()
         kind = fields.pop("kind")
+        if kind in NODE_HAZARD_KINDS:
+            raise ConfigurationError(
+                f"hazard kind {kind!r} applies to cluster nodes; put it "
+                "in cluster.faults (platform.faults takes fabric-level "
+                "kinds)"
+            )
         events.append(HAZARDS.get(kind)(**fields))
     return HazardTimeline(tuple(events))
 
@@ -341,19 +349,23 @@ def simulate_scenario_cell(cell: ScenarioCell) -> ServingResult:
     )
 
 
-def simulate_any_serving_cell(
-    cell: "ServingCell | ScenarioCell",
-) -> ServingResult:
-    """Dispatch worker shared by mixed classic/scenario cell lists."""
+def simulate_any_serving_cell(cell) -> ServingResult:
+    """Dispatch worker shared by mixed classic/scenario/cluster lists."""
     if isinstance(cell, ScenarioCell):
         return simulate_scenario_cell(cell)
+    # Deferred: the cluster study module resolves names against the
+    # registries this module's importers construct.
+    from ..cluster.study import ClusterCell, simulate_cluster_cell
+
+    if isinstance(cell, ClusterCell):
+        return simulate_cluster_cell(cell)
     return simulate_serving_cell(cell)
 
 
 def simulate_study_cells(cells: Sequence, jobs: int = 1,
                          cache_dir: str | Path | None = None
                          ) -> list[ServingResult]:
-    """Run a mixed list of classic and scenario serving cells."""
+    """Run a mixed list of classic, scenario and cluster serving cells."""
     return run_cached(
         list(cells), lambda cell: cell.key(), simulate_any_serving_cell,
         jobs=jobs, cache_dir=cache_dir,

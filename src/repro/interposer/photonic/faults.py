@@ -226,13 +226,15 @@ def _make_gateway_event(cls, kind: str, at_s: float,
                         chiplet_gateways=(),
                         temperature_rise_k: float = 0.0,
                         power_fraction: float = 1.0,
-                        seed: int = 0):
+                        seed: int = 0,
+                        node: int | None = None):
     _reject_inert(
         kind,
         duration_s=duration_s is not None,
         temperature_rise_k=temperature_rise_k != 0.0,
         power_fraction=power_fraction != 1.0,
         seed=seed != 0,
+        node=node is not None,
     )
     if memory_gateways < 0:
         raise ConfigurationError(
@@ -267,13 +269,15 @@ def make_ring_drift(at_s: float, duration_s: float | None = None,
                     memory_gateways: int = 0, chiplet_gateways=(),
                     temperature_rise_k: float = 0.0,
                     power_fraction: float = 1.0,
-                    seed: int = 0) -> RingDriftBurst:
+                    seed: int = 0,
+                    node: int | None = None) -> RingDriftBurst:
     """``ring-drift`` factory."""
     _reject_inert(
         "ring-drift",
         memory_gateways=memory_gateways != 0,
         chiplet_gateways=bool(chiplet_gateways),
         power_fraction=power_fraction != 1.0,
+        node=node is not None,
     )
     if duration_s is None or duration_s <= 0:
         raise ConfigurationError(
@@ -294,7 +298,8 @@ def make_laser_degradation(at_s: float, duration_s: float | None = None,
                            memory_gateways: int = 0, chiplet_gateways=(),
                            temperature_rise_k: float = 0.0,
                            power_fraction: float = 1.0,
-                           seed: int = 0) -> LaserDegradation:
+                           seed: int = 0,
+                           node: int | None = None) -> LaserDegradation:
     """``laser-degradation`` factory."""
     _reject_inert(
         "laser-degradation",
@@ -302,6 +307,7 @@ def make_laser_degradation(at_s: float, duration_s: float | None = None,
         chiplet_gateways=bool(chiplet_gateways),
         temperature_rise_k=temperature_rise_k != 0.0,
         seed=seed != 0,
+        node=node is not None,
     )
     if duration_s is None or duration_s <= 0:
         raise ConfigurationError(

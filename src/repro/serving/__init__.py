@@ -10,8 +10,10 @@ share the fabric.
 """
 
 from .metrics import (
+    ClusterResult,
     LatencyProfile,
     ModelServingStats,
+    NodeStats,
     RequestRecord,
     ServingResult,
     WindowStats,
@@ -24,8 +26,10 @@ from .scheduler import BatchPolicy, RequestHandle, RequestScheduler
 
 __all__ = [
     "BatchPolicy",
+    "ClusterResult",
     "LatencyProfile",
     "ModelServingStats",
+    "NodeStats",
     "RequestHandle",
     "RequestRecord",
     "RequestScheduler",

@@ -40,7 +40,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Callable, Iterator
 
 from ..core.accelerator import PlatformSimulation
 from ..core.engine import ComputeOccupancy, ExecutionTrace, RequestExecution
@@ -210,7 +210,9 @@ class RequestScheduler:
         self.requests_injected = 0
         self.requests_completed = 0
         self.requests_shed = 0
+        self.requests_evicted = 0
         self.batches_dispatched = 0
+        self.on_request_closed: Callable[[RequestHandle], None] | None = None
         self._injection_done = False
         self._drained = sim.env.event()
         self._next_id = 0
@@ -252,12 +254,26 @@ class RequestScheduler:
         """Requests currently waiting for dispatch."""
         return len(self._queue)
 
+    @property
+    def outstanding(self) -> int:
+        """Accepted requests not yet completed (queued + in flight)."""
+        return (
+            self.requests_injected
+            - self.requests_completed
+            - self.requests_shed
+        )
+
     def submit(self, done: Event | None = None,
-               model: str | None = None) -> RequestHandle:
+               model: str | None = None,
+               arrival_s: float | None = None) -> RequestHandle:
         """Enqueue one request arriving now; returns its public handle.
 
         ``model`` defaults to the primary model the scheduler was built
         with; the handle's deadline is assigned from the model's SLO.
+        ``arrival_s`` backdates the arrival (and therefore the deadline
+        base): the cluster router uses it when re-enqueueing a request
+        evicted from a failed node, so the user-visible latency and SLO
+        clock keep running from the original submission.
         """
         name = self.model_name if model is None else model
         try:
@@ -266,7 +282,7 @@ class RequestScheduler:
             raise UnknownNameError(
                 "served model", name, tuple(self._models)
             ) from None
-        now = self.env.now
+        now = self.env.now if arrival_s is None else arrival_s
         request = RequestHandle(
             request_id=self._next_id, model=name, submit_s=now,
             deadline_s=None if entry.slo_s is None else now + entry.slo_s,
@@ -279,6 +295,22 @@ class RequestScheduler:
         if signal is not None and not signal.triggered:
             signal.succeed()
         return request
+
+    def evict_queued(self) -> list[RequestHandle]:
+        """Withdraw every request still waiting for dispatch.
+
+        Returns the evicted handles in queue order so a caller (the
+        cluster router, when this scheduler's node fails) can re-enqueue
+        them elsewhere.  In-flight batches are unaffected; the injected
+        counter is rolled back so the drain invariant
+        ``injected == completed + shed + outstanding`` keeps holding.
+        """
+        evicted = list(self._queue)
+        self._queue.clear()
+        self.requests_injected -= len(evicted)
+        self.requests_evicted += len(evicted)
+        self._check_drained()
+        return evicted
 
     def _wait_arrival(self) -> Event:
         event = self.env.event()
@@ -389,6 +421,8 @@ class RequestScheduler:
         if request.done is not None:
             request.done.succeed()
         self.requests_shed += 1
+        if self.on_request_closed is not None:
+            self.on_request_closed(request)
         self._check_drained()
 
     def _execute(self, batch: list[RequestHandle]):
@@ -423,6 +457,8 @@ class RequestScheduler:
             self.trace.request_records.append(record)
             if request.done is not None:
                 request.done.succeed()
+            if self.on_request_closed is not None:
+                self.on_request_closed(request)
         self.requests_completed += len(batch)
         self._check_drained()
 

@@ -33,13 +33,16 @@ from .registry import (
     HAZARDS,
     MODELS,
     PLATFORMS,
+    ROUTERS,
     Registry,
 )
 from .spec import (
     SPEC_SCHEMA_VERSION,
+    ClusterSpec,
     FaultEventSpec,
     FaultSpec,
     ModelTraffic,
+    NodeOverrideSpec,
     PlatformSpec,
     SchedulerSpec,
     StudySpec,
@@ -56,7 +59,9 @@ _LAZY_EXPORTS = {
         "StudyResult",
         "build_policy",
         "expand_points",
+        "is_degenerate_cluster",
         "load_spec",
+        "lower_cluster_point",
         "lower_study",
         "render_dry_run",
         "render_study",
@@ -97,13 +102,16 @@ __all__ = [
     "ARRIVALS",
     "BATCH_POLICIES",
     "CONTROLLERS",
+    "ClusterSpec",
     "FaultEventSpec",
     "FaultSpec",
     "HAZARDS",
     "MODELS",
     "ModelTraffic",
+    "NodeOverrideSpec",
     "PLATFORMS",
     "PlatformSpec",
+    "ROUTERS",
     "Registry",
     "SPEC_SCHEMA_VERSION",
     "SchedulerSpec",

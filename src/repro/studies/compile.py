@@ -24,9 +24,15 @@ the runner's parallel/cached machinery:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 
+from ..cluster.hazards import node_hazard_timeline, validate_node_timeline
+from ..cluster.study import (
+    ClusterCell,
+    render_cluster_study,
+    render_node_table,
+)
 from ..config import DEFAULT_PLATFORM, PlatformConfig
 from ..core.metrics import InferenceResult
 from ..dnn.workload import extract_workload
@@ -41,9 +47,16 @@ from ..experiments.serving_study import (
     render_slo_summary,
     simulate_study_cells,
 )
-from ..serving.metrics import ServingResult
+from ..serving.metrics import ClusterResult, ServingResult
 from ..serving.scheduler import BatchPolicy
-from .registry import ARRIVALS, BATCH_POLICIES, CONTROLLERS, MODELS, PLATFORMS
+from .registry import (
+    ARRIVALS,
+    BATCH_POLICIES,
+    CONTROLLERS,
+    MODELS,
+    PLATFORMS,
+    ROUTERS,
+)
 from .spec import FaultSpec, SchedulerSpec, StudySpec, WorkloadSpec
 
 SIPH_PLATFORM = "2.5D-CrossLight-SiPh"
@@ -138,6 +151,21 @@ def _validate_names(spec: StudySpec) -> None:
     if spec.kind == "serving":
         ARRIVALS.get(spec.workload.arrival)
         build_policy(spec.scheduler)
+    if spec.cluster is not None:
+        _validate_cluster(spec)
+
+
+def _validate_cluster(spec: StudySpec) -> None:
+    """Resolve and sanity-check one point's cluster section."""
+    cluster = spec.cluster
+    # Building the policy also validates the weights against the
+    # replica count (the weighted router demands one per node).
+    ROUTERS.get(cluster.router)(cluster.replicas, cluster.weights)
+    for override in cluster.nodes:
+        if override.controller is not None:
+            CONTROLLERS.get(override.controller)
+    events = node_hazard_timeline(cluster.faults)
+    validate_node_timeline(events, cluster.replicas)
 
 
 def expand_points(spec: StudySpec) -> list[StudySpec]:
@@ -201,10 +229,75 @@ def is_classic_serving(point: StudySpec) -> bool:
     )
 
 
+def is_degenerate_cluster(point: StudySpec) -> bool:
+    """Whether the point's cluster section is the single-node identity.
+
+    A 1-replica cluster with no node-level hazards and no per-node
+    overrides routes every request to its only node — the simulation
+    is exactly the single-node serving path, so the compiler strips the
+    section and lowers onto the existing cells (legacy cache keys,
+    bit-identical results).  The router name cannot matter with one
+    node; it is still validated.
+    """
+    cluster = point.cluster
+    return (
+        cluster is None
+        or (
+            cluster.replicas == 1
+            and not cluster.faults.events
+            and not cluster.nodes
+        )
+    )
+
+
+def lower_cluster_point(point: StudySpec,
+                        config: PlatformConfig) -> ClusterCell:
+    """One resolved fleet point to its cluster cell."""
+    workload, cluster = point.workload, point.cluster
+    return ClusterCell(
+        platform=point.platform.name,
+        models=tuple(
+            (entry.model, entry.fraction, entry.slo_s, entry.priority)
+            for entry in workload.models
+        ),
+        controller=point.platform.controller,
+        policy=build_policy(point.scheduler),
+        arrival_kind=workload.arrival,
+        rate_rps=workload.rate_rps,
+        duration_s=workload.duration_s,
+        seed=workload.seed,
+        config=config,
+        replicas=cluster.replicas,
+        router=cluster.router,
+        weights=cluster.weights,
+        reroute_on_fail=cluster.reroute_on_fail,
+        node_overrides=tuple(
+            (override.node, override.controller, override.n_wavelengths,
+             override.gateways_per_chiplet)
+            for override in cluster.nodes
+        ),
+        node_faults=cluster.faults if cluster.faults.events else None,
+        platform_faults=(
+            point.platform.faults if point.platform.faults.events else None
+        ),
+        burstiness=workload.burstiness,
+        dwell_s=workload.dwell_s,
+        think_time_s=workload.think_time_s,
+        residency_capacity_bits=point.residency_capacity_bits,
+        digest=point.digest,
+    )
+
+
 def lower_serving_point(point: StudySpec,
                         config: PlatformConfig
-                        ) -> "ServingCell | ScenarioCell":
+                        ) -> "ServingCell | ScenarioCell | ClusterCell":
     """One resolved serving point to its cheapest cell shape."""
+    if not is_degenerate_cluster(point):
+        return lower_cluster_point(point, config)
+    if point.cluster is not None:
+        # The 1-replica identity: strip the section so the point keys
+        # and simulates exactly like the single-node serving path.
+        point = replace(point, cluster=None)
     workload = point.workload
     policy = build_policy(point.scheduler)
     if is_classic_serving(point):
@@ -275,6 +368,10 @@ class StudyResult:
     def serving_results(self) -> list[ServingResult]:
         return [r for r in self.flat_results()
                 if isinstance(r, ServingResult)]
+
+    def cluster_results(self) -> list[ClusterResult]:
+        return [r for r in self.flat_results()
+                if isinstance(r, ClusterResult)]
 
 
 def lower_study(
@@ -368,14 +465,24 @@ def render_study(study: StudyResult) -> str:
         lines += [result.summary_row() for result in study.flat_results()]
     else:
         results = study.serving_results()
-        lines.append(render_serving_study(results))
-        slo_table = render_slo_summary(results)
-        if slo_table:
-            lines += ["", "per-model SLO attainment:", slo_table]
-        fault_table = render_fault_windows(results)
-        if fault_table:
-            lines += ["", "fault windows (before/during/after):",
-                      fault_table]
+        if results:
+            lines.append(render_serving_study(results))
+            slo_table = render_slo_summary(results)
+            if slo_table:
+                lines += ["", "per-model SLO attainment:", slo_table]
+            fault_table = render_fault_windows(results)
+            if fault_table:
+                lines += ["", "fault windows (before/during/after):",
+                          fault_table]
+        fleet = study.cluster_results()
+        if fleet:
+            if results:
+                lines.append("")
+            lines.append(render_cluster_study(fleet))
+            lines += ["", "per-node breakdown:", render_node_table(fleet)]
+            slo_table = render_slo_summary(fleet)
+            if slo_table:
+                lines += ["", "per-model SLO attainment:", slo_table]
     return "\n".join(lines)
 
 
@@ -420,8 +527,12 @@ def render_dry_run(spec: StudySpec,
         )
         for cell in group:
             label = type(cell).__name__
-            model = getattr(cell, "model", None) or cell.mix_label
-            lines.append(f"  {label:<14}{model:<24} key {cell.key()}")
+            model = (
+                getattr(cell, "grid_label", None)
+                or getattr(cell, "model", None)
+                or cell.mix_label
+            )
+            lines.append(f"  {label:<14}{model:<32} key {cell.key()}")
     return "\n".join(lines)
 
 

@@ -34,13 +34,17 @@ class Registry:
 
     ``backing`` shares a pre-existing mutable dict instead of copying
     it: registrations through the registry become visible to legacy
-    code still reading that dict directly (and vice versa).
+    code still reading that dict directly (and vice versa).  ``label``
+    is the registry's own name (``"ROUTERS"``): lookup errors carry it
+    so multi-registry specs say *which* table rejected a name.
     """
 
     def __init__(self, kind: str,
                  entries: Mapping[str, Callable] | None = None,
-                 backing: dict[str, Callable] | None = None):
+                 backing: dict[str, Callable] | None = None,
+                 label: str | None = None):
         self.kind = kind
+        self.label = label
         if backing is not None:
             if entries is not None:
                 raise ConfigurationError(
@@ -66,7 +70,9 @@ class Registry:
         try:
             return self._entries[name]
         except KeyError:
-            raise UnknownNameError(self.kind, name, self.names()) from None
+            raise UnknownNameError(
+                self.kind, name, self.names(), registry=self.label
+            ) from None
 
     def names(self) -> tuple[str, ...]:
         """Registered names, in registration order."""
@@ -115,7 +121,7 @@ def _build_25d_awgr(config: PlatformConfig, controller: str, faults=None):
     return CrossLight25DAWGR(config)
 
 
-PLATFORMS = Registry("platform", {
+PLATFORMS = Registry("platform", label="PLATFORMS", entries={
     "CrossLight": _build_crosslight,
     "2.5D-CrossLight-Elec": _build_25d_elec,
     "2.5D-CrossLight-SiPh": _build_25d_siph,
@@ -125,18 +131,20 @@ PLATFORMS = Registry("platform", {
 SiPh interposer actually consumes the controller name."""
 
 
-MODELS = Registry("model", {**MODEL_BUILDERS, **EXTENDED_BUILDERS})
+MODELS = Registry("model", label="MODELS",
+                  entries={**MODEL_BUILDERS, **EXTENDED_BUILDERS})
 """DNN builders by zoo name (Table 2 plus the extended zoo)."""
 
 
-CONTROLLERS = Registry("controller", backing=CONTROLLER_FACTORIES)
+CONTROLLERS = Registry("controller", label="CONTROLLERS",
+                       backing=CONTROLLER_FACTORIES)
 """Interposer reconfiguration controllers (SiPh platform).
 
 Shares the factory dict the SiPh platform constructs from, so a
 controller registered here is buildable — not just spec-valid."""
 
 
-HAZARDS = Registry("hazard", backing=HAZARD_FACTORIES)
+HAZARDS = Registry("hazard", label="HAZARDS", backing=HAZARD_FACTORIES)
 """Hazard-event factories for the platform fault timeline.
 
 Each factory takes the full :class:`~repro.studies.spec.FaultEventSpec`
@@ -170,7 +178,7 @@ def _closed(rate_rps: float, seed: int, think_time_s: float = 10e-6,
                              think_time_s=think_time_s, seed=seed)
 
 
-ARRIVALS = Registry("arrival process", {
+ARRIVALS = Registry("arrival process", label="ARRIVALS", entries={
     "poisson": _poisson,
     "mmpp": _mmpp,
     "closed": _closed,
@@ -201,8 +209,26 @@ def _policy_factory(name: str) -> Callable[..., BatchPolicy]:
     return build
 
 
-BATCH_POLICIES = Registry("batch policy", {
+BATCH_POLICIES = Registry("batch policy", label="BATCH_POLICIES", entries={
     name: _policy_factory(name) for name in POLICY_NAMES
 })
 """Dispatch-policy factories
 ``(max_batch, batch_timeout_s, max_inflight, shed_expired) -> policy``."""
+
+
+# ---------------------------------------------------------------------------
+# Cluster routing policies.
+#
+# Imported last: ``repro.cluster`` depends on the serving layer (and its
+# study module resolves names against the registries above), so pulling
+# it in before those registries exist would be a cycle.
+# ---------------------------------------------------------------------------
+
+from ..cluster.hazards import NODE_HAZARD_KINDS  # noqa: E402,F401  (registers the node-* hazard kinds in HAZARD_FACTORIES)
+from ..cluster.router import ROUTER_FACTORIES  # noqa: E402
+
+ROUTERS = Registry("router", label="ROUTERS", backing=ROUTER_FACTORIES)
+"""Cluster routing-policy factories ``(n_nodes, weights) -> policy``.
+
+Shares the factory dict the cluster router builds from, so a router
+registered here is buildable — not just spec-valid."""

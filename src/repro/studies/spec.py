@@ -25,14 +25,19 @@ from typing import Any, Mapping
 
 from ..errors import SpecError
 
-SPEC_SCHEMA_VERSION = 2
+SPEC_SCHEMA_VERSION = 3
 """Bump when the spec schema changes meaning: digests (and therefore
 every scenario cache key) move with it.
 
 Version 2: :class:`PlatformSpec` grew a ``faults`` section
 (:class:`FaultSpec`), so every digest — and with it every scenario
 cache key — moved; a pre-hazard cache can never satisfy a fault-aware
-spec."""
+spec.
+
+Version 3: :class:`StudySpec` grew a ``cluster`` section
+(:class:`ClusterSpec`: replicas, router, per-node overrides, node-level
+hazards) and :class:`FaultEventSpec` a ``node`` field, so every digest
+moved again."""
 
 STUDY_KINDS = ("inference", "serving")
 """Study kinds the compiler can lower."""
@@ -205,11 +210,13 @@ class FaultEventSpec:
 
     ``kind`` resolves against the ``HAZARDS`` registry at compile time
     (``gateway-fail``, ``gateway-repair``, ``ring-drift``,
-    ``laser-degradation``); the remaining fields are the union of every
-    kind's knobs — the per-kind factories reject knobs that do not
-    apply, so an inert field never silently moves a digest.
+    ``laser-degradation`` on the fabric; ``node-fail``, ``node-drain``,
+    ``node-repair`` on cluster nodes); the remaining fields are the
+    union of every kind's knobs — the per-kind factories reject knobs
+    that do not apply, so an inert field never silently moves a digest.
     ``chiplet_gateways`` lists ``[chiplet_id, write, read]`` failure
-    (or repair) counts.
+    (or repair) counts; ``node`` is the cluster node index the
+    node-level kinds address.
     """
 
     kind: str
@@ -220,6 +227,7 @@ class FaultEventSpec:
     temperature_rise_k: float = 0.0
     power_fraction: float = 1.0
     seed: int = 0
+    node: int | None = None
 
     def __post_init__(self) -> None:
         if not self.kind:
@@ -227,6 +235,10 @@ class FaultEventSpec:
         if self.at_s < 0:
             raise SpecError(
                 f"fault event time must be >= 0, got {self.at_s}"
+            )
+        if self.node is not None and self.node < 0:
+            raise SpecError(
+                f"fault event node index must be >= 0, got {self.node}"
             )
         if self.duration_s is not None and self.duration_s <= 0:
             raise SpecError(
@@ -416,6 +428,133 @@ class SchedulerSpec:
 
 
 # ---------------------------------------------------------------------------
+# Cluster: a fleet of platform replicas behind a router.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NodeOverrideSpec:
+    """Heterogeneous fleet: config overrides for one node.
+
+    ``node`` is the replica index; the remaining fields override the
+    study-level platform knobs for that node only (``None`` = inherit).
+    """
+
+    node: int
+    controller: str | None = None
+    n_wavelengths: int | None = None
+    gateways_per_chiplet: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise SpecError(
+                f"node override index must be >= 0, got {self.node}"
+            )
+        if self.n_wavelengths is not None and self.n_wavelengths < 1:
+            raise SpecError(
+                f"wavelength count must be >= 1, got {self.n_wavelengths}"
+            )
+        if (
+            self.gateways_per_chiplet is not None
+            and self.gateways_per_chiplet < 1
+        ):
+            raise SpecError(
+                f"gateway count must be >= 1, got "
+                f"{self.gateways_per_chiplet}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        return _scalars_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "NodeOverrideSpec":
+        _check_fields(cls, data, "node override")
+        return _build(cls, dict(data), "node override")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """How many platform replicas serve the workload, and behind what.
+
+    ``router`` resolves against the ``ROUTERS`` registry at compile
+    time; ``weights`` parameterises the ``weighted`` router (one
+    positive weight per node).  ``nodes`` optionally overrides platform
+    knobs per replica (heterogeneous fleets); ``faults`` is the
+    node-level hazard timeline (``node-fail`` / ``node-drain`` /
+    ``node-repair``), and ``reroute_on_fail`` controls whether a failed
+    node's queued requests are re-enqueued on survivors or left to
+    drain in place.
+    """
+
+    replicas: int = 1
+    router: str = "round-robin"
+    weights: tuple[float, ...] = ()
+    reroute_on_fail: bool = True
+    nodes: tuple[NodeOverrideSpec, ...] = ()
+    faults: FaultSpec = FaultSpec()
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise SpecError(
+                f"replica count must be >= 1, got {self.replicas}"
+            )
+        if not self.router:
+            raise SpecError("cluster needs a router name")
+        if self.weights and len(self.weights) != self.replicas:
+            raise SpecError(
+                f"cluster.weights needs one weight per replica: got "
+                f"{len(self.weights)} weight(s) for {self.replicas} "
+                f"replica(s)"
+            )
+        if any(weight <= 0 for weight in self.weights):
+            raise SpecError(
+                f"node weights must be positive, got {list(self.weights)}"
+            )
+        indices = [override.node for override in self.nodes]
+        if len(set(indices)) != len(indices):
+            raise SpecError(f"duplicate node overrides: {indices}")
+        for override in self.nodes:
+            if override.node >= self.replicas:
+                raise SpecError(
+                    f"node override for node {override.node} but the "
+                    f"cluster has {self.replicas} replica(s)"
+                )
+        for event in self.faults.events:
+            if event.node is None:
+                raise SpecError(
+                    f"cluster fault event {event.kind!r} at "
+                    f"t={event.at_s}s needs a 'node' index"
+                )
+            if event.node >= self.replicas:
+                raise SpecError(
+                    f"cluster fault event {event.kind!r} names node "
+                    f"{event.node} but the cluster has {self.replicas} "
+                    f"replica(s)"
+                )
+
+    def to_dict(self) -> dict[str, Any]:
+        return _scalars_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ClusterSpec":
+        _check_fields(cls, data, "cluster spec")
+        kwargs = dict(data)
+        weights = kwargs.get("weights", ())
+        if not isinstance(weights, (list, tuple)):
+            raise SpecError("cluster 'weights' must be a list")
+        kwargs["weights"] = tuple(weights)
+        nodes = kwargs.get("nodes", ())
+        if not isinstance(nodes, (list, tuple)):
+            raise SpecError("cluster 'nodes' must be a list")
+        kwargs["nodes"] = tuple(
+            NodeOverrideSpec.from_dict(entry) for entry in nodes
+        )
+        if "faults" in kwargs:
+            kwargs["faults"] = FaultSpec.from_dict(kwargs["faults"])
+        return _build(cls, kwargs, "cluster spec")
+
+
+# ---------------------------------------------------------------------------
 # Sweep grid.
 # ---------------------------------------------------------------------------
 
@@ -497,8 +636,10 @@ class StudySpec:
     ``kind`` selects the lowering: ``"serving"`` simulates a full
     request-serving window per grid point; ``"inference"`` runs one
     isolated (batched) inference per model per grid point.
-    ``residency_capacity_bits`` bounds the shared weight store of
-    serving runs (LRU eviction between tenants).
+    ``residency_capacity_bits`` bounds the (per-node) weight store of
+    serving runs (LRU eviction between tenants).  ``cluster`` scales a
+    serving study out to a routed fleet of platform replicas
+    (``None`` = the classic single-node path).
     """
 
     name: str
@@ -508,6 +649,7 @@ class StudySpec:
     scheduler: SchedulerSpec = SchedulerSpec()
     sweep: SweepSpec = SweepSpec()
     residency_capacity_bits: float | None = None
+    cluster: ClusterSpec | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -530,6 +672,10 @@ class StudySpec:
                 )
         else:
             self._reject_serving_only_fields()
+            if self.cluster is not None:
+                raise SpecError(
+                    "the cluster section applies only to serving studies"
+                )
         if (
             self.residency_capacity_bits is not None
             and self.residency_capacity_bits <= 0
@@ -594,6 +740,8 @@ class StudySpec:
             kwargs["scheduler"] = SchedulerSpec.from_dict(kwargs["scheduler"])
         if "sweep" in kwargs:
             kwargs["sweep"] = SweepSpec.from_dict(kwargs["sweep"])
+        if kwargs.get("cluster") is not None:
+            kwargs["cluster"] = ClusterSpec.from_dict(kwargs["cluster"])
         return _build(cls, kwargs, "study spec")
 
     def to_json(self, indent: int = 2) -> str:
@@ -609,13 +757,13 @@ class StudySpec:
 
     # -- overrides and expansion ---------------------------------------------------
 
-    _SECTIONS = {"workload", "platform", "scheduler"}
+    _SECTIONS = {"workload", "platform", "scheduler", "cluster"}
 
     def with_override(self, path: str, value: Any) -> "StudySpec":
         """A copy with one scalar field replaced (sweep-axis setter).
 
         ``path`` is ``"section.field"`` for the workload / platform /
-        scheduler sections or a bare top-level scalar such as
+        scheduler / cluster sections or a bare top-level scalar such as
         ``"residency_capacity_bits"``.  Validation re-runs on the copy.
         """
         section_name, dot, field_name = path.partition(".")
@@ -623,7 +771,7 @@ class StudySpec:
             if section_name not in ("residency_capacity_bits",):
                 raise SpecError(
                     f"cannot sweep top-level field {path!r}; sweepable "
-                    "sections: workload, platform, scheduler"
+                    "sections: workload, platform, scheduler, cluster"
                 )
             return replace(self, **{section_name: value})
         if section_name not in self._SECTIONS:
@@ -632,6 +780,11 @@ class StudySpec:
                 f"{path!r}; choose from {', '.join(sorted(self._SECTIONS))}"
             )
         section = getattr(self, section_name)
+        if section is None:
+            raise SpecError(
+                f"cannot sweep {path!r}: the spec has no "
+                f"{section_name} section (add one with its defaults)"
+            )
         known = {field.name for field in fields(section)}
         if field_name not in known:
             raise SpecError(
@@ -648,6 +801,8 @@ class StudySpec:
             # sections ({"events": [...]}; {} sweeps in the fault-free
             # baseline).
             value = FaultSpec.from_dict(value)
+        if field_name == "weights" and isinstance(value, (list, tuple)):
+            value = tuple(value)
         return replace(
             self, **{section_name: replace(section, **{field_name: value})}
         )

@@ -93,6 +93,106 @@ class TestPercentiles:
         assert profile.p50_s == 2.0
         assert profile.max_s == 3.0
 
+    def test_single_sample_collapses_every_percentile(self):
+        # Nearest-rank on one sample: every quantile is that sample.
+        for q in (0.0, 1.0, 50.0, 95.0, 99.0, 100.0):
+            assert percentile([7e-6], q) == 7e-6
+        profile = LatencyProfile.from_samples([7e-6])
+        assert profile.count == 1
+        assert (
+            profile.mean_s == profile.p50_s == profile.p95_s
+            == profile.p99_s == profile.max_s == 7e-6
+        )
+
+
+def _record(request_id, model="LeNet5", arrival_s=0.0, finish_s=1e-6,
+            deadline_s=None, dropped=False):
+    return RequestRecord(
+        request_id=request_id, model=model, arrival_s=arrival_s,
+        dispatch_s=arrival_s if dropped else finish_s / 2,
+        finish_s=finish_s, batch_size=0 if dropped else 1,
+        deadline_s=deadline_s, dropped=dropped,
+    )
+
+
+class TestMetricsEdgeCases:
+    def test_windowed_stats_with_empty_window(self):
+        from repro.serving.metrics import windowed_stats
+
+        # Both requests arrive before the fault window: the during and
+        # after windows exist but hold zero completed requests.
+        records = [
+            _record(0, arrival_s=10e-6, finish_s=20e-6),
+            _record(1, arrival_s=20e-6, finish_s=40e-6),
+        ]
+        windows = windowed_stats(records, 100e-6, 200e-6, 300e-6)
+        assert [window.label for window in windows] == [
+            "before", "during", "after",
+        ]
+        before, during, after = windows
+        assert before.completed == 2
+        for empty in (during, after):
+            assert empty.completed == empty.shed == 0
+            assert empty.submitted == 0
+            assert empty.goodput_rps == 0.0
+            assert empty.slo_attainment == 1.0
+            assert empty.latency.count == 0
+            assert empty.latency.p99_s == 0.0
+
+    def test_windowed_stats_with_no_records_at_all(self):
+        from repro.serving.metrics import windowed_stats
+
+        windows = windowed_stats([], 1e-6, 2e-6, 3e-6)
+        assert len(windows) == 3
+        assert all(window.completed == 0 for window in windows)
+
+    def test_windowed_stats_single_request_window(self):
+        from repro.serving.metrics import windowed_stats
+
+        records = [_record(0, arrival_s=150e-6, finish_s=160e-6)]
+        windows = windowed_stats(records, 100e-6, 200e-6, 300e-6)
+        during = next(w for w in windows if w.label == "during")
+        assert during.completed == 1
+        assert during.latency.p50_s == during.latency.p99_s == (
+            pytest.approx(10e-6)
+        )
+
+    def test_windowed_stats_rejects_disordered_window(self):
+        from repro.serving.metrics import windowed_stats
+
+        with pytest.raises(SimulationError, match="ordered"):
+            windowed_stats([], 2e-6, 1e-6, 3e-6)
+
+    def test_per_model_stats_with_only_shed_requests(self):
+        from repro.serving.metrics import per_model_stats
+
+        records = [
+            _record(0, arrival_s=0.0, finish_s=1e-6,
+                    deadline_s=0.5e-6, dropped=True),
+            _record(1, arrival_s=1e-6, finish_s=2e-6,
+                    deadline_s=1.5e-6, dropped=True),
+        ]
+        (stats,) = per_model_stats(records, elapsed_s=2e-6)
+        assert stats.completed == 0
+        assert stats.shed == 2
+        assert stats.slo_violations == 2
+        assert stats.slo_attainment == 0.0
+        assert stats.goodput_rps == 0.0
+        assert stats.latency.count == 0
+
+    def test_per_model_stats_single_request_and_empty(self):
+        from repro.serving.metrics import per_model_stats
+
+        assert per_model_stats([], elapsed_s=1e-3) == ()
+        (stats,) = per_model_stats(
+            [_record(0, arrival_s=0.0, finish_s=3e-6)], elapsed_s=1e-3
+        )
+        assert stats.completed == 1
+        assert stats.slo_attainment == 1.0
+        assert stats.latency.p50_s == stats.latency.p99_s == (
+            pytest.approx(3e-6)
+        )
+
 
 class TestSchedulerSemantics:
     def test_every_request_completes(self):
