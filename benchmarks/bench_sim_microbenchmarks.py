@@ -14,6 +14,7 @@ from repro.bench import (
     make_hazard_timeline_reads,
     make_kernel_event_throughput,
     make_photonic_fabric_reads,
+    make_resilience_retry_hedge,
     make_serving_request_throughput,
 )
 
@@ -58,3 +59,9 @@ def test_bench_cluster_dispatch_throughput(benchmark):
     """~400 Poisson requests routed across an 8-node fleet."""
     routed = benchmark(make_cluster_dispatch_throughput())
     assert routed > 0
+
+
+def test_bench_resilience_retry_hedge(benchmark):
+    """Timeout/retry/hedge lifecycle over a 2-node fleet."""
+    completed = benchmark(make_resilience_retry_hedge())
+    assert completed > 0

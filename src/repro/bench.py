@@ -246,6 +246,59 @@ def make_cluster_dispatch_throughput() -> Callable[[], int]:
     return run
 
 
+def make_resilience_retry_hedge() -> Callable[[], int]:
+    """Retry/hedge lifecycle over a 2-node fleet with tight timers.
+
+    A 0.4 ms Poisson window at 500k requests/s of LeNet5 driven through
+    the :class:`~repro.serving.lifecycle.LifecycleDriver` with a 40 us
+    attempt timeout, two retries, and a 20 us hedge — every request
+    races attempt completions against hedge and timeout timers, so this
+    tracks the timer-race, duplicate-submit, and loser-cancellation
+    overhead the resilience layer adds on top of routed dispatch.
+    """
+    from .cluster.router import ClusterNode, ClusterRouter
+    from .core.accelerator import MonolithicCrossLight
+    from .core.engine import ExecutionTrace
+    from .dnn import zoo
+    from .dnn.workload import extract_workload
+    from .mapping.residency import WeightResidency
+    from .serving.lifecycle import LifecycleDriver, ResiliencePolicy
+    from .serving.scheduler import BatchPolicy, RequestScheduler
+    from .sim.core import Environment
+    from .sim.traffic import PoissonArrivals
+    from .studies.registry import ROUTERS
+
+    platform = MonolithicCrossLight()
+    workload = extract_workload(zoo.build("LeNet5"))
+    policy = BatchPolicy.fifo(max_inflight=2)
+    resilience = ResiliencePolicy(
+        timeout_s=40e-6, max_retries=2, hedge_delay_s=20e-6
+    )
+
+    def run() -> int:
+        env = Environment()
+        nodes = []
+        for index in range(2):
+            sim = platform.build_simulation(env)
+            scheduler = RequestScheduler(
+                sim, sim.map_workload(workload), "LeNet5", policy=policy,
+                residency=WeightResidency(env), trace=ExecutionTrace(),
+            )
+            nodes.append(ClusterNode(
+                index=index, platform=platform, sim=sim,
+                scheduler=scheduler,
+                residency=scheduler.residency,
+            ))
+        router = ClusterRouter(
+            nodes, ROUTERS.get("least-outstanding")(len(nodes), ())
+        )
+        driver = LifecycleDriver(router, resilience, seed=11)
+        driver.serve(PoissonArrivals(rate_rps=500e3, seed=11), 0.4e-3)
+        return driver.requests_completed
+
+    return run
+
+
 MICROBENCHMARKS: dict[str, Callable[[], Callable[[], object]]] = {
     KERNEL_BENCHMARK: make_kernel_event_throughput,
     "test_bench_channel_contention": make_channel_contention,
@@ -254,6 +307,7 @@ MICROBENCHMARKS: dict[str, Callable[[], Callable[[], object]]] = {
     "test_bench_serving_request_throughput": make_serving_request_throughput,
     "test_bench_hazard_timeline_reads": make_hazard_timeline_reads,
     "test_bench_cluster_dispatch_throughput": make_cluster_dispatch_throughput,
+    "test_bench_resilience_retry_hedge": make_resilience_retry_hedge,
 }
 """Benchmark name (matching the pytest test name) -> body factory."""
 

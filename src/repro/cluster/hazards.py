@@ -30,7 +30,11 @@ from dataclasses import dataclass
 from typing import ClassVar, Union
 
 from ..errors import ConfigurationError, UnknownNameError
-from ..interposer.photonic.faults import HAZARD_FACTORIES, _reject_inert
+from ..interposer.photonic.faults import (
+    COMPUTE_HAZARD_KINDS,
+    HAZARD_FACTORIES,
+    _reject_inert,
+)
 
 
 @dataclass(frozen=True)
@@ -63,11 +67,46 @@ class NodeRepair:
     kind: ClassVar[str] = "node-repair"
 
 
-NodeHazardEvent = Union[NodeFail, NodeDrain, NodeRepair]
+@dataclass(frozen=True)
+class RackFail:
+    """A correlated outage: every node in ``nodes`` fails at ``at_s``.
+
+    Models shared-fate failure domains — a rack losing power, a shared
+    optical trunk, a power domain browning out — where nodes do not
+    fail independently.  Semantically equivalent to simultaneous
+    :class:`NodeFail` events on every member, applied atomically.
+    """
+
+    at_s: float
+    nodes: tuple[int, ...]
+
+    kind: ClassVar[str] = "rack-fail"
+
+
+@dataclass(frozen=True)
+class RackRepair:
+    """The correlated group ``nodes`` returns to rotation at ``at_s``."""
+
+    at_s: float
+    nodes: tuple[int, ...]
+
+    kind: ClassVar[str] = "rack-repair"
+
+
+NodeHazardEvent = Union[NodeFail, NodeDrain, NodeRepair, RackFail,
+                        RackRepair]
 """Any event a cluster hazard timeline can carry."""
 
-NODE_HAZARD_KINDS = ("node-fail", "node-drain", "node-repair")
+NODE_HAZARD_KINDS = ("node-fail", "node-drain", "node-repair",
+                     "rack-fail", "rack-repair")
 """Hazard kinds that apply to cluster nodes, not the photonic fabric."""
+
+
+def event_nodes(event: NodeHazardEvent) -> tuple[int, ...]:
+    """The node indices a cluster event addresses (group or single)."""
+    if isinstance(event, (RackFail, RackRepair)):
+        return event.nodes
+    return (event.node,)
 
 
 @dataclass(frozen=True)
@@ -98,7 +137,9 @@ def _make_node_event(cls, kind: str, at_s: float,
                      temperature_rise_k: float = 0.0,
                      power_fraction: float = 1.0,
                      seed: int = 0,
-                     node: int | None = None):
+                     node: int | None = None,
+                     nodes=(),
+                     mac_fraction: float = 1.0):
     # Fabric-only spec knobs would silently no-op on a node event (yet
     # still move cache digests): reject instead.
     _reject_inert(
@@ -109,6 +150,8 @@ def _make_node_event(cls, kind: str, at_s: float,
         temperature_rise_k=temperature_rise_k != 0.0,
         power_fraction=power_fraction != 1.0,
         seed=seed != 0,
+        nodes=bool(nodes),
+        mac_fraction=mac_fraction != 1.0,
     )
     if node is None:
         raise ConfigurationError(
@@ -119,6 +162,44 @@ def _make_node_event(cls, kind: str, at_s: float,
             f"{kind} node index must be >= 0, got {node}"
         )
     return cls(at_s=at_s, node=int(node))
+
+
+def _make_rack_event(cls, kind: str, at_s: float,
+                     duration_s: float | None = None,
+                     memory_gateways: int = 0,
+                     chiplet_gateways=(),
+                     temperature_rise_k: float = 0.0,
+                     power_fraction: float = 1.0,
+                     seed: int = 0,
+                     node: int | None = None,
+                     nodes=(),
+                     mac_fraction: float = 1.0):
+    _reject_inert(
+        kind,
+        duration_s=duration_s is not None,
+        memory_gateways=memory_gateways != 0,
+        chiplet_gateways=bool(chiplet_gateways),
+        temperature_rise_k=temperature_rise_k != 0.0,
+        power_fraction=power_fraction != 1.0,
+        seed=seed != 0,
+        node=node is not None,
+        mac_fraction=mac_fraction != 1.0,
+    )
+    if not nodes:
+        raise ConfigurationError(
+            f"{kind} at t={at_s}s needs a non-empty 'nodes' group "
+            "(the correlated failure domain)"
+        )
+    members = tuple(int(index) for index in nodes)
+    if any(index < 0 for index in members):
+        raise ConfigurationError(
+            f"{kind} node indices must be >= 0, got {list(members)}"
+        )
+    if len(set(members)) != len(members):
+        raise ConfigurationError(
+            f"{kind} at t={at_s}s names duplicate nodes: {list(members)}"
+        )
+    return cls(at_s=at_s, nodes=members)
 
 
 def make_node_fail(at_s: float, **fields) -> NodeFail:
@@ -136,10 +217,22 @@ def make_node_repair(at_s: float, **fields) -> NodeRepair:
     return _make_node_event(NodeRepair, "node-repair", at_s, **fields)
 
 
+def make_rack_fail(at_s: float, **fields) -> RackFail:
+    """``rack-fail`` factory (correlated multi-node outage)."""
+    return _make_rack_event(RackFail, "rack-fail", at_s, **fields)
+
+
+def make_rack_repair(at_s: float, **fields) -> RackRepair:
+    """``rack-repair`` factory."""
+    return _make_rack_event(RackRepair, "rack-repair", at_s, **fields)
+
+
 NODE_HAZARD_FACTORIES = {
     "node-fail": make_node_fail,
     "node-drain": make_node_drain,
     "node-repair": make_node_repair,
+    "rack-fail": make_rack_fail,
+    "rack-repair": make_rack_repair,
 }
 
 for _kind, _factory in NODE_HAZARD_FACTORIES.items():
@@ -173,8 +266,12 @@ def node_hazard_timeline(faults) -> tuple[NodeHazardEvent, ...]:
                 registry="HAZARDS",
             )
         if kind not in NODE_HAZARD_KINDS:
+            layer = (
+                "the compute path" if kind in COMPUTE_HAZARD_KINDS
+                else "the photonic fabric"
+            )
             raise ConfigurationError(
-                f"hazard kind {kind!r} applies to the photonic fabric; "
+                f"hazard kind {kind!r} applies to {layer}; "
                 "put it in platform.faults (cluster.faults takes "
                 f"{', '.join(NODE_HAZARD_KINDS)})"
             )
@@ -183,13 +280,17 @@ def node_hazard_timeline(faults) -> tuple[NodeHazardEvent, ...]:
 
 
 def validate_node_timeline(events: tuple[NodeHazardEvent, ...],
-                           n_nodes: int) -> None:
+                           n_nodes: int,
+                           allow_total_outage: bool = False) -> None:
     """Walk a node timeline once: it must stay applicable throughout.
 
     Every event must address an existing node, transitions must be
     legal (no failing a failed node, no repairing a healthy one) and —
     mirroring the fabric engine's survivors rule — every instant must
-    leave at least one node in the ``up`` state to route to.
+    leave at least one node in the ``up`` state to route to.  With
+    ``allow_total_outage`` (probe-based health-checked routing, where
+    the router queues onto its stale view instead of raising) a
+    correlated outage may take down the whole fleet.
     """
     states = ["up"] * n_nodes
     previous = 0.0
@@ -200,38 +301,40 @@ def validate_node_timeline(events: tuple[NodeHazardEvent, ...],
                 f"{event.kind} at t={event.at_s}s follows t={previous}s"
             )
         previous = event.at_s
-        if event.node >= n_nodes:
-            raise ConfigurationError(
-                f"{event.kind} at t={event.at_s}s names node "
-                f"{event.node} but the cluster has {n_nodes} node(s) "
-                f"(indices 0..{n_nodes - 1})"
-            )
-        state = states[event.node]
-        if isinstance(event, NodeFail):
-            if state == "failed":
+        for index in event_nodes(event):
+            if index >= n_nodes:
                 raise ConfigurationError(
-                    f"node-fail at t={event.at_s}s: node {event.node} "
-                    "is already failed"
+                    f"{event.kind} at t={event.at_s}s names node "
+                    f"{index} but the cluster has {n_nodes} node(s) "
+                    f"(indices 0..{n_nodes - 1})"
                 )
-            states[event.node] = "failed"
-        elif isinstance(event, NodeDrain):
-            if state != "up":
-                raise ConfigurationError(
-                    f"node-drain at t={event.at_s}s: node {event.node} "
-                    f"is {state}, only an up node can drain"
-                )
-            states[event.node] = "draining"
-        else:  # NodeRepair
-            if state == "up":
-                raise ConfigurationError(
-                    f"node-repair at t={event.at_s}s: node {event.node} "
-                    "is already up"
-                )
-            states[event.node] = "up"
+            state = states[index]
+            if isinstance(event, (NodeFail, RackFail)):
+                if state == "failed":
+                    raise ConfigurationError(
+                        f"{event.kind} at t={event.at_s}s: node {index} "
+                        "is already failed"
+                    )
+                states[index] = "failed"
+            elif isinstance(event, NodeDrain):
+                if state != "up":
+                    raise ConfigurationError(
+                        f"node-drain at t={event.at_s}s: node {index} "
+                        f"is {state}, only an up node can drain"
+                    )
+                states[index] = "draining"
+            else:  # NodeRepair / RackRepair
+                if state == "up":
+                    raise ConfigurationError(
+                        f"{event.kind} at t={event.at_s}s: node {index} "
+                        "is already up"
+                    )
+                states[index] = "up"
         surviving = states.count("up")
-        if surviving == 0:
+        if surviving == 0 and not allow_total_outage:
             raise ConfigurationError(
                 f"{event.kind} at t={event.at_s}s leaves no node up: "
                 f"all {n_nodes} node(s) failed or draining (at least "
-                "one must stay routable)"
+                "one must stay routable without probe-based health "
+                "checking)"
             )

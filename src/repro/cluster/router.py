@@ -24,6 +24,17 @@ arrival times preserved, so latency and SLO clocks keep running), and
 repairs return nodes to rotation.  Everything runs inside one shared
 :class:`~repro.sim.core.Environment`, so fleet results are exactly as
 deterministic as single-node ones.
+
+By default the router is **omniscient**: policies read live queue
+depths and failures leave the routable set instantly.  A
+:class:`HealthPolicy` replaces that with a modeled signal path —
+queue-depth signals sampled on a staleness interval (policies route on
+the stale copy, so bursts misroute until the next sample) and
+probe-based failure detection (a failed node keeps *receiving* until
+``probe_misses`` consecutive probes fail and it is ejected; probes
+succeeding after repair reinstate it).  Detection lag, misrouting and
+true fleet-wide outages become visible, which is exactly what the
+resilience layer (:mod:`repro.serving.lifecycle`) is there to absorb.
 """
 
 from __future__ import annotations
@@ -34,6 +45,7 @@ from typing import Callable, Iterator
 from ..core.accelerator import PlatformSimulation
 from ..errors import ConfigurationError, SimulationError
 from ..mapping.residency import WeightResidency
+from ..serving.metrics import IncidentRecord
 from ..serving.scheduler import DEFAULT_DRAIN_LIMIT_S, RequestScheduler
 from ..sim.traffic import ClosedLoopClients
 from .hazards import (
@@ -41,8 +53,68 @@ from .hazards import (
     NodeFail,
     NodeHazardEvent,
     NodeHazardRecord,
+    RackFail,
+    event_nodes,
     validate_node_timeline,
 )
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """How the router *observes* its fleet (instead of omnisciently).
+
+    ``signal_staleness_s`` — queue-depth/outstanding signals are
+    sampled on this interval; routing policies read the sampled copy.
+    ``probe_interval_s`` — when set, node liveness is learned from
+    probes: ``probe_misses`` consecutive failures eject a node from
+    the routable set, a succeeding probe reinstates it.  Probe mode
+    also means a failure is *not* applied to routing instantly — the
+    node keeps receiving (its scheduler pauses, so accepted requests
+    strand in its queue) until ejection withdraws the queue.
+    """
+
+    signal_staleness_s: float = 0.0
+    probe_interval_s: float | None = None
+    probe_misses: int = 3
+
+    def __post_init__(self) -> None:
+        if self.signal_staleness_s < 0:
+            raise ConfigurationError(
+                f"signal staleness must be non-negative, got "
+                f"{self.signal_staleness_s}"
+            )
+        if self.probe_interval_s is not None and self.probe_interval_s <= 0:
+            raise ConfigurationError(
+                f"probe interval must be positive, got "
+                f"{self.probe_interval_s}"
+            )
+        if self.probe_misses < 1:
+            raise ConfigurationError(
+                f"probe misses must be >= 1, got {self.probe_misses}"
+            )
+
+    def __bool__(self) -> bool:
+        """True when any part of the signal path is modeled."""
+        return (
+            self.signal_staleness_s > 0.0
+            or self.probe_interval_s is not None
+        )
+
+    @property
+    def probe_based(self) -> bool:
+        return self.probe_interval_s is not None
+
+    @property
+    def label(self) -> str:
+        parts = []
+        if self.signal_staleness_s > 0.0:
+            parts.append(f"stale={self.signal_staleness_s * 1e6:.0f}us")
+        if self.probe_interval_s is not None:
+            parts.append(
+                f"probe={self.probe_interval_s * 1e6:.0f}us"
+                f"x{self.probe_misses}"
+            )
+        return "+".join(parts) if parts else "omniscient"
 
 
 @dataclass
@@ -64,6 +136,13 @@ class ClusterNode:
     state: str = "up"
     routed: int = 0
     rerouted_away: int = 0
+    ejected: bool = False
+    """Probe-based health checking withdrew the node from routing."""
+    misses: int = 0
+    """Consecutive failed probes (probe mode only)."""
+    sampled_outstanding: int | None = None
+    sampled_queue_length: int | None = None
+    """Stale signal copies; ``None`` means live (omniscient) signals."""
 
     @property
     def name(self) -> str:
@@ -71,10 +150,14 @@ class ClusterNode:
 
     @property
     def outstanding(self) -> int:
+        if self.sampled_outstanding is not None:
+            return self.sampled_outstanding
         return self.scheduler.outstanding
 
     @property
     def queue_length(self) -> int:
+        if self.sampled_queue_length is not None:
+            return self.sampled_queue_length
         return self.scheduler.queue_length
 
     def holds_model(self, model: str) -> bool:
@@ -239,7 +322,8 @@ class ClusterRouter:
 
     def __init__(self, nodes: list[ClusterNode], policy: RoutingPolicy,
                  node_events: tuple[NodeHazardEvent, ...] = (),
-                 reroute_on_fail: bool = True):
+                 reroute_on_fail: bool = True,
+                 health: HealthPolicy | None = None):
         if not nodes:
             raise ConfigurationError("a cluster needs at least one node")
         self.env = nodes[0].sim.env
@@ -249,7 +333,10 @@ class ClusterRouter:
                     f"{node.name} lives in a different Environment; "
                     "all cluster nodes must share one"
                 )
-        validate_node_timeline(node_events, len(nodes))
+        self.health = health
+        probe_based = health is not None and health.probe_based
+        validate_node_timeline(node_events, len(nodes),
+                               allow_total_outage=probe_based)
         self.nodes = nodes
         self.policy = policy
         self.node_events = node_events
@@ -261,8 +348,20 @@ class ClusterRouter:
         self._injection_done = False
         self._drained = self.env.event()
         self._served = False
+        self._open_incidents: dict[int, dict] = {}
+        self._incidents: list[IncidentRecord] = []
+        self._down_since: float | None = None
+        self._downtime_s = 0.0
         for node in nodes:
             node.scheduler.on_request_closed = self._request_closed
+        if health is not None and health.signal_staleness_s > 0.0:
+            for node in nodes:
+                node.sampled_outstanding = 0
+                node.sampled_queue_length = 0
+            self.env.process(self._sample_signals())
+        if probe_based:
+            for node in nodes:
+                self.env.process(self._probe_node(node))
         pending = []
         for event in node_events:
             if event.at_s <= 0.0:
@@ -272,65 +371,246 @@ class ClusterRouter:
         if pending:
             self.env.process(self._run_events(pending))
 
+    @property
+    def _probe_based(self) -> bool:
+        return self.health is not None and self.health.probe_based
+
     # -- routing ------------------------------------------------------------------
 
     def routable_nodes(self) -> list[ClusterNode]:
-        """Nodes currently accepting new requests, index order."""
+        """Nodes the router *believes* accept new requests, index order.
+
+        Omniscient mode: exactly the ``up`` nodes.  Probe mode: every
+        non-ejected, non-draining node — a freshly failed node keeps
+        receiving until the probes catch up (drains are control-plane
+        operations the router always knows instantly).
+        """
+        if self._probe_based:
+            return [
+                node for node in self.nodes
+                if not node.ejected and node.state != "draining"
+            ]
         return [node for node in self.nodes if node.state == "up"]
 
-    def _choose(self, model: str | None) -> ClusterNode:
+    def _choose(self, model: str | None,
+                exclude: tuple[int, ...] = ()) -> ClusterNode:
         candidates = self.routable_nodes()
+        if exclude:
+            # Hedged attempts want a *different* node; fall back to the
+            # full routable set when exclusion would empty it.
+            filtered = [
+                node for node in candidates if node.index not in exclude
+            ]
+            candidates = filtered or candidates
         if not candidates:
-            # The timeline validator forbids event sequences that kill
-            # every node, so this is an internal invariant violation.
-            raise SimulationError(
-                f"no routable node at t={self.env.now}s"
-            )
+            if self._probe_based:
+                # Everyone is ejected: the router must still park the
+                # request somewhere — queue it on a non-draining node
+                # and let repairs (or retries/hedges) rescue it.
+                candidates = [
+                    node for node in self.nodes
+                    if node.state != "draining"
+                ] or self.nodes
+            else:
+                # The timeline validator forbids event sequences that
+                # kill every node, so this is an internal invariant
+                # violation.
+                raise SimulationError(
+                    f"no routable node at t={self.env.now}s"
+                )
         name = (
             model if model is not None
             else self.nodes[0].scheduler.model_name
         )
         return self.policy.choose(candidates, name)
 
-    def route(self, model: str | None = None, done=None):
-        """Assign one arriving request to a node and enqueue it there."""
-        node = self._choose(model)
-        handle = node.scheduler.submit(done=done, model=model)
+    def submit(self, done=None, model: str | None = None,
+               arrival_s: float | None = None,
+               exclude: tuple[int, ...] = ()):
+        """Route one request to a node and enqueue it there.
+
+        The fleet-level twin of
+        :meth:`~repro.serving.scheduler.RequestScheduler.submit`
+        (same duck-typed surface, so the resilience lifecycle drives
+        either).  ``exclude`` biases placement away from the named node
+        indices — hedged attempts use it to land on a different node.
+        """
+        node = self._choose(model, exclude)
+        handle = node.scheduler.submit(
+            done=done, model=model, arrival_s=arrival_s
+        )
+        handle.node = node.index
         node.routed += 1
         self.requests_routed += 1
         return handle
 
+    def route(self, model: str | None = None, done=None):
+        """Assign one arriving request to a node and enqueue it there."""
+        return self.submit(done=done, model=model)
+
+    def cancel(self, handle) -> bool:
+        """Withdraw a queued request wherever it currently waits.
+
+        True when some node's scheduler still held it undispatched;
+        the routed-request count rolls back so the fleet drain barrier
+        never waits on a request nobody will run.
+        """
+        for node in self.nodes:
+            if node.scheduler.cancel(handle):
+                self.requests_routed -= 1
+                return True
+        return False
+
     def _reroute(self, handle, from_node: ClusterNode) -> None:
         """Re-enqueue an evicted request, preserving its arrival time."""
-        node = self._choose(handle.model)
-        node.scheduler.submit(
+        node = self._choose(handle.model, exclude=(from_node.index,))
+        new_handle = node.scheduler.submit(
             done=handle.done, model=handle.model,
             arrival_s=handle.submit_s,
         )
+        new_handle.node = node.index
+        handle.node = node.index
         node.routed += 1
         from_node.rerouted_away += 1
         self.requests_rerouted += 1
 
-    # -- node hazards -------------------------------------------------------------
+    # -- modeled signal path (health checking) ------------------------------------
 
-    def _apply(self, event: NodeHazardEvent) -> None:
-        node = self.nodes[event.node]
+    def _sample_signals(self):
+        """Copy live queue signals into the sampled view on a period."""
+        staleness = self.health.signal_staleness_s
+        while True:
+            for node in self.nodes:
+                node.sampled_outstanding = node.scheduler.outstanding
+                node.sampled_queue_length = node.scheduler.queue_length
+            yield self.env.timeout(staleness)
+
+    def _probe_node(self, node: ClusterNode):
+        """Periodic liveness probe: eject after K misses, reinstate on
+        the first success after repair."""
+        misses_needed = self.health.probe_misses
+        while True:
+            yield self.env.timeout(self.health.probe_interval_s)
+            if node.state == "failed":
+                node.misses += 1
+                if node.misses >= misses_needed and not node.ejected:
+                    self._eject(node)
+            else:
+                node.misses = 0
+                if node.ejected:
+                    node.ejected = False
+
+    def _eject(self, node: ClusterNode) -> None:
+        """Probes confirmed the failure: withdraw the node from routing
+        and move its stranded queue to nodes still believed healthy."""
+        node.ejected = True
+        incident = self._open_incidents.get(node.index)
+        if incident is not None and incident["detected_s"] is None:
+            incident["detected_s"] = self.env.now
         rerouted = 0
-        if isinstance(event, NodeFail):
-            node.state = "failed"
-            if self.reroute_on_fail:
+        if self.reroute_on_fail:
+            survivors = [
+                peer for peer in self.routable_nodes()
+                if peer.index != node.index
+            ]
+            if survivors:
                 evicted = node.scheduler.evict_queued()
                 for handle in evicted:
                     self._reroute(handle, node)
                 rerouted = len(evicted)
-        elif isinstance(event, NodeDrain):
-            node.state = "draining"
-        else:  # NodeRepair
-            node.state = "up"
         self.records.append(NodeHazardRecord(
-            kind=event.kind, node=event.node, at_s=self.env.now,
+            kind="node-eject", node=node.index, at_s=self.env.now,
             rerouted=rerouted,
         ))
+
+    # -- incidents and availability -----------------------------------------------
+
+    def _open_incident(self, node: ClusterNode) -> None:
+        if node.index in self._open_incidents:
+            return
+        self._open_incidents[node.index] = {
+            "start_s": self.env.now,
+            # Omniscient routing detects instantly; probe mode leaves
+            # detection to the ejection path.
+            "detected_s": None if self._probe_based else self.env.now,
+        }
+
+    def _close_incident(self, node: ClusterNode) -> None:
+        incident = self._open_incidents.pop(node.index, None)
+        if incident is None:
+            return
+        self._incidents.append(IncidentRecord(
+            node=node.index,
+            start_s=incident["start_s"],
+            detected_s=incident["detected_s"],
+            end_s=self.env.now,
+        ))
+
+    def incidents(self) -> tuple[IncidentRecord, ...]:
+        """Every incident so far, resolved first, unresolved still open."""
+        open_records = tuple(
+            IncidentRecord(
+                node=index,
+                start_s=incident["start_s"],
+                detected_s=incident["detected_s"],
+            )
+            for index, incident in sorted(self._open_incidents.items())
+        )
+        return (
+            tuple(sorted(self._incidents, key=lambda i: (i.start_s, i.node)))
+            + open_records
+        )
+
+    def _update_availability(self) -> None:
+        """Track wall-clock spent with zero ``up`` nodes (total outage)."""
+        any_up = any(node.state == "up" for node in self.nodes)
+        now = self.env.now
+        if any_up and self._down_since is not None:
+            self._downtime_s += now - self._down_since
+            self._down_since = None
+        elif not any_up and self._down_since is None:
+            self._down_since = now
+
+    def availability(self, horizon_s: float) -> float:
+        """Fraction of ``[0, horizon_s]`` with at least one up node."""
+        if horizon_s <= 0:
+            return 1.0
+        downtime = self._downtime_s
+        if self._down_since is not None:
+            downtime += max(0.0, horizon_s - self._down_since)
+        return max(0.0, 1.0 - downtime / horizon_s)
+
+    # -- node hazards -------------------------------------------------------------
+
+    def _apply(self, event: NodeHazardEvent) -> None:
+        for index in event_nodes(event):
+            node = self.nodes[index]
+            rerouted = 0
+            if isinstance(event, (NodeFail, RackFail)):
+                node.state = "failed"
+                self._open_incident(node)
+                if self._probe_based:
+                    # The router does not know yet; the node's scheduler
+                    # pauses (a dead node dispatches nothing) and its
+                    # queue strands until probes trigger the ejection.
+                    node.scheduler.pause()
+                elif self.reroute_on_fail:
+                    evicted = node.scheduler.evict_queued()
+                    for handle in evicted:
+                        self._reroute(handle, node)
+                    rerouted = len(evicted)
+            elif isinstance(event, NodeDrain):
+                node.state = "draining"
+            else:  # NodeRepair / RackRepair
+                node.state = "up"
+                if self._probe_based:
+                    node.scheduler.resume()
+                self._close_incident(node)
+            self.records.append(NodeHazardRecord(
+                kind=event.kind, node=index, at_s=self.env.now,
+                rerouted=rerouted,
+            ))
+        self._update_availability()
 
     def _run_events(self, pending: list[NodeHazardEvent]):
         for event in pending:

@@ -21,21 +21,28 @@ from ..config import PlatformConfig
 from ..core.engine import ExecutionTrace
 from ..dnn.workload import extract_workload
 from ..experiments.runner import build_platform, cell_key
-from ..experiments.serving_study import _mix_stream, hazard_timeline
+from ..experiments.serving_study import (
+    _mix_stream,
+    platform_timelines,
+    start_compute_hazards,
+)
 from ..mapping.residency import WeightResidency
+from ..serving.lifecycle import LifecycleDriver, ResiliencePolicy
 from ..serving.metrics import (
     ClusterResult,
     NodeStats,
     LatencyProfile,
     aggregate,
+    mean_time_to_repair,
     per_model_stats,
+    windowed_stats,
 )
 from ..serving.scheduler import BatchPolicy, RequestScheduler
 from ..sim.core import Environment
 from ..studies.registry import ARRIVALS, MODELS, ROUTERS
 from ..studies.spec import FaultSpec
 from .hazards import node_hazard_timeline
-from .router import ClusterNode, ClusterRouter
+from .router import ClusterNode, ClusterRouter, HealthPolicy
 
 CLUSTER_STUDY_VERSION = 1
 """Bump (with ``CACHE_SCHEMA_VERSION`` semantics) when the cluster
@@ -80,6 +87,8 @@ class ClusterCell:
     think_time_s: float = 10e-6
     residency_capacity_bits: float | None = None
     digest: str = ""
+    resilience: ResiliencePolicy | None = None
+    health: HealthPolicy | None = None
 
     @property
     def mix_label(self) -> str:
@@ -97,10 +106,12 @@ class ClusterCell:
         return f"{self.replicas}x[{self.router}] {self.mix_label}"
 
     def key(self) -> str:
-        """Disk-cache key: every behavioral field plus the spec digest."""
-        return cell_key(
-            self.platform, self.mix_label, self.controller, self.config,
-            extra={
+        """Disk-cache key: every behavioral field plus the spec digest.
+
+        ``resilience`` and ``health`` enter the extras only when set,
+        so pre-resilience cells keep their cache keys byte for byte.
+        """
+        extra = {
                 "study": "cluster",
                 "version": CLUSTER_STUDY_VERSION,
                 "models": list(self.models),
@@ -127,7 +138,14 @@ class ClusterCell:
                 "think_time_s": self.think_time_s,
                 "residency_capacity_bits": self.residency_capacity_bits,
                 "spec": self.digest,
-            },
+        }
+        if self.resilience is not None:
+            extra["resilience"] = asdict(self.resilience)
+        if self.health is not None:
+            extra["health"] = asdict(self.health)
+        return cell_key(
+            self.platform, self.mix_label, self.controller, self.config,
+            extra=extra,
         )
 
 
@@ -160,7 +178,9 @@ def simulate_cluster_cell(cell: ClusterCell) -> ClusterResult:
         name: extract_workload(MODELS.get(name)())
         for name, _, _, _ in cell.models
     }
-    fabric_faults = hazard_timeline(cell.platform_faults)
+    fabric_faults, compute_events = platform_timelines(
+        cell.platform_faults
+    )
 
     env = Environment()
     nodes: list[ClusterNode] = []
@@ -190,24 +210,53 @@ def simulate_cluster_cell(cell: ClusterCell) -> ClusterResult:
             weight=cell.weights[index] if cell.weights else 1.0,
         ))
 
+    if compute_events:
+        start_compute_hazards(
+            env, tuple(node.scheduler.compute for node in nodes),
+            compute_events,
+        )
     policy = ROUTERS.get(cell.router)(len(nodes), cell.weights)
+    health = cell.health if cell.health else None
     router = ClusterRouter(
         nodes, policy,
         node_events=node_hazard_timeline(cell.node_faults),
         reroute_on_fail=cell.reroute_on_fail,
+        health=health,
     )
     arrivals = ARRIVALS.get(cell.arrival_kind)(
         cell.rate_rps, cell.seed, burstiness=cell.burstiness,
         dwell_s=cell.dwell_s, think_time_s=cell.think_time_s,
     )
-    router.serve(arrivals, cell.duration_s,
-                 models=_mix_stream(cell.models, cell.seed))
+    mix = _mix_stream(cell.models, cell.seed)
+    driver = None
+    if cell.resilience is not None and cell.resilience:
+        driver = LifecycleDriver(router, cell.resilience,
+                                 seed=cell.seed)
+        driver.serve(arrivals, cell.duration_s, models=mix)
+    else:
+        router.serve(arrivals, cell.duration_s, models=mix)
 
     elapsed = env.now
     all_records = [
         record for node in nodes for record in node.scheduler.records
     ]
-    latency, queue_delay, _ = aggregate(all_records)
+    if driver is not None:
+        # Client-visible accounting: logical requests, with retries and
+        # hedges folded into each one's latency.
+        records = driver.records
+        injected = driver.requests_injected
+        completed = driver.requests_completed
+        shed = driver.requests_gave_up
+        resilience_stats = driver.stats()
+    else:
+        records = all_records
+        injected = router.requests_routed
+        completed = sum(
+            node.scheduler.requests_completed for node in nodes
+        )
+        shed = sum(node.scheduler.requests_shed for node in nodes)
+        resilience_stats = None
+    latency, queue_delay, _ = aggregate(records)
     per_node = []
     network_energy_j = 0.0
     compute_energy_j = 0.0
@@ -236,6 +285,16 @@ def simulate_cluster_cell(cell: ClusterCell) -> ClusterResult:
             scheduler.trace, elapsed
         )
 
+    incidents = router.incidents()
+    windows: tuple = ()
+    if incidents:
+        start = min(incident.start_s for incident in incidents)
+        end = max(
+            incident.end_s if incident.end_s is not None else elapsed
+            for incident in incidents
+        )
+        windows = windowed_stats(records, start, end, elapsed)
+
     return ClusterResult(
         platform=nodes[0].platform.name,
         model=cell.mix_label,
@@ -247,23 +306,24 @@ def simulate_cluster_cell(cell: ClusterCell) -> ClusterResult:
         offered_rps=cell.rate_rps,
         duration_s=cell.duration_s,
         elapsed_s=elapsed,
-        requests_injected=router.requests_routed,
-        requests_completed=sum(
-            node.scheduler.requests_completed for node in nodes
-        ),
+        requests_injected=injected,
+        requests_completed=completed,
         latency=latency,
         queue_delay=queue_delay,
         per_node=tuple(per_node),
-        requests_shed=sum(
-            node.scheduler.requests_shed for node in nodes
-        ),
+        requests_shed=shed,
         requests_rerouted=router.requests_rerouted,
         per_model=per_model_stats(
-            all_records, elapsed, nodes[0].scheduler.slos()
+            records, elapsed, nodes[0].scheduler.slos()
         ),
         node_events=tuple(router.records),
         network_energy_j=network_energy_j,
         compute_energy_j=compute_energy_j,
+        windows=windows,
+        resilience=resilience_stats,
+        availability=router.availability(elapsed),
+        mttr_s=mean_time_to_repair(incidents),
+        incidents=incidents,
     )
 
 

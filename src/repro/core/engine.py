@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
 from ..config import PlatformConfig
+from ..errors import SimulationError
 from ..interposer.base import InterposerFabric
 from ..mapping.mapper import LayerMapping, ModelMapping
 from ..sim.core import Environment, Event, Process
@@ -88,6 +89,21 @@ class ComputeOccupancy:
     def __init__(self, env: Environment):
         self.env = env
         self._resources: dict[str, Resource] = {}
+        self.mac_fraction = 1.0
+
+    def set_mac_fraction(self, fraction: float) -> None:
+        """Scale every chiplet's sustainable MAC rate (compute hazard).
+
+        ``fraction`` is the remaining throughput share in ``(0, 1]``;
+        compute time for batches dispatched while it is below 1.0
+        stretches by ``1/fraction``.  The serving layer drives this
+        from ``chiplet-mac-degrade`` hazard events.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise SimulationError(
+                f"MAC fraction must be in (0, 1], got {fraction}"
+            )
+        self.mac_fraction = fraction
 
     def resource(self, chiplet_id: str) -> Resource:
         """The chiplet's occupancy semaphore (lazily created)."""
@@ -237,6 +253,10 @@ class RequestExecution:
             alloc.vector_ops * self.batch_size
             / (alloc.n_macs * self.mac_rate_hz)
         )
+        if self.compute is not None and self.compute.mac_fraction < 1.0:
+            # Compute-side hazard: the MAC arrays sustain only a
+            # fraction of nominal throughput while degraded.
+            compute_s /= self.compute.mac_fraction
         if self.compute is not None:
             # Concurrent-request mode: the chiplet's MAC array works on
             # one request's layer share at a time.  The occupancy spans

@@ -99,6 +99,11 @@ SERVING_FIELDS = (
     "slo_violations",
     "slo_attainment",
     "time_degraded_s",
+    "availability",
+    "mttr_s",
+    "retry_amplification",
+    "hedge_win_rate",
+    "wasted_attempts",
 )
 """Scalar columns exported for every serving result."""
 
@@ -111,6 +116,62 @@ def _latency_dict(profile) -> dict:
         "p99": profile.p99_s,
         "max": profile.max_s,
     }
+
+
+def _resilience_dict(stats) -> "dict | None":
+    """The lifecycle ledger as a JSON record (``None`` when the run
+    had no resilience layer)."""
+    if stats is None:
+        return None
+    return {
+        "requests": stats.requests,
+        "attempts": stats.attempts,
+        "retries": stats.retries,
+        "hedges": stats.hedges,
+        "hedge_wins": stats.hedge_wins,
+        "timeouts": stats.timeouts,
+        "cancelled": stats.cancelled,
+        "gave_up": stats.gave_up,
+        "budget_denied": stats.budget_denied,
+        "retry_amplification": stats.retry_amplification,
+        "hedge_win_rate": stats.hedge_win_rate,
+        "wasted_attempts": stats.wasted_attempts,
+        "retry_causes": dict(stats.retry_causes),
+    }
+
+
+def _incidents_list(incidents) -> list[dict]:
+    """Per-incident availability records (empty when fault-free)."""
+    return [
+        {
+            "node": incident.node,
+            "start_s": incident.start_s,
+            "detected_s": incident.detected_s,
+            "end_s": incident.end_s,
+            "repair_s": incident.repair_s,
+            "detection_lag_s": incident.detection_lag_s,
+            "resolved": incident.resolved,
+        }
+        for incident in incidents
+    ]
+
+
+def _fault_windows_list(windows) -> list[dict]:
+    """Windowed before/during/after stats, shared by both exports."""
+    return [
+        {
+            "label": window.label,
+            "start_s": window.start_s,
+            "end_s": window.end_s,
+            "completed": window.completed,
+            "shed": window.shed,
+            "slo_violations": window.slo_violations,
+            "slo_attainment": window.slo_attainment,
+            "goodput_rps": window.goodput_rps,
+            "latency_s": _latency_dict(window.latency),
+        }
+        for window in windows
+    ]
 
 
 def _per_model_list(per_model) -> list[dict]:
@@ -155,20 +216,9 @@ def serving_result_to_dict(result: ServingResult) -> dict:
         }
         for event in result.hazard_events
     ]
-    record["fault_windows"] = [
-        {
-            "label": window.label,
-            "start_s": window.start_s,
-            "end_s": window.end_s,
-            "completed": window.completed,
-            "shed": window.shed,
-            "slo_violations": window.slo_violations,
-            "slo_attainment": window.slo_attainment,
-            "goodput_rps": window.goodput_rps,
-            "latency_s": _latency_dict(window.latency),
-        }
-        for window in result.windows
-    ]
+    record["fault_windows"] = _fault_windows_list(result.windows)
+    record["resilience"] = _resilience_dict(result.resilience)
+    record["incidents"] = _incidents_list(result.incidents)
     return record
 
 
@@ -212,6 +262,11 @@ CLUSTER_FIELDS = (
     "energy_per_request_j",
     "slo_violations",
     "slo_attainment",
+    "availability",
+    "mttr_s",
+    "retry_amplification",
+    "hedge_win_rate",
+    "wasted_attempts",
 )
 """Scalar columns exported for every cluster (fleet) result."""
 
@@ -244,6 +299,9 @@ def cluster_result_to_dict(result: ClusterResult) -> dict:
         }
         for event in result.node_events
     ]
+    record["fault_windows"] = _fault_windows_list(result.windows)
+    record["resilience"] = _resilience_dict(result.resilience)
+    record["incidents"] = _incidents_list(result.incidents)
     return record
 
 

@@ -32,8 +32,14 @@ from ..config import DEFAULT_PLATFORM, PlatformConfig
 from ..core.engine import ExecutionTrace
 from ..errors import ConfigurationError
 from ..dnn.workload import extract_workload
-from ..interposer.photonic.faults import HazardTimeline
+from ..interposer.photonic.faults import (
+    COMPUTE_HAZARD_KINDS,
+    ChipletMacDegrade,
+    HazardRecord,
+    HazardTimeline,
+)
 from ..mapping.residency import WeightResidency
+from ..serving.lifecycle import LifecycleDriver, ResiliencePolicy
 from ..serving.metrics import (
     ServingResult,
     aggregate,
@@ -158,18 +164,24 @@ def simulate_serving_cells(cells: Sequence[ServingCell], jobs: int = 1,
 # ---------------------------------------------------------------------------
 
 
-def hazard_timeline(faults: "FaultSpec | None") -> HazardTimeline | None:
-    """Lower a spec-level fault section onto a hazard timeline.
+def platform_timelines(
+    faults: "FaultSpec | None",
+) -> tuple[HazardTimeline | None, tuple[ChipletMacDegrade, ...]]:
+    """Lower a platform fault section onto its two hazard timelines.
 
     Resolves every event kind against the ``HAZARDS`` registry (typed
     did-you-mean errors) and runs the per-kind factory validation, so a
     malformed fault section fails at compile time — before any
-    simulation.  ``None``/empty lowers to ``None`` (no engine attached;
-    the simulation is exactly the fault-free one).
+    simulation.  Fabric events become a :class:`HazardTimeline` for the
+    photonic hazard engine; compute events (``chiplet-mac-degrade``)
+    are returned separately for the serving layer to drive through the
+    schedulers' :class:`~repro.core.engine.ComputeOccupancy`.
+    ``None``/empty lowers to ``(None, ())``.
     """
     if faults is None or not faults.events:
-        return None
-    events = []
+        return None, ()
+    fabric = []
+    compute = []
     for entry in faults.events:
         fields = entry.to_dict()
         kind = fields.pop("kind")
@@ -179,8 +191,118 @@ def hazard_timeline(faults: "FaultSpec | None") -> HazardTimeline | None:
                 "in cluster.faults (platform.faults takes fabric-level "
                 "kinds)"
             )
-        events.append(HAZARDS.get(kind)(**fields))
-    return HazardTimeline(tuple(events))
+        event = HAZARDS.get(kind)(**fields)
+        if kind in COMPUTE_HAZARD_KINDS:
+            compute.append(event)
+        else:
+            fabric.append(event)
+    timeline = HazardTimeline(tuple(fabric)) if fabric else None
+    return timeline, tuple(compute)
+
+
+def hazard_timeline(faults: "FaultSpec | None") -> HazardTimeline | None:
+    """Lower a fault section for a study with no serving layer.
+
+    Same validation as :func:`platform_timelines`, but compute-side
+    kinds are rejected: without a serving layer nothing drives the
+    chiplet occupancy they degrade, so accepting one would silently
+    no-op (and still move the cache digest).
+    """
+    timeline, compute = platform_timelines(faults)
+    if compute:
+        raise ConfigurationError(
+            f"hazard kind {compute[0].kind!r} applies to the serving "
+            "compute path; it needs a serving study (nothing drives the "
+            "chiplet MAC occupancy in a single-inference run)"
+        )
+    return timeline
+
+
+def _drive_mac_degrade(env, compute, event: ChipletMacDegrade):
+    """Apply one compute hazard to one occupancy: degrade at ``at_s``,
+    restore after ``duration_s`` (never, when open-ended)."""
+    if event.at_s > env.now:
+        yield env.timeout(event.at_s - env.now)
+    compute.set_mac_fraction(event.mac_fraction)
+    if event.duration_s is not None:
+        yield env.timeout(event.duration_s)
+        compute.set_mac_fraction(1.0)
+
+
+def start_compute_hazards(env, computes,
+                          events: tuple[ChipletMacDegrade, ...]) -> None:
+    """Launch the driver processes applying ``events`` to every
+    occupancy in ``computes`` (one per node for fleets)."""
+    for compute in computes:
+        for event in events:
+            env.process(_drive_mac_degrade(env, compute, event))
+
+
+def compute_hazard_records(
+    events: tuple[ChipletMacDegrade, ...], elapsed: float
+) -> tuple[HazardRecord, ...]:
+    """Synthesized engine-style records for applied compute hazards."""
+    return tuple(
+        HazardRecord(
+            kind=event.kind,
+            start_s=event.at_s,
+            end_s=(
+                event.at_s + event.duration_s
+                if event.duration_s is not None else None
+            ),
+        )
+        for event in events
+        if event.at_s <= elapsed
+    )
+
+
+def _compute_degraded_s(events: tuple[ChipletMacDegrade, ...],
+                        elapsed: float) -> float:
+    """Wall-clock with MAC throughput below nominal (interval union)."""
+    intervals = sorted(
+        (
+            event.at_s,
+            min(
+                elapsed,
+                event.at_s + event.duration_s
+                if event.duration_s is not None else elapsed,
+            ),
+        )
+        for event in events
+        if event.at_s < elapsed
+    )
+    total = 0.0
+    cursor = 0.0
+    for start, end in intervals:
+        start = max(start, cursor)
+        if end > start:
+            total += end - start
+            cursor = end
+        cursor = max(cursor, end)
+    return total
+
+
+def _merge_window(window: "tuple[float, float] | None",
+                  events: tuple[ChipletMacDegrade, ...],
+                  elapsed: float) -> "tuple[float, float] | None":
+    """Fold compute-hazard spans into the engine's fault window."""
+    spans = [
+        (
+            event.at_s,
+            min(
+                elapsed,
+                event.at_s + event.duration_s
+                if event.duration_s is not None else elapsed,
+            ),
+        )
+        for event in events
+        if event.at_s < elapsed
+    ]
+    if window is not None:
+        spans.append(window)
+    if not spans:
+        return None
+    return min(s for s, _ in spans), max(e for _, e in spans)
 
 
 @dataclass(frozen=True)
@@ -209,6 +331,7 @@ class ScenarioCell:
     residency_capacity_bits: float | None = None
     faults: FaultSpec | None = None
     digest: str = ""
+    resilience: ResiliencePolicy | None = None
 
     @property
     def mix_label(self) -> str:
@@ -226,27 +349,32 @@ class ScenarioCell:
         The digest alone would suffice for compiler-built cells, but it
         is defaultable — directly constructed cells must still never
         collide, so the full cell identity goes into the hash.
+        ``resilience`` enters the extras only when set, so cells without
+        it keep their pre-resilience keys byte for byte.
         """
+        extra = {
+            "study": "scenario",
+            "version": SERVING_STUDY_VERSION,
+            "models": list(self.models),
+            "policy": asdict(self.policy),
+            "arrival_kind": self.arrival_kind,
+            "rate_rps": self.rate_rps,
+            "duration_s": self.duration_s,
+            "seed": self.seed,
+            "burstiness": self.burstiness,
+            "dwell_s": self.dwell_s,
+            "think_time_s": self.think_time_s,
+            "residency_capacity_bits": self.residency_capacity_bits,
+            "faults": (
+                self.faults.to_dict() if self.faults else None
+            ),
+            "spec": self.digest,
+        }
+        if self.resilience is not None:
+            extra["resilience"] = asdict(self.resilience)
         return cell_key(
             self.platform, self.mix_label, self.controller, self.config,
-            extra={
-                "study": "scenario",
-                "version": SERVING_STUDY_VERSION,
-                "models": list(self.models),
-                "policy": asdict(self.policy),
-                "arrival_kind": self.arrival_kind,
-                "rate_rps": self.rate_rps,
-                "duration_s": self.duration_s,
-                "seed": self.seed,
-                "burstiness": self.burstiness,
-                "dwell_s": self.dwell_s,
-                "think_time_s": self.think_time_s,
-                "residency_capacity_bits": self.residency_capacity_bits,
-                "faults": (
-                    self.faults.to_dict() if self.faults else None
-                ),
-                "spec": self.digest,
-            },
+            extra=extra,
         )
 
 
@@ -274,9 +402,10 @@ def _mix_stream(models: tuple[tuple[str, float, float | None, int], ...],
 
 def simulate_scenario_cell(cell: ScenarioCell) -> ServingResult:
     """Worker body: one full multi-tenant serving simulation."""
+    fabric_faults, compute_events = platform_timelines(cell.faults)
     platform = build_platform(
         cell.platform, cell.config, cell.controller,
-        faults=hazard_timeline(cell.faults),
+        faults=fabric_faults,
     )
     env = Environment()
     sim = platform.build_simulation(env)
@@ -296,29 +425,54 @@ def simulate_scenario_cell(cell: ScenarioCell) -> ServingResult:
             name, sim.map_workload(extract_workload(MODELS.get(name)())),
             slo_s=tenant_slo, priority=tenant_priority,
         )
+    if compute_events:
+        start_compute_hazards(env, (scheduler.compute,), compute_events)
 
     arrivals = ARRIVALS.get(cell.arrival_kind)(
         cell.rate_rps, cell.seed, burstiness=cell.burstiness,
         dwell_s=cell.dwell_s, think_time_s=cell.think_time_s,
     )
-    scheduler.serve(arrivals, cell.duration_s,
-                    models=_mix_stream(cell.models, cell.seed))
+    mix = _mix_stream(cell.models, cell.seed)
+    driver = None
+    if cell.resilience is not None and cell.resilience:
+        driver = LifecycleDriver(scheduler, cell.resilience,
+                                 seed=cell.seed)
+        driver.serve(arrivals, cell.duration_s, models=mix)
+        # Client-visible accounting: logical requests, with retries and
+        # hedges folded into each one's latency.
+        records = driver.records
+        injected = driver.requests_injected
+        completed = driver.requests_completed
+        shed = driver.requests_gave_up
+        resilience_stats = driver.stats()
+    else:
+        scheduler.serve(arrivals, cell.duration_s, models=mix)
+        records = scheduler.records
+        injected = scheduler.requests_injected
+        completed = scheduler.requests_completed
+        shed = scheduler.requests_shed
+        resilience_stats = None
 
     elapsed = env.now
-    latency, queue_delay, mean_batch = aggregate(scheduler.records)
+    latency, queue_delay, mean_batch = aggregate(records)
     network = sim.fabric.energy_report()
     trace.record_channel_stats(sim.fabric)
     windows = ()
     hazard_events: tuple = ()
     time_degraded_s = 0.0
+    window = None
     if sim.hazards is not None:
         window = sim.hazards.fault_window(elapsed)
-        if window is not None:
-            windows = windowed_stats(
-                scheduler.records, window[0], window[1], elapsed
-            )
         hazard_events = tuple(sim.hazards.records)
         time_degraded_s = sim.hazards.time_degraded_s(elapsed)
+    if compute_events:
+        window = _merge_window(window, compute_events, elapsed)
+        hazard_events = hazard_events + compute_hazard_records(
+            compute_events, elapsed
+        )
+        time_degraded_s += _compute_degraded_s(compute_events, elapsed)
+    if window is not None:
+        windows = windowed_stats(records, window[0], window[1], elapsed)
     return ServingResult(
         platform=platform.name,
         model=cell.mix_label,
@@ -328,8 +482,8 @@ def simulate_scenario_cell(cell: ScenarioCell) -> ServingResult:
         offered_rps=cell.rate_rps,
         duration_s=cell.duration_s,
         elapsed_s=elapsed,
-        requests_injected=scheduler.requests_injected,
-        requests_completed=scheduler.requests_completed,
+        requests_injected=injected,
+        requests_completed=completed,
         latency=latency,
         queue_delay=queue_delay,
         mean_batch_size=mean_batch,
@@ -339,13 +493,12 @@ def simulate_scenario_cell(cell: ScenarioCell) -> ServingResult:
         network_energy_j=network.total_energy_j,
         compute_energy_j=platform.trace_compute_energy_j(trace, elapsed),
         channel_stats=trace.channel_stats,
-        requests_shed=scheduler.requests_shed,
-        per_model=per_model_stats(
-            scheduler.records, elapsed, scheduler.slos()
-        ),
+        requests_shed=shed,
+        per_model=per_model_stats(records, elapsed, scheduler.slos()),
         windows=windows,
         hazard_events=hazard_events,
         time_degraded_s=time_degraded_s,
+        resilience=resilience_stats,
     )
 
 

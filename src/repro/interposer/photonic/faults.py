@@ -185,9 +185,35 @@ class LaserDegradation:
         return max(1, min(lines, n_wavelengths)) / n_wavelengths
 
 
+@dataclass(frozen=True)
+class ChipletMacDegrade:
+    """The MAC arrays run at a fraction of nominal throughput.
+
+    A **compute-side** hazard: thermal crosstalk, analog drift or
+    post-calibration guard-banding leaves every chiplet's photonic MAC
+    array sustaining only ``mac_fraction`` of its nominal rate for
+    ``duration_s`` starting at ``at_s`` (``duration_s=None`` =
+    permanent).  The serving layer applies it through
+    :class:`~repro.core.engine.ComputeOccupancy` — compute time scales
+    by ``1/mac_fraction`` while the event is active — so it lives in
+    ``platform.faults`` next to the fabric kinds but never touches the
+    photonic channels.
+    """
+
+    at_s: float
+    mac_fraction: float
+    duration_s: float | None = None
+
+    kind: ClassVar[str] = "chiplet-mac-degrade"
+
+
 HazardEvent = Union[GatewayFail, GatewayRepair, RingDriftBurst,
                     LaserDegradation]
 """Any event a :class:`HazardTimeline` can carry."""
+
+COMPUTE_HAZARD_KINDS = ("chiplet-mac-degrade",)
+"""Hazard kinds that act on the compute path (serving layer) rather
+than the photonic fabric."""
 
 
 # ---------------------------------------------------------------------------
@@ -227,7 +253,9 @@ def _make_gateway_event(cls, kind: str, at_s: float,
                         temperature_rise_k: float = 0.0,
                         power_fraction: float = 1.0,
                         seed: int = 0,
-                        node: int | None = None):
+                        node: int | None = None,
+                        nodes=(),
+                        mac_fraction: float = 1.0):
     _reject_inert(
         kind,
         duration_s=duration_s is not None,
@@ -235,6 +263,8 @@ def _make_gateway_event(cls, kind: str, at_s: float,
         power_fraction=power_fraction != 1.0,
         seed=seed != 0,
         node=node is not None,
+        nodes=bool(nodes),
+        mac_fraction=mac_fraction != 1.0,
     )
     if memory_gateways < 0:
         raise ConfigurationError(
@@ -270,7 +300,9 @@ def make_ring_drift(at_s: float, duration_s: float | None = None,
                     temperature_rise_k: float = 0.0,
                     power_fraction: float = 1.0,
                     seed: int = 0,
-                    node: int | None = None) -> RingDriftBurst:
+                    node: int | None = None,
+                    nodes=(),
+                    mac_fraction: float = 1.0) -> RingDriftBurst:
     """``ring-drift`` factory."""
     _reject_inert(
         "ring-drift",
@@ -278,6 +310,8 @@ def make_ring_drift(at_s: float, duration_s: float | None = None,
         chiplet_gateways=bool(chiplet_gateways),
         power_fraction=power_fraction != 1.0,
         node=node is not None,
+        nodes=bool(nodes),
+        mac_fraction=mac_fraction != 1.0,
     )
     if duration_s is None or duration_s <= 0:
         raise ConfigurationError(
@@ -299,7 +333,9 @@ def make_laser_degradation(at_s: float, duration_s: float | None = None,
                            temperature_rise_k: float = 0.0,
                            power_fraction: float = 1.0,
                            seed: int = 0,
-                           node: int | None = None) -> LaserDegradation:
+                           node: int | None = None,
+                           nodes=(),
+                           mac_fraction: float = 1.0) -> LaserDegradation:
     """``laser-degradation`` factory."""
     _reject_inert(
         "laser-degradation",
@@ -308,6 +344,8 @@ def make_laser_degradation(at_s: float, duration_s: float | None = None,
         temperature_rise_k=temperature_rise_k != 0.0,
         seed=seed != 0,
         node=node is not None,
+        nodes=bool(nodes),
+        mac_fraction=mac_fraction != 1.0,
     )
     if duration_s is None or duration_s <= 0:
         raise ConfigurationError(
@@ -325,11 +363,46 @@ def make_laser_degradation(at_s: float, duration_s: float | None = None,
     )
 
 
+def make_mac_degrade(at_s: float, duration_s: float | None = None,
+                     memory_gateways: int = 0, chiplet_gateways=(),
+                     temperature_rise_k: float = 0.0,
+                     power_fraction: float = 1.0,
+                     seed: int = 0,
+                     node: int | None = None,
+                     nodes=(),
+                     mac_fraction: float = 1.0) -> ChipletMacDegrade:
+    """``chiplet-mac-degrade`` factory."""
+    _reject_inert(
+        "chiplet-mac-degrade",
+        memory_gateways=memory_gateways != 0,
+        chiplet_gateways=bool(chiplet_gateways),
+        temperature_rise_k=temperature_rise_k != 0.0,
+        power_fraction=power_fraction != 1.0,
+        seed=seed != 0,
+        node=node is not None,
+        nodes=bool(nodes),
+    )
+    if duration_s is not None and duration_s <= 0:
+        raise ConfigurationError(
+            f"chiplet-mac-degrade needs a positive duration_s (or none "
+            f"for a permanent degradation), got {duration_s}"
+        )
+    if not 0.0 < mac_fraction < 1.0:
+        raise ConfigurationError(
+            f"chiplet-mac-degrade needs mac_fraction in (0, 1) — 1.0 "
+            f"(the spec default) means no degradation; got {mac_fraction}"
+        )
+    return ChipletMacDegrade(
+        at_s=at_s, mac_fraction=mac_fraction, duration_s=duration_s
+    )
+
+
 HAZARD_FACTORIES: dict[str, Callable[..., HazardEvent]] = {
     "gateway-fail": make_gateway_fail,
     "gateway-repair": make_gateway_repair,
     "ring-drift": make_ring_drift,
     "laser-degradation": make_laser_degradation,
+    "chiplet-mac-degrade": make_mac_degrade,
 }
 """Hazard-event factories keyed by spec kind.  The ``HAZARDS`` registry
 (:mod:`repro.studies.registry`) shares this dict, so externally

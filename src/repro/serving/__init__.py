@@ -9,15 +9,19 @@ latency/goodput/utilization results — per tenant model when several
 share the fabric.
 """
 
+from .lifecycle import LifecycleDriver, ResiliencePolicy
 from .metrics import (
     ClusterResult,
+    IncidentRecord,
     LatencyProfile,
     ModelServingStats,
     NodeStats,
     RequestRecord,
+    ResilienceStats,
     ServingResult,
     WindowStats,
     aggregate,
+    mean_time_to_repair,
     per_model_stats,
     percentile,
     windowed_stats,
@@ -27,15 +31,20 @@ from .scheduler import BatchPolicy, RequestHandle, RequestScheduler
 __all__ = [
     "BatchPolicy",
     "ClusterResult",
+    "IncidentRecord",
     "LatencyProfile",
+    "LifecycleDriver",
     "ModelServingStats",
     "NodeStats",
     "RequestHandle",
     "RequestRecord",
     "RequestScheduler",
+    "ResiliencePolicy",
+    "ResilienceStats",
     "ServingResult",
     "WindowStats",
     "aggregate",
+    "mean_time_to_repair",
     "per_model_stats",
     "percentile",
     "windowed_stats",

@@ -1,0 +1,417 @@
+"""Fault-tolerant request lifecycle: timeouts, retries and hedging.
+
+The classic serving path submits a request once and waits forever; a
+request caught on a failing node is simply lost time.  This module
+wraps any submission target — a single-node
+:class:`~repro.serving.scheduler.RequestScheduler` or a fleet-level
+:class:`~repro.cluster.router.ClusterRouter` — in a **lifecycle
+process** per logical request:
+
+* **Timeout**: each *attempt* is bounded by ``timeout_s``; on expiry
+  the attempt is cancelled (if still queued — in-flight work cannot be
+  recalled) and the request moves to the retry path.
+* **Retry**: up to ``max_retries`` re-submissions with exponential
+  backoff ``retry_backoff_s * 2**(n-1)`` plus deterministic seeded
+  jitter, all under a fleet-wide **retry budget** (a fraction of
+  logical requests started) so a retry storm cannot amplify an outage.
+* **Hedge**: after ``hedge_delay_s`` with the primary attempt still
+  pending, a duplicate is submitted to a *different* node;
+  first-completion-wins and the loser is cancelled.
+
+Every attempt is backdated to the logical request's original arrival
+(``arrival_s``), so deadlines and user-visible latency keep running
+from first submission — retries never reset the SLO clock.  The driver
+synthesizes one logical :class:`~repro.serving.metrics.RequestRecord`
+per request (what the client experienced) and a
+:class:`~repro.serving.metrics.ResilienceStats` ledger of attempts,
+retries, hedge wins and wasted work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import ConfigurationError, SimulationError
+from ..sim.traffic import ClosedLoopClients
+from .metrics import RequestRecord, ResilienceStats
+from .scheduler import DEFAULT_DRAIN_LIMIT_S, RequestHandle
+
+_JITTER_STREAM = 613
+"""Seed-tuple tag for the retry-jitter RNG (decorrelates it from the
+arrival and traffic-mix streams)."""
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Runtime twin of the spec-level resilience knobs.
+
+    Lives in the serving layer (the spec layer stays simulator-free,
+    mirroring :class:`~repro.serving.scheduler.BatchPolicy` /
+    ``SchedulerSpec``) and is plain picklable data, so cells can carry
+    it through the process pool and fold it into cache keys.
+    """
+
+    timeout_s: float | None = None
+    max_retries: int = 0
+    retry_backoff_s: float = 50e-6
+    retry_jitter: float = 0.0
+    retry_budget: float | None = None
+    hedge_delay_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ConfigurationError(
+                f"request timeout must be positive, got {self.timeout_s}"
+            )
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max retries must be >= 0, got {self.max_retries}"
+            )
+        if self.retry_backoff_s < 0:
+            raise ConfigurationError(
+                f"retry backoff must be non-negative, got "
+                f"{self.retry_backoff_s}"
+            )
+        if not 0.0 <= self.retry_jitter <= 1.0:
+            raise ConfigurationError(
+                f"retry jitter must be in [0, 1], got {self.retry_jitter}"
+            )
+        if self.retry_budget is not None and self.retry_budget <= 0:
+            raise ConfigurationError(
+                f"retry budget must be positive, got {self.retry_budget}"
+            )
+        if self.hedge_delay_s is not None and self.hedge_delay_s <= 0:
+            raise ConfigurationError(
+                f"hedge delay must be positive, got {self.hedge_delay_s}"
+            )
+
+    def __bool__(self) -> bool:
+        """True when any lifecycle mechanism is armed."""
+        return (
+            self.timeout_s is not None
+            or self.max_retries > 0
+            or self.hedge_delay_s is not None
+        )
+
+    @property
+    def label(self) -> str:
+        """Compact human-readable knob summary (tables, dry runs)."""
+        parts = []
+        if self.timeout_s is not None:
+            parts.append(f"timeout={self.timeout_s * 1e6:.0f}us")
+        if self.max_retries > 0:
+            parts.append(f"retries={self.max_retries}")
+            if self.retry_budget is not None:
+                parts.append(f"budget={self.retry_budget:g}")
+        if self.hedge_delay_s is not None:
+            parts.append(f"hedge={self.hedge_delay_s * 1e6:.0f}us")
+        return "+".join(parts) if parts else "passthrough"
+
+
+class LifecycleDriver:
+    """Runs a serving window with every request wrapped in a lifecycle.
+
+    ``target`` is duck-typed: anything exposing ``submit(done=, model=,
+    arrival_s=, ...)`` and ``cancel(handle)`` in one
+    :class:`~repro.sim.core.Environment` works — the single-node
+    scheduler and the cluster router both do.  The driver owns the
+    injection processes and the drain barrier over *logical* requests
+    (a request is open until it completes, is given up on, or exhausts
+    its retries), replacing the target's own ``serve``.
+    """
+
+    def __init__(self, target, policy: ResiliencePolicy, seed: int = 0):
+        self.target = target
+        self.policy = policy
+        self.env = target.env
+        # The router routes across nodes (hedges need `exclude`); the
+        # single-node scheduler has no node concept.
+        self._is_router = hasattr(target, "routable_nodes")
+        self.records: list[RequestRecord] = []
+        self._rng = np.random.default_rng((seed, _JITTER_STREAM))
+        self._counts = {
+            "requests": 0, "attempts": 0, "retries": 0, "hedges": 0,
+            "hedge_wins": 0, "timeouts": 0, "cancelled": 0,
+            "gave_up": 0, "budget_denied": 0,
+        }
+        self._retry_causes: dict[str, int] = {}
+        self._next_logical_id = 0
+        self._requests_open = 0
+        self._injection_done = False
+        self._drained = self.env.event()
+        self._served = False
+
+    # -- accounting ---------------------------------------------------------------
+
+    @property
+    def requests_injected(self) -> int:
+        return self._counts["requests"]
+
+    @property
+    def requests_completed(self) -> int:
+        return self._counts["requests"] - self._counts["gave_up"]
+
+    @property
+    def requests_gave_up(self) -> int:
+        return self._counts["gave_up"]
+
+    def stats(self) -> ResilienceStats:
+        """The run's lifecycle ledger (stable field order)."""
+        return ResilienceStats(
+            retry_causes=tuple(sorted(self._retry_causes.items())),
+            **self._counts,
+        )
+
+    # -- the lifecycle ------------------------------------------------------------
+
+    def _submit(self, model: str | None, done, arrival_s: float,
+                exclude: tuple[int, ...]) -> RequestHandle:
+        if self._is_router:
+            return self.target.submit(
+                done=done, model=model, arrival_s=arrival_s,
+                exclude=exclude,
+            )
+        return self.target.submit(
+            done=done, model=model, arrival_s=arrival_s
+        )
+
+    def _budget_allows(self) -> bool:
+        budget = self.policy.retry_budget
+        if budget is None:
+            return True
+        spent = self._counts["retries"]
+        return spent + 1 <= budget * self._counts["requests"]
+
+    def _run_round(self, model: str | None, arrival_s: float):
+        """One attempt plus its optional hedge, raced against the
+        timeout; returns ``(winner, failure_cause, attempts)``."""
+        env, policy = self.env, self.policy
+        attempts: list[RequestHandle] = []
+
+        def submit(exclude: tuple[int, ...] = ()) -> RequestHandle:
+            done = env.event()
+            handle = self._submit(model, done, arrival_s, exclude)
+            attempts.append(handle)
+            self._counts["attempts"] += 1
+            return handle
+
+        submit()
+        timeout_ev = (
+            env.timeout(policy.timeout_s)
+            if policy.timeout_s is not None else None
+        )
+        hedge_ev = (
+            env.timeout(policy.hedge_delay_s)
+            if policy.hedge_delay_s is not None else None
+        )
+        # NB: a Timeout is `triggered` (scheduled) from creation in this
+        # kernel; `processed` is what means "has fired".  Completion
+        # events flip `triggered` only at succeed(), so it is the right
+        # check for attempts.
+        while True:
+            waits = [h.done for h in attempts if not h.done.triggered]
+            if hedge_ev is not None and not hedge_ev.processed:
+                waits.append(hedge_ev)
+            if timeout_ev is not None and not timeout_ev.processed:
+                waits.append(timeout_ev)
+            yield env.any_of(waits)
+            winner = next(
+                (h for h in attempts
+                 if h.done.triggered and not h.dropped),
+                None,
+            )
+            if winner is not None:
+                return winner, None, attempts
+            if timeout_ev is not None and timeout_ev.processed:
+                return None, "timeout", attempts
+            if all(h.done.triggered for h in attempts):
+                # Every attempt was shed; a late hedge cannot win a
+                # round that already failed.
+                return None, "shed", attempts
+            if hedge_ev is not None and hedge_ev.processed:
+                hedge_ev = None  # one hedge per round
+                exclude = tuple(
+                    h.node for h in attempts if h.node is not None
+                )
+                submit(exclude=exclude)
+                self._counts["hedges"] += 1
+
+    def _cleanup(self, attempts: list[RequestHandle],
+                 winner: RequestHandle | None) -> None:
+        """Cancel every losing attempt still waiting in a queue."""
+        for handle in attempts:
+            if handle is winner or handle.done.triggered:
+                continue
+            if self.target.cancel(handle):
+                self._counts["cancelled"] += 1
+
+    def _request_proc(self, model: str | None = None, client_done=None):
+        env, policy = self.env, self.policy
+        arrival_s = env.now
+        retries = 0
+        first_handle: RequestHandle | None = None
+        winner: RequestHandle | None = None
+        while True:
+            winner, cause, attempts = yield from self._run_round(
+                model, arrival_s
+            )
+            if first_handle is None:
+                first_handle = attempts[0]
+            self._cleanup(attempts, winner)
+            if winner is not None:
+                if winner is not attempts[0]:
+                    self._counts["hedge_wins"] += 1
+                break
+            if cause == "timeout":
+                self._counts["timeouts"] += 1
+            if retries >= policy.max_retries:
+                break
+            if not self._budget_allows():
+                self._counts["budget_denied"] += 1
+                break
+            retries += 1
+            self._counts["retries"] += 1
+            self._retry_causes[cause] = (
+                self._retry_causes.get(cause, 0) + 1
+            )
+            delay = policy.retry_backoff_s * (2.0 ** (retries - 1))
+            if policy.retry_jitter > 0.0:
+                delay += delay * policy.retry_jitter * float(
+                    self._rng.random()
+                )
+            if delay > 0.0:
+                yield env.timeout(delay)
+        now = env.now
+        logical_id = self._next_logical_id
+        self._next_logical_id += 1
+        if winner is not None:
+            closing = winner.record
+            record = RequestRecord(
+                request_id=logical_id,
+                model=winner.model,
+                arrival_s=arrival_s,
+                dispatch_s=(
+                    closing.dispatch_s if closing is not None else now
+                ),
+                finish_s=now,
+                batch_size=(
+                    closing.batch_size if closing is not None else 1
+                ),
+                deadline_s=first_handle.deadline_s,
+            )
+        else:
+            self._counts["gave_up"] += 1
+            record = RequestRecord(
+                request_id=logical_id,
+                model=first_handle.model,
+                arrival_s=arrival_s,
+                dispatch_s=now,
+                finish_s=now,
+                batch_size=0,
+                deadline_s=first_handle.deadline_s,
+                dropped=True,
+            )
+        self.records.append(record)
+        if client_done is not None:
+            client_done.succeed()
+        self._requests_open -= 1
+        self._check_drained()
+
+    def _spawn(self, model: str | None = None, client_done=None):
+        # Count synchronously at spawn so the drain barrier can never
+        # observe injection-done with an uncounted request in flight.
+        self._counts["requests"] += 1
+        self._requests_open += 1
+        return self.env.process(self._request_proc(model, client_done))
+
+    # -- injection and the drain barrier ------------------------------------------
+
+    def _check_drained(self) -> None:
+        if (
+            self._injection_done
+            and self._requests_open == 0
+            and not self._drained.triggered
+        ):
+            self._drained.succeed()
+
+    def _next_model(self, models: Iterator[str] | None) -> str | None:
+        return None if models is None else next(models)
+
+    def _open_loop_injector(self, arrivals, duration_s: float,
+                            models: Iterator[str] | None = None):
+        for gap in arrivals.gaps():
+            yield self.env.timeout(gap)
+            if self.env.now > duration_s:
+                return
+            self._spawn(model=self._next_model(models))
+
+    def _closed_loop_client(self, clients: ClosedLoopClients, index: int,
+                            duration_s: float,
+                            models: Iterator[str] | None = None):
+        for gap in clients.think_gaps(index):
+            yield self.env.timeout(gap)
+            if self.env.now > duration_s:
+                return
+            client_done = self.env.event()
+            self._spawn(model=self._next_model(models),
+                        client_done=client_done)
+            yield client_done
+
+    def _watch_injection(self, injectors):
+        yield self.env.all_of(injectors)
+        self._injection_done = True
+        self._check_drained()
+
+    def serve(self, arrivals, duration_s: float,
+              drain_limit_s: float = DEFAULT_DRAIN_LIMIT_S,
+              models: Iterator[str] | None = None) -> None:
+        """Run the full resilient serving window: inject, race, drain.
+
+        The same contract as
+        :meth:`~repro.serving.scheduler.RequestScheduler.serve`, with
+        the drain barrier lifted to logical requests: the run ends when
+        every injected request completed or was given up on — however
+        many attempts that took.
+        """
+        if duration_s <= 0:
+            raise ConfigurationError(
+                f"serving duration must be positive, got {duration_s}"
+            )
+        if self._served:
+            raise SimulationError(
+                "LifecycleDriver.serve() is single-shot; build a new "
+                "driver for another serving window"
+            )
+        self._served = True
+        if isinstance(arrivals, ClosedLoopClients):
+            injectors = [
+                self.env.process(
+                    self._closed_loop_client(arrivals, index, duration_s,
+                                             models)
+                )
+                for index in range(arrivals.n_clients)
+            ]
+        elif hasattr(arrivals, "gaps"):
+            injectors = [
+                self.env.process(
+                    self._open_loop_injector(arrivals, duration_s, models)
+                )
+            ]
+        else:
+            raise ConfigurationError(
+                f"unsupported arrival process {arrivals!r}"
+            )
+        self.env.process(self._watch_injection(injectors))
+        try:
+            self.env.run_until_event(
+                self._drained, limit=duration_s + drain_limit_s
+            )
+        except SimulationError as error:
+            raise SimulationError(
+                f"resilient serving run did not drain: "
+                f"{self.requests_completed}/{self.requests_injected} "
+                f"logical requests closed within "
+                f"{duration_s + drain_limit_s} s — {error}"
+            ) from error

@@ -244,6 +244,104 @@ def windowed_stats(
     return tuple(windows)
 
 
+# ---------------------------------------------------------------------------
+# Resilience accounting: the request lifecycle and fleet availability.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ResilienceStats:
+    """Request-lifecycle accounting of one resilient serving run.
+
+    Plain picklable data stamped by
+    :class:`~repro.serving.lifecycle.LifecycleDriver`: ``requests``
+    counts *logical* requests (what the client sees), ``attempts``
+    every physical submission including retries and hedges.
+    ``cancelled`` counts attempts withdrawn from a queue before
+    dispatch, ``timeouts`` attempt timeouts observed, ``gave_up``
+    logical requests abandoned after exhausting retries (or the retry
+    budget — ``budget_denied`` counts denials).  ``retry_causes``
+    tallies retries by trigger (``timeout`` / ``shed``), sorted by
+    cause name for determinism.
+    """
+
+    requests: int = 0
+    attempts: int = 0
+    retries: int = 0
+    hedges: int = 0
+    hedge_wins: int = 0
+    timeouts: int = 0
+    cancelled: int = 0
+    gave_up: int = 0
+    budget_denied: int = 0
+    retry_causes: tuple[tuple[str, int], ...] = ()
+
+    @property
+    def retry_amplification(self) -> float:
+        """Physical attempts per logical request (1.0 = no extra work)."""
+        if self.requests == 0:
+            return 1.0
+        return self.attempts / self.requests
+
+    @property
+    def hedge_win_rate(self) -> float:
+        """Fraction of hedged attempts that beat their primary."""
+        if self.hedges == 0:
+            return 0.0
+        return self.hedge_wins / self.hedges
+
+    @property
+    def wasted_attempts(self) -> int:
+        """Attempts that produced no user-visible response: cancelled,
+        timed out in flight, or lost a hedge race."""
+        return self.attempts - (self.requests - self.gave_up)
+
+
+@dataclass(frozen=True)
+class IncidentRecord:
+    """One node outage: from failure through detection to restoration.
+
+    ``start_s`` is when the node actually failed, ``detected_s`` when
+    the router ejected it from the routable view (equal to ``start_s``
+    under omniscient failure detection; later under probe-based
+    detection), and ``end_s`` when it returned to rotation (``None`` =
+    unresolved at window end).
+    """
+
+    node: int
+    start_s: float
+    detected_s: float | None = None
+    end_s: float | None = None
+
+    @property
+    def resolved(self) -> bool:
+        return self.end_s is not None
+
+    @property
+    def repair_s(self) -> float | None:
+        """Time to restore (MTTR numerator); None while unresolved."""
+        if self.end_s is None:
+            return None
+        return self.end_s - self.start_s
+
+    @property
+    def detection_lag_s(self) -> float | None:
+        """Failure-to-ejection lag (0 under omniscient detection)."""
+        if self.detected_s is None:
+            return None
+        return self.detected_s - self.start_s
+
+
+def mean_time_to_repair(incidents: tuple[IncidentRecord, ...]) -> float:
+    """Mean repair time over the resolved incidents (0.0 when none)."""
+    repairs = [
+        incident.repair_s for incident in incidents if incident.resolved
+    ]
+    if not repairs:
+        return 0.0
+    return sum(repairs) / len(repairs)
+
+
 @dataclass(frozen=True)
 class ServingResult:
     """Complete outcome of one request-serving simulation.
@@ -277,6 +375,29 @@ class ServingResult:
     windows: tuple[WindowStats, ...] = ()
     hazard_events: tuple = ()
     time_degraded_s: float = 0.0
+    resilience: ResilienceStats | None = None
+    availability: float = 1.0
+    mttr_s: float = 0.0
+    incidents: tuple = ()
+
+    @property
+    def retry_amplification(self) -> float:
+        """Attempts per logical request (1.0 on the classic path)."""
+        if self.resilience is None:
+            return 1.0
+        return self.resilience.retry_amplification
+
+    @property
+    def hedge_win_rate(self) -> float:
+        if self.resilience is None:
+            return 0.0
+        return self.resilience.hedge_win_rate
+
+    @property
+    def wasted_attempts(self) -> int:
+        if self.resilience is None:
+            return 0
+        return self.resilience.wasted_attempts
 
     @property
     def goodput_rps(self) -> float:
@@ -418,6 +539,30 @@ class ClusterResult:
     node_events: tuple = ()
     network_energy_j: float = 0.0
     compute_energy_j: float = 0.0
+    windows: tuple[WindowStats, ...] = ()
+    resilience: ResilienceStats | None = None
+    availability: float = 1.0
+    mttr_s: float = 0.0
+    incidents: tuple[IncidentRecord, ...] = ()
+
+    @property
+    def retry_amplification(self) -> float:
+        """Attempts per logical request (1.0 on the classic path)."""
+        if self.resilience is None:
+            return 1.0
+        return self.resilience.retry_amplification
+
+    @property
+    def hedge_win_rate(self) -> float:
+        if self.resilience is None:
+            return 0.0
+        return self.resilience.hedge_win_rate
+
+    @property
+    def wasted_attempts(self) -> int:
+        if self.resilience is None:
+            return 0
+        return self.resilience.wasted_attempts
 
     @property
     def goodput_rps(self) -> float:

@@ -141,7 +141,11 @@ class RequestHandle:
     Returned by :meth:`RequestScheduler.submit`: carries the submit
     time, the model the request targets, the deadline assigned from the
     model's SLO (``None`` when the model has none) and the optional
-    completion event the submitter may wait on.
+    completion event the submitter may wait on.  ``node`` is the
+    cluster node index the router placed the request on (``None`` on a
+    single-node scheduler); ``dropped`` flips when the scheduler sheds
+    the request, so a waiter on ``done`` can tell shed from served;
+    ``record`` is the closing :class:`RequestRecord` once one exists.
     """
 
     request_id: int
@@ -149,11 +153,27 @@ class RequestHandle:
     submit_s: float
     deadline_s: float | None = None
     done: Event | None = field(default=None)
+    node: int | None = None
+    dropped: bool = False
+    record: RequestRecord | None = None
 
     @property
     def arrival_s(self) -> float:
         """Alias: submission is arrival, in scheduler terms."""
         return self.submit_s
+
+    def remaining_s(self, now: float) -> float:
+        """Time left until the deadline, clamped at zero.
+
+        Backdated arrivals (a request rerouted after a node failure
+        keeps its original ``arrival_s``) can place the deadline in the
+        past, so the raw difference may be negative — and a negative
+        value handed to a timer would crash the kernel's backwards-time
+        guard.  ``inf`` when the request has no deadline.
+        """
+        if self.deadline_s is None:
+            return float("inf")
+        return max(0.0, self.deadline_s - now)
 
 
 @dataclass(frozen=True)
@@ -211,12 +231,15 @@ class RequestScheduler:
         self.requests_completed = 0
         self.requests_shed = 0
         self.requests_evicted = 0
+        self.requests_cancelled = 0
         self.batches_dispatched = 0
         self.on_request_closed: Callable[[RequestHandle], None] | None = None
         self._injection_done = False
         self._drained = sim.env.event()
         self._next_id = 0
         self._served = False
+        self._paused = False
+        self._resume_signal: Event | None = None
         self.env.process(self._dispatch_loop())
 
     # -- served models ------------------------------------------------------------
@@ -296,6 +319,51 @@ class RequestScheduler:
             signal.succeed()
         return request
 
+    def cancel(self, handle: RequestHandle) -> bool:
+        """Withdraw one still-queued request (lifecycle cancellation).
+
+        Matches by handle identity *or* by shared completion event —
+        after a failed node's queue is rerouted the caller's handle is
+        stale, but the re-submitted copy carries the same ``done``
+        event.  Returns ``False`` when the request already dispatched
+        (in-flight work cannot be recalled) or was shed; the injected
+        counter is rolled back exactly like :meth:`evict_queued` so the
+        drain invariant keeps holding.
+        """
+        for index, request in enumerate(self._queue):
+            if request is handle or (
+                handle.done is not None and request.done is handle.done
+            ):
+                del self._queue[index]
+                self.requests_injected -= 1
+                self.requests_cancelled += 1
+                self._check_drained()
+                return True
+        return False
+
+    def pause(self) -> None:
+        """Stop dispatching (a failed node under health-checked routing).
+
+        Queued requests stay queued and in-flight batches finish;
+        nothing new dispatches until :meth:`resume`.  The omniscient
+        legacy path never pauses, so its behavior is untouched.
+        """
+        self._paused = True
+
+    def resume(self) -> None:
+        """Resume dispatching after a :meth:`pause` (node repair)."""
+        if not self._paused:
+            return
+        self._paused = False
+        signal = self._resume_signal
+        if signal is not None and not signal.triggered:
+            signal.succeed()
+
+    def _wait_resume(self) -> Event:
+        event = self.env.event()
+        self._resume_signal = event
+        return event
+
     def evict_queued(self) -> list[RequestHandle]:
         """Withdraw every request still waiting for dispatch.
 
@@ -372,11 +440,20 @@ class RequestScheduler:
     def _dispatch_loop(self):
         policy = self.policy
         while True:
+            while self._paused:
+                yield self._wait_resume()
             while not self._queue:
                 yield self._wait_arrival()
+                if self._paused:
+                    break
+            if self._paused or not self._queue:
+                continue
             # Back-pressure: only open a batch once an execution slot is
             # free, so under load batches fill instead of fragmenting.
             yield self._admission.request()
+            if self._paused:
+                self._admission.release()
+                continue
             head = self._next_dispatch()
             if head is None:
                 # Everything queued was shed; give the slot back.
@@ -418,6 +495,8 @@ class RequestScheduler:
         )
         self.records.append(record)
         self.trace.request_records.append(record)
+        request.dropped = True
+        request.record = record
         if request.done is not None:
             request.done.succeed()
         self.requests_shed += 1
@@ -455,6 +534,7 @@ class RequestScheduler:
             )
             self.records.append(record)
             self.trace.request_records.append(record)
+            request.record = record
             if request.done is not None:
                 request.done.succeed()
             if self.on_request_closed is not None:

@@ -44,6 +44,7 @@ from .spec import (
     ModelTraffic,
     NodeOverrideSpec,
     PlatformSpec,
+    ResilienceSpec,
     SchedulerSpec,
     StudySpec,
     SweepAxis,
@@ -112,6 +113,7 @@ __all__ = [
     "PLATFORMS",
     "PlatformSpec",
     "ROUTERS",
+    "ResilienceSpec",
     "Registry",
     "SPEC_SCHEMA_VERSION",
     "SchedulerSpec",

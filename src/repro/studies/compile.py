@@ -28,6 +28,7 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 
 from ..cluster.hazards import node_hazard_timeline, validate_node_timeline
+from ..cluster.router import HealthPolicy
 from ..cluster.study import (
     ClusterCell,
     render_cluster_study,
@@ -42,11 +43,13 @@ from ..experiments.serving_study import (
     ScenarioCell,
     ServingCell,
     hazard_timeline,
+    platform_timelines,
     render_fault_windows,
     render_serving_study,
     render_slo_summary,
     simulate_study_cells,
 )
+from ..serving.lifecycle import ResiliencePolicy
 from ..serving.metrics import ClusterResult, ServingResult
 from ..serving.scheduler import BatchPolicy
 from .registry import (
@@ -120,6 +123,39 @@ def build_policy(scheduler: SchedulerSpec) -> BatchPolicy:
     )
 
 
+def build_resilience(spec: StudySpec) -> ResiliencePolicy | None:
+    """The point's request-lifecycle policy; ``None`` when degenerate.
+
+    A spec with no timeout, no retries and no hedging lowers to the
+    classic submit-once path — the cell carries no policy, keeps its
+    pre-resilience cache key and simulates bit-identically.
+    """
+    section = spec.resilience
+    policy = ResiliencePolicy(
+        timeout_s=section.timeout_s,
+        max_retries=section.max_retries,
+        retry_backoff_s=section.retry_backoff_s,
+        retry_jitter=section.retry_jitter,
+        retry_budget=section.retry_budget,
+        hedge_delay_s=section.hedge_delay_s,
+    )
+    return policy if policy else None
+
+
+def build_health(spec: StudySpec) -> HealthPolicy | None:
+    """The point's router signal path; ``None`` means omniscient —
+    zero staleness and no probes lower to the legacy instant-view
+    router (unchanged cache key, bit-identical results)."""
+    section = spec.resilience
+    if not section.health_checked:
+        return None
+    return HealthPolicy(
+        signal_staleness_s=section.signal_staleness_s,
+        probe_interval_s=section.probe_interval_s,
+        probe_misses=section.probe_misses,
+    )
+
+
 def resolve_config(spec: StudySpec,
                    base_config: PlatformConfig | None = None
                    ) -> PlatformConfig:
@@ -147,7 +183,11 @@ def _validate_names(spec: StudySpec) -> None:
                 f"(the hazard engine mutates its photonic fabric), got "
                 f"platform {spec.platform.name!r}"
             )
-        hazard_timeline(spec.platform.faults)
+        if spec.kind == "serving":
+            platform_timelines(spec.platform.faults)
+        else:
+            # No serving layer: compute-side kinds rejected too.
+            hazard_timeline(spec.platform.faults)
     if spec.kind == "serving":
         ARRIVALS.get(spec.workload.arrival)
         build_policy(spec.scheduler)
@@ -165,7 +205,13 @@ def _validate_cluster(spec: StudySpec) -> None:
         if override.controller is not None:
             CONTROLLERS.get(override.controller)
     events = node_hazard_timeline(cluster.faults)
-    validate_node_timeline(events, cluster.replicas)
+    # Probe-based health checking routes on a stale view instead of
+    # raising, so (only then) a correlated outage may take down the
+    # whole fleet.
+    validate_node_timeline(
+        events, cluster.replicas,
+        allow_total_outage=spec.resilience.probe_interval_s is not None,
+    )
 
 
 def expand_points(spec: StudySpec) -> list[StudySpec]:
@@ -205,6 +251,17 @@ def _workload_defaults() -> dict[str, float]:
     }
 
 
+def is_degenerate_resilience(point: StudySpec) -> bool:
+    """Whether the point's resilience section is the no-op identity.
+
+    The default section (no timeouts, no retries, no hedging,
+    omniscient signals) adds nothing to the simulation; the compiler
+    then lowers onto the pre-resilience cell shapes so cache keys and
+    results match the legacy paths exactly.
+    """
+    return not point.resilience
+
+
 def is_classic_serving(point: StudySpec) -> bool:
     """Whether a classic :class:`ServingCell` expresses this point.
 
@@ -226,6 +283,7 @@ def is_classic_serving(point: StudySpec) -> bool:
         and workload.burstiness == defaults["burstiness"]
         and workload.dwell_s == defaults["dwell_s"]
         and workload.think_time_s == defaults["think_time_s"]
+        and is_degenerate_resilience(point)
     )
 
 
@@ -285,6 +343,8 @@ def lower_cluster_point(point: StudySpec,
         think_time_s=workload.think_time_s,
         residency_capacity_bits=point.residency_capacity_bits,
         digest=point.digest,
+        resilience=build_resilience(point),
+        health=build_health(point),
     )
 
 
@@ -333,6 +393,7 @@ def lower_serving_point(point: StudySpec,
             point.platform.faults if point.platform.faults.events else None
         ),
         digest=point.digest,
+        resilience=build_resilience(point),
     )
 
 
@@ -525,6 +586,15 @@ def render_dry_run(spec: StudySpec,
             f"point {index}: {_swept_values(point, spec)} "
             f"[digest {point.digest[:12]}]"
         )
+        resilience = build_resilience(point)
+        health = build_health(point)
+        if resilience is not None or health is not None:
+            parts = []
+            if resilience is not None:
+                parts.append(f"lifecycle {resilience.label}")
+            if health is not None:
+                parts.append(f"signals {health.label}")
+            lines.append(f"  resilience: {', '.join(parts)}")
         for cell in group:
             label = type(cell).__name__
             model = (

@@ -25,7 +25,7 @@ from typing import Any, Mapping
 
 from ..errors import SpecError
 
-SPEC_SCHEMA_VERSION = 3
+SPEC_SCHEMA_VERSION = 4
 """Bump when the spec schema changes meaning: digests (and therefore
 every scenario cache key) move with it.
 
@@ -37,7 +37,13 @@ spec.
 Version 3: :class:`StudySpec` grew a ``cluster`` section
 (:class:`ClusterSpec`: replicas, router, per-node overrides, node-level
 hazards) and :class:`FaultEventSpec` a ``node`` field, so every digest
-moved again."""
+moved again.
+
+Version 4: :class:`StudySpec` grew a ``resilience`` section
+(:class:`ResilienceSpec`: per-request timeouts, retries with backoff
+and a retry budget, hedged requests, health-checked routing signals)
+and :class:`FaultEventSpec` grew ``nodes`` (correlated multi-node
+outage groups) and ``mac_fraction`` (compute-side MAC degradation)."""
 
 STUDY_KINDS = ("inference", "serving")
 """Study kinds the compiler can lower."""
@@ -216,7 +222,10 @@ class FaultEventSpec:
     that do not apply, so an inert field never silently moves a digest.
     ``chiplet_gateways`` lists ``[chiplet_id, write, read]`` failure
     (or repair) counts; ``node`` is the cluster node index the
-    node-level kinds address.
+    node-level kinds address, and ``nodes`` the node group the
+    correlated kinds (``rack-fail`` / ``rack-repair``) take down or
+    restore together.  ``mac_fraction`` is the remaining MAC throughput
+    of a ``chiplet-mac-degrade`` event.
     """
 
     kind: str
@@ -228,6 +237,8 @@ class FaultEventSpec:
     power_fraction: float = 1.0
     seed: int = 0
     node: int | None = None
+    nodes: tuple[int, ...] = ()
+    mac_fraction: float = 1.0
 
     def __post_init__(self) -> None:
         if not self.kind:
@@ -239,6 +250,25 @@ class FaultEventSpec:
         if self.node is not None and self.node < 0:
             raise SpecError(
                 f"fault event node index must be >= 0, got {self.node}"
+            )
+        if any(index < 0 for index in self.nodes):
+            raise SpecError(
+                f"fault event node indices must be >= 0, got "
+                f"{list(self.nodes)}"
+            )
+        if len(set(self.nodes)) != len(self.nodes):
+            raise SpecError(
+                f"duplicate indices in fault event 'nodes': "
+                f"{list(self.nodes)}"
+            )
+        if self.node is not None and self.nodes:
+            raise SpecError(
+                "a fault event takes either 'node' (single-node kinds) "
+                "or 'nodes' (correlated rack kinds), not both"
+            )
+        if not 0.0 < self.mac_fraction <= 1.0:
+            raise SpecError(
+                f"MAC fraction must be in (0, 1], got {self.mac_fraction}"
             )
         if self.duration_s is not None and self.duration_s <= 0:
             raise SpecError(
@@ -282,6 +312,10 @@ class FaultEventSpec:
             tuple(entry) if isinstance(entry, (list, tuple)) else (entry,)
             for entry in entries
         )
+        nodes = kwargs.get("nodes", ())
+        if not isinstance(nodes, (list, tuple)):
+            raise SpecError("fault event 'nodes' must be a list")
+        kwargs["nodes"] = tuple(nodes)
         return _build(cls, kwargs, "fault event")
 
 
@@ -520,17 +554,20 @@ class ClusterSpec:
                     f"cluster has {self.replicas} replica(s)"
                 )
         for event in self.faults.events:
-            if event.node is None:
+            if event.node is None and not event.nodes:
                 raise SpecError(
                     f"cluster fault event {event.kind!r} at "
-                    f"t={event.at_s}s needs a 'node' index"
+                    f"t={event.at_s}s needs a 'node' index (or a "
+                    f"'nodes' group for the correlated rack kinds)"
                 )
-            if event.node >= self.replicas:
-                raise SpecError(
-                    f"cluster fault event {event.kind!r} names node "
-                    f"{event.node} but the cluster has {self.replicas} "
-                    f"replica(s)"
-                )
+            targets = (event.node,) if event.node is not None else event.nodes
+            for index in targets:
+                if index >= self.replicas:
+                    raise SpecError(
+                        f"cluster fault event {event.kind!r} names node "
+                        f"{index} but the cluster has {self.replicas} "
+                        f"replica(s)"
+                    )
 
     def to_dict(self) -> dict[str, Any]:
         return _scalars_to_dict(self)
@@ -552,6 +589,136 @@ class ClusterSpec:
         if "faults" in kwargs:
             kwargs["faults"] = FaultSpec.from_dict(kwargs["faults"])
         return _build(cls, kwargs, "cluster spec")
+
+
+# ---------------------------------------------------------------------------
+# Resilience: the request lifecycle and the router's signal path.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ResilienceSpec:
+    """How requests survive faults, and what the router actually sees.
+
+    The default instance is the **degenerate** resilience spec: no
+    timeouts, no retries, no hedging, and an omniscient zero-staleness
+    router — the study lowers onto the exact pre-resilience cells (and
+    cache keys).  Any non-default knob routes the study through the
+    request-lifecycle layer (:mod:`repro.serving.lifecycle`).
+
+    ``timeout_s`` bounds each *attempt*; a timed-out attempt is
+    cancelled (if still queued) and retried up to ``max_retries`` times
+    with exponential backoff ``retry_backoff_s * 2**(n-1)`` plus a
+    deterministic seeded jitter of up to ``retry_jitter`` of the
+    backoff.  ``retry_budget`` caps total retries fleet-wide as a
+    fraction of logical requests started (a classic retry budget, so
+    retry storms cannot amplify an outage).  ``hedge_delay_s`` arms a
+    hedge timer per request: when the primary attempt is still pending
+    after the delay, a duplicate is sent to a *different* node and the
+    first completion wins (the loser is cancelled).
+
+    ``signal_staleness_s`` makes the router's queue-depth signals
+    sampled instead of instantaneous, and ``probe_interval_s`` /
+    ``probe_misses`` switch failure detection from omniscient to
+    probe-based: ``probe_misses`` consecutive missed probes eject a
+    node from the routable view, and the first successful probe after
+    repair reinstates it.
+    """
+
+    timeout_s: float | None = None
+    max_retries: int = 0
+    retry_backoff_s: float = 50e-6
+    retry_jitter: float = 0.0
+    retry_budget: float | None = None
+    hedge_delay_s: float | None = None
+    signal_staleness_s: float = 0.0
+    probe_interval_s: float | None = None
+    probe_misses: int = 3
+
+    def __post_init__(self) -> None:
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise SpecError(
+                f"request timeout must be positive, got {self.timeout_s}"
+            )
+        if self.max_retries < 0:
+            raise SpecError(
+                f"max retries must be >= 0, got {self.max_retries}"
+            )
+        if self.retry_backoff_s < 0:
+            raise SpecError(
+                f"retry backoff must be non-negative, got "
+                f"{self.retry_backoff_s}"
+            )
+        if not 0.0 <= self.retry_jitter <= 1.0:
+            raise SpecError(
+                f"retry jitter must be in [0, 1] (a fraction of the "
+                f"backoff), got {self.retry_jitter}"
+            )
+        if self.retry_budget is not None and self.retry_budget <= 0:
+            raise SpecError(
+                f"retry budget must be positive (a fraction of logical "
+                f"requests), got {self.retry_budget}; omit it for "
+                f"unlimited retries"
+            )
+        if self.hedge_delay_s is not None and self.hedge_delay_s <= 0:
+            raise SpecError(
+                f"hedge delay must be positive, got {self.hedge_delay_s}"
+            )
+        if self.signal_staleness_s < 0:
+            raise SpecError(
+                f"signal staleness must be non-negative, got "
+                f"{self.signal_staleness_s}"
+            )
+        if self.probe_interval_s is not None and self.probe_interval_s <= 0:
+            raise SpecError(
+                f"probe interval must be positive, got "
+                f"{self.probe_interval_s}"
+            )
+        if self.probe_misses < 1:
+            raise SpecError(
+                f"probe miss threshold must be >= 1, got "
+                f"{self.probe_misses}"
+            )
+        # Inert-knob rejection: a knob that cannot act would still move
+        # the digest (and the cache key), so refuse it outright.
+        defaults = type(self).__dataclass_fields__
+        if self.max_retries == 0:
+            if self.retry_backoff_s != defaults["retry_backoff_s"].default:
+                raise SpecError(
+                    "retry_backoff_s applies only with max_retries >= 1"
+                )
+            if self.retry_jitter != 0.0:
+                raise SpecError(
+                    "retry_jitter applies only with max_retries >= 1"
+                )
+            if self.retry_budget is not None:
+                raise SpecError(
+                    "retry_budget applies only with max_retries >= 1"
+                )
+        if (
+            self.probe_interval_s is None
+            and self.probe_misses != defaults["probe_misses"].default
+        ):
+            raise SpecError(
+                "probe_misses applies only with probe_interval_s set"
+            )
+
+    def __bool__(self) -> bool:
+        """True when any knob departs from the degenerate default."""
+        return self != type(self)()
+
+    @property
+    def health_checked(self) -> bool:
+        """Whether the router's view is modeled (stale and/or probed)."""
+        return self.signal_staleness_s > 0 or self.probe_interval_s is not None
+
+    def to_dict(self) -> dict[str, Any]:
+        return _scalars_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ResilienceSpec":
+        _check_fields(cls, data, "resilience spec")
+        return _build(cls, dict(data), "resilience spec")
 
 
 # ---------------------------------------------------------------------------
@@ -639,7 +806,10 @@ class StudySpec:
     ``residency_capacity_bits`` bounds the (per-node) weight store of
     serving runs (LRU eviction between tenants).  ``cluster`` scales a
     serving study out to a routed fleet of platform replicas
-    (``None`` = the classic single-node path).
+    (``None`` = the classic single-node path).  ``resilience`` adds the
+    request lifecycle (timeouts / retries / hedging) and the modeled
+    router signal path; its default instance is degenerate and lowers
+    to the classic cells.
     """
 
     name: str
@@ -650,6 +820,7 @@ class StudySpec:
     sweep: SweepSpec = SweepSpec()
     residency_capacity_bits: float | None = None
     cluster: ClusterSpec | None = None
+    resilience: ResilienceSpec = ResilienceSpec()
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -676,6 +847,23 @@ class StudySpec:
                 raise SpecError(
                     "the cluster section applies only to serving studies"
                 )
+            if self.resilience:
+                raise SpecError(
+                    "the resilience section applies only to serving studies"
+                )
+        replicas = 0 if self.cluster is None else self.cluster.replicas
+        if self.resilience.hedge_delay_s is not None and replicas < 2:
+            raise SpecError(
+                "resilience.hedge_delay_s duplicates a request to a "
+                "second node; it needs a cluster section with "
+                "replicas >= 2"
+            )
+        if self.resilience.health_checked and replicas < 2:
+            raise SpecError(
+                "resilience signal staleness / probing models the "
+                "router's view of the fleet; it needs a cluster "
+                "section with replicas >= 2"
+            )
         if (
             self.residency_capacity_bits is not None
             and self.residency_capacity_bits <= 0
@@ -742,6 +930,10 @@ class StudySpec:
             kwargs["sweep"] = SweepSpec.from_dict(kwargs["sweep"])
         if kwargs.get("cluster") is not None:
             kwargs["cluster"] = ClusterSpec.from_dict(kwargs["cluster"])
+        if "resilience" in kwargs:
+            kwargs["resilience"] = ResilienceSpec.from_dict(
+                kwargs["resilience"]
+            )
         return _build(cls, kwargs, "study spec")
 
     def to_json(self, indent: int = 2) -> str:
@@ -757,21 +949,24 @@ class StudySpec:
 
     # -- overrides and expansion ---------------------------------------------------
 
-    _SECTIONS = {"workload", "platform", "scheduler", "cluster"}
+    _SECTIONS = {"workload", "platform", "scheduler", "cluster",
+                 "resilience"}
 
     def with_override(self, path: str, value: Any) -> "StudySpec":
         """A copy with one scalar field replaced (sweep-axis setter).
 
         ``path`` is ``"section.field"`` for the workload / platform /
-        scheduler / cluster sections or a bare top-level scalar such as
-        ``"residency_capacity_bits"``.  Validation re-runs on the copy.
+        scheduler / cluster / resilience sections or a bare top-level
+        scalar such as ``"residency_capacity_bits"``.  Validation
+        re-runs on the copy.
         """
         section_name, dot, field_name = path.partition(".")
         if not dot:
             if section_name not in ("residency_capacity_bits",):
                 raise SpecError(
                     f"cannot sweep top-level field {path!r}; sweepable "
-                    "sections: workload, platform, scheduler, cluster"
+                    "sections: workload, platform, scheduler, cluster, "
+                    "resilience"
                 )
             return replace(self, **{section_name: value})
         if section_name not in self._SECTIONS:
