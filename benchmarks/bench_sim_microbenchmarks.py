@@ -10,12 +10,15 @@ speed are visible.  The benchmark bodies are shared with
 from repro.bench import (
     make_channel_contention,
     make_cluster_dispatch_throughput,
+    make_fidelity_des_reference,
+    make_fidelity_fluid_path,
     make_functional_mac_matvec,
     make_hazard_timeline_reads,
     make_kernel_event_throughput,
     make_photonic_fabric_reads,
     make_resilience_retry_hedge,
     make_serving_request_throughput,
+    make_warm_fork_sweep,
 )
 
 
@@ -64,4 +67,22 @@ def test_bench_cluster_dispatch_throughput(benchmark):
 def test_bench_resilience_retry_hedge(benchmark):
     """Timeout/retry/hedge lifecycle over a 2-node fleet."""
     completed = benchmark(make_resilience_retry_hedge())
+    assert completed > 0
+
+
+def test_bench_fidelity_des_reference(benchmark):
+    """Full-DES baseline of the hybrid-fidelity reference cell."""
+    completed = benchmark(make_fidelity_des_reference())
+    assert completed > 0
+
+
+def test_bench_fidelity_fluid_path(benchmark):
+    """Warm-forked fluid evaluation of the same reference cell."""
+    completed = benchmark(make_fidelity_fluid_path())
+    assert completed > 0
+
+
+def test_bench_warm_fork_sweep(benchmark):
+    """6 hazard variants forked from one cold calibration."""
+    completed = benchmark(make_warm_fork_sweep())
     assert completed > 0

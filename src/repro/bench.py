@@ -299,6 +299,108 @@ def make_resilience_retry_hedge() -> Callable[[], int]:
     return run
 
 
+def _fidelity_reference_cell(fidelity=None):
+    """The representative serving cell the fidelity benchmarks share."""
+    from .config import DEFAULT_PLATFORM
+    from .experiments.serving_study import ServingCell
+    from .serving.scheduler import BatchPolicy
+
+    return ServingCell(
+        platform="2.5D-CrossLight-SiPh", model="LeNet5",
+        controller="resipi", policy=BatchPolicy.fifo(),
+        arrival_kind="poisson", rate_rps=100e3, duration_s=2e-3,
+        seed=7, config=DEFAULT_PLATFORM, fidelity=fidelity,
+    )
+
+
+def make_fidelity_des_reference() -> Callable[[], int]:
+    """Full-DES baseline of the hybrid-fidelity reference cell.
+
+    The denominator of the fidelity speedup claim: one complete
+    discrete-event simulation of the same serving point the fluid
+    benchmarks predict (~200 requests of LeNet5 at 100k req/s).
+    """
+    from .experiments.serving_study import simulate_serving_cell
+
+    cell = _fidelity_reference_cell()
+
+    def run() -> int:
+        return simulate_serving_cell(cell).requests_completed
+
+    return run
+
+
+def make_fidelity_fluid_path() -> Callable[[], int]:
+    """Warm-forked fluid evaluation of the reference cell.
+
+    Setup runs the calibration once (memoising the warm-state
+    checkpoint); the timed body is the marginal cost of every further
+    cell in a sweep — vectorized arrival cohort, quantile service
+    draws, piecewise M/G/k waits.  Compare against
+    ``fidelity_des_reference`` for the headline speedup.
+    """
+    from .experiments.fidelity import FidelityPolicy, simulate_fidelity_cell
+
+    cell = _fidelity_reference_cell(
+        FidelityPolicy(mode="fluid", error_budget=0.25)
+    )
+    simulate_fidelity_cell(cell)  # warm the checkpoint store
+
+    def run() -> int:
+        return simulate_fidelity_cell(cell).requests_completed
+
+    return run
+
+
+def make_warm_fork_sweep() -> Callable[[], int]:
+    """A 6-variant hazard sweep forked from one cold calibration.
+
+    The timed body clears the warm store, calibrates once, then
+    evaluates six MAC-degrade scenario variants of the same serving
+    point through the fluid path — the amortised shape of a real
+    hybrid-fidelity study (one short DES warm-up per (platform,
+    workload), forks for every scenario).
+    """
+    from dataclasses import replace
+
+    from .config import DEFAULT_PLATFORM
+    from .experiments.fidelity import (
+        FidelityPolicy,
+        clear_warm_store,
+        simulate_fidelity_cell,
+    )
+    from .experiments.serving_study import ScenarioCell
+    from .serving.scheduler import BatchPolicy
+    from .studies.spec import FaultSpec
+
+    base = ScenarioCell(
+        platform="2.5D-CrossLight-SiPh",
+        models=(("LeNet5", 1.0, None, 0),),
+        controller="resipi", policy=BatchPolicy.fifo(),
+        arrival_kind="poisson", rate_rps=100e3, duration_s=2e-3,
+        seed=7, config=DEFAULT_PLATFORM,
+        fidelity=FidelityPolicy(mode="fluid", error_budget=0.25),
+    )
+    variants = [
+        replace(base, faults=FaultSpec.from_dict({"events": [{
+            "kind": "chiplet-mac-degrade",
+            "at_s": 0.2e-3 + 0.2e-3 * index,
+            "mac_fraction": 0.5,
+            "duration_s": 0.5e-3,
+        }]}))
+        for index in range(6)
+    ]
+
+    def run() -> int:
+        clear_warm_store()
+        return sum(
+            simulate_fidelity_cell(cell).requests_completed
+            for cell in variants
+        )
+
+    return run
+
+
 MICROBENCHMARKS: dict[str, Callable[[], Callable[[], object]]] = {
     KERNEL_BENCHMARK: make_kernel_event_throughput,
     "test_bench_channel_contention": make_channel_contention,
@@ -308,6 +410,9 @@ MICROBENCHMARKS: dict[str, Callable[[], Callable[[], object]]] = {
     "test_bench_hazard_timeline_reads": make_hazard_timeline_reads,
     "test_bench_cluster_dispatch_throughput": make_cluster_dispatch_throughput,
     "test_bench_resilience_retry_hedge": make_resilience_retry_hedge,
+    "test_bench_fidelity_des_reference": make_fidelity_des_reference,
+    "test_bench_fidelity_fluid_path": make_fidelity_fluid_path,
+    "test_bench_warm_fork_sweep": make_warm_fork_sweep,
 }
 """Benchmark name (matching the pytest test name) -> body factory."""
 

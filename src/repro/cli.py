@@ -265,13 +265,15 @@ def _cmd_study(args: argparse.Namespace) -> int:
     try:
         spec = load_spec(args.spec)
         if args.dry_run:
-            print(render_dry_run(spec))
+            print(render_dry_run(spec, cache_dir=args.cache_dir))
             return 0
         study = run_study(spec, jobs=args.jobs, cache_dir=args.cache_dir)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     print(render_study(study))
+    if study.cache_stats is not None and args.cache_dir:
+        print(f"\n{study.cache_stats.summary()}")
     flat = study.flat_results()
     if args.json:
         if spec.kind == "serving":

@@ -89,6 +89,7 @@ class ClusterCell:
     digest: str = ""
     resilience: ResiliencePolicy | None = None
     health: HealthPolicy | None = None
+    fidelity: "object | None" = None
 
     @property
     def mix_label(self) -> str:
@@ -108,8 +109,9 @@ class ClusterCell:
     def key(self) -> str:
         """Disk-cache key: every behavioral field plus the spec digest.
 
-        ``resilience`` and ``health`` enter the extras only when set,
-        so pre-resilience cells keep their cache keys byte for byte.
+        ``resilience``, ``health`` and ``fidelity`` enter the extras
+        only when set, so legacy cells keep their cache keys byte for
+        byte.
         """
         extra = {
                 "study": "cluster",
@@ -143,6 +145,8 @@ class ClusterCell:
             extra["resilience"] = asdict(self.resilience)
         if self.health is not None:
             extra["health"] = asdict(self.health)
+        if self.fidelity is not None:
+            extra["fidelity"] = asdict(self.fidelity)
         return cell_key(
             self.platform, self.mix_label, self.controller, self.config,
             extra=extra,
@@ -165,8 +169,12 @@ def _node_config(cell: ClusterCell,
     return config, controller
 
 
-def simulate_cluster_cell(cell: ClusterCell) -> ClusterResult:
+def simulate_cluster_cell(cell: ClusterCell,
+                          record_sink: list | None = None) -> ClusterResult:
     """Worker body: one full fleet-serving simulation.
+
+    ``record_sink``, when given, receives every per-request record so
+    hybrid-fidelity calibration can extract service-time quantiles.
 
     N replicas stand up in one shared environment (their controllers,
     hazard engines and schedulers all interleave on the same event
@@ -240,6 +248,8 @@ def simulate_cluster_cell(cell: ClusterCell) -> ClusterResult:
     all_records = [
         record for node in nodes for record in node.scheduler.records
     ]
+    if record_sink is not None:
+        record_sink.extend(all_records)
     if driver is not None:
         # Client-visible accounting: logical requests, with retries and
         # hedges folded into each one's latency.

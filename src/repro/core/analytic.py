@@ -10,11 +10,18 @@ controller lag).  Two uses:
   otherwise (``tests/test_analytic.py`` asserts both directions).
 * **Fast DSE** — sweeps that only need first-order trends run in
   microseconds instead of simulating.
+* **Fluid serving model** — the hybrid-fidelity engine
+  (:mod:`repro.experiments.fidelity`) feeds per-model service-time
+  estimates into the M/G/k machinery below to approximate whole
+  serving windows without per-request event processing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from ..config import PlatformConfig
 from ..dnn.workload import InferenceWorkload
@@ -72,19 +79,32 @@ def analytic_estimate(
     mapping: ModelMapping,
     config: PlatformConfig,
     workload: InferenceWorkload | None = None,
+    mac_fraction: float = 1.0,
 ) -> AnalyticEstimate:
     """Closed-form latency bounds for a mapped workload on the 2.5D
-    photonic platform at full (static) interposer capacity."""
+    photonic platform at full (static) interposer capacity.
+
+    ``mac_fraction`` is the remaining MAC throughput under a
+    ``chiplet-mac-degrade`` hazard — it divides the effective MAC rate
+    exactly as :class:`~repro.core.engine.ComputeOccupancy` stretches
+    the compute phase of every in-flight request, so analytic and DES
+    estimates stay comparable inside degraded windows.
+    """
+    if not 0.0 < mac_fraction <= 1.0:
+        raise ConfigurationError(
+            f"MAC fraction must be in (0, 1], got {mac_fraction}"
+        )
     read_bw = min(
         config.n_memory_write_gateways * config.gateway_bandwidth_bps,
         config.hbm_internal_bandwidth_bps,
     )
+    effective_mac_rate_hz = config.mac_rate_hz * mac_fraction
     layers = []
     for layer_mapping in mapping:
         layer = layer_mapping.layer
         compute_s = max(
             (
-                alloc.vector_ops / (alloc.n_macs * config.mac_rate_hz)
+                alloc.vector_ops / (alloc.n_macs * effective_mac_rate_hz)
                 for alloc in layer_mapping.allocations
             ),
             default=0.0,
@@ -140,3 +160,195 @@ def compute_bound_fraction(estimate: AnalyticEstimate) -> float:
                                   layer.output_drain_s)
     )
     return compute_bound / len(estimate.layers)
+
+
+# ---------------------------------------------------------------------------
+# Fluid serving model: M/G/k queueing over piecewise capacity windows.
+#
+# The hybrid-fidelity engine approximates a whole serving window as a
+# fluid queue: requests are batches flowing through ``servers``
+# concurrent dispatch slots at a calibrated mean (batched) service
+# time.  Stationary behaviour comes from the Allen–Cunneen M/G/k
+# approximation (Erlang-C delay probability scaled by the arrival and
+# service variability); capacity hazards and node outages become
+# piecewise windows whose backlog carries over, so saturation ramps
+# and post-fault drains appear in the latency profile even though no
+# per-request events fire.
+# ---------------------------------------------------------------------------
+
+
+def erlang_c(servers: int, offered_load: float) -> float:
+    """Erlang-C delay probability ``C(k, a)`` for an M/M/k queue.
+
+    Computed through the numerically stable Erlang-B recurrence
+    (``B(0)=1; B(j) = a·B(j-1) / (j + a·B(j-1))``), so large server
+    counts neither overflow nor lose precision.  Returns 1.0 at or
+    beyond saturation (``a >= k``), where every arrival waits.
+    """
+    if servers < 1:
+        raise ConfigurationError(
+            f"server count must be >= 1, got {servers}"
+        )
+    if offered_load < 0:
+        raise ConfigurationError(
+            f"offered load must be >= 0, got {offered_load}"
+        )
+    if offered_load == 0.0:
+        return 0.0
+    if offered_load >= servers:
+        return 1.0
+    blocking = 1.0
+    for j in range(1, servers + 1):
+        blocking = offered_load * blocking / (j + offered_load * blocking)
+    occupancy = offered_load / servers
+    return blocking / (1.0 - occupancy * (1.0 - blocking))
+
+
+def mgk_queue_delay(
+    rate_rps: float,
+    servers: int,
+    service_mean_s: float,
+    mean_batch: float = 1.0,
+    service_scv: float = 1.0,
+    arrival_scv: float = 1.0,
+) -> tuple[float, float]:
+    """Stationary ``(P(wait), mean wait)`` of the batched M/G/k queue.
+
+    Jobs are dispatch batches of ``mean_batch`` requests served in
+    ``service_mean_s`` by one of ``servers`` slots; the mean wait uses
+    the Allen–Cunneen approximation — the M/M/k wait scaled by
+    ``(ca² + cs²) / 2`` — which is exact for M/M/k and accurate to a
+    few percent for the coefficient-of-variation range the calibrated
+    service profiles produce.  Returns ``(1.0, inf)`` at saturation.
+    """
+    if service_mean_s <= 0 or rate_rps <= 0:
+        return 0.0, 0.0
+    offered = rate_rps * service_mean_s / mean_batch
+    if offered >= servers:
+        return 1.0, float("inf")
+    prob_wait = erlang_c(servers, offered)
+    wait_mmk = prob_wait * service_mean_s / (servers - offered)
+    scale = 0.5 * (arrival_scv + service_scv)
+    return prob_wait, wait_mmk * scale
+
+
+@dataclass(frozen=True)
+class FluidWindow:
+    """One constant-capacity span of the fluid serving model.
+
+    ``servers`` is the number of concurrent dispatch slots (admission
+    ``max_inflight``, times the active replica count for fleets),
+    ``service_mean_s`` the calibrated mean batched service time inside
+    this window (hazard-inflated when MACs are degraded), and
+    ``mean_batch`` the calibrated mean dispatch batch size.  The
+    variability knobs feed Allen–Cunneen: ``arrival_scv`` is 1 for
+    Poisson and the calibrated proxy for bursty MMPP arrivals;
+    ``service_scv`` is the squared coefficient of variation of the
+    calibration's per-batch service times.
+    """
+
+    start_s: float
+    end_s: float
+    servers: int
+    service_mean_s: float
+    mean_batch: float = 1.0
+    service_scv: float = 1.0
+    arrival_scv: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.end_s <= self.start_s:
+            raise ConfigurationError(
+                f"fluid window must have positive span, got "
+                f"[{self.start_s}, {self.end_s}]"
+            )
+        if self.servers < 1:
+            raise ConfigurationError(
+                f"fluid window needs >= 1 server, got {self.servers}"
+            )
+        if self.service_mean_s < 0:
+            raise ConfigurationError(
+                f"service time must be >= 0, got {self.service_mean_s}"
+            )
+        if self.mean_batch < 1.0:
+            raise ConfigurationError(
+                f"mean batch must be >= 1, got {self.mean_batch}"
+            )
+
+    @property
+    def capacity_rps(self) -> float:
+        """Request drain rate at full occupancy (requests/s)."""
+        if self.service_mean_s <= 0:
+            return float("inf")
+        return self.servers * self.mean_batch / self.service_mean_s
+
+
+def fluid_queue_delays(
+    arrival_s: np.ndarray,
+    windows: Sequence[FluidWindow],
+    uniforms: np.ndarray,
+) -> np.ndarray:
+    """Per-arrival queue delays of the piecewise fluid queue.
+
+    ``arrival_s`` are sorted arrival times, ``windows`` chronological
+    capacity spans covering them (the last window extends to the final
+    arrival), and ``uniforms`` one low-discrepancy value per arrival
+    that samples the stationary wait mixture deterministically — equal
+    inputs give bit-equal outputs, like every simulation path.
+
+    Within each window the wait is the sum of two terms: the
+    **transient** backlog ahead of the arrival draining at the window's
+    capacity (``backlog(τ)/μ``, with the backlog integrated across
+    window boundaries so an overload ramp keeps delaying requests after
+    the capacity recovers), and — while the window is stable — a
+    **stationary** M/G/k sample: zero with probability ``1 - P(wait)``,
+    else an exponential quantile of the conditional mean wait.
+    """
+    if len(arrival_s) != len(uniforms):
+        raise ConfigurationError(
+            "need exactly one uniform sample per arrival"
+        )
+    if not windows:
+        raise ConfigurationError("fluid model needs at least one window")
+    waits = np.zeros(len(arrival_s), dtype=float)
+    backlog = 0.0
+    starts = np.array([window.start_s for window in windows])
+    # searchsorted assigns each arrival to the window containing it;
+    # arrivals beyond the last window's end stay in the last window.
+    indices = np.searchsorted(starts, arrival_s, side="right") - 1
+    indices = np.clip(indices, 0, len(windows) - 1)
+    for w, window in enumerate(windows):
+        mask = indices == w
+        span_s = window.end_s - window.start_s
+        n_window = int(np.count_nonzero(mask))
+        rate_rps = n_window / span_s
+        capacity = window.capacity_rps
+        if n_window:
+            tau = arrival_s[mask] - window.start_s
+            backlog_at = np.maximum(
+                0.0, backlog + (rate_rps - capacity) * tau
+            )
+            transient = (
+                backlog_at / capacity if np.isfinite(capacity)
+                else np.zeros_like(backlog_at)
+            )
+            prob_wait, mean_wait = mgk_queue_delay(
+                rate_rps,
+                window.servers,
+                window.service_mean_s,
+                window.mean_batch,
+                window.service_scv,
+                window.arrival_scv,
+            )
+            stationary = np.zeros_like(transient)
+            if 0.0 < prob_wait and np.isfinite(mean_wait) and mean_wait > 0:
+                u = uniforms[mask]
+                delayed = u >= 1.0 - prob_wait
+                conditional_mean = mean_wait / prob_wait
+                # Exponential quantile of the conditional wait: the
+                # u-range [1-Pw, 1) maps onto (0, inf).
+                stationary[delayed] = -conditional_mean * np.log(
+                    (1.0 - u[delayed]) / prob_wait
+                )
+            waits[mask] = transient + stationary
+        backlog = max(0.0, backlog + (rate_rps - capacity) * span_s)
+    return waits

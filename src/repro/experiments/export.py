@@ -140,6 +140,32 @@ def _resilience_dict(stats) -> "dict | None":
     }
 
 
+def _fidelity_dict(report) -> "dict | None":
+    """The hybrid-fidelity error-budget block (``None`` on classic
+    full-DES results)."""
+    if report is None:
+        return None
+    return {
+        "mode_requested": report.mode_requested,
+        "mode_used": report.mode_used,
+        "error_budget": report.error_budget,
+        "calibration_s": report.calibration_s,
+        "calibration_requests": report.calibration_requests,
+        "p50_rel_err": report.p50_rel_err,
+        "p99_rel_err": report.p99_rel_err,
+        "goodput_rel_err": report.goodput_rel_err,
+        "within_budget": report.within_budget,
+        "warm_forked": report.warm_forked,
+    }
+
+
+def _fidelity_csv_tail(result) -> list:
+    """(mode_used, p99_rel_err) CSV columns; blank on classic runs."""
+    if result.fidelity is None:
+        return ["", ""]
+    return [result.fidelity.mode_used, result.fidelity.p99_rel_err]
+
+
 def _incidents_list(incidents) -> list[dict]:
     """Per-incident availability records (empty when fault-free)."""
     return [
@@ -219,6 +245,7 @@ def serving_result_to_dict(result: ServingResult) -> dict:
     record["fault_windows"] = _fault_windows_list(result.windows)
     record["resilience"] = _resilience_dict(result.resilience)
     record["incidents"] = _incidents_list(result.incidents)
+    record["fidelity"] = _fidelity_dict(result.fidelity)
     return record
 
 
@@ -234,12 +261,14 @@ def serving_results_to_csv(results: Iterable[ServingResult]) -> str:
     """Serialise the scalar serving columns plus tail latencies to CSV."""
     buffer = io.StringIO()
     writer = csv.writer(buffer)
-    writer.writerow(SERVING_FIELDS + ("p50_s", "p95_s", "p99_s"))
+    writer.writerow(SERVING_FIELDS + ("p50_s", "p95_s", "p99_s",
+                                      "fidelity_mode", "fidelity_p99_err"))
     for result in results:
         writer.writerow(
             [getattr(result, field) for field in SERVING_FIELDS]
             + [result.latency.p50_s, result.latency.p95_s,
                result.latency.p99_s]
+            + _fidelity_csv_tail(result)
         )
     return buffer.getvalue()
 
@@ -302,6 +331,7 @@ def cluster_result_to_dict(result: ClusterResult) -> dict:
     record["fault_windows"] = _fault_windows_list(result.windows)
     record["resilience"] = _resilience_dict(result.resilience)
     record["incidents"] = _incidents_list(result.incidents)
+    record["fidelity"] = _fidelity_dict(result.fidelity)
     return record
 
 
@@ -316,6 +346,7 @@ def cluster_results_to_json(results: Iterable[ClusterResult],
 _CLUSTER_CSV_HEADER = (
     CLUSTER_FIELDS
     + ("p50_s", "p95_s", "p99_s",
+       "fidelity_mode", "fidelity_p99_err",
        "node", "node_state", "node_completed", "node_shed",
        "node_rerouted_away", "node_goodput_rps", "node_utilization",
        "node_p99_s")
@@ -345,8 +376,10 @@ def _write_cluster_rows(writer, result: "ClusterResult | ServingResult"
             for field in CLUSTER_FIELDS
         ]
         per_node = ()
-    tails = [result.latency.p50_s, result.latency.p95_s,
-             result.latency.p99_s]
+    tails = (
+        [result.latency.p50_s, result.latency.p95_s, result.latency.p99_s]
+        + _fidelity_csv_tail(result)
+    )
     writer.writerow(scalars + tails + [""] * 8)
     for stats in per_node:
         writer.writerow(

@@ -103,6 +103,9 @@ class ResultCache:
                 f"cache dir {self.directory} exists and is not a directory"
             )
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.pkl"
@@ -119,8 +122,9 @@ class ResultCache:
         path = self._path(key)
         try:
             with open(path, "rb") as handle:
-                return pickle.load(handle)
+                result = pickle.load(handle)
         except (OSError, MemoryError):
+            self.misses += 1
             return None
         except (EOFError, ValueError, TypeError, IndexError,
                 ImportError, pickle.UnpicklingError, AttributeError):
@@ -128,7 +132,11 @@ class ResultCache:
                 os.unlink(path)
             except OSError:
                 pass
+            self.misses += 1
+            self.evictions += 1
             return None
+        self.hits += 1
+        return result
 
     def put(self, key: str, result: Any) -> None:
         """Store a result under ``key`` (atomic, last-writer-wins)."""
@@ -210,16 +218,54 @@ def _simulate_many(cells: Sequence[Cell], jobs: int
     return parallel_map(_simulate_cell, cells, jobs)
 
 
+@dataclass
+class CacheStats:
+    """Mutable tally of one study run's cache behaviour.
+
+    Pass an instance to :func:`run_cached` (studies thread it through
+    from the CLI) and read it back after the run: ``hits`` cells served
+    from disk, ``misses`` lookups that found nothing usable,
+    ``evictions`` corrupt entries discarded during lookup, and
+    ``simulated`` cells actually run (misses, plus every cell when no
+    cache directory is configured).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    simulated: int = 0
+
+    def merge(self, cache: "ResultCache", simulated: int) -> None:
+        """Fold one cache's counters (and a fan-out tally) in."""
+        self.hits += cache.hits
+        self.misses += cache.misses
+        self.evictions += cache.evictions
+        self.simulated += simulated
+
+    def summary(self) -> str:
+        """One-line report: ``cache: 12 hits, 3 misses (3 simulated)``."""
+        line = (
+            f"cache: {self.hits} hit{'s' if self.hits != 1 else ''}, "
+            f"{self.misses} miss{'es' if self.misses != 1 else ''} "
+            f"({self.simulated} simulated)"
+        )
+        if self.evictions:
+            line += f", {self.evictions} corrupt evicted"
+        return line
+
+
 def run_cached(cells: Sequence, key_fn: Callable[[Any], str],
                simulate_fn: Callable, jobs: int = 1,
-               cache_dir: str | Path | None = None) -> list:
+               cache_dir: str | Path | None = None,
+               stats: CacheStats | None = None) -> list:
     """``[simulate_fn(cell) for cell in cells]``, cached and parallel.
 
     The one cache-then-fan-out driver every study shares: resolves the
     disk cache first (by ``key_fn(cell)``), simulates only the misses —
     over worker processes when ``jobs > 1`` — then back-fills the
     cache.  ``simulate_fn`` and the cells must be picklable
-    module-level objects; results come back in input order.
+    module-level objects; results come back in input order.  ``stats``,
+    when given, accumulates the run's hit/miss/eviction counters.
     """
     cache = ResultCache(cache_dir) if cache_dir else None
     results: list = [None] * len(cells)
@@ -237,6 +283,11 @@ def run_cached(cells: Sequence, key_fn: Callable[[Any], str],
         results[index] = result
         if cache is not None:
             cache.put(key_fn(cells[index]), result)
+    if stats is not None:
+        if cache is not None:
+            stats.merge(cache, simulated=len(pending))
+        else:
+            stats.simulated += len(pending)
     return results
 
 

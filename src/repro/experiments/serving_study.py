@@ -75,7 +75,13 @@ DEFAULT_DURATION_S = 2e-3
 
 @dataclass(frozen=True)
 class ServingCell:
-    """One latency-under-load simulation point."""
+    """One latency-under-load simulation point.
+
+    ``fidelity`` is the hybrid-fidelity policy
+    (:class:`~repro.experiments.fidelity.FidelityPolicy`): ``None`` —
+    the default, and the only value the classic constructors produce —
+    runs full DES with the exact pre-fidelity cache key.
+    """
 
     platform: str
     model: str
@@ -86,29 +92,43 @@ class ServingCell:
     duration_s: float
     seed: int
     config: PlatformConfig
+    fidelity: "object | None" = None
 
     def arrival_process(self):
         """Instantiate the cell's arrival process (via the registry)."""
         return ARRIVALS.get(self.arrival_kind)(self.rate_rps, self.seed)
 
     def key(self) -> str:
-        """Disk-cache key: the inference cell key + serving extras."""
+        """Disk-cache key: the inference cell key + serving extras.
+
+        ``fidelity`` enters the extras only when armed, so classic DES
+        cells keep their legacy keys byte for byte.
+        """
+        extra = {
+            "study": "serving",
+            "version": SERVING_STUDY_VERSION,
+            "policy": asdict(self.policy),
+            "arrival_kind": self.arrival_kind,
+            "rate_rps": self.rate_rps,
+            "duration_s": self.duration_s,
+            "seed": self.seed,
+        }
+        if self.fidelity is not None:
+            extra["fidelity"] = asdict(self.fidelity)
         return cell_key(
             self.platform, self.model, self.controller, self.config,
-            extra={
-                "study": "serving",
-                "version": SERVING_STUDY_VERSION,
-                "policy": asdict(self.policy),
-                "arrival_kind": self.arrival_kind,
-                "rate_rps": self.rate_rps,
-                "duration_s": self.duration_s,
-                "seed": self.seed,
-            },
+            extra=extra,
         )
 
 
-def simulate_serving_cell(cell: ServingCell) -> ServingResult:
-    """Worker body: one full request-serving simulation of one cell."""
+def simulate_serving_cell(cell: ServingCell,
+                          record_sink: list | None = None) -> ServingResult:
+    """Worker body: one full request-serving simulation of one cell.
+
+    ``record_sink``, when given, receives every per-request record —
+    the hybrid-fidelity calibration uses this to extract service-time
+    quantiles that the aggregated result does not carry.
+    """
     platform = build_platform(cell.platform, cell.config, cell.controller)
     workload = extract_workload(MODELS.get(cell.model)())
 
@@ -120,9 +140,12 @@ def simulate_serving_cell(cell: ServingCell) -> ServingResult:
         sim, mapping, cell.model, policy=cell.policy,
         residency=WeightResidency(env), trace=trace,
     )
-    scheduler.serve(cell.arrival_process(), cell.duration_s)
+    scheduler.serve(cell.arrival_process(), cell.duration_s,
+                    vectorized=record_sink is not None)
 
     elapsed = env.now
+    if record_sink is not None:
+        record_sink.extend(scheduler.records)
     latency, queue_delay, mean_batch = aggregate(scheduler.records)
     network = sim.fabric.energy_report()
     trace.record_channel_stats(sim.fabric)
@@ -332,6 +355,7 @@ class ScenarioCell:
     faults: FaultSpec | None = None
     digest: str = ""
     resilience: ResiliencePolicy | None = None
+    fidelity: "object | None" = None
 
     @property
     def mix_label(self) -> str:
@@ -349,8 +373,8 @@ class ScenarioCell:
         The digest alone would suffice for compiler-built cells, but it
         is defaultable — directly constructed cells must still never
         collide, so the full cell identity goes into the hash.
-        ``resilience`` enters the extras only when set, so cells without
-        it keep their pre-resilience keys byte for byte.
+        ``resilience`` and ``fidelity`` enter the extras only when set,
+        so cells without them keep their legacy keys byte for byte.
         """
         extra = {
             "study": "scenario",
@@ -372,6 +396,8 @@ class ScenarioCell:
         }
         if self.resilience is not None:
             extra["resilience"] = asdict(self.resilience)
+        if self.fidelity is not None:
+            extra["fidelity"] = asdict(self.fidelity)
         return cell_key(
             self.platform, self.mix_label, self.controller, self.config,
             extra=extra,
@@ -400,8 +426,13 @@ def _mix_stream(models: tuple[tuple[str, float, float | None, int], ...],
     return stream()
 
 
-def simulate_scenario_cell(cell: ScenarioCell) -> ServingResult:
-    """Worker body: one full multi-tenant serving simulation."""
+def simulate_scenario_cell(cell: ScenarioCell,
+                           record_sink: list | None = None) -> ServingResult:
+    """Worker body: one full multi-tenant serving simulation.
+
+    ``record_sink`` exposes the per-request records to hybrid-fidelity
+    calibration, same as :func:`simulate_serving_cell`.
+    """
     fabric_faults, compute_events = platform_timelines(cell.faults)
     platform = build_platform(
         cell.platform, cell.config, cell.controller,
@@ -454,6 +485,8 @@ def simulate_scenario_cell(cell: ScenarioCell) -> ServingResult:
         resilience_stats = None
 
     elapsed = env.now
+    if record_sink is not None:
+        record_sink.extend(records)
     latency, queue_delay, mean_batch = aggregate(records)
     network = sim.fabric.energy_report()
     trace.record_channel_stats(sim.fabric)
@@ -504,6 +537,12 @@ def simulate_scenario_cell(cell: ScenarioCell) -> ServingResult:
 
 def simulate_any_serving_cell(cell) -> ServingResult:
     """Dispatch worker shared by mixed classic/scenario/cluster lists."""
+    if getattr(cell, "fidelity", None) is not None:
+        # Deferred: the fidelity engine orchestrates the cell workers
+        # below, so importing it eagerly would cycle.
+        from .fidelity import simulate_fidelity_cell
+
+        return simulate_fidelity_cell(cell)
     if isinstance(cell, ScenarioCell):
         return simulate_scenario_cell(cell)
     # Deferred: the cluster study module resolves names against the
@@ -516,12 +555,12 @@ def simulate_any_serving_cell(cell) -> ServingResult:
 
 
 def simulate_study_cells(cells: Sequence, jobs: int = 1,
-                         cache_dir: str | Path | None = None
-                         ) -> list[ServingResult]:
+                         cache_dir: str | Path | None = None,
+                         stats=None) -> list[ServingResult]:
     """Run a mixed list of classic, scenario and cluster serving cells."""
     return run_cached(
         list(cells), lambda cell: cell.key(), simulate_any_serving_cell,
-        jobs=jobs, cache_dir=cache_dir,
+        jobs=jobs, cache_dir=cache_dir, stats=stats,
     )
 
 

@@ -343,6 +343,42 @@ def mean_time_to_repair(incidents: tuple[IncidentRecord, ...]) -> float:
 
 
 @dataclass(frozen=True)
+class FidelityReport:
+    """How a hybrid-fidelity cell was actually simulated, and how well.
+
+    Attached to results produced under an armed fidelity policy.
+    ``mode_used`` is ``"fluid"`` when the fluid fast path produced the
+    result and ``"des-fallback"`` when the calibration error exceeded
+    the budget (or the calibration produced no usable profile) and the
+    cell re-ran through full DES.  The relative errors compare the
+    fluid model's prediction of the calibration window against the
+    short DES measurement of that same window — recorded either way, so
+    fidelity loss is always visible in exports.  ``warm_forked`` marks
+    cells that reused a memoised calibration checkpoint (the warm-state
+    fork) instead of re-simulating the warm-up phase.
+    """
+
+    mode_requested: str
+    mode_used: str
+    error_budget: float
+    calibration_s: float
+    calibration_requests: int
+    p50_rel_err: float
+    p99_rel_err: float
+    goodput_rel_err: float
+    warm_forked: bool = False
+
+    @property
+    def within_budget(self) -> bool:
+        """Whether every tracked error stayed within the budget."""
+        return (
+            self.p50_rel_err <= self.error_budget
+            and self.p99_rel_err <= self.error_budget
+            and self.goodput_rel_err <= self.error_budget
+        )
+
+
+@dataclass(frozen=True)
 class ServingResult:
     """Complete outcome of one request-serving simulation.
 
@@ -379,6 +415,7 @@ class ServingResult:
     availability: float = 1.0
     mttr_s: float = 0.0
     incidents: tuple = ()
+    fidelity: FidelityReport | None = None
 
     @property
     def retry_amplification(self) -> float:
@@ -544,6 +581,7 @@ class ClusterResult:
     availability: float = 1.0
     mttr_s: float = 0.0
     incidents: tuple[IncidentRecord, ...] = ()
+    fidelity: FidelityReport | None = None
 
     @property
     def retry_amplification(self) -> float:

@@ -583,9 +583,35 @@ class RequestScheduler:
         self._injection_done = True
         self._check_drained()
 
+    def _inject_cohort(self, arrivals, duration_s: float,
+                       models: Iterator[str] | None) -> None:
+        """Vectorized open-loop injection: the whole arrival cohort is
+        precomputed (batched RNG draws) and bulk-scheduled as plain
+        callbacks — no generator frame or per-gap timeout per request.
+        Arrival times and submission order match the event-driven
+        injector exactly (same seeded stream, same times)."""
+        times = arrivals.arrival_times(duration_s)
+
+        def _submit_one(_at_s: float) -> None:
+            self.submit(model=self._next_model(models))
+
+        def _mark_done(_at_s: float) -> None:
+            self._injection_done = True
+            self._check_drained()
+
+        if len(times) == 0:
+            self._injection_done = True
+            self._check_drained()
+            return
+        self.env.schedule_calls(times, _submit_one)
+        # Scheduled after the cohort at the final arrival time, so its
+        # larger sequence number fires it after the last submission.
+        self.env.schedule_calls((float(times[-1]),), _mark_done)
+
     def serve(self, arrivals, duration_s: float,
               drain_limit_s: float = DEFAULT_DRAIN_LIMIT_S,
-              models: Iterator[str] | None = None) -> None:
+              models: Iterator[str] | None = None,
+              vectorized: bool = False) -> None:
         """Run the full serving window: inject, dispatch, drain.
 
         ``arrivals`` is any open-loop process exposing ``gaps()`` (e.g.
@@ -595,8 +621,12 @@ class RequestScheduler:
         ``models`` optionally names the target model of each injected
         request (an infinite iterator, e.g. a seeded traffic-mix
         sampler); by default everything targets the primary model.
-        Returns once every injected request completed (or was shed);
-        per-request records are on :attr:`records` and the shared trace.
+        ``vectorized`` precomputes the whole open-loop arrival cohort
+        and bulk-schedules it (same times, same order, fewer kernel
+        events); arrival processes without a vectorized sampler fall
+        back to the event-driven injector.  Returns once every injected
+        request completed (or was shed); per-request records are on
+        :attr:`records` and the shared trace.
         """
         if duration_s <= 0:
             raise ConfigurationError(
@@ -610,7 +640,13 @@ class RequestScheduler:
                 "scheduler for another serving window"
             )
         self._served = True
-        if isinstance(arrivals, ClosedLoopClients):
+        if (
+            vectorized
+            and not isinstance(arrivals, ClosedLoopClients)
+            and hasattr(arrivals, "arrival_times")
+        ):
+            self._inject_cohort(arrivals, duration_s, models)
+        elif isinstance(arrivals, ClosedLoopClients):
             injectors = [
                 self.env.process(
                     self._closed_loop_client(arrivals, index, duration_s,
@@ -618,17 +654,18 @@ class RequestScheduler:
                 )
                 for index in range(arrivals.n_clients)
             ]
+            self.env.process(self._watch_injection(injectors))
         elif hasattr(arrivals, "gaps"):
             injectors = [
                 self.env.process(
                     self._open_loop_injector(arrivals, duration_s, models)
                 )
             ]
+            self.env.process(self._watch_injection(injectors))
         else:
             raise ConfigurationError(
                 f"unsupported arrival process {arrivals!r}"
             )
-        self.env.process(self._watch_injection(injectors))
         try:
             self.env.run_until_event(
                 self._drained, limit=duration_s + drain_limit_s

@@ -196,6 +196,28 @@ class PoissonArrivals:
         while True:
             yield float(rng.exponential(mean_gap))
 
+    def arrival_times(self, duration_s: float) -> np.ndarray:
+        """All arrival times in ``(0, duration_s]``, vectorized.
+
+        Consumes the same seeded RNG stream as :meth:`gaps` in batched
+        draws (numpy ``Generator`` fills arrays with the identical
+        sample sequence), so the returned times — and therefore the
+        injected-request count — are bit-equal to what the open-loop
+        injector produces one event at a time.
+        """
+        rng = np.random.default_rng(self.seed)
+        mean_gap = 1.0 / self.rate_rps
+        chunk = max(1024, int(self.rate_rps * duration_s * 1.1) + 16)
+        pieces: list[np.ndarray] = []
+        last = 0.0
+        while True:
+            times = last + np.cumsum(rng.exponential(mean_gap, size=chunk))
+            if times[-1] > duration_s:
+                pieces.append(times[times <= duration_s])
+                return np.concatenate(pieces)
+            pieces.append(times)
+            last = float(times[-1])
+
 
 @dataclass(frozen=True)
 class MMPPArrivals:
@@ -259,6 +281,22 @@ class MMPPArrivals:
                 waited += phase_left
                 rate = low if rate == high else high
                 phase_left = float(rng.exponential(self.dwell_s))
+
+    def arrival_times(self, duration_s: float) -> np.ndarray:
+        """All arrival times in ``(0, duration_s]``.
+
+        The two-state modulation is inherently sequential, so this
+        walks :meth:`gaps` (same stream, same times as the event-driven
+        injector) instead of batching draws.
+        """
+        times: list[float] = []
+        now = 0.0
+        for gap in self.gaps():
+            now += gap
+            if now > duration_s:
+                break
+            times.append(now)
+        return np.array(times, dtype=float)
 
 
 @dataclass(frozen=True)

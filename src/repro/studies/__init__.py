@@ -37,10 +37,12 @@ from .registry import (
     Registry,
 )
 from .spec import (
+    FIDELITY_MODES,
     SPEC_SCHEMA_VERSION,
     ClusterSpec,
     FaultEventSpec,
     FaultSpec,
+    FidelitySpec,
     ModelTraffic,
     NodeOverrideSpec,
     PlatformSpec,
@@ -60,6 +62,7 @@ _LAZY_EXPORTS = {
         "StudyResult",
         "build_policy",
         "expand_points",
+        "build_fidelity",
         "is_degenerate_cluster",
         "load_spec",
         "lower_cluster_point",
@@ -104,8 +107,10 @@ __all__ = [
     "BATCH_POLICIES",
     "CONTROLLERS",
     "ClusterSpec",
+    "FIDELITY_MODES",
     "FaultEventSpec",
     "FaultSpec",
+    "FidelitySpec",
     "HAZARDS",
     "MODELS",
     "ModelTraffic",

@@ -38,7 +38,13 @@ from ..config import DEFAULT_PLATFORM, PlatformConfig
 from ..core.metrics import InferenceResult
 from ..dnn.workload import extract_workload
 from ..errors import SpecError
-from ..experiments.runner import build_platform, cell_key, run_cached
+from ..experiments.runner import (
+    CacheStats,
+    ResultCache,
+    build_platform,
+    cell_key,
+    run_cached,
+)
 from ..experiments.serving_study import (
     ScenarioCell,
     ServingCell,
@@ -142,6 +148,58 @@ def build_resilience(spec: StudySpec) -> ResiliencePolicy | None:
     return policy if policy else None
 
 
+def build_fidelity(spec: StudySpec):
+    """The point's hybrid-fidelity policy; ``None`` when degenerate.
+
+    A ``fidelity`` section in ``des`` mode (the default) lowers to the
+    classic full-DES path — the cell carries no policy, keeps its
+    pre-fidelity cache key and simulates bit-identically.  The armed
+    modes compile to a picklable
+    :class:`~repro.experiments.fidelity.FidelityPolicy` the cell
+    workers dispatch on.
+    """
+    section = spec.fidelity
+    if not section:
+        return None
+    # Deferred: the fidelity engine imports the cell modules this
+    # compiler lowers onto.
+    from ..experiments.fidelity import FidelityPolicy
+
+    return FidelityPolicy(
+        mode=section.mode,
+        error_budget=section.error_budget,
+        calibration_s=section.calibration_s,
+    )
+
+
+def _validate_fidelity(point: StudySpec) -> None:
+    """Reject spec features the fluid model cannot express.
+
+    The spec layer already rejects closed-loop arrivals, armed
+    resilience and deadline shedding; here the compiler checks the
+    parts that need lowering context — fabric-level hazards (the fluid
+    queue has no photonic-channel model; only compute-side
+    ``chiplet-mac-degrade`` windows map onto capacity segments) and
+    health-checked routing (probe dynamics are inherently event-driven).
+    """
+    if not point.fidelity:
+        return
+    _, compute = platform_timelines(point.platform.faults)
+    n_fabric = len(point.platform.faults.events) - len(compute)
+    if n_fabric:
+        raise SpecError(
+            "fidelity modes fluid/auto support only compute-side "
+            "platform faults (chiplet-mac-degrade); "
+            f"{n_fabric} fabric-level event(s) present — use "
+            "fidelity mode 'des' for photonic hazard studies"
+        )
+    if build_health(point) is not None:
+        raise SpecError(
+            "fidelity modes fluid/auto do not model probe-based health "
+            "checking; use fidelity mode 'des' (or omniscient signals)"
+        )
+
+
 def build_health(spec: StudySpec) -> HealthPolicy | None:
     """The point's router signal path; ``None`` means omniscient —
     zero staleness and no probes lower to the legacy instant-view
@@ -191,6 +249,7 @@ def _validate_names(spec: StudySpec) -> None:
     if spec.kind == "serving":
         ARRIVALS.get(spec.workload.arrival)
         build_policy(spec.scheduler)
+        _validate_fidelity(spec)
     if spec.cluster is not None:
         _validate_cluster(spec)
 
@@ -345,6 +404,7 @@ def lower_cluster_point(point: StudySpec,
         digest=point.digest,
         resilience=build_resilience(point),
         health=build_health(point),
+        fidelity=build_fidelity(point),
     )
 
 
@@ -371,6 +431,7 @@ def lower_serving_point(point: StudySpec,
             duration_s=workload.duration_s,
             seed=workload.seed,
             config=config,
+            fidelity=build_fidelity(point),
         )
     return ScenarioCell(
         platform=point.platform.name,
@@ -394,6 +455,7 @@ def lower_serving_point(point: StudySpec,
         ),
         digest=point.digest,
         resilience=build_resilience(point),
+        fidelity=build_fidelity(point),
     )
 
 
@@ -417,10 +479,16 @@ class StudyPoint:
 
 @dataclass(frozen=True)
 class StudyResult:
-    """Everything ``run_study`` produced for one spec."""
+    """Everything ``run_study`` produced for one spec.
+
+    ``cache_stats`` tallies the run's result-cache behaviour (hits,
+    misses, corrupt evictions, cells actually simulated) — the CLI
+    prints its summary after each ``repro study`` run.
+    """
 
     spec: StudySpec
     points: tuple[StudyPoint, ...]
+    cache_stats: "CacheStats | None" = None
 
     def flat_results(self) -> list:
         """Every result across the grid, point order."""
@@ -487,15 +555,16 @@ def run_study(spec: StudySpec, jobs: int = 1,
     """
     points, cells_per_point = lower_study(spec, base_config)
     cells = [cell for group in cells_per_point for cell in group]
+    stats = CacheStats()
 
     if spec.kind == "inference":
         results = run_cached(
             cells, lambda cell: cell.key(), simulate_inference_cell,
-            jobs=jobs, cache_dir=cache_dir,
+            jobs=jobs, cache_dir=cache_dir, stats=stats,
         )
     else:
         results = simulate_study_cells(
-            cells, jobs=jobs, cache_dir=cache_dir
+            cells, jobs=jobs, cache_dir=cache_dir, stats=stats,
         )
 
     grouped = []
@@ -510,6 +579,7 @@ def run_study(spec: StudySpec, jobs: int = 1,
             StudyPoint(spec=point, results=group)
             for point, group in zip(points, grouped)
         ),
+        cache_stats=stats,
     )
 
 
@@ -563,20 +633,35 @@ def _swept_values(point: StudySpec, spec: StudySpec) -> str:
 
 
 def render_dry_run(spec: StudySpec,
-                   base_config: PlatformConfig | None = None) -> str:
+                   base_config: PlatformConfig | None = None,
+                   cache_dir: str | Path | None = None) -> str:
     """The expanded grid, per-cell cache keys and the spec digest —
     everything ``run_study`` would do short of simulating.
 
     Cheap spec debugging: verifies names resolve, shows how each point
     lowers (classic vs scenario cells share or fork cache keys here)
     and prints the exact on-disk keys a ``--cache-dir`` run would use.
+    With ``cache_dir``, each cell is annotated ``cached``/``cold``
+    against the store's current contents and the header counts how many
+    cells a real run would actually simulate.
     """
     points, cells_per_point = lower_study(spec, base_config)
     n_cells = sum(len(group) for group in cells_per_point)
+    cache = ResultCache(cache_dir) if cache_dir else None
+    cached_cells = 0
+    if cache is not None:
+        cached_cells = sum(
+            1 for group in cells_per_point for cell in group
+            if cache._path(cell.key()).exists()
+        )
     lines = [
         f"study: {spec.name} ({spec.kind}) — dry run, nothing simulated",
         f"spec digest: {spec.digest}",
-        f"grid: {len(points)} point(s), {n_cells} cell(s)",
+        f"grid: {len(points)} point(s), {n_cells} cell(s)"
+        + (
+            f" — {cached_cells} cached, {n_cells - cached_cells} to "
+            f"simulate" if cache is not None else ""
+        ),
     ]
     for axis in spec.sweep.axes:
         lines.append(f"  axis {axis.field}: {list(axis.values)}")
@@ -595,6 +680,12 @@ def render_dry_run(spec: StudySpec,
             if health is not None:
                 parts.append(f"signals {health.label}")
             lines.append(f"  resilience: {', '.join(parts)}")
+        fidelity = build_fidelity(point)
+        if fidelity is not None:
+            lines.append(
+                f"  fidelity: {fidelity.mode} "
+                f"(budget {fidelity.error_budget:g})"
+            )
         for cell in group:
             label = type(cell).__name__
             model = (
@@ -602,7 +693,14 @@ def render_dry_run(spec: StudySpec,
                 or getattr(cell, "model", None)
                 or cell.mix_label
             )
-            lines.append(f"  {label:<14}{model:<32} key {cell.key()}")
+            line = f"  {label:<14}{model:<32} key {cell.key()}"
+            if cache is not None:
+                state = (
+                    "cached" if cache._path(cell.key()).exists()
+                    else "cold"
+                )
+                line += f" [{state}]"
+            lines.append(line)
     return "\n".join(lines)
 
 

@@ -25,7 +25,7 @@ from typing import Any, Mapping
 
 from ..errors import SpecError
 
-SPEC_SCHEMA_VERSION = 4
+SPEC_SCHEMA_VERSION = 5
 """Bump when the spec schema changes meaning: digests (and therefore
 every scenario cache key) move with it.
 
@@ -43,7 +43,14 @@ Version 4: :class:`StudySpec` grew a ``resilience`` section
 (:class:`ResilienceSpec`: per-request timeouts, retries with backoff
 and a retry budget, hedged requests, health-checked routing signals)
 and :class:`FaultEventSpec` grew ``nodes`` (correlated multi-node
-outage groups) and ``mac_fraction`` (compute-side MAC degradation)."""
+outage groups) and ``mac_fraction`` (compute-side MAC degradation).
+
+Version 5: :class:`StudySpec` grew a ``fidelity`` section
+(:class:`FidelitySpec`: the hybrid-fidelity engine — fluid fast path,
+calibration error budget, automatic DES fallback).  The degenerate
+``des`` default lowers onto the exact pre-fidelity cells: classic cell
+keys do not embed the spec digest, so a legacy cache still satisfies
+a degenerate spec."""
 
 STUDY_KINDS = ("inference", "serving")
 """Study kinds the compiler can lower."""
@@ -722,6 +729,89 @@ class ResilienceSpec:
 
 
 # ---------------------------------------------------------------------------
+# Fidelity: how faithfully each cell is simulated.
+# ---------------------------------------------------------------------------
+
+
+FIDELITY_MODES = ("des", "fluid", "auto")
+"""Fidelity modes: full DES (default), fluid fast path, or fluid with
+automatic fallback to DES when the calibration error exceeds budget."""
+
+
+@dataclass(frozen=True)
+class FidelitySpec:
+    """How faithfully each serving cell is simulated.
+
+    The default instance is the **degenerate** fidelity spec: every
+    cell runs the full discrete-event simulation, and the study lowers
+    onto the exact pre-fidelity cells (and cache keys).
+
+    ``mode`` selects the engine per cell: ``"fluid"`` runs the M/G/k
+    fluid approximation calibrated against a short DES window of the
+    same point; ``"auto"`` does the same but falls back to full DES
+    when the calibration's relative error on p50/p99/goodput exceeds
+    ``error_budget``.  Either way the measured errors are recorded in
+    the result's ``fidelity`` block — fidelity loss is bounded and
+    reported, never assumed.
+
+    ``calibration_s`` is the length of the short DES calibration
+    window; ``None`` picks ``max(duration/10, 30 mean inter-arrival
+    gaps)`` capped at the full duration.  The calibration checkpoint is
+    memoised per (platform, workload) — sweeps fork scenario variants
+    from the warm state instead of replaying it per cell.
+    """
+
+    mode: str = "des"
+    error_budget: float = 0.15
+    calibration_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in FIDELITY_MODES:
+            raise SpecError(
+                f"unknown fidelity mode {self.mode!r}; "
+                f"choose from {', '.join(FIDELITY_MODES)}"
+            )
+        if not 0.0 < self.error_budget <= 1.0:
+            raise SpecError(
+                f"fidelity error budget must be in (0, 1], got "
+                f"{self.error_budget}"
+            )
+        if self.calibration_s is not None and self.calibration_s <= 0:
+            raise SpecError(
+                f"calibration window must be positive, got "
+                f"{self.calibration_s}"
+            )
+        # Inert-knob rejection: calibration knobs on the DES mode would
+        # sit in the digest without acting, so refuse them outright.
+        if self.mode == "des":
+            default_budget = type(self).__dataclass_fields__[
+                "error_budget"
+            ].default
+            if self.error_budget != default_budget:
+                raise SpecError(
+                    "fidelity.error_budget applies only to the fluid/"
+                    "auto modes"
+                )
+            if self.calibration_s is not None:
+                raise SpecError(
+                    "fidelity.calibration_s applies only to the fluid/"
+                    "auto modes"
+                )
+
+    def __bool__(self) -> bool:
+        """True when any knob departs from the degenerate default."""
+        return self != type(self)()
+
+    def to_dict(self) -> dict[str, Any]:
+        return _scalars_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FidelitySpec":
+        _check_fields(cls, data, "fidelity spec")
+        return _build(cls, dict(data), "fidelity spec")
+
+
+# ---------------------------------------------------------------------------
 # Sweep grid.
 # ---------------------------------------------------------------------------
 
@@ -809,7 +899,10 @@ class StudySpec:
     (``None`` = the classic single-node path).  ``resilience`` adds the
     request lifecycle (timeouts / retries / hedging) and the modeled
     router signal path; its default instance is degenerate and lowers
-    to the classic cells.
+    to the classic cells.  ``fidelity`` selects the simulation engine
+    per cell (full DES, fluid fast path, or fluid with auto-fallback
+    when the calibration error exceeds budget); its default instance
+    is likewise degenerate.
     """
 
     name: str
@@ -821,6 +914,7 @@ class StudySpec:
     residency_capacity_bits: float | None = None
     cluster: ClusterSpec | None = None
     resilience: ResilienceSpec = ResilienceSpec()
+    fidelity: FidelitySpec = FidelitySpec()
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -864,6 +958,28 @@ class StudySpec:
                 "router's view of the fleet; it needs a cluster "
                 "section with replicas >= 2"
             )
+        if self.fidelity:
+            if self.kind != "serving":
+                raise SpecError(
+                    "the fidelity section applies only to serving studies"
+                )
+            if self.workload.arrival == "closed":
+                raise SpecError(
+                    "the fluid fidelity path models open-loop arrivals; "
+                    "closed-loop workloads run full DES (fidelity: des)"
+                )
+            if self.resilience:
+                raise SpecError(
+                    "the fluid fidelity path does not model the "
+                    "resilience lifecycle; drop the resilience section "
+                    "or run full DES (fidelity: des)"
+                )
+            if self.scheduler.shed_expired:
+                raise SpecError(
+                    "the fluid fidelity path does not model load "
+                    "shedding; disable scheduler.shed_expired or run "
+                    "full DES (fidelity: des)"
+                )
         if (
             self.residency_capacity_bits is not None
             and self.residency_capacity_bits <= 0
@@ -934,6 +1050,8 @@ class StudySpec:
             kwargs["resilience"] = ResilienceSpec.from_dict(
                 kwargs["resilience"]
             )
+        if "fidelity" in kwargs:
+            kwargs["fidelity"] = FidelitySpec.from_dict(kwargs["fidelity"])
         return _build(cls, kwargs, "study spec")
 
     def to_json(self, indent: int = 2) -> str:
@@ -950,7 +1068,7 @@ class StudySpec:
     # -- overrides and expansion ---------------------------------------------------
 
     _SECTIONS = {"workload", "platform", "scheduler", "cluster",
-                 "resilience"}
+                 "resilience", "fidelity"}
 
     def with_override(self, path: str, value: Any) -> "StudySpec":
         """A copy with one scalar field replaced (sweep-axis setter).
@@ -966,7 +1084,7 @@ class StudySpec:
                 raise SpecError(
                     f"cannot sweep top-level field {path!r}; sweepable "
                     "sections: workload, platform, scheduler, cluster, "
-                    "resilience"
+                    "resilience, fidelity"
                 )
             return replace(self, **{section_name: value})
         if section_name not in self._SECTIONS:
