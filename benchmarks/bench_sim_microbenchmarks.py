@@ -10,6 +10,7 @@ speed are visible.  The benchmark bodies are shared with
 from repro.bench import (
     make_channel_contention,
     make_cluster_dispatch_throughput,
+    make_continuous_decode_throughput,
     make_fidelity_des_reference,
     make_fidelity_fluid_path,
     make_functional_mac_matvec,
@@ -86,3 +87,9 @@ def test_bench_warm_fork_sweep(benchmark):
     """6 hazard variants forked from one cold calibration."""
     completed = benchmark(make_warm_fork_sweep())
     assert completed > 0
+
+
+def test_bench_continuous_decode_throughput(benchmark):
+    """Transformer sequences through the continuous decode batcher."""
+    tokens = benchmark(make_continuous_decode_throughput())
+    assert tokens > 0

@@ -401,6 +401,39 @@ def make_warm_fork_sweep() -> Callable[[], int]:
     return run
 
 
+def make_continuous_decode_throughput() -> Callable[[], int]:
+    """Continuous-batching decode steps over a transformer mix.
+
+    A 0.5 ms MMPP window of TransformerTiny sequences (16-token
+    prompts, 8 decode steps each) through the continuous batcher — sequences
+    join and leave the running decode pool at step boundaries, with
+    KV-cache admission against the weight residency store.  Tracks the
+    per-decode-step overhead of the sequence scheduler: pool
+    management, width-aware remap lookups, and token bookkeeping.
+    """
+    from .config import DEFAULT_PLATFORM
+    from .experiments.serving_study import ScenarioCell
+    from .serving.scheduler import BatchPolicy
+
+    cell = ScenarioCell(
+        platform="2.5D-CrossLight-SiPh",
+        models=(("TransformerTiny", 1.0, None, 0),),
+        controller="resipi",
+        policy=BatchPolicy.continuous(max_batch=4),
+        arrival_kind="mmpp", rate_rps=60e3, duration_s=0.5e-3,
+        seed=7, config=DEFAULT_PLATFORM,
+        sequences=((16, 8),),
+    )
+
+    def run() -> int:
+        from .experiments.serving_study import simulate_scenario_cell
+
+        result = simulate_scenario_cell(cell)
+        return result.tokens_generated
+
+    return run
+
+
 MICROBENCHMARKS: dict[str, Callable[[], Callable[[], object]]] = {
     KERNEL_BENCHMARK: make_kernel_event_throughput,
     "test_bench_channel_contention": make_channel_contention,
@@ -413,6 +446,8 @@ MICROBENCHMARKS: dict[str, Callable[[], Callable[[], object]]] = {
     "test_bench_fidelity_des_reference": make_fidelity_des_reference,
     "test_bench_fidelity_fluid_path": make_fidelity_fluid_path,
     "test_bench_warm_fork_sweep": make_warm_fork_sweep,
+    "test_bench_continuous_decode_throughput":
+        make_continuous_decode_throughput,
 }
 """Benchmark name (matching the pytest test name) -> body factory."""
 

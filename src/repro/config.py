@@ -256,6 +256,19 @@ class PlatformConfig:
         """Copy of this config with a different wavelength count (DSE)."""
         return replace(self, n_wavelengths=n)
 
+    def with_epoch(self, epoch_s: float) -> "PlatformConfig":
+        """Copy with a different controller epoch length (DSE knob).
+
+        Both epoch-driven controllers (ReSiPI gateway scaling, PROWAVES
+        wavelength scaling) wake on this period; shorter epochs track
+        bursty serving traffic tighter at higher reconfiguration cost.
+        """
+        if epoch_s <= 0:
+            raise ConfigurationError(
+                f"controller epoch must be positive, got {epoch_s}"
+            )
+        return replace(self, resipi_epoch_s=epoch_s)
+
     def with_gateways_per_chiplet(self, gateways: int) -> "PlatformConfig":
         """Copy with a different gateway count per compute chiplet (DSE).
 

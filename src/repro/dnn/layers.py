@@ -291,6 +291,109 @@ class BatchNormalization(Layer):
         return 4 * self._single_input(input_shapes)[-1]
 
 
+def _require_td(shape: Shape, layer_name: str) -> tuple[int, int]:
+    """Validate and unpack a (tokens, d_model) sequence-feature shape."""
+    if len(shape) != 2:
+        raise ShapeError(
+            f"layer {layer_name!r} expects a (tokens, features) input, "
+            f"got {shape}"
+        )
+    tokens, features = shape
+    if tokens < 1 or features < 1:
+        raise ShapeError(
+            f"layer {layer_name!r} got non-positive input dims {shape}"
+        )
+    return tokens, features
+
+
+class LayerNormalization(Layer):
+    """Layer normalisation; 2 parameters per feature (gamma + beta)."""
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        return self._single_input(input_shapes)
+
+    def param_count(self, input_shapes: Sequence[Shape]) -> int:
+        return 2 * self._single_input(input_shapes)[-1]
+
+
+class MultiHeadAttention(Layer):
+    """Multi-head self-attention over a (tokens, d_model) sequence.
+
+    Parameter count matches the fused Q/K/V/output projections of a
+    standard transformer block (``4 * d_model**2`` weights plus four
+    bias vectors).  The MAC count at sequence length ``T`` covers the
+    four projections (``4 * T * d_model**2``) plus the score and
+    context matmuls (``2 * T**2 * d_model`` across all heads) — the
+    quadratic term that makes the KV span matter for decode cost.
+    """
+
+    def __init__(self, num_heads: int, use_bias: bool = True,
+                 name: str = "mha"):
+        super().__init__(name)
+        if num_heads < 1:
+            raise ShapeError(f"attention {name!r} needs >= 1 head")
+        self.num_heads = num_heads
+        self.use_bias = use_bias
+
+    def _features(self, input_shapes: Sequence[Shape]) -> tuple[int, int]:
+        tokens, features = _require_td(
+            self._single_input(input_shapes), self.name
+        )
+        if features % self.num_heads:
+            raise ShapeError(
+                f"attention {self.name!r}: d_model {features} not divisible "
+                f"by {self.num_heads} heads"
+            )
+        return tokens, features
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        tokens, features = self._features(input_shapes)
+        return (tokens, features)
+
+    def param_count(self, input_shapes: Sequence[Shape]) -> int:
+        _, features = self._features(input_shapes)
+        bias = 4 * features if self.use_bias else 0
+        return 4 * features * features + bias
+
+    def mac_count(self, input_shapes: Sequence[Shape]) -> int:
+        tokens, features = self._features(input_shapes)
+        projections = 4 * tokens * features * features
+        attention = 2 * tokens * tokens * features
+        return projections + attention
+
+
+class TransformerMLP(Layer):
+    """Position-wise feed-forward block: d_model -> d_ff -> d_model."""
+
+    def __init__(self, hidden_units: int, use_bias: bool = True,
+                 name: str = "mlp"):
+        super().__init__(name)
+        if hidden_units < 1:
+            raise ShapeError(f"mlp {name!r} needs >= 1 hidden unit")
+        self.hidden_units = hidden_units
+        self.use_bias = use_bias
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        tokens, features = _require_td(
+            self._single_input(input_shapes), self.name
+        )
+        return (tokens, features)
+
+    def param_count(self, input_shapes: Sequence[Shape]) -> int:
+        _, features = _require_td(
+            self._single_input(input_shapes), self.name
+        )
+        weights = 2 * features * self.hidden_units
+        bias = (self.hidden_units + features) if self.use_bias else 0
+        return weights + bias
+
+    def mac_count(self, input_shapes: Sequence[Shape]) -> int:
+        tokens, features = _require_td(
+            self._single_input(input_shapes), self.name
+        )
+        return 2 * tokens * features * self.hidden_units
+
+
 class Activation(Layer):
     """Elementwise nonlinearity (ReLU, ReLU6, tanh, softmax...)."""
 

@@ -18,8 +18,15 @@ from .layers import (
     Input,
     Layer,
     LayerStats,
+    MultiHeadAttention,
     Shape,
+    TransformerMLP,
 )
+
+COMPUTE_LAYER_KINDS = (
+    Conv2D, DepthwiseConv2D, Dense, MultiHeadAttention, TransformerMLP
+)
+"""MAC-bearing layer classes the mapper places onto chiplets."""
 
 
 @dataclass(frozen=True)
@@ -133,12 +140,21 @@ class Model:
         """Number of FC layers as Table 2 counts them."""
         return sum(1 for node in self.nodes if isinstance(node.layer, Dense))
 
+    @property
+    def attention_layer_count(self) -> int:
+        """Number of multi-head attention layers (0 for CNNs)."""
+        return sum(
+            1 for node in self.nodes
+            if isinstance(node.layer, MultiHeadAttention)
+        )
+
     def compute_nodes(self) -> list[Node]:
-        """Nodes of MAC-bearing layers (conv / depthwise / dense) in order."""
+        """Nodes of MAC-bearing layers (conv / depthwise / dense /
+        attention / transformer-MLP) in order."""
         return [
             node
             for node in self.nodes
-            if isinstance(node.layer, (Conv2D, DepthwiseConv2D, Dense))
+            if isinstance(node.layer, COMPUTE_LAYER_KINDS)
         ]
 
     def summary(self) -> str:

@@ -10,11 +10,17 @@ compute layer, the standard deployment transformation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterator
 
 from ..errors import ShapeError
-from .layers import Conv2D, Dense, DepthwiseConv2D
+from .layers import (
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    MultiHeadAttention,
+    TransformerMLP,
+)
 from .model import Model
 from .quantization import QuantizationConfig
 
@@ -63,10 +69,20 @@ class LayerWorkload:
 
 @dataclass(frozen=True)
 class InferenceWorkload:
-    """Ordered compute-layer workloads for one model inference."""
+    """Ordered compute-layer workloads for one model inference.
+
+    ``kv_bits_per_token`` and ``context_tokens`` are populated for
+    transformer models only: the KV-cache bits one decoded token
+    appends (2 x d_model x activation bits summed over attention
+    layers) and the sequence length the model was built at (the
+    representative KV span decode-step costs assume).  Both stay 0 for
+    CNNs, which keeps every existing workload byte-identical.
+    """
 
     model_name: str
     layers: tuple[LayerWorkload, ...]
+    kv_bits_per_token: int = 0
+    context_tokens: int = 0
 
     def __iter__(self) -> Iterator[LayerWorkload]:
         return iter(self.layers)
@@ -94,6 +110,8 @@ def extract_workload(
     """Build the inference workload of ``model`` at a given precision."""
     quant = quantization or QuantizationConfig()
     records = []
+    kv_bits_per_token = 0
+    context_tokens = 0
     for position, node in enumerate(model.compute_nodes()):
         layer = node.layer
         input_shape = node.parents[0].output_shape
@@ -125,6 +143,16 @@ def extract_workload(
             kernel = 1
             dot_length = input_shape[0]
             n_dots = layer.units
+        elif isinstance(layer, (MultiHeadAttention, TransformerMLP)):
+            # Sequence layers decompose into d_model-length dot
+            # products (projections exactly; attention scores to first
+            # order), the same shape the dense tiler packs.
+            kernel = 1
+            dot_length = input_shape[-1]
+            n_dots = macs // dot_length
+            if isinstance(layer, MultiHeadAttention):
+                kv_bits_per_token += 2 * input_shape[-1] * act_bits
+                context_tokens = max(context_tokens, input_shape[0])
         else:  # pragma: no cover - compute_nodes() filters to these kinds
             raise ShapeError(f"unexpected compute layer {layer!r}")
 
@@ -142,4 +170,73 @@ def extract_workload(
                 output_bits=output_elements * act_bits,
             )
         )
-    return InferenceWorkload(model_name=model.name, layers=tuple(records))
+    return InferenceWorkload(
+        model_name=model.name,
+        layers=tuple(records),
+        kv_bits_per_token=kv_bits_per_token,
+        context_tokens=context_tokens,
+    )
+
+
+def decode_workload(workload: InferenceWorkload) -> InferenceWorkload:
+    """Per-token decode-step workload of a transformer model.
+
+    Divides every layer's dot count and activation traffic by the
+    model's context length: one decode step runs each layer for a
+    single new token against the full KV span the model was built at,
+    so compute and activation traffic scale by ``1/T`` while weight
+    traffic is unchanged (the full matrices stream through the MACs for
+    any token count).
+    """
+    tokens = workload.context_tokens
+    if tokens <= 0:
+        raise ShapeError(
+            f"model {workload.model_name!r} has no attention layers; "
+            "decode steps need a transformer workload"
+        )
+    layers = []
+    for layer in workload.layers:
+        n_dots = max(1, layer.n_dots // tokens)
+        layers.append(replace(
+            layer,
+            n_dots=n_dots,
+            macs=layer.dot_length * n_dots,
+            input_bits=max(1, layer.input_bits // tokens),
+            output_bits=max(1, layer.output_bits // tokens),
+        ))
+    return InferenceWorkload(
+        model_name=workload.model_name,
+        layers=tuple(layers),
+        kv_bits_per_token=workload.kv_bits_per_token,
+        context_tokens=workload.context_tokens,
+    )
+
+
+def widened_workload(workload: InferenceWorkload,
+                     width: int) -> InferenceWorkload:
+    """Scale a per-token decode workload to a decode batch of ``width``.
+
+    Dot counts and activation traffic scale linearly with the number of
+    co-scheduled sequences; weight traffic does not (one weight stream
+    feeds the whole batch).  The scheduler remaps the scaled workload
+    so chiplet allocation tracks the running batch width.
+    """
+    if width < 1:
+        raise ShapeError(f"decode width must be >= 1, got {width}")
+    if width == 1:
+        return workload
+    layers = []
+    for layer in workload.layers:
+        layers.append(replace(
+            layer,
+            n_dots=layer.n_dots * width,
+            macs=layer.macs * width,
+            input_bits=layer.input_bits * width,
+            output_bits=layer.output_bits * width,
+        ))
+    return InferenceWorkload(
+        model_name=workload.model_name,
+        layers=tuple(layers),
+        kv_bits_per_token=workload.kv_bits_per_token,
+        context_tokens=workload.context_tokens,
+    )

@@ -19,6 +19,13 @@ from .extended import (
 from .lenet5 import lenet5
 from .mobilenetv2 import mobilenetv2
 from .resnet50 import resnet50
+from .transformer import (
+    TRANSFORMER_BUILDERS,
+    TRANSFORMER_PARAMS,
+    transformer_base,
+    transformer_small,
+    transformer_tiny,
+)
 from .vgg16 import vgg16
 
 MODEL_BUILDERS = {
@@ -50,9 +57,11 @@ TABLE2_LAYERS = {
 
 
 def build(name: str) -> Model:
-    """Build a zoo model by name (Table 2 or extended zoo)."""
+    """Build a zoo model by name (Table 2, extended, or transformer)."""
     if name in MODEL_BUILDERS:
         return MODEL_BUILDERS[name]()
+    if name in TRANSFORMER_BUILDERS:
+        return TRANSFORMER_BUILDERS[name]()
     return EXTENDED_BUILDERS[name]()
 
 
@@ -65,6 +74,11 @@ __all__ = [
     "MODEL_BUILDERS",
     "EXTENDED_BUILDERS",
     "EXTENDED_PARAMS",
+    "TRANSFORMER_BUILDERS",
+    "TRANSFORMER_PARAMS",
+    "transformer_tiny",
+    "transformer_small",
+    "transformer_base",
     "resnet101",
     "resnet152",
     "densenet169",

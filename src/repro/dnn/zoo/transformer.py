@@ -1,0 +1,74 @@
+"""Transformer zoo: small decoder-style models for serving studies.
+
+Three pre-norm transformer encoders sized to bracket the CNN zoo
+(sub-million to ~19M parameters), built at a fixed context length that
+doubles as the representative KV span for decode-step costing.  The
+layer census is the standard block: LayerNormalization ->
+MultiHeadAttention -> residual Add, LayerNormalization ->
+TransformerMLP -> residual Add.
+
+These are serving workloads, not Table 2 reproductions — parameter
+counts are pinned in ``TRANSFORMER_PARAMS`` and guarded by tests the
+same way the CNN zoo pins Table 2.
+"""
+
+from __future__ import annotations
+
+from ..layers import Add, LayerNormalization, MultiHeadAttention, TransformerMLP
+from ..model import Model
+
+
+def _transformer(name: str, d_model: int, num_heads: int, d_ff: int,
+                 blocks: int, context: int) -> Model:
+    model = Model(name, input_shape=(context, d_model))
+    x = model.input
+    for index in range(blocks):
+        normed = model.apply(
+            LayerNormalization(name=f"block{index}_ln1"), x
+        )
+        attended = model.apply(
+            MultiHeadAttention(num_heads, name=f"block{index}_attn"), normed
+        )
+        x = model.apply(Add(name=f"block{index}_res1"), x, attended)
+        normed = model.apply(
+            LayerNormalization(name=f"block{index}_ln2"), x
+        )
+        expanded = model.apply(
+            TransformerMLP(d_ff, name=f"block{index}_mlp"), normed
+        )
+        x = model.apply(Add(name=f"block{index}_res2"), x, expanded)
+    return model
+
+
+def transformer_tiny() -> Model:
+    """2 blocks of d_model=128 at context 64 (~0.4M params)."""
+    return _transformer("TransformerTiny", d_model=128, num_heads=4,
+                        d_ff=512, blocks=2, context=64)
+
+
+def transformer_small() -> Model:
+    """4 blocks of d_model=256 at context 128 (~3.2M params)."""
+    return _transformer("TransformerSmall", d_model=256, num_heads=8,
+                        d_ff=1024, blocks=4, context=128)
+
+
+def transformer_base() -> Model:
+    """6 blocks of d_model=512 at context 128 (~19M params)."""
+    return _transformer("TransformerBase", d_model=512, num_heads=8,
+                        d_ff=2048, blocks=6, context=128)
+
+
+TRANSFORMER_BUILDERS = {
+    "TransformerTiny": transformer_tiny,
+    "TransformerSmall": transformer_small,
+    "TransformerBase": transformer_base,
+}
+"""Builders keyed by registry name; membership marks a model as a
+sequence (autoregressive) workload for spec validation."""
+
+TRANSFORMER_PARAMS = {
+    "TransformerTiny": 396_544,
+    "TransformerSmall": 3_159_040,
+    "TransformerBase": 18_914_304,
+}
+"""Pinned parameter counts (guarded by tests)."""

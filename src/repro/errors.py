@@ -72,6 +72,11 @@ class SpecError(ConfigurationError):
     """A declarative study spec is malformed or fails validation."""
 
 
+class AdmissionError(ConfigurationError):
+    """A request can never be admitted: its KV cache exceeds the
+    platform's total residency capacity even with every weight evicted."""
+
+
 class LinkBudgetError(ReproError):
     """A photonic link cannot close: losses exceed the available power."""
 

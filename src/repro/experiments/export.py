@@ -104,6 +104,10 @@ SERVING_FIELDS = (
     "retry_amplification",
     "hedge_win_rate",
     "wasted_attempts",
+    "tokens_generated",
+    "tokens_per_s",
+    "kv_refusals",
+    "decode_remaps",
 )
 """Scalar columns exported for every serving result."""
 
@@ -200,6 +204,39 @@ def _fault_windows_list(windows) -> list[dict]:
     ]
 
 
+def _sequence_dict(result) -> "dict | None":
+    """The autoregressive token-metric block (``None`` on single-step
+    serving results)."""
+    if not getattr(result, "is_sequence_run", False):
+        return None
+    return {
+        "ttft_s": _latency_dict(result.ttft) if result.ttft else None,
+        "token_latency_s": (
+            _latency_dict(result.token_latency)
+            if result.token_latency else None
+        ),
+        "tokens_generated": result.tokens_generated,
+        "tokens_per_s": result.tokens_per_s,
+        "kv_refusals": result.kv_refusals,
+        "kv_peak_bits": result.kv_peak_bits,
+        "decode_remaps": result.decode_remaps,
+    }
+
+
+def _sequence_csv_tail(result) -> list:
+    """(ttft_p50_s, ttft_p99_s, token_p99_s) columns; blank when the
+    run produced no tokens."""
+    if not getattr(result, "is_sequence_run", False):
+        return ["", "", ""]
+    ttft = result.ttft
+    token = result.token_latency
+    return [
+        ttft.p50_s if ttft else "",
+        ttft.p99_s if ttft else "",
+        token.p99_s if token else "",
+    ]
+
+
 def _per_model_list(per_model) -> list[dict]:
     """Per-tenant stat records, shared by serving and cluster exports."""
     return [
@@ -208,6 +245,7 @@ def _per_model_list(per_model) -> list[dict]:
             "slo_s": stats.slo_s,
             "completed": stats.completed,
             "shed": stats.shed,
+            "quota_denied": stats.quota_denied,
             "slo_violations": stats.slo_violations,
             "slo_attainment": stats.slo_attainment,
             "goodput_rps": stats.goodput_rps,
@@ -246,6 +284,7 @@ def serving_result_to_dict(result: ServingResult) -> dict:
     record["resilience"] = _resilience_dict(result.resilience)
     record["incidents"] = _incidents_list(result.incidents)
     record["fidelity"] = _fidelity_dict(result.fidelity)
+    record["sequence"] = _sequence_dict(result)
     return record
 
 
@@ -262,13 +301,16 @@ def serving_results_to_csv(results: Iterable[ServingResult]) -> str:
     buffer = io.StringIO()
     writer = csv.writer(buffer)
     writer.writerow(SERVING_FIELDS + ("p50_s", "p95_s", "p99_s",
-                                      "fidelity_mode", "fidelity_p99_err"))
+                                      "fidelity_mode", "fidelity_p99_err",
+                                      "ttft_p50_s", "ttft_p99_s",
+                                      "token_p99_s"))
     for result in results:
         writer.writerow(
             [getattr(result, field) for field in SERVING_FIELDS]
             + [result.latency.p50_s, result.latency.p95_s,
                result.latency.p99_s]
             + _fidelity_csv_tail(result)
+            + _sequence_csv_tail(result)
         )
     return buffer.getvalue()
 

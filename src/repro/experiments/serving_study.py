@@ -44,6 +44,7 @@ from ..serving.metrics import (
     ServingResult,
     aggregate,
     per_model_stats,
+    sequence_stats,
     windowed_stats,
 )
 from ..serving.scheduler import BatchPolicy, RequestScheduler
@@ -337,6 +338,15 @@ class ScenarioCell:
     ``digest`` is the resolved study-spec digest — it already covers
     every field, so it (plus the platform config, belt-and-braces) is
     the cache identity.
+
+    ``sequences`` marks an autoregressive scenario: one
+    ``(prompt_tokens, output_tokens)`` pair per mix entry, ``(0, 0)``
+    for single-step (CNN) tenants, with ``length_distribution`` naming
+    the per-request sampler.  ``quotas`` caps each tenant's outstanding
+    requests (``None`` per entry = uncapped) and ``starvation_age_s``
+    arms the priority policy's aging guard.  All of these enter the
+    cache key only when set, so pre-transformer cells keep their keys
+    byte for byte.
     """
 
     platform: str
@@ -356,6 +366,10 @@ class ScenarioCell:
     digest: str = ""
     resilience: ResiliencePolicy | None = None
     fidelity: "object | None" = None
+    sequences: tuple[tuple[int, int], ...] = ()
+    length_distribution: str = "fixed"
+    quotas: tuple[int | None, ...] = ()
+    starvation_age_s: float | None = None
 
     @property
     def mix_label(self) -> str:
@@ -398,6 +412,13 @@ class ScenarioCell:
             extra["resilience"] = asdict(self.resilience)
         if self.fidelity is not None:
             extra["fidelity"] = asdict(self.fidelity)
+        if self.sequences:
+            extra["sequences"] = [list(pair) for pair in self.sequences]
+            extra["length_distribution"] = self.length_distribution
+        if self.quotas:
+            extra["quotas"] = list(self.quotas)
+        if self.starvation_age_s is not None:
+            extra["starvation_age_s"] = self.starvation_age_s
         return cell_key(
             self.platform, self.mix_label, self.controller, self.config,
             extra=extra,
@@ -426,6 +447,49 @@ def _mix_stream(models: tuple[tuple[str, float, float | None, int], ...],
     return stream()
 
 
+def _sequence_stream(
+    models: tuple[tuple[str, float, float | None, int], ...],
+    sequences: tuple[tuple[int, int], ...],
+    distribution: str,
+    seed: int,
+) -> Iterator[tuple[str, int, int]]:
+    """Seeded infinite stream of (tenant, prompt, output) submissions.
+
+    The tenant draw replays :func:`_mix_stream`'s RNG exactly
+    (``(seed, 211)``); lengths come from an independent stream
+    (``(seed, 311)``) so the sampler never perturbs tenant assignment.
+    ``fixed`` uses the configured means verbatim; ``geometric`` draws
+    each length with that mean (minimum one token).  Single-step
+    tenants (``(0, 0)``) consume no length draws.
+    """
+    names = [name for name, _, _, _ in models]
+    fractions = np.cumsum([fraction for _, fraction, _, _ in models])
+    mix_rng = np.random.default_rng((seed, 211))
+    length_rng = np.random.default_rng((seed, 311))
+
+    def draw(mean: int) -> int:
+        if mean <= 0:
+            return 0
+        if distribution == "fixed":
+            return mean
+        return int(length_rng.geometric(1.0 / mean))
+
+    def stream() -> Iterator[tuple[str, int, int]]:
+        while True:
+            if len(names) == 1:
+                index = 0
+            else:
+                pick = mix_rng.random()
+                index = min(
+                    int(np.searchsorted(fractions, pick, side="right")),
+                    len(names) - 1,
+                )
+            prompt_mean, output_mean = sequences[index]
+            yield names[index], draw(prompt_mean), draw(output_mean)
+
+    return stream()
+
+
 def simulate_scenario_cell(cell: ScenarioCell,
                            record_sink: list | None = None) -> ServingResult:
     """Worker body: one full multi-tenant serving simulation.
@@ -445,16 +509,21 @@ def simulate_scenario_cell(cell: ScenarioCell,
         env, capacity_bits=cell.residency_capacity_bits
     )
 
+    quotas = cell.quotas or (None,) * len(cell.models)
     (primary, fraction, slo_s, priority), *tenants = cell.models
     scheduler = RequestScheduler(
         sim, sim.map_workload(extract_workload(MODELS.get(primary)())),
         primary, policy=cell.policy, residency=residency, trace=trace,
-        slo_s=slo_s, priority=priority,
+        slo_s=slo_s, priority=priority, quota=quotas[0],
+        starvation_age_s=cell.starvation_age_s,
     )
-    for name, _, tenant_slo, tenant_priority in tenants:
+    for index, (name, _, tenant_slo, tenant_priority) in enumerate(
+        tenants, start=1
+    ):
         scheduler.add_model(
             name, sim.map_workload(extract_workload(MODELS.get(name)())),
             slo_s=tenant_slo, priority=tenant_priority,
+            quota=quotas[index],
         )
     if compute_events:
         start_compute_hazards(env, (scheduler.compute,), compute_events)
@@ -463,7 +532,11 @@ def simulate_scenario_cell(cell: ScenarioCell,
         cell.rate_rps, cell.seed, burstiness=cell.burstiness,
         dwell_s=cell.dwell_s, think_time_s=cell.think_time_s,
     )
-    mix = _mix_stream(cell.models, cell.seed)
+    if cell.sequences:
+        mix = _sequence_stream(cell.models, cell.sequences,
+                               cell.length_distribution, cell.seed)
+    else:
+        mix = _mix_stream(cell.models, cell.seed)
     driver = None
     if cell.resilience is not None and cell.resilience:
         driver = LifecycleDriver(scheduler, cell.resilience,
@@ -506,6 +579,13 @@ def simulate_scenario_cell(cell: ScenarioCell,
         time_degraded_s += _compute_degraded_s(compute_events, elapsed)
     if window is not None:
         windows = windowed_stats(records, window[0], window[1], elapsed)
+    seq_ttft = seq_token = None
+    tokens = 0
+    tokens_per_s = 0.0
+    if cell.sequences:
+        seq_ttft, seq_token, tokens, tokens_per_s = sequence_stats(
+            records, elapsed
+        )
     return ServingResult(
         platform=platform.name,
         model=cell.mix_label,
@@ -527,11 +607,21 @@ def simulate_scenario_cell(cell: ScenarioCell,
         compute_energy_j=platform.trace_compute_energy_j(trace, elapsed),
         channel_stats=trace.channel_stats,
         requests_shed=shed,
-        per_model=per_model_stats(records, elapsed, scheduler.slos()),
+        per_model=per_model_stats(records, elapsed, scheduler.slos(),
+                                  quota_denied=scheduler.quota_denied),
         windows=windows,
         hazard_events=hazard_events,
         time_degraded_s=time_degraded_s,
         resilience=resilience_stats,
+        ttft=seq_ttft,
+        token_latency=seq_token,
+        tokens_generated=tokens,
+        tokens_per_s=tokens_per_s,
+        kv_refusals=scheduler.kv.refusals if scheduler.kv else 0,
+        kv_peak_bits=(
+            scheduler.kv.peak_reserved_bits if scheduler.kv else 0.0
+        ),
+        decode_remaps=scheduler.decode_remaps,
     )
 
 
@@ -637,6 +727,38 @@ def render_slo_summary(results: Sequence[ServingResult]) -> str:
             f"{stats.completed:>7}{stats.shed:>6}{stats.slo_violations:>6}"
             f"{stats.slo_attainment:>9.2%}"
             f"{stats.latency.p99_s * 1e6:>10.1f}"
+        )
+    return "\n".join(lines)
+
+
+def render_sequence_summary(results: Sequence[ServingResult]) -> str:
+    """Autoregressive serving table: one row per sequence-serving point.
+
+    Empty string when no result carries token metrics (single-step
+    runs), so callers can append unconditionally.
+    """
+    rows = [r for r in results if r.is_sequence_run]
+    if not rows:
+        return ""
+    header = (
+        f"{'policy':<16}{'offered/s':>12}  {'mix':<26}"
+        f"{'ttft p50(us)':>13}{'ttft p99(us)':>13}{'tok p99(us)':>12}"
+        f"{'tokens':>9}{'tok/s':>11}{'kv-ref':>7}{'remaps':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    for result in rows:
+        ttft = result.ttft
+        token = result.token_latency
+        lines.append(
+            f"{result.policy:<16}{result.offered_rps:>12.0f}  "
+            f"{result.model:<26}"
+            f"{(ttft.p50_s * 1e6 if ttft else 0):>13.1f}"
+            f"{(ttft.p99_s * 1e6 if ttft else 0):>13.1f}"
+            f"{(token.p99_s * 1e6 if token else 0):>12.1f}"
+            f"{result.tokens_generated:>9}"
+            f"{result.tokens_per_s:>11.0f}"
+            f"{result.kv_refusals:>7}"
+            f"{result.decode_remaps:>7}"
         )
     return "\n".join(lines)
 

@@ -16,11 +16,19 @@ that contract on top of any fabric:
 The store is deliberately simulation-native: eviction only forgets the
 memoised barrier, so requests already waiting on an in-flight fetch are
 unaffected.
+
+:class:`KVCacheResidency` is the second residency class, for
+autoregressive serving: each admitted sequence reserves the KV-cache
+bits its full generation will need from the **same** capacity pool the
+weights use.  KV reservations evict weights under pressure (weights can
+always be re-fetched; a sequence's KV cannot), are refused when they
+do not fit next to other live sequences, and are released when the
+sequence completes.
 """
 
 from __future__ import annotations
 
-from ..errors import ConfigurationError
+from ..errors import AdmissionError, ConfigurationError
 from ..interposer.base import InterposerFabric
 from ..sim.core import Environment, Event
 
@@ -44,6 +52,7 @@ class WeightResidency:
         self.fetches_issued = 0
         self.fetch_hits = 0
         self.evictions = 0
+        self.kv: "KVCacheResidency | None" = None
 
     # -- accounting ---------------------------------------------------------------
 
@@ -79,12 +88,17 @@ class WeightResidency:
             self._lru.remove(model_name)
         return freed
 
+    def _occupied_bits(self) -> float:
+        """Weight bits plus any live KV-cache reservations."""
+        kv_bits = self.kv.reserved_bits if self.kv is not None else 0.0
+        return self.resident_bits + kv_bits
+
     def _make_room(self, model_name: str, wanted_bits: float) -> None:
         """Evict LRU models (never the requester) until the new layer fits."""
         if self.capacity_bits is None:
             return
         while (
-            self.resident_bits + wanted_bits > self.capacity_bits
+            self._occupied_bits() + wanted_bits > self.capacity_bits
             and any(name != model_name for name in self._lru)
         ):
             victim = next(
@@ -126,3 +140,135 @@ class WeightResidency:
         self._touch(model_name)
         self.fetches_issued += 1
         return barrier
+
+
+class KVCacheResidency:
+    """Per-sequence KV-cache reservations against the weight store's pool.
+
+    An admitted sequence reserves the bits its whole generation will
+    need (prompt + output tokens), which guarantees forward progress:
+    once admitted, a sequence can always append its next token, so
+    decode never deadlocks mid-generation.  The actually-written bits
+    grow one token at a time (:meth:`grow`) for occupancy accounting.
+
+    Admission evicts resident weights LRU-first to make room — weights
+    re-fetch on the next request, cached KV state cannot — and is
+    refused (returns ``False``) when live reservations still leave no
+    room.  A sequence whose reservation exceeds the *total* capacity
+    can never be admitted and raises :class:`AdmissionError` instead.
+    """
+
+    def __init__(self, weights: WeightResidency):
+        if weights.kv is not None:
+            raise ConfigurationError(
+                "weight residency already has a KV-cache store attached"
+            )
+        self.weights = weights
+        self.env = weights.env
+        weights.kv = self
+        self._reserved: dict[int, float] = {}
+        self._written: dict[int, float] = {}
+        self.admissions = 0
+        self.refusals = 0
+        self.releases = 0
+        self.pressure_evictions = 0
+        self.peak_reserved_bits = 0.0
+        self._release_waiters: list[Event] = []
+
+    # -- accounting ---------------------------------------------------------------
+
+    @property
+    def capacity_bits(self) -> float | None:
+        return self.weights.capacity_bits
+
+    @property
+    def reserved_bits(self) -> float:
+        """Bits reserved by live sequences (the admission commitment)."""
+        return sum(self._reserved.values())
+
+    @property
+    def written_bits(self) -> float:
+        """KV bits actually appended so far, across live sequences."""
+        return sum(self._written.values())
+
+    @property
+    def live_sequences(self) -> int:
+        return len(self._reserved)
+
+    # -- admission ----------------------------------------------------------------
+
+    def admit(self, request_id: int, total_tokens: int,
+              bits_per_token: int) -> bool:
+        """Reserve a sequence's full KV footprint; False when refused.
+
+        Evicts LRU weights while the reservation does not fit.  Refusal
+        means other live sequences hold the room — wait on
+        :meth:`wait_release` and retry.
+        """
+        if total_tokens < 1:
+            raise ConfigurationError(
+                f"sequence needs >= 1 token, got {total_tokens}"
+            )
+        if bits_per_token <= 0:
+            raise ConfigurationError(
+                f"KV bits per token must be positive, got {bits_per_token}"
+            )
+        wanted = float(total_tokens * bits_per_token)
+        capacity = self.weights.capacity_bits
+        if capacity is not None:
+            if wanted > capacity:
+                raise AdmissionError(
+                    f"sequence of {total_tokens} tokens needs "
+                    f"{wanted:.0f} KV bits but total residency capacity "
+                    f"is {capacity:.0f} bits"
+                )
+            while (
+                self.weights.resident_bits + self.reserved_bits + wanted
+                > capacity
+                and self.weights._lru
+            ):
+                self.weights.evict(self.weights._lru[0])
+                self.pressure_evictions += 1
+            if self.reserved_bits + wanted > capacity:
+                self.refusals += 1
+                return False
+        self._reserved[request_id] = wanted
+        self._written[request_id] = 0.0
+        self.admissions += 1
+        self.peak_reserved_bits = max(
+            self.peak_reserved_bits, self.reserved_bits
+        )
+        return True
+
+    def grow(self, request_id: int, tokens: int,
+             bits_per_token: int) -> None:
+        """Account ``tokens`` newly appended KV rows for a live sequence."""
+        if request_id not in self._reserved:
+            raise ConfigurationError(
+                f"request {request_id} has no KV reservation"
+            )
+        self._written[request_id] = min(
+            self._reserved[request_id],
+            self._written[request_id] + tokens * bits_per_token,
+        )
+
+    def release(self, request_id: int) -> float:
+        """Free a completed sequence's reservation; returns bits freed."""
+        freed = self._reserved.pop(request_id, 0.0)
+        self._written.pop(request_id, None)
+        if freed:
+            self.releases += 1
+            waiters, self._release_waiters = self._release_waiters, []
+            for event in waiters:
+                if not event.triggered:
+                    event.succeed()
+        return freed
+
+    def wait_release(self) -> Event:
+        """Event firing at the next reservation release (retry signal).
+
+        Every waiter gets its own event and all of them fire on the
+        next release, so refused admissions re-contend together."""
+        event = self.env.event()
+        self._release_waiters.append(event)
+        return event

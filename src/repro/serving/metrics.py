@@ -19,7 +19,13 @@ from ..sim.resources import ChannelStat
 
 @dataclass(frozen=True)
 class RequestRecord:
-    """Lifecycle timestamps of one completed (or shed) request."""
+    """Lifecycle timestamps of one completed (or shed) request.
+
+    Sequence (autoregressive) requests additionally carry their token
+    counts, the first-token completion time (prefill end) and the gaps
+    between consecutive decoded tokens; single-shot requests keep the
+    zero defaults, so every pre-transformer record is unchanged.
+    """
 
     request_id: int
     model: str
@@ -29,6 +35,22 @@ class RequestRecord:
     batch_size: int = 1
     deadline_s: float | None = None
     dropped: bool = False
+    prompt_tokens: int = 0
+    output_tokens: int = 0
+    first_token_s: float | None = None
+    token_gaps: tuple[float, ...] = ()
+
+    @property
+    def is_sequence(self) -> bool:
+        """Whether this request was served as prefill + decode steps."""
+        return self.output_tokens > 0
+
+    @property
+    def ttft_s(self) -> float | None:
+        """Arrival-to-first-token latency (None for single-shot)."""
+        if self.first_token_s is None:
+            return None
+        return self.first_token_s - self.arrival_s
 
     @property
     def latency_s(self) -> float:
@@ -102,6 +124,7 @@ class ModelServingStats:
     slo_violations: int
     latency: LatencyProfile
     goodput_rps: float
+    quota_denied: int = 0
 
     @property
     def submitted(self) -> int:
@@ -121,11 +144,15 @@ def per_model_stats(
     records: list[RequestRecord],
     elapsed_s: float,
     slos: dict[str, float | None] | None = None,
+    quota_denied: dict[str, int] | None = None,
 ) -> tuple[ModelServingStats, ...]:
     """Group request records by model into per-tenant SLO stats.
 
     ``slos`` optionally names each model's SLO (from the scheduler);
     otherwise it is inferred from the records' assigned deadlines.
+    ``quota_denied`` optionally carries per-model admission-quota
+    denial counts (those requests were shed at submit time, so their
+    records are in ``records`` too — the counter says *why*).
     Models appear in first-record order, so output is deterministic.
     """
     order: list[str] = []
@@ -158,8 +185,35 @@ def per_model_stats(
             goodput_rps=(
                 len(served) / elapsed_s if elapsed_s > 0 else 0.0
             ),
+            quota_denied=(quota_denied or {}).get(model, 0),
         ))
     return tuple(stats)
+
+
+def sequence_stats(
+    records: list[RequestRecord],
+    elapsed_s: float,
+) -> tuple[LatencyProfile | None, LatencyProfile | None, int, float]:
+    """(TTFT profile, per-token-gap profile, tokens generated, tokens/s).
+
+    Aggregates the completed sequence requests of a run; all four
+    values are ``None``/zero when the run served no sequences, so
+    single-shot (CNN) results are untouched.
+    """
+    sequences = [
+        r for r in records
+        if r.is_sequence and not r.dropped and r.first_token_s is not None
+    ]
+    if not sequences:
+        return None, None, 0, 0.0
+    ttft = LatencyProfile.from_samples(
+        [r.first_token_s - r.arrival_s for r in sequences]
+    )
+    gaps = [gap for r in sequences for gap in r.token_gaps]
+    token_latency = LatencyProfile.from_samples(gaps)
+    tokens = sum(r.output_tokens for r in sequences)
+    tokens_per_s = tokens / elapsed_s if elapsed_s > 0 else 0.0
+    return ttft, token_latency, tokens, tokens_per_s
 
 
 @dataclass(frozen=True)
@@ -416,6 +470,18 @@ class ServingResult:
     mttr_s: float = 0.0
     incidents: tuple = ()
     fidelity: FidelityReport | None = None
+    ttft: LatencyProfile | None = None
+    token_latency: LatencyProfile | None = None
+    tokens_generated: int = 0
+    tokens_per_s: float = 0.0
+    kv_refusals: int = 0
+    kv_peak_bits: float = 0.0
+    decode_remaps: int = 0
+
+    @property
+    def is_sequence_run(self) -> bool:
+        """Whether any request was served as prefill + decode steps."""
+        return self.tokens_generated > 0
 
     @property
     def retry_amplification(self) -> float:

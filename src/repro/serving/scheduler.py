@@ -16,7 +16,7 @@ model name.  Batches never mix models (one batched inference is one
 model), and per-model latency SLOs assign every request a deadline at
 submission.
 
-Four policies:
+Five policies:
 
 * ``fifo``      — every request dispatches alone, in arrival order;
   ``max_inflight`` caps concurrent executions (admission control).
@@ -28,12 +28,28 @@ Four policies:
   ordered by assigned deadline (no-SLO requests go last, FIFO among
   themselves).
 * ``priority``  — single-request dispatch ordered by the submitting
-  model's priority (higher first), FIFO within a priority level.
+  model's priority (higher first), FIFO within a priority level.  An
+  optional ``starvation_age_s`` guard promotes the oldest queued
+  request ahead of the priority order once it has waited that long.
+* ``continuous`` — continuous batching for autoregressive (sequence)
+  requests: each admitted sequence prefills alone, then joins the
+  model's *running decode batch*; sequences join and leave the batch
+  at decode-step boundaries, and the decode mapping is re-derived per
+  batch width (``max_batch`` caps the width).  Single-shot requests
+  under this policy dispatch alone, like ``fifo``.
+
+A *sequence* request (``output_tokens > 0`` at submission) runs as one
+prefill pass over its prompt followed by dependent decode steps; its
+KV cache reserves residency capacity for the whole generation at
+admission (:class:`~repro.mapping.residency.KVCacheResidency`) and is
+released at completion.
 
 Any policy can additionally set ``shed_expired``: requests whose
 deadline has already passed when they are selected for dispatch are
 shed — they complete immediately as dropped (the closed-loop client
 moves on) and count as SLO violations instead of occupying the fabric.
+Per-model admission ``quota``\\ s cap outstanding requests per tenant:
+submissions over quota are shed immediately and counted per model.
 """
 
 from __future__ import annotations
@@ -44,9 +60,10 @@ from typing import Callable, Iterator
 
 from ..core.accelerator import PlatformSimulation
 from ..core.engine import ComputeOccupancy, ExecutionTrace, RequestExecution
+from ..dnn.workload import decode_workload, widened_workload
 from ..errors import ConfigurationError, SimulationError, UnknownNameError
 from ..mapping.mapper import ModelMapping
-from ..mapping.residency import WeightResidency
+from ..mapping.residency import KVCacheResidency, WeightResidency
 from ..sim.core import Event
 from ..sim.resources import Resource
 from ..sim.traffic import ClosedLoopClients
@@ -56,7 +73,7 @@ DEFAULT_DRAIN_LIMIT_S = 1.0
 """Simulated-time hang guard for draining in-flight requests after
 injection stops (generous: serving windows are µs–ms scale)."""
 
-POLICY_NAMES = ("fifo", "max-batch", "edf", "priority")
+POLICY_NAMES = ("fifo", "max-batch", "edf", "priority", "continuous")
 """Every dispatch policy the scheduler implements."""
 
 
@@ -80,7 +97,7 @@ class BatchPolicy:
             raise ConfigurationError(
                 f"max batch must be >= 1, got {self.max_batch}"
             )
-        if self.name != "max-batch" and self.max_batch != 1:
+        if self.name not in ("max-batch", "continuous") and self.max_batch != 1:
             raise ConfigurationError(
                 f"{self.name} policy dispatches single requests"
             )
@@ -125,10 +142,21 @@ class BatchPolicy:
         return cls(name="priority", max_batch=1, max_inflight=max_inflight,
                    shed_expired=shed_expired)
 
+    @classmethod
+    def continuous(cls, max_batch: int = 8,
+                   max_inflight: int | None = None,
+                   shed_expired: bool = False) -> "BatchPolicy":
+        """Continuous batching: ``max_batch`` caps the decode width."""
+        if max_inflight is None:
+            max_inflight = max(max_batch, 4)
+        return cls(name="continuous", max_batch=max_batch,
+                   max_inflight=max_inflight, shed_expired=shed_expired)
+
     @property
     def label(self) -> str:
         base = (
-            f"max-batch({self.max_batch})" if self.name == "max-batch"
+            f"{self.name}({self.max_batch})"
+            if self.name in ("max-batch", "continuous")
             else self.name
         )
         return base + "+shed" if self.shed_expired else base
@@ -156,6 +184,17 @@ class RequestHandle:
     node: int | None = None
     dropped: bool = False
     record: RequestRecord | None = None
+    prompt_tokens: int = 0
+    output_tokens: int = 0
+    tokens_done: int = 0
+    dispatch_s: float | None = None
+    first_token_s: float | None = None
+    token_times: list[float] = field(default_factory=list)
+
+    @property
+    def is_sequence(self) -> bool:
+        """Whether this request runs as prefill + decode steps."""
+        return self.output_tokens > 0
 
     @property
     def arrival_s(self) -> float:
@@ -184,6 +223,7 @@ class _ModelEntry:
     mapping: ModelMapping
     slo_s: float | None = None
     priority: int = 0
+    quota: int | None = None
 
 
 class RequestScheduler:
@@ -206,6 +246,8 @@ class RequestScheduler:
         record_timings: bool = False,
         slo_s: float | None = None,
         priority: int = 0,
+        quota: int | None = None,
+        starvation_age_s: float | None = None,
     ):
         self.sim = sim
         self.env = sim.env
@@ -219,8 +261,20 @@ class RequestScheduler:
         self.trace = trace or ExecutionTrace()
         self.record_timings = record_timings
         self.compute = ComputeOccupancy(sim.env)
+        if starvation_age_s is not None:
+            if self.policy.name != "priority":
+                raise ConfigurationError(
+                    "starvation_age_s only applies to the priority "
+                    f"policy, not {self.policy.name!r}"
+                )
+            if starvation_age_s <= 0:
+                raise ConfigurationError(
+                    f"starvation age must be positive, got "
+                    f"{starvation_age_s}"
+                )
+        self.starvation_age_s = starvation_age_s
         self._models: dict[str, _ModelEntry] = {}
-        self._register(model_name, mapping, slo_s, priority)
+        self._register(model_name, mapping, slo_s, priority, quota)
 
         self._queue: deque[RequestHandle] = deque()
         self._arrival_signal: Event | None = None
@@ -233,6 +287,16 @@ class RequestScheduler:
         self.requests_evicted = 0
         self.requests_cancelled = 0
         self.batches_dispatched = 0
+        self.starvation_promotions = 0
+        self.quota_denied: dict[str, int] = {}
+        self._outstanding: dict[str, int] = {}
+        self.kv: KVCacheResidency | None = None
+        self.decode_remaps = 0
+        self._decode_workloads: dict[str, object] = {}
+        self._decode_mappings: dict[tuple[str, int], ModelMapping] = {}
+        self._pools: dict[str, list[RequestHandle]] = {}
+        self._pool_running: set[str] = set()
+        self._has_sequences = False
         self.on_request_closed: Callable[[RequestHandle], None] | None = None
         self._injection_done = False
         self._drained = sim.env.event()
@@ -245,21 +309,28 @@ class RequestScheduler:
     # -- served models ------------------------------------------------------------
 
     def _register(self, name: str, mapping: ModelMapping,
-                  slo_s: float | None, priority: int) -> None:
+                  slo_s: float | None, priority: int,
+                  quota: int | None = None) -> None:
         if name in self._models:
             raise ConfigurationError(f"model {name!r} is already served")
         if slo_s is not None and slo_s <= 0:
             raise ConfigurationError(
                 f"SLO must be positive, got {slo_s} for {name!r}"
             )
+        if quota is not None and quota < 1:
+            raise ConfigurationError(
+                f"admission quota must be >= 1, got {quota} for {name!r}"
+            )
         self._models[name] = _ModelEntry(
-            name=name, mapping=mapping, slo_s=slo_s, priority=priority
+            name=name, mapping=mapping, slo_s=slo_s, priority=priority,
+            quota=quota,
         )
 
     def add_model(self, name: str, mapping: ModelMapping,
-                  slo_s: float | None = None, priority: int = 0) -> None:
+                  slo_s: float | None = None, priority: int = 0,
+                  quota: int | None = None) -> None:
         """Register another tenant model to serve from the same fabric."""
-        self._register(name, mapping, slo_s, priority)
+        self._register(name, mapping, slo_s, priority, quota)
 
     @property
     def served_models(self) -> tuple[str, ...]:
@@ -288,7 +359,9 @@ class RequestScheduler:
 
     def submit(self, done: Event | None = None,
                model: str | None = None,
-               arrival_s: float | None = None) -> RequestHandle:
+               arrival_s: float | None = None,
+               prompt_tokens: int = 0,
+               output_tokens: int = 0) -> RequestHandle:
         """Enqueue one request arriving now; returns its public handle.
 
         ``model`` defaults to the primary model the scheduler was built
@@ -297,6 +370,11 @@ class RequestScheduler:
         base): the cluster router uses it when re-enqueueing a request
         evicted from a failed node, so the user-visible latency and SLO
         clock keep running from the original submission.
+
+        ``output_tokens > 0`` makes this a *sequence* request: one
+        prefill pass over ``prompt_tokens`` followed by decode steps
+        until ``output_tokens`` have been generated.  The target model
+        must have attention layers (a KV cache to keep).
         """
         name = self.model_name if model is None else model
         try:
@@ -305,19 +383,57 @@ class RequestScheduler:
             raise UnknownNameError(
                 "served model", name, tuple(self._models)
             ) from None
+        if output_tokens > 0:
+            if entry.mapping.workload.kv_bits_per_token <= 0:
+                raise ConfigurationError(
+                    f"model {name!r} has no attention layers; sequence "
+                    "requests need a transformer model"
+                )
+            if prompt_tokens < 1:
+                raise ConfigurationError(
+                    f"sequence requests need >= 1 prompt token, got "
+                    f"{prompt_tokens}"
+                )
+            self._has_sequences = True
+        elif prompt_tokens:
+            raise ConfigurationError(
+                "prompt_tokens without output_tokens: single-shot "
+                "requests carry no sequence lengths"
+            )
         now = self.env.now if arrival_s is None else arrival_s
         request = RequestHandle(
             request_id=self._next_id, model=name, submit_s=now,
             deadline_s=None if entry.slo_s is None else now + entry.slo_s,
-            done=done,
+            done=done, prompt_tokens=prompt_tokens,
+            output_tokens=output_tokens,
         )
         self._next_id += 1
-        self._queue.append(request)
         self.requests_injected += 1
+        denied = (
+            entry.quota is not None
+            and self._outstanding.get(name, 0) >= entry.quota
+        )
+        self._outstanding[name] = self._outstanding.get(name, 0) + 1
+        if denied:
+            # Over the tenant's admission quota: shed at submit time.
+            # (_shed rolls the outstanding count back via _note_closed.)
+            self.quota_denied[name] = self.quota_denied.get(name, 0) + 1
+            self._shed(request)
+            return request
+        self._queue.append(request)
+        self._signal_arrival()
+        return request
+
+    def _signal_arrival(self) -> None:
         signal = self._arrival_signal
         if signal is not None and not signal.triggered:
             signal.succeed()
-        return request
+
+    def _note_closed(self, request: RequestHandle) -> None:
+        """Drop a queued-or-running request from its model's quota count."""
+        count = self._outstanding.get(request.model, 0)
+        if count > 0:
+            self._outstanding[request.model] = count - 1
 
     def cancel(self, handle: RequestHandle) -> bool:
         """Withdraw one still-queued request (lifecycle cancellation).
@@ -337,6 +453,7 @@ class RequestScheduler:
                 del self._queue[index]
                 self.requests_injected -= 1
                 self.requests_cancelled += 1
+                self._note_closed(request)
                 self._check_drained()
                 return True
         return False
@@ -377,6 +494,8 @@ class RequestScheduler:
         self._queue.clear()
         self.requests_injected -= len(evicted)
         self.requests_evicted += len(evicted)
+        for request in evicted:
+            self._note_closed(request)
         self._check_drained()
         return evicted
 
@@ -400,11 +519,18 @@ class RequestScheduler:
                 ),
             )
         if self.policy.name == "priority":
+            # Starvation guard: the queue is in arrival order, so index
+            # 0 is the oldest waiter — once it has aged past the
+            # threshold it dispatches ahead of higher-priority arrivals.
+            age = self.starvation_age_s
+            if age is not None and self.env.now - queue[0].submit_s > age:
+                self.starvation_promotions += 1
+                return 0
             return min(
                 range(len(queue)),
                 key=lambda i: (-self._models[queue[i].model].priority, i),
             )
-        return 0  # fifo / max-batch: arrival order
+        return 0  # fifo / max-batch / continuous: arrival order
 
     def _expired(self, request: RequestHandle) -> bool:
         """Whether dispatching ``request`` now should shed it instead."""
@@ -426,13 +552,19 @@ class RequestScheduler:
             return request
         return None
 
-    def _pop_match(self, model: str) -> RequestHandle | None:
-        """Pop the oldest queued request for ``model`` (batch filling)."""
+    def _pop_match(self, model: str,
+                   want_sequence: bool = False) -> RequestHandle | None:
+        """Pop the oldest queued request for ``model`` (batch filling).
+
+        Batches never mix sequence and single-shot requests — the two
+        take different execution paths — so candidates must match the
+        batch head's kind as well as its model.
+        """
         queue = self._queue
-        if len(self._models) == 1:
+        if len(self._models) == 1 and not self._has_sequences:
             return queue.popleft() if queue else None
         for index, request in enumerate(queue):
-            if request.model == model:
+            if request.model == model and request.is_sequence == want_sequence:
                 del queue[index]
                 return request
         return None
@@ -458,6 +590,35 @@ class RequestScheduler:
             if head is None:
                 # Everything queued was shed; give the slot back.
                 self._admission.release()
+                continue
+            if head.is_sequence:
+                self.batches_dispatched += 1
+                if policy.name == "continuous":
+                    # Each sequence holds its admission slot for its
+                    # whole lifetime; prefilled sequences join the
+                    # model's running decode batch.
+                    self.env.process(self._serve_sequence(head))
+                    continue
+                batch = [head]
+                if policy.name == "max-batch" and policy.max_batch > 1:
+                    deadline = self.env.now + policy.batch_timeout_s
+                    while len(batch) < policy.max_batch:
+                        candidate = self._pop_match(head.model,
+                                                    want_sequence=True)
+                        if candidate is not None:
+                            if self._expired(candidate):
+                                self._shed(candidate)
+                            else:
+                                batch.append(candidate)
+                            continue
+                        remaining = deadline - self.env.now
+                        if remaining <= 0:
+                            break
+                        yield self.env.any_of([
+                            self._wait_arrival(),
+                            self.env.timeout(remaining),
+                        ])
+                self.env.process(self._execute_sequence_batch(batch))
                 continue
             batch = [head]
             if policy.name == "max-batch" and policy.max_batch > 1:
@@ -500,6 +661,7 @@ class RequestScheduler:
         if request.done is not None:
             request.done.succeed()
         self.requests_shed += 1
+        self._note_closed(request)
         if self.on_request_closed is not None:
             self.on_request_closed(request)
         self._check_drained()
@@ -537,10 +699,221 @@ class RequestScheduler:
             request.record = record
             if request.done is not None:
                 request.done.succeed()
+            self._note_closed(request)
             if self.on_request_closed is not None:
                 self.on_request_closed(request)
         self.requests_completed += len(batch)
         self._check_drained()
+
+    # -- sequence execution: prefill + decode steps -----------------------------------
+
+    def _kv_store(self) -> KVCacheResidency:
+        """The KV-cache store, attached to the weight pool on first use."""
+        if self.kv is None:
+            self.kv = (
+                self.residency.kv
+                if self.residency.kv is not None
+                else KVCacheResidency(self.residency)
+            )
+        return self.kv
+
+    def _decode_mapping(self, entry: _ModelEntry, width: int) -> ModelMapping:
+        """Decode-step mapping for a batch of ``width`` sequences.
+
+        The remapping hook of continuous batching: the per-token decode
+        workload is scaled to the running batch width and remapped, so
+        chiplet allocation tracks the width; mappings are memoised per
+        (model, width) and ``decode_remaps`` counts the distinct
+        remappings a run needed.
+        """
+        key = (entry.name, width)
+        mapping = self._decode_mappings.get(key)
+        if mapping is None:
+            base = self._decode_workloads.get(entry.name)
+            if base is None:
+                base = decode_workload(entry.mapping.workload)
+                self._decode_workloads[entry.name] = base
+            mapping = self.sim.map_workload(widened_workload(base, width))
+            self._decode_mappings[key] = mapping
+            self.decode_remaps += 1
+        return mapping
+
+    def _run_step(self, mapping: ModelMapping, entry: _ModelEntry,
+                  batch_size: int = 1) -> Event:
+        """One execution over a decode-shaped mapping (prefill or step)."""
+        execution = RequestExecution(
+            self.env, self.sim.platform.config, self.sim.fabric, mapping,
+            self.trace, mac_rate_hz=self.sim.mac_rate_hz,
+            batch_size=batch_size, residency=self.residency,
+            compute=self.compute, model_name=entry.name,
+            record_timings=self.record_timings,
+        )
+        return execution.start()
+
+    def _admit_kv(self, request: RequestHandle, entry: _ModelEntry):
+        """Reserve the sequence's KV cache, waiting out refusals."""
+        kv = self._kv_store()
+        bits = entry.mapping.workload.kv_bits_per_token
+        total_tokens = request.prompt_tokens + request.output_tokens
+        while not kv.admit(request.request_id, total_tokens, bits):
+            yield kv.wait_release()
+
+    def _prefill(self, request: RequestHandle, entry: _ModelEntry):
+        """Prefill one sequence: one pass, batched over prompt tokens."""
+        request.dispatch_s = self.env.now
+        yield self._run_step(
+            self._decode_mapping(entry, 1), entry,
+            batch_size=max(1, request.prompt_tokens),
+        )
+        now = self.env.now
+        request.first_token_s = now
+        request.tokens_done = 1
+        request.token_times.append(now)
+        self._kv_store().grow(
+            request.request_id, request.prompt_tokens + 1,
+            entry.mapping.workload.kv_bits_per_token,
+        )
+
+    def _advance_token(self, request: RequestHandle,
+                       entry: _ModelEntry) -> bool:
+        """Account one decoded token; True when the sequence finished."""
+        request.tokens_done += 1
+        request.token_times.append(self.env.now)
+        self._kv_store().grow(
+            request.request_id, 1,
+            entry.mapping.workload.kv_bits_per_token,
+        )
+        return request.tokens_done >= request.output_tokens
+
+    def _close_sequence(self, request: RequestHandle,
+                        release_slot: bool) -> None:
+        """Complete one sequence: record, KV release, drain accounting."""
+        self._kv_store().release(request.request_id)
+        times = request.token_times
+        record = RequestRecord(
+            request_id=request.request_id,
+            model=request.model,
+            arrival_s=request.submit_s,
+            dispatch_s=(
+                request.dispatch_s if request.dispatch_s is not None
+                else request.submit_s
+            ),
+            finish_s=self.env.now,
+            batch_size=1,
+            deadline_s=request.deadline_s,
+            prompt_tokens=request.prompt_tokens,
+            output_tokens=request.tokens_done,
+            first_token_s=request.first_token_s,
+            token_gaps=tuple(
+                later - earlier for earlier, later in zip(times, times[1:])
+            ),
+        )
+        self.records.append(record)
+        self.trace.request_records.append(record)
+        request.record = record
+        self.sim.fabric.request_finished()
+        if release_slot:
+            self._admission.release()
+        if request.done is not None:
+            request.done.succeed()
+        self._note_closed(request)
+        if self.on_request_closed is not None:
+            self.on_request_closed(request)
+        self.requests_completed += 1
+        self._check_drained()
+
+    def _serve_sequence(self, request: RequestHandle):
+        """Continuous batching: prefill alone, then join the decode pool."""
+        entry = self._models[request.model]
+        yield from self._admit_kv(request, entry)
+        self.sim.fabric.request_started()
+        yield from self._prefill(request, entry)
+        if request.tokens_done >= request.output_tokens:
+            self._close_sequence(request, release_slot=True)
+            return
+        pool = self._pools.setdefault(request.model, [])
+        pool.append(request)
+        if request.model not in self._pool_running:
+            self._pool_running.add(request.model)
+            self.env.process(self._decode_pool(request.model))
+
+    def _decode_pool(self, model: str):
+        """The running decode batch of one model (continuous policy).
+
+        Lives while the pool has members: every iteration executes one
+        decode step at the current batch width (joins since the last
+        step widen it; finished sequences leave and release their KV
+        reservation and admission slot at the step boundary).
+        """
+        entry = self._models[model]
+        pool = self._pools[model]
+        width_cap = max(1, self.policy.max_batch)
+        while pool:
+            members = pool[:width_cap]
+            mapping = self._decode_mapping(entry, len(members))
+            yield self._run_step(mapping, entry)
+            for member in members:
+                if self._advance_token(member, entry):
+                    pool.remove(member)
+                    self._close_sequence(member, release_slot=True)
+        self._pool_running.discard(model)
+
+    def _execute_sequence_batch(self, batch: list[RequestHandle]):
+        """Sequence batch under a non-continuous policy: the whole batch
+        prefills together and decodes in lockstep — members leave as
+        they finish, but nothing joins a running batch."""
+        entry = self._models[batch[0].model]
+        kv = self._kv_store()
+        bits = entry.mapping.workload.kv_bits_per_token
+        admitted: list[RequestHandle] = []
+        deferred: list[RequestHandle] = []
+        own_bits = 0.0
+        for request in batch:
+            total_tokens = request.prompt_tokens + request.output_tokens
+            while True:
+                if kv.admit(request.request_id, total_tokens, bits):
+                    admitted.append(request)
+                    own_bits += float(total_tokens * bits)
+                    break
+                if kv.reserved_bits - own_bits <= 0:
+                    # Only this batch's own members hold KV: waiting
+                    # would deadlock.  Run with what fits; the rest
+                    # re-queue for a later dispatch.
+                    deferred.append(request)
+                    break
+                yield kv.wait_release()
+        if deferred:
+            self._queue.extendleft(reversed(deferred))
+            self._signal_arrival()
+        dispatch_s = self.env.now
+        for request in admitted:
+            self.sim.fabric.request_started()
+            request.dispatch_s = dispatch_s
+        total_prompt = sum(
+            max(1, request.prompt_tokens) for request in admitted
+        )
+        yield self._run_step(
+            self._decode_mapping(entry, 1), entry, batch_size=total_prompt
+        )
+        now = self.env.now
+        active: list[RequestHandle] = []
+        for request in admitted:
+            request.first_token_s = now
+            request.tokens_done = 1
+            request.token_times.append(now)
+            kv.grow(request.request_id, request.prompt_tokens + 1, bits)
+            if request.tokens_done >= request.output_tokens:
+                self._close_sequence(request, release_slot=False)
+            else:
+                active.append(request)
+        while active:
+            mapping = self._decode_mapping(entry, len(active))
+            yield self._run_step(mapping, entry)
+            for member in list(active):
+                if self._advance_token(member, entry):
+                    active.remove(member)
+                    self._close_sequence(member, release_slot=False)
+        self._admission.release()
 
     def _check_drained(self) -> None:
         if (
@@ -553,29 +926,45 @@ class RequestScheduler:
 
     # -- injection -------------------------------------------------------------------
 
-    def _next_model(self,
-                    models: Iterator[str] | None) -> str | None:
-        return None if models is None else next(models)
+    def _next_submission(
+        self, models: Iterator | None
+    ) -> tuple[str | None, int, int]:
+        """(model, prompt_tokens, output_tokens) of the next injection.
+
+        The ``models`` iterator may yield bare model names (single-shot
+        requests, the classic contract) or ``(model, prompt_tokens,
+        output_tokens)`` tuples for sequence requests.
+        """
+        if models is None:
+            return None, 0, 0
+        item = next(models)
+        if isinstance(item, tuple):
+            return item
+        return item, 0, 0
 
     def _open_loop_injector(self, arrivals, duration_s: float,
-                            models: Iterator[str] | None = None):
+                            models: Iterator | None = None):
         """Inject an open-loop gap stream for the duration window."""
         for gap in arrivals.gaps():
             yield self.env.timeout(gap)
             if self.env.now > duration_s:
                 return
-            self.submit(model=self._next_model(models))
+            model, prompt, output = self._next_submission(models)
+            self.submit(model=model, prompt_tokens=prompt,
+                        output_tokens=output)
 
     def _closed_loop_client(self, clients: ClosedLoopClients, index: int,
                             duration_s: float,
-                            models: Iterator[str] | None = None):
+                            models: Iterator | None = None):
         """One closed-loop client: think, request, await completion."""
         for gap in clients.think_gaps(index):
             yield self.env.timeout(gap)
             if self.env.now > duration_s:
                 return
-            request = self.submit(done=self.env.event(),
-                                  model=self._next_model(models))
+            model, prompt, output = self._next_submission(models)
+            request = self.submit(done=self.env.event(), model=model,
+                                  prompt_tokens=prompt,
+                                  output_tokens=output)
             yield request.done
 
     def _watch_injection(self, injectors):
@@ -584,7 +973,7 @@ class RequestScheduler:
         self._check_drained()
 
     def _inject_cohort(self, arrivals, duration_s: float,
-                       models: Iterator[str] | None) -> None:
+                       models: Iterator | None) -> None:
         """Vectorized open-loop injection: the whole arrival cohort is
         precomputed (batched RNG draws) and bulk-scheduled as plain
         callbacks — no generator frame or per-gap timeout per request.
@@ -593,7 +982,9 @@ class RequestScheduler:
         times = arrivals.arrival_times(duration_s)
 
         def _submit_one(_at_s: float) -> None:
-            self.submit(model=self._next_model(models))
+            model, prompt, output = self._next_submission(models)
+            self.submit(model=model, prompt_tokens=prompt,
+                        output_tokens=output)
 
         def _mark_done(_at_s: float) -> None:
             self._injection_done = True
@@ -610,7 +1001,7 @@ class RequestScheduler:
 
     def serve(self, arrivals, duration_s: float,
               drain_limit_s: float = DEFAULT_DRAIN_LIMIT_S,
-              models: Iterator[str] | None = None,
+              models: Iterator | None = None,
               vectorized: bool = False) -> None:
         """Run the full serving window: inject, dispatch, drain.
 

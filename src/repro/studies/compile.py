@@ -37,7 +37,9 @@ from ..cluster.study import (
 from ..config import DEFAULT_PLATFORM, PlatformConfig
 from ..core.metrics import InferenceResult
 from ..dnn.workload import extract_workload
+from ..dnn.zoo import TRANSFORMER_BUILDERS
 from ..errors import SpecError
+from ..interposer.photonic.controllers import EPOCH_CONTROLLERS
 from ..experiments.runner import (
     CacheStats,
     ResultCache,
@@ -51,6 +53,7 @@ from ..experiments.serving_study import (
     hazard_timeline,
     platform_timelines,
     render_fault_windows,
+    render_sequence_summary,
     render_serving_study,
     render_slo_summary,
     simulate_study_cells,
@@ -225,6 +228,8 @@ def resolve_config(spec: StudySpec,
         config = config.with_gateways_per_chiplet(
             spec.platform.gateways_per_chiplet
         )
+    if spec.platform.controller_epoch_s is not None:
+        config = config.with_epoch(spec.platform.controller_epoch_s)
     return config
 
 
@@ -234,6 +239,40 @@ def _validate_names(spec: StudySpec) -> None:
     CONTROLLERS.get(spec.platform.controller)
     for entry in spec.workload.models:
         MODELS.get(entry.model)
+    if spec.platform.controller_epoch_s is not None:
+        # Inert-knob rejection: the epoch only drives the reconfiguring
+        # controllers, and only the SiPh fabric has one at all.
+        if spec.platform.name != SIPH_PLATFORM:
+            raise SpecError(
+                f"platform.controller_epoch_s applies only to "
+                f"{SIPH_PLATFORM!r} (the platform with a reconfiguration "
+                f"controller), got platform {spec.platform.name!r}"
+            )
+        if spec.platform.controller not in EPOCH_CONTROLLERS:
+            raise SpecError(
+                f"platform.controller_epoch_s applies only to the "
+                f"epoch-driven controllers "
+                f"({', '.join(EPOCH_CONTROLLERS)}); the "
+                f"{spec.platform.controller!r} controller never acts on "
+                "the epoch"
+            )
+    for entry in spec.workload.models:
+        prompt, output = spec.workload.resolved_lengths(entry)
+        is_transformer = entry.model in TRANSFORMER_BUILDERS
+        if output > 0 and not is_transformer:
+            raise SpecError(
+                f"sequence lengths on {entry.model!r}, which has no "
+                "attention layers; autoregressive serving needs a "
+                f"transformer model "
+                f"({', '.join(sorted(TRANSFORMER_BUILDERS))}) — CNN "
+                "tenants keep prompt_tokens/output_tokens at 0"
+            )
+        if spec.kind == "serving" and is_transformer and output == 0:
+            raise SpecError(
+                f"transformer model {entry.model!r} in a serving mix "
+                "needs sequence lengths (set output_tokens, plus "
+                "prompt_tokens, at the workload or tenant level)"
+            )
     if spec.platform.faults.events:
         if spec.platform.name != SIPH_PLATFORM:
             raise SpecError(
@@ -335,7 +374,10 @@ def is_classic_serving(point: StudySpec) -> bool:
         and workload.models[0].fraction == 1.0
         and workload.models[0].slo_s is None
         and workload.models[0].priority == 0
+        and not workload.has_sequences
+        and not workload.has_quotas
         and scheduler.policy in ("fifo", "max-batch")
+        and scheduler.starvation_age_s is None
         and not scheduler.shed_expired
         and point.residency_capacity_bits is None
         and not point.platform.faults.events
@@ -456,6 +498,19 @@ def lower_serving_point(point: StudySpec,
         digest=point.digest,
         resilience=build_resilience(point),
         fidelity=build_fidelity(point),
+        sequences=(
+            tuple(
+                workload.resolved_lengths(entry)
+                for entry in workload.models
+            )
+            if workload.has_sequences else ()
+        ),
+        length_distribution=workload.length_distribution,
+        quotas=(
+            tuple(entry.quota for entry in workload.models)
+            if workload.has_quotas else ()
+        ),
+        starvation_age_s=point.scheduler.starvation_age_s,
     )
 
 
@@ -598,6 +653,10 @@ def render_study(study: StudyResult) -> str:
         results = study.serving_results()
         if results:
             lines.append(render_serving_study(results))
+            sequence_table = render_sequence_summary(results)
+            if sequence_table:
+                lines += ["", "transformer serving (token metrics):",
+                          sequence_table]
             slo_table = render_slo_summary(results)
             if slo_table:
                 lines += ["", "per-model SLO attainment:", slo_table]

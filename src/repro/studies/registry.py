@@ -21,7 +21,11 @@ from ..core.accelerator import (
     CrossLight25DSiPh,
     MonolithicCrossLight,
 )
-from ..dnn.zoo import EXTENDED_BUILDERS, MODEL_BUILDERS
+from ..dnn.zoo import (
+    EXTENDED_BUILDERS,
+    MODEL_BUILDERS,
+    TRANSFORMER_BUILDERS,
+)
 from ..errors import ConfigurationError, UnknownNameError
 from ..interposer.photonic.controllers import CONTROLLER_FACTORIES
 from ..interposer.photonic.faults import HAZARD_FACTORIES
@@ -132,8 +136,10 @@ SiPh interposer actually consumes the controller name."""
 
 
 MODELS = Registry("model", label="MODELS",
-                  entries={**MODEL_BUILDERS, **EXTENDED_BUILDERS})
-"""DNN builders by zoo name (Table 2 plus the extended zoo)."""
+                  entries={**MODEL_BUILDERS, **EXTENDED_BUILDERS,
+                           **TRANSFORMER_BUILDERS})
+"""DNN builders by zoo name (Table 2, the extended zoo, and the
+transformer zoo for autoregressive serving)."""
 
 
 CONTROLLERS = Registry("controller", label="CONTROLLERS",

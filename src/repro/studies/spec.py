@@ -25,7 +25,7 @@ from typing import Any, Mapping
 
 from ..errors import SpecError
 
-SPEC_SCHEMA_VERSION = 5
+SPEC_SCHEMA_VERSION = 6
 """Bump when the spec schema changes meaning: digests (and therefore
 every scenario cache key) move with it.
 
@@ -50,7 +50,22 @@ Version 5: :class:`StudySpec` grew a ``fidelity`` section
 calibration error budget, automatic DES fallback).  The degenerate
 ``des`` default lowers onto the exact pre-fidelity cells: classic cell
 keys do not embed the spec digest, so a legacy cache still satisfies
-a degenerate spec."""
+a degenerate spec.
+
+Version 6: autoregressive (transformer) serving.
+:class:`WorkloadSpec` grew sequence-length knobs (``prompt_tokens`` /
+``output_tokens`` / ``length_distribution``), :class:`ModelTraffic`
+per-tenant length overrides plus an admission ``quota``,
+:class:`SchedulerSpec` a ``starvation_age_s`` guard for the priority
+policy, and :class:`PlatformSpec` a sweepable ``controller_epoch_s``.
+Degenerate single-step (CNN) specs still lower onto the classic cells,
+whose keys do not embed the spec digest — only digest-bearing scenario
+keys move."""
+
+LENGTH_DISTRIBUTIONS = ("fixed", "geometric")
+"""Sequence-length samplers: every request uses the configured token
+counts exactly (``fixed``) or draws each from a seeded geometric
+distribution with that mean (``geometric``, minimum one token)."""
 
 STUDY_KINDS = ("inference", "serving")
 """Study kinds the compiler can lower."""
@@ -114,12 +129,22 @@ class ModelTraffic:
     latency SLO (deadline assigned at submission; ``None`` = best
     effort) and ``priority`` its rank under the ``priority`` dispatch
     policy (higher dispatches first).
+
+    ``prompt_tokens`` / ``output_tokens`` override the workload-level
+    sequence lengths for this tenant (``None`` = inherit): a transformer
+    tenant serves one prefill plus ``output_tokens`` dependent decode
+    steps per request, a CNN tenant keeps both at zero.  ``quota`` caps
+    this tenant's outstanding (queued + running) requests — submissions
+    over quota are shed at arrival and counted per model.
     """
 
     model: str
     fraction: float = 1.0
     slo_s: float | None = None
     priority: int = 0
+    prompt_tokens: int | None = None
+    output_tokens: int | None = None
+    quota: int | None = None
 
     def __post_init__(self) -> None:
         if not self.model:
@@ -132,6 +157,17 @@ class ModelTraffic:
         if self.slo_s is not None and self.slo_s <= 0:
             raise SpecError(
                 f"SLO must be positive, got {self.slo_s} for {self.model!r}"
+            )
+        for name in ("prompt_tokens", "output_tokens"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise SpecError(
+                    f"{name} must be >= 0, got {value} for {self.model!r}"
+                )
+        if self.quota is not None and self.quota < 1:
+            raise SpecError(
+                f"admission quota must be >= 1, got {self.quota} for "
+                f"{self.model!r}"
             )
 
     def to_dict(self) -> dict[str, Any]:
@@ -151,6 +187,12 @@ class WorkloadSpec:
     process, ``think_time_s`` the ``closed`` loop; they are ignored by
     the others.  ``batch_size`` applies to ``inference``-kind studies
     (one isolated batched inference instead of a serving window).
+
+    ``prompt_tokens`` / ``output_tokens`` are the workload-level
+    sequence lengths (zero = single-step requests; per-tenant overrides
+    in :class:`ModelTraffic`); ``length_distribution`` selects how each
+    request's lengths are drawn from those means
+    (:data:`LENGTH_DISTRIBUTIONS`, seeded by ``seed``).
     """
 
     models: tuple[ModelTraffic, ...]
@@ -162,6 +204,9 @@ class WorkloadSpec:
     dwell_s: float = 20e-6
     think_time_s: float = 10e-6
     batch_size: int = 1
+    prompt_tokens: int = 0
+    output_tokens: int = 0
+    length_distribution: str = "fixed"
 
     def __post_init__(self) -> None:
         if not self.models:
@@ -191,6 +236,61 @@ class WorkloadSpec:
             raise SpecError(
                 f"batch size must be >= 1, got {self.batch_size}"
             )
+        if self.prompt_tokens < 0 or self.output_tokens < 0:
+            raise SpecError(
+                f"sequence lengths must be >= 0, got prompt_tokens="
+                f"{self.prompt_tokens}, output_tokens={self.output_tokens}"
+            )
+        if self.length_distribution not in LENGTH_DISTRIBUTIONS:
+            raise SpecError(
+                f"unknown length distribution "
+                f"{self.length_distribution!r}; choose from "
+                f"{', '.join(LENGTH_DISTRIBUTIONS)}"
+            )
+        for entry in self.models:
+            prompt, output = self.resolved_lengths(entry)
+            if (prompt > 0) != (output > 0):
+                raise SpecError(
+                    f"{entry.model!r} resolves to prompt_tokens={prompt}, "
+                    f"output_tokens={output}; a sequence tenant needs "
+                    "both positive (a single-step tenant, both zero)"
+                )
+        # Inert-knob rejection: a sampler with no sequence tenant would
+        # sit in the digest without acting.
+        if (
+            self.length_distribution
+            != type(self).__dataclass_fields__["length_distribution"].default
+            and not self.has_sequences
+        ):
+            raise SpecError(
+                "length_distribution applies only to sequence "
+                "(autoregressive) workloads; set prompt_tokens/"
+                "output_tokens or drop it"
+            )
+
+    def resolved_lengths(self, entry: ModelTraffic) -> tuple[int, int]:
+        """One tenant's effective (prompt, output) token counts."""
+        prompt = (
+            self.prompt_tokens if entry.prompt_tokens is None
+            else entry.prompt_tokens
+        )
+        output = (
+            self.output_tokens if entry.output_tokens is None
+            else entry.output_tokens
+        )
+        return prompt, output
+
+    @property
+    def has_sequences(self) -> bool:
+        """Whether any tenant serves autoregressive sequences."""
+        return any(
+            self.resolved_lengths(entry)[1] > 0 for entry in self.models
+        )
+
+    @property
+    def has_quotas(self) -> bool:
+        """Whether any tenant caps its outstanding requests."""
+        return any(entry.quota is not None for entry in self.models)
 
     @property
     def fraction_total(self) -> float:
@@ -377,21 +477,30 @@ class PlatformSpec:
     ``name``/``controller`` resolve against the platform and controller
     registries at compile time.  ``n_wavelengths`` and
     ``gateways_per_chiplet`` override the Table 1 defaults (the two
-    design-space axes the paper's conclusions call out).  ``faults`` is
-    the hazard timeline the platform runs under (photonic platform
-    only; empty = fault-free).
+    design-space axes the paper's conclusions call out).
+    ``controller_epoch_s`` overrides the epoch length the reconfiguring
+    controllers (ReSiPI / PROWAVES) wake on — a sweepable axis; the
+    compiler rejects it on controllers that never act on the epoch.
+    ``faults`` is the hazard timeline the platform runs under (photonic
+    platform only; empty = fault-free).
     """
 
     name: str = "2.5D-CrossLight-SiPh"
     controller: str = "resipi"
     n_wavelengths: int | None = None
     gateways_per_chiplet: int | None = None
+    controller_epoch_s: float | None = None
     faults: FaultSpec = FaultSpec()
 
     def __post_init__(self) -> None:
         if self.n_wavelengths is not None and self.n_wavelengths < 1:
             raise SpecError(
                 f"wavelength count must be >= 1, got {self.n_wavelengths}"
+            )
+        if self.controller_epoch_s is not None and self.controller_epoch_s <= 0:
+            raise SpecError(
+                f"controller epoch must be positive, got "
+                f"{self.controller_epoch_s}"
             )
         if (
             self.gateways_per_chiplet is not None
@@ -421,6 +530,11 @@ class SchedulerSpec:
     Mirrors :class:`~repro.serving.scheduler.BatchPolicy`
     field-for-field; the compiler builds the policy through the batch
     policy registry so the name resolves with a typed error.
+
+    ``starvation_age_s`` arms the priority policy's starvation guard:
+    a queued request older than this is promoted ahead of higher
+    priorities (priority policy only — the guard would be inert
+    elsewhere).
     """
 
     policy: str = "fifo"
@@ -428,6 +542,7 @@ class SchedulerSpec:
     batch_timeout_s: float = 20e-6
     max_inflight: int = 4
     shed_expired: bool = False
+    starvation_age_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -443,12 +558,14 @@ class SchedulerSpec:
             )
         # Batching knobs on a single-dispatch policy would be inert at
         # runtime but present in cache keys: reject instead of no-oping.
-        if self.policy != "max-batch":
+        if self.policy not in ("max-batch", "continuous"):
             if self.max_batch != 1:
                 raise SpecError(
-                    f"max_batch applies only to the max-batch policy "
-                    f"(got {self.max_batch} with {self.policy!r})"
+                    f"max_batch applies only to the max-batch and "
+                    f"continuous policies (got {self.max_batch} with "
+                    f"{self.policy!r})"
                 )
+        if self.policy != "max-batch":
             default_timeout = type(self).__dataclass_fields__[
                 "batch_timeout_s"
             ].default
@@ -456,7 +573,19 @@ class SchedulerSpec:
                 raise SpecError(
                     f"batch_timeout_s applies only to the max-batch "
                     f"policy (got {self.batch_timeout_s} with "
-                    f"{self.policy!r})"
+                    f"{self.policy!r}; the continuous policy joins at "
+                    "decode-step boundaries, not timers)"
+                )
+        if self.starvation_age_s is not None:
+            if self.policy != "priority":
+                raise SpecError(
+                    f"starvation_age_s applies only to the priority "
+                    f"policy (got it with {self.policy!r})"
+                )
+            if self.starvation_age_s <= 0:
+                raise SpecError(
+                    f"starvation age must be positive, got "
+                    f"{self.starvation_age_s}"
                 )
 
     def to_dict(self) -> dict[str, Any]:
@@ -980,6 +1109,36 @@ class StudySpec:
                     "shedding; disable scheduler.shed_expired or run "
                     "full DES (fidelity: des)"
                 )
+        if self.kind == "serving" and self.workload.has_sequences:
+            if self.fidelity:
+                raise SpecError(
+                    "the fluid fidelity path models single-step "
+                    "requests; autoregressive (sequence) workloads run "
+                    "full DES (fidelity: des)"
+                )
+            if self.resilience:
+                raise SpecError(
+                    "the resilience lifecycle does not retry or hedge "
+                    "autoregressive sequences; drop the resilience "
+                    "section or the sequence lengths"
+                )
+            if self.cluster is not None:
+                raise SpecError(
+                    "the cluster layer does not route autoregressive "
+                    "sequences (KV-cache state pins a sequence to one "
+                    "node); drop the cluster section or the sequence "
+                    "lengths"
+                )
+        if (
+            self.kind == "serving"
+            and self.scheduler.policy == "continuous"
+            and not self.workload.has_sequences
+        ):
+            raise SpecError(
+                "the continuous policy batches decode steps; it needs "
+                "an autoregressive workload (set prompt_tokens/"
+                "output_tokens)"
+            )
         if (
             self.residency_capacity_bits is not None
             and self.residency_capacity_bits <= 0
@@ -1002,7 +1161,8 @@ class StudySpec:
             )
         defaults = WorkloadSpec.__dataclass_fields__
         for name in ("arrival", "rate_rps", "duration_s", "burstiness",
-                     "dwell_s", "think_time_s"):
+                     "dwell_s", "think_time_s", "prompt_tokens",
+                     "output_tokens", "length_distribution"):
             if getattr(self.workload, name) != defaults[name].default:
                 raise SpecError(
                     f"workload.{name} applies only to serving studies"
@@ -1012,6 +1172,15 @@ class StudySpec:
                 raise SpecError(
                     f"SLO/priority on {entry.model!r} apply only to "
                     "serving studies"
+                )
+            if (
+                entry.prompt_tokens is not None
+                or entry.output_tokens is not None
+                or entry.quota is not None
+            ):
+                raise SpecError(
+                    f"sequence lengths / quota on {entry.model!r} apply "
+                    "only to serving studies"
                 )
 
     # -- serialisation -------------------------------------------------------------

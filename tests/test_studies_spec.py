@@ -289,8 +289,9 @@ class TestRegistries:
         assert set(CONTROLLERS.names()) == {"resipi", "prowaves", "static"}
         assert set(ARRIVALS.names()) == {"poisson", "mmpp", "closed"}
         assert set(BATCH_POLICIES.names()) == {
-            "fifo", "max-batch", "edf", "priority"
+            "fifo", "max-batch", "edf", "priority", "continuous"
         }
+        assert "TransformerTiny" in MODELS and "TransformerBase" in MODELS
 
     def test_unknown_name_is_typed_with_suggestion(self):
         with pytest.raises(UnknownNameError) as excinfo:
