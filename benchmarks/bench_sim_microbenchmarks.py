@@ -18,6 +18,7 @@ from repro.bench import (
     make_kernel_event_throughput,
     make_photonic_fabric_reads,
     make_resilience_retry_hedge,
+    make_sequence_fluid_path,
     make_serving_request_throughput,
     make_warm_fork_sweep,
 )
@@ -92,4 +93,10 @@ def test_bench_warm_fork_sweep(benchmark):
 def test_bench_continuous_decode_throughput(benchmark):
     """Transformer sequences through the continuous decode batcher."""
     tokens = benchmark(make_continuous_decode_throughput())
+    assert tokens > 0
+
+
+def test_bench_sequence_fluid_path(benchmark):
+    """Warm fluid-fidelity evaluation of the decode benchmark cell."""
+    tokens = benchmark(make_sequence_fluid_path())
     assert tokens > 0

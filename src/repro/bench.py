@@ -434,6 +434,39 @@ def make_continuous_decode_throughput() -> Callable[[], int]:
     return run
 
 
+def make_sequence_fluid_path() -> Callable[[], int]:
+    """Warm-forked fluid evaluation of the decode benchmark cell.
+
+    The same transformer scenario as ``continuous_decode_throughput``
+    with fluid fidelity armed: setup calibrates once, the timed body is
+    the marginal per-cell cost of a sequence sweep — vectorized prefill
+    quantile resampling plus the width-conditioned decode token loop.
+    Compare against ``continuous_decode_throughput`` for the sequence
+    speedup.
+    """
+    from .config import DEFAULT_PLATFORM
+    from .experiments.fidelity import FidelityPolicy, simulate_fidelity_cell
+    from .experiments.serving_study import ScenarioCell
+    from .serving.scheduler import BatchPolicy
+
+    cell = ScenarioCell(
+        platform="2.5D-CrossLight-SiPh",
+        models=(("TransformerTiny", 1.0, None, 0),),
+        controller="resipi",
+        policy=BatchPolicy.continuous(max_batch=4),
+        arrival_kind="mmpp", rate_rps=60e3, duration_s=0.5e-3,
+        seed=7, config=DEFAULT_PLATFORM,
+        sequences=((16, 8),),
+        fidelity=FidelityPolicy(mode="fluid", error_budget=0.25),
+    )
+    simulate_fidelity_cell(cell)  # warm the checkpoint store
+
+    def run() -> int:
+        return simulate_fidelity_cell(cell).tokens_generated
+
+    return run
+
+
 MICROBENCHMARKS: dict[str, Callable[[], Callable[[], object]]] = {
     KERNEL_BENCHMARK: make_kernel_event_throughput,
     "test_bench_channel_contention": make_channel_contention,
@@ -448,6 +481,7 @@ MICROBENCHMARKS: dict[str, Callable[[], Callable[[], object]]] = {
     "test_bench_warm_fork_sweep": make_warm_fork_sweep,
     "test_bench_continuous_decode_throughput":
         make_continuous_decode_throughput,
+    "test_bench_sequence_fluid_path": make_sequence_fluid_path,
 }
 """Benchmark name (matching the pytest test name) -> body factory."""
 

@@ -109,7 +109,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         controller=args.controller,
         batch_size=args.batch,
     )
-    result = run_study(spec).points[0].results[0]
+    study = run_study(spec, jobs=args.jobs, cache_dir=args.cache_dir)
+    result = study.points[0].results[0]
     print(result.summary_row())
     print(f"batch {result.batch_size}: "
           f"{result.latency_per_inference_s * 1e3:.4f} ms/image, "
@@ -120,6 +121,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         for timing in result.layer_timeline:
             print(f"{timing.name:<28}{timing.start_s * 1e6:>12.2f}"
                   f"{timing.end_s * 1e6:>12.2f}")
+    if args.cache_dir:
+        print(f"\n{study.cache_stats.summary()}")
     return 0
 
 
@@ -129,23 +132,25 @@ def _cmd_dse(args: argparse.Namespace) -> int:
         quantization_study,
         render_quantization_study,
     )
+    from .experiments.runner import CacheStats
 
+    stats = CacheStats()
     if args.sweep == "wavelengths":
         print(dse.render_sweep(
             "wavelength sweep",
             dse.sweep_wavelengths(args.model, jobs=args.jobs,
-                                  cache_dir=args.cache_dir),
+                                  cache_dir=args.cache_dir, stats=stats),
         ))
     elif args.sweep == "gateways":
         print(dse.render_sweep(
             "gateway sweep",
             dse.sweep_gateways(args.model, jobs=args.jobs,
-                               cache_dir=args.cache_dir),
+                               cache_dir=args.cache_dir, stats=stats),
         ))
     elif args.sweep == "controllers":
         results = dse.controller_ablation(
             model_names=(args.model,), jobs=args.jobs,
-            cache_dir=args.cache_dir,
+            cache_dir=args.cache_dir, stats=stats,
         )
         for (policy, model), result in sorted(results.items()):
             print(f"{policy:<10}{model:<14}{result.latency_s * 1e3:10.4f} ms"
@@ -158,7 +163,10 @@ def _cmd_dse(args: argparse.Namespace) -> int:
     else:  # quantization
         print(render_quantization_study(quantization_study(
             args.model, jobs=args.jobs, cache_dir=args.cache_dir,
+            stats=stats,
         )))
+    if args.cache_dir and args.sweep != "mapping":
+        print(f"\n{stats.summary()}")
     return 0
 
 
@@ -241,6 +249,8 @@ def _cmd_serve_study(args: argparse.Namespace) -> int:
     slo_table = render_slo_summary(results)
     if slo_table:
         print(f"\nper-model SLO attainment:\n{slo_table}")
+    if args.cache_dir:
+        print(f"\n{study.cache_stats.summary()}")
     if args.json:
         write_text(args.json, serving_results_to_json(results))
         print(f"\nwrote {args.json}")
@@ -274,6 +284,10 @@ def _cmd_study(args: argparse.Namespace) -> int:
     print(render_study(study))
     if study.cache_stats is not None and args.cache_dir:
         print(f"\n{study.cache_stats.summary()}")
+    if study.cache_stats is not None:
+        slowest = study.cache_stats.render_slowest(5)
+        if slowest:
+            print(f"\n{slowest}")
     flat = study.flat_results()
     if args.json:
         if spec.kind == "serving":
@@ -293,7 +307,18 @@ def _cmd_study(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from . import bench
 
-    medians = bench.run_suite(repeats=args.repeats)
+    names = None
+    if args.only:
+        names = tuple(
+            name for name in bench.MICROBENCHMARKS
+            if args.only in name
+        )
+        if not names:
+            print(f"no benchmark matches --only {args.only!r}; "
+                  f"available: {', '.join(bench.MICROBENCHMARKS)}",
+                  file=sys.stderr)
+            return 2
+    medians = bench.run_suite(names=names, repeats=args.repeats)
     baseline = None
     baseline_path = Path(args.baseline)
     if baseline_path.exists():
@@ -365,7 +390,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="paper-vs-measured report with shape checks",
     ).set_defaults(func=_cmd_calibrate)
 
-    run = sub.add_parser("run", help="simulate one model on one platform")
+    run = sub.add_parser("run", parents=[perf],
+                         help="simulate one model on one platform")
     run.add_argument("--model", choices=tuple(zoo.MODEL_BUILDERS),
                      default="ResNet50")
     run.add_argument("--platform", choices=tuple(PLATFORM_ALIASES),
@@ -456,6 +482,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--repeats", type=_positive_int, default=5,
                        help="timing repeats per benchmark")
+    bench.add_argument("--only", default=None, metavar="SUBSTRING",
+                       help="run only benchmarks whose name contains "
+                            "SUBSTRING; --check then gates only those")
     bench.set_defaults(func=_cmd_bench)
     return parser
 

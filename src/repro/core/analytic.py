@@ -352,3 +352,57 @@ def fluid_queue_delays(
             waits[mask] = transient + stationary
         backlog = max(0.0, backlog + (rate_rps - capacity) * span_s)
     return waits
+
+
+def decode_token_latencies(
+    start_s: np.ndarray,
+    gap_samples: np.ndarray,
+    token_counts: np.ndarray,
+    windows: Sequence[FluidWindow] | None = None,
+    stretches: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized token-service loop for autoregressive decode.
+
+    Each sequence ``i`` starts decoding at ``start_s[i]`` (its first
+    token is produced by prefill) and emits ``token_counts[i]`` further
+    tokens whose nominal inter-token services are the next
+    ``token_counts[i]`` entries of ``gap_samples`` (flat, concatenated
+    in sequence order).  When ``windows``/``stretches`` are given, each
+    gap is inflated by the stretch of the capacity window its nominal
+    emission time falls into — a single-pass piecewise inflation, so a
+    MAC-degrade window slows exactly the tokens emitted inside it.
+
+    Returns ``(per_sequence_decode_s, stretched_gaps)``: the total
+    decode span per sequence and the flat per-token latencies (the
+    per-token latency profile aggregates the latter).
+    """
+    if gap_samples.size != int(token_counts.sum()):
+        raise ConfigurationError(
+            "need exactly token_counts.sum() gap samples"
+        )
+    n = len(start_s)
+    if gap_samples.size == 0:
+        return np.zeros(n, dtype=float), gap_samples
+    offsets = np.zeros(n + 1, dtype=np.intp)
+    np.cumsum(token_counts, out=offsets[1:])
+    seq_index = np.repeat(np.arange(n, dtype=np.intp), token_counts)
+    if windows is not None and stretches is not None and len(windows) > 1:
+        # Nominal absolute emission time of every token: the sequence
+        # start plus the within-sequence running sum of nominal gaps.
+        running = np.cumsum(gap_samples)
+        before = np.zeros(n, dtype=float)
+        nonzero = token_counts > 0
+        firsts = offsets[:-1][nonzero]
+        before[nonzero] = running[firsts] - gap_samples[firsts]
+        local = running - before[seq_index]
+        times = start_s[seq_index] + local
+        starts = np.array([window.start_s for window in windows])
+        indices = np.searchsorted(starts, times, side="right") - 1
+        indices = np.clip(indices, 0, len(windows) - 1)
+        gaps = gap_samples * stretches[indices]
+    elif windows is not None and stretches is not None and len(windows) == 1:
+        gaps = gap_samples * stretches[0]
+    else:
+        gaps = gap_samples
+    decode_s = np.bincount(seq_index, weights=gaps, minlength=n)
+    return decode_s, gaps

@@ -265,16 +265,16 @@ class RequestExecution:
             # the chiplet.
             occupancy = self.compute.resource(alloc.chiplet_id)
             yield occupancy.request()
-            yield self.env.all_of(
-                [input_done, self.env.timeout(compute_s)]
-            )
+            yield self.env.timeout(compute_s)
+            if not input_done.processed:
+                yield input_done
             occupancy.release()
         else:
             # Streaming: compute completes when both its own duration
             # has elapsed and the input stream has fully arrived.
-            yield self.env.all_of(
-                [input_done, self.env.timeout(compute_s)]
-            )
+            yield self.env.timeout(compute_s)
+            if not input_done.processed:
+                yield input_done
         input_ready_holder[0] = max(input_ready_holder[0], self.env.now)
         compute_done_holder[0] = max(compute_done_holder[0], self.env.now)
         kind = alloc.kind

@@ -20,7 +20,7 @@ from pathlib import Path
 
 from ..config import DEFAULT_PLATFORM, PlatformConfig
 from ..core.metrics import InferenceResult
-from .runner import ExperimentRunner
+from .runner import CacheStats, ExperimentRunner
 
 
 def _study_api():
@@ -68,12 +68,14 @@ def sweep_wavelengths(
     base_config: PlatformConfig | None = None,
     jobs: int = 1,
     cache_dir: str | Path | None = None,
+    stats: CacheStats | None = None,
 ) -> list[SweepPoint]:
     """Latency/power/EPB of the SiPh platform vs wavelength count."""
     builders, run_study = _study_api()
     study = run_study(
         builders.wavelength_sweep_spec(model_name, values),
         jobs=jobs, cache_dir=cache_dir, base_config=base_config,
+        stats=stats,
     )
     return [
         SweepPoint(label=f"{n_lambda} wavelengths", value=n_lambda,
@@ -88,12 +90,14 @@ def sweep_gateways(
     base_config: PlatformConfig | None = None,
     jobs: int = 1,
     cache_dir: str | Path | None = None,
+    stats: CacheStats | None = None,
 ) -> list[SweepPoint]:
     """SiPh platform vs gateways per compute chiplet."""
     builders, run_study = _study_api()
     study = run_study(
         builders.gateway_sweep_spec(model_name, values),
         jobs=jobs, cache_dir=cache_dir, base_config=base_config,
+        stats=stats,
     )
     return [
         SweepPoint(label=f"{gateways} gateways/chiplet", value=gateways,
@@ -139,12 +143,14 @@ def controller_ablation(
     base_config: PlatformConfig | None = None,
     jobs: int = 1,
     cache_dir: str | Path | None = None,
+    stats: CacheStats | None = None,
 ) -> dict[tuple[str, str], InferenceResult]:
     """Compare interposer reconfiguration policies (E10)."""
     builders, run_study = _study_api()
     study = run_study(
         builders.controller_ablation_spec(model_names, controllers),
         jobs=jobs, cache_dir=cache_dir, base_config=base_config,
+        stats=stats,
     )
     return {
         (point.spec.platform.controller, entry.model): result

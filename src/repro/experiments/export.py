@@ -158,16 +158,27 @@ def _fidelity_dict(report) -> "dict | None":
         "p50_rel_err": report.p50_rel_err,
         "p99_rel_err": report.p99_rel_err,
         "goodput_rel_err": report.goodput_rel_err,
+        "ttft_rel_err": report.ttft_rel_err,
+        "token_p99_rel_err": report.token_p99_rel_err,
         "within_budget": report.within_budget,
         "warm_forked": report.warm_forked,
     }
 
 
 def _fidelity_csv_tail(result) -> list:
-    """(mode_used, p99_rel_err) CSV columns; blank on classic runs."""
+    """(mode_used, p99_rel_err, ttft_rel_err, token_p99_rel_err) CSV
+    columns; blank on classic runs, and the sequence errors stay blank
+    on single-step fluid runs."""
     if result.fidelity is None:
-        return ["", ""]
-    return [result.fidelity.mode_used, result.fidelity.p99_rel_err]
+        return ["", "", "", ""]
+    report = result.fidelity
+    return [
+        report.mode_used,
+        report.p99_rel_err,
+        report.ttft_rel_err if report.ttft_rel_err is not None else "",
+        (report.token_p99_rel_err
+         if report.token_p99_rel_err is not None else ""),
+    ]
 
 
 def _incidents_list(incidents) -> list[dict]:
@@ -302,6 +313,8 @@ def serving_results_to_csv(results: Iterable[ServingResult]) -> str:
     writer = csv.writer(buffer)
     writer.writerow(SERVING_FIELDS + ("p50_s", "p95_s", "p99_s",
                                       "fidelity_mode", "fidelity_p99_err",
+                                      "fidelity_ttft_err",
+                                      "fidelity_token_p99_err",
                                       "ttft_p50_s", "ttft_p99_s",
                                       "token_p99_s"))
     for result in results:
@@ -389,6 +402,7 @@ _CLUSTER_CSV_HEADER = (
     CLUSTER_FIELDS
     + ("p50_s", "p95_s", "p99_s",
        "fidelity_mode", "fidelity_p99_err",
+       "fidelity_ttft_err", "fidelity_token_p99_err",
        "node", "node_state", "node_completed", "node_shed",
        "node_rerouted_away", "node_goodput_rps", "node_utilization",
        "node_p99_s")

@@ -19,6 +19,11 @@ module trades that time for a bounded, *measured* fidelity loss:
    low-discrepancy stream, and queueing delays from Allen–Cunneen
    stationary waits plus transient backlog drain across capacity
    windows (MAC-degrade hazards, node failures/repairs).
+   Autoregressive cohorts decompose further: prefill rides the same
+   M/G/k machinery on calibrated prefill quantiles, and decode is a
+   vectorized token-service loop over the capacity windows — per-token
+   services resampled from width-conditioned calibration quantiles
+   (the observed decode-pool widths) through independent Weyl streams.
 3. **Validation** — the fluid model re-predicts the calibration window
    itself; the relative error on p50/p99 latency and goodput against
    the DES measurement is recorded in the result's ``fidelity`` block.
@@ -35,6 +40,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
+from itertools import islice
 
 import numpy as np
 
@@ -44,7 +50,12 @@ from ..cluster.hazards import (
     node_hazard_timeline,
 )
 from ..cluster.study import ClusterCell, simulate_cluster_cell
-from ..core.analytic import FluidWindow, analytic_estimate, fluid_queue_delays
+from ..core.analytic import (
+    FluidWindow,
+    analytic_estimate,
+    decode_token_latencies,
+    fluid_queue_delays,
+)
 from ..dnn.workload import extract_workload
 from ..errors import ConfigurationError
 from ..serving.metrics import (
@@ -65,6 +76,7 @@ from .serving_study import (
     ScenarioCell,
     ServingCell,
     _compute_degraded_s,
+    _sequence_stream,
     compute_hazard_records,
     platform_timelines,
     simulate_scenario_cell,
@@ -96,9 +108,12 @@ class FidelityPolicy:
 
 # Low-discrepancy multipliers (Weyl sequences): deterministic,
 # equidistributed quantile streams for service draws and stationary
-# waits.  Irrational and independent, so the two streams never lock.
+# waits.  Irrational and independent, so the streams never lock.
 _PHI = (math.sqrt(5.0) - 1.0) / 2.0
 _SQRT2M1 = math.sqrt(2.0) - 1.0
+_SQRT3M1 = math.sqrt(3.0) - 1.0
+_SQRT7M2 = math.sqrt(7.0) - 2.0
+_SQRT11M3 = math.sqrt(11.0) - 3.0
 
 
 def _weyl(n: int, alpha: float) -> np.ndarray:
@@ -157,6 +172,16 @@ class _CalibrationState:
     model_service: dict
     mean_batch: float
     service_scv: float
+    prefill_sorted: np.ndarray | None = None
+    """Sorted prefill service times (``first_token_s - dispatch_s``) of
+    the calibration's sequence requests; ``None`` for single-step."""
+    gap_sorted: np.ndarray | None = None
+    """Sorted inter-token decode services across every sequence."""
+    width_per_token: np.ndarray | None = None
+    """Observed decode-pool width of every calibrated token (tokens
+    finishing at one pool-step instant share that step's width)."""
+    width_gaps: dict | None = None
+    """Per-width sorted gap samples — width-dependent token service."""
 
 
 _WARM_STORE: dict[str, _CalibrationState] = {}
@@ -247,6 +272,9 @@ def _calibrate(cell, policy: FidelityPolicy
         service_scv = float(service.var() / service.mean() ** 2)
     else:
         service_scv = 1.0
+    prefill_sorted, gap_sorted, width_per_token, width_gaps = (
+        _sequence_calibration(served)
+    )
     state = _CalibrationState(
         result=result,
         calibration_s=calibration_s,
@@ -255,9 +283,61 @@ def _calibrate(cell, policy: FidelityPolicy
         model_service=model_service,
         mean_batch=max(1.0, float(mean_batch)),
         service_scv=service_scv,
+        prefill_sorted=prefill_sorted,
+        gap_sorted=gap_sorted,
+        width_per_token=width_per_token,
+        width_gaps=width_gaps,
     )
     _WARM_STORE[key] = state
     return state, False, calibration_s
+
+
+def _sequence_calibration(served):
+    """Per-sequence calibration: prefill services, per-token decode
+    services, and the observed decode-pool width behind every token.
+
+    Widths are recovered from the records alone: a continuous-batching
+    decode step fires every member's token at the same instant, so
+    grouping token completion times (reconstructed from
+    ``first_token_s`` + gap prefix sums, rounded to picoseconds to
+    absorb float re-accumulation) by timestamp recovers each step's
+    width — and each gap is then a width-conditioned service sample.
+    """
+    seq_records = [
+        r for r in served if r.is_sequence and r.first_token_s is not None
+    ]
+    if not seq_records:
+        return None, None, None, None
+    prefill_sorted = np.sort(np.array(
+        [r.first_token_s - r.dispatch_s for r in seq_records], dtype=float
+    ))
+    step_width: dict[int, int] = {}
+    token_keys: list[list[int]] = []
+    for r in seq_records:
+        t = r.first_token_s
+        keys = []
+        for gap in r.token_gaps:
+            t += gap
+            key = int(round(t * 1e12))
+            keys.append(key)
+            step_width[key] = step_width.get(key, 0) + 1
+        token_keys.append(keys)
+    gap_samples: list[float] = []
+    widths: list[int] = []
+    buckets: dict[int, list[float]] = {}
+    for r, keys in zip(seq_records, token_keys):
+        for gap, key in zip(r.token_gaps, keys):
+            width = step_width[key]
+            gap_samples.append(gap)
+            widths.append(width)
+            buckets.setdefault(width, []).append(gap)
+    gap_sorted = np.sort(np.array(gap_samples, dtype=float))
+    width_per_token = np.sort(np.array(widths, dtype=np.intp))
+    width_gaps = {
+        width: np.sort(np.array(samples, dtype=float))
+        for width, samples in buckets.items()
+    }
+    return prefill_sorted, gap_sorted, width_per_token, width_gaps
 
 
 # ---------------------------------------------------------------------------
@@ -550,6 +630,116 @@ class _FluidTrace:
     latency_s: np.ndarray
     finish_s: np.ndarray
     model_indices: np.ndarray
+    ttft_s: np.ndarray | None = None
+    """Per-sequence time to first token (sequence cohorts only)."""
+    token_gap_s: np.ndarray | None = None
+    """Flat per-token decode latencies across every sequence."""
+    output_tokens: np.ndarray | None = None
+    """Tokens generated per arrival (zero for single-step tenants)."""
+
+
+def _sequence_lengths(cell, n: int,
+                      model_indices: np.ndarray
+                      ) -> tuple[np.ndarray, np.ndarray]:
+    """(prompt, output) token counts per arrival — DES-identical.
+
+    ``fixed`` lengths are pure table lookups; ``geometric`` lengths
+    replay :func:`_sequence_stream` itself (same ``(seed, 311)`` RNG,
+    same per-arrival draw order), so the fluid cohort decodes exactly
+    the token counts the event-driven scheduler would have.
+    """
+    sequences = cell.sequences
+    if cell.length_distribution == "fixed":
+        prompt_means = np.array(
+            [prompt for prompt, _ in sequences], dtype=np.intp
+        )
+        output_means = np.array(
+            [output for _, output in sequences], dtype=np.intp
+        )
+        return prompt_means[model_indices], output_means[model_indices]
+    prompts = np.empty(n, dtype=np.intp)
+    outputs = np.empty(n, dtype=np.intp)
+    stream = _sequence_stream(
+        _cell_models(cell), sequences, cell.length_distribution, cell.seed
+    )
+    for index, (_, prompt, output) in enumerate(islice(stream, n)):
+        prompts[index] = prompt
+        outputs[index] = output
+    return prompts, outputs
+
+
+def _sample_decode_gaps(state: _CalibrationState, total: int) -> np.ndarray:
+    """Nominal per-token decode services for ``total`` tokens.
+
+    Two Weyl streams drive the draw: one resamples the observed
+    decode-pool width distribution, the other indexes that width's
+    calibrated gap quantiles — wider pools amortize a step across more
+    tokens, and the calibration measured exactly how.
+    """
+    if total == 0 or state.gap_sorted is None or state.gap_sorted.size == 0:
+        return np.zeros(total, dtype=float)
+    widths = state.width_per_token
+    gap_uniforms = _weyl(total, _SQRT11M3)
+    if widths is None or widths.size == 0 or not state.width_gaps:
+        ranks = np.minimum(
+            (gap_uniforms * state.gap_sorted.size).astype(np.intp),
+            state.gap_sorted.size - 1,
+        )
+        return state.gap_sorted[ranks]
+    width_uniforms = _weyl(total, _SQRT7M2)
+    picks = widths[np.minimum(
+        (width_uniforms * widths.size).astype(np.intp), widths.size - 1
+    )]
+    gaps = np.empty(total, dtype=float)
+    for width in np.unique(picks):
+        bucket = state.width_gaps.get(int(width))
+        if bucket is None or bucket.size == 0:
+            bucket = state.gap_sorted
+        mask = picks == width
+        ranks = np.minimum(
+            (gap_uniforms[mask] * bucket.size).astype(np.intp),
+            bucket.size - 1,
+        )
+        gaps[mask] = bucket[ranks]
+    return gaps
+
+
+def _decode_cohort(cell, state: _CalibrationState, times: np.ndarray,
+                   waits: np.ndarray, latency: np.ndarray,
+                   model_indices: np.ndarray, windows, stretch):
+    """Sequence-aware latency decomposition of one fluid cohort.
+
+    Prefill rides the calibrated quantiles (window-stretched like any
+    service); decode is the vectorized token-service loop of
+    :func:`~repro.core.analytic.decode_token_latencies`.  Returns
+    ``(ttft, token_gaps, outputs, latency)`` with single-step tenants'
+    latencies untouched.
+    """
+    n = len(times)
+    _, outputs = _sequence_lengths(cell, n, model_indices)
+    seq_mask = outputs > 0
+    prefill_quantiles = state.prefill_sorted
+    prefill_uniforms = _weyl(n, _SQRT3M1)
+    ranks = np.minimum(
+        (prefill_uniforms * prefill_quantiles.size).astype(np.intp),
+        prefill_quantiles.size - 1,
+    )
+    prefill = prefill_quantiles[ranks]
+    if stretch is not None:
+        starts = np.array([window.start_s for window in windows])
+        window_of = np.clip(
+            np.searchsorted(starts, times, side="right") - 1,
+            0, len(windows) - 1,
+        )
+        prefill = prefill * stretch[window_of]
+    ttft = waits + prefill
+    token_counts = np.where(seq_mask, np.maximum(outputs - 1, 0), 0)
+    gaps = _sample_decode_gaps(state, int(token_counts.sum()))
+    decode_s, stretched_gaps = decode_token_latencies(
+        times + ttft, gaps, token_counts, windows, stretch
+    )
+    latency = np.where(seq_mask, ttft + decode_s, latency)
+    return ttft[seq_mask], stretched_gaps, outputs, latency
 
 
 def _evaluate_fluid(cell, state: _CalibrationState, duration_s: float,
@@ -563,6 +753,7 @@ def _evaluate_fluid(cell, state: _CalibrationState, duration_s: float,
                            np.empty(0, dtype=np.intp))
     model_indices = _model_assignment(cell, n)
     services = _sample_services(cell, state, model_indices)
+    stretch = None
     if len(windows) > 1:
         starts = np.array([window.start_s for window in windows])
         window_of = np.clip(
@@ -580,9 +771,18 @@ def _evaluate_fluid(cell, state: _CalibrationState, duration_s: float,
             services = services * stretch[window_of]
     waits = fluid_queue_delays(times, windows, _weyl(n, _SQRT2M1))
     latency = waits + services
+    ttft = token_gaps = outputs = None
+    if (getattr(cell, "sequences", ())
+            and state.prefill_sorted is not None
+            and state.prefill_sorted.size):
+        ttft, token_gaps, outputs, latency = _decode_cohort(
+            cell, state, times, waits, latency, model_indices,
+            windows, stretch,
+        )
     return _FluidTrace(
         arrival_s=times, queue_delay_s=waits, latency_s=latency,
         finish_s=times + latency, model_indices=model_indices,
+        ttft_s=ttft, token_gap_s=token_gaps, output_tokens=outputs,
     )
 
 
@@ -629,6 +829,21 @@ def _validate(cell, state: _CalibrationState, warm: bool,
         predicted_goodput = trace.latency_s.size / elapsed
     else:
         predicted_p50 = predicted_p99 = predicted_goodput = 0.0
+    ttft_err = token_err = None
+    if trace.ttft_s is not None and trace.ttft_s.size:
+        measured_ttft = getattr(measured, "ttft", None)
+        if measured_ttft is not None:
+            ttft_err = _rel_err(
+                _nearest_rank(np.sort(trace.ttft_s), 99.0),
+                measured_ttft.p99_s,
+            )
+        measured_token = getattr(measured, "token_latency", None)
+        if (measured_token is not None and trace.token_gap_s is not None
+                and trace.token_gap_s.size):
+            token_err = _rel_err(
+                _nearest_rank(np.sort(trace.token_gap_s), 99.0),
+                measured_token.p99_s,
+            )
     return FidelityReport(
         mode_requested=policy.mode, mode_used="fluid",
         error_budget=policy.error_budget,
@@ -638,6 +853,8 @@ def _validate(cell, state: _CalibrationState, warm: bool,
         p99_rel_err=_rel_err(predicted_p99, measured.latency.p99_s),
         goodput_rel_err=_rel_err(predicted_goodput, measured.goodput_rps),
         warm_forked=warm,
+        ttft_rel_err=ttft_err,
+        token_p99_rel_err=token_err,
     )
 
 
@@ -740,6 +957,25 @@ def _fluid_serving_result(cell, state: _CalibrationState,
     _, compute_events = platform_timelines(getattr(cell, "faults", None))
     span = _fault_span(compute_events, elapsed)
     mix_label = getattr(cell, "mix_label", getattr(cell, "model", ""))
+    ttft_profile = token_profile = None
+    tokens = 0
+    tokens_per_s = 0.0
+    kv_refusals = 0
+    kv_peak_bits = 0.0
+    decode_remaps = 0
+    if trace.ttft_s is not None:
+        ttft_profile = _profile(trace.ttft_s)
+        token_profile = _profile(trace.token_gap_s)
+        tokens = int(trace.output_tokens.sum())
+        tokens_per_s = tokens / elapsed if elapsed > 0 else 0.0
+        kv_refusals = int(round(_scale(
+            calibration.kv_refusals, completed,
+            calibration.requests_completed,
+        )))
+        # Intensive quantities: the calibration's peak reservation and
+        # pool-width census stand for the full window.
+        kv_peak_bits = calibration.kv_peak_bits
+        decode_remaps = calibration.decode_remaps
     return ServingResult(
         platform=calibration.platform,
         model=mix_label,
@@ -774,6 +1010,13 @@ def _fluid_serving_result(cell, state: _CalibrationState,
         windows=_window_stats(cell, trace, span, elapsed),
         hazard_events=compute_hazard_records(compute_events, elapsed),
         time_degraded_s=_compute_degraded_s(compute_events, elapsed),
+        ttft=ttft_profile,
+        token_latency=token_profile,
+        tokens_generated=tokens,
+        tokens_per_s=tokens_per_s,
+        kv_refusals=kv_refusals,
+        kv_peak_bits=kv_peak_bits,
+        decode_remaps=decode_remaps,
         fidelity=report,
     )
 

@@ -19,7 +19,7 @@ from ..core.metrics import InferenceResult
 from ..dnn import zoo
 from ..dnn.quantization import QuantizationConfig
 from ..dnn.workload import extract_workload
-from .runner import ResultCache, cell_key, parallel_map
+from .runner import CacheStats, ResultCache, cell_key, parallel_map
 
 
 @dataclass(frozen=True)
@@ -68,6 +68,7 @@ def quantization_study(
     config: PlatformConfig | None = None,
     jobs: int = 1,
     cache_dir: str | Path | None = None,
+    stats: CacheStats | None = None,
 ) -> list[QuantizationPoint]:
     """Run the precision ladder on the 2.5D SiPh platform.
 
@@ -105,6 +106,11 @@ def quantization_study(
         outcomes[scheme] = outcome
         if cache is not None:
             cache.put(_quant_cell_key(model_name, quant, config), outcome[1])
+    if stats is not None:
+        if cache is not None:
+            stats.merge(cache, simulated=len(pending))
+        else:
+            stats.simulated += len(pending)
 
     points = []
     for scheme, quant in schemes.items():

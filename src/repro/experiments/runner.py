@@ -20,6 +20,7 @@ import json
 import os
 import pickle
 import tempfile
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -234,6 +235,10 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     simulated: int = 0
+    cell_times: list = field(default_factory=list)
+    """Per-cell wall-time observations: ``(label, seconds, cache_hit)``
+    tuples in input order — cache hits record the (tiny) lookup time,
+    misses the actual simulate-seconds."""
 
     def merge(self, cache: "ResultCache", simulated: int) -> None:
         """Fold one cache's counters (and a fan-out tally) in."""
@@ -241,6 +246,27 @@ class CacheStats:
         self.misses += cache.misses
         self.evictions += cache.evictions
         self.simulated += simulated
+
+    def record_cell(self, label: str, seconds: float, hit: bool) -> None:
+        """Log one cell's wall time (hit = served from the disk cache)."""
+        self.cell_times.append((label, seconds, hit))
+
+    def slowest_cells(self, n: int = 5) -> list:
+        """The ``n`` largest wall-time observations, slowest first."""
+        return sorted(
+            self.cell_times, key=lambda entry: entry[1], reverse=True
+        )[:n]
+
+    def render_slowest(self, n: int = 5) -> str:
+        """Readable top-``n`` wall-time table (empty without data)."""
+        rows = self.slowest_cells(n)
+        if not rows:
+            return ""
+        lines = [f"slowest cells (top {len(rows)}):"]
+        for label, seconds, hit in rows:
+            tag = "  [cache hit]" if hit else ""
+            lines.append(f"  {seconds * 1e3:9.1f} ms  {label}{tag}")
+        return "\n".join(lines)
 
     def summary(self) -> str:
         """One-line report: ``cache: 12 hits, 3 misses (3 simulated)``."""
@@ -252,6 +278,45 @@ class CacheStats:
         if self.evictions:
             line += f", {self.evictions} corrupt evicted"
         return line
+
+
+def cell_label(cell) -> str:
+    """Short human-readable identity of one simulation cell.
+
+    Works across every cell flavour (matrix tuples, inference/serving/
+    scenario/cluster dataclasses) without those types having to agree
+    on a field set — this only feeds observability output.
+    """
+    if isinstance(cell, tuple):
+        return "/".join(str(part) for part in cell[:3])
+    parts = []
+    for name in ("platform", "mix_label", "model", "controller"):
+        value = getattr(cell, name, "")
+        if value and value not in parts:
+            parts.append(str(value))
+            if name in ("mix_label", "model") and len(parts) >= 2:
+                break
+    controller = getattr(cell, "controller", "")
+    if controller and controller not in parts:
+        parts.append(controller)
+    policy = getattr(getattr(cell, "policy", None), "name", "")
+    if policy:
+        parts.append(policy)
+    rate = getattr(cell, "rate_rps", None)
+    if rate:
+        parts.append(f"{rate:g}rps")
+    return "/".join(parts) if parts else type(cell).__name__
+
+
+def _timed_simulate(simulate_fn: Callable, cell) -> tuple[Any, float]:
+    """Worker adapter: run one cell and report its wall time.
+
+    Module-level so process pools can pickle it; the measured span is
+    the worker-side simulate time, excluding pool dispatch overhead.
+    """
+    start = time.perf_counter()
+    result = simulate_fn(cell)
+    return result, time.perf_counter() - start
 
 
 def run_cached(cells: Sequence, key_fn: Callable[[Any], str],
@@ -271,16 +336,24 @@ def run_cached(cells: Sequence, key_fn: Callable[[Any], str],
     results: list = [None] * len(cells)
     pending: list[int] = []
     for index, cell in enumerate(cells):
+        lookup_start = time.perf_counter()
         hit = cache.get(key_fn(cell)) if cache is not None else None
         if hit is not None:
             results[index] = hit
+            if stats is not None:
+                stats.record_cell(
+                    cell_label(cell),
+                    time.perf_counter() - lookup_start, hit=True,
+                )
         else:
             pending.append(index)
     fresh = parallel_map(
-        simulate_fn, [(cells[i],) for i in pending], jobs
+        _timed_simulate, [(simulate_fn, cells[i]) for i in pending], jobs
     )
-    for index, result in zip(pending, fresh):
+    for index, (result, seconds) in zip(pending, fresh):
         results[index] = result
+        if stats is not None:
+            stats.record_cell(cell_label(cells[index]), seconds, hit=False)
         if cache is not None:
             cache.put(key_fn(cells[index]), result)
     if stats is not None:

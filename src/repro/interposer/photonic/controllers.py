@@ -47,6 +47,8 @@ class ReSiPIController:
 
     def _gateways_for_demand(self, demand_bps: float, maximum: int) -> int:
         """Gateways needed to serve a demand with headroom, at least one."""
+        if demand_bps <= 0.0:
+            return 1
         gateway_bw = self.config.gateway_bandwidth_bps
         needed = math.ceil(self.headroom * demand_bps / gateway_bw)
         return max(1, min(maximum, needed))

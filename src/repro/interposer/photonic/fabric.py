@@ -16,6 +16,7 @@ bandwidths and the power-accounting signals.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 from ...config import PlatformConfig
@@ -25,7 +26,7 @@ from ...photonics.laser import LaserSource
 from ...photonics.photodetector import Photodetector
 from ...power import params as ep
 from ...sim.core import Environment, Event
-from ...sim.resources import BandwidthChannel, Store
+from ...sim.resources import BandwidthChannel
 from ...sim.stats import EpochTrafficMonitor, TimeWeightedValue
 from ..base import DEFAULT_CHUNK_BITS, InterposerFabric, NetworkEnergyReport
 from ..topology import Floorplan
@@ -47,6 +48,61 @@ class GatewayInventory:
     chiplet_id: str
     n_write_gateways: int
     n_read_gateways: int
+
+
+class _ChunkRelay:
+    """One pipeline stage: chunks through a channel, handed downstream.
+
+    The callback replacement for the seed's pump/drain processes: each
+    completed chunk is recorded against the epoch monitor, delivered to
+    the next stage, and only then is the *next* queued chunk requested —
+    one chunk in flight at a time, so the private queue here never
+    occupies the channel and concurrent messages still interleave
+    chunk-by-chunk in strict channel FIFO exactly as the process
+    pipeline did.
+    """
+
+    __slots__ = ("channel", "monitor", "key", "deliver", "remaining",
+                 "on_complete", "_queue", "_busy", "_current", "_advance_cb")
+
+    def __init__(self, channel: BandwidthChannel, monitor, key, deliver,
+                 remaining: int, on_complete):
+        self.channel = channel
+        self.monitor = monitor
+        self.key = key
+        self.deliver = deliver
+        self.remaining = remaining
+        self.on_complete = on_complete
+        self._queue: deque = deque()
+        self._busy = False
+        self._current = 0.0
+        self._advance_cb = self._advance  # bind once, reuse per chunk
+
+    def feed(self, chunk: float) -> None:
+        if self._busy:
+            self._queue.append(chunk)
+            return
+        self._busy = True
+        self._current = chunk
+        self.channel.request_transfer(chunk, self._advance_cb)
+
+    def _advance(self) -> None:
+        chunk = self._current
+        # Re-request before delivering: the channel has already granted
+        # its next waiter, so this queues fairly behind other messages.
+        if self._queue:
+            nxt = self._queue.popleft()
+            self._current = nxt
+            self.channel.request_transfer(nxt, self._advance_cb)
+        else:
+            self._busy = False
+        if self.key is not None:
+            self.monitor.record(self.key, chunk)
+        if self.deliver is not None:
+            self.deliver(chunk)
+        self.remaining -= 1
+        if self.remaining == 0 and self.on_complete is not None:
+            self.on_complete()
 
 
 class PhotonicInterposerFabric(InterposerFabric):
@@ -133,6 +189,11 @@ class PhotonicInterposerFabric(InterposerFabric):
             * ph.GROUP_INDEX_SOI
             / 299_792_458.0
         )
+        self._transfer_tail_s = (
+            self._propagation_delay_s
+            + config.gateway_conversion_latency_s
+            + config.gateway_protocol_overhead_s
+        )
 
     # -- controller hooks ---------------------------------------------------------
 
@@ -145,6 +206,12 @@ class PhotonicInterposerFabric(InterposerFabric):
         cells have been re-amorphised (~1 us), so a demand spike pays one
         epoch of lag — the ReSiPI behaviour.
         """
+        if (channel._bandwidth_bps == target_bps
+                and self._desired_bandwidth.get(channel.name) == target_bps):
+            # Already at (and settled on) this rate: re-asserting it is
+            # a no-op either way, and steady-state epochs do so for
+            # every channel.
+            return
         self._desired_bandwidth[channel.name] = target_bps
         if not increase:
             channel.set_bandwidth(target_bps)
@@ -247,112 +314,84 @@ class PhotonicInterposerFabric(InterposerFabric):
             chunks.append(remainder)
         return chunks
 
-    def _pump(self, chunks, channel, downstream: Store | None,
-              done: Event | None, monitor_key: str | None = None):
-        """Process: push chunks through one channel stage.
-
-        Traffic is recorded per chunk as it is served, so the epoch
-        monitor sees *sustained* load while a long message drains — the
-        signal the reconfiguration controllers ramp on.
-        """
-        for chunk in chunks:
-            yield self.env.process(channel.transfer(chunk))
-            if monitor_key is not None:
-                self.monitor.record(monitor_key, chunk)
-            if downstream is not None:
-                downstream.put(chunk)
-        if done is not None:
-            done.succeed()
-
-    def _drain(self, n_chunks: int, source: Store, channel,
-               downstream: Store | None, done: Event | None,
-               monitor_key: str | None = None):
-        """Process: pull chunks from a store and push them onward."""
-        for _ in range(n_chunks):
-            chunk = yield source.get()
-            yield self.env.process(channel.transfer(chunk))
-            if monitor_key is not None:
-                self.monitor.record(monitor_key, chunk)
-            if downstream is not None:
-                downstream.put(chunk)
-        if done is not None:
-            done.succeed()
-
     def read(self, dst_chiplet: str, bits: float,
              multicast: tuple[str, ...] | None = None) -> Event:
-        """Memory -> chiplet(s) transfer; multicast shares the SWMR stage."""
+        """Memory -> chiplet(s) transfer; multicast shares the SWMR stage.
+
+        Built as a relay chain — HBM port -> SWMR writer stage (records
+        ``mem_read``, fans out) -> per-destination reader gateways —
+        then one propagation/conversion tail once every destination has
+        drained.  Traffic is recorded per chunk as it is served, so the
+        epoch monitor sees *sustained* load while a long message drains
+        — the signal the reconfiguration controllers ramp on.
+        """
         destinations = multicast if multicast else (dst_chiplet,)
-        return self.env.process(self._read_proc(destinations, bits))
-
-    def _read_proc(self, destinations: tuple[str, ...], bits: float):
+        self.bits_read += bits  # shared-medium payload charged once
+        done = Event(self.env)
         chunks = self._chunks(bits)
-        self.bits_read += bits * 1  # shared-medium payload charged once
         if not chunks:
-            return
+            done.succeed()
+            return done
+        n = len(chunks)
+        pending = [len(destinations)]
 
-        # Stage 1: HBM -> stage 2: SWMR writer -> stage 3: per-dst readers.
-        to_writer: Store = Store(self.env)
-        fanout_stores = {dst: Store(self.env) for dst in destinations}
-        dones = []
+        def finish(_event):
+            done.succeed()
 
-        self.env.process(self._pump(chunks, self.hbm_channel, to_writer, None))
+        def destination_done():
+            pending[0] -= 1
+            if pending[0] == 0:
+                tail = self.env.timeout(self._transfer_tail_s)
+                tail.callbacks = finish
 
-        def writer_stage():
-            for _ in range(len(chunks)):
-                chunk = yield to_writer.get()
-                yield self.env.process(self.memory_write_channel.transfer(chunk))
-                self.monitor.record("mem_read", chunk)
-                for store in fanout_stores.values():
-                    store.put(chunk)
-
-        self.env.process(writer_stage())
-
-        for destination in destinations:
-            done = self.env.event()
-            dones.append(done)
-            self.env.process(
-                self._drain(
-                    len(chunks),
-                    fanout_stores[destination],
-                    self.chiplet_read_channels[destination],
-                    None,
-                    done,
-                    monitor_key=f"read:{destination}",
-                )
+        readers = [
+            _ChunkRelay(
+                self.chiplet_read_channels[destination], self.monitor,
+                f"read:{destination}", None, n, destination_done,
             )
-        yield self.env.all_of(dones)
-        yield self.env.timeout(
-            self._propagation_delay_s
-            + self.config.gateway_conversion_latency_s
-            + self.config.gateway_protocol_overhead_s
+            for destination in destinations
+        ]
+        if len(readers) == 1:
+            fanout = readers[0].feed
+        else:
+            def fanout(chunk):
+                for relay in readers:
+                    relay.feed(chunk)
+        writer = _ChunkRelay(
+            self.memory_write_channel, self.monitor, "mem_read", fanout,
+            n, None,
         )
+        hbm = _ChunkRelay(self.hbm_channel, None, None, writer.feed, n, None)
+        for chunk in chunks:
+            hbm.feed(chunk)
+        return done
 
     def write(self, src_chiplet: str, bits: float) -> Event:
         """Chiplet -> memory transfer over the chiplet's SWSR channels."""
-        return self.env.process(self._write_proc(src_chiplet, bits))
-
-    def _write_proc(self, src_chiplet: str, bits: float):
-        chunks = self._chunks(bits)
         self.bits_written += bits
+        done = Event(self.env)
+        chunks = self._chunks(bits)
         if not chunks:
-            return
-        to_hbm: Store = Store(self.env)
-        done = self.env.event()
-        self.env.process(
-            self._pump(
-                chunks, self.chiplet_write_channels[src_chiplet], to_hbm, None,
-                monitor_key=f"write:{src_chiplet}",
-            )
+            done.succeed()
+            return done
+
+        def finish(_event):
+            done.succeed()
+
+        def drained():
+            tail = self.env.timeout(self._transfer_tail_s)
+            tail.callbacks = finish
+
+        hbm = _ChunkRelay(
+            self.hbm_channel, None, None, None, len(chunks), drained
         )
-        self.env.process(
-            self._drain(len(chunks), to_hbm, self.hbm_channel, None, done)
+        source = _ChunkRelay(
+            self.chiplet_write_channels[src_chiplet], self.monitor,
+            f"write:{src_chiplet}", hbm.feed, len(chunks), None,
         )
-        yield done
-        yield self.env.timeout(
-            self._propagation_delay_s
-            + self.config.gateway_conversion_latency_s
-            + self.config.gateway_protocol_overhead_s
-        )
+        for chunk in chunks:
+            source.feed(chunk)
+        return done
 
     # -- energy ------------------------------------------------------------------------
 

@@ -421,6 +421,12 @@ class FidelityReport:
     p99_rel_err: float
     goodput_rel_err: float
     warm_forked: bool = False
+    ttft_rel_err: float | None = None
+    """Relative error of the fluid TTFT p99 prediction against the
+    calibration DES measurement; ``None`` for single-step workloads."""
+    token_p99_rel_err: float | None = None
+    """Relative error of the fluid per-token-latency p99 prediction;
+    ``None`` for single-step workloads."""
 
     @property
     def within_budget(self) -> bool:
@@ -429,6 +435,10 @@ class FidelityReport:
             self.p50_rel_err <= self.error_budget
             and self.p99_rel_err <= self.error_budget
             and self.goodput_rel_err <= self.error_budget
+            and (self.ttft_rel_err is None
+                 or self.ttft_rel_err <= self.error_budget)
+            and (self.token_p99_rel_err is None
+                 or self.token_p99_rel_err <= self.error_budget)
         )
 
 

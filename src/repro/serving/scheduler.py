@@ -774,17 +774,6 @@ class RequestScheduler:
             entry.mapping.workload.kv_bits_per_token,
         )
 
-    def _advance_token(self, request: RequestHandle,
-                       entry: _ModelEntry) -> bool:
-        """Account one decoded token; True when the sequence finished."""
-        request.tokens_done += 1
-        request.token_times.append(self.env.now)
-        self._kv_store().grow(
-            request.request_id, 1,
-            entry.mapping.workload.kv_bits_per_token,
-        )
-        return request.tokens_done >= request.output_tokens
-
     def _close_sequence(self, request: RequestHandle,
                         release_slot: bool) -> None:
         """Complete one sequence: record, KV release, drain accounting."""
@@ -848,14 +837,29 @@ class RequestScheduler:
         entry = self._models[model]
         pool = self._pools[model]
         width_cap = max(1, self.policy.max_batch)
+        kv = self._kv_store()
+        bits = entry.mapping.workload.kv_bits_per_token
         while pool:
             members = pool[:width_cap]
-            mapping = self._decode_mapping(entry, len(members))
+            width = len(members)
+            mapping = self._decode_mapping(entry, width)
             yield self._run_step(mapping, entry)
+            # Batched step completion: one pass accounts every member's
+            # token and closes finishers in members order (preserving
+            # admission-slot grant order), then the pool prefix is
+            # rebuilt once — joiners landed behind it during the step.
+            now = self.env.now
+            survivors = []
             for member in members:
-                if self._advance_token(member, entry):
-                    pool.remove(member)
+                member.tokens_done += 1
+                member.token_times.append(now)
+                kv.grow(member.request_id, 1, bits)
+                if member.tokens_done >= member.output_tokens:
                     self._close_sequence(member, release_slot=True)
+                else:
+                    survivors.append(member)
+            if len(survivors) != width:
+                pool[:width] = survivors
         self._pool_running.discard(model)
 
     def _execute_sequence_batch(self, batch: list[RequestHandle]):
@@ -909,10 +913,17 @@ class RequestScheduler:
         while active:
             mapping = self._decode_mapping(entry, len(active))
             yield self._run_step(mapping, entry)
-            for member in list(active):
-                if self._advance_token(member, entry):
-                    active.remove(member)
+            now = self.env.now
+            survivors = []
+            for member in active:
+                member.tokens_done += 1
+                member.token_times.append(now)
+                kv.grow(member.request_id, 1, bits)
+                if member.tokens_done >= member.output_tokens:
                     self._close_sequence(member, release_slot=False)
+                else:
+                    survivors.append(member)
+            active = survivors
         self._admission.release()
 
     def _check_drained(self) -> None:

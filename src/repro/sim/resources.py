@@ -149,12 +149,20 @@ class Store:
 class BandwidthChannel:
     """A serial channel: transfers occupy it for ``bits / bandwidth``.
 
-    Combines a unit-capacity :class:`Resource` with the serialization-time
-    computation, and accumulates transferred bits for traffic accounting.
+    The channel is callback-driven rather than process-driven: a
+    transfer is ``(bits, fn)`` — the channel holds for the
+    serialization time (computed when the transfer is *granted*, so
+    queued transfers pick up rate changes and in-flight ones do not),
+    then invokes ``fn``.  FIFO among all transfers.  This is the
+    hottest path of every fabric simulation: one heap event per chunk,
+    no coroutine frame, no per-chunk resource events.  The generator
+    :meth:`transfer` API is kept for process-style callers and shares
+    the same FIFO.
     """
 
-    __slots__ = ("env", "name", "_bandwidth_bps", "_resource",
-                 "bits_transferred", "transfer_count")
+    __slots__ = ("env", "name", "_bandwidth_bps", "_waiting", "_busy",
+                 "_busy_since", "_busy_time", "_active_bits", "_active_fn",
+                 "_complete_cb", "bits_transferred", "transfer_count")
 
     def __init__(self, env: Environment, bandwidth_bps: float,
                  name: str = "channel"):
@@ -165,7 +173,13 @@ class BandwidthChannel:
         self.env = env
         self.name = name
         self._bandwidth_bps = bandwidth_bps
-        self._resource = Resource(env, capacity=1)
+        self._waiting: Deque[tuple[float, Any]] = deque()
+        self._busy = False
+        self._busy_since: float | None = None
+        self._busy_time = 0.0
+        self._active_bits = 0.0
+        self._active_fn: Any = None
+        self._complete_cb = self._complete  # bind once, reuse per chunk
         self.bits_transferred = 0.0
         self.transfer_count = 0
 
@@ -188,6 +202,45 @@ class BandwidthChannel:
             raise SimulationError("cannot transfer negative bits")
         return bits / self._bandwidth_bps
 
+    def request_transfer(self, bits: float, fn) -> None:
+        """Queue one transfer; ``fn()`` runs when it completes.
+
+        The fast path for chunk pipelines: grants immediately on an
+        idle channel, otherwise queues FIFO behind every earlier
+        transfer (including :meth:`transfer`-issued ones).
+        """
+        if bits < 0:
+            raise SimulationError("cannot transfer negative bits")
+        if self._busy:
+            self._waiting.append((bits, fn))
+            return
+        self._busy = True
+        self._busy_since = self.env.now
+        self._start(bits, fn)
+
+    def _start(self, bits: float, fn) -> None:
+        # Hold time is locked in at grant time: later rate changes only
+        # affect transfers still waiting.
+        self._active_bits = bits
+        self._active_fn = fn
+        timeout = self.env.timeout(bits / self._bandwidth_bps)
+        timeout.callbacks = self._complete_cb
+
+    def _complete(self, _event: Event) -> None:
+        bits = self._active_bits
+        fn = self._active_fn
+        self.bits_transferred += bits
+        self.transfer_count += 1
+        if self._waiting:
+            next_bits, next_fn = self._waiting.popleft()
+            self._start(next_bits, next_fn)
+        else:
+            self._busy = False
+            self._busy_time += self.env.now - self._busy_since
+            self._busy_since = None
+            self._active_fn = None
+        fn()
+
     def transfer(self, bits: float,
                  extra_latency_s: float = 0.0) -> Generator[Event, Any, None]:
         """Process: occupy the channel for the serialization time.
@@ -195,31 +248,36 @@ class BandwidthChannel:
         ``extra_latency_s`` (propagation, conversion) is added *after* the
         channel is released — it is pipeline latency, not occupancy.
         """
-        grant = self._resource.request()
-        yield grant
-        hold = self.serialization_time(bits)
-        yield self.env.timeout(hold)
-        self._resource.release()
-        self.bits_transferred += bits
-        self.transfer_count += 1
+        done = Event(self.env)
+        self.request_transfer(bits, done.succeed)
+        yield done
         if extra_latency_s > 0.0:
             yield self.env.timeout(extra_latency_s)
 
+    def busy_time(self) -> float:
+        """Total time the channel carried a transfer (s)."""
+        total = self._busy_time
+        if self._busy_since is not None:
+            total += self.env.now - self._busy_since
+        return total
+
     def utilization(self) -> float:
         """Fraction of simulated time the channel carried a transfer."""
-        return self._resource.utilization()
+        if self.env.now == 0.0:
+            return 0.0
+        return self.busy_time() / self.env.now
 
     @property
     def queue_length(self) -> int:
         """Transfers currently waiting for the channel."""
-        return self._resource.queue_length
+        return len(self._waiting)
 
     def stats(self) -> ChannelStat:
         """Snapshot utilization/traffic counters for trace export."""
         return ChannelStat(
             name=self.name,
             utilization=self.utilization(),
-            busy_time_s=self._resource.busy_time(),
+            busy_time_s=self.busy_time(),
             bits_transferred=self.bits_transferred,
             transfer_count=self.transfer_count,
             queue_length=self.queue_length,

@@ -598,7 +598,8 @@ def lower_study(
 
 def run_study(spec: StudySpec, jobs: int = 1,
               cache_dir: str | Path | None = None,
-              base_config: PlatformConfig | None = None) -> StudyResult:
+              base_config: PlatformConfig | None = None,
+              stats: CacheStats | None = None) -> StudyResult:
     """Execute a declarative study spec end to end.
 
     Expands the sweep grid, lowers every point onto simulation cells
@@ -606,11 +607,14 @@ def run_study(spec: StudySpec, jobs: int = 1,
     disk-cached (``cache_dir``) cell machinery.  ``base_config`` is a
     Python-API escape hatch for sweeps over a non-default
     :class:`PlatformConfig`; spec-level platform knobs apply on top of
-    it (JSON specs always start from the Table 1 defaults).
+    it (JSON specs always start from the Table 1 defaults).  Callers
+    running several studies in one invocation (e.g. ``repro dse``) can
+    pass a shared ``stats`` accumulator to aggregate hit/miss counts.
     """
     points, cells_per_point = lower_study(spec, base_config)
     cells = [cell for group in cells_per_point for cell in group]
-    stats = CacheStats()
+    if stats is None:
+        stats = CacheStats()
 
     if spec.kind == "inference":
         results = run_cached(

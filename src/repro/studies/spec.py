@@ -1110,12 +1110,6 @@ class StudySpec:
                     "full DES (fidelity: des)"
                 )
         if self.kind == "serving" and self.workload.has_sequences:
-            if self.fidelity:
-                raise SpecError(
-                    "the fluid fidelity path models single-step "
-                    "requests; autoregressive (sequence) workloads run "
-                    "full DES (fidelity: des)"
-                )
             if self.resilience:
                 raise SpecError(
                     "the resilience lifecycle does not retry or hedge "

@@ -73,6 +73,18 @@ class TestParser:
         args = build_parser().parse_args(["bench"])
         assert args.check is False
         assert args.baseline == "BENCH_sim.json"
+        assert args.only is None
+
+    def test_bench_only_parses(self):
+        args = build_parser().parse_args(["bench", "--only", "decode"])
+        assert args.only == "decode"
+
+    def test_run_takes_perf_options(self):
+        args = build_parser().parse_args(
+            ["run", "--jobs", "2", "--cache-dir", "/tmp/c"]
+        )
+        assert args.jobs == 2
+        assert args.cache_dir == "/tmp/c"
 
     def test_nonpositive_jobs_and_repeats_rejected(self):
         with pytest.raises(SystemExit):
@@ -140,7 +152,17 @@ class TestCommands:
         assert main(argv) == 0
         cold = capsys.readouterr().out
         assert main(argv) == 0  # warm: served from the cache
-        assert capsys.readouterr().out == cold
+        warm = capsys.readouterr().out
+
+        # The sweep table is identical; only the trailing cache tally
+        # flips from misses to hits.
+        def split(text):
+            table, _, tally = text.rpartition("\ncache: ")
+            return table, tally
+
+        assert split(warm)[0] == split(cold)[0]
+        assert "0 hits" in split(cold)[1]
+        assert "0 misses" in split(warm)[1]
 
     def test_dse_controllers(self, capsys):
         assert main([
@@ -183,3 +205,46 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "spillover" in out
         assert "strict" in out
+
+    def test_run_reports_cache_stats(self, capsys, tmp_path):
+        argv = [
+            "run", "--model", "LeNet5", "--platform", "mono",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        assert "cache: 0 hits, 1 miss (1 simulated)" in (
+            capsys.readouterr().out
+        )
+        assert main(argv) == 0
+        assert "cache: 1 hit, 0 misses (0 simulated)" in (
+            capsys.readouterr().out
+        )
+
+    def test_serve_study_reports_cache_stats(self, capsys, tmp_path):
+        assert main([
+            "serve-study", "--model", "LeNet5", "--platforms", "mono",
+            "--rates", "1e5", "--duration-us", "200",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]) == 0
+        assert "cache: 0 hits, 1 miss (1 simulated)" in (
+            capsys.readouterr().out
+        )
+
+    def test_study_prints_slowest_cells(self, capsys):
+        assert main(["study", "examples/study_spec.json"]) == 0
+        out = capsys.readouterr().out
+        assert "slowest cells (top" in out
+        assert " ms  " in out
+
+    def test_bench_only_selects_by_substring(self, capsys):
+        assert main([
+            "bench", "--only", "kernel_event", "--repeats", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "test_bench_kernel_event_throughput" in out
+        assert "test_bench_channel_contention" not in out
+
+    def test_bench_only_without_match_fails(self, capsys):
+        assert main(["bench", "--only", "nonexistent"]) == 2
+        err = capsys.readouterr().err
+        assert "no benchmark matches" in err

@@ -35,6 +35,7 @@ from repro.experiments.runner import CacheStats, ResultCache, run_cached
 from repro.experiments.serving_study import (
     ScenarioCell,
     ServingCell,
+    simulate_scenario_cell,
     simulate_serving_cell,
 )
 from repro.mapping.residency import WeightResidency
@@ -513,6 +514,94 @@ class TestFluidPath:
         assert per_model["LeNet5"].completed > per_model[
             "MobileNetV2"
         ].completed
+
+
+# ---------------------------------------------------------------------------
+# Sequence-aware fluid path: autoregressive cells without full DES.
+# ---------------------------------------------------------------------------
+
+
+def sequence_cell(mode="fluid", error_budget=0.25, rate_rps=60e3,
+                  duration_s=2e-3, length_distribution="fixed"
+                  ) -> ScenarioCell:
+    spec = StudySpec(
+        name="seq-fluid",
+        kind="serving",
+        workload=WorkloadSpec(
+            models=(ModelTraffic(model="TransformerTiny",
+                                 prompt_tokens=16, output_tokens=8),),
+            rate_rps=rate_rps, duration_s=duration_s, seed=7,
+            length_distribution=length_distribution,
+        ),
+        scheduler=SchedulerSpec(policy="continuous", max_batch=4),
+        fidelity=FidelitySpec(mode=mode, error_budget=error_budget),
+    )
+    (cell,) = lower_study(spec)[1][0]
+    return cell
+
+
+class TestSequenceFluidPath:
+    def test_sequence_cell_agrees_with_des_within_budget(self):
+        cell = sequence_cell()
+        des = simulate_scenario_cell(replace(cell, fidelity=None))
+        fluid = simulate_fidelity_cell(cell)
+        report = fluid.fidelity
+        assert report.mode_used == "fluid"
+        assert report.within_budget
+        # Sequence cells validate the token metrics, not just e2e p99.
+        assert report.ttft_rel_err is not None
+        assert report.ttft_rel_err <= 0.25
+        assert report.token_p99_rel_err is not None
+        assert report.token_p99_rel_err <= 0.25
+        assert fluid.is_sequence_run and des.is_sequence_run
+        assert fluid.tokens_per_s == pytest.approx(
+            des.tokens_per_s, rel=0.25
+        )
+        assert fluid.ttft.p99_s == pytest.approx(des.ttft.p99_s, rel=0.25)
+        assert fluid.token_latency.p99_s == pytest.approx(
+            des.token_latency.p99_s, rel=0.25
+        )
+
+    @pytest.mark.parametrize("rate_rps", [30e3, 60e3, 100e3])
+    def test_sequence_budget_holds_across_rates(self, rate_rps):
+        fluid = simulate_fidelity_cell(sequence_cell(rate_rps=rate_rps))
+        assert fluid.fidelity.mode_used == "fluid"
+        assert fluid.fidelity.within_budget
+
+    def test_single_step_cells_skip_sequence_errors(self):
+        fluid = simulate_fidelity_cell(classic_cell(
+            fidelity=FidelityPolicy(mode="fluid", error_budget=0.25),
+        ))
+        assert fluid.fidelity.ttft_rel_err is None
+        assert fluid.fidelity.token_p99_rel_err is None
+
+    def test_sequence_auto_fallback_is_exact_des(self):
+        cell = sequence_cell(mode="auto", error_budget=1e-9)
+        des = simulate_scenario_cell(replace(cell, fidelity=None))
+        fluid = simulate_fidelity_cell(cell)
+        assert fluid.fidelity.mode_used == "des-fallback"
+        assert replace(fluid, fidelity=None) == des
+
+    def test_sequence_fault_variant_forks_warm(self):
+        base = sequence_cell()
+        degrade = FaultSpec(events=(FaultEventSpec(
+            kind="chiplet-mac-degrade", at_s=0.5e-3,
+            mac_fraction=0.4, duration_s=0.5e-3,
+        ),))
+        nominal = simulate_fidelity_cell(base)
+        faulted = simulate_fidelity_cell(replace(base, faults=degrade))
+        assert not nominal.fidelity.warm_forked
+        assert faulted.fidelity.warm_forked
+        assert warm_store_size() == 1
+        assert faulted.fidelity.mode_used == "fluid"
+
+    def test_geometric_lengths_stay_on_fluid_path(self):
+        fluid = simulate_fidelity_cell(
+            sequence_cell(length_distribution="geometric")
+        )
+        assert fluid.fidelity.mode_used == "fluid"
+        assert fluid.tokens_generated > 0
+        assert fluid.ttft is not None and fluid.token_latency is not None
 
 
 # ---------------------------------------------------------------------------

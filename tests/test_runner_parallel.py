@@ -11,11 +11,14 @@ import pytest
 from repro.config import DEFAULT_PLATFORM
 from repro.experiments.runner import (
     PLATFORM_ORDER,
+    CacheStats,
     ExperimentRunner,
     ResultCache,
     build_platform,
     cell_key,
+    cell_label,
     config_digest,
+    run_cached,
     simulate_cells,
 )
 
@@ -218,6 +221,53 @@ class TestSimulateCells:
         assert len(ResultCache(cache_dir)) == 1
         second = simulate_cells(cells, cache_dir=cache_dir)
         assert first[0].latency_s == second[0].latency_s
+
+
+class TestCellTiming:
+    def test_run_cached_records_wall_time_per_cell(self, tmp_path):
+        from repro.experiments.runner import _simulate_cell_tuple
+
+        cells = [("CrossLight", "LeNet5", "resipi", DEFAULT_PLATFORM)]
+        cold = CacheStats()
+        run_cached(
+            cells, lambda c: cell_key(*c), _simulate_cell_tuple,
+            cache_dir=tmp_path / "cache", stats=cold,
+        )
+        assert len(cold.cell_times) == 1
+        label, seconds, hit = cold.cell_times[0]
+        assert label == "CrossLight/LeNet5/resipi"
+        assert seconds > 0 and not hit
+
+        warm = CacheStats()
+        run_cached(
+            cells, lambda c: cell_key(*c), _simulate_cell_tuple,
+            cache_dir=tmp_path / "cache", stats=warm,
+        )
+        (_, _, warm_hit), = warm.cell_times
+        assert warm_hit
+
+    def test_slowest_cells_ranked_and_capped(self):
+        stats = CacheStats()
+        for index, seconds in enumerate((0.3, 0.1, 0.9, 0.5, 0.2, 0.7)):
+            stats.record_cell(f"cell{index}", seconds, hit=False)
+        top = stats.slowest_cells(3)
+        assert [label for label, _, _ in top] == ["cell2", "cell5", "cell3"]
+
+    def test_render_slowest_annotates_hits(self):
+        stats = CacheStats()
+        stats.record_cell("slow-cell", 0.25, hit=False)
+        stats.record_cell("cached-cell", 0.001, hit=True)
+        text = stats.render_slowest()
+        assert text.startswith("slowest cells (top 2):")
+        assert "slow-cell" in text
+        assert "cached-cell  [cache hit]" in text
+        assert CacheStats().render_slowest() == ""
+
+    def test_cell_label_flavours(self):
+        assert cell_label(
+            ("CrossLight", "LeNet5", "resipi", DEFAULT_PLATFORM)
+        ) == "CrossLight/LeNet5/resipi"
+        assert cell_label(object()) == "object"
 
 
 class TestChannelStats:

@@ -276,6 +276,17 @@ class TestLegacyKeys:
         assert isinstance(cell, ServingCell)
         assert cell.key() == LEGACY_SERVING_KEY
 
+    def test_degenerate_fidelity_keeps_sequence_keys(self):
+        # A `mode: "des"` fidelity block is inert: the sequence cell it
+        # lowers to must reuse the exact pre-fidelity cache key.
+        from repro.studies.spec import FidelitySpec
+        (plain,) = lower_study(sequence_spec())[1][0]
+        (degenerate,) = lower_study(
+            sequence_spec(fidelity=FidelitySpec())
+        )[1][0]
+        assert degenerate.fidelity is None
+        assert degenerate.key() == plain.key()
+
     def test_sequence_fields_fork_scenario_keys(self):
         base = ScenarioCell(
             platform="2.5D-CrossLight-SiPh",
@@ -296,10 +307,16 @@ class TestLegacyKeys:
 
 
 class TestSpecRejections:
-    def test_fluid_fidelity_rejected_on_sequences(self):
+    def test_fluid_fidelity_accepted_on_sequences(self):
+        # PR 9 lifted the sequence rejection: the fluid path now models
+        # prefill + decode, so the spec lowers onto a fidelity-armed
+        # scenario cell instead of raising.
         from repro.studies.spec import FidelitySpec
-        with pytest.raises(SpecError, match="fluid fidelity"):
-            sequence_spec(fidelity=FidelitySpec(mode="fluid"))
+        spec = sequence_spec(fidelity=FidelitySpec(mode="fluid"))
+        (cell,) = lower_study(spec)[1][0]
+        assert isinstance(cell, ScenarioCell)
+        assert cell.sequences
+        assert cell.fidelity is not None
 
     def test_resilience_rejected_on_sequences(self):
         from repro.studies.spec import ResilienceSpec
