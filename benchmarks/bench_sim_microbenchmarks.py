@@ -20,6 +20,7 @@ from repro.bench import (
     make_resilience_retry_hedge,
     make_sequence_fluid_path,
     make_serving_request_throughput,
+    make_telemetry_null_recorder,
     make_warm_fork_sweep,
 )
 
@@ -51,6 +52,12 @@ def test_bench_functional_mac_matvec(benchmark):
 def test_bench_serving_request_throughput(benchmark):
     """~100 Poisson requests batched through the serving scheduler."""
     completed = benchmark(make_serving_request_throughput())
+    assert completed > 0
+
+
+def test_bench_telemetry_null_recorder(benchmark):
+    """The serving benchmark under a metrics-only telemetry session."""
+    completed = benchmark(make_telemetry_null_recorder())
     assert completed > 0
 
 

@@ -148,6 +148,54 @@ def make_serving_request_throughput() -> Callable[[], int]:
     return run
 
 
+def make_telemetry_null_recorder() -> Callable[[], int]:
+    """The serving benchmark under a metrics-only telemetry session.
+
+    The same 1 ms LeNet5 window as ``serving_request_throughput``, but
+    with a :class:`~repro.obs.session.TelemetrySession` attached whose
+    trace recorder is null (``trace: false``): every span site reduces
+    to one attribute comparison while the gauge sampler ticks in the
+    background.  The gap to ``serving_request_throughput`` is the cost
+    of the null-recorder guards — the acceptance budget keeps it under
+    a few percent.
+    """
+    from .core.accelerator import MonolithicCrossLight
+    from .core.engine import ExecutionTrace
+    from .dnn import zoo
+    from .dnn.workload import extract_workload
+    from .mapping.residency import WeightResidency
+    from .obs.policy import TelemetryPolicy
+    from .obs.session import TelemetrySession
+    from .serving.scheduler import BatchPolicy, RequestScheduler
+    from .sim.core import Environment
+    from .sim.traffic import PoissonArrivals
+
+    platform = MonolithicCrossLight()
+    workload = extract_workload(zoo.build("LeNet5"))
+    policy = BatchPolicy.max_batch_with_timeout(
+        max_batch=8, batch_timeout_s=20e-6
+    )
+    telemetry = TelemetryPolicy(trace=False)
+
+    def run() -> int:
+        env = Environment()
+        sim = platform.build_simulation(env)
+        scheduler = RequestScheduler(
+            sim, sim.map_workload(workload), "LeNet5", policy=policy,
+            residency=WeightResidency(env), trace=ExecutionTrace(),
+        )
+        session = TelemetrySession(env, telemetry)
+        scheduler.obs_metrics = session.metrics
+        session.metrics.gauge(
+            "queue_depth", lambda: float(scheduler.queue_length)
+        )
+        session.start(1e-3)
+        scheduler.serve(PoissonArrivals(rate_rps=100e3, seed=7), 1e-3)
+        return scheduler.requests_completed
+
+    return run
+
+
 def make_hazard_timeline_reads() -> Callable[[], float]:
     """Fabric reads while a hazard timeline mutates capacities.
 
@@ -473,6 +521,7 @@ MICROBENCHMARKS: dict[str, Callable[[], Callable[[], object]]] = {
     "test_bench_photonic_fabric_reads": make_photonic_fabric_reads,
     "test_bench_functional_mac_matvec": make_functional_mac_matvec,
     "test_bench_serving_request_throughput": make_serving_request_throughput,
+    "test_bench_telemetry_null_recorder": make_telemetry_null_recorder,
     "test_bench_hazard_timeline_reads": make_hazard_timeline_reads,
     "test_bench_cluster_dispatch_throughput": make_cluster_dispatch_throughput,
     "test_bench_resilience_retry_hedge": make_resilience_retry_hedge,
@@ -505,6 +554,27 @@ def measure_ns(run: Callable[[], object], repeats: int = 5,
         samples.append(time.perf_counter() - start)
     samples.sort()
     return samples[len(samples) // 2] * 1e9
+
+
+def select_benchmarks(substring: str) -> tuple[str, ...]:
+    """Benchmark names containing ``substring`` (the ``--only`` filter).
+
+    Raises :class:`~repro.errors.UnknownNameError` — listing every
+    registered benchmark — when nothing matches, so a typo'd filter
+    fails with the same typed, did-you-mean-carrying error the spec
+    registries produce instead of silently timing nothing.
+    """
+    names = tuple(
+        name for name in MICROBENCHMARKS if substring in name
+    )
+    if not names:
+        from .errors import UnknownNameError
+
+        raise UnknownNameError(
+            "benchmark", substring, tuple(MICROBENCHMARKS),
+            registry="MICROBENCHMARKS",
+        )
+    return names
 
 
 def run_suite(names: tuple[str, ...] | None = None,

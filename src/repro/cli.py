@@ -167,6 +167,10 @@ def _cmd_dse(args: argparse.Namespace) -> int:
         )))
     if args.cache_dir and args.sweep != "mapping":
         print(f"\n{stats.summary()}")
+    if args.sweep != "mapping":
+        slowest = stats.render_slowest(5)
+        if slowest:
+            print(f"\n{slowest}")
     return 0
 
 
@@ -251,10 +255,40 @@ def _cmd_serve_study(args: argparse.Namespace) -> int:
         print(f"\nper-model SLO attainment:\n{slo_table}")
     if args.cache_dir:
         print(f"\n{study.cache_stats.summary()}")
+    if study.cache_stats is not None:
+        slowest = study.cache_stats.render_slowest(5)
+        if slowest:
+            print(f"\n{slowest}")
     if args.json:
         write_text(args.json, serving_results_to_json(results))
         print(f"\nwrote {args.json}")
     return 0
+
+
+def _telemetry_cell_label(result) -> str:
+    """One-line trace-process label for a telemetered cell result."""
+    parts = [
+        getattr(result, "model", "?"),
+        getattr(result, "platform", "?"),
+        getattr(result, "policy", "?"),
+    ]
+    router = getattr(result, "router", None)
+    if router is not None:
+        parts.append(f"{router}x{getattr(result, 'n_nodes', '?')}")
+    rate = getattr(result, "offered_rps", None)
+    if rate is not None:
+        parts.append(f"{rate:g}rps")
+    return "/".join(str(part) for part in parts)
+
+
+def _telemetry_summaries(results) -> "list[tuple[str, object]]":
+    """``(label, TelemetrySummary)`` pairs from telemetered results."""
+    summaries = []
+    for result in results:
+        summary = getattr(result, "telemetry", None)
+        if summary is not None:
+            summaries.append((_telemetry_cell_label(result), summary))
+    return summaries
 
 
 def _cmd_study(args: argparse.Namespace) -> int:
@@ -289,6 +323,30 @@ def _cmd_study(args: argparse.Namespace) -> int:
         if slowest:
             print(f"\n{slowest}")
     flat = study.flat_results()
+    telemetry = _telemetry_summaries(flat)
+    for label, summary in telemetry:
+        block = summary.render_sparklines()
+        if block:
+            print(f"\ntelemetry [{label}] "
+                  f"({summary.policy_label}, {summary.span_count} spans, "
+                  f"{summary.sampled_requests}/{summary.total_requests} "
+                  f"requests traced)\n{block}")
+    if (args.trace or args.metrics_csv) and not telemetry:
+        print("error: --trace/--metrics-csv need an armed telemetry "
+              "section in the spec (no cell produced telemetry)",
+              file=sys.stderr)
+        return 2
+    if args.trace:
+        from .obs import chrome_trace_json
+
+        write_text(args.trace, chrome_trace_json(telemetry))
+        print(f"\nwrote {args.trace} "
+              f"(load at https://ui.perfetto.dev)")
+    if args.metrics_csv:
+        from .obs import telemetry_series_to_csv
+
+        write_text(args.metrics_csv, telemetry_series_to_csv(telemetry))
+        print(f"wrote {args.metrics_csv}")
     if args.json:
         if spec.kind == "serving":
             write_text(args.json, study_results_to_json(flat))
@@ -309,14 +367,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     names = None
     if args.only:
-        names = tuple(
-            name for name in bench.MICROBENCHMARKS
-            if args.only in name
-        )
-        if not names:
-            print(f"no benchmark matches --only {args.only!r}; "
-                  f"available: {', '.join(bench.MICROBENCHMARKS)}",
-                  file=sys.stderr)
+        try:
+            names = bench.select_benchmarks(args.only)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
             return 2
     medians = bench.run_suite(names=names, repeats=args.repeats)
     baseline = None
@@ -467,6 +521,12 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument("--dry-run", action="store_true",
                        help="print the expanded grid, per-cell cache keys "
                             "and the spec digest without simulating")
+    study.add_argument("--trace", default=None, metavar="PATH",
+                       help="write a Perfetto-loadable Chrome trace-event "
+                            "JSON (needs a telemetry section with "
+                            "trace: true)")
+    study.add_argument("--metrics-csv", default=None, metavar="PATH",
+                       help="write the telemetry gauge time series as CSV")
     study.set_defaults(func=_cmd_study)
 
     bench = sub.add_parser(

@@ -342,6 +342,10 @@ class ClusterRouter:
         self.node_events = node_events
         self.reroute_on_fail = reroute_on_fail
         self.records: list[NodeHazardRecord] = []
+        # Telemetry hook (attached post-construction by the study
+        # layer): routing decisions land as instants on a shared
+        # ``router`` track; ``None`` keeps the classic path untouched.
+        self.obs_trace = None
         self.requests_routed = 0
         self.requests_rerouted = 0
         self._closed = 0
@@ -442,6 +446,13 @@ class ClusterRouter:
         handle.node = node.index
         node.routed += 1
         self.requests_routed += 1
+        if self.obs_trace is not None and self.obs_trace.sampled(
+            handle.request_id
+        ):
+            self.obs_trace.instant(
+                "router", "route",
+                args={"node": node.index, "request": handle.request_id},
+            )
         return handle
 
     def route(self, model: str | None = None, done=None):
@@ -473,6 +484,11 @@ class ClusterRouter:
         node.routed += 1
         from_node.rerouted_away += 1
         self.requests_rerouted += 1
+        if self.obs_trace is not None:
+            self.obs_trace.instant(
+                "router", "reroute",
+                args={"from": from_node.index, "to": node.index},
+            )
 
     # -- modeled signal path (health checking) ------------------------------------
 
@@ -522,6 +538,11 @@ class ClusterRouter:
             kind="node-eject", node=node.index, at_s=self.env.now,
             rerouted=rerouted,
         ))
+        if self.obs_trace is not None:
+            self.obs_trace.instant(
+                "router", "eject",
+                args={"node": node.index, "rerouted": rerouted},
+            )
 
     # -- incidents and availability -----------------------------------------------
 
@@ -610,6 +631,10 @@ class ClusterRouter:
                 kind=event.kind, node=index, at_s=self.env.now,
                 rerouted=rerouted,
             ))
+            if self.obs_trace is not None:
+                self.obs_trace.instant(
+                    "router", event.kind, args={"node": index}
+                )
         self._update_availability()
 
     def _run_events(self, pending: list[NodeHazardEvent]):

@@ -90,6 +90,7 @@ class ClusterCell:
     resilience: ResiliencePolicy | None = None
     health: HealthPolicy | None = None
     fidelity: "object | None" = None
+    telemetry: "object | None" = None
 
     @property
     def mix_label(self) -> str:
@@ -109,9 +110,9 @@ class ClusterCell:
     def key(self) -> str:
         """Disk-cache key: every behavioral field plus the spec digest.
 
-        ``resilience``, ``health`` and ``fidelity`` enter the extras
-        only when set, so legacy cells keep their cache keys byte for
-        byte.
+        ``resilience``, ``health``, ``fidelity`` and ``telemetry``
+        enter the extras only when set, so legacy cells keep their
+        cache keys byte for byte.
         """
         extra = {
                 "study": "cluster",
@@ -147,6 +148,8 @@ class ClusterCell:
             extra["health"] = asdict(self.health)
         if self.fidelity is not None:
             extra["fidelity"] = asdict(self.fidelity)
+        if self.telemetry is not None:
+            extra["telemetry"] = asdict(self.telemetry)
         return cell_key(
             self.platform, self.mix_label, self.controller, self.config,
             extra=extra,
@@ -167,6 +170,62 @@ def _node_config(cell: ClusterCell,
         if gateways is not None:
             config = config.with_gateways_per_chiplet(gateways)
     return config, controller
+
+
+def _start_cluster_telemetry(telemetry, env, nodes, router,
+                             duration_s: float, driver=None):
+    """Fleet-level telemetry session: one recorder/registry shared by
+    every node (per-node track prefixes keep request timelines
+    distinct), plus router-level instants and per-node gauges.
+    Returns ``None`` when the cell carries no policy."""
+    if telemetry is None:
+        return None
+    # Deferred: the obs package is only needed on the armed path.
+    from ..obs.session import TelemetrySession
+
+    session = TelemetrySession(env, telemetry)
+    recorder = session.recorder
+    metrics = session.metrics
+    for node in nodes:
+        scheduler = node.scheduler
+        if recorder is not None:
+            scheduler.obs_trace = recorder
+            scheduler.obs_prefix = f"{node.name}/"
+            node.residency.obs_trace = recorder
+        scheduler.obs_metrics = metrics
+        metrics.gauge(f"{node.name}.queue_depth",
+                      lambda s=scheduler: float(s.queue_length))
+        metrics.gauge(f"{node.name}.inflight",
+                      lambda s=scheduler: float(s.outstanding))
+        metrics.gauge(f"{node.name}.mac_utilization",
+                      scheduler.compute.mean_utilization)
+    if recorder is not None:
+        router.obs_trace = recorder
+        if driver is not None:
+            driver.obs_trace = recorder
+    metrics.gauge("routable_nodes",
+                  lambda: float(len(router.routable_nodes())))
+    session.start(duration_s)
+    return session
+
+
+def _finish_cluster_telemetry(session, nodes, router, injected: int,
+                              completed: int, shed: int):
+    """Fold fleet counters in and freeze the session (``None`` passes)."""
+    if session is None:
+        return None
+    metrics = session.metrics
+    metrics.inc("requests_injected", injected)
+    metrics.inc("requests_completed", completed)
+    metrics.inc("requests_shed", shed)
+    metrics.inc("requests_rerouted", router.requests_rerouted)
+    for node in nodes:
+        metrics.inc("batches_dispatched",
+                    node.scheduler.batches_dispatched)
+        metrics.inc("weight_fetches", node.residency.fetches_issued)
+        metrics.inc("weight_fetch_hits", node.residency.fetch_hits)
+        metrics.inc("weight_evictions", node.residency.evictions)
+    return session.summary(total_requests=injected)
 
 
 def simulate_cluster_cell(cell: ClusterCell,
@@ -240,8 +299,15 @@ def simulate_cluster_cell(cell: ClusterCell,
     if cell.resilience is not None and cell.resilience:
         driver = LifecycleDriver(router, cell.resilience,
                                  seed=cell.seed)
+        session = _start_cluster_telemetry(
+            cell.telemetry, env, nodes, router, cell.duration_s,
+            driver=driver,
+        )
         driver.serve(arrivals, cell.duration_s, models=mix)
     else:
+        session = _start_cluster_telemetry(
+            cell.telemetry, env, nodes, router, cell.duration_s
+        )
         router.serve(arrivals, cell.duration_s, models=mix)
 
     elapsed = env.now
@@ -334,6 +400,9 @@ def simulate_cluster_cell(cell: ClusterCell,
         availability=router.availability(elapsed),
         mttr_s=mean_time_to_repair(incidents),
         incidents=incidents,
+        telemetry=_finish_cluster_telemetry(
+            session, nodes, router, injected, completed, shed
+        ),
     )
 
 

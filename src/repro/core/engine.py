@@ -156,6 +156,8 @@ class RequestExecution:
         compute: ComputeOccupancy | None = None,
         model_name: str = "",
         record_timings: bool = True,
+        obs: "object | None" = None,
+        obs_track: str = "",
     ):
         if batch_size < 1:
             raise ValueError(f"batch size must be >= 1, got {batch_size}")
@@ -170,6 +172,11 @@ class RequestExecution:
         self.compute = compute
         self.model_name = model_name
         self.record_timings = record_timings
+        # Telemetry: per-layer spans land on ``obs_track`` of the span
+        # recorder when one is attached (sampled request under an armed
+        # telemetry policy); ``None`` costs one comparison per layer.
+        self.obs = obs
+        self.obs_track = obs_track
 
     def start(self) -> Process:
         """Launch the execution; the returned process fires on completion."""
@@ -204,7 +211,14 @@ class RequestExecution:
 
         for index, layer_mapping in enumerate(layers):
             start = self.env.now
+            if self.obs is not None:
+                self.obs.begin(
+                    self.obs_track,
+                    f"weights:{layer_mapping.layer.name}",
+                )
             yield weights_ready[index]
+            if self.obs is not None:
+                self.obs.end(self.obs_track)
             # Prefetch the next layer's weights concurrently.
             if index + 1 < len(layers):
                 weights_ready[index + 1] = self._fetch_weights(
@@ -231,7 +245,15 @@ class RequestExecution:
                 )
                 for alloc in layer_mapping.allocations
             ]
+            if self.obs is not None:
+                self.obs.begin(
+                    self.obs_track,
+                    f"layer:{layer_mapping.layer.name}",
+                    args={"chiplets": len(layer_mapping.allocations)},
+                )
             yield self.env.all_of(chiplet_events)
+            if self.obs is not None:
+                self.obs.end(self.obs_track)
 
             if self.record_timings:
                 self.trace.layer_timings.append(

@@ -181,6 +181,36 @@ def _fidelity_csv_tail(result) -> list:
     ]
 
 
+def _telemetry_dict(result) -> "dict | None":
+    """The telemetry block: counters, histograms and the gauge time
+    series (``None`` on untelemetered results; read with ``getattr``
+    so pre-telemetry pickles export unchanged)."""
+    summary = getattr(result, "telemetry", None)
+    if summary is None:
+        return None
+    return {
+        "policy": summary.policy_label,
+        "sample_rate": summary.sample_rate,
+        "sampled_requests": summary.sampled_requests,
+        "total_requests": summary.total_requests,
+        "span_count": summary.span_count,
+        "instant_count": len(summary.instants),
+        "counters": dict(summary.counters),
+        "histograms": {
+            name: [
+                {"le": upper, "count": count}
+                for upper, count in buckets
+            ]
+            for name, buckets in summary.histograms
+        },
+        "series": {
+            name: [{"t_s": at_s, "value": value}
+                   for at_s, value in samples]
+            for name, samples in summary.series
+        },
+    }
+
+
 def _incidents_list(incidents) -> list[dict]:
     """Per-incident availability records (empty when fault-free)."""
     return [
@@ -296,6 +326,7 @@ def serving_result_to_dict(result: ServingResult) -> dict:
     record["incidents"] = _incidents_list(result.incidents)
     record["fidelity"] = _fidelity_dict(result.fidelity)
     record["sequence"] = _sequence_dict(result)
+    record["telemetry"] = _telemetry_dict(result)
     return record
 
 
@@ -387,6 +418,7 @@ def cluster_result_to_dict(result: ClusterResult) -> dict:
     record["resilience"] = _resilience_dict(result.resilience)
     record["incidents"] = _incidents_list(result.incidents)
     record["fidelity"] = _fidelity_dict(result.fidelity)
+    record["telemetry"] = _telemetry_dict(result)
     return record
 
 

@@ -81,7 +81,9 @@ class ServingCell:
     ``fidelity`` is the hybrid-fidelity policy
     (:class:`~repro.experiments.fidelity.FidelityPolicy`): ``None`` —
     the default, and the only value the classic constructors produce —
-    runs full DES with the exact pre-fidelity cache key.
+    runs full DES with the exact pre-fidelity cache key.  ``telemetry``
+    (a :class:`~repro.obs.policy.TelemetryPolicy`) likewise defaults to
+    ``None`` — the untelemetered classic run with the legacy key.
     """
 
     platform: str
@@ -94,6 +96,7 @@ class ServingCell:
     seed: int
     config: PlatformConfig
     fidelity: "object | None" = None
+    telemetry: "object | None" = None
 
     def arrival_process(self):
         """Instantiate the cell's arrival process (via the registry)."""
@@ -102,8 +105,9 @@ class ServingCell:
     def key(self) -> str:
         """Disk-cache key: the inference cell key + serving extras.
 
-        ``fidelity`` enters the extras only when armed, so classic DES
-        cells keep their legacy keys byte for byte.
+        ``fidelity`` and ``telemetry`` enter the extras only when
+        armed, so classic DES cells keep their legacy keys byte for
+        byte.
         """
         extra = {
             "study": "serving",
@@ -116,10 +120,93 @@ class ServingCell:
         }
         if self.fidelity is not None:
             extra["fidelity"] = asdict(self.fidelity)
+        if self.telemetry is not None:
+            extra["telemetry"] = asdict(self.telemetry)
         return cell_key(
             self.platform, self.model, self.controller, self.config,
             extra=extra,
         )
+
+
+def start_telemetry(telemetry, env, scheduler, sim, duration_s: float,
+                    driver=None):
+    """Build, attach and start one cell's telemetry session.
+
+    Returns ``None`` when the cell carries no policy — the classic
+    untelemetered path.  When armed, the recorder (if tracing) hooks
+    into the scheduler, its residency store and the optional lifecycle
+    driver, the standard serving gauges are registered, and the sim-time
+    sampler process starts.  The sampler only *reads* simulation state
+    and its extra timeout events never reorder existing same-time
+    events, so armed runs produce bit-identical request records.
+    """
+    if telemetry is None:
+        return None
+    # Deferred: the obs package is only needed on the armed path.
+    from ..obs.session import TelemetrySession
+
+    session = TelemetrySession(env, telemetry)
+    recorder = session.recorder
+    if recorder is not None:
+        scheduler.obs_trace = recorder
+        scheduler.residency.obs_trace = recorder
+        if driver is not None:
+            driver.obs_trace = recorder
+    metrics = session.metrics
+    scheduler.obs_metrics = metrics
+    metrics.gauge("queue_depth", lambda: float(scheduler.queue_length))
+    metrics.gauge("inflight", lambda: float(scheduler.outstanding))
+    metrics.gauge(
+        "decode_pool_width",
+        lambda: float(sum(len(p) for p in scheduler._pools.values())),
+    )
+    metrics.gauge("weight_resident_bits",
+                  lambda: scheduler.residency.resident_bits)
+    metrics.gauge(
+        "kv_reserved_bits",
+        lambda: (
+            scheduler.kv.reserved_bits
+            if scheduler.kv is not None else 0.0
+        ),
+    )
+    metrics.gauge("mac_utilization", scheduler.compute.mean_utilization)
+    fabric = sim.fabric
+    metrics.gauge("fabric_inflight",
+                  lambda: float(fabric.inflight_requests.value))
+    metrics.gauge(
+        "channel_utilization",
+        lambda: (
+            sum(c.utilization() for c in fabric.iter_channels())
+            / max(1, sum(1 for _ in fabric.iter_channels()))
+        ),
+    )
+    session.start(duration_s)
+    return session
+
+
+def finish_telemetry(session, scheduler, injected: int, completed: int,
+                     shed: int):
+    """Fold the scheduler's final counters in and freeze the session.
+
+    Returns the picklable summary (``None`` passes through), so worker
+    bodies can attach it to the result unconditionally.
+    """
+    if session is None:
+        return None
+    metrics = session.metrics
+    metrics.inc("requests_injected", injected)
+    metrics.inc("requests_completed", completed)
+    metrics.inc("requests_shed", shed)
+    metrics.inc("batches_dispatched", scheduler.batches_dispatched)
+    metrics.inc("starvation_promotions", scheduler.starvation_promotions)
+    metrics.inc("decode_remaps", scheduler.decode_remaps)
+    residency = scheduler.residency
+    metrics.inc("weight_fetches", residency.fetches_issued)
+    metrics.inc("weight_fetch_hits", residency.fetch_hits)
+    metrics.inc("weight_evictions", residency.evictions)
+    if scheduler.kv is not None:
+        metrics.inc("kv_refusals", scheduler.kv.refusals)
+    return session.summary(total_requests=injected)
 
 
 def simulate_serving_cell(cell: ServingCell,
@@ -141,6 +228,8 @@ def simulate_serving_cell(cell: ServingCell,
         sim, mapping, cell.model, policy=cell.policy,
         residency=WeightResidency(env), trace=trace,
     )
+    session = start_telemetry(cell.telemetry, env, scheduler, sim,
+                              cell.duration_s)
     scheduler.serve(cell.arrival_process(), cell.duration_s,
                     vectorized=record_sink is not None)
 
@@ -150,6 +239,10 @@ def simulate_serving_cell(cell: ServingCell,
     latency, queue_delay, mean_batch = aggregate(scheduler.records)
     network = sim.fabric.energy_report()
     trace.record_channel_stats(sim.fabric)
+    telemetry = finish_telemetry(
+        session, scheduler, scheduler.requests_injected,
+        scheduler.requests_completed, scheduler.requests_shed,
+    )
     return ServingResult(
         platform=platform.name,
         model=cell.model,
@@ -170,6 +263,7 @@ def simulate_serving_cell(cell: ServingCell,
         network_energy_j=network.total_energy_j,
         compute_energy_j=platform.trace_compute_energy_j(trace, elapsed),
         channel_stats=trace.channel_stats,
+        telemetry=telemetry,
     )
 
 
@@ -370,6 +464,7 @@ class ScenarioCell:
     length_distribution: str = "fixed"
     quotas: tuple[int | None, ...] = ()
     starvation_age_s: float | None = None
+    telemetry: "object | None" = None
 
     @property
     def mix_label(self) -> str:
@@ -419,6 +514,8 @@ class ScenarioCell:
             extra["quotas"] = list(self.quotas)
         if self.starvation_age_s is not None:
             extra["starvation_age_s"] = self.starvation_age_s
+        if self.telemetry is not None:
+            extra["telemetry"] = asdict(self.telemetry)
         return cell_key(
             self.platform, self.mix_label, self.controller, self.config,
             extra=extra,
@@ -541,6 +638,8 @@ def simulate_scenario_cell(cell: ScenarioCell,
     if cell.resilience is not None and cell.resilience:
         driver = LifecycleDriver(scheduler, cell.resilience,
                                  seed=cell.seed)
+        session = start_telemetry(cell.telemetry, env, scheduler, sim,
+                                  cell.duration_s, driver=driver)
         driver.serve(arrivals, cell.duration_s, models=mix)
         # Client-visible accounting: logical requests, with retries and
         # hedges folded into each one's latency.
@@ -550,6 +649,8 @@ def simulate_scenario_cell(cell: ScenarioCell,
         shed = driver.requests_gave_up
         resilience_stats = driver.stats()
     else:
+        session = start_telemetry(cell.telemetry, env, scheduler, sim,
+                                  cell.duration_s)
         scheduler.serve(arrivals, cell.duration_s, models=mix)
         records = scheduler.records
         injected = scheduler.requests_injected
@@ -622,6 +723,8 @@ def simulate_scenario_cell(cell: ScenarioCell,
             scheduler.kv.peak_reserved_bits if scheduler.kv else 0.0
         ),
         decode_remaps=scheduler.decode_remaps,
+        telemetry=finish_telemetry(session, scheduler, injected,
+                                   completed, shed),
     )
 
 

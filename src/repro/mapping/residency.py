@@ -53,6 +53,10 @@ class WeightResidency:
         self.fetch_hits = 0
         self.evictions = 0
         self.kv: "KVCacheResidency | None" = None
+        # Telemetry hook (attached post-construction by the study
+        # layer): fetch/evict/refusal decisions land as instants on a
+        # shared ``residency`` track; ``None`` costs one comparison.
+        self.obs_trace = None
 
     # -- accounting ---------------------------------------------------------------
 
@@ -80,6 +84,11 @@ class WeightResidency:
         freed = self._bits.pop(model_name, 0.0)
         if freed or any(key[0] == model_name for key in self._barriers):
             self.evictions += 1
+            if self.obs_trace is not None:
+                self.obs_trace.instant(
+                    "residency", "weight-evict",
+                    args={"model": model_name, "bits": freed},
+                )
         self._barriers = {
             key: barrier for key, barrier in self._barriers.items()
             if key[0] != model_name
@@ -139,6 +148,13 @@ class WeightResidency:
         )
         self._touch(model_name)
         self.fetches_issued += 1
+        if self.obs_trace is not None:
+            self.obs_trace.instant(
+                "residency", "weight-fetch",
+                args={"model": model_name,
+                      "layer": layer_mapping.layer.index,
+                      "bits": layer_bits},
+            )
         return barrier
 
 
@@ -231,6 +247,12 @@ class KVCacheResidency:
                 self.pressure_evictions += 1
             if self.reserved_bits + wanted > capacity:
                 self.refusals += 1
+                obs = self.weights.obs_trace
+                if obs is not None:
+                    obs.instant(
+                        "residency", "kv-refusal",
+                        args={"request": request_id, "bits": wanted},
+                    )
                 return False
         self._reserved[request_id] = wanted
         self._written[request_id] = 0.0

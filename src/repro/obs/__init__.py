@@ -1,0 +1,54 @@
+"""Simulation-time telemetry: span tracing and time-series metrics.
+
+The observability layer of the serving stack.  Two pillars:
+
+* **Span tracing** (:mod:`repro.obs.trace`): a :class:`TraceRecorder`
+  collects typed spans with sim-time begin/end across the request
+  lifecycle — queue wait, batch gather, KV/weight admission and fetch,
+  prefill and decode steps, retry/hedge attempts, cluster routing —
+  and exports Chrome trace-event JSON loadable in Perfetto or
+  ``chrome://tracing``.  A configurable per-request sample rate keeps
+  million-request studies tractable.
+
+* **Time-series metrics** (:mod:`repro.obs.metrics`): a
+  :class:`MetricsRegistry` of counters, gauge callbacks sampled on a
+  sim-time interval (queue depth, inflight, KV/weight occupancy, MAC
+  and channel utilization, routable nodes) and log-bucketed
+  histograms, exported as JSON/CSV time series and rendered as ASCII
+  sparklines after ``repro study``.
+
+Everything is armed from the spec layer (``StudySpec.telemetry`` →
+:class:`TelemetryPolicy` on the simulation cells); the null path — no
+policy — costs nothing beyond a handful of ``is not None`` guards,
+which the ``telemetry_null_recorder`` microbenchmark pins.
+"""
+
+from .metrics import MetricsRegistry, render_sparklines, sparkline
+from .policy import TelemetryPolicy
+from .session import TelemetrySession, TelemetrySummary
+from .trace import (
+    Instant,
+    Span,
+    TraceRecorder,
+    chrome_trace_events,
+    chrome_trace_json,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "Instant",
+    "MetricsRegistry",
+    "Span",
+    "TelemetryPolicy",
+    "TelemetrySession",
+    "TelemetrySummary",
+    "TraceRecorder",
+    "chrome_trace_events",
+    "chrome_trace_json",
+    "render_sparklines",
+    "sparkline",
+    "telemetry_series_to_csv",
+    "validate_chrome_trace",
+]
+
+from .session import telemetry_series_to_csv  # noqa: E402  (re-export)

@@ -1,0 +1,127 @@
+"""Counters, sampled gauges and log-bucketed histograms in sim time.
+
+A :class:`MetricsRegistry` is owned by one simulation cell.  Gauges are
+registered as zero-argument callbacks (queue depth, inflight, residency
+occupancy, MAC/channel utilization, routable nodes) and sampled by a
+perpetual simulation process on a fixed sim-time interval — safe under
+the serving layer's ``run_until_event`` drain, which exits when the
+drained barrier fires regardless of pending sampler timeouts, and
+side-effect-free, so armed metrics never perturb request records.
+
+Histograms use power-of-two buckets (each observation lands in the
+bucket whose upper bound is the next power of two), the classic
+log-bucketing that keeps tails visible at constant memory.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Sequence
+
+from ..errors import SimulationError
+
+_BLOCKS = " .:-=+*#%@"
+"""ASCII intensity ramp for sparklines (space = zero/min)."""
+
+
+class MetricsRegistry:
+    """Counters + gauge time series + log-bucketed histograms."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self._gauges: dict[str, Callable[[], float]] = {}
+        self.series: dict[str, list[tuple[float, float]]] = {}
+        self.histograms: dict[str, dict[float, int]] = {}
+
+    # -- counters ------------------------------------------------------------------
+
+    def inc(self, name: str, delta: float = 1.0) -> None:
+        self.counters[name] = self.counters.get(name, 0.0) + delta
+
+    # -- histograms ----------------------------------------------------------------
+
+    def observe(self, name: str, value: float) -> None:
+        """Drop ``value`` into its power-of-two bucket of ``name``."""
+        if value <= 0:
+            bucket = 0.0
+        else:
+            bucket = 2.0 ** math.ceil(math.log2(value))
+        buckets = self.histograms.setdefault(name, {})
+        buckets[bucket] = buckets.get(bucket, 0) + 1
+
+    # -- gauges --------------------------------------------------------------------
+
+    def gauge(self, name: str, fn: Callable[[], float]) -> None:
+        """Register a gauge callback sampled on every tick."""
+        if name in self._gauges:
+            raise SimulationError(f"gauge {name!r} already registered")
+        self._gauges[name] = fn
+        self.series[name] = []
+
+    def sample(self, now: float) -> None:
+        """Append one sample of every gauge at sim time ``now``."""
+        for name, fn in self._gauges.items():
+            self.series[name].append((now, float(fn())))
+
+    def start_sampler(self, env: Any, interval_s: float) -> None:
+        """Launch the perpetual sampling process (one tick per interval).
+
+        The first sample lands at t = ``env.now`` so every series has a
+        baseline point; the process never terminates — callers must
+        drain via ``run_until_event``, which all serving entry points
+        do.
+        """
+        if interval_s <= 0:
+            raise SimulationError(
+                f"sampling interval must be positive, got {interval_s}"
+            )
+        self.sample(env.now)
+
+        def _sampler():
+            while True:
+                yield env.timeout(interval_s)
+                self.sample(env.now)
+
+        env.process(_sampler())
+
+
+def sparkline(values: Sequence[float], width: int = 48) -> str:
+    """ASCII sparkline of ``values`` resampled to ``width`` columns."""
+    if not values:
+        return ""
+    if len(values) > width:
+        # Bucket-wise max keeps short spikes visible after resampling.
+        step = len(values) / width
+        values = [
+            max(values[int(i * step):max(int(i * step) + 1,
+                                         int((i + 1) * step))])
+            for i in range(width)
+        ]
+    low = min(values)
+    high = max(values)
+    span = high - low
+    if span <= 0:
+        return _BLOCKS[0] * len(values)
+    scale = len(_BLOCKS) - 1
+    return "".join(
+        _BLOCKS[int(round((value - low) / span * scale))]
+        for value in values
+    )
+
+
+def render_sparklines(
+    series: Sequence[tuple[str, Sequence[tuple[float, float]]]],
+    width: int = 48,
+) -> str:
+    """One sparkline row per metric series (name, min/max annotated)."""
+    lines = []
+    for name, samples in series:
+        values = [value for _, value in samples]
+        if not values:
+            continue
+        lines.append(
+            f"{name:<24}|{sparkline(values, width)}| "
+            f"min {min(values):.3g}  max {max(values):.3g}  "
+            f"last {values[-1]:.3g}"
+        )
+    return "\n".join(lines)

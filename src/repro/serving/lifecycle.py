@@ -137,6 +137,11 @@ class LifecycleDriver:
             "gave_up": 0, "budget_denied": 0,
         }
         self._retry_causes: dict[str, int] = {}
+        # Telemetry hook (attached post-construction by the study
+        # layer): lifecycle decisions land as instants on a shared
+        # ``lifecycle`` track; the attempts themselves are traced by the
+        # target scheduler under their own request tracks.
+        self.obs_trace = None
         self._next_logical_id = 0
         self._requests_open = 0
         self._injection_done = False
@@ -237,6 +242,11 @@ class LifecycleDriver:
                 )
                 submit(exclude=exclude)
                 self._counts["hedges"] += 1
+                if self.obs_trace is not None:
+                    self.obs_trace.instant(
+                        "lifecycle", "hedge",
+                        args={"attempt": len(attempts)},
+                    )
 
     def _cleanup(self, attempts: list[RequestHandle],
                  winner: RequestHandle | None) -> None:
@@ -266,6 +276,8 @@ class LifecycleDriver:
                 break
             if cause == "timeout":
                 self._counts["timeouts"] += 1
+                if self.obs_trace is not None:
+                    self.obs_trace.instant("lifecycle", "timeout")
             if retries >= policy.max_retries:
                 break
             if not self._budget_allows():
@@ -276,6 +288,11 @@ class LifecycleDriver:
             self._retry_causes[cause] = (
                 self._retry_causes.get(cause, 0) + 1
             )
+            if self.obs_trace is not None:
+                self.obs_trace.instant(
+                    "lifecycle", "retry",
+                    args={"cause": cause, "retry": retries},
+                )
             delay = policy.retry_backoff_s * (2.0 ** (retries - 1))
             if policy.retry_jitter > 0.0:
                 delay += delay * policy.retry_jitter * float(
@@ -303,6 +320,8 @@ class LifecycleDriver:
             )
         else:
             self._counts["gave_up"] += 1
+            if self.obs_trace is not None:
+                self.obs_trace.instant("lifecycle", "gave-up")
             record = RequestRecord(
                 request_id=logical_id,
                 model=first_handle.model,

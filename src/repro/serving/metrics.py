@@ -487,6 +487,10 @@ class ServingResult:
     kv_refusals: int = 0
     kv_peak_bits: float = 0.0
     decode_remaps: int = 0
+    telemetry: "object | None" = None
+    """Frozen :class:`~repro.obs.session.TelemetrySummary` when the
+    cell ran with telemetry armed; appended last (and read with
+    ``getattr``) so pre-telemetry pickles keep loading."""
 
     @property
     def is_sequence_run(self) -> bool:
@@ -658,6 +662,9 @@ class ClusterResult:
     mttr_s: float = 0.0
     incidents: tuple[IncidentRecord, ...] = ()
     fidelity: FidelityReport | None = None
+    telemetry: "object | None" = None
+    """Frozen telemetry summary when armed; see
+    :attr:`ServingResult.telemetry`."""
 
     @property
     def retry_amplification(self) -> float:

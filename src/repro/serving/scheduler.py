@@ -298,6 +298,16 @@ class RequestScheduler:
         self._pool_running: set[str] = set()
         self._has_sequences = False
         self.on_request_closed: Callable[[RequestHandle], None] | None = None
+        # Telemetry hooks, attached post-construction by the study
+        # layer: a span recorder and a metrics registry, or ``None`` on
+        # the untelemetered path — every instrumentation site below
+        # guards on a single attribute comparison, so the classic hot
+        # path stays untouched.
+        self.obs_trace = None
+        self.obs_metrics = None
+        self.obs_prefix = ""
+        """Track-name prefix (``node3/`` on fleets) keeping per-request
+        tracks distinct when several schedulers share one recorder."""
         self._injection_done = False
         self._drained = sim.env.event()
         self._next_id = 0
@@ -409,6 +419,10 @@ class RequestScheduler:
         )
         self._next_id += 1
         self.requests_injected += 1
+        if self.obs_trace is not None and self.obs_trace.sampled(
+            request.request_id
+        ):
+            self.obs_trace.note_sampled()
         denied = (
             entry.quota is not None
             and self._outstanding.get(name, 0) >= entry.quota
@@ -504,6 +518,15 @@ class RequestScheduler:
         self._arrival_signal = event
         return event
 
+    # -- telemetry -------------------------------------------------------------------
+
+    def _obs_track(self, request: RequestHandle) -> str | None:
+        """The request's trace track when sampled, else ``None``."""
+        trace = self.obs_trace
+        if trace is None or not trace.sampled(request.request_id):
+            return None
+        return f"{self.obs_prefix}req:{request.request_id:06d}"
+
     # -- dispatcher ------------------------------------------------------------------
 
     def _select_index(self) -> int:
@@ -525,6 +548,11 @@ class RequestScheduler:
             age = self.starvation_age_s
             if age is not None and self.env.now - queue[0].submit_s > age:
                 self.starvation_promotions += 1
+                if self.obs_trace is not None:
+                    self.obs_trace.instant(
+                        "scheduler", "starvation-promotion",
+                        args={"request": queue[0].request_id},
+                    )
                 return 0
             return min(
                 range(len(queue)),
@@ -656,6 +684,10 @@ class RequestScheduler:
         )
         self.records.append(record)
         self.trace.request_records.append(record)
+        track = self._obs_track(request)
+        if track is not None:
+            self.obs_trace.add(track, "queue-wait", request.submit_s, now)
+            self.obs_trace.instant(track, "shed")
         request.dropped = True
         request.record = record
         if request.done is not None:
@@ -673,16 +705,46 @@ class RequestScheduler:
         dispatch_s = self.env.now
         for _ in batch:
             fabric.request_started()
+        obs = self.obs_trace
+        head_track = None
+        if obs is not None:
+            for request in batch:
+                track = self._obs_track(request)
+                if track is not None:
+                    obs.add(track, "queue-wait", request.submit_s,
+                            dispatch_s)
+            head_track = self._obs_track(batch[0])
+            if head_track is not None:
+                obs.begin(head_track, "execute",
+                          args={"batch": len(batch), "model": entry.name})
         execution = RequestExecution(
             self.env, self.sim.platform.config, fabric, entry.mapping,
             self.trace, mac_rate_hz=self.sim.mac_rate_hz,
             batch_size=len(batch), residency=self.residency,
             compute=self.compute, model_name=entry.name,
             record_timings=self.record_timings,
+            obs=obs if head_track is not None else None,
+            obs_track=head_track or "",
         )
         yield execution.start()
         self._admission.release()
         finish_s = self.env.now
+        if obs is not None:
+            if head_track is not None:
+                obs.end(head_track)
+            # Non-head batch members share the execution timeline; each
+            # sampled one gets a complete span (no nested layer detail).
+            for request in batch[1:]:
+                track = self._obs_track(request)
+                if track is not None:
+                    obs.add(track, "execute", dispatch_s, finish_s,
+                            args={"batch": len(batch)})
+        metrics = self.obs_metrics
+        if metrics is not None:
+            metrics.observe("batch_size", len(batch))
+            for request in batch:
+                metrics.observe("request_latency_s",
+                                finish_s - request.submit_s)
         for request in batch:
             fabric.request_finished()
             record = RequestRecord(
@@ -739,7 +801,8 @@ class RequestScheduler:
         return mapping
 
     def _run_step(self, mapping: ModelMapping, entry: _ModelEntry,
-                  batch_size: int = 1) -> Event:
+                  batch_size: int = 1,
+                  obs_track: str | None = None) -> Event:
         """One execution over a decode-shaped mapping (prefill or step)."""
         execution = RequestExecution(
             self.env, self.sim.platform.config, self.sim.fabric, mapping,
@@ -747,6 +810,8 @@ class RequestScheduler:
             batch_size=batch_size, residency=self.residency,
             compute=self.compute, model_name=entry.name,
             record_timings=self.record_timings,
+            obs=self.obs_trace if obs_track is not None else None,
+            obs_track=obs_track or "",
         )
         return execution.start()
 
@@ -755,16 +820,31 @@ class RequestScheduler:
         kv = self._kv_store()
         bits = entry.mapping.workload.kv_bits_per_token
         total_tokens = request.prompt_tokens + request.output_tokens
+        track = self._obs_track(request)
+        if track is not None:
+            self.obs_trace.begin(track, "kv-admit",
+                                 args={"tokens": total_tokens})
         while not kv.admit(request.request_id, total_tokens, bits):
             yield kv.wait_release()
+        if track is not None:
+            self.obs_trace.end(track)
 
     def _prefill(self, request: RequestHandle, entry: _ModelEntry):
         """Prefill one sequence: one pass, batched over prompt tokens."""
         request.dispatch_s = self.env.now
+        track = self._obs_track(request)
+        if track is not None:
+            self.obs_trace.begin(
+                track, "prefill",
+                args={"prompt_tokens": request.prompt_tokens},
+            )
         yield self._run_step(
             self._decode_mapping(entry, 1), entry,
             batch_size=max(1, request.prompt_tokens),
+            obs_track=track,
         )
+        if track is not None:
+            self.obs_trace.end(track)
         now = self.env.now
         request.first_token_s = now
         request.tokens_done = 1
@@ -778,6 +858,16 @@ class RequestScheduler:
                         release_slot: bool) -> None:
         """Complete one sequence: record, KV release, drain accounting."""
         self._kv_store().release(request.request_id)
+        track = self._obs_track(request)
+        if track is not None and request.first_token_s is not None:
+            self.obs_trace.add(
+                track, "decode", request.first_token_s, self.env.now,
+                args={"tokens": request.tokens_done},
+            )
+        metrics = self.obs_metrics
+        if metrics is not None:
+            metrics.observe("request_latency_s",
+                            self.env.now - request.submit_s)
         times = request.token_times
         record = RequestRecord(
             request_id=request.request_id,
@@ -814,6 +904,10 @@ class RequestScheduler:
     def _serve_sequence(self, request: RequestHandle):
         """Continuous batching: prefill alone, then join the decode pool."""
         entry = self._models[request.model]
+        track = self._obs_track(request)
+        if track is not None:
+            self.obs_trace.add(track, "queue-wait", request.submit_s,
+                               self.env.now)
         yield from self._admit_kv(request, entry)
         self.sim.fabric.request_started()
         yield from self._prefill(request, entry)
@@ -843,7 +937,15 @@ class RequestScheduler:
             members = pool[:width_cap]
             width = len(members)
             mapping = self._decode_mapping(entry, width)
+            step_begin_s = self.env.now
             yield self._run_step(mapping, entry)
+            if self.obs_trace is not None:
+                self.obs_trace.add(
+                    f"{self.obs_prefix}decode-pool:{model}", "decode-step",
+                    step_begin_s, self.env.now, args={"width": width},
+                )
+            if self.obs_metrics is not None:
+                self.obs_metrics.observe("decode_width", width)
             # Batched step completion: one pass accounts every member's
             # token and closes finishers in members order (preserving
             # admission-slot grant order), then the pool prefix is
@@ -893,6 +995,13 @@ class RequestScheduler:
         for request in admitted:
             self.sim.fabric.request_started()
             request.dispatch_s = dispatch_s
+        obs = self.obs_trace
+        if obs is not None:
+            for request in admitted:
+                track = self._obs_track(request)
+                if track is not None:
+                    obs.add(track, "queue-wait", request.submit_s,
+                            dispatch_s)
         total_prompt = sum(
             max(1, request.prompt_tokens) for request in admitted
         )
@@ -900,6 +1009,12 @@ class RequestScheduler:
             self._decode_mapping(entry, 1), entry, batch_size=total_prompt
         )
         now = self.env.now
+        if obs is not None:
+            for request in admitted:
+                track = self._obs_track(request)
+                if track is not None:
+                    obs.add(track, "prefill", dispatch_s, now,
+                            args={"batch": len(admitted)})
         active: list[RequestHandle] = []
         for request in admitted:
             request.first_token_s = now

@@ -51,6 +51,7 @@ from .spec import (
     StudySpec,
     SweepAxis,
     SweepSpec,
+    TelemetrySpec,
     WorkloadSpec,
     spec_digest,
 )
@@ -63,6 +64,7 @@ _LAZY_EXPORTS = {
         "build_policy",
         "expand_points",
         "build_fidelity",
+        "build_telemetry",
         "is_degenerate_cluster",
         "load_spec",
         "lower_cluster_point",
@@ -125,6 +127,7 @@ __all__ = [
     "StudySpec",
     "SweepAxis",
     "SweepSpec",
+    "TelemetrySpec",
     "WorkloadSpec",
     "spec_digest",
     *_LAZY_HOMES,

@@ -175,6 +175,27 @@ def build_fidelity(spec: StudySpec):
     )
 
 
+def build_telemetry(spec: StudySpec):
+    """The point's telemetry policy; ``None`` when degenerate.
+
+    The default (empty) telemetry section lowers to the untelemetered
+    classic path — the cell carries no policy, keeps its pre-telemetry
+    cache key and simulates bit-identically.  An armed section compiles
+    to a picklable :class:`~repro.obs.policy.TelemetryPolicy` the cell
+    workers build a recording session from.
+    """
+    section = spec.telemetry
+    if not section:
+        return None
+    from ..obs.policy import TelemetryPolicy
+
+    return TelemetryPolicy(
+        trace=section.trace,
+        sample_rate=section.sample_rate,
+        metrics_interval_s=section.metrics_interval_s,
+    )
+
+
 def _validate_fidelity(point: StudySpec) -> None:
     """Reject spec features the fluid model cannot express.
 
@@ -447,6 +468,7 @@ def lower_cluster_point(point: StudySpec,
         resilience=build_resilience(point),
         health=build_health(point),
         fidelity=build_fidelity(point),
+        telemetry=build_telemetry(point),
     )
 
 
@@ -474,6 +496,7 @@ def lower_serving_point(point: StudySpec,
             seed=workload.seed,
             config=config,
             fidelity=build_fidelity(point),
+            telemetry=build_telemetry(point),
         )
     return ScenarioCell(
         platform=point.platform.name,
@@ -511,6 +534,7 @@ def lower_serving_point(point: StudySpec,
             if workload.has_quotas else ()
         ),
         starvation_age_s=point.scheduler.starvation_age_s,
+        telemetry=build_telemetry(point),
     )
 
 
@@ -749,6 +773,9 @@ def render_dry_run(spec: StudySpec,
                 f"  fidelity: {fidelity.mode} "
                 f"(budget {fidelity.error_budget:g})"
             )
+        telemetry = build_telemetry(point)
+        if telemetry is not None:
+            lines.append(f"  telemetry: {telemetry.label}")
         for cell in group:
             label = type(cell).__name__
             model = (

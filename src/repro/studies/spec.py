@@ -25,7 +25,7 @@ from typing import Any, Mapping
 
 from ..errors import SpecError
 
-SPEC_SCHEMA_VERSION = 6
+SPEC_SCHEMA_VERSION = 7
 """Bump when the spec schema changes meaning: digests (and therefore
 every scenario cache key) move with it.
 
@@ -60,7 +60,14 @@ per-tenant length overrides plus an admission ``quota``,
 policy, and :class:`PlatformSpec` a sweepable ``controller_epoch_s``.
 Degenerate single-step (CNN) specs still lower onto the classic cells,
 whose keys do not embed the spec digest — only digest-bearing scenario
-keys move."""
+keys move.
+
+Version 7: :class:`StudySpec` grew a ``telemetry`` section
+(:class:`TelemetrySpec`: request span tracing with a configurable
+sample rate, and sim-time-sampled gauge metrics).  The degenerate
+default lowers onto the exact pre-telemetry cells: telemetry enters a
+cell's cache key only when armed, so legacy caches still satisfy
+telemetry-free specs."""
 
 LENGTH_DISTRIBUTIONS = ("fixed", "geometric")
 """Sequence-length samplers: every request uses the configured token
@@ -941,6 +948,76 @@ class FidelitySpec:
 
 
 # ---------------------------------------------------------------------------
+# Telemetry: what to observe while each cell simulates.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TelemetrySpec:
+    """What the simulation observes about itself while it runs.
+
+    The default instance is the **degenerate** telemetry spec: nothing
+    is recorded, and the study lowers onto the exact pre-telemetry
+    cells (and cache keys).
+
+    ``trace`` arms request span tracing: the lifecycle of each sampled
+    request — queue wait, batch gather, KV/weight admission and fetch,
+    prefill and decode steps, retry/hedge attempts, routing — is
+    recorded as sim-time spans, exportable as Chrome trace-event JSON
+    (``repro study SPEC --trace out.json``) loadable in Perfetto.
+    ``sample_rate`` is the traced fraction of requests (deterministic
+    per request id, so serial and ``--jobs N`` runs sample
+    identically); it applies only when ``trace`` is on.
+
+    Metrics gauges (queue depth, inflight, decode-pool width, KV and
+    weight residency occupancy, MAC/channel utilization, routable
+    nodes) are sampled whenever the section is armed;
+    ``metrics_interval_s`` overrides the sim-time sampling interval
+    (default: duration / 50).  Telemetry never changes what the
+    simulation does: request records are bit-identical with the
+    section armed or absent.
+    """
+
+    trace: bool = False
+    sample_rate: float = 1.0
+    metrics_interval_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.sample_rate <= 1.0:
+            raise SpecError(
+                f"telemetry sample rate must be in (0, 1], got "
+                f"{self.sample_rate}"
+            )
+        if (
+            self.metrics_interval_s is not None
+            and self.metrics_interval_s <= 0
+        ):
+            raise SpecError(
+                f"telemetry metrics interval must be positive, got "
+                f"{self.metrics_interval_s}"
+            )
+        # Inert-knob rejection: a sample rate without tracing would sit
+        # in the digest without acting.
+        if self.sample_rate != 1.0 and not self.trace:
+            raise SpecError(
+                "telemetry.sample_rate applies only when telemetry.trace "
+                "is on"
+            )
+
+    def __bool__(self) -> bool:
+        """True when any knob departs from the degenerate default."""
+        return self != type(self)()
+
+    def to_dict(self) -> dict[str, Any]:
+        return _scalars_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TelemetrySpec":
+        _check_fields(cls, data, "telemetry spec")
+        return _build(cls, dict(data), "telemetry spec")
+
+
+# ---------------------------------------------------------------------------
 # Sweep grid.
 # ---------------------------------------------------------------------------
 
@@ -1031,7 +1108,9 @@ class StudySpec:
     to the classic cells.  ``fidelity`` selects the simulation engine
     per cell (full DES, fluid fast path, or fluid with auto-fallback
     when the calibration error exceeds budget); its default instance
-    is likewise degenerate.
+    is likewise degenerate.  ``telemetry`` arms span tracing and
+    sampled gauge metrics over each serving cell (degenerate by
+    default: nothing recorded, classic cells and cache keys).
     """
 
     name: str
@@ -1044,6 +1123,7 @@ class StudySpec:
     cluster: ClusterSpec | None = None
     resilience: ResilienceSpec = ResilienceSpec()
     fidelity: FidelitySpec = FidelitySpec()
+    telemetry: TelemetrySpec = TelemetrySpec()
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -1108,6 +1188,17 @@ class StudySpec:
                     "the fluid fidelity path does not model load "
                     "shedding; disable scheduler.shed_expired or run "
                     "full DES (fidelity: des)"
+                )
+        if self.telemetry:
+            if self.kind != "serving":
+                raise SpecError(
+                    "the telemetry section applies only to serving studies"
+                )
+            if self.fidelity:
+                raise SpecError(
+                    "the fluid fidelity path does not simulate the "
+                    "per-request lifecycle telemetry observes; drop the "
+                    "telemetry section or run full DES (fidelity: des)"
                 )
         if self.kind == "serving" and self.workload.has_sequences:
             if self.resilience:
@@ -1215,6 +1306,10 @@ class StudySpec:
             )
         if "fidelity" in kwargs:
             kwargs["fidelity"] = FidelitySpec.from_dict(kwargs["fidelity"])
+        if "telemetry" in kwargs:
+            kwargs["telemetry"] = TelemetrySpec.from_dict(
+                kwargs["telemetry"]
+            )
         return _build(cls, kwargs, "study spec")
 
     def to_json(self, indent: int = 2) -> str:
@@ -1231,7 +1326,7 @@ class StudySpec:
     # -- overrides and expansion ---------------------------------------------------
 
     _SECTIONS = {"workload", "platform", "scheduler", "cluster",
-                 "resilience", "fidelity"}
+                 "resilience", "fidelity", "telemetry"}
 
     def with_override(self, path: str, value: Any) -> "StudySpec":
         """A copy with one scalar field replaced (sweep-axis setter).
@@ -1247,7 +1342,7 @@ class StudySpec:
                 raise SpecError(
                     f"cannot sweep top-level field {path!r}; sweepable "
                     "sections: workload, platform, scheduler, cluster, "
-                    "resilience, fidelity"
+                    "resilience, fidelity, telemetry"
                 )
             return replace(self, **{section_name: value})
         if section_name not in self._SECTIONS:

@@ -247,4 +247,6 @@ class TestCommands:
     def test_bench_only_without_match_fails(self, capsys):
         assert main(["bench", "--only", "nonexistent"]) == 2
         err = capsys.readouterr().err
-        assert "no benchmark matches" in err
+        assert "unknown benchmark 'nonexistent'" in err
+        # the typed error lists every registered benchmark name
+        assert "test_bench_kernel_event_throughput" in err
